@@ -1,0 +1,98 @@
+// Ablation: the Sec. V-B future-work feature — online cache-size
+// adaptation.
+//
+// A long workload of forward analyses is replayed window by window; the
+// CacheAutotuner watches each window's re-simulation bill and adapts the
+// cache. We compare the total cost (storage + compute over the run)
+// of three fixed cache sizes against the adaptive controller starting
+// from the smallest one.
+#include "bench_util.hpp"
+#include "cost/workload.hpp"
+#include "dv/autotuner.hpp"
+
+#include <vector>
+
+using namespace simfs;
+
+namespace {
+
+struct RunCost {
+  double storageDollars = 0;  ///< integrated $ for the cache, per window-month
+  double computeDollars = 0;  ///< re-simulation $
+  std::int64_t finalCacheSteps = 0;
+};
+
+/// Replays `windows` batches of analyses; if `tuner` is non-null the cache
+/// is resized between windows. Each window counts as one "month" of
+/// storage for pricing.
+RunCost runWindows(const cost::Scenario& scenario,
+                   const std::vector<std::vector<cost::AnalysisSpan>>& windows,
+                   std::int64_t cacheSteps, dv::CacheAutotuner* tuner) {
+  const auto rates = cost::azureRates();
+  RunCost total;
+  for (const auto& window : windows) {
+    cost::VgammaConfig cfg;
+    cfg.cacheFraction = static_cast<double>(cacheSteps) /
+                        static_cast<double>(scenario.numOutputSteps);
+    const auto replay = cost::evaluateVgamma(scenario, window, 0.5, cfg);
+    total.storageDollars +=
+        cost::storeCost(cacheSteps, scenario.outputGiB, 1.0, rates);
+    total.computeDollars += cost::simCost(
+        static_cast<std::int64_t>(replay.simulatedSteps), scenario, rates);
+    if (tuner != nullptr) {
+      dv::TuneWindow obs;
+      obs.accesses = replay.accesses;
+      obs.misses = replay.misses;
+      obs.resimulatedSteps = replay.simulatedSteps;
+      tuner->apply(tuner->observe(obs));
+      cacheSteps = tuner->cacheSteps();
+    }
+  }
+  total.finalCacheSteps = cacheSteps;
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation", "Online cache-size adaptation (Sec. V-B)");
+
+  const auto scenario = cost::cosmoScenario();
+  Rng rng(2027);
+  // 12 monthly windows of 40 analyses each.
+  std::vector<std::vector<cost::AnalysisSpan>> windows;
+  for (int w = 0; w < 12; ++w) {
+    windows.push_back(
+        cost::makeForwardAnalyses(rng, 40, scenario.numOutputSteps, 100, 400));
+  }
+
+  std::printf("%-22s %14s %14s %14s %12s\n", "configuration", "storage($)",
+              "compute($)", "total($)", "final cache");
+  for (const double frac : {0.05, 0.25, 0.50}) {
+    const auto cacheSteps = static_cast<std::int64_t>(
+        frac * static_cast<double>(scenario.numOutputSteps));
+    const auto rc = runWindows(scenario, windows, cacheSteps, nullptr);
+    std::printf("fixed %3.0f%% cache      %14.0f %14.0f %14.0f %12lld\n",
+                frac * 100, rc.storageDollars, rc.computeDollars,
+                rc.storageDollars + rc.computeDollars,
+                static_cast<long long>(rc.finalCacheSteps));
+  }
+  {
+    dv::CacheAutotuner::Config cfg;
+    cfg.scenario = scenario;
+    cfg.rates = cost::azureRates();
+    cfg.minCacheSteps = scenario.numOutputSteps / 20;
+    dv::CacheAutotuner tuner(cfg, scenario.numOutputSteps / 20);
+    const auto rc = runWindows(scenario, windows, tuner.cacheSteps(), &tuner);
+    std::printf("adaptive (from 5%%)    %14.0f %14.0f %14.0f %12lld\n",
+                rc.storageDollars, rc.computeDollars,
+                rc.storageDollars + rc.computeDollars,
+                static_cast<long long>(rc.finalCacheSteps));
+  }
+  std::printf(
+      "\nreading: the controller starts tiny, observes the re-simulation\n"
+      "bill, and buys cache while the marginal storage dollar saves more\n"
+      "compute dollars — landing near the hand-tuned sweet spot without\n"
+      "knowing the workload in advance.\n");
+  return 0;
+}

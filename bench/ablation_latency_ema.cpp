@@ -1,0 +1,69 @@
+// Ablation: non-constant restart latencies and the EMA smoothing factor
+// (Sec. IV-C1c).
+//
+// "If the restart latencies are not constant (e.g., high variability of
+//  the job queueing times), SimFS may not be able to always mask the
+//  restart latencies. [...] SimFS keeps track of the restart latencies
+//  using an exponential moving average (the smoothing factor is a
+//  parameter defined in the simulation context)."
+//
+// We sweep the queue-delay jitter and the context's EMA smoothing and
+// report the analysis completion time: with jitter, a well-chosen
+// smoothing recovers part of the masking the constant-latency case gets
+// for free.
+#include "bench_util.hpp"
+#include "harness/scenario.hpp"
+
+using namespace simfs;
+
+namespace {
+
+double runOne(VDuration jitter, double smoothing) {
+  simmodel::ContextConfig cfg;
+  cfg.name = "jitter";
+  cfg.geometry = simmodel::StepGeometry(5, 60, 5760);
+  cfg.sMax = 8;
+  cfg.emaSmoothing = smoothing;
+  cfg.perf = simmodel::PerfModel(100, 3 * vtime::kSecond, 13 * vtime::kSecond);
+
+  harness::ScenarioConfig scenario;
+  scenario.context = cfg;
+  scenario.batch.baseDelay = 5 * vtime::kSecond;
+  scenario.batch.jitterMax = jitter;
+  harness::AnalysisSpec spec;
+  spec.steps = trace::makeForwardTrace(0, 144, 1152);
+  spec.tauCli = vtime::kSecond / 2;
+  scenario.analyses = {spec};
+
+  // Median over a few seeds (the jitter is random).
+  Summary completions;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    scenario.seed = seed;
+    const auto res = harness::runScenario(scenario);
+    SIMFS_CHECK(res.completed);
+    completions.add(vtime::toSeconds(res.analyses[0].completion()));
+  }
+  return completions.median();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation",
+                "Non-constant restart latencies x EMA smoothing\n"
+                "(COSMO fwd m=144, 5 s base queue delay, s_max=8)");
+
+  std::printf("%-14s %10s %10s %10s   completion (s, median of 5 seeds)\n",
+              "jitter max(s)", "a=0.1", "a=0.5", "a=0.9");
+  for (const double jitterS : {0.0, 10.0, 30.0, 60.0}) {
+    const auto jitter = vtime::fromSeconds(jitterS);
+    std::printf("%-14.0f %10.1f %10.1f %10.1f\n", jitterS,
+                runOne(jitter, 0.1), runOne(jitter, 0.5), runOne(jitter, 0.9));
+  }
+  std::printf(
+      "\nreading: with constant latency the smoothing barely matters; under\n"
+      "heavy queue-time jitter every underestimated latency delays the\n"
+      "analysis by the estimation error (Sec. IV-C1c) — smoother EMAs\n"
+      "(smaller a) absorb spikes, twitchier ones chase them.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Shared helpers for the figure-reproduction benches: consistent headers,
+// simple table printing, and environment knobs for repetition counts.
+#pragma once
+
+#include "common/env.hpp"
+#include "common/types.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace simfs::bench {
+
+/// Prints the standard bench banner.
+inline void banner(const char* figure, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("SimFS reproduction — %s\n%s\n", figure, title);
+  std::printf("==============================================================\n");
+}
+
+/// Repetition count, overridable via an environment variable so CI can
+/// trade precision for speed (the paper uses 100 repetitions).
+inline int reps(const char* envVar, int fallback) {
+  const auto v = env::getInt(envVar);
+  return v && *v > 0 ? static_cast<int>(*v) : fallback;
+}
+
+/// Formats a dollar amount in the paper's "x1000$" unit.
+inline std::string kiloDollars(double dollars) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%8.1f", dollars / 1000.0);
+  return buf;
+}
+
+/// Formats seconds from VTime.
+inline std::string seconds(VTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%8.1f", vtime::toSeconds(t));
+  return buf;
+}
+
+}  // namespace simfs::bench

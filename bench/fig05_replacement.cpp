@@ -1,0 +1,109 @@
+// Figure 5: cache replacement schemes comparison for different access
+// patterns.
+//
+// Workload (Sec. III-D): a 4-day simulation producing one output step
+// every 5 minutes (1152 steps) with a restart file every 4 hours (48
+// steps); the SimFS cache holds 25% of the data volume. Per pattern, 50
+// traces with random starts and lengths U[100, 400] are concatenated; the
+// ECMWF tile replays a synthetic trace with the archive's aggregate
+// statistics. Bars = simulated output steps; points = re-simulations
+// started. Median and 95% CI over repetitions.
+//
+// Env knobs: SIMFS_FIG5_REPS (default 20; paper: 100),
+//            SIMFS_FIG5_ECMWF_ACCESSES (default 66000; real trace: 659989).
+#include "bench_util.hpp"
+#include "cache/cache.hpp"
+#include "common/stats.hpp"
+#include "simmodel/step_geometry.hpp"
+#include "trace/replay.hpp"
+#include "trace/trace.hpp"
+
+#include <vector>
+
+using namespace simfs;
+
+namespace {
+
+constexpr StepIndex kTimeline = 1152;   // 4 days at 5-minute steps
+constexpr std::int64_t kInterval = 48;  // 4 hours
+constexpr std::int64_t kCache = kTimeline / 4;  // 25%
+
+struct PatternDef {
+  const char* name;
+  bool ecmwf;
+  trace::PatternKind kind;
+};
+
+trace::Trace makeTrace(const PatternDef& pattern, Rng& rng,
+                       std::size_t ecmwfAccesses) {
+  if (pattern.ecmwf) {
+    trace::EcmwfParams params;
+    params.totalAccesses = ecmwfAccesses;
+    return trace::makeEcmwfLikeTrace(rng, params, kTimeline);
+  }
+  trace::PatternWorkload workload;
+  workload.timelineSteps = kTimeline;
+  return trace::makeConcatenatedPattern(rng, pattern.kind, workload);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 5",
+                "Cache replacement schemes vs access patterns\n"
+                "(bars: simulated output steps x100; points: restarts)");
+
+  const int repCount = bench::reps("SIMFS_FIG5_REPS", 20);
+  const auto ecmwfAccesses = static_cast<std::size_t>(
+      bench::reps("SIMFS_FIG5_ECMWF_ACCESSES", 66000));
+  const simmodel::StepGeometry geometry(1, kInterval, kTimeline);
+
+  const PatternDef patterns[] = {
+      {"Backward", false, trace::PatternKind::kBackward},
+      {"ECMWF", true, trace::PatternKind::kRandom},
+      {"Forward", false, trace::PatternKind::kForward},
+      {"Random", false, trace::PatternKind::kRandom},
+  };
+  const simmodel::PolicyKind policies[] = {
+      simmodel::PolicyKind::kArc, simmodel::PolicyKind::kBcl,
+      simmodel::PolicyKind::kDcl, simmodel::PolicyKind::kLirs,
+      simmodel::PolicyKind::kLru,
+  };
+
+  std::printf("timeline %lld steps, restart interval %lld, cache %lld "
+              "steps (25%%), %d repetitions\n\n",
+              static_cast<long long>(kTimeline),
+              static_cast<long long>(kInterval),
+              static_cast<long long>(kCache), repCount);
+
+  for (const auto& pattern : patterns) {
+    std::printf("--- %s ---\n", pattern.name);
+    std::printf("%-6s %26s %22s\n", "scheme", "simulated steps (x100)",
+                "restarts");
+    for (const auto policy : policies) {
+      Summary steps;
+      Summary restarts;
+      for (int rep = 0; rep < repCount; ++rep) {
+        Rng rng(0x5EED0000ULL + static_cast<std::uint64_t>(rep) * 977 +
+                static_cast<std::uint64_t>(pattern.kind) * 31 +
+                (pattern.ecmwf ? 7 : 0));
+        const auto accessTrace = makeTrace(pattern, rng, ecmwfAccesses);
+        auto cache = cache::makeCache(policy, kCache);
+        const auto result = trace::replayTrace(accessTrace, geometry, *cache);
+        steps.add(static_cast<double>(result.simulatedSteps) / 100.0);
+        restarts.add(static_cast<double>(result.restarts));
+      }
+      const auto stepsCi = steps.medianCi95();
+      const auto restartsCi = restarts.medianCi95();
+      std::printf("%-6s %10.1f [%6.1f,%6.1f] %9.0f [%5.0f,%5.0f]\n",
+                  simmodel::policyKindName(policy), steps.median(), stepsCi.lo,
+                  stepsCi.hi, restarts.median(), restartsCi.lo, restartsCi.hi);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "expected shape (paper): scan patterns similar across schemes except\n"
+      "LIRS worse on Backward; cost-aware DCL minimizes steps/restarts on\n"
+      "ECMWF and Random.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 15: (a) SimFS cost-effectiveness heatmap over storage/compute
+// price; (b) cost vs total storage space; (c) re-simulation compute time
+// vs space. 100 analyses, 50% overlap, dt = 3y, cache 25% (a).
+#include "bench_util.hpp"
+#include "cost/cost_model.hpp"
+#include "cost/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace simfs;
+
+int main() {
+  bench::banner("Figure 15",
+                "(a) cost-effectiveness heatmap; (b) cost vs space; "
+                "(c) re-simulation time vs space");
+
+  const auto scenario = cost::cosmoScenario();
+  constexpr double kMonths = 36.0;
+  Rng rng(42);
+  const auto analyses =
+      cost::makeForwardAnalyses(rng, 100, scenario.numOutputSteps, 100, 400);
+
+  // ---------------------------------------------------------------- (a)
+  cost::VgammaConfig vcfg;  // dr = 8h, 25% cache
+  const auto v = static_cast<std::int64_t>(
+      cost::evaluateVgamma(scenario, analyses, 0.5, vcfg).simulatedSteps);
+
+  std::printf("(a) ratio min(on-disk, in-situ) / SimFS; >1 means SimFS "
+              "cheaper\n    rows: compute $/node/h; cols: storage "
+              "$/GiB/month\n\n        ");
+  const double storageCosts[] = {0.02, 0.06, 0.10, 0.15, 0.20, 0.25, 0.30};
+  const double computeCosts[] = {3.0, 2.5, 2.07, 1.5, 1.0, 0.5, 0.25};
+  for (const double cs : storageCosts) std::printf("%7.2f", cs);
+  std::printf("\n");
+  for (const double cc : computeCosts) {
+    std::printf("%7.2f ", cc);
+    for (const double cs : storageCosts) {
+      const cost::CostRates rates{cc, cs};
+      const double onDisk = cost::onDiskCost(scenario, kMonths, rates);
+      const double inSitu = cost::inSituCost(scenario, analyses, rates);
+      const double simfs =
+          cost::simfsCost(scenario, kMonths, 8.0, 0.25, v, rates);
+      std::printf("%7.2f", std::min(onDisk, inSitu) / simfs);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n    datapoints: Microsoft Azure (cs=0.06, cc=2.07), "
+              "Piz Daint (cs=0.04, cc=1.00)\n\n");
+
+  // ------------------------------------------------------------- (b)+(c)
+  const auto azure = cost::azureRates();
+  std::printf("(b) cost and (c) re-simulation time vs total storage space "
+              "(dt = 3y)\n\n");
+  std::printf("%-6s %16s %14s %14s %12s %12s\n", "dr(h)", "restarts(TiB)",
+              "cost25(k$)", "cost50(k$)", "time25(h)", "time50(h)");
+  for (const double deltaR : {4.0, 8.0, 16.0, 32.0}) {
+    cost::VgammaConfig cfg;
+    cfg.deltaRHours = deltaR;
+    cfg.cacheFraction = 0.25;
+    const auto v25 = static_cast<std::int64_t>(
+        cost::evaluateVgamma(scenario, analyses, 0.5, cfg).simulatedSteps);
+    cfg.cacheFraction = 0.50;
+    const auto v50 = static_cast<std::int64_t>(
+        cost::evaluateVgamma(scenario, analyses, 0.5, cfg).simulatedSteps);
+    const double restartTiB =
+        static_cast<double>(scenario.numRestartFiles(deltaR)) *
+        scenario.restartGiB / 1024.0;
+    std::printf(
+        "%-6.0f %16.2f %14s %14s %12.1f %12.1f\n", deltaR, restartTiB,
+        bench::kiloDollars(
+            cost::simfsCost(scenario, kMonths, deltaR, 0.25, v25, azure))
+            .c_str(),
+        bench::kiloDollars(
+            cost::simfsCost(scenario, kMonths, deltaR, 0.50, v50, azure))
+            .c_str(),
+        cost::resimulationHours(scenario, v25),
+        cost::resimulationHours(scenario, v50));
+  }
+  const double onDisk = cost::onDiskCost(scenario, kMonths, azure);
+  std::printf("%-6s %16s %14s\n", "on-disk", "(50 TiB)",
+              bench::kiloDollars(onDisk).c_str());
+  std::printf(
+      "\nexpected shape (paper): restart space halves per dr doubling\n"
+      "(6.33/3.16/1.58/0.79 TiB); a bigger cache cuts re-simulation time\n"
+      "(~20%%) but raises total cost (~25%%).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 16: strong scalability of analyses accessing virtualized COSMO
+// data — analysis completion time vs s_max (max parallel re-simulations).
+//
+// COSMO context (Sec. VI): one-minute timesteps, output every 5
+// (delta_d = 5), restart hourly (delta_r = 60); tau_sim = 3 s,
+// alpha_sim = 13 s at the default P = 100 nodes. The analysis reads the
+// first 6 hours (m = 72 output steps), forward and backward; the
+// full-forward re-simulation (one simulation producing all 72 steps) is
+// the baseline.
+#include "bench_util.hpp"
+#include "harness/scenario.hpp"
+
+using namespace simfs;
+
+namespace {
+
+simmodel::ContextConfig cosmoContext(int sMax) {
+  simmodel::ContextConfig cfg;
+  cfg.name = "cosmo";
+  cfg.geometry = simmodel::StepGeometry(5, 60, 5760);  // 4 simulated days
+  cfg.outputStepBytes = 6 * bytes::GiB;
+  cfg.sMax = sMax;
+  cfg.perf = simmodel::PerfModel(100, 3 * vtime::kSecond, 13 * vtime::kSecond);
+  return cfg;
+}
+
+VDuration runOne(int sMax, bool backward, VDuration tauCli) {
+  harness::ScenarioConfig cfg;
+  cfg.context = cosmoContext(sMax);
+  harness::AnalysisSpec spec;
+  spec.label = backward ? "backward" : "forward";
+  spec.steps = backward ? trace::makeBackwardTrace(71, 72, 1152)
+                        : trace::makeForwardTrace(0, 72, 1152);
+  spec.tauCli = tauCli;
+  cfg.analyses = {spec};
+  const auto res = harness::runScenario(cfg);
+  SIMFS_CHECK(res.completed);
+  return res.analyses[0].completion();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 16",
+                "COSMO strong scaling: analysis time vs s_max\n"
+                "(m = 72 output steps = 6 simulated hours)");
+
+  // The analysis computes mean/variance of a 1-D field: much faster than
+  // the simulation (tau_cli << tau_sim).
+  const VDuration tauCli = vtime::kSecond / 2;
+
+  // Baseline: a single forward re-simulation producing the same steps.
+  const double fullForward = vtime::toSeconds(
+      13 * vtime::kSecond + 72 * 3 * vtime::kSecond);
+
+  std::printf("%-6s %14s %14s %12s %12s\n", "s_max", "forward(s)",
+              "backward(s)", "fwd speedup", "bwd speedup");
+  for (const int sMax : {2, 4, 8, 16}) {
+    const double fwd = vtime::toSeconds(runOne(sMax, false, tauCli));
+    const double bwd = vtime::toSeconds(runOne(sMax, true, tauCli));
+    std::printf("%-6d %14.1f %14.1f %11.2fx %11.2fx\n", sMax, fwd, bwd,
+                fullForward / fwd, fullForward / bwd);
+  }
+  std::printf("%-6s %14.1f  (full forward re-simulation baseline)\n", "ref",
+              fullForward);
+  std::printf(
+      "\nexpected shape (paper): speedup grows with s_max and saturates\n"
+      "(~2.4x fwd at s_max=8); backward scales worse (first access waits a\n"
+      "whole restart interval before prefetching engages); at s_max=16 the\n"
+      "extra simulations produce steps the 72-step analysis never reads.\n");
+  return 0;
+}

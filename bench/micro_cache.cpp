@@ -1,0 +1,100 @@
+// Microbenchmarks (google-benchmark): replacement-policy operation costs.
+//
+// The DV serves open() on the critical path of every analysis access, so
+// cache ops must stay in the microseconds range even for the scan-heavy
+// and ghost-heavy workloads the paper's traces produce.
+#include "cache/cache.hpp"
+#include "common/rng.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using simfs::Rng;
+using simfs::cache::makeCache;
+using simfs::simmodel::PolicyKind;
+
+constexpr PolicyKind kPolicies[] = {
+    PolicyKind::kLru, PolicyKind::kLirs, PolicyKind::kArc,
+    PolicyKind::kBcl, PolicyKind::kDcl,
+};
+
+std::vector<std::string> makeKeys(int universe) {
+  std::vector<std::string> keys;
+  keys.reserve(static_cast<std::size_t>(universe));
+  for (int i = 0; i < universe; ++i) keys.push_back("f" + std::to_string(i));
+  return keys;
+}
+
+/// Hit-dominated: working set fits in the cache.
+void BM_CacheHits(benchmark::State& state) {
+  const auto policy = kPolicies[state.range(0)];
+  const auto cache = makeCache(policy, 1024);
+  const auto keys = makeKeys(512);
+  Rng rng(1);
+  for (const auto& k : keys) cache->access(k, 1.0);
+  for (auto _ : state) {
+    const auto& k = keys[static_cast<std::size_t>(rng.uniformInt(0, 511))];
+    benchmark::DoNotOptimize(cache->access(k, 1.0));
+  }
+  state.SetLabel(cache->name());
+}
+
+/// Eviction-heavy: universe 8x the capacity, every miss evicts.
+void BM_CacheEvictions(benchmark::State& state) {
+  const auto policy = kPolicies[state.range(0)];
+  const auto cache = makeCache(policy, 256);
+  const auto keys = makeKeys(2048);
+  Rng rng(2);
+  for (auto _ : state) {
+    const auto& k = keys[static_cast<std::size_t>(rng.uniformInt(0, 2047))];
+    benchmark::DoNotOptimize(
+        cache->access(k, static_cast<double>(rng.uniformInt(1, 48))));
+  }
+  state.SetLabel(cache->name());
+}
+
+/// Scan workload: cyclic sweep over 4x capacity (the pathological case
+/// for LRU-family policies).
+void BM_CacheScan(benchmark::State& state) {
+  const auto policy = kPolicies[state.range(0)];
+  const auto cache = makeCache(policy, 256);
+  const auto keys = makeKeys(1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache->access(keys[i], 1.0));
+    i = (i + 1) % keys.size();
+  }
+  state.SetLabel(cache->name());
+}
+
+/// Interval fills: the spatial-locality insert() burst a re-simulation
+/// produces (48 steps per restart interval in the Fig. 5 setup).
+void BM_CacheIntervalFill(benchmark::State& state) {
+  const auto policy = kPolicies[state.range(0)];
+  const auto cache = makeCache(policy, 288);
+  const auto keys = makeKeys(1152);
+  std::size_t base = 0;
+  for (auto _ : state) {
+    for (int j = 0; j < 48; ++j) {
+      benchmark::DoNotOptimize(
+          cache->insert(keys[(base + static_cast<std::size_t>(j)) % 1152],
+                        static_cast<double>(j + 1)));
+    }
+    base = (base + 48) % 1152;
+  }
+  state.SetItemsProcessed(state.iterations() * 48);
+  state.SetLabel(cache->name());
+}
+
+}  // namespace
+
+BENCHMARK(BM_CacheHits)->DenseRange(0, 4);
+BENCHMARK(BM_CacheEvictions)->DenseRange(0, 4);
+BENCHMARK(BM_CacheScan)->DenseRange(0, 4);
+BENCHMARK(BM_CacheIntervalFill)->DenseRange(0, 4);
+
+BENCHMARK_MAIN();

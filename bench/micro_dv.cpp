@@ -1,0 +1,104 @@
+// Microbenchmarks (google-benchmark): DV request path and engine costs.
+#include "dv/data_virtualizer.hpp"
+#include "engine/engine.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace simfs;
+
+/// Launcher that only records the last job id (pure DV-path cost).
+class NullLauncher final : public dv::SimLauncher {
+ public:
+  void launch(SimJobId job, const simmodel::JobSpec&) override { last = job; }
+  void kill(SimJobId) override {}
+  SimJobId last = 0;
+};
+
+simmodel::ContextConfig benchConfig() {
+  simmodel::ContextConfig cfg;
+  cfg.name = "bench";
+  cfg.geometry = simmodel::StepGeometry(1, 16, 1 << 20);
+  cfg.outputStepBytes = 1;
+  cfg.cacheQuotaBytes = 1 << 16;
+  cfg.prefetchEnabled = false;
+  return cfg;
+}
+
+/// Hit path: open of an available step (the common case once cached).
+void BM_DvOpenHit(benchmark::State& state) {
+  ManualClock clock;
+  NullLauncher launcher;
+  dv::DataVirtualizer dv(clock);
+  dv.setLauncher(&launcher);
+  const auto cfg = benchConfig();
+  (void)dv.registerContext(std::make_unique<simmodel::SyntheticDriver>(cfg));
+  (void)dv.seedAvailableStep("bench", 7);
+  const auto client = dv.clientConnect("bench").value();
+  const std::string file = cfg.codec.outputFile(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dv.clientOpen(client, file));
+    (void)dv.clientRelease(client, file);
+  }
+}
+
+/// Miss path: open of a missing step (launch bookkeeping + pending state),
+/// then the producer event and release — one full virtualization cycle.
+void BM_DvMissCycle(benchmark::State& state) {
+  ManualClock clock;
+  NullLauncher launcher;
+  dv::DataVirtualizer dv(clock);
+  dv.setLauncher(&launcher);
+  auto cfg = benchConfig();
+  cfg.cacheQuotaBytes = 64;  // keep the resident set small: steady eviction
+  (void)dv.registerContext(std::make_unique<simmodel::SyntheticDriver>(cfg));
+  const auto client = dv.clientConnect("bench").value();
+  StepIndex step = 0;
+  for (auto _ : state) {
+    const std::string file = cfg.codec.outputFile(step);
+    benchmark::DoNotOptimize(dv.clientOpen(client, file));
+    // Resolve the pending state: produce the requested step and finish.
+    dv.simulationFileWritten(launcher.last, file);
+    dv.simulationFinished(launcher.last, Status::ok());
+    (void)dv.clientRelease(client, file);
+    step += 16;  // a new interval every iteration
+  }
+}
+
+/// Engine event throughput: schedule + run in batches.
+void BM_EngineEvents(benchmark::State& state) {
+  engine::Engine engine;
+  std::int64_t counter = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      engine.scheduleAfter(i, [&counter] { ++counter; });
+    }
+    engine.run();
+  }
+  benchmark::DoNotOptimize(counter);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+
+/// Engine cancel cost (the kill path cancels queued production events).
+void BM_EngineCancel(benchmark::State& state) {
+  engine::Engine engine;
+  for (auto _ : state) {
+    std::vector<engine::EventId> ids;
+    ids.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+      ids.push_back(engine.scheduleAfter(1000 + i, [] {}));
+    }
+    for (const auto id : ids) engine.cancel(id);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+
+}  // namespace
+
+BENCHMARK(BM_DvOpenHit);
+BENCHMARK(BM_DvMissCycle);
+BENCHMARK(BM_EngineEvents);
+BENCHMARK(BM_EngineCancel);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,198 @@
+// simfsctl — operator utility for SimFS deployments.
+//
+// Implements the paper's "command line utility" workflows (Sec. III-C2)
+// plus daemon introspection:
+//
+//   simfsctl record-checksums <data-dir> <map-file>
+//       Scans every file in the directory and records its checksum —
+//       run this after the initial simulation so SIMFS_Bitrep has the
+//       reference digests.
+//
+//   simfsctl verify-checksums <data-dir> <map-file>
+//       Re-computes digests and reports any file that differs from the
+//       recorded reference (offline bit-reproducibility audit).
+//
+//   simfsctl driver-info <file.drv>
+//       Parses a simulation-driver description and prints the context it
+//       defines (geometry, timing, naming, job template sanity check).
+//
+//   simfsctl status <socket-path>
+//       Queries a running DV daemon for its aggregate statistics.
+#include "common/checksum.hpp"
+#include "common/strings.hpp"
+#include "msg/message.hpp"
+#include "msg/transport.hpp"
+#include "simmodel/driver.hpp"
+#include "vfs/file_store.hpp"
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+using namespace simfs;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: simfsctl record-checksums <data-dir> <map-file>\n"
+               "       simfsctl verify-checksums <data-dir> <map-file>\n"
+               "       simfsctl driver-info <file.drv>\n"
+               "       simfsctl status <socket-path>\n");
+  return 2;
+}
+
+int recordChecksums(const std::string& dir, const std::string& mapFile) {
+  vfs::DiskFileStore store(dir);
+  simmodel::ChecksumMap map;
+  for (const auto& name : store.list()) {
+    const auto content = store.read(name);
+    if (!content) {
+      std::fprintf(stderr, "skip %s: %s\n", name.c_str(),
+                   content.status().toString().c_str());
+      continue;
+    }
+    map.record(name, fnv1a64(*content));
+  }
+  const auto st = map.save(mapFile);
+  if (!st.isOk()) {
+    std::fprintf(stderr, "cannot save: %s\n", st.toString().c_str());
+    return 1;
+  }
+  std::printf("recorded %zu checksums into %s\n", map.size(), mapFile.c_str());
+  return 0;
+}
+
+int verifyChecksums(const std::string& dir, const std::string& mapFile) {
+  auto map = simmodel::ChecksumMap::load(mapFile);
+  if (!map) {
+    std::fprintf(stderr, "cannot load %s: %s\n", mapFile.c_str(),
+                 map.status().toString().c_str());
+    return 1;
+  }
+  vfs::DiskFileStore store(dir);
+  int checked = 0;
+  int mismatched = 0;
+  int unknown = 0;
+  for (const auto& name : store.list()) {
+    const auto content = store.read(name);
+    if (!content) continue;
+    const auto match = map->matches(name, fnv1a64(*content));
+    if (!match.isOk()) {
+      ++unknown;
+      continue;
+    }
+    ++checked;
+    if (!*match) {
+      ++mismatched;
+      std::printf("MISMATCH %s\n", name.c_str());
+    }
+  }
+  std::printf("%d checked, %d mismatched, %d without reference\n", checked,
+              mismatched, unknown);
+  return mismatched == 0 ? 0 : 1;
+}
+
+int driverInfo(const std::string& path) {
+  auto driver = simmodel::loadDriverFile(path);
+  if (!driver) {
+    std::fprintf(stderr, "cannot load driver: %s\n",
+                 driver.status().toString().c_str());
+    return 1;
+  }
+  const auto& cfg = (*driver)->config();
+  std::printf("context          %s\n", cfg.name.c_str());
+  std::printf("delta_d/delta_r  %lld / %lld timesteps "
+              "(%lld output steps per restart interval)\n",
+              static_cast<long long>(cfg.geometry.deltaD()),
+              static_cast<long long>(cfg.geometry.deltaR()),
+              static_cast<long long>(cfg.geometry.stepsPerRestartInterval()));
+  if (cfg.geometry.numTimesteps() > 0) {
+    std::printf("timeline         %lld timesteps -> %lld output steps, "
+                "%lld restarts\n",
+                static_cast<long long>(cfg.geometry.numTimesteps()),
+                static_cast<long long>(cfg.geometry.numOutputSteps()),
+                static_cast<long long>(cfg.geometry.numRestartSteps()));
+  }
+  std::printf("sizes            output %s, restart %s\n",
+              bytes::toString(cfg.outputStepBytes).c_str(),
+              bytes::toString(cfg.restartStepBytes).c_str());
+  std::printf("policy           %s, cache quota %s, s_max %d\n",
+              simmodel::policyKindName(cfg.policy),
+              cfg.cacheQuotaBytes == 0
+                  ? "unlimited"
+                  : bytes::toString(cfg.cacheQuotaBytes).c_str(),
+              cfg.sMax);
+  const auto& perf = cfg.perf.at(0);
+  std::printf("timing           tau_sim %s, alpha_sim %s at %d nodes\n",
+              vtime::toString(perf.tauSim).c_str(),
+              vtime::toString(perf.alphaSim).c_str(), perf.nodes);
+  std::printf("naming           %s  /  %s\n", cfg.codec.outputFile(0).c_str(),
+              cfg.codec.restartFile(0).c_str());
+  const auto job = (*driver)->makeJob(0, cfg.geometry.stepsPerRestartInterval(),
+                                      0);
+  std::printf("job script       %s\n", job.script.c_str());
+  return 0;
+}
+
+int daemonStatus(const std::string& socketPath) {
+  auto conn = msg::unixSocketConnect(socketPath);
+  if (!conn) {
+    std::fprintf(stderr, "cannot connect: %s\n",
+                 conn.status().toString().c_str());
+    return 1;
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  bool got = false;
+  msg::Message reply;
+  (*conn)->setHandler([&](msg::Message&& m) {
+    std::lock_guard lock(mu);
+    reply = std::move(m);
+    got = true;
+    cv.notify_all();
+  });
+  msg::Message req;
+  req.type = msg::MsgType::kStatusReq;
+  req.requestId = 1;
+  if (!(*conn)->send(req).isOk()) {
+    std::fprintf(stderr, "send failed\n");
+    return 1;
+  }
+  {
+    std::unique_lock lock(mu);
+    if (!cv.wait_for(lock, std::chrono::seconds(5), [&] { return got; })) {
+      std::fprintf(stderr, "no reply from daemon\n");
+      return 1;
+    }
+  }
+  std::printf("daemon statistics:\n");
+  for (const auto& kv : str::split(reply.text, ';')) {
+    std::printf("  %s\n", kv.c_str());
+  }
+  std::printf("contexts:\n");
+  for (const auto& name : reply.files) std::printf("  %s\n", name.c_str());
+  (*conn)->close();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "record-checksums" && argc == 4) {
+    return recordChecksums(argv[2], argv[3]);
+  }
+  if (cmd == "verify-checksums" && argc == 4) {
+    return verifyChecksums(argv[2], argv[3]);
+  }
+  if (cmd == "driver-info" && argc == 3) {
+    return driverInfo(argv[2]);
+  }
+  if (cmd == "status" && argc == 3) {
+    return daemonStatus(argv[2]);
+  }
+  return usage();
+}

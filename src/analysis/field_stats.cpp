@@ -1,0 +1,33 @@
+#include "analysis/field_stats.hpp"
+
+#include "dvlib/iolib.hpp"
+
+#include <algorithm>
+
+namespace simfs::analysis {
+
+Result<FieldStats> analyzeField(std::string_view payload) {
+  auto values = dvlib::decodeField(payload);
+  if (!values) return values.status();
+  FieldStats stats;
+  if (values->empty()) return stats;
+  stats.min = (*values)[0];
+  stats.max = (*values)[0];
+  double mean = 0.0;
+  double m2 = 0.0;
+  std::size_t n = 0;
+  for (const double x : *values) {
+    ++n;
+    const double delta = x - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (x - mean);
+    stats.min = std::min(stats.min, x);
+    stats.max = std::max(stats.max, x);
+  }
+  stats.mean = mean;
+  stats.variance = m2 / static_cast<double>(n);
+  stats.count = n;
+  return stats;
+}
+
+}  // namespace simfs::analysis

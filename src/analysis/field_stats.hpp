@@ -1,0 +1,29 @@
+// Field analyses used by the live examples and tests.
+//
+// The paper's evaluation analyses "compute mean and variance of a 1-D
+// field of the simulation output steps" (COSMO) and "of the velocity
+// field" (FLASH). analyzeField implements exactly that over the SNC1
+// payloads our simulators emit.
+#pragma once
+
+#include "common/status.hpp"
+
+#include <cstddef>
+#include <string_view>
+
+namespace simfs::analysis {
+
+/// Mean/variance summary of one output step's field.
+struct FieldStats {
+  double mean = 0.0;
+  double variance = 0.0;  ///< population variance
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Parses an SNC1 payload and reduces it. Welford's algorithm: single
+/// pass, numerically stable on long fields.
+[[nodiscard]] Result<FieldStats> analyzeField(std::string_view payload);
+
+}  // namespace simfs::analysis

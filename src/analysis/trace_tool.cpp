@@ -1,0 +1,53 @@
+#include "analysis/trace_tool.hpp"
+
+#include "common/clock.hpp"
+
+namespace simfs::analysis {
+
+TraceAnalysisTool::TraceAnalysisTool(dvlib::SimFSClient& client,
+                                     vfs::FileStore& store,
+                                     simmodel::FilenameCodec codec)
+    : client_(client), store_(store), codec_(std::move(codec)) {}
+
+Result<TraceToolReport> TraceAnalysisTool::run(const trace::Trace& steps) {
+  TraceToolReport report;
+  RealClock clock;
+  const VTime start = clock.now();
+  double meanSum = 0.0;
+  std::uint64_t meanCount = 0;
+
+  for (const StepIndex step : steps) {
+    const std::string file = codec_.outputFile(step);
+    ++report.accesses;
+
+    dvlib::SimfsStatus status;
+    const auto acquired = client_.acquire({file}, &status);
+    if (!acquired.isOk()) {
+      ++report.failures;
+      continue;
+    }
+    if (status.estimatedWait == 0) ++report.immediateHits;
+
+    const auto content = store_.read(file);
+    if (!content) {
+      ++report.failures;
+      (void)client_.release(file);
+      continue;
+    }
+    const auto stats = analyzeField(*content);
+    if (stats) {
+      report.lastStats = *stats;
+      meanSum += stats->mean;
+      ++meanCount;
+    } else {
+      ++report.failures;
+    }
+    SIMFS_RETURN_IF_ERROR(client_.release(file));
+  }
+
+  report.wallTime = clock.now() - start;
+  if (meanCount > 0) report.meanOfMeans = meanSum / static_cast<double>(meanCount);
+  return report;
+}
+
+}  // namespace simfs::analysis

@@ -1,0 +1,50 @@
+// Live synthetic analysis tool: replays an access trace through the full
+// DVLib -> daemon -> simulator stack (the wall-clock counterpart of the
+// harness's virtual-time actor).
+//
+// Each access acquires the output step (blocking until the DV produced
+// it), reads the field through the sncdf facade path (store bytes),
+// reduces it with analyzeField, and releases the step — exactly the life
+// cycle of the paper's transparent-mode analyses.
+#pragma once
+
+#include "analysis/field_stats.hpp"
+#include "common/types.hpp"
+#include "dvlib/simfs_client.hpp"
+#include "simmodel/context.hpp"
+#include "trace/trace.hpp"
+#include "vfs/file_store.hpp"
+
+#include <string>
+#include <vector>
+
+namespace simfs::analysis {
+
+/// Outcome of one live replay.
+struct TraceToolReport {
+  std::uint64_t accesses = 0;
+  std::uint64_t immediateHits = 0;  ///< available at acquire time
+  std::uint64_t failures = 0;
+  VDuration wallTime = 0;           ///< total run time (steady clock)
+  FieldStats lastStats;             ///< reduction of the last step read
+  double meanOfMeans = 0.0;         ///< average of per-step means
+};
+
+/// Replays `steps` against a connected client.
+class TraceAnalysisTool {
+ public:
+  /// `client` must be connected on the context whose codec is given;
+  /// `store` holds the produced bytes.
+  TraceAnalysisTool(dvlib::SimFSClient& client, vfs::FileStore& store,
+                    simmodel::FilenameCodec codec);
+
+  /// Runs the whole trace; blocks until every access was served.
+  [[nodiscard]] Result<TraceToolReport> run(const trace::Trace& steps);
+
+ private:
+  dvlib::SimFSClient& client_;
+  vfs::FileStore& store_;
+  simmodel::FilenameCodec codec_;
+};
+
+}  // namespace simfs::analysis

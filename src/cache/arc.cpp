@@ -1,0 +1,125 @@
+#include "cache/arc.hpp"
+
+#include "common/status.hpp"
+
+#include <algorithm>
+
+namespace simfs::cache {
+
+ArcCache::ArcCache(std::int64_t capacityEntries) : Cache(capacityEntries) {}
+
+std::list<std::string>& ArcCache::listOf(Where w) noexcept {
+  switch (w) {
+    case Where::kT1: return t1_;
+    case Where::kT2: return t2_;
+    case Where::kB1: return b1_;
+    case Where::kB2: return b2_;
+  }
+  return t1_;  // unreachable
+}
+
+void ArcCache::moveTo(const std::string& key, Meta& meta, Where dst) {
+  listOf(meta.where).erase(meta.it);
+  auto& dstList = listOf(dst);
+  dstList.push_front(key);
+  meta.where = dst;
+  meta.it = dstList.begin();
+}
+
+void ArcCache::dropFrom(const std::string& key) {
+  const auto it = meta_.find(key);
+  if (it == meta_.end()) return;
+  listOf(it->second.where).erase(it->second.it);
+  meta_.erase(it);
+}
+
+void ArcCache::trimGhosts() {
+  const auto c = static_cast<std::size_t>(std::max<std::int64_t>(capacity(), 1));
+  // |T1|+|B1| <= c and total directory <= 2c, per the ARC paper's DBL(2c).
+  while (t1_.size() + b1_.size() > c && !b1_.empty()) {
+    const std::string victim = b1_.back();
+    dropFrom(victim);
+  }
+  while (t1_.size() + t2_.size() + b1_.size() + b2_.size() > 2 * c &&
+         !b2_.empty()) {
+    const std::string victim = b2_.back();
+    dropFrom(victim);
+  }
+}
+
+void ArcCache::hookHit(const std::string& key) {
+  auto& meta = meta_.at(key);
+  SIMFS_CHECK(meta.where == Where::kT1 || meta.where == Where::kT2);
+  moveTo(key, meta, Where::kT2);
+}
+
+void ArcCache::hookMiss(const std::string& key) {
+  lastMissWasB2Ghost_ = false;
+  const auto it = meta_.find(key);
+  if (it == meta_.end()) return;
+  const double b1 = static_cast<double>(std::max<std::size_t>(b1_.size(), 1));
+  const double b2 = static_cast<double>(std::max<std::size_t>(b2_.size(), 1));
+  const double c = static_cast<double>(std::max<std::int64_t>(capacity(), 1));
+  if (it->second.where == Where::kB1) {
+    p_ = std::min(c, p_ + std::max(1.0, b2 / b1));
+  } else if (it->second.where == Where::kB2) {
+    p_ = std::max(0.0, p_ - std::max(1.0, b1 / b2));
+    lastMissWasB2Ghost_ = true;
+  }
+}
+
+void ArcCache::hookInsert(const std::string& key, double /*cost*/) {
+  const auto it = meta_.find(key);
+  if (it != meta_.end()) {
+    // Ghost re-entry: frequency evidence, insert into T2.
+    SIMFS_CHECK(it->second.where == Where::kB1 || it->second.where == Where::kB2);
+    moveTo(key, it->second, Where::kT2);
+  } else {
+    Meta meta;
+    t1_.push_front(key);
+    meta.where = Where::kT1;
+    meta.it = t1_.begin();
+    meta_[key] = meta;
+  }
+  trimGhosts();
+}
+
+void ArcCache::hookRemove(const std::string& key, bool evicted) {
+  const auto it = meta_.find(key);
+  if (it == meta_.end()) return;
+  auto& meta = it->second;
+  SIMFS_CHECK(meta.where == Where::kT1 || meta.where == Where::kT2);
+  if (evicted) {
+    // Leave a ghost in the matching history list.
+    moveTo(key, meta, meta.where == Where::kT1 ? Where::kB1 : Where::kB2);
+    trimGhosts();
+  } else {
+    listOf(meta.where).erase(meta.it);
+    meta_.erase(it);
+  }
+}
+
+bool ArcCache::preferT1Victim() const noexcept {
+  const auto t1 = static_cast<double>(t1_.size());
+  if (t1_.empty()) return false;
+  return t1 > p_ || (lastMissWasB2Ghost_ && t1 == p_);
+}
+
+std::optional<std::string> ArcCache::chooseVictim() {
+  const bool preferT1 = preferT1Victim();
+  auto scan = [&](const std::list<std::string>& lst) -> std::optional<std::string> {
+    for (auto it = lst.rbegin(); it != lst.rend(); ++it) {
+      if (isEvictable(*it)) return *it;
+      bumpPinSkips();
+    }
+    return std::nullopt;
+  };
+  if (preferT1) {
+    if (auto v = scan(t1_)) return v;
+    return scan(t2_);
+  }
+  if (auto v = scan(t2_)) return v;
+  return scan(t1_);
+}
+
+}  // namespace simfs::cache

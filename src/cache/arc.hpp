@@ -1,0 +1,61 @@
+// ARC — Adaptive Replacement Cache (Megiddo & Modha, FAST'03), cited by
+// the paper as the scheme that balances recency against frequency.
+//
+// Resident entries live in T1 (seen once recently) or T2 (seen at least
+// twice); evicted entries leave ghosts in B1/B2. Ghost hits steer the
+// adaptation parameter p, which sets the target size of T1.
+//
+// SimFS adaptations: victim selection skips pinned entries within the
+// preferred list and falls through to the other list if necessary, and
+// insertions can arrive without an access (re-simulation interval fills),
+// which enter T1 like first-touch misses.
+#pragma once
+
+#include "cache/cache.hpp"
+
+#include <list>
+#include <unordered_map>
+
+namespace simfs::cache {
+
+class ArcCache final : public Cache {
+ public:
+  explicit ArcCache(std::int64_t capacityEntries);
+
+  [[nodiscard]] const char* name() const noexcept override { return "ARC"; }
+
+  /// Current adaptation target for |T1| (diagnostic).
+  [[nodiscard]] double pTarget() const noexcept { return p_; }
+
+ protected:
+  void hookHit(const std::string& key) override;
+  void hookMiss(const std::string& key) override;
+  void hookInsert(const std::string& key, double cost) override;
+  void hookRemove(const std::string& key, bool evicted) override;
+  [[nodiscard]] std::optional<std::string> chooseVictim() override;
+
+ private:
+  enum class Where { kT1, kT2, kB1, kB2 };
+
+  struct Meta {
+    Where where = Where::kT1;
+    std::list<std::string>::iterator it{};
+  };
+
+  std::list<std::string>& listOf(Where w) noexcept;
+  void moveTo(const std::string& key, Meta& meta, Where dst);
+  void dropFrom(const std::string& key);
+  void trimGhosts();
+
+  /// True if ARC's REPLACE rule prefers evicting from T1.
+  [[nodiscard]] bool preferT1Victim() const noexcept;
+
+  double p_ = 0.0;  // target size of T1
+  std::list<std::string> t1_, t2_, b1_, b2_;  // front = MRU
+  std::unordered_map<std::string, Meta> meta_;
+  /// Set by hookMiss when the missed key was a B2 ghost; REPLACE treats
+  /// that case specially (|T1| == p also evicts from T1).
+  bool lastMissWasB2Ghost_ = false;
+};
+
+}  // namespace simfs::cache

@@ -1,0 +1,121 @@
+#include "cache/cache.hpp"
+
+#include "common/status.hpp"
+
+namespace simfs::cache {
+
+Cache::Cache(std::int64_t capacityEntries) : capacity_(capacityEntries) {}
+
+AccessOutcome Cache::access(const std::string& key, double cost) {
+  ++seq_;
+  AccessOutcome out;
+  const auto it = resident_.find(key);
+  if (it != resident_.end()) {
+    ++stats_.hits;
+    it->second.lastAccessSeq = seq_;
+    hookHit(key);
+    out.hit = true;
+    return out;
+  }
+  ++stats_.misses;
+  hookMiss(key);
+  insertInternal(key, cost, out.evicted);
+  return out;
+}
+
+std::vector<std::string> Cache::insert(const std::string& key, double cost) {
+  std::vector<std::string> evicted;
+  if (resident_.count(key) > 0) return evicted;
+  ++seq_;
+  insertInternal(key, cost, evicted);
+  return evicted;
+}
+
+void Cache::insertInternal(const std::string& key, double cost,
+                           std::vector<std::string>& evictedOut) {
+  Resident entry;
+  entry.cost = cost;
+  entry.lastAccessSeq = seq_;
+  const auto it = resident_.emplace(key, entry).first;
+  ++stats_.insertions;
+  hookInsert(key, cost);
+  // Temporarily pin the entry being inserted: when everything else is
+  // pinned, evicting the datum this very access is about to consume would
+  // defeat the access. Transient overflow is preferable.
+  ++it->second.pins;
+  evictOverflow(evictedOut);
+  --it->second.pins;
+}
+
+void Cache::evictOverflow(std::vector<std::string>& evictedOut) {
+  if (capacity_ <= 0) return;
+  while (static_cast<std::int64_t>(resident_.size()) > capacity_) {
+    const auto victim = chooseVictim();
+    if (!victim) return;  // everything pinned: allow transient overflow
+    const auto it = resident_.find(*victim);
+    SIMFS_CHECK(it != resident_.end());
+    SIMFS_CHECK(it->second.pins == 0);
+    stats_.evictedCostTotal += it->second.cost;
+    resident_.erase(it);
+    ++stats_.evictions;
+    hookRemove(*victim, /*evicted=*/true);
+    evictedOut.push_back(*victim);
+  }
+}
+
+bool Cache::contains(const std::string& key) const noexcept {
+  return resident_.count(key) > 0;
+}
+
+void Cache::pin(const std::string& key) noexcept {
+  const auto it = resident_.find(key);
+  if (it != resident_.end()) ++it->second.pins;
+}
+
+void Cache::unpin(const std::string& key) noexcept {
+  const auto it = resident_.find(key);
+  if (it != resident_.end() && it->second.pins > 0) --it->second.pins;
+}
+
+int Cache::pinCount(const std::string& key) const noexcept {
+  const auto it = resident_.find(key);
+  return it == resident_.end() ? 0 : it->second.pins;
+}
+
+bool Cache::erase(const std::string& key) {
+  const auto it = resident_.find(key);
+  if (it == resident_.end()) return false;
+  resident_.erase(it);
+  hookRemove(key, /*evicted=*/false);
+  return true;
+}
+
+std::optional<double> Cache::costOf(const std::string& key) const noexcept {
+  const auto it = resident_.find(key);
+  if (it == resident_.end()) return std::nullopt;
+  return it->second.cost;
+}
+
+std::vector<std::string> Cache::residentKeys() const {
+  std::vector<std::string> out;
+  out.reserve(resident_.size());
+  for (const auto& [k, _] : resident_) out.push_back(k);
+  return out;
+}
+
+bool Cache::isEvictable(const std::string& key) const noexcept {
+  const auto it = resident_.find(key);
+  return it != resident_.end() && it->second.pins == 0;
+}
+
+const Cache::Resident* Cache::findResident(const std::string& key) const noexcept {
+  const auto it = resident_.find(key);
+  return it == resident_.end() ? nullptr : &it->second;
+}
+
+void Cache::setCost(const std::string& key, double cost) noexcept {
+  const auto it = resident_.find(key);
+  if (it != resident_.end()) it->second.cost = cost;
+}
+
+}  // namespace simfs::cache

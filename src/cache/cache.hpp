@@ -1,0 +1,146 @@
+// Cache replacement schemes for simulation data (Sec. III-D).
+//
+// SimFS caches whole output steps in a fully-associative "cache" (the
+// context's storage area). Differences from CPU caches that shape this
+// interface:
+//   * miss costs are nonuniform — producing d_i costs a re-simulation of
+//     missCostSteps(d_i) output steps from the previous restart;
+//   * entries referenced by a running analysis are pinned and must not be
+//     evicted;
+//   * re-simulations insert entire restart intervals, not just the missed
+//     entry (spatial locality), so insertion without an access is a
+//     first-class operation.
+//
+// The base class owns residency, pinning, statistics and the eviction
+// loop; concrete policies (LRU, LIRS, ARC, BCL, DCL, FIFO, RANDOM) supply
+// ordering decisions through protected hooks.
+#pragma once
+
+#include "common/types.hpp"
+#include "simmodel/context.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace simfs::cache {
+
+/// Counters exposed by every cache.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;   ///< entries brought in (incl. prefills)
+  std::uint64_t evictions = 0;
+  std::uint64_t pinSkips = 0;     ///< victim candidates skipped because pinned
+  double evictedCostTotal = 0.0;  ///< summed miss cost of evicted entries
+};
+
+/// Result of an access(): hit flag plus any evictions it triggered.
+struct AccessOutcome {
+  bool hit = false;
+  std::vector<std::string> evicted;
+};
+
+/// Fully-associative cache with pluggable replacement. Capacity counts
+/// entries (output steps are uniformly sized within a context);
+/// capacity <= 0 means unlimited.
+class Cache {
+ public:
+  explicit Cache(std::int64_t capacityEntries);
+  virtual ~Cache() = default;
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+
+  /// Policy name, e.g. "DCL".
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Records an access. On a miss the entry is inserted with the given
+  /// miss cost (the caller is assumed to re-simulate it) and the eviction
+  /// loop runs. Pinned entries are never evicted; if every resident entry
+  /// is pinned the cache transiently exceeds capacity.
+  AccessOutcome access(const std::string& key, double cost);
+
+  /// Inserts an entry without hit/miss accounting — used for the
+  /// additional output steps a re-simulation produces around the missed
+  /// one, and for prefetched steps. No-op if already resident.
+  std::vector<std::string> insert(const std::string& key, double cost);
+
+  /// True if resident.
+  [[nodiscard]] bool contains(const std::string& key) const noexcept;
+
+  /// Pins an entry (refcount++). Pinned entries cannot be evicted.
+  /// No-op for non-resident keys.
+  void pin(const std::string& key) noexcept;
+
+  /// Unpins an entry (refcount--, floored at 0).
+  void unpin(const std::string& key) noexcept;
+
+  /// Current pin count (0 for non-resident keys).
+  [[nodiscard]] int pinCount(const std::string& key) const noexcept;
+
+  /// Externally removes an entry (e.g. operator deleted the file).
+  /// Returns false if not resident.
+  bool erase(const std::string& key);
+
+  /// Miss cost recorded for a resident entry; nullopt if absent.
+  [[nodiscard]] std::optional<double> costOf(const std::string& key) const noexcept;
+
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(resident_.size());
+  }
+  [[nodiscard]] std::int64_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+
+  /// Resident keys in unspecified order.
+  [[nodiscard]] std::vector<std::string> residentKeys() const;
+
+ protected:
+  /// Per-entry bookkeeping shared by all policies.
+  struct Resident {
+    double cost = 0.0;
+    int pins = 0;
+    std::uint64_t lastAccessSeq = 0;
+  };
+
+  // --- hooks implemented by policies -------------------------------------
+  /// Resident entry re-accessed.
+  virtual void hookHit(const std::string& key) = 0;
+  /// Non-resident key observed (access miss) BEFORE insertion; ghost-aware
+  /// policies (ARC, LIRS, DCL) react here. Plain inserts do not call this.
+  virtual void hookMiss(const std::string& /*key*/) {}
+  /// Entry became resident (from an access miss or a plain insert).
+  virtual void hookInsert(const std::string& key, double cost) = 0;
+  /// Entry left the resident set. `evicted` is true when the eviction loop
+  /// removed it (policies may then keep it as a ghost), false on erase().
+  virtual void hookRemove(const std::string& key, bool evicted) = 0;
+  /// Picks an evictable (unpinned) victim; nullopt if none exists.
+  [[nodiscard]] virtual std::optional<std::string> chooseVictim() = 0;
+
+  // --- services for policies ---------------------------------------------
+  [[nodiscard]] bool isEvictable(const std::string& key) const noexcept;
+  [[nodiscard]] const Resident* findResident(const std::string& key) const noexcept;
+  /// Mutable cost access (BCL/DCL depreciate the LRU's cost in place).
+  void setCost(const std::string& key, double cost) noexcept;
+  [[nodiscard]] std::uint64_t currentSeq() const noexcept { return seq_; }
+  void bumpPinSkips() noexcept { ++stats_.pinSkips; }
+
+ private:
+  void evictOverflow(std::vector<std::string>& evictedOut);
+  void insertInternal(const std::string& key, double cost,
+                      std::vector<std::string>& evictedOut);
+
+  std::int64_t capacity_;
+  std::unordered_map<std::string, Resident> resident_;
+  CacheStats stats_;
+  std::uint64_t seq_ = 0;
+};
+
+/// Builds a cache of the requested policy kind.
+[[nodiscard]] std::unique_ptr<Cache> makeCache(simmodel::PolicyKind kind,
+                                               std::int64_t capacityEntries,
+                                               std::uint64_t seed = 42);
+
+}  // namespace simfs::cache

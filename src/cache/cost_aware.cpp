@@ -1,0 +1,102 @@
+#include "cache/cost_aware.hpp"
+
+#include <algorithm>
+
+namespace simfs::cache {
+
+std::optional<CostAwareLruCache::Selection> CostAwareLruCache::select() {
+  const auto& order = recency();
+  // Find the LRU: least-recent evictable entry.
+  auto lruIt = order.rend();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (isEvictable(*it)) {
+      lruIt = it;
+      break;
+    }
+    bumpPinSkips();
+  }
+  if (lruIt == order.rend()) return std::nullopt;
+
+  Selection sel;
+  sel.lru = *lruIt;
+  sel.lruCost = findResident(sel.lru)->cost;
+
+  // Scan from the LRU towards the MRU for the first cheaper evictable
+  // entry, within the bounded deflection window.
+  std::int64_t scanned = 0;
+  for (auto it = std::next(lruIt);
+       it != order.rend() && scanned < searchDepth_; ++it) {
+    if (!isEvictable(*it)) continue;
+    ++scanned;
+    const double cost = findResident(*it)->cost;
+    if (cost < sel.lruCost) {
+      sel.victim = *it;
+      sel.victimCost = cost;
+      sel.sparedLru = true;
+      return sel;
+    }
+  }
+  sel.victim = sel.lru;
+  sel.victimCost = sel.lruCost;
+  sel.sparedLru = false;
+  return sel;
+}
+
+std::optional<std::string> CostAwareLruCache::chooseVictim() {
+  auto sel = select();
+  if (!sel) return std::nullopt;
+  if (sel->sparedLru) onLruSpared(*sel);
+  return sel->victim;
+}
+
+// ------------------------------------------------------------------ BclCache
+
+void BclCache::onLruSpared(const Selection& sel) {
+  // Immediate depreciation: the spared LRU pays the deflected victim's cost.
+  setCost(sel.lru, std::max(0.0, sel.lruCost - sel.victimCost));
+}
+
+// ------------------------------------------------------------------ DclCache
+
+void DclCache::onLruSpared(const Selection& sel) {
+  // Defer: remember which LRU this victim was deflected for. Depreciation
+  // happens only if the victim is re-accessed while that LRU sits untouched.
+  const auto [it, inserted] = ghosts_.try_emplace(sel.victim);
+  it->second = Deflection{sel.lru, sel.victimCost, currentSeq()};
+  if (inserted) {
+    ghostOrder_.push_back(sel.victim);
+    const auto cap = static_cast<std::size_t>(std::max<std::int64_t>(capacity(), 1));
+    while (ghostOrder_.size() > cap) {
+      ghosts_.erase(ghostOrder_.front());
+      ghostOrder_.pop_front();
+    }
+  }
+}
+
+void DclCache::hookMiss(const std::string& key) {
+  const auto it = ghosts_.find(key);
+  if (it == ghosts_.end()) return;
+  const Deflection d = it->second;
+  ghosts_.erase(it);
+  ghostOrder_.remove(key);
+  const auto* lru = findResident(d.sparedLru);
+  // Depreciate only if the spared LRU is still resident and has not been
+  // accessed since the deflection (i.e. sparing it bought nothing).
+  if (lru != nullptr && lru->lastAccessSeq < d.evictSeq) {
+    setCost(d.sparedLru, std::max(0.0, lru->cost - d.victimCost));
+  }
+}
+
+void DclCache::hookInsert(const std::string& key, double cost) {
+  // A key re-entering residency through a plain insert (prefetch / interval
+  // fill) bypasses hookMiss; drop any stale deflection record so it cannot
+  // fire against an unrelated later LRU epoch.
+  const auto it = ghosts_.find(key);
+  if (it != ghosts_.end()) {
+    ghosts_.erase(it);
+    ghostOrder_.remove(key);
+  }
+  LruCache::hookInsert(key, cost);
+}
+
+}  // namespace simfs::cache

@@ -1,0 +1,99 @@
+// Cost-sensitive LRU variants BCL and DCL (Sec. III-D, after Jeong &
+// Dubois, "Cache replacement algorithms with nonuniform miss costs").
+//
+// Both keep an LRU recency order but refuse to evict a costly LRU entry
+// when a more recently used, *cheaper* entry exists:
+//   victim = first entry, scanning from the LRU end towards MRU, whose
+//            miss cost is lower than the LRU's; fallback = the LRU.
+// When the LRU is spared, its cost is depreciated so a costly but
+// rarely-used entry cannot forever deflect evictions onto cheap,
+// highly-reused entries:
+//   * BCL depreciates immediately, as soon as the LRU is not evicted;
+//   * DCL depreciates lazily — only once an entry that was evicted in
+//     place of the LRU is re-accessed before the LRU itself is touched
+//     (evidence the deflection actually hurt).
+//
+// In SimFS the miss cost of an output step is its distance (in output
+// steps to re-simulate) from the closest previous restart step.
+#pragma once
+
+#include "cache/lru.hpp"
+
+#include <list>
+#include <unordered_map>
+
+namespace simfs::cache {
+
+/// Common machinery for BCL/DCL: cost-guided victim selection over the
+/// inherited LRU recency list.
+///
+/// The deflection search is bounded to a window above the LRU (a quarter
+/// of the capacity), following Jeong & Dubois' bounded candidate sets:
+/// an unbounded search degenerates on scan workloads, where it evicts
+/// mid-recency entries that trailing analyses are about to reuse.
+class CostAwareLruCache : public LruCache {
+ public:
+  explicit CostAwareLruCache(std::int64_t capacityEntries)
+      : LruCache(capacityEntries),
+        searchDepth_(std::max<std::int64_t>(1, capacityEntries / 4)) {}
+
+ protected:
+  /// Outcome of one victim-selection round, given to the depreciation hook.
+  struct Selection {
+    std::string victim;   ///< chosen victim (may equal lru)
+    std::string lru;      ///< the least-recent evictable entry
+    double victimCost = 0.0;
+    double lruCost = 0.0;
+    bool sparedLru = false;  ///< true when victim != lru
+  };
+
+  [[nodiscard]] std::optional<std::string> chooseVictim() final;
+
+  /// Depreciation policy: called after every selection that spared the LRU.
+  virtual void onLruSpared(const Selection& sel) = 0;
+
+ private:
+  [[nodiscard]] std::optional<Selection> select();
+
+  std::int64_t searchDepth_;
+};
+
+/// Basic Cost-sensitive LRU: immediate depreciation.
+class BclCache final : public CostAwareLruCache {
+ public:
+  explicit BclCache(std::int64_t capacityEntries)
+      : CostAwareLruCache(capacityEntries) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "BCL"; }
+
+ protected:
+  void onLruSpared(const Selection& sel) override;
+};
+
+/// Dynamic Cost-sensitive LRU: depreciation deferred until a deflected
+/// victim is re-accessed before the spared LRU.
+class DclCache final : public CostAwareLruCache {
+ public:
+  explicit DclCache(std::int64_t capacityEntries)
+      : CostAwareLruCache(capacityEntries) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "DCL"; }
+
+ protected:
+  void onLruSpared(const Selection& sel) override;
+  void hookMiss(const std::string& key) override;
+  void hookInsert(const std::string& key, double cost) override;
+
+ private:
+  struct Deflection {
+    std::string sparedLru;
+    double victimCost = 0.0;
+    std::uint64_t evictSeq = 0;
+  };
+
+  /// Ghosts of entries evicted instead of the LRU, bounded to capacity.
+  std::unordered_map<std::string, Deflection> ghosts_;
+  std::list<std::string> ghostOrder_;  // front = oldest
+};
+
+}  // namespace simfs::cache

@@ -1,0 +1,31 @@
+#include "cache/arc.hpp"
+#include "cache/cache.hpp"
+#include "cache/cost_aware.hpp"
+#include "cache/lirs.hpp"
+#include "cache/lru.hpp"
+
+namespace simfs::cache {
+
+std::unique_ptr<Cache> makeCache(simmodel::PolicyKind kind,
+                                 std::int64_t capacityEntries,
+                                 std::uint64_t seed) {
+  switch (kind) {
+    case simmodel::PolicyKind::kLru:
+      return std::make_unique<LruCache>(capacityEntries);
+    case simmodel::PolicyKind::kLirs:
+      return std::make_unique<LirsCache>(capacityEntries);
+    case simmodel::PolicyKind::kArc:
+      return std::make_unique<ArcCache>(capacityEntries);
+    case simmodel::PolicyKind::kBcl:
+      return std::make_unique<BclCache>(capacityEntries);
+    case simmodel::PolicyKind::kDcl:
+      return std::make_unique<DclCache>(capacityEntries);
+    case simmodel::PolicyKind::kFifo:
+      return std::make_unique<FifoCache>(capacityEntries);
+    case simmodel::PolicyKind::kRandom:
+      return std::make_unique<RandomCache>(capacityEntries, seed);
+  }
+  return std::make_unique<LruCache>(capacityEntries);
+}
+
+}  // namespace simfs::cache

@@ -1,0 +1,179 @@
+#include "cache/lirs.hpp"
+
+#include "common/status.hpp"
+
+#include <algorithm>
+
+namespace simfs::cache {
+
+LirsCache::LirsCache(std::int64_t capacityEntries, double hirFraction)
+    : Cache(capacityEntries) {
+  const std::int64_t cap = std::max<std::int64_t>(capacityEntries, 1);
+  lhirs_ = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(static_cast<double>(cap) * hirFraction));
+  llirs_ = std::max<std::int64_t>(1, cap - lhirs_);
+}
+
+void LirsCache::stackPushFront(const std::string& key, Meta& meta) {
+  stack_.push_front(key);
+  meta.stackIt = stack_.begin();
+  meta.inStack = true;
+}
+
+void LirsCache::stackErase(const std::string& key, Meta& meta) {
+  (void)key;
+  if (!meta.inStack) return;
+  stack_.erase(meta.stackIt);
+  meta.inStack = false;
+}
+
+void LirsCache::queuePushBack(const std::string& key, Meta& meta) {
+  queue_.push_back(key);
+  meta.queueIt = std::prev(queue_.end());
+  meta.inQueue = true;
+}
+
+void LirsCache::queueErase(const std::string& key, Meta& meta) {
+  (void)key;
+  if (!meta.inQueue) return;
+  queue_.erase(meta.queueIt);
+  meta.inQueue = false;
+}
+
+void LirsCache::pruneStack() {
+  while (!stack_.empty()) {
+    const auto& bottom = stack_.back();
+    auto it = meta_.find(bottom);
+    SIMFS_CHECK(it != meta_.end());
+    if (it->second.state == State::kLir) return;
+    // Non-LIR at the bottom: remove from the stack; ghosts vanish entirely.
+    it->second.inStack = false;
+    stack_.pop_back();
+    if (it->second.state == State::kGhost) meta_.erase(it);
+  }
+}
+
+void LirsCache::demoteBottomLir() {
+  pruneStack();
+  if (stack_.empty()) return;
+  const std::string bottom = stack_.back();
+  auto& meta = meta_.at(bottom);
+  SIMFS_CHECK(meta.state == State::kLir);
+  meta.state = State::kHirResident;
+  stackErase(bottom, meta);
+  queuePushBack(bottom, meta);
+  --nLir_;
+  pruneStack();
+}
+
+void LirsCache::boundGhosts() {
+  // Keep |S| within 3x capacity by discarding the oldest ghosts.
+  const auto bound =
+      static_cast<std::size_t>(3 * std::max<std::int64_t>(capacity(), 1));
+  if (stack_.size() <= bound) return;
+  for (auto it = std::prev(stack_.end());
+       stack_.size() > bound && it != stack_.begin();) {
+    auto cur = it--;
+    auto mit = meta_.find(*cur);
+    SIMFS_CHECK(mit != meta_.end());
+    if (mit->second.state == State::kGhost) {
+      stack_.erase(cur);
+      meta_.erase(mit);
+    }
+  }
+}
+
+void LirsCache::hookHit(const std::string& key) {
+  auto& meta = meta_.at(key);
+  if (meta.state == State::kLir) {
+    const bool wasBottom = meta.inStack && meta.stackIt == std::prev(stack_.end());
+    stackErase(key, meta);
+    stackPushFront(key, meta);
+    if (wasBottom) pruneStack();
+    return;
+  }
+  SIMFS_CHECK(meta.state == State::kHirResident);
+  if (meta.inStack) {
+    // Short inter-reference recency: promote to LIR.
+    stackErase(key, meta);
+    queueErase(key, meta);
+    meta.state = State::kLir;
+    ++nLir_;
+    stackPushFront(key, meta);
+    if (nLir_ > llirs_) demoteBottomLir();
+  } else {
+    // Long recency: stay HIR, refresh both stack and queue position.
+    stackPushFront(key, meta);
+    queueErase(key, meta);
+    queuePushBack(key, meta);
+  }
+}
+
+void LirsCache::hookInsert(const std::string& key, double /*cost*/) {
+  auto it = meta_.find(key);
+  if (it != meta_.end() && it->second.state == State::kGhost) {
+    // Re-reference of a ghost within the stack: insert as LIR.
+    auto& meta = it->second;
+    stackErase(key, meta);
+    meta.state = State::kLir;
+    ++nLir_;
+    stackPushFront(key, meta);
+    if (nLir_ > llirs_) demoteBottomLir();
+    boundGhosts();
+    return;
+  }
+  Meta meta;
+  if (nLir_ < llirs_) {
+    // Cold start: the first Llirs distinct entries seed the LIR set.
+    meta.state = State::kLir;
+    ++nLir_;
+    stackPushFront(key, meta);
+  } else {
+    meta.state = State::kHirResident;
+    stackPushFront(key, meta);
+    queuePushBack(key, meta);
+  }
+  meta_[key] = meta;
+  boundGhosts();
+}
+
+void LirsCache::hookRemove(const std::string& key, bool evicted) {
+  auto it = meta_.find(key);
+  if (it == meta_.end()) return;
+  auto& meta = it->second;
+  if (meta.state == State::kHirResident) {
+    queueErase(key, meta);
+    if (evicted && meta.inStack) {
+      meta.state = State::kGhost;  // keep history in the stack
+    } else {
+      stackErase(key, meta);
+      meta_.erase(it);
+    }
+  } else if (meta.state == State::kLir) {
+    stackErase(key, meta);
+    --nLir_;
+    meta_.erase(it);
+    pruneStack();
+  } else {
+    stackErase(key, meta);
+    meta_.erase(it);
+  }
+}
+
+std::optional<std::string> LirsCache::chooseVictim() {
+  for (const auto& key : queue_) {
+    if (isEvictable(key)) return key;
+    bumpPinSkips();
+  }
+  // Every resident HIR is pinned (or Q empty): fall back to the coldest
+  // unpinned LIR entry, scanning the stack bottom-up.
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+    const auto mit = meta_.find(*it);
+    if (mit == meta_.end() || mit->second.state != State::kLir) continue;
+    if (isEvictable(*it)) return *it;
+    bumpPinSkips();
+  }
+  return std::nullopt;
+}
+
+}  // namespace simfs::cache

@@ -1,0 +1,72 @@
+// LIRS — Low Inter-reference Recency Set (Jiang & Zhang, SIGMETRICS'02),
+// cited by the paper as the reuse-distance-based alternative to LRU.
+//
+// Entries are partitioned into LIR (hot, always resident) and HIR blocks;
+// resident HIR entries wait in a FIFO queue Q and are the preferred
+// eviction victims, while the LIRS stack S tracks recency and
+// inter-reference recency to promote/demote entries between the sets.
+// Non-resident HIR entries linger in S as ghosts so that a quick
+// re-reference earns promotion to LIR.
+//
+// SimFS adaptations: victims must be unpinned (reference-counted output
+// steps), and when every resident HIR is pinned the bottom-most unpinned
+// LIR entry is demoted and evicted as a fallback. The paper observes LIRS
+// behaves poorly on backward scans (Fig. 5) — a property this
+// implementation reproduces.
+#pragma once
+
+#include "cache/cache.hpp"
+
+#include <list>
+#include <unordered_map>
+
+namespace simfs::cache {
+
+class LirsCache final : public Cache {
+ public:
+  /// `hirFraction` of the capacity is reserved for resident HIR entries
+  /// (at least one); the classic choice is ~1%.
+  explicit LirsCache(std::int64_t capacityEntries, double hirFraction = 0.01);
+
+  [[nodiscard]] const char* name() const noexcept override { return "LIRS"; }
+
+  /// LIR-set capacity (diagnostic).
+  [[nodiscard]] std::int64_t lirCapacity() const noexcept { return llirs_; }
+
+ protected:
+  void hookHit(const std::string& key) override;
+  void hookInsert(const std::string& key, double cost) override;
+  void hookRemove(const std::string& key, bool evicted) override;
+  [[nodiscard]] std::optional<std::string> chooseVictim() override;
+
+ private:
+  enum class State { kLir, kHirResident, kGhost };
+
+  struct Meta {
+    State state = State::kHirResident;
+    bool inStack = false;
+    bool inQueue = false;
+    std::list<std::string>::iterator stackIt{};
+    std::list<std::string>::iterator queueIt{};
+  };
+
+  void stackPushFront(const std::string& key, Meta& meta);
+  void stackErase(const std::string& key, Meta& meta);
+  void queuePushBack(const std::string& key, Meta& meta);
+  void queueErase(const std::string& key, Meta& meta);
+  /// Removes non-LIR entries from the stack bottom (classic pruning).
+  void pruneStack();
+  /// Demotes the stack's bottom LIR entry to resident HIR (queue tail).
+  void demoteBottomLir();
+  /// Drops oldest ghosts once the stack grows beyond its bound.
+  void boundGhosts();
+
+  std::int64_t llirs_;  ///< max LIR entries
+  std::int64_t lhirs_;  ///< target resident-HIR entries
+  std::int64_t nLir_ = 0;
+  std::list<std::string> stack_;  // front = most recent
+  std::list<std::string> queue_;  // front = oldest resident HIR
+  std::unordered_map<std::string, Meta> meta_;
+};
+
+}  // namespace simfs::cache

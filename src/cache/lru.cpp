@@ -1,0 +1,93 @@
+#include "cache/lru.hpp"
+
+namespace simfs::cache {
+
+// ------------------------------------------------------------------ LruCache
+
+void LruCache::hookHit(const std::string& key) {
+  const auto it = pos_.find(key);
+  recency_.splice(recency_.begin(), recency_, it->second);
+}
+
+void LruCache::hookInsert(const std::string& key, double /*cost*/) {
+  recency_.push_front(key);
+  pos_[key] = recency_.begin();
+}
+
+void LruCache::hookRemove(const std::string& key, bool /*evicted*/) {
+  const auto it = pos_.find(key);
+  if (it == pos_.end()) return;
+  recency_.erase(it->second);
+  pos_.erase(it);
+}
+
+std::optional<std::string> LruCache::chooseVictim() {
+  for (auto it = recency_.rbegin(); it != recency_.rend(); ++it) {
+    if (isEvictable(*it)) return *it;
+    bumpPinSkips();
+  }
+  return std::nullopt;
+}
+
+// ----------------------------------------------------------------- FifoCache
+
+void FifoCache::hookHit(const std::string& /*key*/) {}
+
+void FifoCache::hookInsert(const std::string& key, double /*cost*/) {
+  order_.push_back(key);
+  pos_[key] = std::prev(order_.end());
+}
+
+void FifoCache::hookRemove(const std::string& key, bool /*evicted*/) {
+  const auto it = pos_.find(key);
+  if (it == pos_.end()) return;
+  order_.erase(it->second);
+  pos_.erase(it);
+}
+
+std::optional<std::string> FifoCache::chooseVictim() {
+  for (const auto& key : order_) {
+    if (isEvictable(key)) return key;
+    bumpPinSkips();
+  }
+  return std::nullopt;
+}
+
+// --------------------------------------------------------------- RandomCache
+
+void RandomCache::hookHit(const std::string& /*key*/) {}
+
+void RandomCache::hookInsert(const std::string& key, double /*cost*/) {
+  pos_[key] = keys_.size();
+  keys_.push_back(key);
+}
+
+void RandomCache::hookRemove(const std::string& key, bool /*evicted*/) {
+  const auto it = pos_.find(key);
+  if (it == pos_.end()) return;
+  const std::size_t idx = it->second;
+  const std::size_t last = keys_.size() - 1;
+  if (idx != last) {
+    keys_[idx] = keys_[last];
+    pos_[keys_[idx]] = idx;
+  }
+  keys_.pop_back();
+  pos_.erase(it);
+}
+
+std::optional<std::string> RandomCache::chooseVictim() {
+  if (keys_.empty()) return std::nullopt;
+  // A few random probes, then a linear sweep (covers heavy pinning).
+  for (int probe = 0; probe < 8; ++probe) {
+    const auto idx = static_cast<std::size_t>(
+        rng_.uniformInt(0, static_cast<std::int64_t>(keys_.size()) - 1));
+    if (isEvictable(keys_[idx])) return keys_[idx];
+    bumpPinSkips();
+  }
+  for (const auto& key : keys_) {
+    if (isEvictable(key)) return key;
+  }
+  return std::nullopt;
+}
+
+}  // namespace simfs::cache

@@ -1,0 +1,78 @@
+// Recency-ordered policies: LRU plus the FIFO and RANDOM baselines
+// (the latter two are beyond-paper reference points for the ablation
+// benches).
+#pragma once
+
+#include "cache/cache.hpp"
+#include "common/rng.hpp"
+
+#include <list>
+#include <unordered_map>
+
+namespace simfs::cache {
+
+/// Classic Least-Recently-Used with pin awareness: the victim is the
+/// least-recent *unpinned* entry.
+class LruCache : public Cache {
+ public:
+  explicit LruCache(std::int64_t capacityEntries) : Cache(capacityEntries) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "LRU"; }
+
+ protected:
+  void hookHit(const std::string& key) override;
+  void hookInsert(const std::string& key, double cost) override;
+  void hookRemove(const std::string& key, bool evicted) override;
+  [[nodiscard]] std::optional<std::string> chooseVictim() override;
+
+  /// Recency list: front = MRU, back = LRU. Exposed to the cost-aware
+  /// subclasses (BCL/DCL) which reuse LRU ordering.
+  [[nodiscard]] const std::list<std::string>& recency() const noexcept {
+    return recency_;
+  }
+
+ private:
+  std::list<std::string> recency_;
+  std::unordered_map<std::string, std::list<std::string>::iterator> pos_;
+};
+
+/// First-In-First-Out: insertion order, hits do not refresh.
+class FifoCache final : public Cache {
+ public:
+  explicit FifoCache(std::int64_t capacityEntries) : Cache(capacityEntries) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "FIFO"; }
+
+ protected:
+  void hookHit(const std::string& key) override;
+  void hookInsert(const std::string& key, double cost) override;
+  void hookRemove(const std::string& key, bool evicted) override;
+  [[nodiscard]] std::optional<std::string> chooseVictim() override;
+
+ private:
+  std::list<std::string> order_;  // front = oldest
+  std::unordered_map<std::string, std::list<std::string>::iterator> pos_;
+};
+
+/// Uniform-random eviction among unpinned residents.
+class RandomCache final : public Cache {
+ public:
+  RandomCache(std::int64_t capacityEntries, std::uint64_t seed)
+      : Cache(capacityEntries), rng_(seed) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "RANDOM"; }
+
+ protected:
+  void hookHit(const std::string& key) override;
+  void hookInsert(const std::string& key, double cost) override;
+  void hookRemove(const std::string& key, bool evicted) override;
+  [[nodiscard]] std::optional<std::string> chooseVictim() override;
+
+ private:
+  // Swap-with-last vector for O(1) removal and O(1) sampling.
+  std::vector<std::string> keys_;
+  std::unordered_map<std::string, std::size_t> pos_;
+  Rng rng_;
+};
+
+}  // namespace simfs::cache

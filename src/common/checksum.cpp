@@ -1,0 +1,79 @@
+#include "common/checksum.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace simfs {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+std::array<std::uint32_t, 256> makeCrc32cTable() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  constexpr std::uint32_t poly = 0x82F63B78U;  // reflected Castagnoli
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1U) ? (crc >> 1) ^ poly : (crc >> 1);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc32cTable() noexcept {
+  static const auto table = makeCrc32cTable();
+  return table;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::span<const std::byte> data) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(std::string_view data) noexcept {
+  return fnv1a64(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(data.data()), data.size()));
+}
+
+std::uint32_t crc32c(std::span<const std::byte> data) noexcept {
+  const auto& table = crc32cTable();
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (std::byte b : data) {
+    crc = table[(crc ^ static_cast<std::uint32_t>(b)) & 0xFFU] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+std::uint32_t crc32c(std::string_view data) noexcept {
+  return crc32c(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(data.data()), data.size()));
+}
+
+void Fnv1a64Hasher::update(std::span<const std::byte> data) noexcept {
+  for (std::byte b : data) {
+    state_ ^= static_cast<std::uint64_t>(b);
+    state_ *= kFnvPrime;
+  }
+}
+
+void Fnv1a64Hasher::update(std::string_view data) noexcept {
+  update(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(data.data()), data.size()));
+}
+
+std::string digestToHex(std::uint64_t digest) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+}  // namespace simfs

@@ -1,0 +1,56 @@
+// Checksums backing SIMFS_Bitrep (Sec. III-C2).
+//
+// The paper compares a re-simulated file's checksum against the one recorded
+// when the initial simulation ran; the checksum function is
+// simulator-specific. We provide FNV-1a 64 (default, fast) and CRC-32C
+// (common in archival tooling) behind one incremental interface.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace simfs {
+
+/// FNV-1a 64-bit over a byte span.
+[[nodiscard]] std::uint64_t fnv1a64(std::span<const std::byte> data) noexcept;
+
+/// FNV-1a 64-bit over a string.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data) noexcept;
+
+/// CRC-32C (Castagnoli) over a byte span, software table driven.
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::byte> data) noexcept;
+
+/// CRC-32C over a string.
+[[nodiscard]] std::uint32_t crc32c(std::string_view data) noexcept;
+
+/// Incremental FNV-1a 64 hasher; feed chunks, then read digest().
+class Fnv1a64Hasher {
+ public:
+  /// Absorbs a chunk of bytes.
+  void update(std::span<const std::byte> data) noexcept;
+
+  /// Absorbs a string chunk.
+  void update(std::string_view data) noexcept;
+
+  /// Absorbs a trivially-copyable value byte-wise (for struct fields).
+  template <typename T>
+  void updateValue(const T& v) noexcept {
+    static_assert(std::is_trivially_copyable_v<T>);
+    update(std::span<const std::byte>(
+        reinterpret_cast<const std::byte*>(&v), sizeof(T)));
+  }
+
+  /// Current digest (can keep updating afterwards).
+  [[nodiscard]] std::uint64_t digest() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xCBF29CE484222325ULL;
+};
+
+/// Renders a 64-bit digest as fixed-width lowercase hex.
+[[nodiscard]] std::string digestToHex(std::uint64_t digest);
+
+}  // namespace simfs

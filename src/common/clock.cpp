@@ -1,0 +1,18 @@
+#include "common/clock.hpp"
+
+#include <cassert>
+#include <chrono>
+
+namespace simfs {
+
+VTime RealClock::now() const noexcept {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t).count();
+}
+
+void ManualClock::advanceTo(VTime t) noexcept {
+  assert(t >= now_ && "ManualClock cannot move backwards");
+  if (t > now_) now_ = t;
+}
+
+}  // namespace simfs

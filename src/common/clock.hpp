@@ -1,0 +1,43 @@
+// Clock abstraction: the DV core and DVLib never read wall time directly.
+//
+// In live (daemon) mode they are given a RealClock; in discrete-event mode
+// the engine advances a ManualClock. This is the seam that lets the same
+// DV code run the paper's experiments in virtual time.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace simfs {
+
+/// Monotonic time source interface.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in virtual-time nanoseconds. Monotonic, non-decreasing.
+  [[nodiscard]] virtual VTime now() const noexcept = 0;
+};
+
+/// Wall-clock backed by std::chrono::steady_clock.
+class RealClock final : public Clock {
+ public:
+  [[nodiscard]] VTime now() const noexcept override;
+};
+
+/// Manually-advanced clock used by the discrete-event engine and by tests.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(VTime start = 0) noexcept : now_(start) {}
+
+  [[nodiscard]] VTime now() const noexcept override { return now_; }
+
+  /// Moves time forward to `t`; moving backwards is an invariant violation.
+  void advanceTo(VTime t) noexcept;
+
+  /// Moves time forward by `d` nanoseconds.
+  void advanceBy(VDuration d) noexcept { advanceTo(now_ + d); }
+
+ private:
+  VTime now_;
+};
+
+}  // namespace simfs

@@ -1,0 +1,26 @@
+#include "common/env.hpp"
+
+#include "common/strings.hpp"
+
+#include <cstdlib>
+
+namespace simfs::env {
+
+std::optional<std::string> get(const std::string& name) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return std::nullopt;
+  return std::string(v);
+}
+
+std::string getOr(const std::string& name, std::string fallback) {
+  auto v = get(name);
+  return v ? *v : std::move(fallback);
+}
+
+std::optional<std::int64_t> getInt(const std::string& name) {
+  const auto v = get(name);
+  if (!v) return std::nullopt;
+  return str::parseInt(*v);
+}
+
+}  // namespace simfs::env

@@ -1,0 +1,22 @@
+// Environment-variable helpers.
+//
+// The paper configures the transparent mode's simulation context through an
+// environment variable (Sec. III-C1: SIMFS_CONTEXT); DVLib reads it here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace simfs::env {
+
+/// Returns the variable's value or nullopt if unset.
+[[nodiscard]] std::optional<std::string> get(const std::string& name);
+
+/// Returns the variable's value or `fallback` if unset.
+[[nodiscard]] std::string getOr(const std::string& name, std::string fallback);
+
+/// Parses an integer-valued variable; nullopt if unset or unparsable.
+[[nodiscard]] std::optional<std::int64_t> getInt(const std::string& name);
+
+}  // namespace simfs::env

@@ -1,0 +1,115 @@
+#include "common/ini.hpp"
+
+#include "common/strings.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace simfs {
+
+Result<IniDoc> IniDoc::parse(std::string_view text) {
+  IniDoc doc;
+  std::string section;
+  int lineno = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto nl = text.find('\n', pos);
+    const auto lineEnd = (nl == std::string_view::npos) ? text.size() : nl;
+    std::string_view line = str::trim(text.substr(pos, lineEnd - pos));
+    pos = lineEnd + 1;
+    ++lineno;
+    if (nl == std::string_view::npos && line.empty()) break;
+    if (line.empty() || line.front() == ';' || line.front() == '#') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        return errInvalidArgument(
+            str::format("ini: malformed section header at line %d", lineno));
+      }
+      section = std::string(str::trim(line.substr(1, line.size() - 2)));
+      doc.sections_[section];  // materialize even if empty
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return errInvalidArgument(
+          str::format("ini: missing '=' at line %d", lineno));
+    }
+    const auto key = std::string(str::trim(line.substr(0, eq)));
+    const auto value = std::string(str::trim(line.substr(eq + 1)));
+    if (key.empty()) {
+      return errInvalidArgument(str::format("ini: empty key at line %d", lineno));
+    }
+    doc.sections_[section][key] = value;
+  }
+  return doc;
+}
+
+Result<IniDoc> IniDoc::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return errIoError("ini: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+std::optional<std::string> IniDoc::get(const std::string& section,
+                                       const std::string& key) const {
+  const auto sit = sections_.find(section);
+  if (sit == sections_.end()) return std::nullopt;
+  const auto kit = sit->second.find(key);
+  if (kit == sit->second.end()) return std::nullopt;
+  return kit->second;
+}
+
+std::optional<std::int64_t> IniDoc::getInt(const std::string& section,
+                                           const std::string& key) const {
+  const auto v = get(section, key);
+  if (!v) return std::nullopt;
+  return str::parseInt(*v);
+}
+
+std::optional<double> IniDoc::getDouble(const std::string& section,
+                                        const std::string& key) const {
+  const auto v = get(section, key);
+  if (!v) return std::nullopt;
+  return str::parseDouble(*v);
+}
+
+std::string IniDoc::getOr(const std::string& section, const std::string& key,
+                          std::string fallback) const {
+  auto v = get(section, key);
+  return v ? *v : std::move(fallback);
+}
+
+std::int64_t IniDoc::getIntOr(const std::string& section,
+                              const std::string& key,
+                              std::int64_t fallback) const {
+  const auto v = getInt(section, key);
+  return v ? *v : fallback;
+}
+
+double IniDoc::getDoubleOr(const std::string& section, const std::string& key,
+                           double fallback) const {
+  const auto v = getDouble(section, key);
+  return v ? *v : fallback;
+}
+
+bool IniDoc::hasSection(const std::string& section) const {
+  return sections_.count(section) > 0;
+}
+
+std::vector<std::string> IniDoc::keys(const std::string& section) const {
+  std::vector<std::string> out;
+  const auto sit = sections_.find(section);
+  if (sit == sections_.end()) return out;
+  out.reserve(sit->second.size());
+  for (const auto& [k, _] : sit->second) out.push_back(k);
+  return out;
+}
+
+void IniDoc::set(const std::string& section, const std::string& key,
+                 std::string value) {
+  sections_[section][key] = std::move(value);
+}
+
+}  // namespace simfs

@@ -1,0 +1,68 @@
+// Tiny INI parser used for simulation-driver descriptions.
+//
+// The paper attaches a LUA script to each simulator (Sec. III-B); this repo
+// replaces it with a C++ SimulationDriver interface configured from small
+// `.drv` files of the form:
+//
+//   [context]
+//   name = cosmo-5min
+//   delta_d = 15
+//   delta_r = 96
+//   ; comments start with ';' or '#'
+#pragma once
+
+#include "common/status.hpp"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simfs {
+
+/// Parsed INI document: section -> key -> value, with typed getters.
+class IniDoc {
+ public:
+  /// Parses text; returns an error with a line number on malformed input.
+  [[nodiscard]] static Result<IniDoc> parse(std::string_view text);
+
+  /// Loads and parses a file.
+  [[nodiscard]] static Result<IniDoc> load(const std::string& path);
+
+  /// Raw value lookup; nullopt if section or key is missing.
+  [[nodiscard]] std::optional<std::string> get(const std::string& section,
+                                               const std::string& key) const;
+
+  /// Typed lookups; nullopt if missing or unparsable.
+  [[nodiscard]] std::optional<std::int64_t> getInt(const std::string& section,
+                                                   const std::string& key) const;
+  [[nodiscard]] std::optional<double> getDouble(const std::string& section,
+                                                const std::string& key) const;
+
+  /// Value with default.
+  [[nodiscard]] std::string getOr(const std::string& section,
+                                  const std::string& key,
+                                  std::string fallback) const;
+  [[nodiscard]] std::int64_t getIntOr(const std::string& section,
+                                      const std::string& key,
+                                      std::int64_t fallback) const;
+  [[nodiscard]] double getDoubleOr(const std::string& section,
+                                   const std::string& key,
+                                   double fallback) const;
+
+  /// True if the section exists (even if empty).
+  [[nodiscard]] bool hasSection(const std::string& section) const;
+
+  /// All keys of a section in insertion-independent (sorted) order.
+  [[nodiscard]] std::vector<std::string> keys(const std::string& section) const;
+
+  /// Sets a value (used by tests and by programmatic driver construction).
+  void set(const std::string& section, const std::string& key,
+           std::string value);
+
+ private:
+  std::map<std::string, std::map<std::string, std::string>> sections_;
+};
+
+}  // namespace simfs

@@ -1,0 +1,56 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <mutex>
+
+namespace simfs::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_mutex;
+
+const char* levelName(Level l) noexcept {
+  switch (l) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void setLevel(Level level) noexcept { g_level.store(level); }
+
+Level level() noexcept { return g_level.load(); }
+
+bool setLevelFromString(const std::string& name) noexcept {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "trace") { setLevel(Level::kTrace); return true; }
+  if (lower == "debug") { setLevel(Level::kDebug); return true; }
+  if (lower == "info") { setLevel(Level::kInfo); return true; }
+  if (lower == "warn") { setLevel(Level::kWarn); return true; }
+  if (lower == "error") { setLevel(Level::kError); return true; }
+  if (lower == "off") { setLevel(Level::kOff); return true; }
+  return false;
+}
+
+void logf(Level level, const char* tag, const char* fmt, ...) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s %s] ", levelName(level), tag);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace simfs::log

@@ -1,0 +1,40 @@
+// Minimal leveled logger.
+//
+// The DV daemon and simulators log through this sink; benches keep it at
+// kWarn so tables stay clean. Thread-safe: one global sink guarded by a
+// mutex (logging is never on the DES hot path).
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace simfs::log {
+
+enum class Level : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global log threshold. Messages below it are dropped.
+void setLevel(Level level) noexcept;
+
+/// Returns the current global log threshold.
+[[nodiscard]] Level level() noexcept;
+
+/// Parses "trace|debug|info|warn|error|off" (case-insensitive).
+/// Unknown strings leave the level unchanged and return false.
+bool setLevelFromString(const std::string& name) noexcept;
+
+/// printf-style logging. `tag` is a short module name (e.g. "dv").
+void logf(Level level, const char* tag, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace simfs::log
+
+#define SIMFS_LOG_TRACE(tag, ...) \
+  ::simfs::log::logf(::simfs::log::Level::kTrace, tag, __VA_ARGS__)
+#define SIMFS_LOG_DEBUG(tag, ...) \
+  ::simfs::log::logf(::simfs::log::Level::kDebug, tag, __VA_ARGS__)
+#define SIMFS_LOG_INFO(tag, ...) \
+  ::simfs::log::logf(::simfs::log::Level::kInfo, tag, __VA_ARGS__)
+#define SIMFS_LOG_WARN(tag, ...) \
+  ::simfs::log::logf(::simfs::log::Level::kWarn, tag, __VA_ARGS__)
+#define SIMFS_LOG_ERROR(tag, ...) \
+  ::simfs::log::logf(::simfs::log::Level::kError, tag, __VA_ARGS__)

@@ -1,0 +1,80 @@
+// Deterministic random number generation for trace synthesis and
+// workload generators.
+//
+// xoshiro256** (public domain, Blackman & Vigna) seeded via SplitMix64.
+// All SimFS experiments take explicit seeds so every figure regenerates
+// bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace simfs {
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state from `seed` through SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Next 64 random bits.
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive (unbiased via rejection).
+  [[nodiscard]] std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniformReal() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniformReal(double lo, double hi) noexcept;
+
+  /// Exponentially distributed double with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Fisher-Yates shuffles a vector in place.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniformInt(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-trace streams).
+  [[nodiscard]] Rng split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf-distributed integer sampler over {0, ..., n-1} with exponent `s`.
+///
+/// Uses the classic inverse-CDF table (O(n) memory, O(log n) sample), which
+/// is exact — important because Fig. 5's ECMWF-like trace relies on a
+/// heavy-tailed popularity distribution.
+class ZipfSampler {
+ public:
+  /// `n` ranks, exponent `s` (>0). s≈0.9 approximates archival traces.
+  ZipfSampler(std::size_t n, double s);
+
+  /// Samples a rank in [0, n).
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace simfs

@@ -1,0 +1,98 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace simfs {
+
+std::vector<double> Summary::sorted() const {
+  std::vector<double> s = samples_;
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+double Summary::min() const {
+  assert(!empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  assert(!empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::mean() const {
+  assert(!empty());
+  double acc = 0.0;
+  for (double x : samples_) acc += x;
+  return acc / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::median() const { return quantile(0.5); }
+
+double Summary::quantile(double q) const {
+  assert(!empty());
+  assert(q >= 0.0 && q <= 1.0);
+  const auto s = sorted();
+  if (s.size() == 1) return s.front();
+  const double pos = q * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, s.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+Summary::Interval Summary::medianCi95() const {
+  assert(!empty());
+  const auto s = sorted();
+  const auto n = s.size();
+  if (n < 6) return {s.front(), s.back()};
+  // Binomial order-statistic bounds: ranks n/2 +- 1.96*sqrt(n)/2.
+  const double half = 1.96 * std::sqrt(static_cast<double>(n)) / 2.0;
+  const double mid = static_cast<double>(n) / 2.0;
+  auto clampIdx = [&](double r) {
+    if (r < 0) r = 0;
+    if (r > static_cast<double>(n - 1)) r = static_cast<double>(n - 1);
+    return static_cast<std::size_t>(r);
+  };
+  return {s[clampIdx(std::floor(mid - half))],
+          s[clampIdx(std::ceil(mid + half))]};
+}
+
+std::string Summary::toString() const {
+  if (empty()) return "(no samples)";
+  const auto ci = medianCi95();
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%.3f [%.3f, %.3f]", median(), ci.lo, ci.hi);
+  return buf;
+}
+
+Ema::Ema(double smoothing) noexcept : smoothing_(smoothing) {
+  assert(smoothing > 0.0 && smoothing <= 1.0);
+}
+
+void Ema::observe(double x) noexcept {
+  if (!primed_) {
+    value_ = x;
+    primed_ = true;
+  } else {
+    value_ = (1.0 - smoothing_) * value_ + smoothing_ * x;
+  }
+}
+
+void Ema::reset() noexcept {
+  value_ = 0.0;
+  primed_ = false;
+}
+
+}  // namespace simfs

@@ -1,0 +1,81 @@
+// Summary statistics for experiment harnesses.
+//
+// The paper reports medians with 95% confidence intervals over repeated
+// runs (Fig. 5 caption); Summary reproduces that reporting. Ema implements
+// the exponential moving average the DV uses to track restart latencies
+// (Sec. IV-C1c).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace simfs {
+
+/// Collects samples and reports order statistics.
+class Summary {
+ public:
+  /// Adds one observation.
+  void add(double x) { samples_.push_back(x); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double median() const;
+
+  /// Order-statistic quantile with linear interpolation, q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Nonparametric 95% CI of the median via binomial order statistics
+  /// (the standard way to put a CI on a median without normality).
+  struct Interval {
+    double lo = 0.0;
+    double hi = 0.0;
+  };
+  [[nodiscard]] Interval medianCi95() const;
+
+  /// "median [lo, hi]" convenience formatting.
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  /// Sorted copy of the samples (the collector itself is append-only).
+  [[nodiscard]] std::vector<double> sorted() const;
+
+  std::vector<double> samples_;
+};
+
+/// Exponential moving average: est <- (1-a)*est + a*observation.
+///
+/// The smoothing factor is a simulation-context parameter in the paper;
+/// SimFS uses it to estimate restart latencies (alpha_sim) online.
+class Ema {
+ public:
+  /// `smoothing` in (0, 1]; higher tracks recent observations faster.
+  explicit Ema(double smoothing = 0.5) noexcept;
+
+  /// Feeds one observation; the first observation initializes the estimate.
+  void observe(double x) noexcept;
+
+  /// Current estimate; 0 until the first observation.
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+  /// True once at least one observation was recorded.
+  [[nodiscard]] bool primed() const noexcept { return primed_; }
+
+  /// Drops all state (used when a prefetch agent resets).
+  void reset() noexcept;
+
+  [[nodiscard]] double smoothing() const noexcept { return smoothing_; }
+
+ private:
+  double smoothing_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace simfs

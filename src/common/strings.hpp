@@ -1,0 +1,45 @@
+// Small string helpers shared by the driver parser, trace I/O, and CLIs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simfs::str {
+
+/// Splits on a single character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Removes ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// True if `s` begins with `prefix`.
+[[nodiscard]] bool startsWith(std::string_view s, std::string_view prefix) noexcept;
+
+/// True if `s` ends with `suffix`.
+[[nodiscard]] bool endsWith(std::string_view s, std::string_view suffix) noexcept;
+
+/// Lowercases ASCII.
+[[nodiscard]] std::string toLower(std::string_view s);
+
+/// Parses a signed integer; rejects trailing garbage.
+[[nodiscard]] std::optional<std::int64_t> parseInt(std::string_view s) noexcept;
+
+/// Parses a double; rejects trailing garbage.
+[[nodiscard]] std::optional<double> parseDouble(std::string_view s) noexcept;
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins elements with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+[[nodiscard]] std::string replaceAll(std::string_view s, std::string_view from,
+                                     std::string_view to);
+
+}  // namespace simfs::str

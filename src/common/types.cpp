@@ -1,0 +1,68 @@
+#include "common/types.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace simfs {
+namespace vtime {
+
+std::string toString(VTime t) {
+  if (t == kNoTime) return "never";
+  if (t == kTimeInf) return "inf";
+  const bool neg = t < 0;
+  if (neg) t = -t;
+  std::array<char, 64> buf{};
+  const auto days = t / kDay;
+  t %= kDay;
+  const auto hours = t / kHour;
+  t %= kHour;
+  const auto mins = t / kMinute;
+  t %= kMinute;
+  const double secs = static_cast<double>(t) / static_cast<double>(kSecond);
+  int n = 0;
+  if (days > 0) {
+    n = std::snprintf(buf.data(), buf.size(), "%s%lldd%lldh%lldm%.3fs",
+                      neg ? "-" : "", static_cast<long long>(days),
+                      static_cast<long long>(hours),
+                      static_cast<long long>(mins), secs);
+  } else if (hours > 0) {
+    n = std::snprintf(buf.data(), buf.size(), "%s%lldh%lldm%.3fs",
+                      neg ? "-" : "", static_cast<long long>(hours),
+                      static_cast<long long>(mins), secs);
+  } else if (mins > 0) {
+    n = std::snprintf(buf.data(), buf.size(), "%s%lldm%.3fs", neg ? "-" : "",
+                      static_cast<long long>(mins), secs);
+  } else {
+    n = std::snprintf(buf.data(), buf.size(), "%s%.6fs", neg ? "-" : "", secs);
+  }
+  return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+}  // namespace vtime
+
+namespace bytes {
+
+std::string toString(Bytes b) {
+  std::array<char, 64> buf{};
+  int n = 0;
+  if (b >= TiB) {
+    n = std::snprintf(buf.data(), buf.size(), "%.2fTiB",
+                      static_cast<double>(b) / static_cast<double>(TiB));
+  } else if (b >= GiB) {
+    n = std::snprintf(buf.data(), buf.size(), "%.2fGiB",
+                      static_cast<double>(b) / static_cast<double>(GiB));
+  } else if (b >= MiB) {
+    n = std::snprintf(buf.data(), buf.size(), "%.2fMiB",
+                      static_cast<double>(b) / static_cast<double>(MiB));
+  } else if (b >= KiB) {
+    n = std::snprintf(buf.data(), buf.size(), "%.2fKiB",
+                      static_cast<double>(b) / static_cast<double>(KiB));
+  } else {
+    n = std::snprintf(buf.data(), buf.size(), "%lluB",
+                      static_cast<unsigned long long>(b));
+  }
+  return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+}  // namespace bytes
+}  // namespace simfs

@@ -1,0 +1,91 @@
+// Core value types shared by every SimFS module.
+//
+// SimFS models time as 64-bit signed nanoseconds ("virtual time", VTime).
+// All event-queue arithmetic is integral so discrete-event runs are exactly
+// reproducible; floating-point seconds only appear at API edges.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace simfs {
+
+/// Virtual time in nanoseconds. Signed so durations/differences are natural.
+using VTime = std::int64_t;
+
+/// A duration in virtual-time nanoseconds.
+using VDuration = std::int64_t;
+
+/// Index of an output step (d_i in the paper). Steps are numbered from 0.
+using StepIndex = std::int64_t;
+
+/// Index of a restart step (r_j in the paper).
+using RestartIndex = std::int64_t;
+
+/// Identifier of a connected client (analysis application) session.
+using ClientId = std::uint64_t;
+
+/// Identifier of a running (re-)simulation job.
+using SimJobId = std::uint64_t;
+
+/// Bytes; used for file sizes and storage quotas.
+using Bytes = std::uint64_t;
+
+/// Sentinel for "no step".
+inline constexpr StepIndex kNoStep = std::numeric_limits<StepIndex>::min();
+
+/// Sentinel for "never" / unset time.
+inline constexpr VTime kNoTime = std::numeric_limits<VTime>::min();
+
+/// Largest representable time (used as "infinity" in schedulers).
+inline constexpr VTime kTimeInf = std::numeric_limits<VTime>::max();
+
+namespace vtime {
+
+inline constexpr VTime kNanosecond = 1;
+inline constexpr VTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr VTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr VTime kSecond = 1000 * kMillisecond;
+inline constexpr VTime kMinute = 60 * kSecond;
+inline constexpr VTime kHour = 60 * kMinute;
+inline constexpr VTime kDay = 24 * kHour;
+
+/// Converts floating-point seconds to VTime, rounding to nearest ns.
+[[nodiscard]] constexpr VTime fromSeconds(double s) noexcept {
+  return static_cast<VTime>(s * static_cast<double>(kSecond) +
+                            (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts VTime to floating-point seconds.
+[[nodiscard]] constexpr double toSeconds(VTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Converts VTime to floating-point hours (cost models bill per node-hour).
+[[nodiscard]] constexpr double toHours(VTime t) noexcept {
+  return toSeconds(t) / 3600.0;
+}
+
+/// Renders a VTime as a short human-readable string, e.g. "2m3.5s".
+[[nodiscard]] std::string toString(VTime t);
+
+}  // namespace vtime
+
+namespace bytes {
+
+inline constexpr Bytes KiB = 1024;
+inline constexpr Bytes MiB = 1024 * KiB;
+inline constexpr Bytes GiB = 1024 * MiB;
+inline constexpr Bytes TiB = 1024 * GiB;
+
+/// Converts bytes to GiB as a double (cost models price $/GiB/month).
+[[nodiscard]] constexpr double toGiB(Bytes b) noexcept {
+  return static_cast<double>(b) / static_cast<double>(GiB);
+}
+
+/// Renders a byte count as a short human-readable string, e.g. "6.0GiB".
+[[nodiscard]] std::string toString(Bytes b);
+
+}  // namespace bytes
+}  // namespace simfs

@@ -1,0 +1,67 @@
+#include "cost/cost_model.hpp"
+
+#include <cmath>
+
+namespace simfs::cost {
+
+std::int64_t Scenario::restartIntervalSteps(double deltaRHours) const noexcept {
+  const double steps = deltaRHours * 60.0 / modelMinutesPerStep;
+  return static_cast<std::int64_t>(std::llround(steps));
+}
+
+std::int64_t Scenario::numRestartFiles(double deltaRHours) const noexcept {
+  const auto interval = restartIntervalSteps(deltaRHours);
+  if (interval <= 0) return 0;
+  return (numOutputSteps + interval - 1) / interval;
+}
+
+Scenario cosmoScenario() noexcept { return Scenario{}; }
+
+double simCost(std::int64_t outputSteps, const Scenario& s,
+               const CostRates& rates) noexcept {
+  const double hoursPerStep = s.tauSimSeconds / 3600.0;
+  return static_cast<double>(outputSteps) * hoursPerStep *
+         static_cast<double>(s.nodes) * rates.computePerNodeHour;
+}
+
+double storeCost(std::int64_t files, double sizeGiB, double months,
+                 const CostRates& rates) noexcept {
+  return static_cast<double>(files) * sizeGiB * months *
+         rates.storagePerGiBMonth;
+}
+
+double onDiskCost(const Scenario& s, double months,
+                  const CostRates& rates) noexcept {
+  return simCost(s.numOutputSteps, s, rates) +
+         storeCost(s.numOutputSteps, s.outputGiB, months, rates);
+}
+
+double inSituCost(const Scenario& s, const std::vector<AnalysisSpan>& analyses,
+                  const CostRates& rates) noexcept {
+  double total = 0.0;
+  for (const auto& a : analyses) {
+    // The simulation must run from step 0 through the last accessed step;
+    // the prefix d_0 .. d_{i_j - 1} is produced but useless to the analysis.
+    total += simCost(a.start + a.length, s, rates);
+  }
+  return total;
+}
+
+double simfsCost(const Scenario& s, double months, double deltaRHours,
+                 double cacheFraction, std::int64_t resimulatedSteps,
+                 const CostRates& rates) noexcept {
+  const std::int64_t cacheSteps = static_cast<std::int64_t>(
+      cacheFraction * static_cast<double>(s.numOutputSteps));
+  return simCost(s.numOutputSteps, s, rates)  // initial run (writes restarts)
+         + storeCost(s.numRestartFiles(deltaRHours), s.restartGiB, months,
+                     rates)                   // restart files
+         + storeCost(cacheSteps, s.outputGiB, months, rates)  // cache
+         + simCost(resimulatedSteps, s, rates);               // V(gamma)
+}
+
+double resimulationHours(const Scenario& s,
+                         std::int64_t resimulatedSteps) noexcept {
+  return static_cast<double>(resimulatedSteps) * s.tauSimSeconds / 3600.0;
+}
+
+}  // namespace simfs::cost

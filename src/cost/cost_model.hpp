@@ -1,0 +1,110 @@
+// Cost models for simulation data analysis (Sec. V, Table II).
+//
+// Symbols (Table II):
+//   dt   - simulation data availability period (months)
+//   c_c  - compute cost ($/node/hour)
+//   c_s  - storage cost ($/GiB/month)
+//   n    - number of timesteps
+//   n_o  - number of output steps
+//   n_r  - number of restart steps
+//   s_o  - output step size (GiB)
+//   s_r  - restart step size (GiB)
+//   P    - compute nodes used to run re-simulations
+//
+// Building blocks:
+//   C_sim(O, P)        = O * tau_sim(P) * P * c_c
+//   C_store(F, m, dt)  = F * m * dt * c_s
+// Models:
+//   C_on-disk(dt) = C_sim(n_o, N) + C_store(n_o, s_o, dt)
+//   C_SimFS(dt)   = C_sim(n_o, P) + C_store(n_r, s_r, dt)
+//                 + C_store(M, s_o, dt) + C_sim(V(gamma_dt), P)
+//   C_in-situ(dt) = sum_j C_sim(i_j + |gamma_dt(j)|, P)
+#pragma once
+
+#include "common/types.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace simfs::cost {
+
+/// Platform price calibration.
+struct CostRates {
+  double computePerNodeHour = 0.0;  ///< c_c ($/node/hour)
+  double storagePerGiBMonth = 0.0;  ///< c_s ($/GiB/month)
+};
+
+/// Microsoft Azure calibration used by the paper (NCv2 VM + File share).
+[[nodiscard]] constexpr CostRates azureRates() noexcept {
+  return CostRates{2.07, 0.06};
+}
+
+/// Piz Daint calibration (derived from the public CSCS cost catalog;
+/// approximate, used for the Fig. 15a datapoint).
+[[nodiscard]] constexpr CostRates pizDaintRates() noexcept {
+  return CostRates{1.00, 0.04};
+}
+
+/// The COSMO production scenario of Sec. V-A.
+struct Scenario {
+  std::int64_t numOutputSteps = 8533;  ///< n_o: 50 TiB / 6 GiB per step
+  double tauSimSeconds = 20.0;         ///< tau_sim(P): one step per 20 s
+  int nodes = 100;                     ///< P
+  double outputGiB = 6.0;              ///< s_o
+  double restartGiB = 36.0;            ///< s_r
+  double modelMinutesPerStep = 5.0;    ///< model-time between output steps
+
+  /// Output steps per restart interval for a restart spacing given in
+  /// hours of *model* time (e.g. 8 h -> 96 steps at 5 min/step).
+  [[nodiscard]] std::int64_t restartIntervalSteps(double deltaRHours) const noexcept;
+
+  /// Number of restart files n_r on the timeline for a restart spacing.
+  [[nodiscard]] std::int64_t numRestartFiles(double deltaRHours) const noexcept;
+
+  /// Total output data volume in GiB (the "100%" for cache fractions).
+  [[nodiscard]] double totalOutputGiB() const noexcept {
+    return static_cast<double>(numOutputSteps) * outputGiB;
+  }
+};
+
+/// Default scenario exactly as calibrated in Sec. V-A.
+[[nodiscard]] Scenario cosmoScenario() noexcept;
+
+/// C_sim(O, P): cost of simulating `outputSteps` output steps.
+[[nodiscard]] double simCost(std::int64_t outputSteps, const Scenario& s,
+                             const CostRates& rates) noexcept;
+
+/// C_store(F files of `sizeGiB`, dt months).
+[[nodiscard]] double storeCost(std::int64_t files, double sizeGiB,
+                               double months, const CostRates& rates) noexcept;
+
+/// C_on-disk(dt): initial simulation + storing all output steps.
+[[nodiscard]] double onDiskCost(const Scenario& s, double months,
+                                const CostRates& rates) noexcept;
+
+/// One analysis for the in-situ model: starts at output step `start` and
+/// reads `length` steps forward.
+struct AnalysisSpan {
+  StepIndex start = 0;
+  std::int64_t length = 0;
+};
+
+/// C_in-situ(dt): every analysis j re-runs the simulation from step 0 to
+/// its last accessed step i_j + |gamma(j)|.
+[[nodiscard]] double inSituCost(const Scenario& s,
+                                const std::vector<AnalysisSpan>& analyses,
+                                const CostRates& rates) noexcept;
+
+/// C_SimFS(dt): initial simulation + restart-file storage + cache storage
+/// + re-simulated steps V(gamma_dt) (obtained from a cache replay).
+[[nodiscard]] double simfsCost(const Scenario& s, double months,
+                               double deltaRHours, double cacheFraction,
+                               std::int64_t resimulatedSteps,
+                               const CostRates& rates) noexcept;
+
+/// Wall-clock hours of re-simulation compute (Fig. 15c's y-axis):
+/// V * tau_sim / 3600.
+[[nodiscard]] double resimulationHours(const Scenario& s,
+                                       std::int64_t resimulatedSteps) noexcept;
+
+}  // namespace simfs::cost

@@ -1,0 +1,75 @@
+#include "cost/workload.hpp"
+
+#include "cache/cache.hpp"
+#include "simmodel/step_geometry.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace simfs::cost {
+
+std::vector<AnalysisSpan> makeForwardAnalyses(Rng& rng, int count,
+                                              std::int64_t numOutputSteps,
+                                              std::int64_t minLen,
+                                              std::int64_t maxLen) {
+  std::vector<AnalysisSpan> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    AnalysisSpan span;
+    span.length = rng.uniformInt(minLen, maxLen);
+    span.start = rng.uniformInt(0, std::max<std::int64_t>(numOutputSteps - 1, 0));
+    span.length = std::min(span.length, numOutputSteps - span.start);
+    out.push_back(span);
+  }
+  return out;
+}
+
+trace::Trace interleaveAnalyses(const std::vector<AnalysisSpan>& analyses,
+                                double overlap) {
+  overlap = std::clamp(overlap, 0.0, 1.0);
+  // Each access gets an abstract position; merging by position interleaves
+  // analyses exactly by the requested amount.
+  struct Cursor {
+    double pos;
+    StepIndex step;
+    std::size_t analysis;
+    std::int64_t remaining;
+    bool operator>(const Cursor& o) const noexcept { return pos > o.pos; }
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, std::greater<>> heap;
+  double startPos = 0.0;
+  for (std::size_t j = 0; j < analyses.size(); ++j) {
+    const auto& a = analyses[j];
+    if (a.length <= 0) continue;
+    heap.push(Cursor{startPos, a.start, j, a.length});
+    startPos += static_cast<double>(a.length) * (1.0 - overlap);
+  }
+  trace::Trace merged;
+  while (!heap.empty()) {
+    Cursor c = heap.top();
+    heap.pop();
+    merged.push_back(c.step);
+    if (--c.remaining > 0) {
+      ++c.step;
+      c.pos += 1.0;
+      heap.push(c);
+    }
+  }
+  return merged;
+}
+
+trace::ReplayResult evaluateVgamma(const Scenario& scenario,
+                                   const std::vector<AnalysisSpan>& analyses,
+                                   double overlap, const VgammaConfig& config) {
+  const auto merged = interleaveAnalyses(analyses, overlap);
+  const std::int64_t interval =
+      std::max<std::int64_t>(scenario.restartIntervalSteps(config.deltaRHours), 1);
+  // Geometry in "output step" units: delta_d = 1, delta_r = interval.
+  const simmodel::StepGeometry geometry(1, interval, scenario.numOutputSteps);
+  const auto cacheSteps = static_cast<std::int64_t>(
+      config.cacheFraction * static_cast<double>(scenario.numOutputSteps));
+  const auto cache = cache::makeCache(config.policy, cacheSteps);
+  return trace::replayTrace(merged, geometry, *cache);
+}
+
+}  // namespace simfs::cost

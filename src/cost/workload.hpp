@@ -1,0 +1,48 @@
+// Cost-study workload synthesis (Sec. V-A).
+//
+// "We use a number of synthetic analysis tools, accessing a sequence of
+//  output steps with a forward-in-time trajectory. Each of these sequences
+//  starts at a randomly selected output step [...]. We express the analysis
+//  overlap as the percentage of accesses that an analysis performs without
+//  being interleaved with others' execution."
+//
+// Overlap model: analysis j's k-th access happens at abstract position
+// pos_j + k, where pos_{j+1} = pos_j + len_j * (1 - overlap). At overlap 0
+// analyses run back-to-back; at overlap 1 they are fully interleaved.
+// The merged position-ordered stream feeds the cache replay which yields
+// V(gamma) — the number of re-simulated output steps.
+#pragma once
+
+#include "common/rng.hpp"
+#include "cost/cost_model.hpp"
+#include "simmodel/context.hpp"
+#include "trace/replay.hpp"
+
+#include <vector>
+
+namespace simfs::cost {
+
+/// Draws `count` forward analyses with random starts and U[minLen, maxLen]
+/// lengths over a timeline of `numOutputSteps` (spans are clipped).
+[[nodiscard]] std::vector<AnalysisSpan> makeForwardAnalyses(
+    Rng& rng, int count, std::int64_t numOutputSteps, std::int64_t minLen,
+    std::int64_t maxLen);
+
+/// Builds the merged access trace for the given overlap in [0, 1].
+[[nodiscard]] trace::Trace interleaveAnalyses(
+    const std::vector<AnalysisSpan>& analyses, double overlap);
+
+/// Everything needed to evaluate V(gamma) for one SimFS configuration.
+struct VgammaConfig {
+  double deltaRHours = 8.0;
+  double cacheFraction = 0.25;
+  simmodel::PolicyKind policy = simmodel::PolicyKind::kDcl;
+};
+
+/// Replays the interleaved workload through a cache of the configured
+/// size/policy and returns the replay counters (simulatedSteps is V).
+[[nodiscard]] trace::ReplayResult evaluateVgamma(
+    const Scenario& scenario, const std::vector<AnalysisSpan>& analyses,
+    double overlap, const VgammaConfig& config);
+
+}  // namespace simfs::cost

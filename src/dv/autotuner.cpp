@@ -1,0 +1,108 @@
+#include "dv/autotuner.hpp"
+
+#include "common/status.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simfs::dv {
+
+CacheAutotuner::CacheAutotuner(Config config, std::int64_t initialCacheSteps)
+    : config_(std::move(config)), cacheSteps_(initialCacheSteps) {
+  if (config_.maxCacheSteps <= 0) {
+    config_.maxCacheSteps = config_.scenario.numOutputSteps;
+  }
+  SIMFS_CHECK(config_.minCacheSteps >= 0);
+  SIMFS_CHECK(config_.maxCacheSteps >= config_.minCacheSteps);
+  SIMFS_CHECK(config_.growFactor > 1.0);
+  cacheSteps_ =
+      std::clamp(cacheSteps_, config_.minCacheSteps, config_.maxCacheSteps);
+}
+
+double CacheAutotuner::predictedResimSteps(std::int64_t cacheSteps) const {
+  if (windowSteps_ <= 0.0) return 0.0;
+  // Conservative counterfactual: caching fraction f of the timeline
+  // intercepts the same fraction of re-simulation work; shrinking gives
+  // it back. Anchored at the observed window.
+  const double total = static_cast<double>(config_.scenario.numOutputSteps);
+  const double fNow = static_cast<double>(cacheSteps_) / total;
+  const double fNew = static_cast<double>(cacheSteps) / total;
+  const double uncovered = std::max(1e-9, 1.0 - fNow);
+  const double scale = std::max(0.0, 1.0 - fNew) / uncovered;
+  return windowSteps_ * scale;
+}
+
+double CacheAutotuner::monthlyCostEstimate() const noexcept {
+  if (!primed_) return 0.0;
+  const double storage = cost::storeCost(
+      cacheSteps_, config_.scenario.outputGiB, 1.0, config_.rates);
+  const double compute =
+      cost::simCost(static_cast<std::int64_t>(std::llround(windowSteps_)),
+                    config_.scenario, config_.rates);
+  return storage + compute;
+}
+
+TuneDecision CacheAutotuner::observe(const TuneWindow& window) {
+  windowSteps_ = static_cast<double>(window.resimulatedSteps);
+  windowAccesses_ = static_cast<double>(window.accesses);
+  windowMissRate_ =
+      window.accesses == 0
+          ? 0.0
+          : static_cast<double>(window.misses) /
+                static_cast<double>(window.accesses);
+  primed_ = true;
+
+  auto costOf = [&](std::int64_t cacheSteps) {
+    const double storage = cost::storeCost(
+        cacheSteps, config_.scenario.outputGiB, 1.0, config_.rates);
+    const double compute = cost::simCost(
+        static_cast<std::int64_t>(std::llround(predictedResimSteps(cacheSteps))),
+        config_.scenario, config_.rates);
+    return storage + compute;
+  };
+
+  const double now = costOf(cacheSteps_);
+  const std::int64_t bigger = std::min(
+      config_.maxCacheSteps,
+      static_cast<std::int64_t>(
+          std::ceil(static_cast<double>(cacheSteps_) * config_.growFactor)));
+  const std::int64_t smaller = std::max(
+      config_.minCacheSteps,
+      static_cast<std::int64_t>(
+          std::floor(static_cast<double>(cacheSteps_) / config_.growFactor)));
+
+  TuneDecision decision;
+  decision.recommendedCacheSteps = cacheSteps_;
+
+  const double growSaving = now - costOf(bigger);
+  const double shrinkSaving = now - costOf(smaller);
+  // Hysteresis is anchored on the storage being bought/freed: a move must
+  // save meaningfully more than the storage-dollar delta it shuffles,
+  // otherwise noise in the window would cause endless reconfiguration.
+  auto storageDelta = [&](std::int64_t steps) {
+    return std::abs(cost::storeCost(steps - cacheSteps_,
+                                    config_.scenario.outputGiB, 1.0,
+                                    config_.rates));
+  };
+
+  if (bigger != cacheSteps_ &&
+      growSaving > config_.hysteresis * storageDelta(bigger) &&
+      growSaving >= shrinkSaving) {
+    decision.action = TuneDecision::Action::kGrow;
+    decision.recommendedCacheSteps = bigger;
+    decision.estimatedMonthlySaving = growSaving;
+  } else if (smaller != cacheSteps_ &&
+             shrinkSaving > config_.hysteresis * storageDelta(smaller)) {
+    decision.action = TuneDecision::Action::kShrink;
+    decision.recommendedCacheSteps = smaller;
+    decision.estimatedMonthlySaving = shrinkSaving;
+  }
+  return decision;
+}
+
+void CacheAutotuner::apply(const TuneDecision& decision) {
+  cacheSteps_ = std::clamp(decision.recommendedCacheSteps,
+                           config_.minCacheSteps, config_.maxCacheSteps);
+}
+
+}  // namespace simfs::dv

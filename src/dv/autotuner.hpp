@@ -1,0 +1,84 @@
+// Online configuration adaptation — the paper's stated future work.
+//
+// Sec. V-B: "we plan to use online information to dynamically adapt the
+// SimFS configuration (e.g., cache size, restart interval) in a future
+// work. [...] the reduced compute time due to having a bigger cache might
+// not be justified by the higher cost."
+//
+// The CacheAutotuner implements that loop: it watches the observed access
+// stream (hits, misses, re-simulated steps) over fixed windows, prices
+// both sides of the trade with the Sec. V cost model — storage dollars
+// for the cache, compute dollars for the re-simulations — and recommends
+// growing or shrinking the cache whenever the marginal economics say so.
+//
+// It is deliberately advisory (recommendation objects, not mutation): a
+// production deployment applies recommendations at context granularity
+// when convenient; the ablation bench and tests apply them eagerly.
+#pragma once
+
+#include "common/types.hpp"
+#include "cost/cost_model.hpp"
+
+#include <cstdint>
+#include <optional>
+
+namespace simfs::dv {
+
+/// One window's observations, fed by the deployment.
+struct TuneWindow {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t resimulatedSteps = 0;  ///< output steps produced for them
+};
+
+/// What the tuner suggests after a window.
+struct TuneDecision {
+  enum class Action { kKeep, kGrow, kShrink } action = Action::kKeep;
+  std::int64_t recommendedCacheSteps = 0;
+  /// Estimated $ saved per month by following the recommendation
+  /// (<= 0 for kKeep).
+  double estimatedMonthlySaving = 0.0;
+};
+
+/// Economic cache-size controller.
+class CacheAutotuner {
+ public:
+  struct Config {
+    cost::Scenario scenario;       ///< pricing of steps and bytes
+    cost::CostRates rates;         ///< platform $ rates
+    std::int64_t minCacheSteps = 0;
+    std::int64_t maxCacheSteps = 0;       ///< 0 = numOutputSteps
+    double growFactor = 1.25;             ///< step size of a grow/shrink
+    double hysteresis = 0.05;             ///< fraction of cost that must be saved
+  };
+
+  CacheAutotuner(Config config, std::int64_t initialCacheSteps);
+
+  /// Feeds one observation window; returns a decision.
+  [[nodiscard]] TuneDecision observe(const TuneWindow& window);
+
+  /// Applies a decision (the deployment confirmed it).
+  void apply(const TuneDecision& decision);
+
+  [[nodiscard]] std::int64_t cacheSteps() const noexcept { return cacheSteps_; }
+
+  /// Current estimate of the monthly cost of this configuration:
+  /// cache storage + re-simulation compute extrapolated from the last
+  /// window (0 until the first window arrives).
+  [[nodiscard]] double monthlyCostEstimate() const noexcept;
+
+ private:
+  /// Miss-rate model: a larger cache intercepts a fraction of misses
+  /// proportional to the coverage gain (conservative linear model; the
+  /// window data cannot see counterfactual hits).
+  [[nodiscard]] double predictedResimSteps(std::int64_t cacheSteps) const;
+
+  Config config_;
+  std::int64_t cacheSteps_;
+  bool primed_ = false;
+  double windowSteps_ = 0.0;     ///< re-simulated steps in the last window
+  double windowAccesses_ = 0.0;
+  double windowMissRate_ = 0.0;
+};
+
+}  // namespace simfs::dv

@@ -1,0 +1,281 @@
+#include "dv/daemon.hpp"
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace simfs::dv {
+
+namespace {
+constexpr const char* kTag = "daemon";
+
+std::int32_t codeOf(const Status& st) noexcept {
+  return static_cast<std::int32_t>(st.code());
+}
+}  // namespace
+
+/// One connected DVLib endpoint (analysis or simulator).
+struct Daemon::Session {
+  std::unique_ptr<msg::Transport> transport;
+  ClientId client = 0;       ///< 0 until kHello completes (analysis role)
+  bool isSimulator = false;
+};
+
+Daemon::Daemon() : core_(clock_) {
+  core_.setNotifyFn([this](ClientId c, const std::string& f, const Status& s) {
+    notifyClient(c, f, s);
+  });
+}
+
+Daemon::~Daemon() { stop(); }
+
+Status Daemon::registerContext(
+    std::unique_ptr<simmodel::SimulationDriver> driver) {
+  std::lock_guard lock(mutex_);
+  return core_.registerContext(std::move(driver));
+}
+
+void Daemon::setLauncher(SimLauncher* launcher) {
+  std::lock_guard lock(mutex_);
+  core_.setLauncher(launcher);
+}
+
+void Daemon::setEvictFn(DataVirtualizer::EvictFn fn) {
+  std::lock_guard lock(mutex_);
+  core_.setEvictFn(std::move(fn));
+}
+
+Status Daemon::seedAvailableStep(const std::string& context, StepIndex step) {
+  std::lock_guard lock(mutex_);
+  return core_.seedAvailableStep(context, step);
+}
+
+Status Daemon::setChecksumMap(const std::string& context,
+                              simmodel::ChecksumMap map) {
+  std::lock_guard lock(mutex_);
+  return core_.setChecksumMap(context, std::move(map));
+}
+
+void Daemon::serveTransport(std::unique_ptr<msg::Transport> transport) {
+  auto session = std::make_unique<Session>();
+  session->transport = std::move(transport);
+  Session* raw = session.get();
+  {
+    std::lock_guard lock(mutex_);
+    sessions_.push_back(std::move(session));
+  }
+  raw->transport->setCloseHandler([this, raw] {
+    std::lock_guard lock(mutex_);
+    if (raw->client != 0) {
+      core_.clientDisconnect(raw->client);
+      byClient_.erase(raw->client);
+      raw->client = 0;
+    }
+  });
+  raw->transport->setHandler(
+      [this, raw](msg::Message&& m) { handleMessage(raw, std::move(m)); });
+}
+
+std::unique_ptr<msg::Transport> Daemon::connectInProc() {
+  auto [serverEnd, clientEnd] = msg::makeInProcPair();
+  serveTransport(std::move(serverEnd));
+  return std::move(clientEnd);
+}
+
+Status Daemon::listen(const std::string& socketPath) {
+  server_ = std::make_unique<msg::UnixSocketServer>(socketPath);
+  return server_->start([this](std::unique_ptr<msg::Transport> conn) {
+    serveTransport(std::move(conn));
+  });
+}
+
+void Daemon::stop() {
+  if (server_) server_->stop();
+}
+
+void Daemon::notifyClient(ClientId client, const std::string& file,
+                          const Status& st) {
+  // Called from within core_ (mutex held). Sends don't re-enter the core.
+  const auto it = byClient_.find(client);
+  if (it == byClient_.end()) return;
+  msg::Message m;
+  m.type = msg::MsgType::kFileReady;
+  m.files = {file};
+  m.code = codeOf(st);
+  m.text = st.message();
+  if (!it->second->transport->send(m).isOk()) {
+    SIMFS_LOG_WARN(kTag, "client %llu unreachable",
+                   static_cast<unsigned long long>(client));
+  }
+}
+
+void Daemon::handleMessage(Session* session, msg::Message&& m) {
+  msg::Message reply;
+  reply.requestId = m.requestId;
+  bool sendReply = true;
+
+  std::lock_guard lock(mutex_);
+  switch (m.type) {
+    case msg::MsgType::kHello: {
+      if (static_cast<msg::ClientRole>(m.intArg) ==
+          msg::ClientRole::kSimulator) {
+        session->isSimulator = true;
+        reply.type = msg::MsgType::kHelloAck;
+        reply.code = codeOf(Status::ok());
+        break;
+      }
+      auto id = core_.clientConnect(m.context);
+      reply.type = msg::MsgType::kHelloAck;
+      if (id.isOk()) {
+        session->client = *id;
+        byClient_[*id] = session;
+        reply.code = codeOf(Status::ok());
+        reply.intArg = static_cast<std::int64_t>(*id);
+      } else {
+        reply.code = codeOf(id.status());
+        reply.text = id.status().message();
+      }
+      break;
+    }
+    case msg::MsgType::kOpenReq: {
+      reply.type = msg::MsgType::kOpenAck;
+      if (m.files.empty()) {
+        reply.code = codeOf(errInvalidArgument("open: no file"));
+        break;
+      }
+      const auto res = core_.clientOpen(session->client, m.files[0]);
+      reply.code = codeOf(res.status);
+      reply.text = res.status.message();
+      reply.intArg = res.available ? 1 : 0;
+      reply.intArg2 = res.estimatedWait;
+      reply.files = {m.files[0]};
+      break;
+    }
+    case msg::MsgType::kAcquireReq: {
+      reply.type = msg::MsgType::kAcquireAck;
+      Status worst = Status::ok();
+      VDuration maxWait = 0;
+      for (const auto& f : m.files) {
+        const auto res = core_.clientOpen(session->client, f);
+        if (!res.status.isOk()) {
+          worst = res.status;
+          continue;
+        }
+        if (res.available) {
+          reply.files.push_back(f);  // immediately ready subset
+        } else {
+          maxWait = std::max(maxWait, res.estimatedWait);
+        }
+      }
+      reply.code = codeOf(worst);
+      reply.text = worst.message();
+      reply.intArg2 = maxWait;
+      break;
+    }
+    case msg::MsgType::kCloseNotify: {
+      if (!m.files.empty()) {
+        (void)core_.clientRelease(session->client, m.files[0]);
+      }
+      sendReply = false;  // fire-and-forget (transparent-mode close)
+      break;
+    }
+    case msg::MsgType::kReleaseReq: {
+      reply.type = msg::MsgType::kReleaseAck;
+      Status st = m.files.empty()
+                      ? errInvalidArgument("release: no file")
+                      : core_.clientRelease(session->client, m.files[0]);
+      reply.code = codeOf(st);
+      reply.text = st.message();
+      break;
+    }
+    case msg::MsgType::kBitrepReq: {
+      reply.type = msg::MsgType::kBitrepAck;
+      if (m.files.empty()) {
+        reply.code = codeOf(errInvalidArgument("bitrep: no file"));
+        break;
+      }
+      const auto match = core_.clientBitrep(
+          session->client, m.files[0], static_cast<std::uint64_t>(m.intArg));
+      if (match.isOk()) {
+        reply.code = codeOf(Status::ok());
+        reply.intArg = *match ? 1 : 0;
+      } else {
+        reply.code = codeOf(match.status());
+        reply.text = match.status().message();
+      }
+      break;
+    }
+    case msg::MsgType::kSimFileClosed: {
+      if (!m.files.empty()) {
+        core_.simulationFileWritten(static_cast<SimJobId>(m.intArg),
+                                    m.files[0]);
+      }
+      sendReply = false;
+      break;
+    }
+    case msg::MsgType::kStatusReq: {
+      reply.type = msg::MsgType::kStatusAck;
+      const auto& s = core_.stats();
+      reply.code = codeOf(Status::ok());
+      reply.intArg = static_cast<std::int64_t>(s.stepsProduced);
+      reply.text = str::format(
+          "opens=%llu;hits=%llu;misses=%llu;jobs=%llu;demand=%llu;"
+          "prefetch=%llu;killed=%llu;steps=%llu;evictions=%llu;"
+          "notifications=%llu;agent_resets=%llu",
+          static_cast<unsigned long long>(s.opens),
+          static_cast<unsigned long long>(s.hits),
+          static_cast<unsigned long long>(s.misses),
+          static_cast<unsigned long long>(s.jobsLaunched),
+          static_cast<unsigned long long>(s.demandJobs),
+          static_cast<unsigned long long>(s.prefetchJobs),
+          static_cast<unsigned long long>(s.jobsKilled),
+          static_cast<unsigned long long>(s.stepsProduced),
+          static_cast<unsigned long long>(s.evictions),
+          static_cast<unsigned long long>(s.notifications),
+          static_cast<unsigned long long>(s.agentResets));
+      for (const auto& name : core_.contextNames()) {
+        reply.files.push_back(name);
+      }
+      break;
+    }
+    case msg::MsgType::kSimFinished: {
+      Status st = m.code == 0 ? Status::ok()
+                              : Status(static_cast<StatusCode>(m.code), m.text);
+      core_.simulationFinished(static_cast<SimJobId>(m.intArg), st);
+      sendReply = false;
+      break;
+    }
+    default: {
+      reply.type = msg::MsgType::kError;
+      reply.code = codeOf(errInvalidArgument("unhandled message type"));
+      break;
+    }
+  }
+  if (sendReply) (void)session->transport->send(reply);
+}
+
+void Daemon::simulationStarted(SimJobId job) {
+  std::lock_guard lock(mutex_);
+  core_.simulationStarted(job);
+}
+
+void Daemon::simulationFileWritten(SimJobId job, const std::string& file) {
+  std::lock_guard lock(mutex_);
+  core_.simulationFileWritten(job, file);
+}
+
+void Daemon::simulationFinished(SimJobId job, const Status& status) {
+  std::lock_guard lock(mutex_);
+  core_.simulationFinished(job, status);
+}
+
+DvStats Daemon::stats() const {
+  std::lock_guard lock(mutex_);
+  return core_.stats();
+}
+
+bool Daemon::isAvailable(const std::string& context, StepIndex step) const {
+  std::lock_guard lock(mutex_);
+  return core_.isAvailable(context, step);
+}
+
+}  // namespace simfs::dv

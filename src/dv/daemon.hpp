@@ -1,0 +1,89 @@
+// dv::Daemon — the live deployment wrapper around the DataVirtualizer core
+// (the "daemon process" of Sec. III).
+//
+// The daemon serializes access to the single-threaded DV core with a
+// mutex, speaks the msg:: protocol with DVLib clients over Transports
+// (in-process pairs or Unix-domain sockets), and forwards simulator
+// events from launcher threads. Notifications (kFileReady) flow back to
+// the transport a client connected on.
+#pragma once
+
+#include "common/clock.hpp"
+#include "dv/data_virtualizer.hpp"
+#include "msg/transport.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace simfs::dv {
+
+/// Thread-safe, transport-facing DV daemon.
+class Daemon {
+ public:
+  Daemon();
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  // --- setup (before serving) -------------------------------------------------
+
+  /// Registers a context on the core.
+  Status registerContext(std::unique_ptr<simmodel::SimulationDriver> driver);
+
+  /// Wires the launcher (e.g. ThreadedSimulatorFleet).
+  void setLauncher(SimLauncher* launcher);
+
+  /// Optional eviction sink (unlink files from the real store).
+  void setEvictFn(DataVirtualizer::EvictFn fn);
+
+  /// Seeds an available step (initial simulation output).
+  Status seedAvailableStep(const std::string& context, StepIndex step);
+
+  /// Installs reference checksums for SIMFS_Bitrep.
+  Status setChecksumMap(const std::string& context, simmodel::ChecksumMap map);
+
+  // --- serving ------------------------------------------------------------------
+
+  /// Attaches a client connection; the daemon handles its protocol until
+  /// the transport closes.
+  void serveTransport(std::unique_ptr<msg::Transport> transport);
+
+  /// Convenience: creates an in-process pair, serves one end, returns the
+  /// other for a DVLib client living in this process.
+  [[nodiscard]] std::unique_ptr<msg::Transport> connectInProc();
+
+  /// Binds a Unix-domain socket and serves every connection.
+  Status listen(const std::string& socketPath);
+
+  /// Stops the socket server (in-proc connections keep working).
+  void stop();
+
+  // --- simulator events (called by launcher implementations) ---------------------
+
+  void simulationStarted(SimJobId job);
+  void simulationFileWritten(SimJobId job, const std::string& file);
+  void simulationFinished(SimJobId job, const Status& status);
+
+  // --- inspection -----------------------------------------------------------------
+
+  [[nodiscard]] DvStats stats() const;
+  [[nodiscard]] bool isAvailable(const std::string& context, StepIndex step) const;
+
+ private:
+  struct Session;
+
+  void handleMessage(Session* session, msg::Message&& m);
+  void notifyClient(ClientId client, const std::string& file, const Status& st);
+
+  mutable std::mutex mutex_;
+  RealClock clock_;
+  DataVirtualizer core_;
+  std::unique_ptr<msg::UnixSocketServer> server_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::map<ClientId, Session*> byClient_;
+};
+
+}  // namespace simfs::dv

@@ -1,0 +1,505 @@
+#include "dv/data_virtualizer.hpp"
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace simfs::dv {
+
+namespace {
+constexpr const char* kTag = "dv";
+}  // namespace
+
+DataVirtualizer::ContextState::ContextState(
+    std::unique_ptr<simmodel::SimulationDriver> d)
+    : driver(std::move(d)),
+      area(driver->config().name, driver->config().cacheQuotaBytes),
+      cache(cache::makeCache(driver->config().policy,
+                             driver->config().cacheCapacitySteps())) {}
+
+DataVirtualizer::DataVirtualizer(const Clock& clock) : clock_(clock) {}
+
+DataVirtualizer::~DataVirtualizer() = default;
+
+Status DataVirtualizer::registerContext(
+    std::unique_ptr<simmodel::SimulationDriver> driver) {
+  SIMFS_CHECK(driver != nullptr);
+  const std::string name = driver->config().name;
+  if (contexts_.count(name) > 0) {
+    return errAlreadyExists("dv: context exists: " + name);
+  }
+  contexts_.emplace(name, std::make_unique<ContextState>(std::move(driver)));
+  SIMFS_LOG_INFO(kTag, "registered context '%s'", name.c_str());
+  return Status::ok();
+}
+
+Status DataVirtualizer::seedAvailableStep(const std::string& context,
+                                          StepIndex step) {
+  auto* ctx = findContext(context);
+  if (ctx == nullptr) return errNotFound("dv: no context: " + context);
+  const auto& cfg = ctx->driver->config();
+  if (!cfg.geometry.validStep(step)) {
+    return errOutOfRange(str::format("dv: step %lld outside timeline",
+                                     static_cast<long long>(step)));
+  }
+  auto& fs = ctx->files[step];
+  if (fs.kind == FileState::Kind::kAvailable) return Status::ok();
+  fs.kind = FileState::Kind::kAvailable;
+  fs.producer = 0;
+  const std::string file = cfg.codec.outputFile(step);
+  (void)ctx->area.addFile(file, cfg.outputStepBytes);
+  processEvictions(*ctx, ctx->cache->insert(
+                             file, static_cast<double>(
+                                       cfg.geometry.missCostSteps(step))));
+  return Status::ok();
+}
+
+Status DataVirtualizer::setChecksumMap(const std::string& context,
+                                       simmodel::ChecksumMap map) {
+  auto* ctx = findContext(context);
+  if (ctx == nullptr) return errNotFound("dv: no context: " + context);
+  ctx->checksums = std::move(map);
+  return Status::ok();
+}
+
+Result<ClientId> DataVirtualizer::clientConnect(const std::string& context) {
+  auto* ctx = findContext(context);
+  if (ctx == nullptr) return errNotFound("dv: no context: " + context);
+  const ClientId id = nextClient_++;
+  ClientInfo info;
+  info.id = id;
+  info.context = context;
+  info.agent = std::make_unique<prefetch::PrefetchAgent>(ctx->driver->config());
+  clients_.emplace(id, std::move(info));
+  SIMFS_LOG_DEBUG(kTag, "client %llu connected to '%s'",
+                  static_cast<unsigned long long>(id), context.c_str());
+  return id;
+}
+
+void DataVirtualizer::clientDisconnect(ClientId client) {
+  auto* info = findClient(client);
+  if (info == nullptr) return;
+  auto* ctx = findContext(info->context);
+  if (ctx != nullptr) {
+    // Drop every reference the client still holds.
+    for (const auto& [file, count] : info->refs) {
+      for (int i = 0; i < count; ++i) ctx->cache->unpin(file);
+    }
+    // Remove it from waiter lists.
+    for (auto& [step, fs] : ctx->files) {
+      std::erase(fs.waiters, client);
+    }
+  }
+  killUnneededPrefetches(client);
+  clients_.erase(client);
+}
+
+OpenResult DataVirtualizer::clientOpen(ClientId client,
+                                       const std::string& file) {
+  OpenResult res;
+  auto* info = findClient(client);
+  if (info == nullptr) {
+    res.status = errFailedPrecondition("dv: unknown client");
+    return res;
+  }
+  auto* ctx = findContext(info->context);
+  SIMFS_CHECK(ctx != nullptr);
+  const auto& cfg = ctx->driver->config();
+
+  // Restart files are always kept on disk (they are SimFS's fixed storage
+  // investment); opening one succeeds immediately.
+  if (cfg.codec.isRestartFile(file)) {
+    res.status = Status::ok();
+    res.available = true;
+    return res;
+  }
+
+  const auto key = ctx->driver->key(file);
+  if (!key) {
+    res.status = key.status();
+    return res;
+  }
+  const StepIndex step = *key;
+  if (!cfg.geometry.validStep(step)) {
+    res.status = errOutOfRange("dv: step outside timeline: " + file);
+    return res;
+  }
+
+  ++stats_.opens;
+  bool hit = false;
+  bool servedBySim = false;
+
+  const auto fit = ctx->files.find(step);
+  if (fit != ctx->files.end() && fit->second.kind == FileState::Kind::kAvailable) {
+    hit = true;
+    ++stats_.hits;
+    // Touch the replacement policy and take a reference.
+    const auto outcome = ctx->cache->access(
+        file, static_cast<double>(cfg.geometry.missCostSteps(step)));
+    SIMFS_CHECK(outcome.hit);
+    ctx->cache->pin(file);
+    ++info->refs[file];
+    res.status = Status::ok();
+    res.available = true;
+  } else if (fit != ctx->files.end()) {
+    // Pending: some job is already producing it.
+    ++stats_.misses;
+    servedBySim = true;
+    fit->second.waiters.push_back(client);
+    const auto jit = jobs_.find(fit->second.producer);
+    res.status = Status::ok();
+    res.available = false;
+    res.estimatedWait =
+        jit == jobs_.end() ? 0 : estimateWait(*ctx, jit->second, step);
+  } else {
+    // Missing: start the demand re-simulation from R(d_i) until at least
+    // the next restart step (Sec. II-A).
+    ++stats_.misses;
+    const auto& geom = cfg.geometry;
+    const StepIndex start =
+        geom.firstStepAtOrAfterRestart(geom.restartFor(step));
+    StepIndex stop = geom.lastStepOfRunUntil(geom.nextRestartAfter(step));
+    if (geom.numTimesteps() > 0) {
+      stop = std::min<StepIndex>(stop, geom.numOutputSteps() - 1);
+    }
+    const SimJobId job =
+        launchJob(*ctx, start, stop, info->agent->parallelismLevel(),
+                  JobPurpose::kDemand, client);
+    ++stats_.demandJobs;
+    info->agent->onJobLaunched(start, stop, /*prefetched=*/false);
+    auto& fs = ctx->files[step];
+    fs.kind = FileState::Kind::kPending;
+    fs.producer = job;
+    fs.waiters.push_back(client);
+    const auto jit = jobs_.find(job);
+    res.status = Status::ok();
+    res.available = false;
+    res.estimatedWait =
+        jit == jobs_.end() ? 0 : estimateWait(*ctx, jit->second, step);
+  }
+
+  const auto actions =
+      info->agent->onAccess(step, clock_.now(), hit, servedBySim);
+  applyAgentActions(*ctx, *info, actions);
+  return res;
+}
+
+Status DataVirtualizer::clientRelease(ClientId client, const std::string& file) {
+  auto* info = findClient(client);
+  if (info == nullptr) return errFailedPrecondition("dv: unknown client");
+  auto* ctx = findContext(info->context);
+  SIMFS_CHECK(ctx != nullptr);
+  const auto rit = info->refs.find(file);
+  if (rit == info->refs.end() || rit->second <= 0) {
+    return errFailedPrecondition("dv: release without open: " + file);
+  }
+  if (--rit->second == 0) info->refs.erase(rit);
+  ctx->cache->unpin(file);
+  return Status::ok();
+}
+
+Result<bool> DataVirtualizer::clientBitrep(ClientId client,
+                                           const std::string& file,
+                                           std::uint64_t digest) {
+  auto* info = findClient(client);
+  if (info == nullptr) return errFailedPrecondition("dv: unknown client");
+  auto* ctx = findContext(info->context);
+  SIMFS_CHECK(ctx != nullptr);
+  return ctx->checksums.matches(file, digest);
+}
+
+SimJobId DataVirtualizer::launchJob(ContextState& ctx, StepIndex start,
+                                    StepIndex stop, int level,
+                                    JobPurpose purpose, ClientId owner) {
+  SIMFS_CHECK(launcher_ != nullptr);
+  const auto& cfg = ctx.driver->config();
+  // Align the start onto its restart step: the simulator can only begin
+  // from a restart file.
+  const StepIndex alignedStart =
+      cfg.geometry.firstStepAtOrAfterRestart(cfg.geometry.restartFor(start));
+  stop = std::max(stop, start);
+
+  const SimJobId id = nextJob_++;
+  JobInfo job;
+  job.id = id;
+  job.context = cfg.name;
+  job.startStep = alignedStart;
+  job.stopStep = stop;
+  job.level = level;
+  job.purpose = purpose;
+  job.owner = owner;
+  job.launchTime = clock_.now();
+  jobs_.emplace(id, job);
+  ++ctx.running;
+  ++stats_.jobsLaunched;
+
+  // Every not-yet-available step in the range becomes pending under this
+  // job (steps already pending keep their first producer).
+  for (StepIndex s = alignedStart; s <= stop; ++s) {
+    if (!cfg.geometry.validStep(s)) break;
+    auto [it, inserted] = ctx.files.try_emplace(s);
+    if (inserted) {
+      it->second.kind = FileState::Kind::kPending;
+      it->second.producer = id;
+    }
+  }
+
+  launcher_->launch(id, ctx.driver->makeJob(alignedStart, stop, level));
+  SIMFS_LOG_DEBUG(kTag, "job %llu launched [%lld, %lld] level=%d %s",
+                  static_cast<unsigned long long>(id),
+                  static_cast<long long>(alignedStart),
+                  static_cast<long long>(stop), level,
+                  purpose == JobPurpose::kDemand ? "demand" : "prefetch");
+  return id;
+}
+
+void DataVirtualizer::applyAgentActions(ContextState& ctx, ClientInfo& client,
+                                        const prefetch::AgentActions& actions) {
+  if (actions.pollutionDetected) {
+    // Sec. IV-C: produced-then-evicted before use. Reset every agent.
+    ++stats_.agentResets;
+    SIMFS_LOG_DEBUG(kTag, "cache pollution detected; resetting agents");
+    for (auto& [id, ci] : clients_) {
+      if (ci.context == client.context) ci.agent->reset();
+    }
+  }
+  if (actions.trajectoryAbandoned) {
+    killUnneededPrefetches(client.id);
+  }
+  const int sMax = ctx.driver->config().sMax;
+  for (const auto& req : actions.launches) {
+    if (ctx.running >= sMax) break;  // s_max clamps prefetch depth
+    const SimJobId job = launchJob(ctx, req.startStep, req.stopStep,
+                                   req.parallelismLevel, JobPurpose::kPrefetch,
+                                   client.id);
+    ++stats_.prefetchJobs;
+    // Report the job range actually launched (start is restart-aligned).
+    const auto& info = jobs_.at(job);
+    client.agent->onJobLaunched(info.startStep, info.stopStep,
+                                /*prefetched=*/true);
+  }
+}
+
+void DataVirtualizer::simulationStarted(SimJobId job) {
+  const auto it = jobs_.find(job);
+  if (it == jobs_.end()) return;
+  it->second.phase = JobPhase::kRunning;
+}
+
+void DataVirtualizer::simulationFileWritten(SimJobId job,
+                                            const std::string& file) {
+  const auto it = jobs_.find(job);
+  if (it == jobs_.end()) return;  // late event from a killed job
+  auto& info = it->second;
+  auto* ctx = findContext(info.context);
+  SIMFS_CHECK(ctx != nullptr);
+  const auto key = ctx->driver->key(file);
+  if (!key) {
+    SIMFS_LOG_WARN(kTag, "simulator wrote unparsable file '%s'", file.c_str());
+    return;
+  }
+  ++stats_.stepsProduced;
+
+  const VTime now = clock_.now();
+  const auto tauCfg = ctx->driver->config().perf.at(info.level).tauSim;
+  if (!info.firstFileSeen) {
+    info.firstFileSeen = true;
+    // Observed restart latency: launch -> first file, minus the one
+    // production interval the first file itself took (Sec. IV-C1c).
+    const VDuration alpha =
+        std::max<VDuration>(0, (now - info.launchTime) - tauCfg);
+    for (auto& [id, ci] : clients_) {
+      if (ci.context == info.context) ci.agent->observeRestartLatency(alpha);
+    }
+  } else {
+    const VDuration tau = now - info.lastFileTime;
+    if (tau > 0) {
+      for (auto& [id, ci] : clients_) {
+        if (ci.context == info.context) ci.agent->observeTauSim(tau);
+      }
+    }
+  }
+  info.lastFileTime = now;
+
+  makeAvailable(*ctx, *key, job);
+}
+
+void DataVirtualizer::makeAvailable(ContextState& ctx, StepIndex step,
+                                    SimJobId producer) {
+  const auto& cfg = ctx.driver->config();
+  if (!cfg.geometry.validStep(step)) return;
+  const std::string file = cfg.codec.outputFile(step);
+
+  auto [it, inserted] = ctx.files.try_emplace(step);
+  auto& fs = it->second;
+  if (!inserted && fs.kind == FileState::Kind::kAvailable) {
+    return;  // overwrite of an existing file: nothing changes
+  }
+  fs.kind = FileState::Kind::kAvailable;
+  fs.producer = producer;
+
+  (void)ctx.area.addFile(file, cfg.outputStepBytes);
+  const auto evicted = ctx.cache->insert(
+      file, static_cast<double>(cfg.geometry.missCostSteps(step)));
+
+  // Wake the waiters: each takes its reference now.
+  std::vector<ClientId> waiters;
+  waiters.swap(fs.waiters);
+  for (const ClientId w : waiters) {
+    auto* wi = findClient(w);
+    if (wi == nullptr) continue;
+    ctx.cache->pin(file);
+    ++wi->refs[file];
+    ++stats_.notifications;
+    if (notify_) notify_(w, file, Status::ok());
+  }
+
+  processEvictions(ctx, evicted);
+}
+
+void DataVirtualizer::processEvictions(ContextState& ctx,
+                                       const std::vector<std::string>& evicted) {
+  const auto& cfg = ctx.driver->config();
+  for (const auto& file : evicted) {
+    ++stats_.evictions;
+    const auto key = ctx.driver->key(file);
+    if (key) ctx.files.erase(*key);
+    (void)ctx.area.removeFile(file);
+    if (evict_) evict_(cfg.name, file);
+  }
+}
+
+void DataVirtualizer::simulationFinished(SimJobId job, const Status& status) {
+  const auto it = jobs_.find(job);
+  if (it == jobs_.end()) return;
+  auto& info = it->second;
+  auto* ctx = findContext(info.context);
+  SIMFS_CHECK(ctx != nullptr);
+  if (info.phase == JobPhase::kQueued || info.phase == JobPhase::kRunning) {
+    --ctx->running;
+  }
+  info.phase = status.isOk() ? JobPhase::kFinished : JobPhase::kFailed;
+
+  if (!status.isOk()) {
+    // Propagate restart failure to everything this job owed (Sec. III-C2:
+    // the SIMFS_Status carries error states such as "restart failed").
+    for (StepIndex s = info.startStep; s <= info.stopStep; ++s) {
+      const auto fit = ctx->files.find(s);
+      if (fit == ctx->files.end() ||
+          fit->second.kind != FileState::Kind::kPending ||
+          fit->second.producer != job) {
+        continue;
+      }
+      const std::string file = ctx->driver->config().codec.outputFile(s);
+      for (const ClientId w : fit->second.waiters) {
+        ++stats_.notifications;
+        if (notify_) notify_(w, file, status);
+      }
+      ctx->files.erase(fit);
+    }
+    SIMFS_LOG_WARN(kTag, "job %llu failed: %s",
+                   static_cast<unsigned long long>(job),
+                   status.toString().c_str());
+  }
+  jobs_.erase(it);
+}
+
+void DataVirtualizer::killUnneededPrefetches(ClientId client) {
+  std::vector<SimJobId> toKill;
+  for (auto& [id, job] : jobs_) {
+    if (job.owner != client || job.purpose != JobPurpose::kPrefetch) continue;
+    if (job.phase != JobPhase::kQueued && job.phase != JobPhase::kRunning) {
+      continue;
+    }
+    auto* ctx = findContext(job.context);
+    SIMFS_CHECK(ctx != nullptr);
+    // Killable only if no analysis waits for any step it still owes.
+    bool needed = false;
+    for (StepIndex s = job.startStep; s <= job.stopStep && !needed; ++s) {
+      const auto fit = ctx->files.find(s);
+      if (fit != ctx->files.end() &&
+          fit->second.kind == FileState::Kind::kPending &&
+          fit->second.producer == id && !fit->second.waiters.empty()) {
+        needed = true;
+      }
+    }
+    if (!needed) toKill.push_back(id);
+  }
+  for (const SimJobId id : toKill) {
+    auto& job = jobs_.at(id);
+    auto* ctx = findContext(job.context);
+    SIMFS_CHECK(ctx != nullptr);
+    launcher_->kill(id);
+    // Steps it still owed revert to missing.
+    for (StepIndex s = job.startStep; s <= job.stopStep; ++s) {
+      const auto fit = ctx->files.find(s);
+      if (fit != ctx->files.end() &&
+          fit->second.kind == FileState::Kind::kPending &&
+          fit->second.producer == id) {
+        ctx->files.erase(fit);
+      }
+    }
+    --ctx->running;
+    ++stats_.jobsKilled;
+    jobs_.erase(id);
+    SIMFS_LOG_DEBUG(kTag, "killed prefetch job %llu",
+                    static_cast<unsigned long long>(id));
+  }
+}
+
+VDuration DataVirtualizer::estimateWait(const ContextState& ctx,
+                                        const JobInfo& job,
+                                        StepIndex step) const {
+  const auto& perf = ctx.driver->config().perf.at(job.level);
+  const std::int64_t stepsToGo = std::max<std::int64_t>(step - job.startStep + 1, 1);
+  const VTime eta = job.launchTime + perf.alphaSim + stepsToGo * perf.tauSim;
+  return std::max<VDuration>(0, eta - clock_.now());
+}
+
+DataVirtualizer::ContextState* DataVirtualizer::findContext(
+    const std::string& name) {
+  const auto it = contexts_.find(name);
+  return it == contexts_.end() ? nullptr : it->second.get();
+}
+
+const DataVirtualizer::ContextState* DataVirtualizer::findContext(
+    const std::string& name) const {
+  const auto it = contexts_.find(name);
+  return it == contexts_.end() ? nullptr : it->second.get();
+}
+
+DataVirtualizer::ClientInfo* DataVirtualizer::findClient(ClientId id) {
+  const auto it = clients_.find(id);
+  return it == clients_.end() ? nullptr : &it->second;
+}
+
+bool DataVirtualizer::isAvailable(const std::string& context,
+                                  StepIndex step) const {
+  const auto* ctx = findContext(context);
+  if (ctx == nullptr) return false;
+  const auto it = ctx->files.find(step);
+  return it != ctx->files.end() &&
+         it->second.kind == FileState::Kind::kAvailable;
+}
+
+int DataVirtualizer::runningJobs(const std::string& context) const {
+  const auto* ctx = findContext(context);
+  return ctx == nullptr ? 0 : ctx->running;
+}
+
+const cache::CacheStats* DataVirtualizer::cacheStats(
+    const std::string& context) const {
+  const auto* ctx = findContext(context);
+  return ctx == nullptr ? nullptr : &ctx->cache->stats();
+}
+
+std::vector<std::string> DataVirtualizer::contextNames() const {
+  std::vector<std::string> out;
+  out.reserve(contexts_.size());
+  for (const auto& [name, _] : contexts_) out.push_back(name);
+  return out;
+}
+
+}  // namespace simfs::dv

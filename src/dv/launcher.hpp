@@ -1,0 +1,33 @@
+// Simulation launching seam between the DV core and the simulator
+// substrate (Sec. III-B).
+//
+// The DV never runs simulations itself: it renders a JobSpec through the
+// context's SimulationDriver and hands it to a SimLauncher. Launcher
+// implementations:
+//   * simulator::DesSimulatorFleet  — virtual-time actors on the engine
+//   * simulator::ThreadedSimulatorFleet — scaled wall-clock threads
+// Both report progress back through DataVirtualizer::simulation*() calls.
+#pragma once
+
+#include "common/types.hpp"
+#include "simmodel/driver.hpp"
+
+namespace simfs::dv {
+
+/// Starts and kills simulation jobs on behalf of the DV.
+class SimLauncher {
+ public:
+  virtual ~SimLauncher() = default;
+
+  /// Launches the job `spec` under DV-assigned id `job`. The launcher must
+  /// eventually deliver simulationStarted / simulationFileWritten /
+  /// simulationFinished events back to the DV (possibly after a queuing
+  /// delay, which is part of the observed restart latency).
+  virtual void launch(SimJobId job, const simmodel::JobSpec& spec) = 0;
+
+  /// Best-effort kill of a running/queued job. Steps already written stay;
+  /// the DV revokes only the not-yet-produced range.
+  virtual void kill(SimJobId job) = 0;
+};
+
+}  // namespace simfs::dv

@@ -1,0 +1,356 @@
+#include "dvlib/iolib.hpp"
+
+#include <cstring>
+
+namespace simfs::dvlib {
+
+namespace {
+constexpr char kMagic[4] = {'S', 'N', 'C', '1'};
+
+int rc(const Status& st) { return static_cast<int>(st.code()); }
+int rc(StatusCode code) { return static_cast<int>(code); }
+}  // namespace
+
+std::string encodeField(std::span<const double> values) {
+  std::string out;
+  out.reserve(sizeof(kMagic) + sizeof(std::uint64_t) +
+              values.size() * sizeof(double));
+  out.append(kMagic, sizeof(kMagic));
+  const std::uint64_t n = values.size();
+  out.append(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.append(reinterpret_cast<const char*>(values.data()),
+             values.size() * sizeof(double));
+  return out;
+}
+
+Result<std::vector<double>> decodeField(std::string_view blob) {
+  if (blob.size() < sizeof(kMagic) + sizeof(std::uint64_t) ||
+      std::memcmp(blob.data(), kMagic, sizeof(kMagic)) != 0) {
+    return errInvalidArgument("iolib: not an SNC1 payload");
+  }
+  std::uint64_t n = 0;
+  std::memcpy(&n, blob.data() + sizeof(kMagic), sizeof(n));
+  const std::size_t expect =
+      sizeof(kMagic) + sizeof(std::uint64_t) + n * sizeof(double);
+  if (blob.size() != expect) {
+    return errInvalidArgument("iolib: truncated SNC1 payload");
+  }
+  std::vector<double> values(n);
+  std::memcpy(values.data(), blob.data() + sizeof(kMagic) + sizeof(n),
+              n * sizeof(double));
+  return values;
+}
+
+IoDispatch& IoDispatch::instance() {
+  static IoDispatch dispatch;
+  return dispatch;
+}
+
+void IoDispatch::installAnalysis(SimFSClient* client, vfs::FileStore* store) {
+  std::lock_guard lock(mutex_);
+  role_ = Role::kAnalysis;
+  client_ = client;
+  store_ = store;
+  onFileClosed_ = nullptr;
+  handles_.clear();
+}
+
+void IoDispatch::installSimulator(
+    std::function<void(const std::string&)> onFileClosed,
+    vfs::FileStore* store) {
+  std::lock_guard lock(mutex_);
+  role_ = Role::kSimulator;
+  client_ = nullptr;
+  store_ = store;
+  onFileClosed_ = std::move(onFileClosed);
+  handles_.clear();
+}
+
+void IoDispatch::installPassthrough(vfs::FileStore* store) {
+  std::lock_guard lock(mutex_);
+  role_ = Role::kPassthrough;
+  client_ = nullptr;
+  store_ = store;
+  onFileClosed_ = nullptr;
+  handles_.clear();
+}
+
+void IoDispatch::reset() {
+  std::lock_guard lock(mutex_);
+  role_ = Role::kNone;
+  client_ = nullptr;
+  store_ = nullptr;
+  onFileClosed_ = nullptr;
+  handles_.clear();
+}
+
+Result<std::int64_t> IoDispatch::openForRead(const std::string& name) {
+  SimFSClient* client = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    if (role_ == Role::kNone || store_ == nullptr) {
+      return errFailedPrecondition("iolib: no installation");
+    }
+    client = role_ == Role::kAnalysis ? client_ : nullptr;
+    if (client == nullptr && !store_->exists(name)) {
+      return errNotFound("iolib: no file " + name);
+    }
+  }
+  if (client != nullptr) {
+    // The paper's non-blocking open: the DV may kick off a re-simulation;
+    // the read blocks later.
+    auto info = client->open(name);
+    if (!info) return info.status();
+  }
+  std::lock_guard lock(mutex_);
+  const auto id = nextHandle_++;
+  handles_[id] = Handle{name, /*writing=*/false, {}};
+  return id;
+}
+
+Result<std::int64_t> IoDispatch::createForWrite(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  if (role_ == Role::kNone || store_ == nullptr) {
+    return errFailedPrecondition("iolib: no installation");
+  }
+  if (role_ == Role::kAnalysis) {
+    return errFailedPrecondition("iolib: analysis role cannot create");
+  }
+  const auto id = nextHandle_++;
+  handles_[id] = Handle{name, /*writing=*/true, {}};
+  return id;
+}
+
+Result<std::string> IoDispatch::readAll(std::int64_t handle) {
+  std::string name;
+  SimFSClient* client = nullptr;
+  vfs::FileStore* store = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = handles_.find(handle);
+    if (it == handles_.end()) return errNotFound("iolib: bad handle");
+    if (it->second.writing) {
+      return errFailedPrecondition("iolib: handle open for write");
+    }
+    name = it->second.name;
+    client = role_ == Role::kAnalysis ? client_ : nullptr;
+    store = store_;
+  }
+  if (client != nullptr) {
+    // Blocking point of the intercepted read (Fig. 4 step 6).
+    SIMFS_RETURN_IF_ERROR(client->waitFile(name));
+  }
+  return store->read(name);
+}
+
+Status IoDispatch::write(std::int64_t handle, std::string content) {
+  std::lock_guard lock(mutex_);
+  const auto it = handles_.find(handle);
+  if (it == handles_.end()) return errNotFound("iolib: bad handle");
+  if (!it->second.writing) {
+    return errFailedPrecondition("iolib: handle open for read");
+  }
+  it->second.buffer = std::move(content);
+  return Status::ok();
+}
+
+Status IoDispatch::close(std::int64_t handle) {
+  Handle h;
+  SimFSClient* client = nullptr;
+  vfs::FileStore* store = nullptr;
+  std::function<void(const std::string&)> onFileClosed;
+  Role role;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = handles_.find(handle);
+    if (it == handles_.end()) return errNotFound("iolib: bad handle");
+    h = std::move(it->second);
+    handles_.erase(it);
+    client = client_;
+    store = store_;
+    onFileClosed = onFileClosed_;
+    role = role_;
+  }
+  if (h.writing) {
+    SIMFS_RETURN_IF_ERROR(store->put(h.name, std::move(h.buffer)));
+    // Close is the signal that the file is ready on disk (Fig. 4 step 4).
+    if (role == Role::kSimulator && onFileClosed) onFileClosed(h.name);
+    return Status::ok();
+  }
+  // Analysis close: dereference the output step at the DV.
+  if (role == Role::kAnalysis && client != nullptr) {
+    client->closeNotify(h.name);
+  }
+  return Status::ok();
+}
+
+Result<std::string> IoDispatch::nameOf(std::int64_t handle) const {
+  std::lock_guard lock(mutex_);
+  const auto it = handles_.find(handle);
+  if (it == handles_.end()) return errNotFound("iolib: bad handle");
+  return it->second.name;
+}
+
+// ------------------------------------------------------------------ sncdf
+
+int snc_open(const char* path, int /*mode*/, int* ncidp) {
+  if (path == nullptr || ncidp == nullptr) {
+    return rc(StatusCode::kInvalidArgument);
+  }
+  auto h = IoDispatch::instance().openForRead(path);
+  if (!h) return rc(h.status());
+  *ncidp = static_cast<int>(*h);
+  return 0;
+}
+
+int snc_create(const char* path, int /*cmode*/, int* ncidp) {
+  if (path == nullptr || ncidp == nullptr) {
+    return rc(StatusCode::kInvalidArgument);
+  }
+  auto h = IoDispatch::instance().createForWrite(path);
+  if (!h) return rc(h.status());
+  *ncidp = static_cast<int>(*h);
+  return 0;
+}
+
+int snc_get_var_double(int ncid, double* out, std::size_t maxValues,
+                       std::size_t* nRead) {
+  if (out == nullptr || nRead == nullptr) {
+    return rc(StatusCode::kInvalidArgument);
+  }
+  auto blob = IoDispatch::instance().readAll(ncid);
+  if (!blob) return rc(blob.status());
+  auto values = decodeField(*blob);
+  if (!values) return rc(values.status());
+  const std::size_t n = std::min(maxValues, values->size());
+  std::memcpy(out, values->data(), n * sizeof(double));
+  *nRead = n;
+  return 0;
+}
+
+int snc_put_var_double(int ncid, const double* values, std::size_t count) {
+  if (values == nullptr && count > 0) return rc(StatusCode::kInvalidArgument);
+  return rc(IoDispatch::instance().write(
+      ncid, encodeField(std::span<const double>(values, count))));
+}
+
+int snc_close(int ncid) { return rc(IoDispatch::instance().close(ncid)); }
+
+// -------------------------------------------------------------------- sh5
+
+sh5_id sh5_fopen(const char* name, unsigned /*flags*/) {
+  if (name == nullptr) return -rc(StatusCode::kInvalidArgument);
+  auto h = IoDispatch::instance().openForRead(name);
+  if (!h) return -rc(h.status());
+  return *h;
+}
+
+sh5_id sh5_fcreate(const char* name, unsigned /*flags*/) {
+  if (name == nullptr) return -rc(StatusCode::kInvalidArgument);
+  auto h = IoDispatch::instance().createForWrite(name);
+  if (!h) return -rc(h.status());
+  return *h;
+}
+
+int sh5_dread(sh5_id file, double* out, std::size_t maxValues,
+              std::size_t* nRead) {
+  if (out == nullptr || nRead == nullptr) {
+    return rc(StatusCode::kInvalidArgument);
+  }
+  auto blob = IoDispatch::instance().readAll(file);
+  if (!blob) return rc(blob.status());
+  auto values = decodeField(*blob);
+  if (!values) return rc(values.status());
+  const std::size_t n = std::min(maxValues, values->size());
+  std::memcpy(out, values->data(), n * sizeof(double));
+  *nRead = n;
+  return 0;
+}
+
+int sh5_dwrite(sh5_id file, const double* values, std::size_t count) {
+  if (values == nullptr && count > 0) return rc(StatusCode::kInvalidArgument);
+  return rc(IoDispatch::instance().write(
+      file, encodeField(std::span<const double>(values, count))));
+}
+
+int sh5_fclose(sh5_id file) { return rc(IoDispatch::instance().close(file)); }
+
+// ----------------------------------------------------------------- sadios
+
+namespace {
+/// Pending scheduled reads per ADIOS handle (ADIOS batches reads and
+/// executes them in perform_reads).
+struct ScheduledRead {
+  double* out;
+  std::size_t maxValues;
+  std::size_t* nRead;
+};
+std::mutex g_adiosMutex;
+std::map<sadios_id, std::vector<ScheduledRead>> g_adiosReads;
+}  // namespace
+
+sadios_id sadios_open(const char* name, const char* mode) {
+  if (name == nullptr || mode == nullptr) {
+    return -rc(StatusCode::kInvalidArgument);
+  }
+  if (std::strcmp(mode, "w") == 0) {
+    auto h = IoDispatch::instance().createForWrite(name);
+    if (!h) return -rc(h.status());
+    return *h;
+  }
+  if (std::strcmp(mode, "r") == 0) {
+    auto h = IoDispatch::instance().openForRead(name);
+    if (!h) return -rc(h.status());
+    return *h;
+  }
+  return -rc(StatusCode::kInvalidArgument);
+}
+
+int sadios_schedule_read(sadios_id file, double* out, std::size_t maxValues,
+                         std::size_t* nRead) {
+  if (out == nullptr || nRead == nullptr) {
+    return rc(StatusCode::kInvalidArgument);
+  }
+  std::lock_guard lock(g_adiosMutex);
+  g_adiosReads[file].push_back(ScheduledRead{out, maxValues, nRead});
+  return 0;
+}
+
+int sadios_perform_reads(sadios_id file) {
+  std::vector<ScheduledRead> reads;
+  {
+    std::lock_guard lock(g_adiosMutex);
+    const auto it = g_adiosReads.find(file);
+    if (it != g_adiosReads.end()) {
+      reads = std::move(it->second);
+      g_adiosReads.erase(it);
+    }
+  }
+  if (reads.empty()) return 0;
+  auto blob = IoDispatch::instance().readAll(file);
+  if (!blob) return rc(blob.status());
+  auto values = decodeField(*blob);
+  if (!values) return rc(values.status());
+  for (const auto& r : reads) {
+    const std::size_t n = std::min(r.maxValues, values->size());
+    std::memcpy(r.out, values->data(), n * sizeof(double));
+    *r.nRead = n;
+  }
+  return 0;
+}
+
+int sadios_write(sadios_id file, const double* values, std::size_t count) {
+  if (values == nullptr && count > 0) return rc(StatusCode::kInvalidArgument);
+  return rc(IoDispatch::instance().write(
+      file, encodeField(std::span<const double>(values, count))));
+}
+
+int sadios_close(sadios_id file) {
+  {
+    std::lock_guard lock(g_adiosMutex);
+    g_adiosReads.erase(file);
+  }
+  return rc(IoDispatch::instance().close(file));
+}
+
+}  // namespace simfs::dvlib

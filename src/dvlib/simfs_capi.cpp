@@ -1,0 +1,201 @@
+#include "dvlib/simfs_capi.hpp"
+
+#include "common/checksum.hpp"
+#include "common/env.hpp"
+#include "dv/daemon.hpp"
+#include "dvlib/simfs_client.hpp"
+#include "vfs/file_store.hpp"
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace simfs::dvlib {
+namespace {
+
+dv::Daemon* g_daemon = nullptr;
+vfs::FileStore* g_store = nullptr;
+std::mutex g_mutex;
+
+int codeOf(const Status& st) { return static_cast<int>(st.code()); }
+
+void fillStatus(SIMFS_Status* out, const SimfsStatus& st) {
+  if (out == nullptr) return;
+  out->error_code = codeOf(st.error);
+  out->estimated_wait_ns = st.estimatedWait;
+}
+
+}  // namespace
+
+void SIMFS_SetDaemon(dv::Daemon* daemon) {
+  std::lock_guard lock(g_mutex);
+  g_daemon = daemon;
+}
+
+void SIMFS_SetFileStore(vfs::FileStore* store) {
+  std::lock_guard lock(g_mutex);
+  g_store = store;
+}
+
+}  // namespace simfs::dvlib
+
+/// The opaque handle owns the connected client.
+struct SIMFS_Context_s {
+  std::unique_ptr<simfs::dvlib::SimFSClient> client;
+};
+
+extern "C" {
+
+int SIMFS_Init(const char* sim_context, SIMFS_Context* context) {
+  using namespace simfs;
+  if (sim_context == nullptr || context == nullptr) {
+    return static_cast<int>(StatusCode::kInvalidArgument);
+  }
+  std::unique_ptr<msg::Transport> transport;
+  {
+    std::lock_guard lock(dvlib::g_mutex);
+    if (dvlib::g_daemon != nullptr) {
+      transport = dvlib::g_daemon->connectInProc();
+    }
+  }
+  if (!transport) {
+    const auto sock = env::get("SIMFS_SOCKET");
+    if (!sock) return static_cast<int>(StatusCode::kUnavailable);
+    auto conn = msg::unixSocketConnect(*sock);
+    if (!conn) return static_cast<int>(conn.status().code());
+    transport = std::move(*conn);
+  }
+  auto client = dvlib::SimFSClient::connect(std::move(transport), sim_context);
+  if (!client) return static_cast<int>(client.status().code());
+  *context = new SIMFS_Context_s{std::move(*client)};
+  return SIMFS_OK;
+}
+
+int SIMFS_Finalize(SIMFS_Context* context) {
+  using namespace simfs;
+  if (context == nullptr || *context == nullptr) {
+    return static_cast<int>(StatusCode::kInvalidArgument);
+  }
+  (*context)->client->finalize();
+  delete *context;
+  *context = nullptr;
+  return SIMFS_OK;
+}
+
+int SIMFS_Acquire(SIMFS_Context context, const char* const filenames[],
+                  int count, SIMFS_Status* status) {
+  using namespace simfs;
+  if (context == nullptr || filenames == nullptr || count < 0) {
+    return static_cast<int>(StatusCode::kInvalidArgument);
+  }
+  std::vector<std::string> files(filenames, filenames + count);
+  dvlib::SimfsStatus st;
+  const auto rc = context->client->acquire(files, &st);
+  simfs::dvlib::fillStatus(status, st);
+  return static_cast<int>(rc.code());
+}
+
+int SIMFS_Acquire_nb(SIMFS_Context context, const char* const filenames[],
+                     int count, SIMFS_Status* status, SIMFS_Req* req) {
+  using namespace simfs;
+  if (context == nullptr || filenames == nullptr || count < 0 ||
+      req == nullptr) {
+    return static_cast<int>(StatusCode::kInvalidArgument);
+  }
+  std::vector<std::string> files(filenames, filenames + count);
+  dvlib::SimfsStatus st;
+  const auto id = context->client->acquireNb(files, &st);
+  simfs::dvlib::fillStatus(status, st);
+  if (!id) return static_cast<int>(id.status().code());
+  req->ctx = context;
+  req->id = *id;
+  return SIMFS_OK;
+}
+
+int SIMFS_Release(SIMFS_Context context, const char* filename) {
+  using namespace simfs;
+  if (context == nullptr || filename == nullptr) {
+    return static_cast<int>(StatusCode::kInvalidArgument);
+  }
+  return static_cast<int>(context->client->release(filename).code());
+}
+
+int SIMFS_Wait(SIMFS_Req* req, SIMFS_Status* status) {
+  using namespace simfs;
+  if (req == nullptr || req->ctx == nullptr) {
+    return static_cast<int>(StatusCode::kInvalidArgument);
+  }
+  dvlib::SimfsStatus st;
+  const auto rc = req->ctx->client->wait(req->id, &st);
+  simfs::dvlib::fillStatus(status, st);
+  return static_cast<int>(rc.code());
+}
+
+int SIMFS_Test(SIMFS_Req* req, int* flag, SIMFS_Status* status) {
+  using namespace simfs;
+  if (req == nullptr || req->ctx == nullptr || flag == nullptr) {
+    return static_cast<int>(StatusCode::kInvalidArgument);
+  }
+  bool done = false;
+  dvlib::SimfsStatus st;
+  const auto rc = req->ctx->client->test(req->id, &done, &st);
+  *flag = done ? 1 : 0;
+  simfs::dvlib::fillStatus(status, st);
+  return static_cast<int>(rc.code());
+}
+
+int SIMFS_Waitsome(SIMFS_Req* req, int* readycount, int readyidx[],
+                   SIMFS_Status* status) {
+  using namespace simfs;
+  if (req == nullptr || req->ctx == nullptr || readycount == nullptr) {
+    return static_cast<int>(StatusCode::kInvalidArgument);
+  }
+  std::vector<int> ready;
+  dvlib::SimfsStatus st;
+  const auto rc = req->ctx->client->waitSome(req->id, &ready, &st);
+  *readycount = static_cast<int>(ready.size());
+  if (readyidx != nullptr) {
+    for (std::size_t i = 0; i < ready.size(); ++i) readyidx[i] = ready[i];
+  }
+  simfs::dvlib::fillStatus(status, st);
+  return static_cast<int>(rc.code());
+}
+
+int SIMFS_Testsome(SIMFS_Req* req, int* readycount, int readyidx[],
+                   SIMFS_Status* status) {
+  using namespace simfs;
+  if (req == nullptr || req->ctx == nullptr || readycount == nullptr) {
+    return static_cast<int>(StatusCode::kInvalidArgument);
+  }
+  std::vector<int> ready;
+  dvlib::SimfsStatus st;
+  const auto rc = req->ctx->client->testSome(req->id, &ready, &st);
+  *readycount = static_cast<int>(ready.size());
+  if (readyidx != nullptr) {
+    for (std::size_t i = 0; i < ready.size(); ++i) readyidx[i] = ready[i];
+  }
+  simfs::dvlib::fillStatus(status, st);
+  return static_cast<int>(rc.code());
+}
+
+int SIMFS_Bitrep(SIMFS_Context context, const char* filename, int* flag) {
+  using namespace simfs;
+  if (context == nullptr || filename == nullptr || flag == nullptr) {
+    return static_cast<int>(StatusCode::kInvalidArgument);
+  }
+  vfs::FileStore* store = nullptr;
+  {
+    std::lock_guard lock(dvlib::g_mutex);
+    store = dvlib::g_store;
+  }
+  if (store == nullptr) return static_cast<int>(StatusCode::kFailedPrecondition);
+  const auto content = store->read(filename);
+  if (!content) return static_cast<int>(content.status().code());
+  const auto digest = fnv1a64(*content);
+  const auto match = context->client->bitrep(filename, digest);
+  if (!match) return static_cast<int>(match.status().code());
+  *flag = *match ? 1 : 0;
+  return SIMFS_OK;
+}
+
+}  // extern "C"

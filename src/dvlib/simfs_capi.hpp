@@ -1,0 +1,83 @@
+// C-style SimFS API with the exact signatures of Sec. III-C2.
+//
+//   int SIMFS_Init(char* sim_context, SIMFS_Context* context);
+//   int SIMFS_Finalize(SIMFS_Context* context);
+//   int SIMFS_Acquire(SIMFS_Context context, char* filenames[], int count,
+//                     SIMFS_Status* status);
+//   int SIMFS_Acquire_nb(SIMFS_Context context, char* filenames[], int count,
+//                        SIMFS_Status* status, SIMFS_Req* req);
+//   int SIMFS_Release(SIMFS_Context context, char* filename);
+//   int SIMFS_Wait(SIMFS_Req* req, SIMFS_Status* status);
+//   int SIMFS_Test(SIMFS_Req* req, int* flag, SIMFS_Status* status);
+//   int SIMFS_Waitsome(SIMFS_Req* req, int* readycount, int readyidx[],
+//                      SIMFS_Status* status);
+//   int SIMFS_Testsome(SIMFS_Req* req, int* readycount, int readyidx[],
+//                      SIMFS_Status* status);
+//   int SIMFS_Bitrep(SIMFS_Context context, char* filename, int* flag);
+//
+// Connection discovery: SIMFS_SetDaemon() for single-process deployments
+// (the examples), or the SIMFS_SOCKET environment variable naming the
+// daemon's Unix socket. SIMFS_Bitrep computes the local file's checksum
+// through the store installed with SIMFS_SetFileStore.
+#pragma once
+
+#include "common/types.hpp"
+
+#include <cstdint>
+
+// Forward declarations keep this header C-flavoured.
+namespace simfs::dv {
+class Daemon;
+}
+namespace simfs::vfs {
+class FileStore;
+}
+
+extern "C" {
+
+/// Opaque context handle (one connected SimFSClient).
+typedef struct SIMFS_Context_s* SIMFS_Context;
+
+/// Opaque request handle for non-blocking acquires.
+typedef struct SIMFS_Req_s {
+  SIMFS_Context ctx;
+  std::uint64_t id;
+} SIMFS_Req;
+
+/// Error state + estimated waiting time (Sec. III-C2).
+typedef struct SIMFS_Status_s {
+  int error_code;              ///< simfs::StatusCode as int; 0 = ok
+  long long estimated_wait_ns; ///< DV's availability estimate
+} SIMFS_Status;
+
+/// Return codes: 0 success, otherwise a simfs::StatusCode.
+#define SIMFS_OK 0
+
+int SIMFS_Init(const char* sim_context, SIMFS_Context* context);
+int SIMFS_Finalize(SIMFS_Context* context);
+int SIMFS_Acquire(SIMFS_Context context, const char* const filenames[],
+                  int count, SIMFS_Status* status);
+int SIMFS_Acquire_nb(SIMFS_Context context, const char* const filenames[],
+                     int count, SIMFS_Status* status, SIMFS_Req* req);
+int SIMFS_Release(SIMFS_Context context, const char* filename);
+int SIMFS_Wait(SIMFS_Req* req, SIMFS_Status* status);
+int SIMFS_Test(SIMFS_Req* req, int* flag, SIMFS_Status* status);
+int SIMFS_Waitsome(SIMFS_Req* req, int* readycount, int readyidx[],
+                   SIMFS_Status* status);
+int SIMFS_Testsome(SIMFS_Req* req, int* readycount, int readyidx[],
+                   SIMFS_Status* status);
+int SIMFS_Bitrep(SIMFS_Context context, const char* filename, int* flag);
+
+}  // extern "C"
+
+namespace simfs::dvlib {
+
+/// Points SIMFS_Init at an in-process daemon (examples, tests). When
+/// unset, SIMFS_Init falls back to the SIMFS_SOCKET environment variable.
+void SIMFS_SetDaemon(dv::Daemon* daemon);
+
+/// Store used by SIMFS_Bitrep to read file content for checksumming and
+/// by the transparent I/O facades for data bytes.
+void SIMFS_SetFileStore(vfs::FileStore* store);
+
+}  // namespace simfs::dvlib

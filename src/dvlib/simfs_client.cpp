@@ -1,0 +1,292 @@
+#include "dvlib/simfs_client.hpp"
+
+#include "common/log.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace simfs::dvlib {
+
+namespace {
+constexpr auto kCallTimeout = std::chrono::seconds(30);
+
+Status statusFrom(const msg::Message& m) {
+  const auto code = static_cast<StatusCode>(m.code);
+  if (code == StatusCode::kOk) return Status::ok();
+  return Status(code, m.text);
+}
+}  // namespace
+
+SimFSClient::SimFSClient(std::unique_ptr<msg::Transport> transport,
+                         std::string context)
+    : transport_(std::move(transport)), context_(std::move(context)) {}
+
+SimFSClient::~SimFSClient() { finalize(); }
+
+Result<std::unique_ptr<SimFSClient>> SimFSClient::connect(
+    std::unique_ptr<msg::Transport> transport, const std::string& context) {
+  auto client = std::unique_ptr<SimFSClient>(
+      new SimFSClient(std::move(transport), context));
+  client->transport_->setHandler(
+      [raw = client.get()](msg::Message&& m) { raw->onMessage(std::move(m)); });
+
+  msg::Message hello;
+  hello.type = msg::MsgType::kHello;
+  hello.context = context;
+  hello.intArg = static_cast<std::int64_t>(msg::ClientRole::kAnalysis);
+  auto reply = client->call(std::move(hello));
+  if (!reply) return reply.status();
+  const auto st = statusFrom(*reply);
+  if (!st.isOk()) return st;
+  client->clientId_ = static_cast<ClientId>(reply->intArg);
+  return client;
+}
+
+void SimFSClient::onMessage(msg::Message&& m) {
+  std::lock_guard lock(mutex_);
+  if (m.type == msg::MsgType::kFileReady) {
+    const std::string& file = m.files.empty() ? std::string() : m.files[0];
+    auto& fw = fileWaits_[file];
+    fw.ready = true;
+    fw.status = statusFrom(m);
+    for (auto& [id, req] : requests_) {
+      if (req.pending.erase(file) > 0 && !fw.status.isOk()) {
+        req.worst = fw.status;
+      }
+    }
+    cv_.notify_all();
+    return;
+  }
+  replies_[m.requestId] = std::move(m);
+  cv_.notify_all();
+}
+
+Result<msg::Message> SimFSClient::call(msg::Message m) {
+  static std::atomic<std::uint64_t> callSeq{1};
+  m.requestId = callSeq.fetch_add(1);
+  const auto id = m.requestId;
+  SIMFS_RETURN_IF_ERROR(transport_->send(m));
+  std::unique_lock lock(mutex_);
+  if (!cv_.wait_for(lock, kCallTimeout,
+                    [&] { return replies_.count(id) > 0; })) {
+    return errTimedOut("dvlib: no reply from DV");
+  }
+  auto reply = std::move(replies_.at(id));
+  replies_.erase(id);
+  return reply;
+}
+
+Result<SimFSClient::OpenInfo> SimFSClient::open(const std::string& file) {
+  {
+    // An earlier miss may already have completed.
+    std::lock_guard lock(mutex_);
+    const auto it = fileWaits_.find(file);
+    if (it != fileWaits_.end() && it->second.ready && it->second.status.isOk()) {
+      return OpenInfo{true, 0};
+    }
+  }
+  msg::Message m;
+  m.type = msg::MsgType::kOpenReq;
+  m.files = {file};
+  auto reply = call(std::move(m));
+  if (!reply) return reply.status();
+  const auto st = statusFrom(*reply);
+  if (!st.isOk()) return st;
+  OpenInfo info;
+  info.available = reply->intArg == 1;
+  info.estimatedWait = reply->intArg2;
+  std::lock_guard lock(mutex_);
+  auto& fw = fileWaits_[file];
+  if (info.available) {
+    fw.ready = true;
+    fw.status = Status::ok();
+  } else if (!fw.ready) {
+    fw.status = Status::ok();  // pending; kFileReady resolves it
+  }
+  return info;
+}
+
+Status SimFSClient::waitFile(const std::string& file) {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] {
+    const auto it = fileWaits_.find(file);
+    return it != fileWaits_.end() && it->second.ready;
+  });
+  return fileWaits_.at(file).status;
+}
+
+void SimFSClient::closeNotify(const std::string& file) {
+  msg::Message m;
+  m.type = msg::MsgType::kCloseNotify;
+  m.files = {file};
+  (void)transport_->send(m);
+  std::lock_guard lock(mutex_);
+  fileWaits_.erase(file);  // a later reopen re-queries the DV
+}
+
+Status SimFSClient::openInto(const std::string& file, RequestId req,
+                             VDuration* wait) {
+  auto info = open(file);
+  if (!info) return info.status();
+  if (wait != nullptr) *wait = std::max(*wait, info->estimatedWait);
+  if (!info->available) {
+    std::lock_guard lock(mutex_);
+    const auto it = fileWaits_.find(file);
+    const bool ready = it != fileWaits_.end() && it->second.ready;
+    if (!ready) requests_.at(req).pending.insert(file);
+  }
+  return Status::ok();
+}
+
+Result<RequestId> SimFSClient::acquireNb(const std::vector<std::string>& files,
+                                         SimfsStatus* status) {
+  const RequestId id = nextRequest_++;
+  {
+    std::lock_guard lock(mutex_);
+    Request req;
+    req.files = files;
+    requests_.emplace(id, std::move(req));
+  }
+  VDuration wait = 0;
+  Status worst = Status::ok();
+  for (const auto& f : files) {
+    const auto st = openInto(f, id, &wait);
+    if (!st.isOk()) worst = st;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    auto& req = requests_.at(id);
+    if (!worst.isOk()) req.worst = worst;
+    req.estimatedWait = wait;
+    if (status != nullptr) {
+      status->error = req.worst;
+      status->estimatedWait = wait;
+    }
+  }
+  return id;
+}
+
+Status SimFSClient::acquire(const std::vector<std::string>& files,
+                            SimfsStatus* status) {
+  auto req = acquireNb(files, status);
+  if (!req) return req.status();
+  return wait(*req, status);
+}
+
+Status SimFSClient::wait(RequestId req, SimfsStatus* status) {
+  std::unique_lock lock(mutex_);
+  const auto it = requests_.find(req);
+  if (it == requests_.end()) {
+    return errFailedPrecondition("dvlib: unknown request");
+  }
+  cv_.wait(lock, [&] { return it->second.pending.empty(); });
+  const Status st = it->second.worst;
+  if (status != nullptr) {
+    status->error = st;
+    status->estimatedWait = 0;
+  }
+  requests_.erase(it);
+  return st;
+}
+
+Status SimFSClient::test(RequestId req, bool* done, SimfsStatus* status) {
+  std::lock_guard lock(mutex_);
+  const auto it = requests_.find(req);
+  if (it == requests_.end()) {
+    return errFailedPrecondition("dvlib: unknown request");
+  }
+  const bool complete = it->second.pending.empty();
+  if (done != nullptr) *done = complete;
+  if (status != nullptr) {
+    status->error = it->second.worst;
+    status->estimatedWait = it->second.estimatedWait;
+  }
+  Status st = it->second.worst;
+  if (complete) requests_.erase(it);
+  return st;
+}
+
+Status SimFSClient::waitSome(RequestId req, std::vector<int>* readyIdx,
+                             SimfsStatus* status) {
+  std::unique_lock lock(mutex_);
+  const auto it = requests_.find(req);
+  if (it == requests_.end()) {
+    return errFailedPrecondition("dvlib: unknown request");
+  }
+  auto readyCount = [&] {
+    return it->second.files.size() - it->second.pending.size();
+  };
+  cv_.wait(lock, [&] { return readyCount() > 0 || it->second.pending.empty(); });
+  if (readyIdx != nullptr) {
+    readyIdx->clear();
+    for (std::size_t i = 0; i < it->second.files.size(); ++i) {
+      if (it->second.pending.count(it->second.files[i]) == 0) {
+        readyIdx->push_back(static_cast<int>(i));
+      }
+    }
+  }
+  const Status st = it->second.worst;
+  if (status != nullptr) status->error = st;
+  if (it->second.pending.empty()) requests_.erase(it);
+  return st;
+}
+
+Status SimFSClient::testSome(RequestId req, std::vector<int>* readyIdx,
+                             SimfsStatus* status) {
+  std::lock_guard lock(mutex_);
+  const auto it = requests_.find(req);
+  if (it == requests_.end()) {
+    return errFailedPrecondition("dvlib: unknown request");
+  }
+  if (readyIdx != nullptr) {
+    readyIdx->clear();
+    for (std::size_t i = 0; i < it->second.files.size(); ++i) {
+      if (it->second.pending.count(it->second.files[i]) == 0) {
+        readyIdx->push_back(static_cast<int>(i));
+      }
+    }
+  }
+  const Status st = it->second.worst;
+  if (status != nullptr) status->error = st;
+  if (it->second.pending.empty()) requests_.erase(it);
+  return st;
+}
+
+Status SimFSClient::release(const std::string& file) {
+  msg::Message m;
+  m.type = msg::MsgType::kReleaseReq;
+  m.files = {file};
+  auto reply = call(std::move(m));
+  if (!reply) return reply.status();
+  {
+    std::lock_guard lock(mutex_);
+    fileWaits_.erase(file);
+  }
+  return statusFrom(*reply);
+}
+
+Result<bool> SimFSClient::bitrep(const std::string& file,
+                                 std::uint64_t digest) {
+  msg::Message m;
+  m.type = msg::MsgType::kBitrepReq;
+  m.files = {file};
+  m.intArg = static_cast<std::int64_t>(digest);
+  auto reply = call(std::move(m));
+  if (!reply) return reply.status();
+  const auto st = statusFrom(*reply);
+  if (!st.isOk()) return st;
+  return reply->intArg == 1;
+}
+
+void SimFSClient::finalize() {
+  bool expected = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (finalized_) return;
+    finalized_ = true;
+    expected = true;
+  }
+  if (expected && transport_) transport_->close();
+}
+
+}  // namespace simfs::dvlib

@@ -1,0 +1,148 @@
+// DVLib client (Sec. III-C): the library analyses link against.
+//
+// SimFSClient speaks the msg:: protocol with a DV daemon over any
+// Transport (in-process pair or Unix socket) and exposes the paper's API:
+//
+//   SIMFS_Init / SIMFS_Finalize        -> connect() / finalize()
+//   SIMFS_Acquire / SIMFS_Acquire_nb   -> acquire() / acquireNb()
+//   SIMFS_Wait/Test/Waitsome/Testsome  -> wait()/test()/waitSome()/testSome()
+//   SIMFS_Release                      -> release()
+//   SIMFS_Bitrep                       -> bitrep()
+//
+// plus the transparent-mode primitives used by the I/O facades:
+// open() (non-blocking, like the intercepted nc_open) and waitFile()
+// (the blocking point of the intercepted read).
+//
+// Thread-safety: all public methods may be called from any thread; the
+// receive handler only touches internal state under the client mutex.
+#pragma once
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "msg/transport.hpp"
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace simfs::dvlib {
+
+/// The paper's SIMFS_Status: error state plus estimated waiting time.
+struct SimfsStatus {
+  Status error;
+  VDuration estimatedWait = 0;
+};
+
+/// Handle of a non-blocking acquire (the paper's SIMFS_Req).
+using RequestId = std::uint64_t;
+
+class SimFSClient {
+ public:
+  /// Connects over `transport` and opens a session on `context`
+  /// (SIMFS_Init). Blocks for the handshake.
+  [[nodiscard]] static Result<std::unique_ptr<SimFSClient>> connect(
+      std::unique_ptr<msg::Transport> transport, const std::string& context);
+
+  ~SimFSClient();
+  SimFSClient(const SimFSClient&) = delete;
+  SimFSClient& operator=(const SimFSClient&) = delete;
+
+  /// SIMFS_Acquire: blocks until every file is available (or one fails).
+  [[nodiscard]] Status acquire(const std::vector<std::string>& files,
+                               SimfsStatus* status = nullptr);
+
+  /// SIMFS_Acquire_nb: registers interest, returns immediately.
+  [[nodiscard]] Result<RequestId> acquireNb(const std::vector<std::string>& files,
+                                            SimfsStatus* status = nullptr);
+
+  /// SIMFS_Wait: blocks until the request completes.
+  [[nodiscard]] Status wait(RequestId req, SimfsStatus* status = nullptr);
+
+  /// SIMFS_Test: non-blocking completion check.
+  [[nodiscard]] Status test(RequestId req, bool* done,
+                            SimfsStatus* status = nullptr);
+
+  /// SIMFS_Waitsome: blocks until at least one file of the request is
+  /// ready; returns the indices ready so far.
+  [[nodiscard]] Status waitSome(RequestId req, std::vector<int>* readyIdx,
+                                SimfsStatus* status = nullptr);
+
+  /// SIMFS_Testsome: non-blocking subset check.
+  [[nodiscard]] Status testSome(RequestId req, std::vector<int>* readyIdx,
+                                SimfsStatus* status = nullptr);
+
+  /// SIMFS_Release.
+  [[nodiscard]] Status release(const std::string& file);
+
+  /// SIMFS_Bitrep: compares the digest (computed over the locally read
+  /// content) against the reference recorded at initial-simulation time.
+  [[nodiscard]] Result<bool> bitrep(const std::string& file,
+                                    std::uint64_t digest);
+
+  // --- transparent-mode primitives -------------------------------------------
+
+  /// Result of a non-blocking open.
+  struct OpenInfo {
+    bool available = false;
+    VDuration estimatedWait = 0;
+  };
+
+  /// Intercepted open: non-blocking; on a miss the DV starts the
+  /// re-simulation and this client later unblocks waitFile().
+  [[nodiscard]] Result<OpenInfo> open(const std::string& file);
+
+  /// Intercepted read's blocking point: waits until `file` (previously
+  /// open()ed or acquired) is available on disk.
+  [[nodiscard]] Status waitFile(const std::string& file);
+
+  /// Intercepted close: fire-and-forget dereference.
+  void closeNotify(const std::string& file);
+
+  /// SIMFS_Finalize: closes the session (idempotent).
+  void finalize();
+
+  [[nodiscard]] const std::string& context() const noexcept { return context_; }
+  [[nodiscard]] ClientId clientId() const noexcept { return clientId_; }
+
+ private:
+  SimFSClient(std::unique_ptr<msg::Transport> transport, std::string context);
+
+  void onMessage(msg::Message&& m);
+
+  /// Sends a request and blocks for its matching reply.
+  [[nodiscard]] Result<msg::Message> call(msg::Message m);
+
+  /// Opens one file and registers it in `pendingOf_[req]` unless ready.
+  [[nodiscard]] Status openInto(const std::string& file, RequestId req,
+                                VDuration* wait);
+
+  struct FileWait {
+    bool ready = false;
+    Status status;
+  };
+
+  struct Request {
+    std::vector<std::string> files;
+    std::set<std::string> pending;
+    Status worst;
+    VDuration estimatedWait = 0;
+  };
+
+  std::unique_ptr<msg::Transport> transport_;
+  std::string context_;
+  ClientId clientId_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, msg::Message> replies_;   ///< by requestId
+  std::map<std::string, FileWait> fileWaits_;
+  std::map<RequestId, Request> requests_;
+  std::uint64_t nextRequest_ = 1;
+  bool finalized_ = false;
+};
+
+}  // namespace simfs::dvlib

@@ -1,0 +1,95 @@
+// Discrete-event simulation engine.
+//
+// All model-time experiments (Figs. 16-19 and the schedule reproductions of
+// Figs. 7-11) run on this engine: the DV core, synthetic simulators and
+// synthetic analyses schedule callbacks at virtual times, and the engine
+// executes them in deterministic order (time, then insertion sequence).
+//
+// The engine owns a ManualClock; components observe time exclusively
+// through the Clock& it exposes, which is what makes the DV core reusable
+// between virtual-time and wall-clock deployments.
+#pragma once
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+namespace simfs::engine {
+
+/// Handle for a scheduled event; used to cancel it.
+using EventId = std::uint64_t;
+
+/// Sentinel returned for failed schedules.
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Deterministic discrete-event executor with a virtual clock.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// The virtual clock; safe to hand out as `const Clock&` to components.
+  [[nodiscard]] Clock& clock() noexcept { return clock_; }
+
+  /// Current virtual time.
+  [[nodiscard]] VTime now() const noexcept { return clock_.now(); }
+
+  /// Schedules `fn` at absolute virtual time `t` (>= now).
+  /// Events at equal times run in scheduling order.
+  EventId scheduleAt(VTime t, std::function<void()> fn);
+
+  /// Schedules `fn` after a non-negative delay from now.
+  EventId scheduleAfter(VDuration delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns false if it already ran,
+  /// was cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// Runs events in order until the queue drains or virtual time would
+  /// exceed `until`. Returns the number of events executed.
+  std::size_t run(VTime until = kTimeInf);
+
+  /// Executes exactly one event if any is pending. Returns true if one ran.
+  bool step();
+
+  /// Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t pendingCount() const noexcept {
+    return queue_.size();
+  }
+
+  /// Virtual time of the next pending event, or kTimeInf if none.
+  [[nodiscard]] VTime nextEventTime() const noexcept;
+
+  /// Total events executed since construction (diagnostic).
+  [[nodiscard]] std::uint64_t executedCount() const noexcept {
+    return executed_;
+  }
+
+ private:
+  struct QueueKey {
+    VTime time;
+    std::uint64_t seq;  // tie-break: FIFO among equal times
+    bool operator<(const QueueKey& o) const noexcept {
+      return time != o.time ? time < o.time : seq < o.seq;
+    }
+  };
+  struct Entry {
+    EventId id;
+    std::function<void()> fn;
+  };
+
+  ManualClock clock_;
+  std::map<QueueKey, Entry> queue_;
+  std::unordered_map<EventId, QueueKey> index_;
+  std::uint64_t nextSeq_ = 1;
+  std::uint64_t nextId_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace simfs::engine

@@ -1,0 +1,156 @@
+#include "harness/scenario.hpp"
+
+#include "engine/engine.hpp"
+#include "simulator/des_fleet.hpp"
+
+#include <map>
+#include <memory>
+
+namespace simfs::harness {
+
+namespace {
+
+/// Virtual-time analysis client: replays one trace against the DV.
+class AnalysisActor {
+ public:
+  AnalysisActor(engine::Engine& engine, dv::DataVirtualizer& dv,
+                const simmodel::ContextConfig& cfg, const AnalysisSpec& spec)
+      : engine_(engine), dv_(dv), cfg_(cfg), spec_(spec) {
+    result_.label = spec.label;
+  }
+
+  /// Connects and schedules the first access.
+  void start() {
+    auto id = dv_.clientConnect(cfg_.name);
+    SIMFS_CHECK(id.isOk());
+    client_ = *id;
+    engine_.scheduleAt(spec_.startTime, [this] {
+      result_.start = engine_.now();
+      accessNext();
+    });
+  }
+
+  [[nodiscard]] ClientId client() const noexcept { return client_; }
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  [[nodiscard]] const AnalysisResult& result() const noexcept { return result_; }
+
+  /// DV notification sink for this client.
+  void onNotify(const std::string& file, const Status& status) {
+    if (!waiting_ || file != waitingFile_) return;  // stale notification
+    waiting_ = false;
+    if (!status.isOk()) {
+      ++result_.failures;
+      advance(/*releaseFile=*/false);
+      return;
+    }
+    advance(/*releaseFile=*/true);
+  }
+
+ private:
+  void accessNext() {
+    if (idx_ >= spec_.steps.size()) {
+      finish();
+      return;
+    }
+    const StepIndex step = spec_.steps[idx_];
+    const std::string file = cfg_.codec.outputFile(step);
+    ++result_.accesses;
+    const auto res = dv_.clientOpen(client_, file);
+    if (!res.status.isOk()) {
+      ++result_.failures;
+      ++idx_;
+      engine_.scheduleAfter(0, [this] { accessNext(); });
+      return;
+    }
+    if (res.available) {
+      ++result_.immediateHits;
+      advance(/*releaseFile=*/true);
+    } else {
+      ++result_.stalls;
+      waiting_ = true;
+      waitingFile_ = file;
+      // The read now blocks inside DVLib until the DV's notification.
+    }
+  }
+
+  /// Processes the current step for tau_cli, releases it, moves on.
+  void advance(bool releaseFile) {
+    const StepIndex step = spec_.steps[idx_];
+    const std::string file = cfg_.codec.outputFile(step);
+    ++idx_;
+    engine_.scheduleAfter(spec_.tauCli, [this, file, releaseFile] {
+      if (releaseFile) (void)dv_.clientRelease(client_, file);
+      accessNext();
+    });
+  }
+
+  void finish() {
+    result_.end = engine_.now();
+    done_ = true;
+    dv_.clientDisconnect(client_);
+  }
+
+  engine::Engine& engine_;
+  dv::DataVirtualizer& dv_;
+  const simmodel::ContextConfig& cfg_;
+  AnalysisSpec spec_;
+  ClientId client_ = 0;
+  std::size_t idx_ = 0;
+  bool waiting_ = false;
+  std::string waitingFile_;
+  bool done_ = false;
+  AnalysisResult result_;
+};
+
+}  // namespace
+
+ScenarioResult runScenario(const ScenarioConfig& config) {
+  engine::Engine engine;
+  dv::DataVirtualizer dv(engine.clock());
+  simulator::DesSimulatorFleet fleet(engine, config.batch, config.seed);
+  fleet.bind(&dv);
+  dv.setLauncher(&fleet);
+
+  auto st = dv.registerContext(
+      std::make_unique<simmodel::SyntheticDriver>(config.context));
+  SIMFS_CHECK(st.isOk());
+  fleet.registerContext(config.context);
+
+  for (const StepIndex s : config.preloadedSteps) {
+    (void)dv.seedAvailableStep(config.context.name, s);
+  }
+
+  std::vector<std::unique_ptr<AnalysisActor>> actors;
+  std::map<ClientId, AnalysisActor*> byClient;
+  actors.reserve(config.analyses.size());
+  for (const auto& spec : config.analyses) {
+    actors.push_back(std::make_unique<AnalysisActor>(engine, dv,
+                                                     config.context, spec));
+  }
+
+  dv.setNotifyFn([&byClient](ClientId client, const std::string& file,
+                             const Status& status) {
+    const auto it = byClient.find(client);
+    if (it != byClient.end()) it->second->onNotify(file, status);
+  });
+
+  for (auto& actor : actors) {
+    actor->start();
+    byClient.emplace(actor->client(), actor.get());
+  }
+
+  engine.run(config.horizon);
+
+  ScenarioResult result;
+  result.completed = true;
+  for (const auto& actor : actors) {
+    result.analyses.push_back(actor->result());
+    if (!actor->done()) result.completed = false;
+  }
+  result.dv = dv.stats();
+  if (const auto* cs = dv.cacheStats(config.context.name)) result.cache = *cs;
+  result.makespan = engine.now();
+  return result;
+}
+
+}  // namespace simfs::harness

@@ -1,0 +1,65 @@
+// Scenario harness: wires Engine + DataVirtualizer + DesSimulatorFleet +
+// synthetic analysis actors into one virtual-time experiment.
+//
+// This is the measurement engine behind Figs. 16-19 (strong scaling and
+// prefetching-under-latency studies) and the integration tests. An
+// analysis actor replays an access trace against the DV exactly like a
+// DVLib client: open (non-blocking), wait for the notification on a miss,
+// process the step for tau_cli, release it, move on.
+#pragma once
+
+#include "common/types.hpp"
+#include "dv/data_virtualizer.hpp"
+#include "simmodel/context.hpp"
+#include "simulator/batch.hpp"
+#include "trace/trace.hpp"
+
+#include <string>
+#include <vector>
+
+namespace simfs::harness {
+
+/// One synthetic analysis client.
+struct AnalysisSpec {
+  VTime startTime = 0;            ///< when the analysis begins
+  trace::Trace steps;             ///< output steps it accesses, in order
+  VDuration tauCli = 0;           ///< per-step processing time (tau_cli)
+  std::string label;              ///< for reports
+};
+
+/// One experiment.
+struct ScenarioConfig {
+  simmodel::ContextConfig context;
+  simulator::BatchModel batch;            ///< queuing-delay model
+  std::vector<AnalysisSpec> analyses;
+  std::vector<StepIndex> preloadedSteps;  ///< warm-cache seeding
+  std::uint64_t seed = 7;
+  VTime horizon = kTimeInf;               ///< safety stop for the engine
+};
+
+/// Per-analysis outcome.
+struct AnalysisResult {
+  std::string label;
+  VTime start = 0;
+  VTime end = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t immediateHits = 0;  ///< file was on disk at open time
+  std::uint64_t stalls = 0;         ///< open had to wait for a simulation
+  std::uint64_t failures = 0;       ///< restart-failed notifications
+
+  [[nodiscard]] VDuration completion() const noexcept { return end - start; }
+};
+
+/// Whole-experiment outcome.
+struct ScenarioResult {
+  std::vector<AnalysisResult> analyses;
+  dv::DvStats dv;
+  cache::CacheStats cache;
+  VTime makespan = 0;      ///< virtual time when everything finished
+  bool completed = false;  ///< false if the horizon stopped the run early
+};
+
+/// Runs the scenario to completion (or to the horizon) and reports.
+[[nodiscard]] ScenarioResult runScenario(const ScenarioConfig& config);
+
+}  // namespace simfs::harness

@@ -1,0 +1,129 @@
+#include "msg/message.hpp"
+
+#include <cstring>
+
+namespace simfs::msg {
+namespace {
+
+void putU16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void putU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void putU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void putStr(std::string& out, std::string_view s) {
+  putU32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] bool getU16(std::uint16_t& v) {
+    if (pos_ + 2 > data_.size()) return false;
+    v = static_cast<std::uint16_t>(
+        static_cast<std::uint8_t>(data_[pos_]) |
+        (static_cast<std::uint8_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return true;
+  }
+
+  [[nodiscard]] bool getU32(std::uint32_t& v) {
+    if (pos_ + 4 > data_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  [[nodiscard]] bool getU64(std::uint64_t& v) {
+    if (pos_ + 8 > data_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  [[nodiscard]] bool getStr(std::string& s) {
+    std::uint32_t len = 0;
+    if (!getU32(len)) return false;
+    if (pos_ + len > data_.size()) return false;
+    s.assign(data_.substr(pos_, len));
+    pos_ += len;
+    return true;
+  }
+
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string encode(const Message& m) {
+  std::string out;
+  out.reserve(64 + m.context.size() + m.text.size());
+  putU16(out, static_cast<std::uint16_t>(m.type));
+  putU64(out, m.requestId);
+  putU32(out, static_cast<std::uint32_t>(m.code));
+  putU64(out, static_cast<std::uint64_t>(m.intArg));
+  putU64(out, static_cast<std::uint64_t>(m.intArg2));
+  putStr(out, m.context);
+  putStr(out, m.text);
+  putU32(out, static_cast<std::uint32_t>(m.files.size()));
+  for (const auto& f : m.files) putStr(out, f);
+  return out;
+}
+
+Result<Message> decode(std::string_view data) {
+  Reader r(data);
+  Message m;
+  std::uint16_t type = 0;
+  std::uint32_t code = 0;
+  std::uint64_t intArg = 0;
+  std::uint64_t intArg2 = 0;
+  std::uint32_t nFiles = 0;
+  if (!r.getU16(type) || !r.getU64(m.requestId) || !r.getU32(code) ||
+      !r.getU64(intArg) || !r.getU64(intArg2) || !r.getStr(m.context) ||
+      !r.getStr(m.text) || !r.getU32(nFiles)) {
+    return errInvalidArgument("msg: truncated header");
+  }
+  m.type = static_cast<MsgType>(type);
+  m.code = static_cast<std::int32_t>(code);
+  m.intArg = static_cast<std::int64_t>(intArg);
+  m.intArg2 = static_cast<std::int64_t>(intArg2);
+  m.files.reserve(nFiles);
+  for (std::uint32_t i = 0; i < nFiles; ++i) {
+    std::string f;
+    if (!r.getStr(f)) return errInvalidArgument("msg: truncated file list");
+    m.files.push_back(std::move(f));
+  }
+  if (!r.done()) return errInvalidArgument("msg: trailing bytes");
+  return m;
+}
+
+std::string frame(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 4);
+  putU32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+}  // namespace simfs::msg

@@ -1,0 +1,77 @@
+// DV <-> DVLib protocol messages (the "TCP/IP control messages" of Fig. 4).
+//
+// One compact tagged struct covers the whole protocol; the fields a given
+// message type uses are documented next to the type. Encoding is a simple
+// length-prefixed binary format (little-endian) so the same messages flow
+// over the in-process transport and Unix-domain sockets unchanged.
+#pragma once
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simfs::msg {
+
+/// Protocol message types.
+enum class MsgType : std::uint16_t {
+  // --- session setup -------------------------------------------------------
+  kHello = 1,      ///< client->DV: context=ctx name, intArg=role (ClientRole)
+  kHelloAck,       ///< DV->client: code=status, intArg=assigned client id
+
+  // --- analysis-side data access (Sec. III-A, III-C) -----------------------
+  kOpenReq,        ///< files[0]=name: transparent open interception
+  kOpenAck,        ///< code=status, intArg: 1 if already available else 0
+  kCloseNotify,    ///< files[0]=name: close interception (deref), no reply
+  kAcquireReq,     ///< files[]: SIMFS_Acquire(_nb)
+  kAcquireAck,     ///< code=status, intArg=estimated wait (ns)
+  kReleaseReq,     ///< files[0]=name: SIMFS_Release
+  kReleaseAck,     ///< code=status
+  kBitrepReq,      ///< files[0]=name: SIMFS_Bitrep
+  kBitrepAck,      ///< code=status, intArg: 1 bitwise match, 0 mismatch
+  kFileReady,      ///< DV->client: files[0]=name, code=status (also failures)
+
+  // --- simulator-side events (Sec. III-B) -----------------------------------
+  kSimHello,       ///< simulator->DV: intArg=job id
+  kSimFileCreated, ///< files[0]=name: create interception (redirect)
+  kSimFileClosed,  ///< files[0]=name, intArg=size: file is ready on disk
+  kSimFinished,    ///< job completed; code=status (failures propagate)
+
+  // --- introspection ----------------------------------------------------------
+  kStatusReq,      ///< ask the DV for its aggregate statistics
+  kStatusAck,      ///< text="key=value;..." dump, intArg=stepsProduced
+
+  // --- generic --------------------------------------------------------------
+  kError,          ///< code=status, text=message
+};
+
+/// Who is connecting (intArg of kHello).
+enum class ClientRole : std::int64_t { kAnalysis = 0, kSimulator = 1 };
+
+/// The one protocol message shape.
+struct Message {
+  MsgType type = MsgType::kError;
+  std::uint64_t requestId = 0;   ///< echoes the request on replies
+  std::string context;           ///< simulation context name
+  std::vector<std::string> files;
+  std::int32_t code = 0;         ///< StatusCode as int
+  std::int64_t intArg = 0;       ///< type-specific scalar
+  std::int64_t intArg2 = 0;      ///< second scalar (e.g. estimated wait)
+  std::string text;              ///< human-readable detail
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// Serializes a message (without any outer framing).
+[[nodiscard]] std::string encode(const Message& m);
+
+/// Parses an encode()d buffer.
+[[nodiscard]] Result<Message> decode(std::string_view data);
+
+/// Frames a payload with a u32 length prefix for stream transports.
+[[nodiscard]] std::string frame(std::string_view payload);
+
+}  // namespace simfs::msg

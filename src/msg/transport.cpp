@@ -1,0 +1,277 @@
+#include "msg/transport.hpp"
+
+#include "common/log.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace simfs::msg {
+namespace {
+
+// ------------------------------------------------------------------- InProc
+
+/// Shared state of one in-process pair; endpoints index it as side 0/1.
+struct InProcShared {
+  std::mutex mutex[2];
+  Transport::Handler handler[2];
+  std::function<void()> closeHandler[2];
+  std::atomic<bool> open{true};
+};
+
+class InProcEndpoint final : public Transport {
+ public:
+  InProcEndpoint(std::shared_ptr<InProcShared> shared, int side)
+      : shared_(std::move(shared)), side_(side) {}
+
+  ~InProcEndpoint() override { close(); }
+
+  Status send(const Message& m) override {
+    if (!shared_->open.load()) return errUnavailable("inproc: closed");
+    Handler handler;
+    {
+      std::lock_guard lock(shared_->mutex[1 - side_]);
+      handler = shared_->handler[1 - side_];
+    }
+    if (!handler) return errUnavailable("inproc: peer has no handler");
+    Message copy = m;
+    handler(std::move(copy));  // synchronous delivery on sender's thread
+    return Status::ok();
+  }
+
+  void setHandler(Handler handler) override {
+    std::lock_guard lock(shared_->mutex[side_]);
+    shared_->handler[side_] = std::move(handler);
+  }
+
+  void setCloseHandler(std::function<void()> handler) override {
+    std::lock_guard lock(shared_->mutex[side_]);
+    shared_->closeHandler[side_] = std::move(handler);
+  }
+
+  void close() override {
+    bool expected = true;
+    if (!shared_->open.compare_exchange_strong(expected, false)) return;
+    // Tell the peer its counterpart is gone.
+    std::function<void()> peerClose;
+    {
+      std::lock_guard lock(shared_->mutex[1 - side_]);
+      peerClose = shared_->closeHandler[1 - side_];
+    }
+    if (peerClose) peerClose();
+  }
+
+  bool isOpen() const override { return shared_->open.load(); }
+
+ private:
+  std::shared_ptr<InProcShared> shared_;
+  int side_;
+};
+
+// ------------------------------------------------------------------ sockets
+
+/// Reads exactly n bytes; false on EOF/error.
+bool readFull(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<char*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::read(fd, p, n);
+    if (r <= 0) return false;
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool writeFull(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::write(fd, p, n);
+    if (r <= 0) return false;
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(int fd) : fd_(fd) {}
+
+  ~SocketTransport() override {
+    close();
+    if (reader_.joinable()) reader_.join();
+  }
+
+  Status send(const Message& m) override {
+    std::lock_guard lock(sendMutex_);
+    if (!open_.load()) return errUnavailable("socket: closed");
+    const std::string framed = frame(encode(m));
+    if (!writeFull(fd_, framed.data(), framed.size())) {
+      open_.store(false);
+      return errUnavailable("socket: peer gone");
+    }
+    return Status::ok();
+  }
+
+  void setHandler(Handler handler) override {
+    {
+      std::lock_guard lock(handlerMutex_);
+      handler_ = std::move(handler);
+    }
+    startReaderOnce();
+  }
+
+  void setCloseHandler(std::function<void()> handler) override {
+    std::lock_guard lock(handlerMutex_);
+    closeHandler_ = std::move(handler);
+  }
+
+  void close() override {
+    bool expected = true;
+    if (open_.compare_exchange_strong(expected, false)) {
+      ::shutdown(fd_, SHUT_RDWR);
+    }
+  }
+
+  bool isOpen() const override { return open_.load(); }
+
+ private:
+  void startReaderOnce() {
+    bool expected = false;
+    if (!readerStarted_.compare_exchange_strong(expected, true)) return;
+    reader_ = std::thread([this] { readLoop(); });
+  }
+
+  void readLoop() {
+    for (;;) {
+      std::uint32_t len = 0;
+      if (!readFull(fd_, &len, sizeof(len))) break;
+      if (len > (64u << 20)) {
+        SIMFS_LOG_ERROR("msg", "socket: oversized frame (%u bytes)", len);
+        break;
+      }
+      std::string payload(len, '\0');
+      if (!readFull(fd_, payload.data(), len)) break;
+      auto m = decode(payload);
+      if (!m) {
+        SIMFS_LOG_ERROR("msg", "socket: undecodable frame: %s",
+                        m.status().toString().c_str());
+        break;
+      }
+      Handler handler;
+      {
+        std::lock_guard lock(handlerMutex_);
+        handler = handler_;
+      }
+      if (handler) handler(std::move(*m));
+    }
+    open_.store(false);
+    std::function<void()> onClose;
+    {
+      std::lock_guard lock(handlerMutex_);
+      onClose = closeHandler_;
+    }
+    if (onClose) onClose();
+  }
+
+  int fd_;
+  std::atomic<bool> open_{true};
+  std::atomic<bool> readerStarted_{false};
+  std::mutex sendMutex_;
+  std::mutex handlerMutex_;
+  Handler handler_;
+  std::function<void()> closeHandler_;
+  std::thread reader_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+makeInProcPair() {
+  auto shared = std::make_shared<InProcShared>();
+  return {std::make_unique<InProcEndpoint>(shared, 0),
+          std::make_unique<InProcEndpoint>(shared, 1)};
+}
+
+// --------------------------------------------------------- UnixSocketServer
+
+struct UnixSocketServer::Impl {
+  int listenFd = -1;
+  std::thread acceptThread;
+  std::atomic<bool> running{false};
+};
+
+UnixSocketServer::UnixSocketServer(std::string path)
+    : impl_(std::make_unique<Impl>()), path_(std::move(path)) {}
+
+UnixSocketServer::~UnixSocketServer() { stop(); }
+
+Status UnixSocketServer::start(ConnectionHandler onConnection) {
+  ::unlink(path_.c_str());
+  impl_->listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (impl_->listenFd < 0) return errIoError("socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(addr.sun_path)) {
+    return errInvalidArgument("socket path too long: " + path_);
+  }
+  std::strncpy(addr.sun_path, path_.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(impl_->listenFd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return errIoError("bind() failed for " + path_);
+  }
+  if (::listen(impl_->listenFd, 64) != 0) {
+    return errIoError("listen() failed for " + path_);
+  }
+  impl_->running.store(true);
+  impl_->acceptThread = std::thread([this, onConnection = std::move(onConnection)] {
+    // Poll with a timeout so stop() can terminate the loop: shutdown() on
+    // a listening socket does not reliably wake a blocked accept().
+    while (impl_->running.load()) {
+      pollfd pfd{impl_->listenFd, POLLIN, 0};
+      const int n = ::poll(&pfd, 1, /*timeout_ms=*/100);
+      if (n < 0) break;
+      if (n == 0 || (pfd.revents & POLLIN) == 0) continue;
+      const int fd = ::accept(impl_->listenFd, nullptr, nullptr);
+      if (fd < 0) break;
+      onConnection(std::make_unique<SocketTransport>(fd));
+    }
+  });
+  return Status::ok();
+}
+
+void UnixSocketServer::stop() {
+  if (!impl_) return;
+  const bool wasRunning = impl_->running.exchange(false);
+  if (impl_->acceptThread.joinable()) impl_->acceptThread.join();
+  if (wasRunning) {
+    ::close(impl_->listenFd);
+    ::unlink(path_.c_str());
+  }
+}
+
+Result<std::unique_ptr<Transport>> unixSocketConnect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return errIoError("socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return errInvalidArgument("socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return errUnavailable("connect() failed for " + path);
+  }
+  return std::unique_ptr<Transport>(std::make_unique<SocketTransport>(fd));
+}
+
+}  // namespace simfs::msg

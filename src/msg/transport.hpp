@@ -1,0 +1,85 @@
+// Message transports between DVLib clients and the DV daemon.
+//
+// Two implementations behind one interface:
+//   * InProc pair — zero-copy, synchronous delivery on the sender's
+//     thread; used by tests and by single-process deployments where the
+//     DV runs as a thread of the analysis driver.
+//   * Unix-domain stream sockets — the daemon deployment (the paper uses
+//     TCP/IP; a UNIX socket carries the identical framed protocol and
+//     keeps the examples self-contained).
+//
+// Delivery contract: the receive handler may be invoked from an arbitrary
+// thread (the sender's for InProc, a reader thread for sockets) and must
+// not synchronously send on the same transport it is handling, except to
+// reply — replies are safe because handlers never hold transport locks.
+#pragma once
+
+#include "common/status.hpp"
+#include "msg/message.hpp"
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace simfs::msg {
+
+/// Bidirectional message endpoint.
+class Transport {
+ public:
+  using Handler = std::function<void(Message&&)>;
+
+  virtual ~Transport() = default;
+
+  /// Sends a message to the peer. Returns kUnavailable once closed.
+  [[nodiscard]] virtual Status send(const Message& m) = 0;
+
+  /// Installs the receive handler. Must be set before the peer sends;
+  /// messages arriving with no handler are dropped.
+  virtual void setHandler(Handler handler) = 0;
+
+  /// Installs a disconnect callback, invoked once when the peer goes away
+  /// (socket EOF / peer close). Optional.
+  virtual void setCloseHandler(std::function<void()> handler) = 0;
+
+  /// Closes the endpoint; pending sends fail, the peer observes EOF.
+  virtual void close() = 0;
+
+  /// True until close() (or peer disconnect for sockets).
+  [[nodiscard]] virtual bool isOpen() const = 0;
+};
+
+/// Creates a connected in-process transport pair.
+[[nodiscard]] std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+makeInProcPair();
+
+/// Listening Unix-domain socket. One reader thread per accepted
+/// connection; connections are handed to the callback as Transports.
+class UnixSocketServer {
+ public:
+  using ConnectionHandler = std::function<void(std::unique_ptr<Transport>)>;
+
+  /// Binds and listens at `path` (unlinking a stale socket file first).
+  explicit UnixSocketServer(std::string path);
+  ~UnixSocketServer();
+  UnixSocketServer(const UnixSocketServer&) = delete;
+  UnixSocketServer& operator=(const UnixSocketServer&) = delete;
+
+  /// Starts the accept loop on a background thread.
+  [[nodiscard]] Status start(ConnectionHandler onConnection);
+
+  /// Stops accepting and joins the accept thread.
+  void stop();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::string path_;
+};
+
+/// Connects to a UnixSocketServer.
+[[nodiscard]] Result<std::unique_ptr<Transport>> unixSocketConnect(
+    const std::string& path);
+
+}  // namespace simfs::msg

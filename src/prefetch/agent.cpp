@@ -1,0 +1,260 @@
+#include "prefetch/agent.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace simfs::prefetch {
+
+namespace {
+/// Below this, an estimate counts as "unknown / infinitely fast".
+constexpr double kEps = 1e-9;
+}  // namespace
+
+PrefetchAgent::PrefetchAgent(const simmodel::ContextConfig& config)
+    : config_(config),
+      tauCli_(config.emaSmoothing),
+      alphaObs_(config.emaSmoothing),
+      tauSimObs_(config.emaSmoothing) {}
+
+double PrefetchAgent::alphaEstimate() const noexcept {
+  if (alphaObs_.primed()) return alphaObs_.value();
+  return static_cast<double>(config_.perf.at(level_).alphaSim);
+}
+
+double PrefetchAgent::tauSimEstimate() const noexcept {
+  if (tauSimObs_.primed()) return tauSimObs_.value();
+  return static_cast<double>(config_.perf.at(level_).tauSim);
+}
+
+void PrefetchAgent::observeRestartLatency(VDuration alpha) {
+  alphaObs_.observe(static_cast<double>(alpha));
+}
+
+void PrefetchAgent::observeTauSim(VDuration tau) {
+  tauSimObs_.observe(static_cast<double>(tau));
+}
+
+void PrefetchAgent::reset() {
+  hasLast_ = false;
+  direction_ = Direction::kNone;
+  stride_ = 1;
+  consec_ = 0;
+  tauCli_.reset();
+  rampS_ = 1;
+  hasCoverage_ = false;
+  prefetchedSteps_.clear();
+  // alphaObs_/tauSimObs_ survive: they describe the system, not the client.
+}
+
+std::int64_t PrefetchAgent::maskingDistance() const {
+  const double k = static_cast<double>(stride_);
+  const double perStep = std::max(k * tauSimEstimate(), tauCli_.value());
+  if (perStep <= kEps) return 0;
+  const double alpha = alphaEstimate();
+  return static_cast<std::int64_t>(std::ceil(alpha / perStep)) * stride_;
+}
+
+std::int64_t PrefetchAgent::resimLength() const {
+  const auto& geom = config_.geometry;
+  const double k = static_cast<double>(stride_);
+  const double tauSim = tauSimEstimate();
+  const double tauCli = tauCli_.value();
+  const double alpha = alphaEstimate();
+
+  if (direction_ == Direction::kBackward) {
+    // Sec. IV-B2: analysis slower than the simulation -> long enough that
+    // consuming n steps covers the next re-simulation end to end.
+    const double slack = tauCli - k * tauSim;
+    if (tauCli_.primed() && slack > kEps) {
+      const auto n = static_cast<std::int64_t>(std::ceil(k * alpha / slack));
+      return geom.roundUpToRestartMultiple(n);
+    }
+    // Analysis faster: favour small n and scale with parallel sims
+    // (the paper's s/n trade-off; n is one restart interval).
+    return geom.stepsPerRestartInterval();
+  }
+
+  // Forward (Sec. IV-B1a): n = R(ceil(alpha/max(k tau_sim, tau_cli)) + 2)k
+  // + delta_r/delta_d), rounded up to a restart-interval multiple.
+  const double perStep = std::max(k * tauSim, tauCli);
+  std::int64_t waitSteps = 0;
+  if (perStep > kEps) {
+    waitSteps = static_cast<std::int64_t>(std::ceil(alpha / perStep));
+  }
+  const std::int64_t base =
+      (waitSteps + 2) * stride_ + geom.stepsPerRestartInterval();
+  return geom.roundUpToRestartMultiple(base);
+}
+
+int PrefetchAgent::targetParallelSims() const {
+  if (!config_.bandwidthMatchingEnabled) return 1;  // masking only (Fig. 8)
+  const double k = static_cast<double>(stride_);
+  const double tauSim = tauSimEstimate();
+  const double tauCli = tauCli_.value();
+  if (!tauCli_.primed() || tauCli <= kEps) {
+    // Client speed unknown or effectively infinite: use every slot.
+    return config_.sMax;
+  }
+  double s = 1.0;
+  if (direction_ == Direction::kBackward) {
+    const double n = static_cast<double>(resimLength());
+    s = std::ceil(k * alphaEstimate() / (n * tauCli) + k * tauSim / tauCli);
+  } else {
+    s = std::ceil(k * tauSim / tauCli);  // s_opt
+  }
+  return static_cast<int>(std::clamp(s, 1.0, static_cast<double>(config_.sMax)));
+}
+
+void PrefetchAgent::updateDetection(StepIndex step, VTime now,
+                                    AgentActions& actions) {
+  if (!hasLast_) {
+    hasLast_ = true;
+    lastStep_ = step;
+    lastTime_ = now;
+    return;
+  }
+  const std::int64_t diff = step - lastStep_;
+  if (diff == 0) {  // repeated access: refresh time only
+    lastTime_ = now;
+    return;
+  }
+  const Direction dir = diff > 0 ? Direction::kForward : Direction::kBackward;
+  const std::int64_t k = std::llabs(diff);
+  if (dir == direction_ && k == stride_) {
+    ++consec_;
+  } else {
+    // Direction and/or stride changed: the agent resets itself
+    // (Sec. IV-B) and the DV may kill now-useless prefetches (Sec. IV-C).
+    // Establishing the *initial* trajectory is not a change: coverage
+    // already registered for the demand job must survive it.
+    if (direction_ != Direction::kNone) {
+      actions.trajectoryAbandoned = true;
+      tauCli_.reset();
+      rampS_ = 1;
+      hasCoverage_ = false;
+      prefetchedSteps_.clear();
+    }
+    direction_ = dir;
+    stride_ = k;
+    consec_ = 1;  // this pair already is one k-strided step
+  }
+  lastStep_ = step;
+  lastTime_ = now;
+}
+
+void PrefetchAgent::maybeRaiseLevel() {
+  // Strategy (1): raise the parallelism level while the analysis outpaces
+  // the simulation and more parallelism still helps.
+  if (!tauCli_.primed()) return;
+  const double k = static_cast<double>(stride_);
+  if (tauCli_.value() < k * tauSimEstimate() &&
+      config_.perf.levelImproves(level_)) {
+    ++level_;
+  }
+}
+
+void PrefetchAgent::planLaunches(StepIndex step, AgentActions& actions) {
+  if (!config_.prefetchEnabled) return;
+  if (direction_ == Direction::kNone || !patternDetected()) return;
+  if (!hasCoverage_) return;  // wait until the DV reports the demand job
+
+  const std::int64_t L = maskingDistance();
+  const std::int64_t n = resimLength();
+  const auto maxStep = config_.geometry.numTimesteps() > 0
+                           ? config_.geometry.numOutputSteps() - 1
+                           : std::numeric_limits<StepIndex>::max() / 4;
+
+  int s = targetParallelSims();
+  if (config_.doublingRampUp) {
+    s = std::min(s, rampS_);
+  }
+
+  // Per-simulation block length. With a single simulation it must be the
+  // full masking length n; with parallel simulations the paper stacks
+  // short jobs (Figs. 8-9 show delta_r/delta_d-sized sims), which keeps
+  // the serially-produced block ahead of the analysis short — but the
+  // whole batch must still cover the masking length, so each block is at
+  // least n/s, rounded up to restart intervals (high restart latencies
+  // need deep batches, Sec. IV-C1).
+  const std::int64_t blockLen =
+      s > 1 ? config_.geometry.roundUpToRestartMultiple((n + s - 1) / s) : n;
+
+  if (direction_ == Direction::kForward) {
+    const std::int64_t remaining = coveredHi_ - step;
+    if (remaining > L) return;
+    StepIndex next = coveredHi_ + 1;
+    for (int j = 0; j < s && next <= maxStep; ++j) {
+      LaunchRequest req;
+      req.startStep = next;
+      req.stopStep = std::min<StepIndex>(next + blockLen - 1, maxStep);
+      req.parallelismLevel = level_;
+      actions.launches.push_back(req);
+      next = req.stopStep + 1;
+    }
+  } else {
+    const std::int64_t remaining = step - coveredLo_;
+    if (remaining > L) return;
+    StepIndex stop = coveredLo_ - 1;
+    for (int j = 0; j < s && stop >= 0; ++j) {
+      LaunchRequest req;
+      req.stopStep = stop;
+      req.startStep = std::max<StepIndex>(stop - blockLen + 1, 0);
+      req.parallelismLevel = level_;
+      actions.launches.push_back(req);
+      stop = req.startStep - 1;
+    }
+  }
+  if (!actions.launches.empty() && config_.doublingRampUp) {
+    rampS_ = std::min(rampS_ * 2, config_.sMax);
+  }
+}
+
+AgentActions PrefetchAgent::onAccess(StepIndex step, VTime now, bool hit,
+                                     bool servedBySim) {
+  AgentActions actions;
+
+  // Pollution check (Sec. IV-C): a step this agent prefetched is gone.
+  const auto pf = prefetchedSteps_.find(step);
+  if (pf != prefetchedSteps_.end()) {
+    prefetchedSteps_.erase(pf);
+    if (!hit && !servedBySim) actions.pollutionDetected = true;
+  }
+
+  // tau_cli can only be measured between back-to-back unstalled accesses;
+  // a stalled access measures the simulation, not the client.
+  const bool canMeasure = hit && lastWasHit_ && hasLast_;
+  const VTime prevTime = lastTime_;
+  const StepIndex prevStep = lastStep_;
+
+  updateDetection(step, now, actions);
+
+  if (canMeasure && step != prevStep && direction_ != Direction::kNone &&
+      std::llabs(step - prevStep) == stride_) {
+    tauCli_.observe(static_cast<double>(now - prevTime));
+  }
+  lastWasHit_ = hit;
+
+  maybeRaiseLevel();
+  planLaunches(step, actions);
+  return actions;
+}
+
+void PrefetchAgent::onJobLaunched(StepIndex startStep, StepIndex stopStep,
+                                  bool prefetched) {
+  if (!hasCoverage_) {
+    coveredLo_ = startStep;
+    coveredHi_ = stopStep;
+    hasCoverage_ = true;
+  } else {
+    coveredLo_ = std::min(coveredLo_, startStep);
+    coveredHi_ = std::max(coveredHi_, stopStep);
+  }
+  if (prefetched) {
+    for (StepIndex s = startStep; s <= stopStep; ++s) {
+      prefetchedSteps_.insert(s);
+    }
+  }
+}
+
+}  // namespace simfs::prefetch

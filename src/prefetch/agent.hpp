@@ -1,0 +1,144 @@
+// Prefetch agents (Sec. IV "Optimizing Simulation Data Accesses").
+//
+// SimFS associates one prefetch agent with each analysis application. The
+// agent monitors the access pattern and, once a forward or backward
+// trajectory with stride k is detected (two consecutive k-strided
+// accesses), prefetches re-simulations so that
+//   (a) restart latencies are masked (Sec. IV-B1a), and
+//   (b) the aggregate simulation bandwidth matches the analysis ingestion
+//       bandwidth (Sec. IV-B1b), by first raising the simulation
+//       parallelism level (strategy 1) and then launching multiple
+//       re-simulations in parallel (strategy 2).
+//
+// Key quantities (forward, Sec. IV-B1a):
+//   per-step processing time  = max(k*tau_sim, tau_cli)
+//   re-simulation length      n >= ceil(alpha / max(...) + 2) * k,
+//                             rounded up to a restart-interval multiple
+//   prefetch (trigger) step   = d_i + n - ceil(alpha / max(...)) * k
+//   parallel simulations      s_opt = ceil(k * tau_sim / tau_cli)
+// Backward (Sec. IV-B2), analysis slower than simulation:
+//   n = k * alpha / (tau_cli - k * tau_sim), rounded up to a restart step
+// Backward, analysis faster:
+//   s = k * alpha / (n * tau_cli) + k * tau_sim / tau_cli
+//
+// Restart latencies are tracked with an exponential moving average whose
+// smoothing factor is a simulation-context parameter (Sec. IV-C1c).
+// Cache pollution (an agent-prefetched step evicted before its access,
+// Sec. IV-C) is flagged so the DV can reset all active agents.
+#pragma once
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "simmodel/context.hpp"
+
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+namespace simfs::prefetch {
+
+/// Trajectory direction.
+enum class Direction { kNone, kForward, kBackward };
+
+/// One re-simulation the agent wants launched.
+struct LaunchRequest {
+  StepIndex startStep = 0;  ///< first output step to produce
+  StepIndex stopStep = 0;   ///< last output step to produce (inclusive)
+  int parallelismLevel = 0;
+};
+
+/// What the DV should do after an access was fed to the agent.
+struct AgentActions {
+  std::vector<LaunchRequest> launches;
+  /// An agent-prefetched step was found missing: produced and evicted
+  /// before use. The DV resets every active prefetch agent (Sec. IV-C).
+  bool pollutionDetected = false;
+  /// Direction/stride changed or trajectory abandoned: the DV may kill
+  /// prefetched re-simulations nobody is waiting for (Sec. IV-C).
+  bool trajectoryAbandoned = false;
+};
+
+/// Per-client prefetch agent. Deterministic and clock-agnostic: all times
+/// arrive as explicit arguments.
+class PrefetchAgent {
+ public:
+  /// `config` supplies geometry, perf model, s_max, EMA smoothing and the
+  /// strategy-2 ramp-up knob.
+  explicit PrefetchAgent(const simmodel::ContextConfig& config);
+
+  /// Feeds one analysis access. `hit` is whether the file was on disk;
+  /// `servedBySim` whether a running simulation is already producing it.
+  /// The returned launches are *requests*: the DV clamps them against
+  /// s_max and actually starts the jobs (reporting back via
+  /// onJobLaunched so the agent's coverage frontier stays truthful).
+  [[nodiscard]] AgentActions onAccess(StepIndex step, VTime now, bool hit,
+                                      bool servedBySim);
+
+  /// The DV reports every job it launches that serves this client's
+  /// trajectory (demand recovery and accepted prefetches alike).
+  /// `prefetched` marks agent-initiated jobs: their steps feed the
+  /// pollution detector.
+  void onJobLaunched(StepIndex startStep, StepIndex stopStep,
+                     bool prefetched = false);
+
+  /// Observation feed: measured restart latency of a job (queuing time
+  /// included), Sec. IV-C1c.
+  void observeRestartLatency(VDuration alpha);
+
+  /// Observation feed: measured inter-production time of a simulation.
+  void observeTauSim(VDuration tau);
+
+  /// Resets detection, timing and coverage (pattern change, pollution,
+  /// client disconnect). Keeps latency observations: they are properties
+  /// of the system, not of the trajectory.
+  void reset();
+
+  // --- inspection (tests, diagnostics) -----------------------------------
+  [[nodiscard]] Direction direction() const noexcept { return direction_; }
+  [[nodiscard]] std::int64_t stride() const noexcept { return stride_; }
+  [[nodiscard]] bool patternDetected() const noexcept { return consec_ >= 1; }
+  [[nodiscard]] int parallelismLevel() const noexcept { return level_; }
+  [[nodiscard]] double tauCliEstimate() const noexcept { return tauCli_.value(); }
+  [[nodiscard]] double alphaEstimate() const noexcept;
+  [[nodiscard]] double tauSimEstimate() const noexcept;
+
+  /// Computed re-simulation length n for the current estimates (exposed
+  /// for the Fig. 7-11 schedule bench and unit tests).
+  [[nodiscard]] std::int64_t resimLength() const;
+
+  /// Computed masking distance L = ceil(alpha / max(k tau_sim, tau_cli)) * k.
+  [[nodiscard]] std::int64_t maskingDistance() const;
+
+  /// Target number of parallel simulations for the current estimates.
+  [[nodiscard]] int targetParallelSims() const;
+
+ private:
+  void updateDetection(StepIndex step, VTime now, AgentActions& actions);
+  void maybeRaiseLevel();
+  void planLaunches(StepIndex step, AgentActions& actions);
+
+  const simmodel::ContextConfig& config_;
+  // -- pattern detection ----------------------------------------------------
+  bool hasLast_ = false;
+  bool lastWasHit_ = false;
+  StepIndex lastStep_ = 0;
+  VTime lastTime_ = 0;
+  Direction direction_ = Direction::kNone;
+  std::int64_t stride_ = 1;
+  int consec_ = 0;  ///< consecutive consistent strides observed
+  // -- timing estimates ------------------------------------------------------
+  Ema tauCli_;
+  Ema alphaObs_;
+  Ema tauSimObs_;
+  // -- strategies -------------------------------------------------------------
+  int level_ = 0;       ///< parallelism level for the next launches
+  int rampS_ = 1;       ///< doubling ramp state for strategy (2)
+  // -- coverage ---------------------------------------------------------------
+  bool hasCoverage_ = false;
+  StepIndex coveredLo_ = 0;  ///< lowest step being/already produced
+  StepIndex coveredHi_ = 0;  ///< highest step being/already produced
+  // -- pollution detection ----------------------------------------------------
+  std::unordered_set<StepIndex> prefetchedSteps_;
+};
+
+}  // namespace simfs::prefetch

@@ -1,0 +1,104 @@
+#include "simmodel/context.hpp"
+
+#include "common/checksum.hpp"
+#include "common/strings.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace simfs::simmodel {
+
+Result<PolicyKind> parsePolicyKind(const std::string& name) {
+  const auto lower = str::toLower(name);
+  if (lower == "lru") return PolicyKind::kLru;
+  if (lower == "lirs") return PolicyKind::kLirs;
+  if (lower == "arc") return PolicyKind::kArc;
+  if (lower == "bcl") return PolicyKind::kBcl;
+  if (lower == "dcl") return PolicyKind::kDcl;
+  if (lower == "fifo") return PolicyKind::kFifo;
+  if (lower == "random") return PolicyKind::kRandom;
+  return errInvalidArgument("unknown replacement policy: " + name);
+}
+
+const char* policyKindName(PolicyKind kind) noexcept {
+  switch (kind) {
+    case PolicyKind::kLru: return "LRU";
+    case PolicyKind::kLirs: return "LIRS";
+    case PolicyKind::kArc: return "ARC";
+    case PolicyKind::kBcl: return "BCL";
+    case PolicyKind::kDcl: return "DCL";
+    case PolicyKind::kFifo: return "FIFO";
+    case PolicyKind::kRandom: return "RANDOM";
+  }
+  return "?";
+}
+
+void ChecksumMap::record(const std::string& filename, std::uint64_t digest) {
+  map_[filename] = digest;
+}
+
+std::optional<std::uint64_t> ChecksumMap::lookup(const std::string& filename) const {
+  const auto it = map_.find(filename);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<bool> ChecksumMap::matches(const std::string& filename,
+                                  std::uint64_t digest) const {
+  const auto ref = lookup(filename);
+  if (!ref) return errNotFound("bitrep: no recorded checksum for " + filename);
+  return *ref == digest;
+}
+
+std::string ChecksumMap::serialize() const {
+  std::string out;
+  for (const auto& [name, digest] : map_) {
+    out += name;
+    out += '\t';
+    out += digestToHex(digest);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<ChecksumMap> ChecksumMap::deserialize(const std::string& text) {
+  ChecksumMap map;
+  int lineno = 0;
+  for (const auto& line : str::split(text, '\n')) {
+    ++lineno;
+    const auto trimmed = str::trim(line);
+    if (trimmed.empty()) continue;
+    const auto tab = trimmed.find('\t');
+    if (tab == std::string_view::npos) {
+      return errInvalidArgument(
+          str::format("checksum map: missing tab at line %d", lineno));
+    }
+    const std::string name(trimmed.substr(0, tab));
+    const std::string hex(trimmed.substr(tab + 1));
+    char* end = nullptr;
+    const auto digest = std::strtoull(hex.c_str(), &end, 16);
+    if (end != hex.c_str() + hex.size() || hex.empty()) {
+      return errInvalidArgument(
+          str::format("checksum map: bad digest at line %d", lineno));
+    }
+    map.record(name, digest);
+  }
+  return map;
+}
+
+Status ChecksumMap::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return errIoError("checksum map: cannot write " + path);
+  out << serialize();
+  return out ? Status::ok() : errIoError("checksum map: short write " + path);
+}
+
+Result<ChecksumMap> ChecksumMap::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return errIoError("checksum map: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return deserialize(ss.str());
+}
+
+}  // namespace simfs::simmodel

@@ -1,0 +1,121 @@
+// Simulation contexts (Sec. II-A "Simulation Contexts").
+//
+// A simulation context = a simulator + one of its configurations. It fixes
+// the step geometry, file sizes, the storage area (directory + quota), the
+// cache replacement scheme, the prefetching knobs, and the performance
+// model. Analyses select a context by name (environment variable or
+// SIMFS_Init argument).
+#pragma once
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "simmodel/filename_codec.hpp"
+#include "simmodel/perf_model.hpp"
+#include "simmodel/step_geometry.hpp"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace simfs::simmodel {
+
+/// Cache replacement scheme selector (Sec. III-D).
+enum class PolicyKind {
+  kLru,
+  kLirs,
+  kArc,
+  kBcl,
+  kDcl,
+  kFifo,    // baseline beyond the paper
+  kRandom,  // baseline beyond the paper
+};
+
+/// Parses "LRU|LIRS|ARC|BCL|DCL|FIFO|RANDOM" (case-insensitive).
+[[nodiscard]] Result<PolicyKind> parsePolicyKind(const std::string& name);
+
+/// Stable uppercase name.
+[[nodiscard]] const char* policyKindName(PolicyKind kind) noexcept;
+
+/// Full configuration of one simulation context.
+struct ContextConfig {
+  std::string name = "default";
+
+  /// Output/restart layout.
+  StepGeometry geometry{1, 1, 0};
+
+  /// Output-step file size s_o and restart file size s_r.
+  Bytes outputStepBytes = 1;
+  Bytes restartStepBytes = 1;
+
+  /// Storage-area quota for cached output steps (0 = unlimited).
+  Bytes cacheQuotaBytes = 0;
+
+  /// Replacement scheme; the paper fixes DCL after the Fig. 5 study.
+  PolicyKind policy = PolicyKind::kDcl;
+
+  /// Max number of simultaneously running re-simulations (s_max).
+  int sMax = 8;
+
+  /// Smoothing factor of the restart-latency EMA (Sec. IV-C1c).
+  double emaSmoothing = 0.5;
+
+  /// If true, strategy (2) ramps s up by doubling (1,2,4,...) instead of
+  /// launching s_opt re-simulations immediately (Sec. IV-B1b).
+  bool doublingRampUp = false;
+
+  /// Master switch for the prefetch agents.
+  bool prefetchEnabled = true;
+
+  /// Ablation knob separating Sec. IV-B1a from IV-B1b: when false the
+  /// agent only masks restart latency (one re-simulation at a time,
+  /// Fig. 8); when true it additionally matches the analysis bandwidth
+  /// with parallel re-simulations (Fig. 9).
+  bool bandwidthMatchingEnabled = true;
+
+  /// Timing model per parallelism level.
+  PerfModel perf{1, vtime::kSecond, 0};
+
+  /// Filename convention.
+  FilenameCodec codec{};
+
+  /// Derived: cache capacity in whole output steps.
+  [[nodiscard]] std::int64_t cacheCapacitySteps() const noexcept {
+    if (cacheQuotaBytes == 0 || outputStepBytes == 0) return 0;
+    return static_cast<std::int64_t>(cacheQuotaBytes / outputStepBytes);
+  }
+};
+
+/// Checksum registry backing SIMFS_Bitrep (Sec. III-C2): filename ->
+/// digest recorded when the initial simulation ran. Serializable so the
+/// "command line utility" workflow (record at first run, verify later)
+/// works across processes.
+class ChecksumMap {
+ public:
+  /// Records (or overwrites) a file's reference digest.
+  void record(const std::string& filename, std::uint64_t digest);
+
+  /// Reference digest if recorded.
+  [[nodiscard]] std::optional<std::uint64_t> lookup(const std::string& filename) const;
+
+  /// Compares a candidate digest against the recorded one.
+  /// Returns kNotFound if the file was never recorded.
+  [[nodiscard]] Result<bool> matches(const std::string& filename,
+                                     std::uint64_t digest) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+
+  /// Serializes as "name<TAB>hexdigest" lines.
+  [[nodiscard]] std::string serialize() const;
+
+  /// Parses the serialize() format.
+  [[nodiscard]] static Result<ChecksumMap> deserialize(const std::string& text);
+
+  /// Saves to / loads from a file.
+  [[nodiscard]] Status save(const std::string& path) const;
+  [[nodiscard]] static Result<ChecksumMap> load(const std::string& path);
+
+ private:
+  std::map<std::string, std::uint64_t> map_;
+};
+
+}  // namespace simfs::simmodel

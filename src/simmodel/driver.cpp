@@ -1,0 +1,150 @@
+#include "simmodel/driver.hpp"
+
+#include "common/checksum.hpp"
+#include "common/ini.hpp"
+#include "common/strings.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace simfs::simmodel {
+
+Result<StepIndex> SimulationDriver::key(const std::string& filename) const {
+  return config().codec.outputKey(filename);
+}
+
+JobSpec SimulationDriver::makeJob(StepIndex start, StepIndex stop,
+                                  int parallelismLevel) const {
+  const auto& cfg = config();
+  JobSpec spec;
+  spec.context = cfg.name;
+  spec.startStep = start;
+  spec.stopStep = std::max(start, stop);
+  spec.parallelismLevel =
+      std::clamp(parallelismLevel, 0, cfg.perf.maxLevel());
+  const int nodes = cfg.perf.at(spec.parallelismLevel).nodes;
+  spec.script = str::format(
+      "#!/bin/sh\n# job for context %s\nsimulate --start %lld --stop %lld "
+      "--nodes %d\n",
+      cfg.name.c_str(), static_cast<long long>(spec.startStep),
+      static_cast<long long>(spec.stopStep), nodes);
+  return spec;
+}
+
+std::uint64_t SimulationDriver::checksum(std::string_view content) const {
+  return fnv1a64(content);
+}
+
+namespace {
+
+/// Driver loaded from a .drv INI description; job scripts rendered from a
+/// user template so site-specific batch incantations stay in the file.
+class IniDriver final : public SimulationDriver {
+ public:
+  IniDriver(ContextConfig config, std::string scriptTemplate)
+      : config_(std::move(config)),
+        script_template_(std::move(scriptTemplate)) {}
+
+  [[nodiscard]] const ContextConfig& config() const noexcept override {
+    return config_;
+  }
+
+  [[nodiscard]] JobSpec makeJob(StepIndex start, StepIndex stop,
+                                int parallelismLevel) const override {
+    JobSpec spec = SimulationDriver::makeJob(start, stop, parallelismLevel);
+    if (!script_template_.empty()) {
+      std::string s = script_template_;
+      s = str::replaceAll(s, "{start}",
+                          str::format("%lld", static_cast<long long>(spec.startStep)));
+      s = str::replaceAll(s, "{stop}",
+                          str::format("%lld", static_cast<long long>(spec.stopStep)));
+      s = str::replaceAll(
+          s, "{nodes}",
+          str::format("%d", config_.perf.at(spec.parallelismLevel).nodes));
+      spec.script = s;
+    }
+    return spec;
+  }
+
+ private:
+  ContextConfig config_;
+  std::string script_template_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SimulationDriver>> parseDriver(const std::string& text) {
+  auto doc = IniDoc::parse(text);
+  if (!doc) return doc.status();
+
+  ContextConfig cfg;
+  cfg.name = doc->getOr("context", "name", "default");
+
+  const auto deltaD = doc->getIntOr("context", "delta_d", 1);
+  const auto deltaR = doc->getIntOr("context", "delta_r", 1);
+  const auto numTs = doc->getIntOr("context", "num_timesteps", 0);
+  if (deltaD < 1 || deltaR < 1 || numTs < 0) {
+    return errInvalidArgument("driver: delta_d/delta_r must be >= 1");
+  }
+  cfg.geometry = StepGeometry(deltaD, deltaR, numTs);
+
+  cfg.outputStepBytes =
+      static_cast<Bytes>(doc->getIntOr("context", "output_bytes", 1));
+  cfg.restartStepBytes =
+      static_cast<Bytes>(doc->getIntOr("context", "restart_bytes", 1));
+  cfg.cacheQuotaBytes =
+      static_cast<Bytes>(doc->getIntOr("context", "cache_quota_bytes", 0));
+
+  const auto policyName = doc->getOr("context", "policy", "DCL");
+  auto policy = parsePolicyKind(policyName);
+  if (!policy) return policy.status();
+  cfg.policy = *policy;
+
+  cfg.sMax = static_cast<int>(doc->getIntOr("context", "s_max", 8));
+  if (cfg.sMax < 1) return errInvalidArgument("driver: s_max must be >= 1");
+  cfg.emaSmoothing = doc->getDoubleOr("context", "ema_smoothing", 0.5);
+  if (cfg.emaSmoothing <= 0.0 || cfg.emaSmoothing > 1.0) {
+    return errInvalidArgument("driver: ema_smoothing must be in (0,1]");
+  }
+  cfg.doublingRampUp = doc->getIntOr("context", "doubling_ramp", 0) != 0;
+  cfg.prefetchEnabled = doc->getIntOr("context", "prefetch", 1) != 0;
+  cfg.bandwidthMatchingEnabled =
+      doc->getIntOr("context", "bandwidth_matching", 1) != 0;
+
+  const auto nodes = static_cast<int>(doc->getIntOr("perf", "nodes", 1));
+  const auto tauMs = doc->getDoubleOr("perf", "tau_sim_ms", 1000.0);
+  const auto alphaMs = doc->getDoubleOr("perf", "alpha_sim_ms", 0.0);
+  const auto maxLevel = static_cast<int>(doc->getIntOr("perf", "max_level", 0));
+  const auto efficiency = doc->getDoubleOr("perf", "efficiency", 0.8);
+  if (nodes < 1 || tauMs < 0 || alphaMs < 0 || maxLevel < 0) {
+    return errInvalidArgument("driver: invalid [perf] section");
+  }
+  const auto tau = static_cast<VDuration>(tauMs * vtime::kMillisecond);
+  const auto alpha = static_cast<VDuration>(alphaMs * vtime::kMillisecond);
+  cfg.perf = (maxLevel == 0)
+                 ? PerfModel(nodes, tau, alpha)
+                 : PerfModel::strongScaling(nodes, tau, alpha, maxLevel,
+                                            efficiency);
+
+  cfg.codec = FilenameCodec(
+      doc->getOr("naming", "output_prefix", "out_"),
+      doc->getOr("naming", "output_suffix", ".snc"),
+      doc->getOr("naming", "restart_prefix", "restart_"),
+      doc->getOr("naming", "restart_suffix", ".rst"),
+      static_cast<int>(doc->getIntOr("naming", "pad_width", 10)));
+
+  std::string scriptTemplate = doc->getOr("job", "script_template", "");
+  return std::unique_ptr<SimulationDriver>(
+      std::make_unique<IniDriver>(std::move(cfg), std::move(scriptTemplate)));
+}
+
+Result<std::unique_ptr<SimulationDriver>> loadDriverFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return errIoError("driver: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parseDriver(ss.str());
+}
+
+}  // namespace simfs::simmodel

@@ -1,0 +1,81 @@
+// Simulation drivers (Sec. III-B "Simulator Interface").
+//
+// The paper attaches a LUA script to each simulator providing
+//   (1) the naming convention: key(filename) -> monotone integer, and
+//   (2) simulation-job creation: (start, stop, parallelism level) -> a
+//       script the DV executes, with simulator-imposed allocation
+//       constraints resolved inside the driver.
+// This repo expresses the same contract as a C++ interface; drivers can be
+// built programmatically (SyntheticDriver) or loaded from small INI ".drv"
+// descriptions (loadDriverFile), our stand-in for the LUA layer.
+#pragma once
+
+#include "common/status.hpp"
+#include "simmodel/context.hpp"
+
+#include <memory>
+#include <string>
+
+namespace simfs::simmodel {
+
+/// A renderable simulation job (the "script" of Sec. III-B plus the
+/// structured fields the DV core needs to track it).
+struct JobSpec {
+  std::string context;        ///< owning simulation context
+  StepIndex startStep = 0;    ///< first output step to produce
+  StepIndex stopStep = 0;     ///< last output step to produce (inclusive)
+  int parallelismLevel = 0;   ///< 0..driver max; driver maps to nodes
+  std::string script;         ///< rendered job script (for live/batch mode)
+};
+
+/// Simulator-specific behaviour the DV calls through.
+class SimulationDriver {
+ public:
+  virtual ~SimulationDriver() = default;
+
+  /// The context this driver serves (geometry, sizes, perf model, ...).
+  [[nodiscard]] virtual const ContextConfig& config() const noexcept = 0;
+
+  /// The paper's key(): total order over output filenames.
+  [[nodiscard]] virtual Result<StepIndex> key(const std::string& filename) const;
+
+  /// Builds the job covering output steps [start, stop] at a parallelism
+  /// level (clamped by the driver to its own constraints).
+  [[nodiscard]] virtual JobSpec makeJob(StepIndex start, StepIndex stop,
+                                        int parallelismLevel) const;
+
+  /// Simulator-specific checksum used by SIMFS_Bitrep (default FNV-1a 64).
+  [[nodiscard]] virtual std::uint64_t checksum(std::string_view content) const;
+};
+
+/// Driver fully described by a ContextConfig (synthetic simulators,
+/// DES-mode experiments).
+class SyntheticDriver final : public SimulationDriver {
+ public:
+  explicit SyntheticDriver(ContextConfig config) : config_(std::move(config)) {}
+
+  [[nodiscard]] const ContextConfig& config() const noexcept override {
+    return config_;
+  }
+
+ private:
+  ContextConfig config_;
+};
+
+/// Loads a driver from a ".drv" INI description. Recognized keys:
+///
+///   [context]  name, delta_d, delta_r, num_timesteps,
+///              output_bytes, restart_bytes, cache_quota_bytes,
+///              policy, s_max, ema_smoothing, doubling_ramp, prefetch
+///   [perf]     nodes, tau_sim_ms, alpha_sim_ms, max_level, efficiency
+///   [naming]   output_prefix, output_suffix, restart_prefix,
+///              restart_suffix, pad_width
+///   [job]      script_template   (placeholders: {start} {stop} {nodes})
+[[nodiscard]] Result<std::unique_ptr<SimulationDriver>> loadDriverFile(
+    const std::string& path);
+
+/// Parses a ".drv" description from text (same schema as loadDriverFile).
+[[nodiscard]] Result<std::unique_ptr<SimulationDriver>> parseDriver(
+    const std::string& text);
+
+}  // namespace simfs::simmodel

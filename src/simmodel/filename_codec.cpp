@@ -1,0 +1,72 @@
+#include "simmodel/filename_codec.hpp"
+
+#include "common/strings.hpp"
+
+#include <cassert>
+
+namespace simfs::simmodel {
+
+FilenameCodec::FilenameCodec(std::string outputPrefix, std::string outputSuffix,
+                             std::string restartPrefix,
+                             std::string restartSuffix, int padWidth)
+    : output_prefix_(std::move(outputPrefix)),
+      output_suffix_(std::move(outputSuffix)),
+      restart_prefix_(std::move(restartPrefix)),
+      restart_suffix_(std::move(restartSuffix)),
+      pad_width_(padWidth) {
+  SIMFS_CHECK(pad_width_ >= 1 && pad_width_ <= 18);
+}
+
+std::string FilenameCodec::outputFile(StepIndex i) const {
+  assert(i >= 0);
+  return str::format("%s%0*lld%s", output_prefix_.c_str(), pad_width_,
+                     static_cast<long long>(i), output_suffix_.c_str());
+}
+
+std::string FilenameCodec::restartFile(RestartIndex r) const {
+  assert(r >= 0);
+  return str::format("%s%0*lld%s", restart_prefix_.c_str(), pad_width_,
+                     static_cast<long long>(r), restart_suffix_.c_str());
+}
+
+Result<std::int64_t> FilenameCodec::parseIndex(std::string_view filename,
+                                               std::string_view prefix,
+                                               std::string_view suffix) const {
+  if (!str::startsWith(filename, prefix) || !str::endsWith(filename, suffix) ||
+      filename.size() <= prefix.size() + suffix.size()) {
+    return errInvalidArgument("codec: name does not match convention: " +
+                              std::string(filename));
+  }
+  const auto digits =
+      filename.substr(prefix.size(), filename.size() - prefix.size() - suffix.size());
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return errInvalidArgument("codec: non-numeric index in: " +
+                                std::string(filename));
+    }
+  }
+  const auto v = str::parseInt(digits);
+  if (!v) {
+    return errInvalidArgument("codec: unparsable index in: " +
+                              std::string(filename));
+  }
+  return *v;
+}
+
+Result<StepIndex> FilenameCodec::outputKey(std::string_view filename) const {
+  return parseIndex(filename, output_prefix_, output_suffix_);
+}
+
+Result<RestartIndex> FilenameCodec::restartKey(std::string_view filename) const {
+  return parseIndex(filename, restart_prefix_, restart_suffix_);
+}
+
+bool FilenameCodec::isOutputFile(std::string_view filename) const noexcept {
+  return parseIndex(filename, output_prefix_, output_suffix_).isOk();
+}
+
+bool FilenameCodec::isRestartFile(std::string_view filename) const noexcept {
+  return parseIndex(filename, restart_prefix_, restart_suffix_).isOk();
+}
+
+}  // namespace simfs::simmodel

@@ -1,0 +1,57 @@
+// Naming convention for output/restart step files (Sec. III-B).
+//
+// The paper requires the simulation driver to provide a function key() such
+// that key(d_i) > key(d_j) iff d_i is produced after d_j. FilenameCodec is
+// the default convention: zero-padded step indices between a prefix and a
+// suffix, e.g. "out_0000000042.snc". key() is the parsed index.
+#pragma once
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+#include <string>
+#include <string_view>
+
+namespace simfs::simmodel {
+
+/// Bidirectional filename <-> step-index mapping for one context.
+class FilenameCodec {
+ public:
+  /// Defaults produce "out_<10 digits>.snc" / "restart_<10 digits>.rst".
+  FilenameCodec(std::string outputPrefix = "out_",
+                std::string outputSuffix = ".snc",
+                std::string restartPrefix = "restart_",
+                std::string restartSuffix = ".rst", int padWidth = 10);
+
+  /// Renders the output-step filename for index i (>= 0).
+  [[nodiscard]] std::string outputFile(StepIndex i) const;
+
+  /// Renders the restart-step filename for index r (>= 0).
+  [[nodiscard]] std::string restartFile(RestartIndex r) const;
+
+  /// The paper's key(): parses an output filename back to its index.
+  /// Monotone: later steps map to larger keys.
+  [[nodiscard]] Result<StepIndex> outputKey(std::string_view filename) const;
+
+  /// Parses a restart filename back to its index.
+  [[nodiscard]] Result<RestartIndex> restartKey(std::string_view filename) const;
+
+  /// True if the name matches the output-step convention.
+  [[nodiscard]] bool isOutputFile(std::string_view filename) const noexcept;
+
+  /// True if the name matches the restart-step convention.
+  [[nodiscard]] bool isRestartFile(std::string_view filename) const noexcept;
+
+ private:
+  [[nodiscard]] Result<std::int64_t> parseIndex(std::string_view filename,
+                                                std::string_view prefix,
+                                                std::string_view suffix) const;
+
+  std::string output_prefix_;
+  std::string output_suffix_;
+  std::string restart_prefix_;
+  std::string restart_suffix_;
+  int pad_width_;
+};
+
+}  // namespace simfs::simmodel

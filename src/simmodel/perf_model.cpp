@@ -1,0 +1,53 @@
+#include "simmodel/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simfs::simmodel {
+
+PerfModel::PerfModel(std::vector<PerfLevel> levels) : levels_(std::move(levels)) {
+  SIMFS_CHECK(!levels_.empty());
+  for (const auto& l : levels_) {
+    SIMFS_CHECK(l.nodes >= 1);
+    SIMFS_CHECK(l.tauSim >= 0);
+    SIMFS_CHECK(l.alphaSim >= 0);
+  }
+}
+
+PerfModel::PerfModel(int nodes, VDuration tauSim, VDuration alphaSim)
+    : PerfModel(std::vector<PerfLevel>{PerfLevel{nodes, tauSim, alphaSim}}) {}
+
+PerfModel PerfModel::strongScaling(int baseNodes, VDuration tauSim,
+                                   VDuration alphaSim, int maxLevel,
+                                   double efficiency) {
+  SIMFS_CHECK(maxLevel >= 0);
+  SIMFS_CHECK(efficiency > 0.0 && efficiency <= 1.0);
+  std::vector<PerfLevel> levels;
+  levels.reserve(static_cast<std::size_t>(maxLevel) + 1);
+  double tau = static_cast<double>(tauSim);
+  int nodes = baseNodes;
+  for (int l = 0; l <= maxLevel; ++l) {
+    levels.push_back(PerfLevel{nodes, static_cast<VDuration>(tau), alphaSim});
+    // Doubling nodes divides tau by (1 + efficiency): eff=1 halves it.
+    tau /= (1.0 + efficiency);
+    nodes *= 2;
+  }
+  return PerfModel(std::move(levels));
+}
+
+const PerfLevel& PerfModel::at(int level) const noexcept {
+  const int clamped = std::clamp(level, 0, maxLevel());
+  return levels_[static_cast<std::size_t>(clamped)];
+}
+
+VDuration PerfModel::simTime(std::int64_t nSteps, int level) const noexcept {
+  const auto& l = at(level);
+  return l.alphaSim + nSteps * l.tauSim;
+}
+
+bool PerfModel::levelImproves(int fromLevel) const noexcept {
+  if (fromLevel >= maxLevel()) return false;
+  return at(fromLevel + 1).tauSim < at(fromLevel).tauSim;
+}
+
+}  // namespace simfs::simmodel

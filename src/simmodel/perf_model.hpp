@@ -1,0 +1,63 @@
+// Simulation performance model (Sec. IV-A).
+//
+// The paper models a re-simulation as: restart latency alpha_sim(p)
+// followed by one output step every tau_sim(p), where p is a *parallelism
+// level* — an integer 0..maxLevel that the driver maps to a concrete node
+// count (so the DV can scale parallelism without knowing the simulator's
+// allocation constraints, Sec. III-B).
+//
+//   T_sim(n, p) = alpha_sim(p) + n * tau_sim(p)
+#pragma once
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+#include <vector>
+
+namespace simfs::simmodel {
+
+/// Per-level timing and node count.
+struct PerfLevel {
+  int nodes = 1;            ///< compute nodes used at this level
+  VDuration tauSim = 0;     ///< inter-production time per output step
+  VDuration alphaSim = 0;   ///< restart latency (excl. queuing time)
+};
+
+/// Table-driven performance model over parallelism levels.
+class PerfModel {
+ public:
+  /// Builds from explicit per-level entries (at least one).
+  explicit PerfModel(std::vector<PerfLevel> levels);
+
+  /// Convenience single-level model (fixed parallelism, like the paper's
+  /// COSMO context that always runs at its optimal P=100).
+  PerfModel(int nodes, VDuration tauSim, VDuration alphaSim);
+
+  /// Builds a strong-scaling ladder: level L uses baseNodes*2^L nodes and
+  /// tau shrinks with the given per-doubling efficiency (0 < eff <= 1;
+  /// eff = 1 is perfect scaling, 0.5 means doubling nodes buys nothing).
+  /// alpha is level-independent (restart latency rarely scales).
+  [[nodiscard]] static PerfModel strongScaling(int baseNodes, VDuration tauSim,
+                                               VDuration alphaSim,
+                                               int maxLevel, double efficiency);
+
+  /// Highest valid level index.
+  [[nodiscard]] int maxLevel() const noexcept {
+    return static_cast<int>(levels_.size()) - 1;
+  }
+
+  /// Level entry; level is clamped into the valid range.
+  [[nodiscard]] const PerfLevel& at(int level) const noexcept;
+
+  /// T_sim(n, p): time to simulate n output steps at the given level.
+  [[nodiscard]] VDuration simTime(std::int64_t nSteps, int level) const noexcept;
+
+  /// True if raising the level actually shortens tau_sim (the prefetcher's
+  /// strategy (1) stops when there is no benefit, Sec. IV-B1b).
+  [[nodiscard]] bool levelImproves(int fromLevel) const noexcept;
+
+ private:
+  std::vector<PerfLevel> levels_;
+};
+
+}  // namespace simfs::simmodel

@@ -1,0 +1,77 @@
+#include "simmodel/step_geometry.hpp"
+
+#include <cassert>
+
+namespace simfs::simmodel {
+
+StepGeometry::StepGeometry(std::int64_t deltaD, std::int64_t deltaR,
+                           std::int64_t numTimesteps)
+    : delta_d_(deltaD), delta_r_(deltaR), num_timesteps_(numTimesteps) {
+  SIMFS_CHECK(deltaD >= 1);
+  SIMFS_CHECK(deltaR >= 1);
+  SIMFS_CHECK(numTimesteps >= 0);
+}
+
+std::int64_t StepGeometry::numOutputSteps() const noexcept {
+  return num_timesteps_ / delta_d_;
+}
+
+std::int64_t StepGeometry::numRestartSteps() const noexcept {
+  return num_timesteps_ / delta_r_;
+}
+
+RestartIndex StepGeometry::restartFor(StepIndex i) const noexcept {
+  assert(i >= 0);
+  return (i * delta_d_) / delta_r_;
+}
+
+RestartIndex StepGeometry::nextRestartAfter(StepIndex i) const noexcept {
+  assert(i >= 0);
+  const std::int64_t t = i * delta_d_;
+  // ceil(t / delta_r), except that a step exactly on a restart boundary
+  // rolls over to the *next* restart: a zero-length run would produce no
+  // spatial locality at all.
+  if (t % delta_r_ == 0) return t / delta_r_ + 1;
+  return (t + delta_r_ - 1) / delta_r_;
+}
+
+StepIndex StepGeometry::firstStepAtOrAfterRestart(RestartIndex r) const noexcept {
+  assert(r >= 0);
+  const std::int64_t t = r * delta_r_;
+  return (t + delta_d_ - 1) / delta_d_;
+}
+
+StepIndex StepGeometry::lastStepOfRunUntil(RestartIndex r) const noexcept {
+  assert(r >= 0);
+  // A run "until at least restart r" simulates timesteps up to r*delta_r,
+  // emitting every output step with timestep <= r*delta_r.
+  return (r * delta_r_) / delta_d_;
+}
+
+std::int64_t StepGeometry::missCostSteps(StepIndex i) const noexcept {
+  assert(i >= 0);
+  const RestartIndex r = restartFor(i);
+  const StepIndex first = firstStepAtOrAfterRestart(r);
+  // Steps the re-simulation must produce through d_i, inclusive. When d_i
+  // sits exactly on its restart step this is 1 (d_i itself), matching the
+  // intuition that restart-adjacent steps are the cheapest misses.
+  return (i - first) + 1;
+}
+
+std::int64_t StepGeometry::stepsPerRestartInterval() const noexcept {
+  return (delta_r_ + delta_d_ - 1) / delta_d_;
+}
+
+std::int64_t StepGeometry::roundUpToRestartMultiple(std::int64_t nSteps) const noexcept {
+  const std::int64_t interval = stepsPerRestartInterval();
+  if (nSteps <= 0) return interval;
+  return ((nSteps + interval - 1) / interval) * interval;
+}
+
+bool StepGeometry::validStep(StepIndex i) const noexcept {
+  if (i < 0) return false;
+  if (num_timesteps_ == 0) return true;
+  return outputTimestep(i) <= num_timesteps_ && i < (num_timesteps_ / delta_d_ + 1);
+}
+
+}  // namespace simfs::simmodel

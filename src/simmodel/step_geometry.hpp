@@ -1,0 +1,93 @@
+// Simulation step arithmetic (Sec. II-A, Fig. 3).
+//
+// A forward-in-time simulation advances in timesteps t1..tn and is
+// configured by:
+//   delta_d — timesteps between two output steps,
+//   delta_r — timesteps between two restart steps.
+// Output step d_i lives at timestep i*delta_d; restart step r_j at
+// j*delta_r. To produce d_i the simulation restarts from
+// R(d_i) = floor(i*delta_d / delta_r) and, to exploit spatial locality,
+// runs until at least the next restart step ceil(i*delta_d / delta_r).
+#pragma once
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+#include <cstdint>
+
+namespace simfs::simmodel {
+
+/// Immutable description of a simulation's output/restart step layout.
+class StepGeometry {
+ public:
+  /// `deltaD`, `deltaR` in timesteps (both >= 1); `numTimesteps` bounds the
+  /// timeline (0 = unbounded, used when the total length is irrelevant).
+  StepGeometry(std::int64_t deltaD, std::int64_t deltaR,
+               std::int64_t numTimesteps = 0);
+
+  [[nodiscard]] std::int64_t deltaD() const noexcept { return delta_d_; }
+  [[nodiscard]] std::int64_t deltaR() const noexcept { return delta_r_; }
+  [[nodiscard]] std::int64_t numTimesteps() const noexcept { return num_timesteps_; }
+
+  /// Number of output steps on a bounded timeline: floor(n / delta_d).
+  [[nodiscard]] std::int64_t numOutputSteps() const noexcept;
+
+  /// Number of restart steps on a bounded timeline: floor(n / delta_r).
+  [[nodiscard]] std::int64_t numRestartSteps() const noexcept;
+
+  /// Timestep at which output step i is emitted.
+  [[nodiscard]] std::int64_t outputTimestep(StepIndex i) const noexcept {
+    return i * delta_d_;
+  }
+
+  /// Timestep of restart step r.
+  [[nodiscard]] std::int64_t restartTimestep(RestartIndex r) const noexcept {
+    return r * delta_r_;
+  }
+
+  /// R(d_i) = floor(i*delta_d / delta_r): the restart step a re-simulation
+  /// producing d_i must start from.
+  [[nodiscard]] RestartIndex restartFor(StepIndex i) const noexcept;
+
+  /// ceil(i*delta_d / delta_r): the restart step a re-simulation producing
+  /// d_i runs until (at least), per the spatial-locality rule.
+  [[nodiscard]] RestartIndex nextRestartAfter(StepIndex i) const noexcept;
+
+  /// First output step whose timestep is >= restart r's timestep.
+  [[nodiscard]] StepIndex firstStepAtOrAfterRestart(RestartIndex r) const noexcept;
+
+  /// Last output step strictly before restart r's timestep... i.e. the final
+  /// output step a re-simulation [r0, r) produces. For r's timestep exactly
+  /// on an output step, that step belongs to the next interval's start but
+  /// is still produced by a run "until at least restart r"; we therefore
+  /// include it (run semantics are inclusive of the restart-boundary step).
+  [[nodiscard]] StepIndex lastStepOfRunUntil(RestartIndex r) const noexcept;
+
+  /// Miss cost of output step i in *output steps to simulate*: the number
+  /// of output steps a re-simulation must produce, from the first one after
+  /// R(d_i) through d_i itself (>= 1). The paper's BCL/DCL use this as the
+  /// nonuniform miss cost.
+  [[nodiscard]] std::int64_t missCostSteps(StepIndex i) const noexcept;
+
+  /// Output steps per restart interval: delta_r / delta_d as a rounded-up
+  /// integer (the paper's deltaR/deltaD appears in prefetch formulas).
+  [[nodiscard]] std::int64_t stepsPerRestartInterval() const noexcept;
+
+  /// Rounds a desired re-simulation length (in output steps) up to the next
+  /// restart-interval multiple, per Sec. IV-B1a ("We always round n up to
+  /// the nearest restart interval multiple").
+  [[nodiscard]] std::int64_t roundUpToRestartMultiple(std::int64_t nSteps) const noexcept;
+
+  /// True if the step exists on the bounded timeline (always true when
+  /// unbounded and i >= 0).
+  [[nodiscard]] bool validStep(StepIndex i) const noexcept;
+
+  friend bool operator==(const StepGeometry&, const StepGeometry&) = default;
+
+ private:
+  std::int64_t delta_d_;
+  std::int64_t delta_r_;
+  std::int64_t num_timesteps_;
+};
+
+}  // namespace simfs::simmodel

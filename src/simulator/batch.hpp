@@ -1,0 +1,27 @@
+// Batch-system model (the paper's "queuing time in a batch system" /
+// "VM deploying time" component of the restart latency, Secs. IV-A, IV-C1).
+//
+// A launched job waits in the queue before it starts executing; the queue
+// delay adds to the effective restart latency the analyses observe. The
+// Fig. 17/19 sweeps vary exactly this knob.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace simfs::simulator {
+
+/// Queue-delay distribution: fixed base plus optional uniform jitter
+/// (non-constant restart latencies, Sec. IV-C1c).
+struct BatchModel {
+  VDuration baseDelay = 0;    ///< deterministic queue time
+  VDuration jitterMax = 0;    ///< extra delay drawn uniformly from [0, jitterMax]
+
+  /// Draws one queue delay.
+  [[nodiscard]] VDuration sample(Rng& rng) const noexcept {
+    if (jitterMax <= 0) return baseDelay;
+    return baseDelay + rng.uniformInt(0, jitterMax);
+  }
+};
+
+}  // namespace simfs::simulator

@@ -1,0 +1,56 @@
+#include "simulator/des_fleet.hpp"
+
+#include "common/log.hpp"
+
+namespace simfs::simulator {
+
+DesSimulatorFleet::DesSimulatorFleet(engine::Engine& engine, BatchModel batch,
+                                     std::uint64_t seed)
+    : engine_(engine), batch_(batch), rng_(seed) {}
+
+void DesSimulatorFleet::registerContext(const simmodel::ContextConfig& config) {
+  contexts_.insert_or_assign(config.name, config);
+}
+
+void DesSimulatorFleet::launch(SimJobId job, const simmodel::JobSpec& spec) {
+  SIMFS_CHECK(dv_ != nullptr);
+  const auto cit = contexts_.find(spec.context);
+  SIMFS_CHECK(cit != contexts_.end());
+  const auto& cfg = cit->second;
+  const auto& perf = cfg.perf.at(spec.parallelismLevel);
+
+  ++launched_;
+  RunningJob& rj = running_[job];
+
+  const VDuration queue = batch_.sample(rng_);
+  const VTime startTime = engine_.now() + queue;
+  rj.events.push_back(engine_.scheduleAt(
+      startTime, [this, job] { dv_->simulationStarted(job); }));
+
+  // First file appears after the restart latency plus one production
+  // interval; each further file one interval later.
+  VTime t = startTime + perf.alphaSim;
+  for (StepIndex s = spec.startStep; s <= spec.stopStep; ++s) {
+    t += perf.tauSim;
+    const std::string file = cfg.codec.outputFile(s);
+    rj.events.push_back(engine_.scheduleAt(t, [this, job, file] {
+      dv_->simulationFileWritten(job, file);
+    }));
+  }
+  rj.events.push_back(engine_.scheduleAt(t, [this, job] {
+    running_.erase(job);
+    dv_->simulationFinished(job, Status::ok());
+  }));
+}
+
+void DesSimulatorFleet::kill(SimJobId job) {
+  const auto it = running_.find(job);
+  if (it == running_.end()) return;
+  for (const auto ev : it->second.events) engine_.cancel(ev);
+  running_.erase(it);
+  ++killed_;
+  SIMFS_LOG_DEBUG("fleet", "killed job %llu",
+                  static_cast<unsigned long long>(job));
+}
+
+}  // namespace simfs::simulator

@@ -1,0 +1,62 @@
+// Virtual-time simulator fleet: plays (re-)simulation jobs as events on
+// the discrete-event engine.
+//
+// A job launched by the DV proceeds through: batch-queue delay -> restart
+// latency alpha_sim(p) -> one output file every tau_sim(p). The fleet
+// reports each phase back to the DV (simulationStarted /
+// simulationFileWritten / simulationFinished). Kill cancels the job's
+// pending events, modelling scancel.
+//
+// Timing constants come from the registered ContextConfigs, mirroring how
+// the real system's driver encapsulates simulator performance.
+#pragma once
+
+#include "common/rng.hpp"
+#include "dv/data_virtualizer.hpp"
+#include "dv/launcher.hpp"
+#include "engine/engine.hpp"
+#include "simulator/batch.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace simfs::simulator {
+
+/// SimLauncher implementation for discrete-event experiments.
+class DesSimulatorFleet final : public dv::SimLauncher {
+ public:
+  DesSimulatorFleet(engine::Engine& engine, BatchModel batch,
+                    std::uint64_t seed = 7);
+
+  /// The DV to report progress to. Must be set before the first launch.
+  void bind(dv::DataVirtualizer* dv) noexcept { dv_ = dv; }
+
+  /// Registers the timing/naming description of a context (same config the
+  /// DV's driver holds).
+  void registerContext(const simmodel::ContextConfig& config);
+
+  // --- SimLauncher -----------------------------------------------------------
+  void launch(SimJobId job, const simmodel::JobSpec& spec) override;
+  void kill(SimJobId job) override;
+
+  // --- diagnostics ------------------------------------------------------------
+  [[nodiscard]] std::uint64_t launched() const noexcept { return launched_; }
+  [[nodiscard]] std::uint64_t killed() const noexcept { return killed_; }
+
+ private:
+  struct RunningJob {
+    std::vector<engine::EventId> events;
+  };
+
+  engine::Engine& engine_;
+  BatchModel batch_;
+  Rng rng_;
+  dv::DataVirtualizer* dv_ = nullptr;
+  std::map<std::string, simmodel::ContextConfig> contexts_;
+  std::map<SimJobId, RunningJob> running_;
+  std::uint64_t launched_ = 0;
+  std::uint64_t killed_ = 0;
+};
+
+}  // namespace simfs::simulator

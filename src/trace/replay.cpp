@@ -1,0 +1,60 @@
+#include "trace/replay.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+namespace simfs::trace {
+
+namespace {
+
+/// Output steps are cached under their step index rendered as a short key.
+/// (Filename rendering is irrelevant to replacement behaviour and would
+/// only slow the replay down.)
+std::string stepKey(StepIndex i) { return std::to_string(i); }
+
+}  // namespace
+
+ReplayResult replayTrace(const Trace& trace,
+                         const simmodel::StepGeometry& geometry,
+                         cache::Cache& cache, const ReplayOptions& options) {
+  ReplayResult res;
+  const StepIndex maxStep =
+      geometry.numTimesteps() > 0 ? geometry.numOutputSteps() - 1
+                                  : std::numeric_limits<StepIndex>::max() / 2;
+  for (StepIndex raw : trace) {
+    const StepIndex i = std::clamp<StepIndex>(raw, 0, maxStep);
+    ++res.accesses;
+    const double cost = static_cast<double>(geometry.missCostSteps(i));
+    auto outcome = cache.access(stepKey(i), cost);
+    res.evictions += outcome.evicted.size();
+    if (outcome.hit) {
+      ++res.hits;
+      continue;
+    }
+    ++res.misses;
+    ++res.restarts;
+    if (options.fillWholeInterval) {
+      // The re-simulation starts at R(d_i) and runs until at least the next
+      // restart step, producing every output step in between.
+      const auto r = geometry.restartFor(i);
+      const auto rEnd = geometry.nextRestartAfter(i);
+      const StepIndex first = geometry.firstStepAtOrAfterRestart(r);
+      const StepIndex last =
+          std::min<StepIndex>(geometry.lastStepOfRunUntil(rEnd), maxStep);
+      res.simulatedSteps += static_cast<std::uint64_t>(last - first + 1);
+      for (StepIndex j = first; j <= last; ++j) {
+        if (j == i) continue;  // already inserted by the access above
+        const auto evicted = cache.insert(
+            stepKey(j), static_cast<double>(geometry.missCostSteps(j)));
+        res.evictions += evicted.size();
+      }
+    } else {
+      res.simulatedSteps +=
+          static_cast<std::uint64_t>(geometry.missCostSteps(i));
+    }
+  }
+  return res;
+}
+
+}  // namespace simfs::trace

@@ -1,0 +1,50 @@
+// Trace-driven cache replay (the measurement engine behind Fig. 5 and the
+// V(gamma) re-simulation counts of the Sec. V cost models).
+//
+// Replays an access trace against a replacement policy using the paper's
+// re-simulation semantics: a miss on output step d_i restarts the
+// simulation from restart step R(d_i) and runs it until at least the next
+// restart step, inserting every produced output step into the cache
+// (spatial locality, Sec. II-A).
+#pragma once
+
+#include "cache/cache.hpp"
+#include "simmodel/step_geometry.hpp"
+#include "trace/trace.hpp"
+
+#include <cstdint>
+
+namespace simfs::trace {
+
+/// Counters reported by a replay.
+struct ReplayResult {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t restarts = 0;        ///< re-simulations started
+  std::uint64_t simulatedSteps = 0;  ///< output steps produced by them
+  std::uint64_t evictions = 0;
+
+  [[nodiscard]] double hitRate() const noexcept {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(accesses);
+  }
+};
+
+/// Replay options.
+struct ReplayOptions {
+  /// If true (paper semantics) a re-simulation fills its whole restart
+  /// interval; if false only the missed step is produced (ablation knob).
+  bool fillWholeInterval = true;
+};
+
+/// Replays `trace` against `cache` for a timeline shaped by `geometry`.
+/// Out-of-range steps are clamped into the timeline; the cache keeps its
+/// prior contents (call repeatedly to model back-to-back analyses).
+[[nodiscard]] ReplayResult replayTrace(const Trace& trace,
+                                       const simmodel::StepGeometry& geometry,
+                                       cache::Cache& cache,
+                                       const ReplayOptions& options = {});
+
+}  // namespace simfs::trace

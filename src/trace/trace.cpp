@@ -1,0 +1,157 @@
+#include "trace/trace.hpp"
+
+#include "common/strings.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <fstream>
+
+namespace simfs::trace {
+
+Result<PatternKind> parsePatternKind(const std::string& name) {
+  const auto lower = str::toLower(name);
+  if (lower == "forward") return PatternKind::kForward;
+  if (lower == "backward") return PatternKind::kBackward;
+  if (lower == "random") return PatternKind::kRandom;
+  return errInvalidArgument("unknown pattern: " + name);
+}
+
+const char* patternKindName(PatternKind kind) noexcept {
+  switch (kind) {
+    case PatternKind::kForward: return "forward";
+    case PatternKind::kBackward: return "backward";
+    case PatternKind::kRandom: return "random";
+  }
+  return "?";
+}
+
+Trace makeForwardTrace(StepIndex start, std::int64_t len,
+                       StepIndex timelineSteps, std::int64_t stride) {
+  assert(stride >= 1);
+  Trace t;
+  t.reserve(static_cast<std::size_t>(std::max<std::int64_t>(len, 0)));
+  for (std::int64_t i = 0; i < len; ++i) {
+    const StepIndex step = start + i * stride;
+    if (step >= timelineSteps) break;
+    if (step < 0) continue;
+    t.push_back(step);
+  }
+  return t;
+}
+
+Trace makeBackwardTrace(StepIndex start, std::int64_t len,
+                        StepIndex timelineSteps, std::int64_t stride) {
+  assert(stride >= 1);
+  Trace t;
+  t.reserve(static_cast<std::size_t>(std::max<std::int64_t>(len, 0)));
+  for (std::int64_t i = 0; i < len; ++i) {
+    const StepIndex step = start - i * stride;
+    if (step < 0) break;
+    if (step >= timelineSteps) continue;
+    t.push_back(step);
+  }
+  return t;
+}
+
+Trace makeRandomTrace(Rng& rng, StepIndex start, std::int64_t len,
+                      std::int64_t windowLen, StepIndex timelineSteps) {
+  assert(windowLen >= 1);
+  Trace t;
+  t.reserve(static_cast<std::size_t>(std::max<std::int64_t>(len, 0)));
+  const StepIndex lo = std::clamp<StepIndex>(start, 0, timelineSteps - 1);
+  const StepIndex hi =
+      std::clamp<StepIndex>(start + windowLen - 1, lo, timelineSteps - 1);
+  for (std::int64_t i = 0; i < len; ++i) {
+    t.push_back(rng.uniformInt(lo, hi));
+  }
+  return t;
+}
+
+Trace makeConcatenatedPattern(Rng& rng, PatternKind kind,
+                              const PatternWorkload& params) {
+  Trace out;
+  for (int i = 0; i < params.numTraces; ++i) {
+    const auto len = rng.uniformInt(params.minLen, params.maxLen);
+    const auto start = rng.uniformInt(0, params.timelineSteps - 1);
+    Trace one;
+    switch (kind) {
+      case PatternKind::kForward:
+        one = makeForwardTrace(start, len, params.timelineSteps, params.stride);
+        break;
+      case PatternKind::kBackward:
+        one = makeBackwardTrace(start, len, params.timelineSteps, params.stride);
+        break;
+      case PatternKind::kRandom:
+        one = makeRandomTrace(rng, start, len, /*windowLen=*/len,
+                              params.timelineSteps);
+        break;
+    }
+    out.insert(out.end(), one.begin(), one.end());
+  }
+  return out;
+}
+
+Trace makeEcmwfLikeTrace(Rng& rng, const EcmwfParams& params,
+                         StepIndex timelineSteps) {
+  SIMFS_CHECK(params.distinctFiles > 0);
+  SIMFS_CHECK(timelineSteps > 0);
+
+  // Map "archive files" to output steps spread uniformly (but shuffled)
+  // across the timeline, so popular files are not clustered in time.
+  std::vector<StepIndex> fileToStep(params.distinctFiles);
+  for (std::size_t i = 0; i < params.distinctFiles; ++i) {
+    fileToStep[i] = static_cast<StepIndex>(
+        (i * static_cast<std::size_t>(timelineSteps)) / params.distinctFiles);
+  }
+  rng.shuffle(fileToStep);
+
+  const ZipfSampler zipf(params.distinctFiles, params.zipfExponent);
+  std::deque<std::size_t> recent;  // recently-accessed file ranks
+  Trace out;
+  out.reserve(params.totalAccesses);
+  for (std::size_t i = 0; i < params.totalAccesses; ++i) {
+    std::size_t file;
+    if (!recent.empty() && rng.bernoulli(params.burstProbability)) {
+      // Temporal burst: re-reference something from the recent working set.
+      const auto idx = static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(recent.size()) - 1));
+      file = recent[idx];
+    } else {
+      file = zipf.sample(rng);
+    }
+    recent.push_back(file);
+    if (recent.size() > params.burstWindow) recent.pop_front();
+    out.push_back(fileToStep[file]);
+  }
+  return out;
+}
+
+Status saveTrace(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return errIoError("trace: cannot write " + path);
+  for (const auto step : trace) out << step << '\n';
+  return out ? Status::ok() : errIoError("trace: short write " + path);
+}
+
+Result<Trace> loadTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return errIoError("trace: cannot open " + path);
+  Trace t;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto trimmed = str::trim(line);
+    if (trimmed.empty()) continue;
+    const auto v = str::parseInt(trimmed);
+    if (!v) {
+      return errInvalidArgument(
+          str::format("trace: bad line %d in %s", lineno, path.c_str()));
+    }
+    t.push_back(*v);
+  }
+  return t;
+}
+
+}  // namespace simfs::trace

@@ -1,0 +1,92 @@
+// Access traces for the caching study (Sec. III-D "Caching Schemes
+// Evaluation").
+//
+// A trace is a sequence of output-step indices accessed by (synthetic)
+// analysis tools. The paper evaluates four patterns:
+//   forward  — scan forward-in-time from a random start,
+//   backward — scan backward-in-time from a random start,
+//   random   — randomly selected output steps near a random start,
+//   ECMWF    — replay of the (proprietary) ECFS archival trace; this repo
+//              synthesizes an equivalent (Zipf popularity + bursts).
+// Per the paper, 50 traces per pattern with lengths U[100, 400] starting
+// at random timeline points are concatenated into one mega-trace.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+#include <string>
+#include <vector>
+
+namespace simfs::trace {
+
+/// A trace is a flat list of accessed output-step indices.
+using Trace = std::vector<StepIndex>;
+
+/// Scan/random pattern selector.
+enum class PatternKind { kForward, kBackward, kRandom };
+
+/// Parses "forward|backward|random" (case-insensitive).
+[[nodiscard]] Result<PatternKind> parsePatternKind(const std::string& name);
+
+/// Stable lowercase name.
+[[nodiscard]] const char* patternKindName(PatternKind kind) noexcept;
+
+/// One forward scan: start, start+stride, ..., `len` accesses, truncated at
+/// the timeline end.
+[[nodiscard]] Trace makeForwardTrace(StepIndex start, std::int64_t len,
+                                     StepIndex timelineSteps,
+                                     std::int64_t stride = 1);
+
+/// One backward scan: start, start-stride, ..., truncated at step 0.
+[[nodiscard]] Trace makeBackwardTrace(StepIndex start, std::int64_t len,
+                                      StepIndex timelineSteps,
+                                      std::int64_t stride = 1);
+
+/// One random-access trace: `len` uniform picks within the window
+/// [start, start + windowLen) clipped to the timeline. The window models
+/// an analysis randomly probing the region it studies.
+[[nodiscard]] Trace makeRandomTrace(Rng& rng, StepIndex start,
+                                    std::int64_t len, std::int64_t windowLen,
+                                    StepIndex timelineSteps);
+
+/// Parameters of the paper's concatenated-pattern workload.
+struct PatternWorkload {
+  StepIndex timelineSteps = 1152;  ///< 4 days at 5-minute output steps
+  int numTraces = 50;
+  std::int64_t minLen = 100;
+  std::int64_t maxLen = 400;
+  std::int64_t stride = 1;
+};
+
+/// Generates the Fig. 5 workload: numTraces single-pattern traces with
+/// random starts and U[minLen,maxLen] lengths, concatenated.
+[[nodiscard]] Trace makeConcatenatedPattern(Rng& rng, PatternKind kind,
+                                            const PatternWorkload& params);
+
+/// Synthetic ECMWF-like archival trace parameters. Defaults mirror the
+/// real trace's aggregate statistics (874 distinct files, 659,989
+/// accesses, Jan 2012 - May 2014); totalAccesses can be scaled down for
+/// faster repetitions without changing the distributional shape.
+struct EcmwfParams {
+  std::size_t distinctFiles = 874;
+  std::size_t totalAccesses = 659989;
+  double zipfExponent = 0.9;   ///< archival popularity skew
+  double burstProbability = 0.35;  ///< P(next access re-references recent set)
+  std::size_t burstWindow = 16;    ///< size of the recent working set
+};
+
+/// Synthesizes the ECMWF-like trace over a timeline: distinct "files" are
+/// mapped to output steps spread across the timeline; accesses follow a
+/// Zipf popularity with temporal bursts.
+[[nodiscard]] Trace makeEcmwfLikeTrace(Rng& rng, const EcmwfParams& params,
+                                       StepIndex timelineSteps);
+
+/// Writes one step index per line.
+[[nodiscard]] Status saveTrace(const Trace& trace, const std::string& path);
+
+/// Reads the saveTrace format.
+[[nodiscard]] Result<Trace> loadTrace(const std::string& path);
+
+}  // namespace simfs::trace

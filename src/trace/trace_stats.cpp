@@ -1,0 +1,138 @@
+#include "trace/trace_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+namespace simfs::trace {
+
+namespace {
+
+/// Exact reuse distances via an order-statistic-free approach: for each
+/// re-reference, count distinct steps touched since the previous access
+/// of the same step. O(n * d) worst case is avoided with an epoch trick:
+/// we keep, per step, the index of its last access, and count distinct
+/// steps in the window with a Fenwick tree over "last occurrence" flags.
+class ReuseDistanceScanner {
+ public:
+  explicit ReuseDistanceScanner(std::size_t n) : fen_(n + 1, 0) {}
+
+  void add(std::size_t pos) { update(pos + 1, +1); }
+  void remove(std::size_t pos) { update(pos + 1, -1); }
+
+  /// Number of flagged positions in (from, to).
+  [[nodiscard]] std::int64_t countBetween(std::size_t from, std::size_t to) const {
+    if (to <= from + 1) return 0;
+    return query(to) - query(from + 1);
+  }
+
+ private:
+  void update(std::size_t i, int delta) {
+    for (; i < fen_.size(); i += i & (~i + 1)) {
+      fen_[i] += delta;
+    }
+  }
+  [[nodiscard]] std::int64_t query(std::size_t i) const {  // prefix [1, i)
+    std::int64_t sum = 0;
+    for (--i; i > 0; i -= i & (~i + 1)) sum += fen_[i];
+    return sum;
+  }
+
+  std::vector<std::int64_t> fen_;
+};
+
+}  // namespace
+
+TraceProfile profileTrace(const Trace& trace) {
+  TraceProfile profile;
+  profile.accesses = trace.size();
+  if (trace.empty()) return profile;
+
+  std::unordered_map<StepIndex, std::size_t> counts;
+  for (const auto s : trace) ++counts[s];
+  profile.distinctSteps = counts.size();
+
+  // Popularity skew.
+  std::vector<std::size_t> freq;
+  freq.reserve(counts.size());
+  for (const auto& [_, c] : counts) freq.push_back(c);
+  std::sort(freq.rbegin(), freq.rend());
+  const std::size_t top = std::max<std::size_t>(1, freq.size() / 10);
+  std::size_t topSum = 0;
+  for (std::size_t i = 0; i < top; ++i) topSum += freq[i];
+  profile.top10Share =
+      static_cast<double>(topSum) / static_cast<double>(trace.size());
+
+  // Scan-ness and direction.
+  std::size_t sequential = 0;
+  std::size_t forward = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const auto d = trace[i] - trace[i - 1];
+    if (d == 1 || d == -1) {
+      ++sequential;
+      if (d == 1) ++forward;
+    }
+  }
+  if (trace.size() > 1) {
+    profile.sequentialFraction =
+        static_cast<double>(sequential) / static_cast<double>(trace.size() - 1);
+  }
+  profile.forwardFraction =
+      sequential == 0 ? 0.0
+                      : static_cast<double>(forward) /
+                            static_cast<double>(sequential);
+
+  // Reuse distances (distinct steps between same-step accesses).
+  ReuseDistanceScanner scanner(trace.size());
+  std::unordered_map<StepIndex, std::size_t> lastPos;
+  std::vector<double> distances;
+  std::size_t reuses = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto it = lastPos.find(trace[i]);
+    if (it != lastPos.end()) {
+      ++reuses;
+      distances.push_back(
+          static_cast<double>(scanner.countBetween(it->second, i)));
+      scanner.remove(it->second);
+    }
+    scanner.add(i);
+    lastPos[trace[i]] = i;
+  }
+  profile.reuseFraction =
+      static_cast<double>(reuses) / static_cast<double>(trace.size());
+  if (!distances.empty()) {
+    std::nth_element(distances.begin(),
+                     distances.begin() + static_cast<std::ptrdiff_t>(
+                                             distances.size() / 2),
+                     distances.end());
+    profile.medianReuseDistance = distances[distances.size() / 2];
+  }
+  return profile;
+}
+
+std::vector<std::uint64_t> reuseDistanceHistogram(const Trace& trace,
+                                                  int maxBuckets) {
+  std::vector<std::uint64_t> hist(static_cast<std::size_t>(maxBuckets) + 1, 0);
+  ReuseDistanceScanner scanner(trace.size());
+  std::unordered_map<StepIndex, std::size_t> lastPos;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto it = lastPos.find(trace[i]);
+    if (it == lastPos.end()) {
+      hist.back()++;  // cold access
+    } else {
+      const auto d = scanner.countBetween(it->second, i);
+      int bucket = 0;
+      while ((1LL << (bucket + 1)) <= d + 1 && bucket < maxBuckets - 1) {
+        ++bucket;
+      }
+      ++hist[static_cast<std::size_t>(bucket)];
+      scanner.remove(it->second);
+    }
+    scanner.add(i);
+    lastPos[trace[i]] = i;
+  }
+  return hist;
+}
+
+}  // namespace simfs::trace

@@ -1,0 +1,45 @@
+// Trace characterization: the quantities that explain why the Fig. 5
+// patterns behave so differently under the replacement schemes.
+//
+// Used by the ablation benches and available to operators sizing a SimFS
+// deployment from a recorded access log.
+#pragma once
+
+#include "common/types.hpp"
+#include "trace/trace.hpp"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace simfs::trace {
+
+/// Aggregate statistics of one access trace.
+struct TraceProfile {
+  std::size_t accesses = 0;
+  std::size_t distinctSteps = 0;
+  /// Fraction of accesses to the top-10% most popular steps (popularity
+  /// skew; ~0.1 for uniform, ->1 for archival Zipf traces).
+  double top10Share = 0.0;
+  /// Fraction of consecutive access pairs with |delta| == 1 (scan-ness).
+  double sequentialFraction = 0.0;
+  /// Fraction of consecutive pairs moving forward (+) among the
+  /// sequential ones; 0.5 means direction-balanced.
+  double forwardFraction = 0.0;
+  /// Median reuse distance (distinct steps between two accesses to the
+  /// same step); -1 when no step is ever reused.
+  double medianReuseDistance = -1.0;
+  /// Fraction of accesses that are re-references (not first-touch).
+  double reuseFraction = 0.0;
+};
+
+/// Computes the profile in O(n log n).
+[[nodiscard]] TraceProfile profileTrace(const Trace& trace);
+
+/// Reuse-distance histogram with power-of-two buckets:
+/// bucket[i] counts re-references with distance in [2^i, 2^(i+1)).
+/// The last element counts cold (first-touch) accesses.
+[[nodiscard]] std::vector<std::uint64_t> reuseDistanceHistogram(
+    const Trace& trace, int maxBuckets = 24);
+
+}  // namespace simfs::trace

@@ -1,0 +1,146 @@
+#include "vfs/file_store.hpp"
+
+#include "common/checksum.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace simfs::vfs {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- MemFileStore
+
+Status MemFileStore::put(const std::string& name, std::string content) {
+  std::lock_guard lock(mutex_);
+  const auto sum = fnv1a64(content);
+  files_[name] = Entry{std::move(content), sum};
+  return Status::ok();
+}
+
+Result<std::string> MemFileStore::read(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = files_.find(name);
+  if (it == files_.end()) return errNotFound("mem: no file " + name);
+  return it->second.content;
+}
+
+bool MemFileStore::exists(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  return files_.count(name) > 0;
+}
+
+Result<FileInfo> MemFileStore::stat(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = files_.find(name);
+  if (it == files_.end()) return errNotFound("mem: no file " + name);
+  return FileInfo{name, it->second.content.size(), it->second.checksum};
+}
+
+Status MemFileStore::remove(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  if (files_.erase(name) == 0) return errNotFound("mem: no file " + name);
+  return Status::ok();
+}
+
+std::vector<std::string> MemFileStore::list() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [k, _] : files_) out.push_back(k);
+  return out;
+}
+
+Bytes MemFileStore::totalBytes() const {
+  std::lock_guard lock(mutex_);
+  Bytes total = 0;
+  for (const auto& [_, e] : files_) total += e.content.size();
+  return total;
+}
+
+// --------------------------------------------------------------- DiskFileStore
+
+DiskFileStore::DiskFileStore(std::string root) : root_(std::move(root)) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+}
+
+Result<std::string> DiskFileStore::pathFor(const std::string& name) const {
+  if (name.empty() || name.find('/') != std::string::npos ||
+      name.find("..") != std::string::npos) {
+    return errInvalidArgument("disk: invalid file name: " + name);
+  }
+  return root_ + "/" + name;
+}
+
+Status DiskFileStore::put(const std::string& name, std::string content) {
+  auto path = pathFor(name);
+  if (!path) return path.status();
+  std::lock_guard lock(mutex_);
+  std::ofstream out(*path, std::ios::binary | std::ios::trunc);
+  if (!out) return errIoError("disk: cannot open for write: " + *path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return errIoError("disk: short write: " + *path);
+  return Status::ok();
+}
+
+Result<std::string> DiskFileStore::read(const std::string& name) const {
+  auto path = pathFor(name);
+  if (!path) return path.status();
+  std::lock_guard lock(mutex_);
+  std::ifstream in(*path, std::ios::binary);
+  if (!in) return errNotFound("disk: no file " + name);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool DiskFileStore::exists(const std::string& name) const {
+  auto path = pathFor(name);
+  if (!path) return false;
+  std::lock_guard lock(mutex_);
+  std::error_code ec;
+  return fs::exists(*path, ec);
+}
+
+Result<FileInfo> DiskFileStore::stat(const std::string& name) const {
+  auto content = read(name);
+  if (!content) return content.status();
+  return FileInfo{name, content->size(), fnv1a64(*content)};
+}
+
+Status DiskFileStore::remove(const std::string& name) {
+  auto path = pathFor(name);
+  if (!path) return path.status();
+  std::lock_guard lock(mutex_);
+  std::error_code ec;
+  if (!fs::remove(*path, ec)) return errNotFound("disk: no file " + name);
+  return Status::ok();
+}
+
+std::vector<std::string> DiskFileStore::list() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    if (entry.is_regular_file()) out.push_back(entry.path().filename().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Bytes DiskFileStore::totalBytes() const {
+  std::lock_guard lock(mutex_);
+  Bytes total = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    if (entry.is_regular_file()) {
+      total += static_cast<Bytes>(entry.file_size(ec));
+    }
+  }
+  return total;
+}
+
+}  // namespace simfs::vfs

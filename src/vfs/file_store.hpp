@@ -1,0 +1,103 @@
+// File stores: where simulation output bytes actually live.
+//
+// The DV itself only needs metadata (names, sizes, quotas; see
+// StorageArea), but simulators and analyses in live mode read and write
+// real content. MemFileStore backs tests and DES runs; DiskFileStore backs
+// the daemon-mode examples under a scratch directory, standing in for the
+// parallel file system (Lustre in the paper).
+#pragma once
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace simfs::vfs {
+
+/// Per-file metadata.
+struct FileInfo {
+  std::string name;
+  Bytes size = 0;
+  std::uint64_t checksum = 0;  // FNV-1a of content, maintained on put
+};
+
+/// Abstract content store keyed by flat file names.
+///
+/// Thread-safe: implementations serialize internally so DVLib clients and
+/// simulator threads can share one store.
+class FileStore {
+ public:
+  virtual ~FileStore() = default;
+
+  /// Creates or replaces a file with the given content.
+  [[nodiscard]] virtual Status put(const std::string& name,
+                                   std::string content) = 0;
+
+  /// Reads the whole file.
+  [[nodiscard]] virtual Result<std::string> read(const std::string& name) const = 0;
+
+  /// True if the file exists.
+  [[nodiscard]] virtual bool exists(const std::string& name) const = 0;
+
+  /// Metadata for one file.
+  [[nodiscard]] virtual Result<FileInfo> stat(const std::string& name) const = 0;
+
+  /// Deletes a file; kNotFound if absent.
+  [[nodiscard]] virtual Status remove(const std::string& name) = 0;
+
+  /// All file names, sorted.
+  [[nodiscard]] virtual std::vector<std::string> list() const = 0;
+
+  /// Sum of all file sizes.
+  [[nodiscard]] virtual Bytes totalBytes() const = 0;
+};
+
+/// In-memory store (tests, DES integration).
+class MemFileStore final : public FileStore {
+ public:
+  [[nodiscard]] Status put(const std::string& name, std::string content) override;
+  [[nodiscard]] Result<std::string> read(const std::string& name) const override;
+  [[nodiscard]] bool exists(const std::string& name) const override;
+  [[nodiscard]] Result<FileInfo> stat(const std::string& name) const override;
+  [[nodiscard]] Status remove(const std::string& name) override;
+  [[nodiscard]] std::vector<std::string> list() const override;
+  [[nodiscard]] Bytes totalBytes() const override;
+
+ private:
+  struct Entry {
+    std::string content;
+    std::uint64_t checksum;
+  };
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> files_;
+};
+
+/// Directory-backed store. File names map to paths under `root`; names may
+/// not contain '/' or ".." (flat namespace, as output steps are flat files
+/// within a context's storage area).
+class DiskFileStore final : public FileStore {
+ public:
+  /// Creates the root directory if needed.
+  explicit DiskFileStore(std::string root);
+
+  [[nodiscard]] Status put(const std::string& name, std::string content) override;
+  [[nodiscard]] Result<std::string> read(const std::string& name) const override;
+  [[nodiscard]] bool exists(const std::string& name) const override;
+  [[nodiscard]] Result<FileInfo> stat(const std::string& name) const override;
+  [[nodiscard]] Status remove(const std::string& name) override;
+  [[nodiscard]] std::vector<std::string> list() const override;
+  [[nodiscard]] Bytes totalBytes() const override;
+
+  [[nodiscard]] const std::string& root() const noexcept { return root_; }
+
+ private:
+  [[nodiscard]] Result<std::string> pathFor(const std::string& name) const;
+
+  std::string root_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace simfs::vfs

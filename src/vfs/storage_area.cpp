@@ -1,0 +1,62 @@
+#include "vfs/storage_area.hpp"
+
+namespace simfs::vfs {
+
+Status StorageArea::addFile(const std::string& file, Bytes size) {
+  const auto [it, inserted] = files_.emplace(file, Entry{size, 0});
+  if (!inserted) return errAlreadyExists("storage: file exists: " + file);
+  used_ += size;
+  return Status::ok();
+}
+
+Status StorageArea::removeFile(const std::string& file) {
+  const auto it = files_.find(file);
+  if (it == files_.end()) return errNotFound("storage: no file: " + file);
+  if (it->second.refs > 0) {
+    return errFailedPrecondition("storage: file still referenced: " + file);
+  }
+  used_ -= it->second.size;
+  files_.erase(it);
+  return Status::ok();
+}
+
+Bytes StorageArea::sizeOf(const std::string& file) const noexcept {
+  const auto it = files_.find(file);
+  return it == files_.end() ? 0 : it->second.size;
+}
+
+Status StorageArea::ref(const std::string& file) {
+  const auto it = files_.find(file);
+  if (it == files_.end()) return errNotFound("storage: no file: " + file);
+  ++it->second.refs;
+  return Status::ok();
+}
+
+Status StorageArea::unref(const std::string& file) {
+  const auto it = files_.find(file);
+  if (it == files_.end()) return errNotFound("storage: no file: " + file);
+  if (it->second.refs == 0) {
+    return errFailedPrecondition("storage: refcount underflow: " + file);
+  }
+  --it->second.refs;
+  return Status::ok();
+}
+
+int StorageArea::refCount(const std::string& file) const noexcept {
+  const auto it = files_.find(file);
+  return it == files_.end() ? 0 : it->second.refs;
+}
+
+bool StorageArea::evictable(const std::string& file) const noexcept {
+  const auto it = files_.find(file);
+  return it != files_.end() && it->second.refs == 0;
+}
+
+std::vector<std::string> StorageArea::files() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [k, _] : files_) out.push_back(k);
+  return out;
+}
+
+}  // namespace simfs::vfs

@@ -1,0 +1,88 @@
+// StorageArea: quota-tracked metadata view of a simulation context's
+// output directory (Sec. III-A).
+//
+// "we associate each simulation context with a storage area (i.e., a file
+//  system directory). [...] The simulation context also specifies the
+//  maximum size of its storage area."
+//
+// The DV does all its accounting here (sizes, reference counts); actual
+// bytes may live in a FileStore (live mode) or nowhere (DES mode).
+#pragma once
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace simfs::vfs {
+
+/// Metadata-only storage accounting with a byte quota and per-file
+/// reference counts (an output step can be evicted only when unreferenced).
+class StorageArea {
+ public:
+  /// `quota` == 0 means unlimited.
+  StorageArea(std::string name, Bytes quota)
+      : name_(std::move(name)), quota_(quota) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Bytes quota() const noexcept { return quota_; }
+  [[nodiscard]] Bytes used() const noexcept { return used_; }
+  [[nodiscard]] std::size_t fileCount() const noexcept { return files_.size(); }
+
+  /// Registers a file; kAlreadyExists if present. Quota is NOT enforced
+  /// here: the DV evicts *after* a simulator writes (files appear on disk
+  /// first; see Fig. 4 step 4), so usage may transiently exceed the quota.
+  [[nodiscard]] Status addFile(const std::string& file, Bytes size);
+
+  /// Unregisters a file; kNotFound if absent, kFailedPrecondition if the
+  /// file is still referenced by some analysis.
+  [[nodiscard]] Status removeFile(const std::string& file);
+
+  [[nodiscard]] bool contains(const std::string& file) const noexcept {
+    return files_.count(file) > 0;
+  }
+
+  /// Size of a registered file; 0 if absent.
+  [[nodiscard]] Bytes sizeOf(const std::string& file) const noexcept;
+
+  /// True if usage currently exceeds the quota (eviction needed).
+  [[nodiscard]] bool overQuota() const noexcept {
+    return quota_ != 0 && used_ > quota_;
+  }
+
+  /// Bytes above quota (0 when within quota or unlimited).
+  [[nodiscard]] Bytes excessBytes() const noexcept {
+    return overQuota() ? used_ - quota_ : 0;
+  }
+
+  /// Increments the reference counter of a file (analysis opened it).
+  /// The file must be registered.
+  [[nodiscard]] Status ref(const std::string& file);
+
+  /// Decrements the reference counter; kFailedPrecondition on underflow.
+  [[nodiscard]] Status unref(const std::string& file);
+
+  /// Current reference count (0 if absent).
+  [[nodiscard]] int refCount(const std::string& file) const noexcept;
+
+  /// True if the file exists and has zero references.
+  [[nodiscard]] bool evictable(const std::string& file) const noexcept;
+
+  /// All registered file names (unsorted).
+  [[nodiscard]] std::vector<std::string> files() const;
+
+ private:
+  struct Entry {
+    Bytes size = 0;
+    int refs = 0;
+  };
+
+  std::string name_;
+  Bytes quota_;
+  Bytes used_ = 0;
+  std::unordered_map<std::string, Entry> files_;
+};
+
+}  // namespace simfs::vfs

@@ -1,0 +1,179 @@
+// Tests for the online cache-size autotuner (the paper's Sec. V-B future
+// work) and the trace profiler.
+#include "dv/autotuner.hpp"
+#include "trace/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simfs {
+namespace {
+
+dv::CacheAutotuner::Config tunerConfig() {
+  dv::CacheAutotuner::Config cfg;
+  cfg.scenario = cost::cosmoScenario();
+  cfg.rates = cost::azureRates();
+  cfg.minCacheSteps = 100;
+  cfg.maxCacheSteps = cfg.scenario.numOutputSteps;
+  return cfg;
+}
+
+TEST(AutotunerTest, KeepsWhenWindowIsBalanced) {
+  dv::CacheAutotuner tuner(tunerConfig(), 2133);  // 25%
+  dv::TuneWindow window;
+  window.accesses = 10000;
+  window.misses = 500;
+  // Modest re-simulation load: the storage already roughly pays for itself.
+  window.resimulatedSteps = 3000;
+  const auto d = tuner.observe(window);
+  // Whatever the action, the recommendation stays within bounds and the
+  // saving is non-negative.
+  EXPECT_GE(d.recommendedCacheSteps, 100);
+  EXPECT_LE(d.recommendedCacheSteps, cost::cosmoScenario().numOutputSteps);
+  EXPECT_GE(d.estimatedMonthlySaving, 0.0);
+}
+
+TEST(AutotunerTest, GrowsUnderHeavyResimulation) {
+  dv::CacheAutotuner tuner(tunerConfig(), 500);
+  dv::TuneWindow window;
+  window.accesses = 100000;
+  window.misses = 60000;
+  window.resimulatedSteps = 400000;  // compute bill dwarfs storage
+  const auto d = tuner.observe(window);
+  EXPECT_EQ(d.action, dv::TuneDecision::Action::kGrow);
+  EXPECT_GT(d.recommendedCacheSteps, 500);
+  EXPECT_GT(d.estimatedMonthlySaving, 0.0);
+}
+
+TEST(AutotunerTest, ShrinksWhenCacheIsIdle) {
+  dv::CacheAutotuner tuner(tunerConfig(), 6000);  // ~70% cached
+  dv::TuneWindow window;
+  window.accesses = 10000;
+  window.misses = 10;
+  window.resimulatedSteps = 50;  // almost no re-simulation anyway
+  const auto d = tuner.observe(window);
+  EXPECT_EQ(d.action, dv::TuneDecision::Action::kShrink);
+  EXPECT_LT(d.recommendedCacheSteps, 6000);
+}
+
+TEST(AutotunerTest, ApplyMovesTheConfiguration) {
+  dv::CacheAutotuner tuner(tunerConfig(), 500);
+  dv::TuneWindow window;
+  window.accesses = 100000;
+  window.misses = 60000;
+  window.resimulatedSteps = 400000;
+  const auto d = tuner.observe(window);
+  ASSERT_EQ(d.action, dv::TuneDecision::Action::kGrow);
+  tuner.apply(d);
+  EXPECT_EQ(tuner.cacheSteps(), d.recommendedCacheSteps);
+  EXPECT_GT(tuner.monthlyCostEstimate(), 0.0);
+}
+
+TEST(AutotunerTest, ConvergesInsteadOfOscillating) {
+  // Feed the same heavy window repeatedly, applying every recommendation:
+  // the tuner must settle (bounded growth), not ping-pong forever.
+  dv::CacheAutotuner tuner(tunerConfig(), 500);
+  dv::TuneWindow window;
+  window.accesses = 100000;
+  window.misses = 60000;
+  window.resimulatedSteps = 300000;
+  std::int64_t prev = -1;
+  int flips = 0;
+  dv::TuneDecision::Action lastAction = dv::TuneDecision::Action::kKeep;
+  for (int i = 0; i < 50; ++i) {
+    const auto d = tuner.observe(window);
+    if (d.action == dv::TuneDecision::Action::kKeep) break;
+    if (lastAction != dv::TuneDecision::Action::kKeep &&
+        d.action != lastAction) {
+      ++flips;
+    }
+    lastAction = d.action;
+    tuner.apply(d);
+    // Growth shrinks the observed window proportionally (the bigger cache
+    // intercepts re-simulations) — emulate the feedback loop.
+    window.resimulatedSteps =
+        static_cast<std::uint64_t>(window.resimulatedSteps * 0.8);
+    EXPECT_NE(tuner.cacheSteps(), prev);
+    prev = tuner.cacheSteps();
+  }
+  EXPECT_LE(flips, 1);
+}
+
+TEST(AutotunerTest, RespectsBounds) {
+  auto cfg = tunerConfig();
+  cfg.minCacheSteps = 400;
+  cfg.maxCacheSteps = 800;
+  dv::CacheAutotuner tuner(cfg, 100);  // clamped up to min
+  EXPECT_EQ(tuner.cacheSteps(), 400);
+  dv::TuneWindow heavy;
+  heavy.accesses = 1000;
+  heavy.misses = 900;
+  heavy.resimulatedSteps = 1000000;
+  for (int i = 0; i < 20; ++i) tuner.apply(tuner.observe(heavy));
+  EXPECT_LE(tuner.cacheSteps(), 800);
+}
+
+// --------------------------------------------------------- trace profiling
+
+TEST(TraceProfileTest, ForwardScanProfile) {
+  const auto t = trace::makeForwardTrace(0, 100, 1000);
+  const auto p = trace::profileTrace(t);
+  EXPECT_EQ(p.accesses, 100u);
+  EXPECT_EQ(p.distinctSteps, 100u);
+  EXPECT_DOUBLE_EQ(p.sequentialFraction, 1.0);
+  EXPECT_DOUBLE_EQ(p.forwardFraction, 1.0);
+  EXPECT_DOUBLE_EQ(p.reuseFraction, 0.0);
+  EXPECT_DOUBLE_EQ(p.medianReuseDistance, -1.0);
+}
+
+TEST(TraceProfileTest, BackwardScanProfile) {
+  const auto t = trace::makeBackwardTrace(99, 100, 1000);
+  const auto p = trace::profileTrace(t);
+  EXPECT_DOUBLE_EQ(p.sequentialFraction, 1.0);
+  EXPECT_DOUBLE_EQ(p.forwardFraction, 0.0);
+}
+
+TEST(TraceProfileTest, RepeatedAccessReuse) {
+  const trace::Trace t{1, 2, 3, 1, 2, 3};
+  const auto p = trace::profileTrace(t);
+  EXPECT_EQ(p.distinctSteps, 3u);
+  EXPECT_DOUBLE_EQ(p.reuseFraction, 0.5);
+  // Between the two accesses of step 1 lie steps {2, 3}: distance 2.
+  EXPECT_DOUBLE_EQ(p.medianReuseDistance, 2.0);
+}
+
+TEST(TraceProfileTest, EcmwfLikeIsSkewedAndReusing) {
+  Rng rng(5);
+  trace::EcmwfParams params;
+  params.distinctFiles = 200;
+  params.totalAccesses = 20000;
+  const auto t = trace::makeEcmwfLikeTrace(rng, params, 1152);
+  const auto p = trace::profileTrace(t);
+  EXPECT_GT(p.top10Share, 0.3);       // archival popularity skew
+  EXPECT_GT(p.reuseFraction, 0.9);    // almost everything is a re-reference
+  EXPECT_LT(p.sequentialFraction, 0.2);
+}
+
+TEST(TraceProfileTest, EmptyTrace) {
+  const auto p = trace::profileTrace({});
+  EXPECT_EQ(p.accesses, 0u);
+  EXPECT_EQ(p.distinctSteps, 0u);
+}
+
+TEST(ReuseHistogramTest, BucketsAndColdCounts) {
+  const trace::Trace t{1, 2, 3, 1, 2, 3};
+  const auto hist = trace::reuseDistanceHistogram(t, 8);
+  ASSERT_EQ(hist.size(), 9u);
+  EXPECT_EQ(hist.back(), 3u);  // three first-touch accesses
+  std::uint64_t reuses = 0;
+  for (std::size_t i = 0; i + 1 < hist.size(); ++i) reuses += hist[i];
+  EXPECT_EQ(reuses, 3u);
+}
+
+TEST(ReuseHistogramTest, ScanIsAllCold) {
+  const auto t = trace::makeForwardTrace(0, 64, 1000);
+  const auto hist = trace::reuseDistanceHistogram(t);
+  EXPECT_EQ(hist.back(), 64u);
+}
+
+}  // namespace
+}  // namespace simfs

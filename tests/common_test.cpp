@@ -1,0 +1,371 @@
+// Unit tests for simfs::common — types, status, rng, stats, checksums,
+// strings, ini, clocks.
+#include "common/checksum.hpp"
+#include "common/clock.hpp"
+#include "common/env.hpp"
+#include "common/ini.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "common/strings.hpp"
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+namespace simfs {
+namespace {
+
+// ----------------------------------------------------------------- types
+
+TEST(VTimeTest, ConversionRoundTrips) {
+  EXPECT_EQ(vtime::fromSeconds(1.0), vtime::kSecond);
+  EXPECT_EQ(vtime::fromSeconds(0.5), 500 * vtime::kMillisecond);
+  EXPECT_DOUBLE_EQ(vtime::toSeconds(3 * vtime::kSecond), 3.0);
+  EXPECT_DOUBLE_EQ(vtime::toHours(2 * vtime::kHour), 2.0);
+}
+
+TEST(VTimeTest, FromSecondsRoundsToNearest) {
+  EXPECT_EQ(vtime::fromSeconds(1e-9), 1);
+  EXPECT_EQ(vtime::fromSeconds(1.4e-9), 1);
+  EXPECT_EQ(vtime::fromSeconds(1.6e-9), 2);
+}
+
+TEST(VTimeTest, ToStringFormats) {
+  EXPECT_EQ(vtime::toString(kNoTime), "never");
+  EXPECT_EQ(vtime::toString(kTimeInf), "inf");
+  EXPECT_EQ(vtime::toString(90 * vtime::kSecond), "1m30.000s");
+  EXPECT_NE(vtime::toString(25 * vtime::kHour).find("1d1h"), std::string::npos);
+}
+
+TEST(BytesTest, Formatting) {
+  EXPECT_EQ(bytes::toString(512), "512B");
+  EXPECT_EQ(bytes::toString(6 * bytes::GiB), "6.00GiB");
+  EXPECT_EQ(bytes::toString(bytes::TiB), "1.00TiB");
+  EXPECT_DOUBLE_EQ(bytes::toGiB(6 * bytes::GiB), 6.0);
+}
+
+// ----------------------------------------------------------------- status
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.isOk());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.toString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const auto s = errNotFound("missing file");
+  EXPECT_FALSE(s.isOk());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.toString(), "not_found: missing file");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(statusCodeName(static_cast<StatusCode>(c)), "unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.isOk());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.valueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = errTimedOut("too slow");
+  EXPECT_FALSE(r.isOk());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimedOut);
+  EXPECT_EQ(r.valueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.isOk());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+// -------------------------------------------------------------------- rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniformInt(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(10);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniformReal();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialHasRoughlyRightMean) {
+  Rng rng(12);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(ZipfTest, RankZeroMostPopular) {
+  Rng rng(14);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  Rng rng(15);
+  ZipfSampler zipf(7, 0.9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.sample(rng), 7u);
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST(SummaryTest, BasicStatistics) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.5), 1e-12);
+}
+
+TEST(SummaryTest, QuantileInterpolates) {
+  Summary s;
+  for (double x : {0.0, 10.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 10.0);
+}
+
+TEST(SummaryTest, MedianCiContainsMedian) {
+  Summary s;
+  Rng rng(16);
+  for (int i = 0; i < 200; ++i) s.add(rng.uniformReal(0, 100));
+  const auto ci = s.medianCi95();
+  EXPECT_LE(ci.lo, s.median());
+  EXPECT_GE(ci.hi, s.median());
+}
+
+TEST(EmaTest, FirstObservationInitializes) {
+  Ema e(0.5);
+  EXPECT_FALSE(e.primed());
+  e.observe(10.0);
+  EXPECT_TRUE(e.primed());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(EmaTest, SmoothsTowardsObservations) {
+  Ema e(0.5);
+  e.observe(10.0);
+  e.observe(20.0);
+  EXPECT_DOUBLE_EQ(e.value(), 15.0);
+  e.observe(20.0);
+  EXPECT_DOUBLE_EQ(e.value(), 17.5);
+}
+
+TEST(EmaTest, ResetClears) {
+  Ema e(0.3);
+  e.observe(5.0);
+  e.reset();
+  EXPECT_FALSE(e.primed());
+  EXPECT_DOUBLE_EQ(e.value(), 0.0);
+}
+
+// -------------------------------------------------------------- checksums
+
+TEST(ChecksumTest, Fnv1aKnownVector) {
+  // FNV-1a 64 of empty input is the offset basis.
+  EXPECT_EQ(fnv1a64(std::string_view{}), 0xCBF29CE484222325ULL);
+  // Standard test vector: "a".
+  EXPECT_EQ(fnv1a64(std::string_view{"a"}), 0xAF63DC4C8601EC8CULL);
+}
+
+TEST(ChecksumTest, Crc32cKnownVector) {
+  // RFC 3720 test vector: "123456789" -> 0xE3069283.
+  EXPECT_EQ(crc32c(std::string_view{"123456789"}), 0xE3069283U);
+}
+
+TEST(ChecksumTest, IncrementalMatchesOneShot) {
+  Fnv1a64Hasher h;
+  h.update(std::string_view{"hello "});
+  h.update(std::string_view{"world"});
+  EXPECT_EQ(h.digest(), fnv1a64(std::string_view{"hello world"}));
+}
+
+TEST(ChecksumTest, DifferentContentDiffers) {
+  EXPECT_NE(fnv1a64(std::string_view{"abc"}), fnv1a64(std::string_view{"abd"}));
+  EXPECT_NE(crc32c(std::string_view{"abc"}), crc32c(std::string_view{"abd"}));
+}
+
+TEST(ChecksumTest, HexDigestFormat) {
+  EXPECT_EQ(digestToHex(0x1234ABCDULL), "000000001234abcd");
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(StringsTest, Split) {
+  const auto parts = str::split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(str::trim("  x y  "), "x y");
+  EXPECT_EQ(str::trim("\t\n"), "");
+  EXPECT_EQ(str::trim(""), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(str::startsWith("out_000.snc", "out_"));
+  EXPECT_FALSE(str::startsWith("ou", "out_"));
+  EXPECT_TRUE(str::endsWith("out_000.snc", ".snc"));
+  EXPECT_FALSE(str::endsWith("x", ".snc"));
+}
+
+TEST(StringsTest, ParseInt) {
+  EXPECT_EQ(str::parseInt("42").value(), 42);
+  EXPECT_EQ(str::parseInt(" -7 ").value(), -7);
+  EXPECT_FALSE(str::parseInt("12x").has_value());
+  EXPECT_FALSE(str::parseInt("").has_value());
+}
+
+TEST(StringsTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(str::parseDouble("2.5").value(), 2.5);
+  EXPECT_FALSE(str::parseDouble("2.5q").has_value());
+}
+
+TEST(StringsTest, Format) {
+  EXPECT_EQ(str::format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(str::format("%05d", 42), "00042");
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(str::replaceAll("a{x}b{x}", "{x}", "Y"), "aYbY");
+  EXPECT_EQ(str::replaceAll("abc", "z", "Y"), "abc");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(str::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(str::join({}, ","), "");
+}
+
+// --------------------------------------------------------------------- ini
+
+TEST(IniTest, ParsesSectionsAndValues) {
+  const auto doc = IniDoc::parse(
+      "[context]\nname = cosmo\ndelta_d = 15\n; comment\n# another\n"
+      "[perf]\ntau_sim_ms = 3000.5\n");
+  ASSERT_TRUE(doc.isOk());
+  EXPECT_EQ(doc->get("context", "name").value(), "cosmo");
+  EXPECT_EQ(doc->getInt("context", "delta_d").value(), 15);
+  EXPECT_DOUBLE_EQ(doc->getDouble("perf", "tau_sim_ms").value(), 3000.5);
+  EXPECT_TRUE(doc->hasSection("perf"));
+  EXPECT_FALSE(doc->hasSection("naming"));
+}
+
+TEST(IniTest, Defaults) {
+  const auto doc = IniDoc::parse("[a]\nx = 1\n");
+  ASSERT_TRUE(doc.isOk());
+  EXPECT_EQ(doc->getIntOr("a", "missing", 9), 9);
+  EXPECT_EQ(doc->getOr("b", "x", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(doc->getDoubleOr("a", "x", 0.0), 1.0);
+}
+
+TEST(IniTest, RejectsMalformedInput) {
+  EXPECT_FALSE(IniDoc::parse("[unclosed\nx=1\n").isOk());
+  EXPECT_FALSE(IniDoc::parse("keywithoutvalue\n").isOk());
+  EXPECT_FALSE(IniDoc::parse("= novalue\n").isOk());
+}
+
+TEST(IniTest, KeysSorted) {
+  const auto doc = IniDoc::parse("[s]\nb = 2\na = 1\n");
+  ASSERT_TRUE(doc.isOk());
+  const auto keys = doc->keys("s");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+}
+
+// ------------------------------------------------------------------ clocks
+
+TEST(ManualClockTest, AdvancesMonotonically) {
+  ManualClock c(100);
+  EXPECT_EQ(c.now(), 100);
+  c.advanceTo(150);
+  EXPECT_EQ(c.now(), 150);
+  c.advanceBy(50);
+  EXPECT_EQ(c.now(), 200);
+}
+
+TEST(RealClockTest, MovesForward) {
+  RealClock c;
+  const auto a = c.now();
+  const auto b = c.now();
+  EXPECT_GE(b, a);
+}
+
+// --------------------------------------------------------------------- env
+
+TEST(EnvTest, ReadsVariables) {
+  ::setenv("SIMFS_TEST_VAR", "hello", 1);
+  EXPECT_EQ(env::get("SIMFS_TEST_VAR").value(), "hello");
+  ::setenv("SIMFS_TEST_INT", "31", 1);
+  EXPECT_EQ(env::getInt("SIMFS_TEST_INT").value(), 31);
+  ::unsetenv("SIMFS_TEST_VAR");
+  EXPECT_FALSE(env::get("SIMFS_TEST_VAR").has_value());
+  EXPECT_EQ(env::getOr("SIMFS_TEST_VAR", "dflt"), "dflt");
+}
+
+}  // namespace
+}  // namespace simfs

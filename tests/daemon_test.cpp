@@ -1,0 +1,193 @@
+// End-to-end daemon tests over real Unix-domain sockets: a DVLib client in
+// this process, the daemon serving connections, a threaded fleet producing
+// files — the full Fig. 4 message sequence on a live transport.
+#include "analysis/trace_tool.hpp"
+#include "dv/daemon.hpp"
+#include "dvlib/iolib.hpp"
+#include "dvlib/simfs_client.hpp"
+#include "msg/transport.hpp"
+#include "simulator/threaded_fleet.hpp"
+#include "vfs/file_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace simfs::dv {
+namespace {
+
+using simmodel::ContextConfig;
+using simmodel::PerfModel;
+using simmodel::StepGeometry;
+
+ContextConfig socketConfig() {
+  ContextConfig cfg;
+  cfg.name = "sock";
+  cfg.geometry = StepGeometry(1, 4, 64);
+  cfg.outputStepBytes = 64;
+  cfg.sMax = 4;
+  cfg.perf = PerfModel(2, 5 * vtime::kMillisecond, 10 * vtime::kMillisecond);
+  return cfg;
+}
+
+class SocketDaemonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = "/tmp/simfs_daemon_" + std::to_string(::getpid()) + ".sock";
+    cfg_ = socketConfig();
+    daemon_ = std::make_unique<Daemon>();
+    fleet_ = std::make_unique<simulator::ThreadedSimulatorFleet>(
+        *daemon_, store_, /*timeScale=*/1.0);
+    ASSERT_TRUE(
+        daemon_
+            ->registerContext(std::make_unique<simmodel::SyntheticDriver>(cfg_))
+            .isOk());
+    fleet_->registerContext(cfg_);
+    daemon_->setLauncher(fleet_.get());
+    ASSERT_TRUE(daemon_->listen(path_).isOk());
+  }
+
+  void TearDown() override {
+    fleet_.reset();
+    daemon_.reset();
+  }
+
+  std::string path_;
+  ContextConfig cfg_;
+  vfs::MemFileStore store_;
+  std::unique_ptr<Daemon> daemon_;
+  std::unique_ptr<simulator::ThreadedSimulatorFleet> fleet_;
+};
+
+TEST_F(SocketDaemonTest, FullMissFlowOverSocket) {
+  auto conn = msg::unixSocketConnect(path_);
+  ASSERT_TRUE(conn.isOk());
+  auto client = dvlib::SimFSClient::connect(std::move(*conn), "sock");
+  ASSERT_TRUE(client.isOk()) << client.status().toString();
+
+  dvlib::SimfsStatus status;
+  ASSERT_TRUE((*client)->acquire({"out_0000000006.snc"}, &status).isOk());
+  EXPECT_TRUE(store_.exists("out_0000000006.snc"));
+  ASSERT_TRUE((*client)->release("out_0000000006.snc").isOk());
+  (*client)->finalize();
+}
+
+TEST_F(SocketDaemonTest, MultipleConcurrentClients) {
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto conn = msg::unixSocketConnect(path_);
+      if (!conn.isOk()) {
+        ++failures;
+        return;
+      }
+      auto client = dvlib::SimFSClient::connect(std::move(*conn), "sock");
+      if (!client.isOk()) {
+        ++failures;
+        return;
+      }
+      // Each client walks a different region; some intervals overlap.
+      for (int i = 0; i < 6; ++i) {
+        const auto step = static_cast<StepIndex>(c * 4 + i);
+        const auto file = socketConfig().codec.outputFile(step);
+        if (!(*client)->acquire({file}).isOk() ||
+            !(*client)->release(file).isOk()) {
+          ++failures;
+          return;
+        }
+      }
+      (*client)->finalize();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(daemon_->stats().stepsProduced, 0u);
+}
+
+TEST_F(SocketDaemonTest, ClientDisconnectReleasesState) {
+  {
+    auto conn = msg::unixSocketConnect(path_);
+    ASSERT_TRUE(conn.isOk());
+    auto client = dvlib::SimFSClient::connect(std::move(*conn), "sock");
+    ASSERT_TRUE(client.isOk());
+    ASSERT_TRUE((*client)->acquire({"out_0000000002.snc"}).isOk());
+    // Client vanishes while holding a reference.
+    (*client)->finalize();
+  }
+  // Give the daemon a moment to observe the disconnect.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // A fresh client can still work; the dead client's reference is gone.
+  auto conn = msg::unixSocketConnect(path_);
+  ASSERT_TRUE(conn.isOk());
+  auto client = dvlib::SimFSClient::connect(std::move(*conn), "sock");
+  ASSERT_TRUE(client.isOk());
+  ASSERT_TRUE((*client)->acquire({"out_0000000002.snc"}).isOk());
+  ASSERT_TRUE((*client)->release("out_0000000002.snc").isOk());
+  (*client)->finalize();
+}
+
+TEST_F(SocketDaemonTest, StatusRequestReportsCounters) {
+  // Produce some activity first.
+  {
+    auto conn = msg::unixSocketConnect(path_);
+    ASSERT_TRUE(conn.isOk());
+    auto client = dvlib::SimFSClient::connect(std::move(*conn), "sock");
+    ASSERT_TRUE(client.isOk());
+    ASSERT_TRUE((*client)->acquire({"out_0000000001.snc"}).isOk());
+    ASSERT_TRUE((*client)->release("out_0000000001.snc").isOk());
+    (*client)->finalize();
+  }
+  // Raw kStatusReq, the simfsctl introspection path.
+  auto conn = msg::unixSocketConnect(path_);
+  ASSERT_TRUE(conn.isOk());
+  std::mutex mu;
+  std::condition_variable cv;
+  bool got = false;
+  msg::Message reply;
+  (*conn)->setHandler([&](msg::Message&& m) {
+    std::lock_guard lock(mu);
+    reply = std::move(m);
+    got = true;
+    cv.notify_all();
+  });
+  msg::Message req;
+  req.type = msg::MsgType::kStatusReq;
+  ASSERT_TRUE((*conn)->send(req).isOk());
+  {
+    std::unique_lock lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5), [&] { return got; }));
+  }
+  EXPECT_EQ(reply.type, msg::MsgType::kStatusAck);
+  EXPECT_NE(reply.text.find("opens="), std::string::npos);
+  EXPECT_NE(reply.text.find("misses="), std::string::npos);
+  EXPECT_GT(reply.intArg, 0);  // steps were produced
+  ASSERT_EQ(reply.files.size(), 1u);
+  EXPECT_EQ(reply.files[0], "sock");
+  (*conn)->close();
+}
+
+TEST_F(SocketDaemonTest, TraceToolRunsOverLiveStack) {
+  auto conn = msg::unixSocketConnect(path_);
+  ASSERT_TRUE(conn.isOk());
+  auto client = dvlib::SimFSClient::connect(std::move(*conn), "sock");
+  ASSERT_TRUE(client.isOk());
+
+  // Produce SNC1 fields so the analysis can reduce them.
+  fleet_->setProducer([](const simmodel::JobSpec&, StepIndex step) {
+    std::vector<double> field(8, static_cast<double>(step) * 0.5);
+    return dvlib::encodeField(field);
+  });
+
+  analysis::TraceAnalysisTool tool(**client, store_, cfg_.codec);
+  const auto report = tool.run(trace::makeForwardTrace(0, 10, 64));
+  ASSERT_TRUE(report.isOk());
+  EXPECT_EQ(report->accesses, 10u);
+  EXPECT_EQ(report->failures, 0u);
+  EXPECT_GT(report->meanOfMeans, 0.0);
+  (*client)->finalize();
+}
+
+}  // namespace
+}  // namespace simfs::dv

@@ -1,0 +1,350 @@
+// Live-stack tests: SimFSClient / C API / I/O facades against a real
+// Daemon with a ThreadedSimulatorFleet (wall-clock, heavily time-scaled).
+#include "common/checksum.hpp"
+#include "dv/daemon.hpp"
+#include "dvlib/iolib.hpp"
+#include "dvlib/simfs_capi.hpp"
+#include "dvlib/simfs_client.hpp"
+#include "simulator/threaded_fleet.hpp"
+#include "vfs/file_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simfs::dvlib {
+namespace {
+
+using simmodel::ContextConfig;
+using simmodel::PerfModel;
+using simmodel::StepGeometry;
+
+ContextConfig liveConfig() {
+  ContextConfig cfg;
+  cfg.name = "live";
+  cfg.geometry = StepGeometry(1, 4, 128);
+  cfg.outputStepBytes = 64;
+  cfg.cacheQuotaBytes = 0;  // no eviction surprises in these tests
+  cfg.sMax = 4;
+  // Model times: alpha = 50 ms, tau = 20 ms; the fleet runs them 1:1
+  // (they are already tiny).
+  cfg.perf = PerfModel(4, 20 * vtime::kMillisecond, 50 * vtime::kMillisecond);
+  return cfg;
+}
+
+class LiveStackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cfg_ = liveConfig();
+    daemon_ = std::make_unique<dv::Daemon>();
+    fleet_ = std::make_unique<simulator::ThreadedSimulatorFleet>(
+        *daemon_, store_, /*timeScale=*/1.0);
+    ASSERT_TRUE(daemon_
+                    ->registerContext(
+                        std::make_unique<simmodel::SyntheticDriver>(cfg_))
+                    .isOk());
+    fleet_->registerContext(cfg_);
+    daemon_->setLauncher(fleet_.get());
+    daemon_->setEvictFn([this](const std::string&, const std::string& f) {
+      (void)store_.remove(f);
+    });
+  }
+
+  void TearDown() override {
+    client_.reset();
+    IoDispatch::instance().reset();
+    fleet_.reset();  // kill + join before the daemon goes away
+    daemon_.reset();
+  }
+
+  void connectClient() {
+    auto c = SimFSClient::connect(daemon_->connectInProc(), cfg_.name);
+    ASSERT_TRUE(c.isOk()) << c.status().toString();
+    client_ = std::move(*c);
+  }
+
+  ContextConfig cfg_;
+  vfs::MemFileStore store_;
+  std::unique_ptr<dv::Daemon> daemon_;
+  std::unique_ptr<simulator::ThreadedSimulatorFleet> fleet_;
+  std::unique_ptr<SimFSClient> client_;
+};
+
+TEST_F(LiveStackTest, ConnectAndFinalize) {
+  connectClient();
+  EXPECT_GT(client_->clientId(), 0u);
+  EXPECT_EQ(client_->context(), "live");
+  client_->finalize();
+}
+
+TEST_F(LiveStackTest, ConnectUnknownContextFails) {
+  auto c = SimFSClient::connect(daemon_->connectInProc(), "nope");
+  EXPECT_FALSE(c.isOk());
+  EXPECT_EQ(c.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(LiveStackTest, AcquireMissTriggersResimulation) {
+  connectClient();
+  SimfsStatus status;
+  ASSERT_TRUE(client_->acquire({"out_0000000005.snc"}, &status).isOk());
+  // The file now exists with deterministic content.
+  EXPECT_TRUE(store_.exists("out_0000000005.snc"));
+  EXPECT_TRUE(daemon_->isAvailable("live", 5));
+  // Spatial locality: the whole interval was produced.
+  EXPECT_TRUE(daemon_->isAvailable("live", 4));
+  ASSERT_TRUE(client_->release("out_0000000005.snc").isOk());
+}
+
+TEST_F(LiveStackTest, SecondAcquireIsImmediate) {
+  connectClient();
+  ASSERT_TRUE(client_->acquire({"out_0000000002.snc"}).isOk());
+  ASSERT_TRUE(client_->release("out_0000000002.snc").isOk());
+  const auto before = daemon_->stats().jobsLaunched;
+  SimfsStatus status;
+  ASSERT_TRUE(client_->acquire({"out_0000000002.snc"}, &status).isOk());
+  EXPECT_EQ(daemon_->stats().jobsLaunched, before);  // served from disk
+  ASSERT_TRUE(client_->release("out_0000000002.snc").isOk());
+}
+
+TEST_F(LiveStackTest, AcquireMultipleFilesAcrossIntervals) {
+  connectClient();
+  const std::vector<std::string> files{
+      "out_0000000001.snc", "out_0000000006.snc", "out_0000000011.snc"};
+  ASSERT_TRUE(client_->acquire(files).isOk());
+  for (const auto& f : files) {
+    EXPECT_TRUE(store_.exists(f));
+    ASSERT_TRUE(client_->release(f).isOk());
+  }
+}
+
+TEST_F(LiveStackTest, NonBlockingAcquireWaitAndTest) {
+  connectClient();
+  auto req = client_->acquireNb({"out_0000000009.snc"});
+  ASSERT_TRUE(req.isOk());
+  // Eventually the request completes; poll with test() then wait().
+  ASSERT_TRUE(client_->wait(*req).isOk());
+  EXPECT_TRUE(store_.exists("out_0000000009.snc"));
+  // Handle is consumed by wait.
+  bool done = false;
+  EXPECT_EQ(client_->test(*req, &done).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LiveStackTest, WaitSomeReportsSubsets) {
+  connectClient();
+  // First file is already on disk; second needs a re-simulation.
+  ASSERT_TRUE(client_->acquire({"out_0000000000.snc"}).isOk());
+  auto req = client_->acquireNb({"out_0000000000.snc", "out_0000000020.snc"});
+  ASSERT_TRUE(req.isOk());
+  std::vector<int> ready;
+  ASSERT_TRUE(client_->waitSome(*req, &ready).isOk());
+  EXPECT_FALSE(ready.empty());
+  // Drain the request to completion.
+  for (int i = 0; i < 100 && !ready.empty() && ready.size() < 2; ++i) {
+    auto st = client_->waitSome(*req, &ready);
+    if (st.code() == StatusCode::kFailedPrecondition) break;  // done+erased
+    ASSERT_TRUE(st.isOk());
+  }
+  ASSERT_TRUE(client_->release("out_0000000000.snc").isOk());
+}
+
+TEST_F(LiveStackTest, BitrepMatchesRecordedChecksum) {
+  connectClient();
+  // Produce the file once, record its checksum "at initial run time".
+  ASSERT_TRUE(client_->acquire({"out_0000000003.snc"}).isOk());
+  const auto content = store_.read("out_0000000003.snc");
+  ASSERT_TRUE(content.isOk());
+  simmodel::ChecksumMap map;
+  map.record("out_0000000003.snc", fnv1a64(*content));
+  ASSERT_TRUE(daemon_->setChecksumMap("live", std::move(map)).isOk());
+  // The re-simulated file matches (deterministic producer).
+  const auto match =
+      client_->bitrep("out_0000000003.snc", fnv1a64(*content));
+  ASSERT_TRUE(match.isOk());
+  EXPECT_TRUE(*match);
+  const auto mismatch = client_->bitrep("out_0000000003.snc", 0xDEAD);
+  ASSERT_TRUE(mismatch.isOk());
+  EXPECT_FALSE(*mismatch);
+}
+
+TEST_F(LiveStackTest, ReleaseWithoutAcquireFails) {
+  connectClient();
+  EXPECT_EQ(client_->release("out_0000000001.snc").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LiveStackTest, OpenIsNonBlockingThenWaitFileBlocks) {
+  connectClient();
+  auto info = client_->open("out_0000000013.snc");
+  ASSERT_TRUE(info.isOk());
+  EXPECT_FALSE(info->available);       // miss: re-simulation started
+  EXPECT_GT(info->estimatedWait, 0);   // DV estimated the wait
+  ASSERT_TRUE(client_->waitFile("out_0000000013.snc").isOk());
+  EXPECT_TRUE(store_.exists("out_0000000013.snc"));
+}
+
+// ------------------------------------------------------------------- C API
+
+TEST_F(LiveStackTest, CApiFullLifecycle) {
+  SIMFS_SetDaemon(daemon_.get());
+  SIMFS_SetFileStore(&store_);
+
+  SIMFS_Context ctx = nullptr;
+  ASSERT_EQ(SIMFS_Init("live", &ctx), SIMFS_OK);
+
+  const char* files[] = {"out_0000000007.snc"};
+  SIMFS_Status status{};
+  ASSERT_EQ(SIMFS_Acquire(ctx, files, 1, &status), SIMFS_OK);
+  EXPECT_EQ(status.error_code, 0);
+  EXPECT_TRUE(store_.exists("out_0000000007.snc"));
+
+  // Record a checksum so Bitrep has a reference.
+  const auto content = store_.read("out_0000000007.snc");
+  simmodel::ChecksumMap map;
+  map.record("out_0000000007.snc", fnv1a64(*content));
+  ASSERT_TRUE(daemon_->setChecksumMap("live", std::move(map)).isOk());
+  int flag = 0;
+  ASSERT_EQ(SIMFS_Bitrep(ctx, "out_0000000007.snc", &flag), SIMFS_OK);
+  EXPECT_EQ(flag, 1);
+
+  ASSERT_EQ(SIMFS_Release(ctx, "out_0000000007.snc"), SIMFS_OK);
+  ASSERT_EQ(SIMFS_Finalize(&ctx), SIMFS_OK);
+  EXPECT_EQ(ctx, nullptr);
+  SIMFS_SetDaemon(nullptr);
+  SIMFS_SetFileStore(nullptr);
+}
+
+TEST_F(LiveStackTest, CApiNonBlockingRequest) {
+  SIMFS_SetDaemon(daemon_.get());
+  SIMFS_Context ctx = nullptr;
+  ASSERT_EQ(SIMFS_Init("live", &ctx), SIMFS_OK);
+
+  const char* files[] = {"out_0000000015.snc", "out_0000000016.snc"};
+  SIMFS_Status status{};
+  SIMFS_Req req{};
+  ASSERT_EQ(SIMFS_Acquire_nb(ctx, files, 2, &status, &req), SIMFS_OK);
+  ASSERT_EQ(SIMFS_Wait(&req, &status), SIMFS_OK);
+  EXPECT_TRUE(store_.exists("out_0000000015.snc"));
+  EXPECT_TRUE(store_.exists("out_0000000016.snc"));
+  ASSERT_EQ(SIMFS_Finalize(&ctx), SIMFS_OK);
+  SIMFS_SetDaemon(nullptr);
+}
+
+TEST_F(LiveStackTest, CApiValidatesArguments) {
+  EXPECT_NE(SIMFS_Init(nullptr, nullptr), SIMFS_OK);
+  SIMFS_Context ctx = nullptr;
+  EXPECT_NE(SIMFS_Finalize(&ctx), SIMFS_OK);
+  EXPECT_NE(SIMFS_Release(nullptr, "x"), SIMFS_OK);
+  SIMFS_Req req{};
+  EXPECT_NE(SIMFS_Wait(&req, nullptr), SIMFS_OK);
+}
+
+// -------------------------------------------------------------- I/O facades
+
+TEST_F(LiveStackTest, TransparentSncdfAnalysisPath) {
+  connectClient();
+  IoDispatch::instance().installAnalysis(client_.get(), &store_);
+
+  int ncid = -1;
+  ASSERT_EQ(snc_open("out_0000000021.snc", 0, &ncid), 0);  // non-blocking
+  double buf[16];
+  std::size_t n = 0;
+  // The read blocks until the re-simulation delivered the file; the
+  // default producer emits a text payload, so the typed decode reports
+  // kInvalidArgument — but only after the file actually appeared.
+  EXPECT_EQ(snc_get_var_double(ncid, buf, 16, &n),
+            static_cast<int>(StatusCode::kInvalidArgument));
+  EXPECT_TRUE(store_.exists("out_0000000021.snc"));
+  ASSERT_EQ(snc_close(ncid), 0);
+}
+
+TEST_F(LiveStackTest, TransparentRoundTripWithFieldPayload) {
+  // Make the simulator produce genuine SNC1 fields.
+  fleet_->setProducer([](const simmodel::JobSpec&, StepIndex step) {
+    std::vector<double> field(16, static_cast<double>(step));
+    return encodeField(field);
+  });
+  connectClient();
+  IoDispatch::instance().installAnalysis(client_.get(), &store_);
+
+  int ncid = -1;
+  ASSERT_EQ(snc_open("out_0000000030.snc", 0, &ncid), 0);
+  double buf[32];
+  std::size_t n = 0;
+  ASSERT_EQ(snc_get_var_double(ncid, buf, 32, &n), 0);
+  ASSERT_EQ(n, 16u);
+  EXPECT_DOUBLE_EQ(buf[0], 30.0);
+  ASSERT_EQ(snc_close(ncid), 0);
+
+  // Same data through the HDF5-flavoured facade.
+  const sh5_id h = sh5_fopen("out_0000000030.snc", 0);
+  ASSERT_GT(h, 0);
+  ASSERT_EQ(sh5_dread(h, buf, 32, &n), 0);
+  EXPECT_EQ(n, 16u);
+  ASSERT_EQ(sh5_fclose(h), 0);
+
+  // And the ADIOS-flavoured one (schedule + perform).
+  const sadios_id a = sadios_open("out_0000000030.snc", "r");
+  ASSERT_GT(a, 0);
+  std::size_t n2 = 0;
+  ASSERT_EQ(sadios_schedule_read(a, buf, 32, &n2), 0);
+  ASSERT_EQ(sadios_perform_reads(a), 0);
+  EXPECT_EQ(n2, 16u);
+  ASSERT_EQ(sadios_close(a), 0);
+}
+
+TEST_F(LiveStackTest, SimulatorRoleCreateCloseNotifies) {
+  std::vector<std::string> closed;
+  IoDispatch::instance().installSimulator(
+      [&](const std::string& name) { closed.push_back(name); }, &store_);
+
+  int ncid = -1;
+  ASSERT_EQ(snc_create("out_0000000050.snc", 0, &ncid), 0);
+  const double values[] = {1.0, 2.0, 3.0};
+  ASSERT_EQ(snc_put_var_double(ncid, values, 3), 0);
+  ASSERT_EQ(snc_close(ncid), 0);
+
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0], "out_0000000050.snc");
+  EXPECT_TRUE(store_.exists("out_0000000050.snc"));
+  const auto decoded = decodeField(store_.read("out_0000000050.snc").value());
+  ASSERT_TRUE(decoded.isOk());
+  EXPECT_EQ(decoded->size(), 3u);
+}
+
+TEST_F(LiveStackTest, AnalysisRoleCannotCreate) {
+  connectClient();
+  IoDispatch::instance().installAnalysis(client_.get(), &store_);
+  int ncid = -1;
+  EXPECT_NE(snc_create("out_0000000001.snc", 0, &ncid), 0);
+}
+
+TEST_F(LiveStackTest, PassthroughReadsExistingFiles) {
+  ASSERT_TRUE(store_.put("plain.snc", encodeField(std::vector<double>{7.0}))
+                  .isOk());
+  IoDispatch::instance().installPassthrough(&store_);
+  int ncid = -1;
+  ASSERT_EQ(snc_open("plain.snc", 0, &ncid), 0);
+  double v = 0;
+  std::size_t n = 0;
+  ASSERT_EQ(snc_get_var_double(ncid, &v, 1, &n), 0);
+  EXPECT_DOUBLE_EQ(v, 7.0);
+  ASSERT_EQ(snc_close(ncid), 0);
+  // Missing files fail at open in passthrough mode.
+  EXPECT_NE(snc_open("missing.snc", 0, &ncid), 0);
+}
+
+TEST(IoFormatTest, EncodeDecodeRoundTrip) {
+  const std::vector<double> values{1.5, -2.25, 1e300, 0.0};
+  const auto decoded = decodeField(encodeField(values));
+  ASSERT_TRUE(decoded.isOk());
+  EXPECT_EQ(*decoded, values);
+}
+
+TEST(IoFormatTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(decodeField("not a field").isOk());
+  EXPECT_FALSE(decodeField("").isOk());
+  auto truncated = encodeField(std::vector<double>{1.0, 2.0});
+  truncated.pop_back();
+  EXPECT_FALSE(decodeField(truncated).isOk());
+}
+
+}  // namespace
+}  // namespace simfs::dvlib

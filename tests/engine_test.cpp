@@ -1,0 +1,139 @@
+// Unit tests for the discrete-event engine.
+#include "engine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace simfs::engine {
+namespace {
+
+TEST(EngineTest, ExecutesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.scheduleAt(30, [&] { order.push_back(3); });
+  e.scheduleAt(10, [&] { order.push_back(1); });
+  e.scheduleAt(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+}
+
+TEST(EngineTest, FifoAmongEqualTimes) {
+  Engine e;
+  std::vector<int> order;
+  e.scheduleAt(5, [&] { order.push_back(1); });
+  e.scheduleAt(5, [&] { order.push_back(2); });
+  e.scheduleAt(5, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EngineTest, ScheduleAfterUsesCurrentTime) {
+  Engine e;
+  VTime seen = -1;
+  e.scheduleAt(100, [&] {
+    e.scheduleAfter(50, [&] { seen = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(EngineTest, CancelPreventsExecution) {
+  Engine e;
+  bool ran = false;
+  const auto id = e.scheduleAt(10, [&] { ran = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(ran);
+  EXPECT_FALSE(e.cancel(id));  // already cancelled
+}
+
+TEST(EngineTest, CancelFromWithinEvent) {
+  Engine e;
+  bool ran = false;
+  const auto id = e.scheduleAt(20, [&] { ran = true; });
+  e.scheduleAt(10, [&] { EXPECT_TRUE(e.cancel(id)); });
+  e.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EngineTest, RunUntilHorizonStopsAndAdvancesClock) {
+  Engine e;
+  int count = 0;
+  e.scheduleAt(10, [&] { ++count; });
+  e.scheduleAt(100, [&] { ++count; });
+  const auto executed = e.run(50);
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(e.now(), 50);
+  EXPECT_EQ(e.pendingCount(), 1u);
+  e.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EngineTest, EventsScheduledDuringRunExecute) {
+  Engine e;
+  std::vector<int> order;
+  e.scheduleAt(10, [&] {
+    order.push_back(1);
+    e.scheduleAt(15, [&] { order.push_back(2); });
+  });
+  e.scheduleAt(20, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EngineTest, LateSchedulingClampsToNow) {
+  Engine e;
+  VTime seen = -1;
+  e.scheduleAt(100, [&] {
+    e.scheduleAt(50, [&] { seen = e.now(); });  // in the past
+  });
+  e.run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(EngineTest, NextEventTime) {
+  Engine e;
+  EXPECT_EQ(e.nextEventTime(), kTimeInf);
+  e.scheduleAt(42, [] {});
+  EXPECT_EQ(e.nextEventTime(), 42);
+}
+
+TEST(EngineTest, StepExecutesExactlyOne) {
+  Engine e;
+  int count = 0;
+  e.scheduleAt(1, [&] { ++count; });
+  e.scheduleAt(2, [&] { ++count; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(EngineTest, ExecutedCountAccumulates) {
+  Engine e;
+  for (int i = 0; i < 5; ++i) e.scheduleAt(i, [] {});
+  e.run();
+  EXPECT_EQ(e.executedCount(), 5u);
+}
+
+TEST(EngineTest, ManyEventsStressOrdering) {
+  Engine e;
+  VTime last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    e.scheduleAt((i * 7919) % 1000, [&, i] {
+      if (e.now() < last) monotone = false;
+      last = e.now();
+    });
+  }
+  e.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(e.executedCount(), 10000u);
+}
+
+}  // namespace
+}  // namespace simfs::engine

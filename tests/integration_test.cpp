@@ -1,0 +1,292 @@
+// Cross-module integration tests beyond the worked examples: failure
+// injection, kill logic, multi-context coordination, strategy-(1)
+// parallelism scaling, and replay invariants swept over policies x
+// patterns (TEST_P).
+#include "harness/scenario.hpp"
+#include "trace/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace simfs {
+namespace {
+
+using simmodel::ContextConfig;
+using simmodel::PerfModel;
+using simmodel::PolicyKind;
+using simmodel::StepGeometry;
+
+ContextConfig baseConfig() {
+  ContextConfig cfg;
+  cfg.name = "itest";
+  cfg.geometry = StepGeometry(1, 4, 128);
+  cfg.outputStepBytes = 1;
+  cfg.sMax = 8;
+  cfg.perf = PerfModel(1, vtime::kSecond, 2 * vtime::kSecond);
+  return cfg;
+}
+
+// ------------------------------------------------------- failure injection
+
+/// Launcher that fails every job instantly with kRestartFailed.
+class FailingLauncher final : public dv::SimLauncher {
+ public:
+  explicit FailingLauncher(dv::DataVirtualizer& dv) : dv_(dv) {}
+  void launch(SimJobId job, const simmodel::JobSpec&) override {
+    failed_.push_back(job);
+  }
+  void kill(SimJobId) override {}
+  /// Failures are delivered outside launch() (the DV is mid-call there).
+  void deliverFailures() {
+    auto jobs = failed_;
+    failed_.clear();
+    for (const auto job : jobs) {
+      dv_.simulationFinished(job, errRestartFailed("injected failure"));
+    }
+  }
+
+ private:
+  dv::DataVirtualizer& dv_;
+  std::vector<SimJobId> failed_;
+};
+
+TEST(FailureInjectionTest, RestartFailurePropagatesToWaiter) {
+  ManualClock clock;
+  dv::DataVirtualizer dv(clock);
+  FailingLauncher launcher(dv);
+  dv.setLauncher(&launcher);
+  std::vector<Status> notified;
+  dv.setNotifyFn([&](ClientId, const std::string&, const Status& st) {
+    notified.push_back(st);
+  });
+  ASSERT_TRUE(
+      dv.registerContext(std::make_unique<simmodel::SyntheticDriver>(baseConfig()))
+          .isOk());
+  const auto client = dv.clientConnect("itest").value();
+  const auto res = dv.clientOpen(client, "out_0000000005.snc");
+  EXPECT_FALSE(res.available);
+  launcher.deliverFailures();
+  ASSERT_EQ(notified.size(), 1u);
+  EXPECT_EQ(notified[0].code(), StatusCode::kRestartFailed);
+  // The step is missing again; a retry launches a fresh job.
+  EXPECT_FALSE(dv.isAvailable("itest", 5));
+  const auto retry = dv.clientOpen(client, "out_0000000005.snc");
+  EXPECT_FALSE(retry.available);
+  EXPECT_EQ(dv.stats().jobsLaunched, 2u);
+}
+
+TEST(FailureInjectionTest, AnalysisSurvivesFailuresInScenario) {
+  // A horizonless scenario with failing re-simulations would hang the
+  // analysis forever on the first miss; the failure notification instead
+  // lets it record the failure and move on (harness semantics).
+  ManualClock clock;
+  dv::DataVirtualizer dv(clock);
+  FailingLauncher launcher(dv);
+  dv.setLauncher(&launcher);
+  int failures = 0;
+  dv.setNotifyFn([&](ClientId, const std::string&, const Status& st) {
+    if (!st.isOk()) ++failures;
+  });
+  ASSERT_TRUE(
+      dv.registerContext(std::make_unique<simmodel::SyntheticDriver>(baseConfig()))
+          .isOk());
+  const auto client = dv.clientConnect("itest").value();
+  for (StepIndex s = 0; s < 12; s += 4) {
+    (void)dv.clientOpen(client, baseConfig().codec.outputFile(s));
+    launcher.deliverFailures();
+  }
+  EXPECT_EQ(failures, 3);
+}
+
+// ------------------------------------------------------------- kill logic
+
+TEST(KillLogicTest, DirectionChangeKillsUnneededPrefetches) {
+  harness::ScenarioConfig cfg;
+  cfg.context = baseConfig();
+  harness::AnalysisSpec spec;
+  // Flip direction right after the first prefetch batch launches, while
+  // those simulations are still producing: 0,1,2,3 then back down.
+  spec.steps = trace::makeForwardTrace(0, 4, 128);
+  const auto back = trace::makeBackwardTrace(2, 3, 128);
+  spec.steps.insert(spec.steps.end(), back.begin(), back.end());
+  spec.tauCli = vtime::kSecond / 2;
+  cfg.analyses = {spec};
+  const auto res = harness::runScenario(cfg);
+  ASSERT_TRUE(res.completed);
+  EXPECT_GT(res.dv.prefetchJobs, 0u);
+  EXPECT_GT(res.dv.jobsKilled, 0u);  // stale forward prefetches cancelled
+}
+
+TEST(KillLogicTest, DisconnectKillsClientsPrefetches) {
+  harness::ScenarioConfig cfg;
+  cfg.context = baseConfig();
+  harness::AnalysisSpec spec;
+  spec.steps = trace::makeForwardTrace(0, 8, 128);  // ends mid-prefetch
+  spec.tauCli = vtime::kMillisecond;
+  cfg.analyses = {spec};
+  const auto res = harness::runScenario(cfg);
+  ASSERT_TRUE(res.completed);
+  // The actor disconnects at the end; outstanding prefetched simulations
+  // serving nobody must have been killed.
+  EXPECT_GT(res.dv.jobsKilled, 0u);
+}
+
+// ----------------------------------------------------------- multi-context
+
+TEST(MultiContextTest, ContextsAreIsolated) {
+  ManualClock clock;
+  dv::DataVirtualizer dv(clock);
+  class Recorder final : public dv::SimLauncher {
+   public:
+    void launch(SimJobId, const simmodel::JobSpec& spec) override {
+      contexts.push_back(spec.context);
+    }
+    void kill(SimJobId) override {}
+    std::vector<std::string> contexts;
+  } launcher;
+  dv.setLauncher(&launcher);
+
+  auto a = baseConfig();
+  a.name = "ctxA";
+  auto b = baseConfig();
+  b.name = "ctxB";
+  b.geometry = StepGeometry(1, 8, 128);  // different restart interval
+  ASSERT_TRUE(dv.registerContext(std::make_unique<simmodel::SyntheticDriver>(a))
+                  .isOk());
+  ASSERT_TRUE(dv.registerContext(std::make_unique<simmodel::SyntheticDriver>(b))
+                  .isOk());
+  const auto ca = dv.clientConnect("ctxA").value();
+  const auto cb = dv.clientConnect("ctxB").value();
+  (void)dv.clientOpen(ca, "out_0000000005.snc");
+  (void)dv.clientOpen(cb, "out_0000000005.snc");
+  ASSERT_EQ(launcher.contexts.size(), 2u);
+  EXPECT_EQ(launcher.contexts[0], "ctxA");
+  EXPECT_EQ(launcher.contexts[1], "ctxB");
+  EXPECT_EQ(dv.runningJobs("ctxA"), 1);
+  EXPECT_EQ(dv.runningJobs("ctxB"), 1);
+  EXPECT_EQ(dv.contextNames().size(), 2u);
+}
+
+// --------------------------------------------- strategy (1) level scaling
+
+TEST(StrategyOneTest, ParallelismLadderShortensAnalysis) {
+  // Same scenario with a flat perf model vs a strong-scaling ladder: the
+  // agent raises the level (Sec. IV-B1b strategy 1), so production gets
+  // faster and the analysis finishes earlier.
+  auto flat = baseConfig();
+  flat.perf = PerfModel(1, 2 * vtime::kSecond, 2 * vtime::kSecond);
+
+  auto ladder = baseConfig();
+  ladder.perf = PerfModel::strongScaling(1, 2 * vtime::kSecond,
+                                         2 * vtime::kSecond, 3, 1.0);
+
+  auto makeScenario = [](const ContextConfig& ctx) {
+    harness::ScenarioConfig cfg;
+    cfg.context = ctx;
+    harness::AnalysisSpec spec;
+    spec.steps = trace::makeForwardTrace(0, 64, 128);
+    spec.tauCli = vtime::kMillisecond * 100;  // analysis faster than sim
+    cfg.analyses = {spec};
+    return cfg;
+  };
+
+  const auto flatRes = harness::runScenario(makeScenario(flat));
+  const auto ladderRes = harness::runScenario(makeScenario(ladder));
+  ASSERT_TRUE(flatRes.completed);
+  ASSERT_TRUE(ladderRes.completed);
+  EXPECT_LT(ladderRes.analyses[0].completion(),
+            flatRes.analyses[0].completion());
+}
+
+// ------------------------------------------- replay invariants (TEST_P)
+
+using ReplayParam = std::tuple<PolicyKind, trace::PatternKind>;
+
+class ReplayInvariantTest : public ::testing::TestWithParam<ReplayParam> {};
+
+TEST_P(ReplayInvariantTest, CountersAreConsistent) {
+  const auto [policy, pattern] = GetParam();
+  Rng rng(0xFACEu + static_cast<unsigned>(pattern));
+  trace::PatternWorkload workload;
+  workload.timelineSteps = 512;
+  workload.numTraces = 10;
+  const auto t = trace::makeConcatenatedPattern(rng, pattern, workload);
+  const StepGeometry geometry(1, 16, 512);
+  auto cache = cache::makeCache(policy, 128);
+  const auto res = trace::replayTrace(t, geometry, *cache);
+
+  EXPECT_EQ(res.accesses, t.size());
+  EXPECT_EQ(res.hits + res.misses, res.accesses);
+  EXPECT_EQ(res.restarts, res.misses);  // every miss restarts exactly once
+  EXPECT_GE(res.simulatedSteps, res.misses);  // each restart >= 1 step
+  EXPECT_LE(cache->size(), 128);
+  // Interval fills bound: one restart never produces more than one
+  // interval plus the boundary step.
+  EXPECT_LE(res.simulatedSteps, res.restarts * 17);
+}
+
+TEST_P(ReplayInvariantTest, UnlimitedCacheReplayHitsEverything) {
+  const auto [policy, pattern] = GetParam();
+  Rng rngA(0xBEEF);
+  Rng rngB(0xBEEF);
+  trace::PatternWorkload workload;
+  workload.timelineSteps = 512;
+  workload.numTraces = 6;
+  const auto t = trace::makeConcatenatedPattern(rngA, pattern, workload);
+  const auto t2 = trace::makeConcatenatedPattern(rngB, pattern, workload);
+  ASSERT_EQ(t, t2);  // generator determinism
+
+  // With no capacity pressure nothing is ever evicted, so a second replay
+  // of the same trace hits on every access, for every policy.
+  const StepGeometry geometry(1, 16, 512);
+  auto cache = cache::makeCache(policy, /*capacity=*/0);
+  (void)trace::replayTrace(t, geometry, *cache);
+  const auto warm = trace::replayTrace(t, geometry, *cache);
+  EXPECT_EQ(warm.hits, warm.accesses);
+  EXPECT_EQ(warm.restarts, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesTimesPatterns, ReplayInvariantTest,
+    ::testing::Combine(
+        ::testing::Values(PolicyKind::kLru, PolicyKind::kLirs,
+                          PolicyKind::kArc, PolicyKind::kBcl, PolicyKind::kDcl,
+                          PolicyKind::kFifo, PolicyKind::kRandom),
+        ::testing::Values(trace::PatternKind::kForward,
+                          trace::PatternKind::kBackward,
+                          trace::PatternKind::kRandom)),
+    [](const auto& info) {
+      return std::string(simmodel::policyKindName(std::get<0>(info.param))) +
+             "_" + trace::patternKindName(std::get<1>(info.param));
+    });
+
+// -------------------------------------------------- DES scenario sweeps
+
+class ScenarioPolicyTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(ScenarioPolicyTest, TinyCacheScenarioCompletesUnderAllPolicies) {
+  harness::ScenarioConfig cfg;
+  cfg.context = baseConfig();
+  cfg.context.policy = GetParam();
+  cfg.context.cacheQuotaBytes = 8;  // 8 steps: heavy eviction
+  harness::AnalysisSpec spec;
+  spec.steps = trace::makeForwardTrace(0, 48, 128);
+  spec.tauCli = vtime::kMillisecond * 50;
+  cfg.analyses = {spec};
+  const auto res = harness::runScenario(cfg);
+  ASSERT_TRUE(res.completed) << simmodel::policyKindName(GetParam());
+  EXPECT_EQ(res.analyses[0].failures, 0u);
+  EXPECT_GT(res.dv.evictions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ScenarioPolicyTest,
+                         ::testing::Values(PolicyKind::kLru, PolicyKind::kLirs,
+                                           PolicyKind::kArc, PolicyKind::kBcl,
+                                           PolicyKind::kDcl),
+                         [](const auto& info) {
+                           return simmodel::policyKindName(info.param);
+                         });
+
+}  // namespace
+}  // namespace simfs

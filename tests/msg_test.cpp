@@ -1,0 +1,238 @@
+// Unit tests for the DV<->DVLib protocol: message codec and transports.
+#include "common/rng.hpp"
+#include "msg/message.hpp"
+#include "msg/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace simfs::msg {
+namespace {
+
+Message sampleMessage() {
+  Message m;
+  m.type = MsgType::kAcquireReq;
+  m.requestId = 77;
+  m.context = "cosmo-5min";
+  m.files = {"out_0000000001.snc", "out_0000000002.snc"};
+  m.code = static_cast<std::int32_t>(StatusCode::kOk);
+  m.intArg = 123456789;
+  m.text = "hello";
+  return m;
+}
+
+TEST(MessageCodecTest, RoundTrip) {
+  const auto m = sampleMessage();
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.isOk());
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(MessageCodecTest, EmptyFieldsRoundTrip) {
+  Message m;
+  m.type = MsgType::kError;
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.isOk());
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(MessageCodecTest, NegativeIntArgSurvives) {
+  Message m;
+  m.type = MsgType::kOpenAck;
+  m.intArg = -42;
+  m.code = -7;
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.isOk());
+  EXPECT_EQ(decoded->intArg, -42);
+  EXPECT_EQ(decoded->code, -7);
+}
+
+TEST(MessageCodecTest, RejectsTruncatedBuffers) {
+  const auto full = encode(sampleMessage());
+  for (std::size_t len : {std::size_t{0}, std::size_t{1}, full.size() / 2,
+                          full.size() - 1}) {
+    EXPECT_FALSE(decode(std::string_view(full).substr(0, len)).isOk())
+        << "len=" << len;
+  }
+}
+
+TEST(MessageCodecTest, RejectsTrailingGarbage) {
+  auto buf = encode(sampleMessage());
+  buf.push_back('x');
+  EXPECT_FALSE(decode(buf).isOk());
+}
+
+TEST(MessageCodecTest, FramePrefixesLength) {
+  const auto framed = frame("abcd");
+  ASSERT_EQ(framed.size(), 8u);
+  EXPECT_EQ(static_cast<unsigned char>(framed[0]), 4);
+  EXPECT_EQ(framed.substr(4), "abcd");
+}
+
+// Fuzz-style robustness: arbitrary buffers must decode cleanly or fail
+// cleanly — a hostile/corrupted peer cannot crash the daemon.
+TEST(MessageCodecTest, FuzzedBuffersFailCleanly) {
+  simfs::Rng rng(0xF022);
+  for (int i = 0; i < 2000; ++i) {
+    const auto len = static_cast<std::size_t>(rng.uniformInt(0, 256));
+    std::string buf(len, '\0');
+    for (auto& c : buf) c = static_cast<char>(rng.uniformInt(0, 255));
+    const auto m = decode(buf);  // must not crash or overread
+    if (m.isOk()) {
+      // If it decoded, re-encoding must reproduce the buffer exactly.
+      EXPECT_EQ(encode(*m), buf);
+    }
+  }
+}
+
+TEST(MessageCodecTest, MutatedValidBuffersFailOrRoundTrip) {
+  simfs::Rng rng(0xF023);
+  const auto base = encode(sampleMessage());
+  for (int i = 0; i < 2000; ++i) {
+    std::string buf = base;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(buf.size()) - 1));
+    buf[pos] = static_cast<char>(rng.uniformInt(0, 255));
+    const auto m = decode(buf);
+    if (m.isOk()) {
+      EXPECT_EQ(encode(*m), buf);
+    }
+  }
+}
+
+TEST(InProcTransportTest, DeliversBothDirections) {
+  auto [a, b] = makeInProcPair();
+  std::vector<Message> atB;
+  std::vector<Message> atA;
+  b->setHandler([&](Message&& m) { atB.push_back(std::move(m)); });
+  a->setHandler([&](Message&& m) { atA.push_back(std::move(m)); });
+  ASSERT_TRUE(a->send(sampleMessage()).isOk());
+  Message reply;
+  reply.type = MsgType::kAcquireAck;
+  ASSERT_TRUE(b->send(reply).isOk());
+  ASSERT_EQ(atB.size(), 1u);
+  EXPECT_EQ(atB[0].type, MsgType::kAcquireReq);
+  ASSERT_EQ(atA.size(), 1u);
+  EXPECT_EQ(atA[0].type, MsgType::kAcquireAck);
+}
+
+TEST(InProcTransportTest, SendWithoutHandlerFails) {
+  auto [a, b] = makeInProcPair();
+  EXPECT_EQ(a->send(sampleMessage()).code(), StatusCode::kUnavailable);
+}
+
+TEST(InProcTransportTest, CloseStopsDelivery) {
+  auto [a, b] = makeInProcPair();
+  b->setHandler([](Message&&) {});
+  a->close();
+  EXPECT_FALSE(a->isOpen());
+  EXPECT_EQ(a->send(sampleMessage()).code(), StatusCode::kUnavailable);
+}
+
+class UnixSocketTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = "/tmp/simfs_test_" + std::to_string(::getpid()) + ".sock";
+  }
+  std::string path_;
+};
+
+TEST_F(UnixSocketTest, RequestReplyOverSocket) {
+  UnixSocketServer server(path_);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::unique_ptr<Transport>> serverConns;
+
+  ASSERT_TRUE(server
+                  .start([&](std::unique_ptr<Transport> conn) {
+                    // Echo server: bounce every message back.
+                    auto* raw = conn.get();
+                    raw->setHandler([raw](Message&& m) {
+                      m.type = MsgType::kAcquireAck;
+                      (void)raw->send(m);
+                    });
+                    std::lock_guard lock(mu);
+                    serverConns.push_back(std::move(conn));
+                    cv.notify_all();
+                  })
+                  .isOk());
+
+  auto client = unixSocketConnect(path_);
+  ASSERT_TRUE(client.isOk());
+
+  std::mutex rmu;
+  std::condition_variable rcv;
+  std::vector<Message> replies;
+  (*client)->setHandler([&](Message&& m) {
+    std::lock_guard lock(rmu);
+    replies.push_back(std::move(m));
+    rcv.notify_all();
+  });
+
+  ASSERT_TRUE((*client)->send(sampleMessage()).isOk());
+  {
+    std::unique_lock lock(rmu);
+    ASSERT_TRUE(rcv.wait_for(lock, std::chrono::seconds(5),
+                             [&] { return !replies.empty(); }));
+  }
+  EXPECT_EQ(replies[0].type, MsgType::kAcquireAck);
+  EXPECT_EQ(replies[0].requestId, 77u);
+  EXPECT_EQ(replies[0].files.size(), 2u);
+
+  (*client)->close();
+  server.stop();
+}
+
+TEST_F(UnixSocketTest, ConnectToMissingSocketFails) {
+  const auto client = unixSocketConnect("/tmp/simfs_no_such.sock");
+  EXPECT_FALSE(client.isOk());
+}
+
+TEST_F(UnixSocketTest, ManyMessagesInOrder) {
+  UnixSocketServer server(path_);
+  std::vector<std::unique_ptr<Transport>> serverConns;
+  std::mutex mu;
+  ASSERT_TRUE(server
+                  .start([&](std::unique_ptr<Transport> conn) {
+                    auto* raw = conn.get();
+                    raw->setHandler([raw](Message&& m) { (void)raw->send(m); });
+                    std::lock_guard lock(mu);
+                    serverConns.push_back(std::move(conn));
+                  })
+                  .isOk());
+  auto client = unixSocketConnect(path_);
+  ASSERT_TRUE(client.isOk());
+
+  std::mutex rmu;
+  std::condition_variable rcv;
+  std::vector<std::uint64_t> seen;
+  (*client)->setHandler([&](Message&& m) {
+    std::lock_guard lock(rmu);
+    seen.push_back(m.requestId);
+    rcv.notify_all();
+  });
+
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    Message m;
+    m.type = MsgType::kOpenReq;
+    m.requestId = static_cast<std::uint64_t>(i);
+    ASSERT_TRUE((*client)->send(m).isOk());
+  }
+  {
+    std::unique_lock lock(rmu);
+    ASSERT_TRUE(rcv.wait_for(lock, std::chrono::seconds(10),
+                             [&] { return seen.size() == n; }));
+  }
+  for (int i = 0; i < n; ++i) EXPECT_EQ(seen[i], static_cast<std::uint64_t>(i));
+  (*client)->close();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace simfs::msg

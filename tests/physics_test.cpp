@@ -1,0 +1,126 @@
+// Tests for the Sedov-like blast-wave solver: determinism, restart
+// round-trips (the bitwise-reproducibility requirement of Sec. II) and
+// physical invariants.
+#include "physics/sedov.hpp"
+
+#include "analysis/field_stats.hpp"
+#include "dvlib/iolib.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simfs::physics {
+namespace {
+
+SedovConfig smallConfig() {
+  SedovConfig cfg;
+  cfg.n = 12;
+  return cfg;
+}
+
+TEST(SedovTest, EnergyIsConserved) {
+  SedovSolver solver(smallConfig());
+  const double initial = solver.totalEnergy();
+  solver.run(50);
+  EXPECT_NEAR(solver.totalEnergy(), initial, 1e-9 * initial);
+}
+
+TEST(SedovTest, BlastFrontExpands) {
+  SedovSolver solver(smallConfig());
+  const double r0 = solver.frontRadius();
+  solver.run(10);
+  const double r10 = solver.frontRadius();
+  solver.run(20);
+  const double r30 = solver.frontRadius();
+  EXPECT_LT(r0, r10);
+  EXPECT_LT(r10, r30);
+}
+
+TEST(SedovTest, DeterministicAcrossRuns) {
+  SedovSolver a(smallConfig());
+  SedovSolver b(smallConfig());
+  a.run(25);
+  b.run(25);
+  EXPECT_EQ(a.writeOutputStep(), b.writeOutputStep());  // bitwise
+}
+
+TEST(SedovTest, RestartRoundTripIsBitwiseIdentical) {
+  // Uninterrupted run vs write-restart-then-resume must agree bitwise —
+  // this is the property SIMFS_Bitrep relies on.
+  SedovSolver full(smallConfig());
+  full.run(40);
+
+  SedovSolver half(smallConfig());
+  half.run(20);
+  const auto restart = half.writeRestart();
+  auto resumed = SedovSolver::fromRestart(restart);
+  ASSERT_TRUE(resumed.isOk());
+  EXPECT_EQ(resumed->timestep(), 20);
+  resumed->run(20);
+
+  EXPECT_EQ(resumed->timestep(), full.timestep());
+  EXPECT_EQ(resumed->writeOutputStep(), full.writeOutputStep());
+  EXPECT_EQ(resumed->writeRestart(), full.writeRestart());
+}
+
+TEST(SedovTest, RestartRejectsCorruptBlobs) {
+  EXPECT_FALSE(SedovSolver::fromRestart("junk").isOk());
+  SedovSolver solver(smallConfig());
+  auto blob = solver.writeRestart();
+  blob.pop_back();
+  EXPECT_FALSE(SedovSolver::fromRestart(blob).isOk());
+  blob = solver.writeRestart();
+  blob[10] = char(0xFF);  // corrupt the grid size
+  EXPECT_FALSE(SedovSolver::fromRestart(blob).isOk());
+}
+
+TEST(SedovTest, OutputStepParsesAsField) {
+  SedovSolver solver(smallConfig());
+  solver.run(5);
+  const auto field = dvlib::decodeField(solver.writeOutputStep());
+  ASSERT_TRUE(field.isOk());
+  EXPECT_EQ(field->size(), 12u * 12u * 12u);
+}
+
+TEST(SedovTest, AnalysisSeesEvolvingVariance) {
+  // The paper's analysis computes mean/variance of the field; variance
+  // decays as the blast spreads out.
+  SedovSolver solver(smallConfig());
+  const auto early = analysis::analyzeField(solver.writeOutputStep());
+  solver.run(40);
+  const auto late = analysis::analyzeField(solver.writeOutputStep());
+  ASSERT_TRUE(early.isOk());
+  ASSERT_TRUE(late.isOk());
+  EXPECT_GT(early->variance, late->variance);
+  // Mean density stays near ambient + deposited energy spread.
+  EXPECT_NEAR(early->mean, late->mean, 1e-9);
+}
+
+TEST(SedovTest, ConfigValidation) {
+  SedovConfig bad = smallConfig();
+  bad.n = 2;
+  EXPECT_DEATH(SedovSolver{bad}, "");
+}
+
+TEST(FieldStatsTest, KnownValues) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  const auto stats = analysis::analyzeField(dvlib::encodeField(v));
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_DOUBLE_EQ(stats->mean, 2.5);
+  EXPECT_DOUBLE_EQ(stats->variance, 1.25);
+  EXPECT_DOUBLE_EQ(stats->min, 1.0);
+  EXPECT_DOUBLE_EQ(stats->max, 4.0);
+  EXPECT_EQ(stats->count, 4u);
+}
+
+TEST(FieldStatsTest, EmptyField) {
+  const auto stats = analysis::analyzeField(dvlib::encodeField({}));
+  ASSERT_TRUE(stats.isOk());
+  EXPECT_EQ(stats->count, 0u);
+}
+
+TEST(FieldStatsTest, RejectsNonField) {
+  EXPECT_FALSE(analysis::analyzeField("garbage").isOk());
+}
+
+}  // namespace
+}  // namespace simfs::physics

@@ -1,0 +1,274 @@
+// Unit tests for the prefetch agent — Sec. IV formulas pinned to
+// hand-computed values from the paper's worked examples (Figs. 7-10).
+#include "prefetch/agent.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simfs::prefetch {
+namespace {
+
+using simmodel::ContextConfig;
+using simmodel::PerfModel;
+using simmodel::StepGeometry;
+
+/// The textbook configuration of Figs. 7-9: delta_d=1, delta_r=4,
+/// alpha=2, tau_sim=1, tau_cli=1/2 (time unit = 1 second here).
+ContextConfig paperConfig() {
+  ContextConfig cfg;
+  cfg.name = "paper";
+  cfg.geometry = StepGeometry(1, 4, 0);
+  cfg.sMax = 8;
+  cfg.perf = PerfModel(1, vtime::kSecond, 2 * vtime::kSecond);
+  return cfg;
+}
+
+TEST(AgentDetectionTest, ForwardDetectedAfterTwoStridedAccesses) {
+  const auto cfg = paperConfig();
+  PrefetchAgent agent(cfg);
+  EXPECT_FALSE(agent.patternDetected());
+  (void)agent.onAccess(1, 0, true, false);
+  EXPECT_FALSE(agent.patternDetected());
+  (void)agent.onAccess(2, vtime::kSecond, true, false);
+  EXPECT_TRUE(agent.patternDetected());
+  EXPECT_EQ(agent.direction(), Direction::kForward);
+  EXPECT_EQ(agent.stride(), 1);
+}
+
+TEST(AgentDetectionTest, BackwardAndStride) {
+  const auto cfg = paperConfig();
+  PrefetchAgent agent(cfg);
+  (void)agent.onAccess(20, 0, true, false);
+  (void)agent.onAccess(17, vtime::kSecond, true, false);
+  EXPECT_EQ(agent.direction(), Direction::kBackward);
+  EXPECT_EQ(agent.stride(), 3);
+}
+
+TEST(AgentDetectionTest, DirectionChangeAbandonsTrajectory) {
+  const auto cfg = paperConfig();
+  PrefetchAgent agent(cfg);
+  (void)agent.onAccess(1, 0, true, false);
+  (void)agent.onAccess(2, 1, true, false);
+  const auto actions = agent.onAccess(1, 2, true, false);
+  EXPECT_TRUE(actions.trajectoryAbandoned);
+  EXPECT_EQ(agent.direction(), Direction::kBackward);
+}
+
+TEST(AgentDetectionTest, RepeatedAccessKeepsPattern) {
+  const auto cfg = paperConfig();
+  PrefetchAgent agent(cfg);
+  (void)agent.onAccess(1, 0, true, false);
+  (void)agent.onAccess(2, 1, true, false);
+  const auto actions = agent.onAccess(2, 2, true, false);
+  EXPECT_FALSE(actions.trajectoryAbandoned);
+  EXPECT_EQ(agent.direction(), Direction::kForward);
+}
+
+TEST(AgentTimingTest, TauCliMeasuredOnlyBetweenHits) {
+  const auto cfg = paperConfig();
+  PrefetchAgent agent(cfg);
+  (void)agent.onAccess(1, 0, /*hit=*/false, true);
+  (void)agent.onAccess(2, 10 * vtime::kSecond, /*hit=*/true, false);
+  // Previous access stalled: no measurement yet.
+  EXPECT_DOUBLE_EQ(agent.tauCliEstimate(), 0.0);
+  (void)agent.onAccess(3, 10 * vtime::kSecond + vtime::kSecond / 2, true, false);
+  EXPECT_DOUBLE_EQ(agent.tauCliEstimate(),
+                   static_cast<double>(vtime::kSecond) / 2);
+}
+
+TEST(AgentFormulaTest, ForwardResimLengthMatchesPaperExample) {
+  // alpha=2, tau_sim=1, k=1, tau_cli=1/2: per-step = max(1, 0.5) = 1;
+  // n >= ceil(2/1 + 2) * 1 = 4, plus one restart interval, rounded up to
+  // a multiple of 4 -> 8.
+  const auto cfg = paperConfig();
+  PrefetchAgent agent(cfg);
+  (void)agent.onAccess(1, 0, true, false);
+  (void)agent.onAccess(2, vtime::kSecond / 2, true, false);
+  (void)agent.onAccess(3, vtime::kSecond, true, false);
+  EXPECT_EQ(agent.resimLength(), 8);
+  // Masking distance L = ceil(2 / 1) * 1 = 2.
+  EXPECT_EQ(agent.maskingDistance(), 2);
+}
+
+TEST(AgentFormulaTest, ForwardSoptMatchesPaperExample) {
+  // s_opt = ceil(k * tau_sim / tau_cli) = ceil(1 / 0.5) = 2 (Fig. 9).
+  const auto cfg = paperConfig();
+  PrefetchAgent agent(cfg);
+  (void)agent.onAccess(1, 0, true, false);
+  (void)agent.onAccess(2, vtime::kSecond / 2, true, false);
+  EXPECT_EQ(agent.targetParallelSims(), 2);
+}
+
+TEST(AgentFormulaTest, UnknownClientSpeedUsesAllSlots) {
+  const auto cfg = paperConfig();
+  PrefetchAgent agent(cfg);
+  (void)agent.onAccess(1, 0, false, true);
+  (void)agent.onAccess(2, 5, false, true);
+  EXPECT_EQ(agent.targetParallelSims(), cfg.sMax);
+}
+
+TEST(AgentFormulaTest, BackwardSlowAnalysisLength) {
+  // Backward with analysis slower than sim: tau_cli=4s > k*tau_sim=1s;
+  // n = k*alpha/(tau_cli - k*tau_sim) = 2/(4-1) = 0.67 -> restart multiple 4.
+  const auto cfg = paperConfig();
+  PrefetchAgent agent(cfg);
+  (void)agent.onAccess(20, 0, true, false);
+  (void)agent.onAccess(19, 4 * vtime::kSecond, true, false);
+  (void)agent.onAccess(18, 8 * vtime::kSecond, true, false);
+  EXPECT_EQ(agent.direction(), Direction::kBackward);
+  EXPECT_EQ(agent.resimLength(), 4);
+}
+
+TEST(AgentFormulaTest, BackwardFastAnalysisParallelism) {
+  // Fig. 10: alpha=2, tau_sim=1, tau_cli=1/2, n=4:
+  // s = ceil(k*alpha/(n*tau_cli) + k*tau_sim/tau_cli) = ceil(1 + 2) = 3.
+  const auto cfg = paperConfig();
+  PrefetchAgent agent(cfg);
+  (void)agent.onAccess(28, 0, true, false);
+  (void)agent.onAccess(27, vtime::kSecond / 2, true, false);
+  EXPECT_EQ(agent.resimLength(), 4);
+  EXPECT_EQ(agent.targetParallelSims(), 3);
+}
+
+TEST(AgentLaunchTest, ForwardPrefetchTriggersNearFrontier) {
+  const auto cfg = paperConfig();
+  PrefetchAgent agent(cfg);
+  // Recovery job for the first interval reported by the DV.
+  agent.onJobLaunched(0, 4, false);
+  (void)agent.onAccess(0, 0, false, true);
+  (void)agent.onAccess(1, vtime::kSecond / 2, true, false);
+  (void)agent.onAccess(2, vtime::kSecond, true, false);
+  // Frontier 4, L=2: at step >= 2 prefetch fires, covering [5, ...].
+  const auto actions = agent.onAccess(3, 3 * vtime::kSecond / 2, true, false);
+  ASSERT_FALSE(actions.launches.empty());
+  EXPECT_EQ(actions.launches[0].startStep, 5);
+  // s_opt = 2 parallel sims -> each covers one restart interval (Fig. 9).
+  ASSERT_EQ(actions.launches.size(), 2u);
+  EXPECT_EQ(actions.launches[0].stopStep, 8);
+  EXPECT_EQ(actions.launches[1].startStep, 9);
+  EXPECT_EQ(actions.launches[1].stopStep, 12);
+}
+
+TEST(AgentLaunchTest, NoLaunchFarFromFrontier) {
+  const auto cfg = paperConfig();
+  PrefetchAgent agent(cfg);
+  agent.onJobLaunched(0, 100, false);
+  (void)agent.onAccess(0, 0, true, false);
+  (void)agent.onAccess(1, 1, true, false);
+  const auto actions = agent.onAccess(2, 2, true, false);
+  EXPECT_TRUE(actions.launches.empty());  // 98 steps of slack > L
+}
+
+TEST(AgentLaunchTest, BackwardPrefetchCoversEarlierBlocks) {
+  const auto cfg = paperConfig();
+  PrefetchAgent agent(cfg);
+  agent.onJobLaunched(24, 28, false);
+  (void)agent.onAccess(28, 0, false, true);
+  (void)agent.onAccess(27, vtime::kSecond / 2, true, false);
+  (void)agent.onAccess(26, vtime::kSecond, true, false);
+  const auto actions = agent.onAccess(25, 3 * vtime::kSecond / 2, true, false);
+  ASSERT_FALSE(actions.launches.empty());
+  // Blocks below 24, highest first.
+  EXPECT_EQ(actions.launches[0].stopStep, 23);
+  EXPECT_EQ(actions.launches[0].startStep, 23 - agent.resimLength() + 1);
+  if (actions.launches.size() > 1) {
+    EXPECT_LT(actions.launches[1].stopStep, actions.launches[0].startStep);
+  }
+}
+
+TEST(AgentLaunchTest, BackwardStopsAtZero) {
+  const auto cfg = paperConfig();
+  PrefetchAgent agent(cfg);
+  agent.onJobLaunched(0, 4, false);
+  (void)agent.onAccess(4, 0, true, false);
+  (void)agent.onAccess(3, 1, true, false);
+  const auto actions = agent.onAccess(2, 2, true, false);
+  EXPECT_TRUE(actions.launches.empty());  // nothing below step 0
+}
+
+TEST(AgentLaunchTest, DoublingRampLimitsFirstBatch) {
+  auto cfg = paperConfig();
+  cfg.doublingRampUp = true;
+  PrefetchAgent agent(cfg);
+  agent.onJobLaunched(0, 4, false);
+  (void)agent.onAccess(0, 0, false, true);
+  (void)agent.onAccess(1, 1, false, true);  // stalls: tau_cli unknown
+  const auto actions = agent.onAccess(2, 2, false, true);
+  // Without ramp it would ask for s_max; the ramp starts at 1.
+  ASSERT_EQ(actions.launches.size(), 1u);
+}
+
+TEST(AgentPollutionTest, PrefetchedStepMissingSignalsPollution) {
+  const auto cfg = paperConfig();
+  PrefetchAgent agent(cfg);
+  agent.onJobLaunched(8, 11, /*prefetched=*/true);
+  const auto actions = agent.onAccess(9, 0, /*hit=*/false, /*servedBySim=*/false);
+  EXPECT_TRUE(actions.pollutionDetected);
+}
+
+TEST(AgentPollutionTest, PrefetchedStepStillPendingIsNotPollution) {
+  const auto cfg = paperConfig();
+  PrefetchAgent agent(cfg);
+  agent.onJobLaunched(8, 11, /*prefetched=*/true);
+  const auto actions = agent.onAccess(9, 0, /*hit=*/false, /*servedBySim=*/true);
+  EXPECT_FALSE(actions.pollutionDetected);
+}
+
+TEST(AgentPollutionTest, PrefetchedStepHitIsFine) {
+  const auto cfg = paperConfig();
+  PrefetchAgent agent(cfg);
+  agent.onJobLaunched(8, 11, /*prefetched=*/true);
+  const auto actions = agent.onAccess(9, 0, /*hit=*/true, false);
+  EXPECT_FALSE(actions.pollutionDetected);
+}
+
+TEST(AgentLevelTest, StrategyOneRaisesLevelWhileItHelps) {
+  ContextConfig cfg = paperConfig();
+  cfg.perf = PerfModel::strongScaling(1, 4 * vtime::kSecond, 2 * vtime::kSecond,
+                                      2, 1.0);
+  PrefetchAgent agent(cfg);
+  EXPECT_EQ(agent.parallelismLevel(), 0);
+  // Fast client (tau_cli = 1s < tau_sim = 4s) raises the level once per
+  // measured access until the ladder tops out.
+  (void)agent.onAccess(1, 0, true, false);
+  (void)agent.onAccess(2, vtime::kSecond, true, false);
+  EXPECT_EQ(agent.parallelismLevel(), 1);
+  (void)agent.onAccess(3, 2 * vtime::kSecond, true, false);
+  EXPECT_EQ(agent.parallelismLevel(), 2);
+  (void)agent.onAccess(4, 3 * vtime::kSecond, true, false);
+  EXPECT_EQ(agent.parallelismLevel(), 2);  // maxLevel reached
+}
+
+TEST(AgentObservationTest, EmaTracksRestartLatency) {
+  const auto cfg = paperConfig();
+  PrefetchAgent agent(cfg);
+  EXPECT_DOUBLE_EQ(agent.alphaEstimate(), 2.0 * vtime::kSecond);  // model prior
+  agent.observeRestartLatency(10 * vtime::kSecond);
+  EXPECT_DOUBLE_EQ(agent.alphaEstimate(), 10.0 * vtime::kSecond);
+  agent.observeRestartLatency(20 * vtime::kSecond);
+  EXPECT_DOUBLE_EQ(agent.alphaEstimate(), 15.0 * vtime::kSecond);  // EMA 0.5
+}
+
+TEST(AgentObservationTest, ResetKeepsSystemObservations) {
+  const auto cfg = paperConfig();
+  PrefetchAgent agent(cfg);
+  agent.observeRestartLatency(10 * vtime::kSecond);
+  (void)agent.onAccess(1, 0, true, false);
+  (void)agent.onAccess(2, 1, true, false);
+  agent.reset();
+  EXPECT_FALSE(agent.patternDetected());
+  EXPECT_DOUBLE_EQ(agent.alphaEstimate(), 10.0 * vtime::kSecond);
+}
+
+TEST(AgentConfigTest, PrefetchDisabledNeverLaunches) {
+  auto cfg = paperConfig();
+  cfg.prefetchEnabled = false;
+  PrefetchAgent agent(cfg);
+  agent.onJobLaunched(0, 4, false);
+  (void)agent.onAccess(0, 0, false, true);
+  (void)agent.onAccess(1, 1, true, false);
+  const auto actions = agent.onAccess(2, 2, true, false);
+  EXPECT_TRUE(actions.launches.empty());
+}
+
+}  // namespace
+}  // namespace simfs::prefetch

@@ -1,0 +1,229 @@
+// Virtual-time integration tests: the full SimFS stack (analysis actors ->
+// DV -> prefetch agents -> DES simulator fleet) replaying the paper's
+// worked examples of Sec. IV (Figs. 7-9) and general invariants.
+#include "harness/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace simfs::harness {
+namespace {
+
+using simmodel::ContextConfig;
+using simmodel::PerfModel;
+using simmodel::StepGeometry;
+
+/// The textbook setup of Figs. 7-9: delta_d=1, delta_r=4, alpha_sim=2,
+/// tau_sim=1, tau_cli=1/2 (1 paper time unit = 1 second).
+ContextConfig paperConfig() {
+  ContextConfig cfg;
+  cfg.name = "paper";
+  cfg.geometry = StepGeometry(1, 4, 64);
+  cfg.outputStepBytes = 1;
+  cfg.cacheQuotaBytes = 0;  // no eviction in the schedule examples
+  cfg.sMax = 8;
+  cfg.perf = PerfModel(1, vtime::kSecond, 2 * vtime::kSecond);
+  return cfg;
+}
+
+AnalysisSpec forwardAnalysis(int m, VDuration tauCli) {
+  AnalysisSpec spec;
+  spec.startTime = 0;
+  spec.steps = trace::makeForwardTrace(0, m, 1'000'000);
+  spec.tauCli = tauCli;
+  spec.label = "fwd";
+  return spec;
+}
+
+TEST(ScenarioFig7Test, NoPrefetchingTimingMatchesHandComputation) {
+  // Fig. 7: every interval miss costs the full restart latency. With 12
+  // accesses, tau_cli=0.5s: analysis completes at t=21.5 s (see the
+  // schedule walk-through in the paper and in bench/fig07_11).
+  ScenarioConfig cfg;
+  cfg.context = paperConfig();
+  cfg.context.prefetchEnabled = false;
+  cfg.analyses = {forwardAnalysis(12, vtime::kSecond / 2)};
+  const auto res = runScenario(cfg);
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.analyses[0].completion(), 21'500 * vtime::kMillisecond);
+  EXPECT_EQ(res.dv.demandJobs, 3u);   // one per restart interval
+  EXPECT_EQ(res.dv.prefetchJobs, 0u);
+}
+
+TEST(ScenarioFig8Test, MaskingScheduleIsPinned) {
+  // With masking only (Fig. 8), the 12-access textbook analysis finishes
+  // at t = 15.0: the first interval pays the full latency (step 0 ready
+  // at t=3), production then pipelines one interval ahead.
+  ScenarioConfig cfg;
+  cfg.context = paperConfig();
+  cfg.context.bandwidthMatchingEnabled = false;
+  cfg.analyses = {forwardAnalysis(12, vtime::kSecond / 2)};
+  const auto res = runScenario(cfg);
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.analyses[0].completion(), 15 * vtime::kSecond);
+}
+
+TEST(ScenarioFig8Test, MaskingBeatsNoPrefetching) {
+  ScenarioConfig base;
+  base.context = paperConfig();
+  base.context.prefetchEnabled = false;
+  base.analyses = {forwardAnalysis(12, vtime::kSecond / 2)};
+  const auto noPrefetch = runScenario(base);
+
+  ScenarioConfig masked = base;
+  masked.context.prefetchEnabled = true;
+  masked.context.bandwidthMatchingEnabled = false;  // Fig. 8: masking only
+  const auto masking = runScenario(masked);
+
+  ASSERT_TRUE(noPrefetch.completed);
+  ASSERT_TRUE(masking.completed);
+  EXPECT_LT(masking.analyses[0].completion(),
+            noPrefetch.analyses[0].completion());
+  EXPECT_GT(masking.dv.prefetchJobs, 0u);
+}
+
+TEST(ScenarioFig9Test, BandwidthMatchingBeatsMaskingOnly) {
+  ScenarioConfig masked;
+  masked.context = paperConfig();
+  masked.context.bandwidthMatchingEnabled = false;
+  masked.analyses = {forwardAnalysis(24, vtime::kSecond / 2)};
+  const auto masking = runScenario(masked);
+
+  ScenarioConfig matched = masked;
+  matched.context.bandwidthMatchingEnabled = true;  // Fig. 9
+  const auto matching = runScenario(matched);
+
+  ASSERT_TRUE(masking.completed);
+  ASSERT_TRUE(matching.completed);
+  EXPECT_LE(matching.analyses[0].completion(),
+            masking.analyses[0].completion());
+}
+
+TEST(ScenarioBackwardTest, BackwardAnalysisCompletes) {
+  ScenarioConfig cfg;
+  cfg.context = paperConfig();
+  AnalysisSpec spec;
+  spec.steps = trace::makeBackwardTrace(27, 28, 64);
+  spec.tauCli = vtime::kSecond / 2;
+  spec.label = "bwd";
+  cfg.analyses = {spec};
+  const auto res = runScenario(cfg);
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.analyses[0].accesses, 28u);
+  EXPECT_EQ(res.analyses[0].failures, 0u);
+  // Prefetching must have produced earlier intervals ahead of the scan.
+  EXPECT_GT(res.dv.prefetchJobs, 0u);
+}
+
+TEST(ScenarioSmaxTest, MoreParallelSimulationsShortenAnalysis) {
+  VDuration prev = 0;
+  for (const int smax : {1, 4, 8}) {
+    ScenarioConfig cfg;
+    cfg.context = paperConfig();
+    cfg.context.sMax = smax;
+    cfg.analyses = {forwardAnalysis(48, vtime::kMillisecond * 100)};
+    const auto res = runScenario(cfg);
+    ASSERT_TRUE(res.completed);
+    if (prev != 0) EXPECT_LE(res.analyses[0].completion(), prev);
+    prev = res.analyses[0].completion();
+  }
+}
+
+TEST(ScenarioWarmCacheTest, PreloadedStepsNeverSimulate) {
+  ScenarioConfig cfg;
+  cfg.context = paperConfig();
+  for (StepIndex s = 0; s < 12; ++s) cfg.preloadedSteps.push_back(s);
+  cfg.analyses = {forwardAnalysis(12, vtime::kSecond / 2)};
+  const auto res = runScenario(cfg);
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.dv.jobsLaunched, 0u);
+  EXPECT_EQ(res.analyses[0].immediateHits, 12u);
+  // Pure tau_cli pacing: 12 * 0.5 s.
+  EXPECT_EQ(res.analyses[0].completion(), 6 * vtime::kSecond);
+}
+
+TEST(ScenarioEvictionTest, TinyCacheStillCompletes) {
+  ScenarioConfig cfg;
+  cfg.context = paperConfig();
+  cfg.context.cacheQuotaBytes = 6;  // six steps
+  cfg.context.prefetchEnabled = false;
+  cfg.analyses = {forwardAnalysis(32, vtime::kMillisecond * 10)};
+  const auto res = runScenario(cfg);
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.analyses[0].failures, 0u);
+  EXPECT_GT(res.dv.evictions, 0u);
+}
+
+TEST(ScenarioPollutionTest, ThrashingCacheWithPrefetchStillCompletes) {
+  // A cache smaller than one prefetch window forces produced-then-evicted
+  // steps: pollution resets must fire and the analysis must still finish.
+  ScenarioConfig cfg;
+  cfg.context = paperConfig();
+  cfg.context.cacheQuotaBytes = 4;
+  cfg.context.sMax = 8;
+  cfg.analyses = {forwardAnalysis(48, vtime::kMillisecond * 10)};
+  const auto res = runScenario(cfg);
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.analyses[0].failures, 0u);
+}
+
+TEST(ScenarioMultiClientTest, ConcurrentAnalysesShareProducedData) {
+  ScenarioConfig cfg;
+  cfg.context = paperConfig();
+  cfg.context.prefetchEnabled = false;
+  auto a = forwardAnalysis(16, vtime::kSecond / 2);
+  a.label = "a";
+  auto b = forwardAnalysis(16, vtime::kSecond / 2);
+  b.label = "b";
+  b.startTime = vtime::kSecond;  // trails analysis a
+  cfg.analyses = {a, b};
+  const auto res = runScenario(cfg);
+  ASSERT_TRUE(res.completed);
+  // The trailing analysis rides on the leader's re-simulations: only one
+  // demand job per interval in total.
+  EXPECT_EQ(res.dv.demandJobs, 4u);
+}
+
+TEST(ScenarioQueueDelayTest, QueuingDelaysObservedAsLatency) {
+  ScenarioConfig fast;
+  fast.context = paperConfig();
+  fast.context.prefetchEnabled = false;
+  fast.analyses = {forwardAnalysis(8, vtime::kSecond / 2)};
+  const auto noQueue = runScenario(fast);
+
+  ScenarioConfig slow = fast;
+  slow.batch.baseDelay = 5 * vtime::kSecond;
+  const auto queued = runScenario(slow);
+
+  ASSERT_TRUE(noQueue.completed);
+  ASSERT_TRUE(queued.completed);
+  // Two demand jobs, each delayed by 5 s of queue time.
+  EXPECT_EQ(queued.analyses[0].completion() - noQueue.analyses[0].completion(),
+            10 * vtime::kSecond);
+}
+
+TEST(ScenarioDeterminismTest, IdenticalConfigsReplayIdentically) {
+  ScenarioConfig cfg;
+  cfg.context = paperConfig();
+  cfg.analyses = {forwardAnalysis(24, vtime::kSecond / 3)};
+  cfg.batch.jitterMax = vtime::kSecond;
+  const auto a = runScenario(cfg);
+  const auto b = runScenario(cfg);
+  ASSERT_TRUE(a.completed);
+  EXPECT_EQ(a.analyses[0].completion(), b.analyses[0].completion());
+  EXPECT_EQ(a.dv.jobsLaunched, b.dv.jobsLaunched);
+  EXPECT_EQ(a.dv.stepsProduced, b.dv.stepsProduced);
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST(ScenarioHorizonTest, HorizonStopsRunawayRuns) {
+  ScenarioConfig cfg;
+  cfg.context = paperConfig();
+  cfg.analyses = {forwardAnalysis(64, vtime::kSecond)};
+  cfg.horizon = 3 * vtime::kSecond;  // far too short to finish
+  const auto res = runScenario(cfg);
+  EXPECT_FALSE(res.completed);
+  EXPECT_EQ(res.makespan, 3 * vtime::kSecond);
+}
+
+}  // namespace
+}  // namespace simfs::harness

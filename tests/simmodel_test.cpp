@@ -1,0 +1,318 @@
+// Unit tests for simfs::simmodel — step geometry (the paper's Fig. 3
+// arithmetic), filename codec, performance model, contexts and drivers.
+#include "simmodel/context.hpp"
+#include "simmodel/driver.hpp"
+#include "simmodel/filename_codec.hpp"
+#include "simmodel/perf_model.hpp"
+#include "simmodel/step_geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace simfs::simmodel {
+namespace {
+
+// -------------------------------------------------------------- geometry
+
+TEST(StepGeometryTest, PaperFig3Example) {
+  // Fig. 3: delta_d = 4, delta_r = 8; d1 at t=4, r1 at t=8.
+  const StepGeometry g(4, 8, 16);
+  EXPECT_EQ(g.numOutputSteps(), 4);
+  EXPECT_EQ(g.numRestartSteps(), 2);
+  EXPECT_EQ(g.outputTimestep(1), 4);
+  EXPECT_EQ(g.restartTimestep(1), 8);
+  // d1 (t=4) restarts from r0; d2 (t=8) exactly on r1 -> restarts from r1.
+  EXPECT_EQ(g.restartFor(1), 0);
+  EXPECT_EQ(g.restartFor(2), 1);
+  EXPECT_EQ(g.restartFor(3), 1);
+}
+
+TEST(StepGeometryTest, RestartForMatchesFloorFormula) {
+  const StepGeometry g(5, 60, 0);  // COSMO: delta_d=5, delta_r=60
+  for (StepIndex i = 0; i < 100; ++i) {
+    EXPECT_EQ(g.restartFor(i), (i * 5) / 60);
+  }
+}
+
+TEST(StepGeometryTest, NextRestartAfterIsCeilWithBoundaryRollover) {
+  const StepGeometry g(1, 4, 0);
+  EXPECT_EQ(g.nextRestartAfter(1), 1);
+  EXPECT_EQ(g.nextRestartAfter(3), 1);
+  EXPECT_EQ(g.nextRestartAfter(4), 2);  // exactly on r1: run to r2
+  EXPECT_EQ(g.nextRestartAfter(0), 1);
+}
+
+TEST(StepGeometryTest, FirstStepAtOrAfterRestart) {
+  const StepGeometry g(5, 60, 0);
+  EXPECT_EQ(g.firstStepAtOrAfterRestart(0), 0);
+  EXPECT_EQ(g.firstStepAtOrAfterRestart(1), 12);  // t=60 -> step 12
+  const StepGeometry g2(7, 10, 0);
+  EXPECT_EQ(g2.firstStepAtOrAfterRestart(1), 2);  // t=10 -> step 2 (t=14)
+}
+
+TEST(StepGeometryTest, MissCostIsDistancePlusOne) {
+  const StepGeometry g(1, 4, 0);
+  EXPECT_EQ(g.missCostSteps(0), 1);  // on restart r0
+  EXPECT_EQ(g.missCostSteps(1), 2);
+  EXPECT_EQ(g.missCostSteps(3), 4);
+  EXPECT_EQ(g.missCostSteps(4), 1);  // on restart r1
+  EXPECT_EQ(g.missCostSteps(7), 4);
+}
+
+TEST(StepGeometryTest, StepsPerRestartInterval) {
+  EXPECT_EQ(StepGeometry(1, 4, 0).stepsPerRestartInterval(), 4);
+  EXPECT_EQ(StepGeometry(5, 60, 0).stepsPerRestartInterval(), 12);
+  EXPECT_EQ(StepGeometry(7, 10, 0).stepsPerRestartInterval(), 2);  // ceil
+}
+
+TEST(StepGeometryTest, RoundUpToRestartMultiple) {
+  const StepGeometry g(1, 4, 0);
+  EXPECT_EQ(g.roundUpToRestartMultiple(1), 4);
+  EXPECT_EQ(g.roundUpToRestartMultiple(4), 4);
+  EXPECT_EQ(g.roundUpToRestartMultiple(5), 8);
+  EXPECT_EQ(g.roundUpToRestartMultiple(0), 4);   // at least one interval
+  EXPECT_EQ(g.roundUpToRestartMultiple(-3), 4);
+}
+
+TEST(StepGeometryTest, ValidStepRespectsTimeline) {
+  const StepGeometry g(5, 60, 100);
+  EXPECT_TRUE(g.validStep(0));
+  EXPECT_TRUE(g.validStep(20));   // t=100 == numTimesteps
+  EXPECT_FALSE(g.validStep(21));
+  EXPECT_FALSE(g.validStep(-1));
+  const StepGeometry unbounded(5, 60, 0);
+  EXPECT_TRUE(unbounded.validStep(1'000'000));
+}
+
+TEST(StepGeometryTest, RunUntilBoundsCoverRequestedStep) {
+  // Property: for any step i, the demand re-simulation range
+  // [firstStepAtOrAfterRestart(R(i)), lastStepOfRunUntil(nextRestart)]
+  // contains i.
+  for (const auto [dd, dr] : {std::pair<int, int>{1, 4},
+                              {5, 60},
+                              {7, 10},
+                              {3, 9},
+                              {4, 6}}) {
+    const StepGeometry g(dd, dr, 0);
+    for (StepIndex i = 0; i < 200; ++i) {
+      const auto first = g.firstStepAtOrAfterRestart(g.restartFor(i));
+      const auto last = g.lastStepOfRunUntil(g.nextRestartAfter(i));
+      EXPECT_LE(first, i) << "dd=" << dd << " dr=" << dr << " i=" << i;
+      EXPECT_GE(last, i) << "dd=" << dd << " dr=" << dr << " i=" << i;
+    }
+  }
+}
+
+// ----------------------------------------------------------------- codec
+
+TEST(FilenameCodecTest, RoundTrip) {
+  const FilenameCodec c;
+  EXPECT_EQ(c.outputFile(42), "out_0000000042.snc");
+  EXPECT_EQ(c.restartFile(3), "restart_0000000003.rst");
+  EXPECT_EQ(c.outputKey("out_0000000042.snc").value(), 42);
+  EXPECT_EQ(c.restartKey("restart_0000000003.rst").value(), 3);
+}
+
+TEST(FilenameCodecTest, KeyIsMonotone) {
+  const FilenameCodec c;
+  StepIndex prev = -1;
+  for (StepIndex i = 0; i < 100; i += 7) {
+    const auto k = c.outputKey(c.outputFile(i));
+    ASSERT_TRUE(k.isOk());
+    EXPECT_GT(*k, prev);
+    prev = *k;
+  }
+}
+
+TEST(FilenameCodecTest, RejectsForeignNames) {
+  const FilenameCodec c;
+  EXPECT_FALSE(c.outputKey("restart_0000000001.rst").isOk());
+  EXPECT_FALSE(c.outputKey("out_abc.snc").isOk());
+  EXPECT_FALSE(c.outputKey("out_.snc").isOk());
+  EXPECT_FALSE(c.outputKey("").isOk());
+  EXPECT_TRUE(c.isRestartFile("restart_0000000001.rst"));
+  EXPECT_FALSE(c.isOutputFile("restart_0000000001.rst"));
+}
+
+TEST(FilenameCodecTest, CustomConvention) {
+  const FilenameCodec c("cosmo-", ".nc", "ckpt-", ".bin", 4);
+  EXPECT_EQ(c.outputFile(7), "cosmo-0007.nc");
+  EXPECT_EQ(c.outputKey("cosmo-0007.nc").value(), 7);
+  EXPECT_EQ(c.restartFile(2), "ckpt-0002.bin");
+}
+
+TEST(FilenameCodecTest, IndicesWiderThanPaddingRoundTrip) {
+  const FilenameCodec c("o", ".x", "r", ".y", 2);
+  // 5 digits exceed the pad width of 2; the name grows, key() still works.
+  EXPECT_EQ(c.outputFile(12345), "o12345.x");
+  EXPECT_EQ(c.outputKey("o12345.x").value(), 12345);
+}
+
+// ------------------------------------------------------------- perf model
+
+TEST(PerfModelTest, SingleLevel) {
+  const PerfModel m(100, 3 * vtime::kSecond, 13 * vtime::kSecond);
+  EXPECT_EQ(m.maxLevel(), 0);
+  EXPECT_EQ(m.at(0).nodes, 100);
+  EXPECT_EQ(m.simTime(10, 0), 13 * vtime::kSecond + 30 * vtime::kSecond);
+  EXPECT_FALSE(m.levelImproves(0));
+}
+
+TEST(PerfModelTest, LevelsClampOutOfRange) {
+  const PerfModel m(4, vtime::kSecond, 0);
+  EXPECT_EQ(m.at(-5).nodes, 4);
+  EXPECT_EQ(m.at(99).nodes, 4);
+}
+
+TEST(PerfModelTest, StrongScalingLadder) {
+  const auto m = PerfModel::strongScaling(10, 8 * vtime::kSecond,
+                                          2 * vtime::kSecond, 3, 1.0);
+  EXPECT_EQ(m.maxLevel(), 3);
+  EXPECT_EQ(m.at(0).nodes, 10);
+  EXPECT_EQ(m.at(1).nodes, 20);
+  EXPECT_EQ(m.at(3).nodes, 80);
+  // Perfect efficiency halves tau per level.
+  EXPECT_EQ(m.at(1).tauSim, 4 * vtime::kSecond);
+  EXPECT_EQ(m.at(2).tauSim, 2 * vtime::kSecond);
+  EXPECT_TRUE(m.levelImproves(0));
+  EXPECT_FALSE(m.levelImproves(3));
+}
+
+// ---------------------------------------------------------------- context
+
+TEST(PolicyKindTest, ParseAndName) {
+  EXPECT_EQ(parsePolicyKind("dcl").value(), PolicyKind::kDcl);
+  EXPECT_EQ(parsePolicyKind("LRU").value(), PolicyKind::kLru);
+  EXPECT_EQ(parsePolicyKind("Lirs").value(), PolicyKind::kLirs);
+  EXPECT_FALSE(parsePolicyKind("nope").isOk());
+  EXPECT_STREQ(policyKindName(PolicyKind::kArc), "ARC");
+}
+
+TEST(ContextConfigTest, CacheCapacitySteps) {
+  ContextConfig cfg;
+  cfg.outputStepBytes = 6 * bytes::GiB;
+  cfg.cacheQuotaBytes = 25 * 6 * bytes::GiB;
+  EXPECT_EQ(cfg.cacheCapacitySteps(), 25);
+  cfg.cacheQuotaBytes = 0;
+  EXPECT_EQ(cfg.cacheCapacitySteps(), 0);  // unlimited
+}
+
+TEST(ChecksumMapTest, RecordAndMatch) {
+  ChecksumMap map;
+  map.record("out_1.snc", 0xABCD);
+  EXPECT_EQ(map.lookup("out_1.snc").value(), 0xABCDu);
+  EXPECT_TRUE(map.matches("out_1.snc", 0xABCD).value());
+  EXPECT_FALSE(map.matches("out_1.snc", 0x1234).value());
+  EXPECT_FALSE(map.matches("unknown", 1).isOk());
+}
+
+TEST(ChecksumMapTest, SerializeRoundTrip) {
+  ChecksumMap map;
+  map.record("a.snc", 0x1);
+  map.record("b.snc", 0xFFFFFFFFFFFFFFFFULL);
+  const auto restored = ChecksumMap::deserialize(map.serialize());
+  ASSERT_TRUE(restored.isOk());
+  EXPECT_EQ(restored->lookup("a.snc").value(), 0x1u);
+  EXPECT_EQ(restored->lookup("b.snc").value(), 0xFFFFFFFFFFFFFFFFULL);
+}
+
+TEST(ChecksumMapTest, RejectsGarbage) {
+  EXPECT_FALSE(ChecksumMap::deserialize("no-tab-here\n").isOk());
+  EXPECT_FALSE(ChecksumMap::deserialize("name\tnothex\n").isOk());
+}
+
+// ----------------------------------------------------------------- driver
+
+TEST(DriverTest, SyntheticDriverJobScript) {
+  ContextConfig cfg;
+  cfg.name = "test";
+  cfg.geometry = StepGeometry(1, 4, 0);
+  cfg.perf = PerfModel(16, vtime::kSecond, 0);
+  const SyntheticDriver driver(cfg);
+  const auto job = driver.makeJob(3, 11, 0);
+  EXPECT_EQ(job.context, "test");
+  EXPECT_EQ(job.startStep, 3);
+  EXPECT_EQ(job.stopStep, 11);
+  EXPECT_NE(job.script.find("--start 3"), std::string::npos);
+  EXPECT_NE(job.script.find("--nodes 16"), std::string::npos);
+}
+
+TEST(DriverTest, KeyUsesCodec) {
+  ContextConfig cfg;
+  const SyntheticDriver driver(cfg);
+  EXPECT_EQ(driver.key("out_0000000009.snc").value(), 9);
+  EXPECT_FALSE(driver.key("bogus").isOk());
+}
+
+TEST(DriverTest, ParseDriverFile) {
+  const auto driver = parseDriver(
+      "[context]\n"
+      "name = flash-sedov\n"
+      "delta_d = 1\n"
+      "delta_r = 20\n"
+      "output_bytes = 1048576\n"
+      "policy = DCL\n"
+      "s_max = 16\n"
+      "[perf]\n"
+      "nodes = 54\n"
+      "tau_sim_ms = 14000\n"
+      "alpha_sim_ms = 7000\n"
+      "[naming]\n"
+      "output_prefix = sedov_\n"
+      "output_suffix = .h5\n"
+      "pad_width = 6\n"
+      "[job]\n"
+      "script_template = srun -N {nodes} sedov {start} {stop}\n");
+  ASSERT_TRUE(driver.isOk());
+  const auto& cfg = (*driver)->config();
+  EXPECT_EQ(cfg.name, "flash-sedov");
+  EXPECT_EQ(cfg.geometry.deltaR(), 20);
+  EXPECT_EQ(cfg.sMax, 16);
+  EXPECT_EQ(cfg.perf.at(0).nodes, 54);
+  EXPECT_EQ(cfg.perf.at(0).tauSim, 14 * vtime::kSecond);
+  EXPECT_EQ(cfg.codec.outputFile(3), "sedov_000003.h5");
+  const auto job = (*driver)->makeJob(0, 19, 0);
+  EXPECT_EQ(job.script, "srun -N 54 sedov 0 19");
+}
+
+TEST(DriverTest, ParseDriverRejectsBadConfig) {
+  EXPECT_FALSE(parseDriver("[context]\ndelta_d = 0\n").isOk());
+  EXPECT_FALSE(parseDriver("[context]\npolicy = WRONG\n").isOk());
+  EXPECT_FALSE(parseDriver("[context]\ns_max = 0\n").isOk());
+  EXPECT_FALSE(parseDriver("[context]\nema_smoothing = 2.0\n").isOk());
+}
+
+TEST(DriverTest, LoadDriverFileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("simfs_driver_" + std::to_string(::getpid()) + ".drv");
+  {
+    std::ofstream out(path);
+    out << "[context]\nname = filetest\ndelta_d = 2\ndelta_r = 10\n"
+        << "[perf]\nnodes = 8\ntau_sim_ms = 250\n";
+  }
+  auto driver = loadDriverFile(path.string());
+  ASSERT_TRUE(driver.isOk());
+  EXPECT_EQ((*driver)->config().name, "filetest");
+  EXPECT_EQ((*driver)->config().geometry.deltaD(), 2);
+  EXPECT_EQ((*driver)->config().perf.at(0).nodes, 8);
+  std::filesystem::remove(path);
+  EXPECT_FALSE(loadDriverFile(path.string()).isOk());  // gone now
+}
+
+TEST(DriverTest, StrongScalingPerfFromFile) {
+  const auto driver = parseDriver(
+      "[context]\nname = ladder\n"
+      "[perf]\nnodes = 4\ntau_sim_ms = 1000\nmax_level = 2\n"
+      "efficiency = 1.0\n");
+  ASSERT_TRUE(driver.isOk());
+  const auto& perf = (*driver)->config().perf;
+  EXPECT_EQ(perf.maxLevel(), 2);
+  EXPECT_EQ(perf.at(0).nodes, 4);
+  EXPECT_EQ(perf.at(2).nodes, 16);
+  EXPECT_EQ(perf.at(1).tauSim, 500 * vtime::kMillisecond);
+}
+
+}  // namespace
+}  // namespace simfs::simmodel

@@ -1,0 +1,269 @@
+// Unit tests for trace generation, cache replay and the Sec. V cost models.
+#include "cost/cost_model.hpp"
+#include "cost/workload.hpp"
+#include "trace/replay.hpp"
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+
+namespace simfs {
+namespace {
+
+using simmodel::StepGeometry;
+
+// ------------------------------------------------------------- generators
+
+TEST(TraceGenTest, ForwardScan) {
+  const auto t = trace::makeForwardTrace(5, 4, 100);
+  EXPECT_EQ(t, (trace::Trace{5, 6, 7, 8}));
+}
+
+TEST(TraceGenTest, ForwardTruncatesAtTimelineEnd) {
+  const auto t = trace::makeForwardTrace(98, 5, 100);
+  EXPECT_EQ(t, (trace::Trace{98, 99}));
+}
+
+TEST(TraceGenTest, BackwardScan) {
+  const auto t = trace::makeBackwardTrace(5, 4, 100);
+  EXPECT_EQ(t, (trace::Trace{5, 4, 3, 2}));
+}
+
+TEST(TraceGenTest, BackwardTruncatesAtZero) {
+  const auto t = trace::makeBackwardTrace(2, 5, 100);
+  EXPECT_EQ(t, (trace::Trace{2, 1, 0}));
+}
+
+TEST(TraceGenTest, StridedScans) {
+  EXPECT_EQ(trace::makeForwardTrace(0, 3, 100, 10), (trace::Trace{0, 10, 20}));
+  EXPECT_EQ(trace::makeBackwardTrace(50, 3, 100, 20), (trace::Trace{50, 30, 10}));
+}
+
+TEST(TraceGenTest, RandomStaysInWindow) {
+  Rng rng(3);
+  const auto t = trace::makeRandomTrace(rng, 100, 200, 50, 1000);
+  EXPECT_EQ(t.size(), 200u);
+  for (const auto s : t) {
+    EXPECT_GE(s, 100);
+    EXPECT_LE(s, 149);
+  }
+}
+
+TEST(TraceGenTest, ConcatenatedPatternSizes) {
+  Rng rng(4);
+  trace::PatternWorkload w;
+  w.timelineSteps = 1152;
+  w.numTraces = 50;
+  const auto t =
+      trace::makeConcatenatedPattern(rng, trace::PatternKind::kForward, w);
+  // 50 traces of length U[100,400] (possibly truncated at the end).
+  EXPECT_GE(t.size(), 50u * 50u);
+  EXPECT_LE(t.size(), 50u * 400u);
+  for (const auto s : t) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 1152);
+  }
+}
+
+TEST(TraceGenTest, EcmwfLikeDistinctFilesAndSkew) {
+  Rng rng(5);
+  trace::EcmwfParams p;
+  p.distinctFiles = 100;
+  p.totalAccesses = 20000;
+  const auto t = trace::makeEcmwfLikeTrace(rng, p, 1152);
+  EXPECT_EQ(t.size(), 20000u);
+  std::map<StepIndex, int> counts;
+  for (const auto s : t) ++counts[s];
+  EXPECT_LE(counts.size(), 100u);
+  // Popularity skew: the most popular file dominates the median one.
+  std::vector<int> freq;
+  for (const auto& [_, c] : counts) freq.push_back(c);
+  std::sort(freq.rbegin(), freq.rend());
+  EXPECT_GT(freq.front(), 4 * freq[freq.size() / 2]);
+}
+
+TEST(TraceGenTest, ParsePatternKind) {
+  EXPECT_EQ(trace::parsePatternKind("Forward").value(),
+            trace::PatternKind::kForward);
+  EXPECT_FALSE(trace::parsePatternKind("sideways").isOk());
+  EXPECT_STREQ(trace::patternKindName(trace::PatternKind::kBackward),
+               "backward");
+}
+
+TEST(TraceIoTest, SaveLoadRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("simfs_trace_" + std::to_string(::getpid()) + ".txt");
+  const trace::Trace t{3, 1, 4, 1, 5};
+  ASSERT_TRUE(trace::saveTrace(t, path.string()).isOk());
+  const auto loaded = trace::loadTrace(path.string());
+  ASSERT_TRUE(loaded.isOk());
+  EXPECT_EQ(*loaded, t);
+  std::filesystem::remove(path);
+}
+
+// ----------------------------------------------------------------- replay
+
+TEST(ReplayTest, ForwardScanMissesOncePerInterval) {
+  // 1 output step per timestep, restart every 4: a forward scan over 16
+  // steps triggers exactly 4 re-simulations of 4..5 steps each.
+  const StepGeometry g(1, 4, 16);
+  auto cache = cache::makeCache(simmodel::PolicyKind::kLru, 16);
+  const auto t = trace::makeForwardTrace(0, 16, 16);
+  const auto r = trace::replayTrace(t, g, *cache);
+  EXPECT_EQ(r.accesses, 16u);
+  EXPECT_EQ(r.restarts, 4u);
+  EXPECT_EQ(r.misses, 4u);
+  EXPECT_EQ(r.hits, 12u);
+  // Run-until-next-restart includes the boundary step: 5,5,5, then the
+  // last interval is clipped by the timeline end.
+  EXPECT_GE(r.simulatedSteps, 16u);
+}
+
+TEST(ReplayTest, RepeatedAccessAllHitsAfterFirst) {
+  const StepGeometry g(1, 4, 16);
+  auto cache = cache::makeCache(simmodel::PolicyKind::kLru, 16);
+  const trace::Trace t{3, 3, 3, 3};
+  const auto r = trace::replayTrace(t, g, *cache);
+  EXPECT_EQ(r.misses, 1u);
+  EXPECT_EQ(r.hits, 3u);
+}
+
+TEST(ReplayTest, NoIntervalFillProducesOnlyMissCost) {
+  const StepGeometry g(1, 4, 16);
+  auto cache = cache::makeCache(simmodel::PolicyKind::kLru, 16);
+  trace::ReplayOptions opt;
+  opt.fillWholeInterval = false;
+  const trace::Trace t{3};
+  const auto r = trace::replayTrace(t, g, *cache, opt);
+  EXPECT_EQ(r.simulatedSteps, 4u);  // steps 0..3
+  EXPECT_FALSE(cache->contains("2"));  // neighbours not inserted
+}
+
+TEST(ReplayTest, TinyCacheThrashes) {
+  const StepGeometry g(1, 4, 64);
+  auto small = cache::makeCache(simmodel::PolicyKind::kLru, 4);
+  auto large = cache::makeCache(simmodel::PolicyKind::kLru, 64);
+  trace::Trace t;
+  for (int round = 0; round < 3; ++round) {
+    const auto fwd = trace::makeForwardTrace(0, 64, 64);
+    t.insert(t.end(), fwd.begin(), fwd.end());
+  }
+  const auto rSmall = trace::replayTrace(t, g, *small);
+  auto largeCopy = trace::replayTrace(t, g, *large);
+  EXPECT_GT(rSmall.restarts, largeCopy.restarts);
+}
+
+// ------------------------------------------------------------ cost models
+
+TEST(CostModelTest, ScenarioDerivedQuantities) {
+  const auto s = cost::cosmoScenario();
+  // 8 h at 5 min/step = 96 steps; 8533/96 -> 89 restart files.
+  EXPECT_EQ(s.restartIntervalSteps(8.0), 96);
+  EXPECT_EQ(s.numRestartFiles(8.0), 89);
+  EXPECT_EQ(s.restartIntervalSteps(4.0), 48);
+  EXPECT_NEAR(s.totalOutputGiB(), 51198.0, 1.0);  // ~50 TiB
+}
+
+TEST(CostModelTest, SimCostMatchesHandComputation) {
+  const auto s = cost::cosmoScenario();
+  const auto rates = cost::azureRates();
+  // One output step: 20 s on 100 nodes at 2.07 $/h = 1.15 $.
+  EXPECT_NEAR(cost::simCost(1, s, rates), 1.15, 1e-9);
+  EXPECT_NEAR(cost::simCost(1000, s, rates), 1150.0, 1e-6);
+}
+
+TEST(CostModelTest, StoreCostMatchesHandComputation) {
+  const auto rates = cost::azureRates();
+  // 10 files of 6 GiB for 12 months at 0.06 $/GiB/month = 43.2 $.
+  EXPECT_NEAR(cost::storeCost(10, 6.0, 12.0, rates), 43.2, 1e-9);
+}
+
+TEST(CostModelTest, OnDiskGrowsLinearlyWithPeriod) {
+  const auto s = cost::cosmoScenario();
+  const auto rates = cost::azureRates();
+  const double c1 = cost::onDiskCost(s, 12, rates);
+  const double c2 = cost::onDiskCost(s, 24, rates);
+  const double c3 = cost::onDiskCost(s, 36, rates);
+  EXPECT_NEAR(c2 - c1, c3 - c2, 1e-6);
+  EXPECT_GT(c2, c1);
+}
+
+TEST(CostModelTest, InSituIndependentOfPeriodAndLinearInAnalyses) {
+  const auto s = cost::cosmoScenario();
+  const auto rates = cost::azureRates();
+  std::vector<cost::AnalysisSpan> one{{100, 50}};
+  std::vector<cost::AnalysisSpan> two{{100, 50}, {100, 50}};
+  EXPECT_NEAR(cost::inSituCost(s, two, rates),
+              2 * cost::inSituCost(s, one, rates), 1e-9);
+  // 150 steps from zero at 1.15 $/step.
+  EXPECT_NEAR(cost::inSituCost(s, one, rates), 150 * 1.15, 1e-6);
+}
+
+TEST(CostModelTest, SimfsBetweenExtremesForTypicalLoad) {
+  const auto s = cost::cosmoScenario();
+  const auto rates = cost::azureRates();
+  Rng rng(42);
+  const auto analyses =
+      cost::makeForwardAnalyses(rng, 100, s.numOutputSteps, 100, 400);
+  const auto v = cost::evaluateVgamma(s, analyses, 0.5, {});
+  const double simfs = cost::simfsCost(
+      s, 36, 8.0, 0.25, static_cast<std::int64_t>(v.simulatedSteps), rates);
+  const double onDisk = cost::onDiskCost(s, 36, rates);
+  const double inSitu = cost::inSituCost(
+      s,
+      analyses, rates);
+  // At 3 years with 100 analyses, SimFS must beat both extremes (Fig. 1).
+  EXPECT_LT(simfs, onDisk);
+  EXPECT_LT(simfs, inSitu);
+}
+
+TEST(CostModelTest, ResimulationHours) {
+  const auto s = cost::cosmoScenario();
+  EXPECT_NEAR(cost::resimulationHours(s, 180), 1.0, 1e-9);
+}
+
+// --------------------------------------------------------------- workload
+
+TEST(WorkloadTest, AnalysesClippedToTimeline) {
+  Rng rng(6);
+  const auto spans = cost::makeForwardAnalyses(rng, 200, 1000, 100, 400);
+  EXPECT_EQ(spans.size(), 200u);
+  for (const auto& a : spans) {
+    EXPECT_GE(a.start, 0);
+    EXPECT_LE(a.start + a.length, 1000);
+  }
+}
+
+TEST(WorkloadTest, ZeroOverlapConcatenates) {
+  const std::vector<cost::AnalysisSpan> spans{{0, 3}, {10, 3}};
+  const auto t = cost::interleaveAnalyses(spans, 0.0);
+  EXPECT_EQ(t, (trace::Trace{0, 1, 2, 10, 11, 12}));
+}
+
+TEST(WorkloadTest, FullOverlapInterleaves) {
+  const std::vector<cost::AnalysisSpan> spans{{0, 3}, {10, 3}};
+  const auto t = cost::interleaveAnalyses(spans, 1.0);
+  ASSERT_EQ(t.size(), 6u);
+  // Accesses alternate between the two analyses.
+  EXPECT_EQ(t[0], 0);
+  EXPECT_EQ(t[1], 10);
+  EXPECT_EQ(t[2], 1);
+}
+
+TEST(WorkloadTest, OverlapIncreasesResimulation) {
+  const auto s = cost::cosmoScenario();
+  Rng rng(7);
+  const auto analyses =
+      cost::makeForwardAnalyses(rng, 60, s.numOutputSteps, 100, 400);
+  const auto v0 = cost::evaluateVgamma(s, analyses, 0.0, {});
+  const auto v100 = cost::evaluateVgamma(s, analyses, 1.0, {});
+  // More interleaving -> less temporal locality -> more re-simulated steps
+  // (Fig. 13's driving effect).
+  EXPECT_GE(v100.simulatedSteps, v0.simulatedSteps);
+}
+
+}  // namespace
+}  // namespace simfs
