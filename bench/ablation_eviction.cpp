@@ -77,7 +77,7 @@ int main() {
     auto cache = cache::makeCache(policy, 128, /*seed=*/77);
     // Pin 64 steps spread across the timeline (open, never released).
     for (StepIndex s = 0; s < 64; ++s) {
-      const auto key = std::to_string(s * 18);
+      const StepIndex key = s * 18;
       (void)cache->insert(key, 1.0);
       cache->pin(key);
     }

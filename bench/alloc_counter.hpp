@@ -1,0 +1,97 @@
+// Global-new/delete instrumentation for the micro benches: counts heap
+// allocations so benches can report allocs/op and prove hot paths are
+// allocation-free.
+//
+// Include from exactly ONE translation unit per binary (the replacement
+// operators below are definitions, not declarations).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace simfs::bench {
+
+/// Total operator-new calls in this process (single-threaded benches).
+inline std::uint64_t g_allocCount = 0;
+
+namespace detail {
+
+inline void* countedAlloc(std::size_t size) {
+  ++g_allocCount;
+  // malloc(0) may legally return nullptr; operator new must not.
+  if (void* p = std::malloc(size > 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+inline void* countedAlignedAlloc(std::size_t size, std::align_val_t align) {
+  ++g_allocCount;
+  const auto a = static_cast<std::size_t>(align);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = ((size > 0 ? size : 1) + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace detail
+
+/// Tracks allocations across a timed benchmark loop and reports an
+/// allocs/op counter. Call loopStarted() as the first statement of every
+/// iteration; the first call arms the counter (skipping loop-setup
+/// allocations), the destructor files the result.
+class AllocScope {
+ public:
+  explicit AllocScope(benchmark::State& state) : state_(state) {}
+  void loopStarted() {
+    if (!armed_) {
+      armed_ = true;
+      start_ = g_allocCount;
+    }
+  }
+  ~AllocScope() {
+    if (armed_ && state_.iterations() > 0) {
+      state_.counters["allocs/op"] = benchmark::Counter(
+          static_cast<double>(g_allocCount - start_) /
+          static_cast<double>(state_.iterations()));
+    }
+  }
+
+ private:
+  benchmark::State& state_;
+  bool armed_ = false;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace simfs::bench
+
+void* operator new(std::size_t size) {
+  return simfs::bench::detail::countedAlloc(size);
+}
+
+void* operator new[](std::size_t size) {
+  return simfs::bench::detail::countedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  return simfs::bench::detail::countedAlignedAlloc(size, align);
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return simfs::bench::detail::countedAlignedAlloc(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -1,19 +1,24 @@
 // Microbenchmarks (google-benchmark): replacement-policy operation costs.
 //
 // The DV serves open() on the critical path of every analysis access, so
-// cache ops must stay in the microseconds range even for the scan-heavy
-// and ghost-heavy workloads the paper's traces produce.
+// cache ops must stay in the nanoseconds range even for the scan-heavy
+// and ghost-heavy workloads the paper's traces produce. Keys are
+// StepIndex values (the post-refactor integer-keyed API); every bench
+// also reports allocs/op via the global-new counter.
+//
+// Run with --json (see bench_util.hpp) for machine-readable output.
+#include "alloc_counter.hpp"
+#include "bench_util.hpp"
 #include "cache/cache.hpp"
 #include "common/rng.hpp"
 
 #include <benchmark/benchmark.h>
 
-#include <string>
-#include <vector>
-
 namespace {
 
 using simfs::Rng;
+using simfs::StepIndex;
+using simfs::bench::AllocScope;
 using simfs::cache::makeCache;
 using simfs::simmodel::PolicyKind;
 
@@ -22,23 +27,16 @@ constexpr PolicyKind kPolicies[] = {
     PolicyKind::kBcl, PolicyKind::kDcl,
 };
 
-std::vector<std::string> makeKeys(int universe) {
-  std::vector<std::string> keys;
-  keys.reserve(static_cast<std::size_t>(universe));
-  for (int i = 0; i < universe; ++i) keys.push_back("f" + std::to_string(i));
-  return keys;
-}
-
 /// Hit-dominated: working set fits in the cache.
 void BM_CacheHits(benchmark::State& state) {
   const auto policy = kPolicies[state.range(0)];
   const auto cache = makeCache(policy, 1024);
-  const auto keys = makeKeys(512);
   Rng rng(1);
-  for (const auto& k : keys) cache->access(k, 1.0);
+  for (StepIndex k = 0; k < 512; ++k) cache->access(k, 1.0);
+  AllocScope allocs(state);
   for (auto _ : state) {
-    const auto& k = keys[static_cast<std::size_t>(rng.uniformInt(0, 511))];
-    benchmark::DoNotOptimize(cache->access(k, 1.0));
+    allocs.loopStarted();
+    benchmark::DoNotOptimize(cache->access(rng.uniformInt(0, 511), 1.0));
   }
   state.SetLabel(cache->name());
 }
@@ -47,12 +45,13 @@ void BM_CacheHits(benchmark::State& state) {
 void BM_CacheEvictions(benchmark::State& state) {
   const auto policy = kPolicies[state.range(0)];
   const auto cache = makeCache(policy, 256);
-  const auto keys = makeKeys(2048);
   Rng rng(2);
+  AllocScope allocs(state);
   for (auto _ : state) {
-    const auto& k = keys[static_cast<std::size_t>(rng.uniformInt(0, 2047))];
+    allocs.loopStarted();
     benchmark::DoNotOptimize(
-        cache->access(k, static_cast<double>(rng.uniformInt(1, 48))));
+        cache->access(rng.uniformInt(0, 2047),
+                      static_cast<double>(rng.uniformInt(1, 48))));
   }
   state.SetLabel(cache->name());
 }
@@ -62,11 +61,12 @@ void BM_CacheEvictions(benchmark::State& state) {
 void BM_CacheScan(benchmark::State& state) {
   const auto policy = kPolicies[state.range(0)];
   const auto cache = makeCache(policy, 256);
-  const auto keys = makeKeys(1024);
-  std::size_t i = 0;
+  StepIndex i = 0;
+  AllocScope allocs(state);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(cache->access(keys[i], 1.0));
-    i = (i + 1) % keys.size();
+    allocs.loopStarted();
+    benchmark::DoNotOptimize(cache->access(i, 1.0));
+    i = (i + 1) % 1024;
   }
   state.SetLabel(cache->name());
 }
@@ -76,13 +76,13 @@ void BM_CacheScan(benchmark::State& state) {
 void BM_CacheIntervalFill(benchmark::State& state) {
   const auto policy = kPolicies[state.range(0)];
   const auto cache = makeCache(policy, 288);
-  const auto keys = makeKeys(1152);
-  std::size_t base = 0;
+  StepIndex base = 0;
+  AllocScope allocs(state);
   for (auto _ : state) {
-    for (int j = 0; j < 48; ++j) {
+    allocs.loopStarted();
+    for (StepIndex j = 0; j < 48; ++j) {
       benchmark::DoNotOptimize(
-          cache->insert(keys[(base + static_cast<std::size_t>(j)) % 1152],
-                        static_cast<double>(j + 1)));
+          cache->insert((base + j) % 1152, static_cast<double>(j + 1)));
     }
     base = (base + 48) % 1152;
   }
@@ -97,4 +97,6 @@ BENCHMARK(BM_CacheEvictions)->DenseRange(0, 4);
 BENCHMARK(BM_CacheScan)->DenseRange(0, 4);
 BENCHMARK(BM_CacheIntervalFill)->DenseRange(0, 4);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return simfs::bench::runMicroBenchmarks(argc, argv, "BENCH_micro.json");
+}

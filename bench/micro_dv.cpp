@@ -1,4 +1,12 @@
 // Microbenchmarks (google-benchmark): DV request path and engine costs.
+//
+// BM_DvOpenHit is the acceptance gate of the integer-keyed refactor: the
+// open of an already-available step must be allocation-free (allocs/op
+// counter) and at least 2x faster than the string-keyed baseline.
+//
+// Run with --json (see bench_util.hpp) for machine-readable output.
+#include "alloc_counter.hpp"
+#include "bench_util.hpp"
 #include "dv/data_virtualizer.hpp"
 #include "engine/engine.hpp"
 
@@ -7,6 +15,7 @@
 namespace {
 
 using namespace simfs;
+using simfs::bench::AllocScope;
 
 /// Launcher that only records the last job id (pure DV-path cost).
 class NullLauncher final : public dv::SimLauncher {
@@ -27,6 +36,8 @@ simmodel::ContextConfig benchConfig() {
 }
 
 /// Hit path: open of an available step (the common case once cached).
+/// Must show allocs/op == 0: the whole request is served from
+/// integer-keyed structures after a single in-place filename parse.
 void BM_DvOpenHit(benchmark::State& state) {
   ManualClock clock;
   NullLauncher launcher;
@@ -37,7 +48,12 @@ void BM_DvOpenHit(benchmark::State& state) {
   (void)dv.seedAvailableStep("bench", 7);
   const auto client = dv.clientConnect("bench").value();
   const std::string file = cfg.codec.outputFile(7);
+  // Warm up: the first open creates the client's (persistent) ref entry.
+  (void)dv.clientOpen(client, file);
+  (void)dv.clientRelease(client, file);
+  AllocScope allocs(state);
   for (auto _ : state) {
+    allocs.loopStarted();
     benchmark::DoNotOptimize(dv.clientOpen(client, file));
     (void)dv.clientRelease(client, file);
   }
@@ -55,7 +71,9 @@ void BM_DvMissCycle(benchmark::State& state) {
   (void)dv.registerContext(std::make_unique<simmodel::SyntheticDriver>(cfg));
   const auto client = dv.clientConnect("bench").value();
   StepIndex step = 0;
+  AllocScope allocs(state);
   for (auto _ : state) {
+    allocs.loopStarted();
     const std::string file = cfg.codec.outputFile(step);
     benchmark::DoNotOptimize(dv.clientOpen(client, file));
     // Resolve the pending state: produce the requested step and finish.
@@ -101,4 +119,6 @@ BENCHMARK(BM_DvMissCycle);
 BENCHMARK(BM_EngineEvents);
 BENCHMARK(BM_EngineCancel);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return simfs::bench::runMicroBenchmarks(argc, argv, "BENCH_micro.json");
+}

@@ -8,7 +8,7 @@ namespace simfs::cache {
 
 ArcCache::ArcCache(std::int64_t capacityEntries) : Cache(capacityEntries) {}
 
-std::list<std::string>& ArcCache::listOf(Where w) noexcept {
+std::list<StepIndex>& ArcCache::listOf(Where w) noexcept {
   switch (w) {
     case Where::kT1: return t1_;
     case Where::kT2: return t2_;
@@ -18,15 +18,15 @@ std::list<std::string>& ArcCache::listOf(Where w) noexcept {
   return t1_;  // unreachable
 }
 
-void ArcCache::moveTo(const std::string& key, Meta& meta, Where dst) {
-  listOf(meta.where).erase(meta.it);
+void ArcCache::moveTo(Meta& meta, Where dst) {
   auto& dstList = listOf(dst);
-  dstList.push_front(key);
+  // Splice the node across lists: O(1), no allocation.
+  dstList.splice(dstList.begin(), listOf(meta.where), meta.it);
   meta.where = dst;
   meta.it = dstList.begin();
 }
 
-void ArcCache::dropFrom(const std::string& key) {
+void ArcCache::dropFrom(StepIndex key) {
   const auto it = meta_.find(key);
   if (it == meta_.end()) return;
   listOf(it->second.where).erase(it->second.it);
@@ -37,23 +37,21 @@ void ArcCache::trimGhosts() {
   const auto c = static_cast<std::size_t>(std::max<std::int64_t>(capacity(), 1));
   // |T1|+|B1| <= c and total directory <= 2c, per the ARC paper's DBL(2c).
   while (t1_.size() + b1_.size() > c && !b1_.empty()) {
-    const std::string victim = b1_.back();
-    dropFrom(victim);
+    dropFrom(b1_.back());
   }
   while (t1_.size() + t2_.size() + b1_.size() + b2_.size() > 2 * c &&
          !b2_.empty()) {
-    const std::string victim = b2_.back();
-    dropFrom(victim);
+    dropFrom(b2_.back());
   }
 }
 
-void ArcCache::hookHit(const std::string& key) {
-  auto& meta = meta_.at(key);
+void ArcCache::hookHit(Slot slot) {
+  auto& meta = meta_.at(residentAt(slot).key);
   SIMFS_CHECK(meta.where == Where::kT1 || meta.where == Where::kT2);
-  moveTo(key, meta, Where::kT2);
+  moveTo(meta, Where::kT2);
 }
 
-void ArcCache::hookMiss(const std::string& key) {
+void ArcCache::hookMiss(StepIndex key) {
   lastMissWasB2Ghost_ = false;
   const auto it = meta_.find(key);
   if (it == meta_.end()) return;
@@ -68,12 +66,13 @@ void ArcCache::hookMiss(const std::string& key) {
   }
 }
 
-void ArcCache::hookInsert(const std::string& key, double /*cost*/) {
+void ArcCache::hookInsert(Slot slot, double /*cost*/) {
+  const StepIndex key = residentAt(slot).key;
   const auto it = meta_.find(key);
   if (it != meta_.end()) {
     // Ghost re-entry: frequency evidence, insert into T2.
     SIMFS_CHECK(it->second.where == Where::kB1 || it->second.where == Where::kB2);
-    moveTo(key, it->second, Where::kT2);
+    moveTo(it->second, Where::kT2);
   } else {
     Meta meta;
     t1_.push_front(key);
@@ -84,14 +83,15 @@ void ArcCache::hookInsert(const std::string& key, double /*cost*/) {
   trimGhosts();
 }
 
-void ArcCache::hookRemove(const std::string& key, bool evicted) {
+void ArcCache::hookRemove(Slot slot, bool evicted) {
+  const StepIndex key = residentAt(slot).key;
   const auto it = meta_.find(key);
   if (it == meta_.end()) return;
   auto& meta = it->second;
   SIMFS_CHECK(meta.where == Where::kT1 || meta.where == Where::kT2);
   if (evicted) {
     // Leave a ghost in the matching history list.
-    moveTo(key, meta, meta.where == Where::kT1 ? Where::kB1 : Where::kB2);
+    moveTo(meta, meta.where == Where::kT1 ? Where::kB1 : Where::kB2);
     trimGhosts();
   } else {
     listOf(meta.where).erase(meta.it);
@@ -105,20 +105,21 @@ bool ArcCache::preferT1Victim() const noexcept {
   return t1 > p_ || (lastMissWasB2Ghost_ && t1 == p_);
 }
 
-std::optional<std::string> ArcCache::chooseVictim() {
+Cache::Slot ArcCache::chooseVictim() {
   const bool preferT1 = preferT1Victim();
-  auto scan = [&](const std::list<std::string>& lst) -> std::optional<std::string> {
+  auto scan = [&](const std::list<StepIndex>& lst) -> Slot {
     for (auto it = lst.rbegin(); it != lst.rend(); ++it) {
-      if (isEvictable(*it)) return *it;
+      const Slot s = slotOf(*it);
+      if (s != kNoSlot && isEvictable(s)) return s;
       bumpPinSkips();
     }
-    return std::nullopt;
+    return kNoSlot;
   };
   if (preferT1) {
-    if (auto v = scan(t1_)) return v;
+    if (const Slot v = scan(t1_); v != kNoSlot) return v;
     return scan(t2_);
   }
-  if (auto v = scan(t2_)) return v;
+  if (const Slot v = scan(t2_); v != kNoSlot) return v;
   return scan(t1_);
 }
 

@@ -9,6 +9,9 @@
 // preferred list and falls through to the other list if necessary, and
 // insertions can arrive without an access (re-simulation interval fills),
 // which enter T1 like first-touch misses.
+//
+// Keys are StepIndex; list moves are splices, so steady-state hits and
+// ghost transitions never allocate (only first-touch inserts do).
 #pragma once
 
 #include "cache/cache.hpp"
@@ -28,31 +31,31 @@ class ArcCache final : public Cache {
   [[nodiscard]] double pTarget() const noexcept { return p_; }
 
  protected:
-  void hookHit(const std::string& key) override;
-  void hookMiss(const std::string& key) override;
-  void hookInsert(const std::string& key, double cost) override;
-  void hookRemove(const std::string& key, bool evicted) override;
-  [[nodiscard]] std::optional<std::string> chooseVictim() override;
+  void hookHit(Slot slot) override;
+  void hookMiss(StepIndex key) override;
+  void hookInsert(Slot slot, double cost) override;
+  void hookRemove(Slot slot, bool evicted) override;
+  [[nodiscard]] Slot chooseVictim() override;
 
  private:
   enum class Where { kT1, kT2, kB1, kB2 };
 
   struct Meta {
     Where where = Where::kT1;
-    std::list<std::string>::iterator it{};
+    std::list<StepIndex>::iterator it{};
   };
 
-  std::list<std::string>& listOf(Where w) noexcept;
-  void moveTo(const std::string& key, Meta& meta, Where dst);
-  void dropFrom(const std::string& key);
+  std::list<StepIndex>& listOf(Where w) noexcept;
+  void moveTo(Meta& meta, Where dst);
+  void dropFrom(StepIndex key);
   void trimGhosts();
 
   /// True if ARC's REPLACE rule prefers evicting from T1.
   [[nodiscard]] bool preferT1Victim() const noexcept;
 
   double p_ = 0.0;  // target size of T1
-  std::list<std::string> t1_, t2_, b1_, b2_;  // front = MRU
-  std::unordered_map<std::string, Meta> meta_;
+  std::list<StepIndex> t1_, t2_, b1_, b2_;  // front = MRU
+  std::unordered_map<StepIndex, Meta> meta_;
   /// Set by hookMiss when the missed key was a B2 ghost; REPLACE treats
   /// that case specially (|T1| == p also evicts from T1).
   bool lastMissWasB2Ghost_ = false;

@@ -4,16 +4,52 @@
 
 namespace simfs::cache {
 
-Cache::Cache(std::int64_t capacityEntries) : capacity_(capacityEntries) {}
+Cache::Cache(std::int64_t capacityEntries) : capacity_(capacityEntries) {
+  if (capacity_ > 0 && capacity_ < (1 << 20)) {
+    slots_.reserve(static_cast<std::size_t>(capacity_) + 1);
+  }
+}
 
-AccessOutcome Cache::access(const std::string& key, double cost) {
+Cache::Slot Cache::allocSlot(StepIndex key, double cost) {
+  Slot s;
+  if (!freeSlots_.empty()) {
+    s = freeSlots_.back();
+    freeSlots_.pop_back();
+  } else {
+    s = static_cast<Slot>(slots_.size());
+    slots_.emplace_back();
+  }
+  auto& r = slots_[static_cast<std::size_t>(s)];
+  r.key = key;
+  r.cost = cost;
+  r.pins = 0;
+  r.lastAccessSeq = seq_;
+  r.occupied = true;
+  for (int lane = 0; lane < kLanes; ++lane) {
+    r.prev[lane] = kNoSlot;
+    r.next[lane] = kNoSlot;
+    r.linked[lane] = false;
+  }
+  r.aux = 0;
+  index_.insert(key, s);
+  return s;
+}
+
+void Cache::freeSlot(Slot s) {
+  auto& r = slots_[static_cast<std::size_t>(s)];
+  index_.erase(r.key);
+  r.occupied = false;
+  freeSlots_.push_back(s);
+}
+
+AccessOutcome Cache::access(StepIndex key, double cost) {
   ++seq_;
   AccessOutcome out;
-  const auto it = resident_.find(key);
-  if (it != resident_.end()) {
+  const Slot s = index_.find(key);
+  if (s != kNoSlot) {
     ++stats_.hits;
-    it->second.lastAccessSeq = seq_;
-    hookHit(key);
+    slots_[static_cast<std::size_t>(s)].lastAccessSeq = seq_;
+    hookHit(s);
     out.hit = true;
     return out;
   }
@@ -23,99 +59,93 @@ AccessOutcome Cache::access(const std::string& key, double cost) {
   return out;
 }
 
-std::vector<std::string> Cache::insert(const std::string& key, double cost) {
-  std::vector<std::string> evicted;
-  if (resident_.count(key) > 0) return evicted;
+AccessOutcome Cache::accessAndPin(StepIndex key, double cost) {
+  ++seq_;
+  AccessOutcome out;
+  const Slot s = index_.find(key);
+  if (s != kNoSlot) {
+    ++stats_.hits;
+    auto& r = slots_[static_cast<std::size_t>(s)];
+    r.lastAccessSeq = seq_;
+    ++r.pins;
+    hookHit(s);
+    out.hit = true;
+    return out;
+  }
+  ++stats_.misses;
+  hookMiss(key);
+  insertInternal(key, cost, out.evicted);
+  pin(key);
+  return out;
+}
+
+std::vector<StepIndex> Cache::insert(StepIndex key, double cost) {
+  std::vector<StepIndex> evicted;
+  if (index_.find(key) != kNoSlot) return evicted;
   ++seq_;
   insertInternal(key, cost, evicted);
   return evicted;
 }
 
-void Cache::insertInternal(const std::string& key, double cost,
-                           std::vector<std::string>& evictedOut) {
-  Resident entry;
-  entry.cost = cost;
-  entry.lastAccessSeq = seq_;
-  const auto it = resident_.emplace(key, entry).first;
+void Cache::insertInternal(StepIndex key, double cost,
+                           std::vector<StepIndex>& evictedOut) {
+  const Slot s = allocSlot(key, cost);
   ++stats_.insertions;
-  hookInsert(key, cost);
+  hookInsert(s, cost);
   // Temporarily pin the entry being inserted: when everything else is
   // pinned, evicting the datum this very access is about to consume would
   // defeat the access. Transient overflow is preferable.
-  ++it->second.pins;
+  ++slots_[static_cast<std::size_t>(s)].pins;
   evictOverflow(evictedOut);
-  --it->second.pins;
+  --slots_[static_cast<std::size_t>(s)].pins;
 }
 
-void Cache::evictOverflow(std::vector<std::string>& evictedOut) {
+void Cache::evictOverflow(std::vector<StepIndex>& evictedOut) {
   if (capacity_ <= 0) return;
-  while (static_cast<std::int64_t>(resident_.size()) > capacity_) {
-    const auto victim = chooseVictim();
-    if (!victim) return;  // everything pinned: allow transient overflow
-    const auto it = resident_.find(*victim);
-    SIMFS_CHECK(it != resident_.end());
-    SIMFS_CHECK(it->second.pins == 0);
-    stats_.evictedCostTotal += it->second.cost;
-    resident_.erase(it);
+  while (static_cast<std::int64_t>(index_.size()) > capacity_) {
+    const Slot victim = chooseVictim();
+    if (victim == kNoSlot) return;  // everything pinned: transient overflow
+    auto& r = slots_[static_cast<std::size_t>(victim)];
+    SIMFS_CHECK(r.occupied);
+    SIMFS_CHECK(r.pins == 0);
+    const StepIndex key = r.key;
+    stats_.evictedCostTotal += r.cost;
     ++stats_.evictions;
-    hookRemove(*victim, /*evicted=*/true);
-    evictedOut.push_back(*victim);
+    hookRemove(victim, /*evicted=*/true);
+    freeSlot(victim);
+    evictedOut.push_back(key);
   }
 }
 
-bool Cache::contains(const std::string& key) const noexcept {
-  return resident_.count(key) > 0;
+void Cache::pin(StepIndex key) noexcept {
+  const Slot s = index_.find(key);
+  if (s != kNoSlot) ++slots_[static_cast<std::size_t>(s)].pins;
 }
 
-void Cache::pin(const std::string& key) noexcept {
-  const auto it = resident_.find(key);
-  if (it != resident_.end()) ++it->second.pins;
+void Cache::unpin(StepIndex key) noexcept {
+  const Slot s = index_.find(key);
+  if (s != kNoSlot && slots_[static_cast<std::size_t>(s)].pins > 0) {
+    --slots_[static_cast<std::size_t>(s)].pins;
+  }
 }
 
-void Cache::unpin(const std::string& key) noexcept {
-  const auto it = resident_.find(key);
-  if (it != resident_.end() && it->second.pins > 0) --it->second.pins;
+int Cache::pinCount(StepIndex key) const noexcept {
+  const Slot s = index_.find(key);
+  return s == kNoSlot ? 0 : slots_[static_cast<std::size_t>(s)].pins;
 }
 
-int Cache::pinCount(const std::string& key) const noexcept {
-  const auto it = resident_.find(key);
-  return it == resident_.end() ? 0 : it->second.pins;
-}
-
-bool Cache::erase(const std::string& key) {
-  const auto it = resident_.find(key);
-  if (it == resident_.end()) return false;
-  resident_.erase(it);
-  hookRemove(key, /*evicted=*/false);
+bool Cache::erase(StepIndex key) {
+  const Slot s = index_.find(key);
+  if (s == kNoSlot) return false;
+  hookRemove(s, /*evicted=*/false);
+  freeSlot(s);
   return true;
 }
 
-std::optional<double> Cache::costOf(const std::string& key) const noexcept {
-  const auto it = resident_.find(key);
-  if (it == resident_.end()) return std::nullopt;
-  return it->second.cost;
-}
-
-std::vector<std::string> Cache::residentKeys() const {
-  std::vector<std::string> out;
-  out.reserve(resident_.size());
-  for (const auto& [k, _] : resident_) out.push_back(k);
-  return out;
-}
-
-bool Cache::isEvictable(const std::string& key) const noexcept {
-  const auto it = resident_.find(key);
-  return it != resident_.end() && it->second.pins == 0;
-}
-
-const Cache::Resident* Cache::findResident(const std::string& key) const noexcept {
-  const auto it = resident_.find(key);
-  return it == resident_.end() ? nullptr : &it->second;
-}
-
-void Cache::setCost(const std::string& key, double cost) noexcept {
-  const auto it = resident_.find(key);
-  if (it != resident_.end()) it->second.cost = cost;
+std::optional<double> Cache::costOf(StepIndex key) const noexcept {
+  const Slot s = index_.find(key);
+  if (s == kNoSlot) return std::nullopt;
+  return slots_[static_cast<std::size_t>(s)].cost;
 }
 
 }  // namespace simfs::cache

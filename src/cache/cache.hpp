@@ -11,6 +11,14 @@
 //     entry (spatial locality), so insertion without an access is a
 //     first-class operation.
 //
+// Keys are StepIndex values, not filename strings: the DV parses a
+// filename exactly once at its client boundary and every cache operation
+// below that point is integer-keyed and allocation-free in the hit case.
+// Residency lives in a slot arena indexed by a flat open-addressing hash
+// map; recency-ordered policies thread intrusive list links through the
+// slots instead of allocating per-key list nodes. Callers that genuinely
+// hold filenames (operator tooling) go through FilenameKeyedCache.
+//
 // The base class owns residency, pinning, statistics and the eviction
 // loop; concrete policies (LRU, LIRS, ARC, BCL, DCL, FIFO, RANDOM) supply
 // ordering decisions through protected hooks.
@@ -22,8 +30,6 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace simfs::cache {
@@ -41,7 +47,87 @@ struct CacheStats {
 /// Result of an access(): hit flag plus any evictions it triggered.
 struct AccessOutcome {
   bool hit = false;
-  std::vector<std::string> evicted;
+  std::vector<StepIndex> evicted;
+};
+
+/// Flat open-addressing StepIndex -> slot map (linear probing, power-of-two
+/// capacity, Knuth Algorithm R deletion). kNoStep is the empty sentinel, so
+/// it cannot be used as a key — step indices are non-negative in practice.
+class StepSlotMap {
+ public:
+  StepSlotMap() { cells_.resize(16, Cell{kNoStep, -1}); }
+
+  [[nodiscard]] std::int32_t find(StepIndex key) const noexcept {
+    std::size_t i = bucket(key);
+    while (cells_[i].key != kNoStep) {
+      if (cells_[i].key == key) return cells_[i].value;
+      i = (i + 1) & mask();
+    }
+    return -1;
+  }
+
+  /// Inserts a key known to be absent.
+  void insert(StepIndex key, std::int32_t value) {
+    if ((size_ + 1) * 10 >= cells_.size() * 7) grow();
+    std::size_t i = bucket(key);
+    while (cells_[i].key != kNoStep) i = (i + 1) & mask();
+    cells_[i] = Cell{key, value};
+    ++size_;
+  }
+
+  bool erase(StepIndex key) noexcept {
+    std::size_t i = bucket(key);
+    while (cells_[i].key != key) {
+      if (cells_[i].key == kNoStep) return false;
+      i = (i + 1) & mask();
+    }
+    // Backward-shift deletion keeps probe chains intact without tombstones.
+    std::size_t j = i;
+    for (;;) {
+      cells_[i].key = kNoStep;
+      std::size_t home;
+      do {
+        j = (j + 1) & mask();
+        if (cells_[j].key == kNoStep) {
+          --size_;
+          return true;
+        }
+        home = bucket(cells_[j].key);
+      } while ((i <= j) ? (i < home && home <= j) : (i < home || home <= j));
+      cells_[i] = cells_[j];
+      i = j;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  struct Cell {
+    StepIndex key;
+    std::int32_t value;
+  };
+
+  [[nodiscard]] std::size_t mask() const noexcept { return cells_.size() - 1; }
+
+  [[nodiscard]] std::size_t bucket(StepIndex key) const noexcept {
+    auto h = static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ull;
+    h ^= h >> 29;
+    return static_cast<std::size_t>(h) & mask();
+  }
+
+  void grow() {
+    std::vector<Cell> old = std::move(cells_);
+    cells_.assign(old.size() * 2, Cell{kNoStep, -1});
+    for (const auto& c : old) {
+      if (c.key == kNoStep) continue;
+      std::size_t i = bucket(c.key);
+      while (cells_[i].key != kNoStep) i = (i + 1) & mask();
+      cells_[i] = c;
+    }
+  }
+
+  std::vector<Cell> cells_;
+  std::size_t size_ = 0;
 };
 
 /// Fully-associative cache with pluggable replacement. Capacity counts
@@ -61,79 +147,199 @@ class Cache {
   /// miss cost (the caller is assumed to re-simulate it) and the eviction
   /// loop runs. Pinned entries are never evicted; if every resident entry
   /// is pinned the cache transiently exceeds capacity.
-  AccessOutcome access(const std::string& key, double cost);
+  AccessOutcome access(StepIndex key, double cost);
 
   /// Inserts an entry without hit/miss accounting — used for the
   /// additional output steps a re-simulation produces around the missed
   /// one, and for prefetched steps. No-op if already resident.
-  std::vector<std::string> insert(const std::string& key, double cost);
+  std::vector<StepIndex> insert(StepIndex key, double cost);
+
+  /// access() + pin() fused into one index probe — the DV's open-hit path
+  /// touches the policy and takes its reference with a single lookup. The
+  /// entry is pinned whether the access hit or missed (on a miss the
+  /// freshly inserted entry carries the reference).
+  AccessOutcome accessAndPin(StepIndex key, double cost);
 
   /// True if resident.
-  [[nodiscard]] bool contains(const std::string& key) const noexcept;
+  [[nodiscard]] bool contains(StepIndex key) const noexcept {
+    return index_.find(key) >= 0;
+  }
 
   /// Pins an entry (refcount++). Pinned entries cannot be evicted.
   /// No-op for non-resident keys.
-  void pin(const std::string& key) noexcept;
+  void pin(StepIndex key) noexcept;
 
   /// Unpins an entry (refcount--, floored at 0).
-  void unpin(const std::string& key) noexcept;
+  void unpin(StepIndex key) noexcept;
 
   /// Current pin count (0 for non-resident keys).
-  [[nodiscard]] int pinCount(const std::string& key) const noexcept;
+  [[nodiscard]] int pinCount(StepIndex key) const noexcept;
 
   /// Externally removes an entry (e.g. operator deleted the file).
   /// Returns false if not resident.
-  bool erase(const std::string& key);
+  bool erase(StepIndex key);
 
   /// Miss cost recorded for a resident entry; nullopt if absent.
-  [[nodiscard]] std::optional<double> costOf(const std::string& key) const noexcept;
+  [[nodiscard]] std::optional<double> costOf(StepIndex key) const noexcept;
 
   [[nodiscard]] std::int64_t size() const noexcept {
-    return static_cast<std::int64_t>(resident_.size());
+    return static_cast<std::int64_t>(index_.size());
   }
   [[nodiscard]] std::int64_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
 
-  /// Resident keys in unspecified order.
-  [[nodiscard]] std::vector<std::string> residentKeys() const;
+  /// Visits every resident entry as (key, cost, pins), in unspecified
+  /// order, without materializing a key vector.
+  template <typename Fn>
+  void forEachResident(Fn&& fn) const {
+    for (const auto& r : slots_) {
+      if (r.occupied) fn(r.key, r.cost, r.pins);
+    }
+  }
 
  protected:
+  /// Slot handle into the resident arena. Slots are stable while an entry
+  /// is resident and recycled after removal.
+  using Slot = std::int32_t;
+  static constexpr Slot kNoSlot = -1;
+  /// Intrusive list lanes available to policies (LIRS-style policies need
+  /// two simultaneous orders; everyone else uses lane 0).
+  static constexpr int kLanes = 2;
+
   /// Per-entry bookkeeping shared by all policies.
   struct Resident {
+    StepIndex key = 0;
     double cost = 0.0;
     int pins = 0;
     std::uint64_t lastAccessSeq = 0;
+    bool occupied = false;
+    /// Intrusive doubly-linked list links, one pair per lane.
+    Slot prev[kLanes] = {kNoSlot, kNoSlot};
+    Slot next[kLanes] = {kNoSlot, kNoSlot};
+    bool linked[kLanes] = {false, false};
+    /// Policy scratch (e.g. RANDOM's sampling-vector position).
+    std::int32_t aux = 0;
+  };
+
+  /// Intrusive doubly-linked list over resident slots; nodes live inside
+  /// the arena, so linking/unlinking never allocates.
+  class SlotList {
+   public:
+    SlotList(Cache& owner, int lane) : owner_(&owner), lane_(lane) {}
+
+    void pushFront(Slot s) {
+      auto& r = owner_->slots_[static_cast<std::size_t>(s)];
+      r.prev[lane_] = kNoSlot;
+      r.next[lane_] = head_;
+      r.linked[lane_] = true;
+      if (head_ != kNoSlot) owner_->slots_[static_cast<std::size_t>(head_)].prev[lane_] = s;
+      head_ = s;
+      if (tail_ == kNoSlot) tail_ = s;
+      ++size_;
+    }
+
+    void pushBack(Slot s) {
+      auto& r = owner_->slots_[static_cast<std::size_t>(s)];
+      r.next[lane_] = kNoSlot;
+      r.prev[lane_] = tail_;
+      r.linked[lane_] = true;
+      if (tail_ != kNoSlot) owner_->slots_[static_cast<std::size_t>(tail_)].next[lane_] = s;
+      tail_ = s;
+      if (head_ == kNoSlot) head_ = s;
+      ++size_;
+    }
+
+    void erase(Slot s) {
+      auto& r = owner_->slots_[static_cast<std::size_t>(s)];
+      if (!r.linked[lane_]) return;
+      if (r.prev[lane_] != kNoSlot) {
+        owner_->slots_[static_cast<std::size_t>(r.prev[lane_])].next[lane_] = r.next[lane_];
+      } else {
+        head_ = r.next[lane_];
+      }
+      if (r.next[lane_] != kNoSlot) {
+        owner_->slots_[static_cast<std::size_t>(r.next[lane_])].prev[lane_] = r.prev[lane_];
+      } else {
+        tail_ = r.prev[lane_];
+      }
+      r.linked[lane_] = false;
+      --size_;
+    }
+
+    void moveToFront(Slot s) {
+      if (head_ == s) return;
+      erase(s);
+      pushFront(s);
+    }
+
+    [[nodiscard]] Slot head() const noexcept { return head_; }
+    [[nodiscard]] Slot tail() const noexcept { return tail_; }
+    [[nodiscard]] Slot prevOf(Slot s) const noexcept {
+      return owner_->slots_[static_cast<std::size_t>(s)].prev[lane_];
+    }
+    [[nodiscard]] Slot nextOf(Slot s) const noexcept {
+      return owner_->slots_[static_cast<std::size_t>(s)].next[lane_];
+    }
+    [[nodiscard]] bool contains(Slot s) const noexcept {
+      return owner_->slots_[static_cast<std::size_t>(s)].linked[lane_];
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+   private:
+    Cache* owner_;
+    int lane_;
+    Slot head_ = kNoSlot;
+    Slot tail_ = kNoSlot;
+    std::size_t size_ = 0;
   };
 
   // --- hooks implemented by policies -------------------------------------
   /// Resident entry re-accessed.
-  virtual void hookHit(const std::string& key) = 0;
+  virtual void hookHit(Slot slot) = 0;
   /// Non-resident key observed (access miss) BEFORE insertion; ghost-aware
   /// policies (ARC, LIRS, DCL) react here. Plain inserts do not call this.
-  virtual void hookMiss(const std::string& /*key*/) {}
+  virtual void hookMiss(StepIndex /*key*/) {}
   /// Entry became resident (from an access miss or a plain insert).
-  virtual void hookInsert(const std::string& key, double cost) = 0;
-  /// Entry left the resident set. `evicted` is true when the eviction loop
+  virtual void hookInsert(Slot slot, double cost) = 0;
+  /// Entry is leaving the resident set (the slot is still valid during the
+  /// call and freed afterwards). `evicted` is true when the eviction loop
   /// removed it (policies may then keep it as a ghost), false on erase().
-  virtual void hookRemove(const std::string& key, bool evicted) = 0;
-  /// Picks an evictable (unpinned) victim; nullopt if none exists.
-  [[nodiscard]] virtual std::optional<std::string> chooseVictim() = 0;
+  virtual void hookRemove(Slot slot, bool evicted) = 0;
+  /// Picks an evictable (unpinned) victim; kNoSlot if none exists.
+  [[nodiscard]] virtual Slot chooseVictim() = 0;
 
   // --- services for policies ---------------------------------------------
-  [[nodiscard]] bool isEvictable(const std::string& key) const noexcept;
-  [[nodiscard]] const Resident* findResident(const std::string& key) const noexcept;
+  [[nodiscard]] const Resident& residentAt(Slot s) const noexcept {
+    return slots_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] Slot slotOf(StepIndex key) const noexcept {
+    return index_.find(key);
+  }
+  [[nodiscard]] bool isEvictable(Slot s) const noexcept {
+    return slots_[static_cast<std::size_t>(s)].pins == 0;
+  }
   /// Mutable cost access (BCL/DCL depreciate the LRU's cost in place).
-  void setCost(const std::string& key, double cost) noexcept;
+  void setCost(Slot s, double cost) noexcept {
+    slots_[static_cast<std::size_t>(s)].cost = cost;
+  }
+  /// Policy scratch storage.
+  void setAux(Slot s, std::int32_t aux) noexcept {
+    slots_[static_cast<std::size_t>(s)].aux = aux;
+  }
   [[nodiscard]] std::uint64_t currentSeq() const noexcept { return seq_; }
   void bumpPinSkips() noexcept { ++stats_.pinSkips; }
 
  private:
-  void evictOverflow(std::vector<std::string>& evictedOut);
-  void insertInternal(const std::string& key, double cost,
-                      std::vector<std::string>& evictedOut);
+  void evictOverflow(std::vector<StepIndex>& evictedOut);
+  void insertInternal(StepIndex key, double cost,
+                      std::vector<StepIndex>& evictedOut);
+  Slot allocSlot(StepIndex key, double cost);
+  void freeSlot(Slot s);
 
   std::int64_t capacity_;
-  std::unordered_map<std::string, Resident> resident_;
+  std::vector<Resident> slots_;
+  std::vector<Slot> freeSlots_;
+  StepSlotMap index_;
   CacheStats stats_;
   std::uint64_t seq_ = 0;
 };
@@ -142,5 +348,52 @@ class Cache {
 [[nodiscard]] std::unique_ptr<Cache> makeCache(simmodel::PolicyKind kind,
                                                std::int64_t capacityEntries,
                                                std::uint64_t seed = 42);
+
+/// Thin string-keyed adapter for callers that genuinely hold filenames
+/// (operator tooling, directory scans). Translates through a
+/// FilenameCodec at the boundary; everything below stays integer-keyed.
+class FilenameKeyedCache {
+ public:
+  FilenameKeyedCache(Cache& cache, const simmodel::FilenameCodec& codec)
+      : cache_(cache), codec_(codec) {}
+
+  [[nodiscard]] bool contains(std::string_view file) const noexcept {
+    StepIndex step = 0;
+    return codec_.matchOutput(file, &step) && cache_.contains(step);
+  }
+
+  AccessOutcome access(std::string_view file, double cost) {
+    StepIndex step = 0;
+    if (!codec_.matchOutput(file, &step)) return {};
+    return cache_.access(step, cost);
+  }
+
+  void pin(std::string_view file) noexcept {
+    StepIndex step = 0;
+    if (codec_.matchOutput(file, &step)) cache_.pin(step);
+  }
+
+  void unpin(std::string_view file) noexcept {
+    StepIndex step = 0;
+    if (codec_.matchOutput(file, &step)) cache_.unpin(step);
+  }
+
+  bool erase(std::string_view file) {
+    StepIndex step = 0;
+    return codec_.matchOutput(file, &step) && cache_.erase(step);
+  }
+
+  /// Visits resident entries as filenames (materialized per entry).
+  template <typename Fn>
+  void forEachResidentFile(Fn&& fn) const {
+    cache_.forEachResident([&](StepIndex key, double cost, int pins) {
+      fn(codec_.outputFile(key), cost, pins);
+    });
+  }
+
+ private:
+  Cache& cache_;
+  const simmodel::FilenameCodec& codec_;
+};
 
 }  // namespace simfs::cache

@@ -6,31 +6,31 @@ namespace simfs::cache {
 
 std::optional<CostAwareLruCache::Selection> CostAwareLruCache::select() {
   const auto& order = recency();
-  // Find the LRU: least-recent evictable entry.
-  auto lruIt = order.rend();
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    if (isEvictable(*it)) {
-      lruIt = it;
+  // Find the LRU: least-recent evictable entry, scanning tail -> head.
+  Slot lru = kNoSlot;
+  for (Slot s = order.tail(); s != kNoSlot; s = order.prevOf(s)) {
+    if (isEvictable(s)) {
+      lru = s;
       break;
     }
     bumpPinSkips();
   }
-  if (lruIt == order.rend()) return std::nullopt;
+  if (lru == kNoSlot) return std::nullopt;
 
   Selection sel;
-  sel.lru = *lruIt;
-  sel.lruCost = findResident(sel.lru)->cost;
+  sel.lru = lru;
+  sel.lruCost = residentAt(lru).cost;
 
   // Scan from the LRU towards the MRU for the first cheaper evictable
   // entry, within the bounded deflection window.
   std::int64_t scanned = 0;
-  for (auto it = std::next(lruIt);
-       it != order.rend() && scanned < searchDepth_; ++it) {
-    if (!isEvictable(*it)) continue;
+  for (Slot s = order.prevOf(lru); s != kNoSlot && scanned < searchDepth_;
+       s = order.prevOf(s)) {
+    if (!isEvictable(s)) continue;
     ++scanned;
-    const double cost = findResident(*it)->cost;
+    const double cost = residentAt(s).cost;
     if (cost < sel.lruCost) {
-      sel.victim = *it;
+      sel.victim = s;
       sel.victimCost = cost;
       sel.sparedLru = true;
       return sel;
@@ -42,9 +42,9 @@ std::optional<CostAwareLruCache::Selection> CostAwareLruCache::select() {
   return sel;
 }
 
-std::optional<std::string> CostAwareLruCache::chooseVictim() {
+Cache::Slot CostAwareLruCache::chooseVictim() {
   auto sel = select();
-  if (!sel) return std::nullopt;
+  if (!sel) return kNoSlot;
   if (sel->sparedLru) onLruSpared(*sel);
   return sel->victim;
 }
@@ -61,10 +61,12 @@ void BclCache::onLruSpared(const Selection& sel) {
 void DclCache::onLruSpared(const Selection& sel) {
   // Defer: remember which LRU this victim was deflected for. Depreciation
   // happens only if the victim is re-accessed while that LRU sits untouched.
-  const auto [it, inserted] = ghosts_.try_emplace(sel.victim);
-  it->second = Deflection{sel.lru, sel.victimCost, currentSeq()};
+  const StepIndex victimKey = residentAt(sel.victim).key;
+  const StepIndex lruKey = residentAt(sel.lru).key;
+  const auto [it, inserted] = ghosts_.try_emplace(victimKey);
+  it->second = Deflection{lruKey, sel.victimCost, currentSeq()};
   if (inserted) {
-    ghostOrder_.push_back(sel.victim);
+    ghostOrder_.push_back(victimKey);
     const auto cap = static_cast<std::size_t>(std::max<std::int64_t>(capacity(), 1));
     while (ghostOrder_.size() > cap) {
       ghosts_.erase(ghostOrder_.front());
@@ -73,30 +75,31 @@ void DclCache::onLruSpared(const Selection& sel) {
   }
 }
 
-void DclCache::hookMiss(const std::string& key) {
+void DclCache::hookMiss(StepIndex key) {
   const auto it = ghosts_.find(key);
   if (it == ghosts_.end()) return;
   const Deflection d = it->second;
   ghosts_.erase(it);
   ghostOrder_.remove(key);
-  const auto* lru = findResident(d.sparedLru);
+  const Slot lru = slotOf(d.sparedLru);
   // Depreciate only if the spared LRU is still resident and has not been
   // accessed since the deflection (i.e. sparing it bought nothing).
-  if (lru != nullptr && lru->lastAccessSeq < d.evictSeq) {
-    setCost(d.sparedLru, std::max(0.0, lru->cost - d.victimCost));
+  if (lru != kNoSlot && residentAt(lru).lastAccessSeq < d.evictSeq) {
+    setCost(lru, std::max(0.0, residentAt(lru).cost - d.victimCost));
   }
 }
 
-void DclCache::hookInsert(const std::string& key, double cost) {
+void DclCache::hookInsert(Slot slot, double cost) {
   // A key re-entering residency through a plain insert (prefetch / interval
   // fill) bypasses hookMiss; drop any stale deflection record so it cannot
   // fire against an unrelated later LRU epoch.
+  const StepIndex key = residentAt(slot).key;
   const auto it = ghosts_.find(key);
   if (it != ghosts_.end()) {
     ghosts_.erase(it);
     ghostOrder_.remove(key);
   }
-  LruCache::hookInsert(key, cost);
+  LruCache::hookInsert(slot, cost);
 }
 
 }  // namespace simfs::cache

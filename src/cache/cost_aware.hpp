@@ -25,7 +25,7 @@
 namespace simfs::cache {
 
 /// Common machinery for BCL/DCL: cost-guided victim selection over the
-/// inherited LRU recency list.
+/// inherited intrusive LRU recency order.
 ///
 /// The deflection search is bounded to a window above the LRU (a quarter
 /// of the capacity), following Jeong & Dubois' bounded candidate sets:
@@ -40,14 +40,14 @@ class CostAwareLruCache : public LruCache {
  protected:
   /// Outcome of one victim-selection round, given to the depreciation hook.
   struct Selection {
-    std::string victim;   ///< chosen victim (may equal lru)
-    std::string lru;      ///< the least-recent evictable entry
+    Slot victim = kNoSlot;  ///< chosen victim (may equal lru)
+    Slot lru = kNoSlot;     ///< the least-recent evictable entry
     double victimCost = 0.0;
     double lruCost = 0.0;
     bool sparedLru = false;  ///< true when victim != lru
   };
 
-  [[nodiscard]] std::optional<std::string> chooseVictim() final;
+  [[nodiscard]] Slot chooseVictim() final;
 
   /// Depreciation policy: called after every selection that spared the LRU.
   virtual void onLruSpared(const Selection& sel) = 0;
@@ -81,19 +81,19 @@ class DclCache final : public CostAwareLruCache {
 
  protected:
   void onLruSpared(const Selection& sel) override;
-  void hookMiss(const std::string& key) override;
-  void hookInsert(const std::string& key, double cost) override;
+  void hookMiss(StepIndex key) override;
+  void hookInsert(Slot slot, double cost) override;
 
  private:
   struct Deflection {
-    std::string sparedLru;
+    StepIndex sparedLru = kNoStep;
     double victimCost = 0.0;
     std::uint64_t evictSeq = 0;
   };
 
   /// Ghosts of entries evicted instead of the LRU, bounded to capacity.
-  std::unordered_map<std::string, Deflection> ghosts_;
-  std::list<std::string> ghostOrder_;  // front = oldest
+  std::unordered_map<StepIndex, Deflection> ghosts_;
+  std::list<StepIndex> ghostOrder_;  // front = oldest
 };
 
 }  // namespace simfs::cache

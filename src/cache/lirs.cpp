@@ -14,27 +14,31 @@ LirsCache::LirsCache(std::int64_t capacityEntries, double hirFraction)
   llirs_ = std::max<std::int64_t>(1, cap - lhirs_);
 }
 
-void LirsCache::stackPushFront(const std::string& key, Meta& meta) {
+void LirsCache::stackPushFront(StepIndex key, Meta& meta) {
   stack_.push_front(key);
   meta.stackIt = stack_.begin();
   meta.inStack = true;
 }
 
-void LirsCache::stackErase(const std::string& key, Meta& meta) {
-  (void)key;
+void LirsCache::stackErase(Meta& meta) {
   if (!meta.inStack) return;
   stack_.erase(meta.stackIt);
   meta.inStack = false;
 }
 
-void LirsCache::queuePushBack(const std::string& key, Meta& meta) {
+void LirsCache::stackRefresh(Meta& meta) {
+  if (!meta.inStack) return;
+  stack_.splice(stack_.begin(), stack_, meta.stackIt);
+  meta.stackIt = stack_.begin();
+}
+
+void LirsCache::queuePushBack(StepIndex key, Meta& meta) {
   queue_.push_back(key);
   meta.queueIt = std::prev(queue_.end());
   meta.inQueue = true;
 }
 
-void LirsCache::queueErase(const std::string& key, Meta& meta) {
-  (void)key;
+void LirsCache::queueErase(Meta& meta) {
   if (!meta.inQueue) return;
   queue_.erase(meta.queueIt);
   meta.inQueue = false;
@@ -42,7 +46,7 @@ void LirsCache::queueErase(const std::string& key, Meta& meta) {
 
 void LirsCache::pruneStack() {
   while (!stack_.empty()) {
-    const auto& bottom = stack_.back();
+    const auto bottom = stack_.back();
     auto it = meta_.find(bottom);
     SIMFS_CHECK(it != meta_.end());
     if (it->second.state == State::kLir) return;
@@ -56,11 +60,11 @@ void LirsCache::pruneStack() {
 void LirsCache::demoteBottomLir() {
   pruneStack();
   if (stack_.empty()) return;
-  const std::string bottom = stack_.back();
+  const StepIndex bottom = stack_.back();
   auto& meta = meta_.at(bottom);
   SIMFS_CHECK(meta.state == State::kLir);
   meta.state = State::kHirResident;
-  stackErase(bottom, meta);
+  stackErase(meta);
   queuePushBack(bottom, meta);
   --nLir_;
   pruneStack();
@@ -83,20 +87,20 @@ void LirsCache::boundGhosts() {
   }
 }
 
-void LirsCache::hookHit(const std::string& key) {
+void LirsCache::hookHit(Slot slot) {
+  const StepIndex key = residentAt(slot).key;
   auto& meta = meta_.at(key);
   if (meta.state == State::kLir) {
     const bool wasBottom = meta.inStack && meta.stackIt == std::prev(stack_.end());
-    stackErase(key, meta);
-    stackPushFront(key, meta);
+    stackRefresh(meta);
     if (wasBottom) pruneStack();
     return;
   }
   SIMFS_CHECK(meta.state == State::kHirResident);
   if (meta.inStack) {
     // Short inter-reference recency: promote to LIR.
-    stackErase(key, meta);
-    queueErase(key, meta);
+    stackErase(meta);
+    queueErase(meta);
     meta.state = State::kLir;
     ++nLir_;
     stackPushFront(key, meta);
@@ -104,17 +108,18 @@ void LirsCache::hookHit(const std::string& key) {
   } else {
     // Long recency: stay HIR, refresh both stack and queue position.
     stackPushFront(key, meta);
-    queueErase(key, meta);
+    queueErase(meta);
     queuePushBack(key, meta);
   }
 }
 
-void LirsCache::hookInsert(const std::string& key, double /*cost*/) {
+void LirsCache::hookInsert(Slot slot, double /*cost*/) {
+  const StepIndex key = residentAt(slot).key;
   auto it = meta_.find(key);
   if (it != meta_.end() && it->second.state == State::kGhost) {
     // Re-reference of a ghost within the stack: insert as LIR.
     auto& meta = it->second;
-    stackErase(key, meta);
+    stackErase(meta);
     meta.state = State::kLir;
     ++nLir_;
     stackPushFront(key, meta);
@@ -137,32 +142,34 @@ void LirsCache::hookInsert(const std::string& key, double /*cost*/) {
   boundGhosts();
 }
 
-void LirsCache::hookRemove(const std::string& key, bool evicted) {
+void LirsCache::hookRemove(Slot slot, bool evicted) {
+  const StepIndex key = residentAt(slot).key;
   auto it = meta_.find(key);
   if (it == meta_.end()) return;
   auto& meta = it->second;
   if (meta.state == State::kHirResident) {
-    queueErase(key, meta);
+    queueErase(meta);
     if (evicted && meta.inStack) {
       meta.state = State::kGhost;  // keep history in the stack
     } else {
-      stackErase(key, meta);
+      stackErase(meta);
       meta_.erase(it);
     }
   } else if (meta.state == State::kLir) {
-    stackErase(key, meta);
+    stackErase(meta);
     --nLir_;
     meta_.erase(it);
     pruneStack();
   } else {
-    stackErase(key, meta);
+    stackErase(meta);
     meta_.erase(it);
   }
 }
 
-std::optional<std::string> LirsCache::chooseVictim() {
-  for (const auto& key : queue_) {
-    if (isEvictable(key)) return key;
+Cache::Slot LirsCache::chooseVictim() {
+  for (const StepIndex key : queue_) {
+    const Slot s = slotOf(key);
+    if (s != kNoSlot && isEvictable(s)) return s;
     bumpPinSkips();
   }
   // Every resident HIR is pinned (or Q empty): fall back to the coldest
@@ -170,10 +177,11 @@ std::optional<std::string> LirsCache::chooseVictim() {
   for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
     const auto mit = meta_.find(*it);
     if (mit == meta_.end() || mit->second.state != State::kLir) continue;
-    if (isEvictable(*it)) return *it;
+    const Slot s = slotOf(*it);
+    if (s != kNoSlot && isEvictable(s)) return s;
     bumpPinSkips();
   }
-  return std::nullopt;
+  return kNoSlot;
 }
 
 }  // namespace simfs::cache

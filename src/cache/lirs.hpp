@@ -13,6 +13,10 @@
 // LIR entry is demoted and evicted as a fallback. The paper observes LIRS
 // behaves poorly on backward scans (Fig. 5) — a property this
 // implementation reproduces.
+//
+// Keys are StepIndex; the stack interleaves residents and ghosts, so it
+// stays a node-based list, but refreshes are splices (no allocation) and
+// all metadata is integer-keyed.
 #pragma once
 
 #include "cache/cache.hpp"
@@ -34,10 +38,10 @@ class LirsCache final : public Cache {
   [[nodiscard]] std::int64_t lirCapacity() const noexcept { return llirs_; }
 
  protected:
-  void hookHit(const std::string& key) override;
-  void hookInsert(const std::string& key, double cost) override;
-  void hookRemove(const std::string& key, bool evicted) override;
-  [[nodiscard]] std::optional<std::string> chooseVictim() override;
+  void hookHit(Slot slot) override;
+  void hookInsert(Slot slot, double cost) override;
+  void hookRemove(Slot slot, bool evicted) override;
+  [[nodiscard]] Slot chooseVictim() override;
 
  private:
   enum class State { kLir, kHirResident, kGhost };
@@ -46,14 +50,16 @@ class LirsCache final : public Cache {
     State state = State::kHirResident;
     bool inStack = false;
     bool inQueue = false;
-    std::list<std::string>::iterator stackIt{};
-    std::list<std::string>::iterator queueIt{};
+    std::list<StepIndex>::iterator stackIt{};
+    std::list<StepIndex>::iterator queueIt{};
   };
 
-  void stackPushFront(const std::string& key, Meta& meta);
-  void stackErase(const std::string& key, Meta& meta);
-  void queuePushBack(const std::string& key, Meta& meta);
-  void queueErase(const std::string& key, Meta& meta);
+  void stackPushFront(StepIndex key, Meta& meta);
+  void stackErase(Meta& meta);
+  /// Splice-to-front refresh: reuses the existing stack node.
+  void stackRefresh(Meta& meta);
+  void queuePushBack(StepIndex key, Meta& meta);
+  void queueErase(Meta& meta);
   /// Removes non-LIR entries from the stack bottom (classic pruning).
   void pruneStack();
   /// Demotes the stack's bottom LIR entry to resident HIR (queue tail).
@@ -64,9 +70,9 @@ class LirsCache final : public Cache {
   std::int64_t llirs_;  ///< max LIR entries
   std::int64_t lhirs_;  ///< target resident-HIR entries
   std::int64_t nLir_ = 0;
-  std::list<std::string> stack_;  // front = most recent
-  std::list<std::string> queue_;  // front = oldest resident HIR
-  std::unordered_map<std::string, Meta> meta_;
+  std::list<StepIndex> stack_;  // front = most recent
+  std::list<StepIndex> queue_;  // front = oldest resident HIR
+  std::unordered_map<StepIndex, Meta> meta_;
 };
 
 }  // namespace simfs::cache

@@ -4,90 +4,74 @@ namespace simfs::cache {
 
 // ------------------------------------------------------------------ LruCache
 
-void LruCache::hookHit(const std::string& key) {
-  const auto it = pos_.find(key);
-  recency_.splice(recency_.begin(), recency_, it->second);
+void LruCache::hookHit(Slot slot) { recency_.moveToFront(slot); }
+
+void LruCache::hookInsert(Slot slot, double /*cost*/) {
+  recency_.pushFront(slot);
 }
 
-void LruCache::hookInsert(const std::string& key, double /*cost*/) {
-  recency_.push_front(key);
-  pos_[key] = recency_.begin();
+void LruCache::hookRemove(Slot slot, bool /*evicted*/) {
+  recency_.erase(slot);
 }
 
-void LruCache::hookRemove(const std::string& key, bool /*evicted*/) {
-  const auto it = pos_.find(key);
-  if (it == pos_.end()) return;
-  recency_.erase(it->second);
-  pos_.erase(it);
-}
-
-std::optional<std::string> LruCache::chooseVictim() {
-  for (auto it = recency_.rbegin(); it != recency_.rend(); ++it) {
-    if (isEvictable(*it)) return *it;
+Cache::Slot LruCache::chooseVictim() {
+  for (Slot s = recency_.tail(); s != kNoSlot; s = recency_.prevOf(s)) {
+    if (isEvictable(s)) return s;
     bumpPinSkips();
   }
-  return std::nullopt;
+  return kNoSlot;
 }
 
 // ----------------------------------------------------------------- FifoCache
 
-void FifoCache::hookHit(const std::string& /*key*/) {}
+void FifoCache::hookHit(Slot /*slot*/) {}
 
-void FifoCache::hookInsert(const std::string& key, double /*cost*/) {
-  order_.push_back(key);
-  pos_[key] = std::prev(order_.end());
+void FifoCache::hookInsert(Slot slot, double /*cost*/) {
+  order_.pushBack(slot);
 }
 
-void FifoCache::hookRemove(const std::string& key, bool /*evicted*/) {
-  const auto it = pos_.find(key);
-  if (it == pos_.end()) return;
-  order_.erase(it->second);
-  pos_.erase(it);
-}
+void FifoCache::hookRemove(Slot slot, bool /*evicted*/) { order_.erase(slot); }
 
-std::optional<std::string> FifoCache::chooseVictim() {
-  for (const auto& key : order_) {
-    if (isEvictable(key)) return key;
+Cache::Slot FifoCache::chooseVictim() {
+  for (Slot s = order_.head(); s != kNoSlot; s = order_.nextOf(s)) {
+    if (isEvictable(s)) return s;
     bumpPinSkips();
   }
-  return std::nullopt;
+  return kNoSlot;
 }
 
 // --------------------------------------------------------------- RandomCache
 
-void RandomCache::hookHit(const std::string& /*key*/) {}
+void RandomCache::hookHit(Slot /*slot*/) {}
 
-void RandomCache::hookInsert(const std::string& key, double /*cost*/) {
-  pos_[key] = keys_.size();
-  keys_.push_back(key);
+void RandomCache::hookInsert(Slot slot, double /*cost*/) {
+  setAux(slot, static_cast<std::int32_t>(sample_.size()));
+  sample_.push_back(slot);
 }
 
-void RandomCache::hookRemove(const std::string& key, bool /*evicted*/) {
-  const auto it = pos_.find(key);
-  if (it == pos_.end()) return;
-  const std::size_t idx = it->second;
-  const std::size_t last = keys_.size() - 1;
+void RandomCache::hookRemove(Slot slot, bool /*evicted*/) {
+  const auto idx = static_cast<std::size_t>(residentAt(slot).aux);
+  const std::size_t last = sample_.size() - 1;
   if (idx != last) {
-    keys_[idx] = keys_[last];
-    pos_[keys_[idx]] = idx;
+    sample_[idx] = sample_[last];
+    setAux(sample_[idx], static_cast<std::int32_t>(idx));
   }
-  keys_.pop_back();
-  pos_.erase(it);
+  sample_.pop_back();
 }
 
-std::optional<std::string> RandomCache::chooseVictim() {
-  if (keys_.empty()) return std::nullopt;
+Cache::Slot RandomCache::chooseVictim() {
+  if (sample_.empty()) return kNoSlot;
   // A few random probes, then a linear sweep (covers heavy pinning).
   for (int probe = 0; probe < 8; ++probe) {
     const auto idx = static_cast<std::size_t>(
-        rng_.uniformInt(0, static_cast<std::int64_t>(keys_.size()) - 1));
-    if (isEvictable(keys_[idx])) return keys_[idx];
+        rng_.uniformInt(0, static_cast<std::int64_t>(sample_.size()) - 1));
+    if (isEvictable(sample_[idx])) return sample_[idx];
     bumpPinSkips();
   }
-  for (const auto& key : keys_) {
-    if (isEvictable(key)) return key;
+  for (const Slot s : sample_) {
+    if (isEvictable(s)) return s;
   }
-  return std::nullopt;
+  return kNoSlot;
 }
 
 }  // namespace simfs::cache

@@ -1,13 +1,15 @@
 // Recency-ordered policies: LRU plus the FIFO and RANDOM baselines
 // (the latter two are beyond-paper reference points for the ablation
 // benches).
+//
+// All three keep their ordering intrusively inside the base class's
+// resident arena (lane 0), so hits and inserts never allocate.
 #pragma once
 
 #include "cache/cache.hpp"
 #include "common/rng.hpp"
 
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 namespace simfs::cache {
 
@@ -15,43 +17,41 @@ namespace simfs::cache {
 /// least-recent *unpinned* entry.
 class LruCache : public Cache {
  public:
-  explicit LruCache(std::int64_t capacityEntries) : Cache(capacityEntries) {}
+  explicit LruCache(std::int64_t capacityEntries)
+      : Cache(capacityEntries), recency_(*this, /*lane=*/0) {}
 
   [[nodiscard]] const char* name() const noexcept override { return "LRU"; }
 
  protected:
-  void hookHit(const std::string& key) override;
-  void hookInsert(const std::string& key, double cost) override;
-  void hookRemove(const std::string& key, bool evicted) override;
-  [[nodiscard]] std::optional<std::string> chooseVictim() override;
+  void hookHit(Slot slot) override;
+  void hookInsert(Slot slot, double cost) override;
+  void hookRemove(Slot slot, bool evicted) override;
+  [[nodiscard]] Slot chooseVictim() override;
 
-  /// Recency list: front = MRU, back = LRU. Exposed to the cost-aware
+  /// Recency list: head = MRU, tail = LRU. Exposed to the cost-aware
   /// subclasses (BCL/DCL) which reuse LRU ordering.
-  [[nodiscard]] const std::list<std::string>& recency() const noexcept {
-    return recency_;
-  }
+  [[nodiscard]] const SlotList& recency() const noexcept { return recency_; }
 
  private:
-  std::list<std::string> recency_;
-  std::unordered_map<std::string, std::list<std::string>::iterator> pos_;
+  SlotList recency_;
 };
 
 /// First-In-First-Out: insertion order, hits do not refresh.
 class FifoCache final : public Cache {
  public:
-  explicit FifoCache(std::int64_t capacityEntries) : Cache(capacityEntries) {}
+  explicit FifoCache(std::int64_t capacityEntries)
+      : Cache(capacityEntries), order_(*this, /*lane=*/0) {}
 
   [[nodiscard]] const char* name() const noexcept override { return "FIFO"; }
 
  protected:
-  void hookHit(const std::string& key) override;
-  void hookInsert(const std::string& key, double cost) override;
-  void hookRemove(const std::string& key, bool evicted) override;
-  [[nodiscard]] std::optional<std::string> chooseVictim() override;
+  void hookHit(Slot slot) override;
+  void hookInsert(Slot slot, double cost) override;
+  void hookRemove(Slot slot, bool evicted) override;
+  [[nodiscard]] Slot chooseVictim() override;
 
  private:
-  std::list<std::string> order_;  // front = oldest
-  std::unordered_map<std::string, std::list<std::string>::iterator> pos_;
+  SlotList order_;  // head = oldest
 };
 
 /// Uniform-random eviction among unpinned residents.
@@ -63,15 +63,15 @@ class RandomCache final : public Cache {
   [[nodiscard]] const char* name() const noexcept override { return "RANDOM"; }
 
  protected:
-  void hookHit(const std::string& key) override;
-  void hookInsert(const std::string& key, double cost) override;
-  void hookRemove(const std::string& key, bool evicted) override;
-  [[nodiscard]] std::optional<std::string> chooseVictim() override;
+  void hookHit(Slot slot) override;
+  void hookInsert(Slot slot, double cost) override;
+  void hookRemove(Slot slot, bool evicted) override;
+  [[nodiscard]] Slot chooseVictim() override;
 
  private:
-  // Swap-with-last vector for O(1) removal and O(1) sampling.
-  std::vector<std::string> keys_;
-  std::unordered_map<std::string, std::size_t> pos_;
+  // Swap-with-last vector for O(1) removal and O(1) sampling; each slot's
+  // position in the vector rides in its aux field.
+  std::vector<Slot> sample_;
   Rng rng_;
 };
 

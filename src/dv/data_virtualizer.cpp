@@ -46,12 +46,18 @@ Status DataVirtualizer::seedAvailableStep(const std::string& context,
   }
   auto& fs = ctx->files[step];
   if (fs.kind == FileState::Kind::kAvailable) return Status::ok();
+  if (!fs.waiters.empty()) {
+    // Seeding over a pending step: it stops being owed, so release the
+    // registered producer's waited-step counter (prefetch-kill decisions
+    // read it) exactly as makeAvailable would.
+    const auto jit = jobs_.find(fs.producer);
+    if (jit != jobs_.end()) --jit->second.waitedSteps;
+  }
   fs.kind = FileState::Kind::kAvailable;
   fs.producer = 0;
-  const std::string file = cfg.codec.outputFile(step);
-  (void)ctx->area.addFile(file, cfg.outputStepBytes);
+  (void)ctx->area.addStep(step, cfg.outputStepBytes);
   processEvictions(*ctx, ctx->cache->insert(
-                             file, static_cast<double>(
+                             step, static_cast<double>(
                                        cfg.geometry.missCostSteps(step))));
   return Status::ok();
 }
@@ -70,9 +76,10 @@ Result<ClientId> DataVirtualizer::clientConnect(const std::string& context) {
   const ClientId id = nextClient_++;
   ClientInfo info;
   info.id = id;
-  info.context = context;
+  info.ctx = ctx;
   info.agent = std::make_unique<prefetch::PrefetchAgent>(ctx->driver->config());
-  clients_.emplace(id, std::move(info));
+  const auto it = clients_.emplace(id, std::move(info)).first;
+  ctx->clients.push_back(&it->second);
   SIMFS_LOG_DEBUG(kTag, "client %llu connected to '%s'",
                   static_cast<unsigned long long>(id), context.c_str());
   return id;
@@ -81,18 +88,30 @@ Result<ClientId> DataVirtualizer::clientConnect(const std::string& context) {
 void DataVirtualizer::clientDisconnect(ClientId client) {
   auto* info = findClient(client);
   if (info == nullptr) return;
-  auto* ctx = findContext(info->context);
-  if (ctx != nullptr) {
-    // Drop every reference the client still holds.
-    for (const auto& [file, count] : info->refs) {
-      for (int i = 0; i < count; ++i) ctx->cache->unpin(file);
-    }
-    // Remove it from waiter lists.
-    for (auto& [step, fs] : ctx->files) {
-      std::erase(fs.waiters, client);
+  auto* ctx = info->ctx;
+  SIMFS_CHECK(ctx != nullptr);
+  // Drop every reference the client still holds.
+  for (const auto& [step, count] : info->refs) {
+    for (int i = 0; i < count; ++i) ctx->cache->unpin(step);
+  }
+  // Remove it from the waiter lists it is actually enqueued on.
+  for (const StepIndex step : info->waitingSteps) {
+    const auto fit = ctx->files.find(step);
+    if (fit == ctx->files.end()) continue;
+    auto& fs = fit->second;
+    const bool hadWaiters = !fs.waiters.empty();
+    std::erase(fs.waiters, client);
+    if (hadWaiters && fs.waiters.empty() &&
+        fs.kind == FileState::Kind::kPending) {
+      const auto jit = jobs_.find(fs.producer);
+      if (jit != jobs_.end()) --jit->second.waitedSteps;
     }
   }
+  info->waitingSteps.clear();
   killUnneededPrefetches(client);
+  ctx->clients.erase(
+      std::remove(ctx->clients.begin(), ctx->clients.end(), info),
+      ctx->clients.end());
   clients_.erase(client);
 }
 
@@ -104,7 +123,7 @@ OpenResult DataVirtualizer::clientOpen(ClientId client,
     res.status = errFailedPrecondition("dv: unknown client");
     return res;
   }
-  auto* ctx = findContext(info->context);
+  ContextState* ctx = info->ctx;
   SIMFS_CHECK(ctx != nullptr);
   const auto& cfg = ctx->driver->config();
 
@@ -116,6 +135,7 @@ OpenResult DataVirtualizer::clientOpen(ClientId client,
     return res;
   }
 
+  // The one and only filename parse of this request.
   const auto key = ctx->driver->key(file);
   if (!key) {
     res.status = key.status();
@@ -135,19 +155,18 @@ OpenResult DataVirtualizer::clientOpen(ClientId client,
   if (fit != ctx->files.end() && fit->second.kind == FileState::Kind::kAvailable) {
     hit = true;
     ++stats_.hits;
-    // Touch the replacement policy and take a reference.
-    const auto outcome = ctx->cache->access(
-        file, static_cast<double>(cfg.geometry.missCostSteps(step)));
+    // Touch the replacement policy and take a reference (one probe).
+    const auto outcome = ctx->cache->accessAndPin(
+        step, static_cast<double>(cfg.geometry.missCostSteps(step)));
     SIMFS_CHECK(outcome.hit);
-    ctx->cache->pin(file);
-    ++info->refs[file];
+    ++info->refs[step];
     res.status = Status::ok();
     res.available = true;
   } else if (fit != ctx->files.end()) {
     // Pending: some job is already producing it.
     ++stats_.misses;
     servedBySim = true;
-    fit->second.waiters.push_back(client);
+    addWaiter(*ctx, step, fit->second, *info);
     const auto jit = jobs_.find(fit->second.producer);
     res.status = Status::ok();
     res.available = false;
@@ -172,7 +191,7 @@ OpenResult DataVirtualizer::clientOpen(ClientId client,
     auto& fs = ctx->files[step];
     fs.kind = FileState::Kind::kPending;
     fs.producer = job;
-    fs.waiters.push_back(client);
+    addWaiter(*ctx, step, fs, *info);
     const auto jit = jobs_.find(job);
     res.status = Status::ok();
     res.available = false;
@@ -186,17 +205,32 @@ OpenResult DataVirtualizer::clientOpen(ClientId client,
   return res;
 }
 
+void DataVirtualizer::addWaiter(ContextState& /*ctx*/, StepIndex step,
+                                FileState& fs, ClientInfo& client) {
+  fs.waiters.push_back(client.id);
+  client.waitingSteps.push_back(step);
+  if (fs.waiters.size() == 1 && fs.kind == FileState::Kind::kPending) {
+    const auto jit = jobs_.find(fs.producer);
+    if (jit != jobs_.end()) ++jit->second.waitedSteps;
+  }
+}
+
 Status DataVirtualizer::clientRelease(ClientId client, const std::string& file) {
   auto* info = findClient(client);
   if (info == nullptr) return errFailedPrecondition("dv: unknown client");
-  auto* ctx = findContext(info->context);
+  ContextState* ctx = info->ctx;
   SIMFS_CHECK(ctx != nullptr);
-  const auto rit = info->refs.find(file);
+  // Same parse seam as clientOpen: the driver's key() is the authority
+  // (its default is the allocation-free codec fast path).
+  const auto key = ctx->driver->key(file);
+  if (!key) return errFailedPrecondition("dv: release without open: " + file);
+  const StepIndex step = *key;
+  const auto rit = info->refs.find(step);
   if (rit == info->refs.end() || rit->second <= 0) {
     return errFailedPrecondition("dv: release without open: " + file);
   }
-  if (--rit->second == 0) info->refs.erase(rit);
-  ctx->cache->unpin(file);
+  --rit->second;  // zero-count entries linger: keeps the hot path node-free
+  ctx->cache->unpin(step);
   return Status::ok();
 }
 
@@ -205,7 +239,7 @@ Result<bool> DataVirtualizer::clientBitrep(ClientId client,
                                            std::uint64_t digest) {
   auto* info = findClient(client);
   if (info == nullptr) return errFailedPrecondition("dv: unknown client");
-  auto* ctx = findContext(info->context);
+  ContextState* ctx = info->ctx;
   SIMFS_CHECK(ctx != nullptr);
   return ctx->checksums.matches(file, digest);
 }
@@ -224,7 +258,7 @@ SimJobId DataVirtualizer::launchJob(ContextState& ctx, StepIndex start,
   const SimJobId id = nextJob_++;
   JobInfo job;
   job.id = id;
-  job.context = cfg.name;
+  job.ctx = &ctx;
   job.startStep = alignedStart;
   job.stopStep = stop;
   job.level = level;
@@ -261,9 +295,7 @@ void DataVirtualizer::applyAgentActions(ContextState& ctx, ClientInfo& client,
     // Sec. IV-C: produced-then-evicted before use. Reset every agent.
     ++stats_.agentResets;
     SIMFS_LOG_DEBUG(kTag, "cache pollution detected; resetting agents");
-    for (auto& [id, ci] : clients_) {
-      if (ci.context == client.context) ci.agent->reset();
-    }
+    for (ClientInfo* ci : ctx.clients) ci->agent->reset();
   }
   if (actions.trajectoryAbandoned) {
     killUnneededPrefetches(client.id);
@@ -275,6 +307,7 @@ void DataVirtualizer::applyAgentActions(ContextState& ctx, ClientInfo& client,
                                    req.parallelismLevel, JobPurpose::kPrefetch,
                                    client.id);
     ++stats_.prefetchJobs;
+    client.prefetchJobs.push_back(job);  // ids ascend: list stays sorted
     // Report the job range actually launched (start is restart-aligned).
     const auto& info = jobs_.at(job);
     client.agent->onJobLaunched(info.startStep, info.stopStep,
@@ -293,8 +326,9 @@ void DataVirtualizer::simulationFileWritten(SimJobId job,
   const auto it = jobs_.find(job);
   if (it == jobs_.end()) return;  // late event from a killed job
   auto& info = it->second;
-  auto* ctx = findContext(info.context);
+  ContextState* ctx = info.ctx;
   SIMFS_CHECK(ctx != nullptr);
+  // The one and only filename parse of this event.
   const auto key = ctx->driver->key(file);
   if (!key) {
     SIMFS_LOG_WARN(kTag, "simulator wrote unparsable file '%s'", file.c_str());
@@ -310,15 +344,11 @@ void DataVirtualizer::simulationFileWritten(SimJobId job,
     // production interval the first file itself took (Sec. IV-C1c).
     const VDuration alpha =
         std::max<VDuration>(0, (now - info.launchTime) - tauCfg);
-    for (auto& [id, ci] : clients_) {
-      if (ci.context == info.context) ci.agent->observeRestartLatency(alpha);
-    }
+    for (ClientInfo* ci : ctx->clients) ci->agent->observeRestartLatency(alpha);
   } else {
     const VDuration tau = now - info.lastFileTime;
     if (tau > 0) {
-      for (auto& [id, ci] : clients_) {
-        if (ci.context == info.context) ci.agent->observeTauSim(tau);
-      }
+      for (ClientInfo* ci : ctx->clients) ci->agent->observeTauSim(tau);
     }
   }
   info.lastFileTime = now;
@@ -330,44 +360,59 @@ void DataVirtualizer::makeAvailable(ContextState& ctx, StepIndex step,
                                     SimJobId producer) {
   const auto& cfg = ctx.driver->config();
   if (!cfg.geometry.validStep(step)) return;
-  const std::string file = cfg.codec.outputFile(step);
 
   auto [it, inserted] = ctx.files.try_emplace(step);
   auto& fs = it->second;
   if (!inserted && fs.kind == FileState::Kind::kAvailable) {
     return;  // overwrite of an existing file: nothing changes
   }
+  if (!inserted && fs.kind == FileState::Kind::kPending && !fs.waiters.empty()) {
+    // The step stops being owed: release the registered producer's counter
+    // (which may differ from the job that actually wrote the file).
+    const auto jit = jobs_.find(fs.producer);
+    if (jit != jobs_.end()) --jit->second.waitedSteps;
+  }
   fs.kind = FileState::Kind::kAvailable;
   fs.producer = producer;
 
-  (void)ctx.area.addFile(file, cfg.outputStepBytes);
+  (void)ctx.area.addStep(step, cfg.outputStepBytes);
   const auto evicted = ctx.cache->insert(
-      file, static_cast<double>(cfg.geometry.missCostSteps(step)));
+      step, static_cast<double>(cfg.geometry.missCostSteps(step)));
 
-  // Wake the waiters: each takes its reference now.
-  std::vector<ClientId> waiters;
-  waiters.swap(fs.waiters);
-  for (const ClientId w : waiters) {
-    auto* wi = findClient(w);
-    if (wi == nullptr) continue;
-    ctx.cache->pin(file);
-    ++wi->refs[file];
-    ++stats_.notifications;
-    if (notify_) notify_(w, file, Status::ok());
+  // Wake the waiters: each takes its reference now. The filename is
+  // materialized once, and only when someone needs to hear about it.
+  if (!fs.waiters.empty()) {
+    std::vector<ClientId> waiters;
+    waiters.swap(fs.waiters);
+    const std::string file = cfg.codec.outputFile(step);
+    for (const ClientId w : waiters) {
+      auto* wi = findClient(w);
+      if (wi == nullptr) continue;
+      ctx.cache->pin(step);
+      ++wi->refs[step];
+      // One enqueue entry per notification: prune exactly one.
+      const auto pos = std::find(wi->waitingSteps.begin(),
+                                 wi->waitingSteps.end(), step);
+      if (pos != wi->waitingSteps.end()) {
+        *pos = wi->waitingSteps.back();
+        wi->waitingSteps.pop_back();
+      }
+      ++stats_.notifications;
+      if (notify_) notify_(w, file, Status::ok());
+    }
   }
 
   processEvictions(ctx, evicted);
 }
 
 void DataVirtualizer::processEvictions(ContextState& ctx,
-                                       const std::vector<std::string>& evicted) {
+                                       const std::vector<StepIndex>& evicted) {
   const auto& cfg = ctx.driver->config();
-  for (const auto& file : evicted) {
+  for (const StepIndex step : evicted) {
     ++stats_.evictions;
-    const auto key = ctx.driver->key(file);
-    if (key) ctx.files.erase(*key);
-    (void)ctx.area.removeFile(file);
-    if (evict_) evict_(cfg.name, file);
+    ctx.files.erase(step);
+    (void)ctx.area.removeStep(step);
+    if (evict_) evict_(cfg.name, cfg.codec.outputFile(step));
   }
 }
 
@@ -375,7 +420,7 @@ void DataVirtualizer::simulationFinished(SimJobId job, const Status& status) {
   const auto it = jobs_.find(job);
   if (it == jobs_.end()) return;
   auto& info = it->second;
-  auto* ctx = findContext(info.context);
+  ContextState* ctx = info.ctx;
   SIMFS_CHECK(ctx != nullptr);
   if (info.phase == JobPhase::kQueued || info.phase == JobPhase::kRunning) {
     --ctx->running;
@@ -392,10 +437,21 @@ void DataVirtualizer::simulationFinished(SimJobId job, const Status& status) {
           fit->second.producer != job) {
         continue;
       }
-      const std::string file = ctx->driver->config().codec.outputFile(s);
-      for (const ClientId w : fit->second.waiters) {
-        ++stats_.notifications;
-        if (notify_) notify_(w, file, status);
+      if (!fit->second.waiters.empty()) {
+        const std::string file = ctx->driver->config().codec.outputFile(s);
+        for (const ClientId w : fit->second.waiters) {
+          ++stats_.notifications;
+          if (notify_) notify_(w, file, status);
+          // Mirror makeAvailable: one waitingSteps entry per notification.
+          if (auto* wi = findClient(w); wi != nullptr) {
+            const auto pos = std::find(wi->waitingSteps.begin(),
+                                       wi->waitingSteps.end(), s);
+            if (pos != wi->waitingSteps.end()) {
+              *pos = wi->waitingSteps.back();
+              wi->waitingSteps.pop_back();
+            }
+          }
+        }
       }
       ctx->files.erase(fit);
     }
@@ -403,33 +459,34 @@ void DataVirtualizer::simulationFinished(SimJobId job, const Status& status) {
                    static_cast<unsigned long long>(job),
                    status.toString().c_str());
   }
+  forgetOwnedJob(info);
   jobs_.erase(it);
 }
 
+void DataVirtualizer::forgetOwnedJob(const JobInfo& job) {
+  if (job.purpose != JobPurpose::kPrefetch) return;
+  auto* owner = findClient(job.owner);
+  if (owner != nullptr) std::erase(owner->prefetchJobs, job.id);
+}
+
 void DataVirtualizer::killUnneededPrefetches(ClientId client) {
+  auto* info = findClient(client);
+  if (info == nullptr) return;
   std::vector<SimJobId> toKill;
-  for (auto& [id, job] : jobs_) {
-    if (job.owner != client || job.purpose != JobPurpose::kPrefetch) continue;
+  for (const SimJobId id : info->prefetchJobs) {
+    const auto jit = jobs_.find(id);
+    if (jit == jobs_.end()) continue;
+    const auto& job = jit->second;
     if (job.phase != JobPhase::kQueued && job.phase != JobPhase::kRunning) {
       continue;
     }
-    auto* ctx = findContext(job.context);
-    SIMFS_CHECK(ctx != nullptr);
-    // Killable only if no analysis waits for any step it still owes.
-    bool needed = false;
-    for (StepIndex s = job.startStep; s <= job.stopStep && !needed; ++s) {
-      const auto fit = ctx->files.find(s);
-      if (fit != ctx->files.end() &&
-          fit->second.kind == FileState::Kind::kPending &&
-          fit->second.producer == id && !fit->second.waiters.empty()) {
-        needed = true;
-      }
-    }
-    if (!needed) toKill.push_back(id);
+    // Killable only if no analysis waits for any step it still owes —
+    // an O(1) counter check instead of scanning the job's step range.
+    if (job.waitedSteps == 0) toKill.push_back(id);
   }
   for (const SimJobId id : toKill) {
     auto& job = jobs_.at(id);
-    auto* ctx = findContext(job.context);
+    ContextState* ctx = job.ctx;
     SIMFS_CHECK(ctx != nullptr);
     launcher_->kill(id);
     // Steps it still owed revert to missing.
@@ -443,6 +500,7 @@ void DataVirtualizer::killUnneededPrefetches(ClientId client) {
     }
     --ctx->running;
     ++stats_.jobsKilled;
+    std::erase(info->prefetchJobs, id);
     jobs_.erase(id);
     SIMFS_LOG_DEBUG(kTag, "killed prefetch job %llu",
                     static_cast<unsigned long long>(id));

@@ -12,6 +12,14 @@
 //   * inside dv::Daemon behind a mutex, driven by socket transports and
 //     real simulator threads, for live deployments.
 //
+// Hot-path design: filenames exist only at the client boundary. clientOpen
+// and simulationFileWritten parse the name exactly once (FilenameCodec via
+// the driver's key()); everything below — cache, storage accounting,
+// pending-file states, client references, job bookkeeping — is keyed by
+// StepIndex, and filename strings are re-materialized lazily only for
+// notification and eviction callbacks. The open-hit path performs no heap
+// allocation.
+//
 // Responsibilities (Sec. III-A/C/D, IV):
 //   - track per-context file states (missing / pending / available),
 //   - start demand re-simulations on misses, from R(d_i) until at least
@@ -41,7 +49,6 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace simfs::dv {
@@ -155,6 +162,8 @@ class DataVirtualizer {
   [[nodiscard]] std::vector<std::string> contextNames() const;
 
  private:
+  struct ContextState;
+
   struct FileState {
     enum class Kind { kPending, kAvailable } kind = Kind::kPending;
     SimJobId producer = 0;                ///< job producing it (pending)
@@ -163,7 +172,7 @@ class DataVirtualizer {
 
   struct JobInfo {
     SimJobId id = 0;
-    std::string context;
+    ContextState* ctx = nullptr;
     StepIndex startStep = 0;
     StepIndex stopStep = 0;
     int level = 0;
@@ -173,20 +182,34 @@ class DataVirtualizer {
     VTime launchTime = 0;
     bool firstFileSeen = false;
     VTime lastFileTime = 0;
+    /// Owed pending steps (producer == this job) with >= 1 waiter. Kept
+    /// incrementally so the prefetch-kill decision is O(1) instead of a
+    /// jobs x step-range scan.
+    int waitedSteps = 0;
   };
 
   struct ClientInfo {
     ClientId id = 0;
-    std::string context;
+    ContextState* ctx = nullptr;
     std::unique_ptr<prefetch::PrefetchAgent> agent;
-    std::unordered_map<std::string, int> refs;  ///< file -> open count
+    /// step -> open count. Zero-count entries are kept so that steady
+    /// open/release cycles do not churn map nodes (allocation-free hits).
+    std::unordered_map<StepIndex, int> refs;
+    /// Steps this client is (or recently was) enqueued as a waiter for;
+    /// one entry per enqueue, pruned on wake/notify.
+    std::vector<StepIndex> waitingSteps;
+    /// Live prefetch jobs owned by this client's agent, ascending id.
+    std::vector<SimJobId> prefetchJobs;
   };
 
   struct ContextState {
     std::unique_ptr<simmodel::SimulationDriver> driver;
     vfs::StorageArea area;
     std::unique_ptr<cache::Cache> cache;
-    std::map<StepIndex, FileState> files;  ///< pending/available steps
+    std::unordered_map<StepIndex, FileState> files;  ///< pending/available
+    /// Connected clients in connect (= ascending id) order, so agent
+    /// observation fan-out is O(context clients), not O(all clients).
+    std::vector<ClientInfo*> clients;
     simmodel::ChecksumMap checksums;
     int running = 0;  ///< jobs in kQueued/kRunning phase
     ContextState(std::unique_ptr<simmodel::SimulationDriver> d);
@@ -209,13 +232,18 @@ class DataVirtualizer {
   void makeAvailable(ContextState& ctx, StepIndex step, SimJobId producer);
 
   /// Applies cache evictions to DV bookkeeping.
-  void processEvictions(ContextState& ctx, const std::vector<std::string>& evicted);
+  void processEvictions(ContextState& ctx, const std::vector<StepIndex>& evicted);
 
-  /// Kills `job` if nothing waits on its unproduced range.
-  void maybeKillJob(JobInfo& job);
+  /// Enqueues `client` as a waiter on a pending step, maintaining the
+  /// producing job's waited-step counter.
+  void addWaiter(ContextState& ctx, StepIndex step, FileState& fs,
+                 ClientInfo& client);
 
   /// Kills the client's prefetched jobs that nobody waits for.
   void killUnneededPrefetches(ClientId client);
+
+  /// Drops a finished/killed job from its owner's prefetch-job list.
+  void forgetOwnedJob(const JobInfo& job);
 
   /// Estimated wait until `step` is available, given its producing job.
   [[nodiscard]] VDuration estimateWait(const ContextState& ctx,
@@ -226,10 +254,14 @@ class DataVirtualizer {
   NotifyFn notify_;
   EvictFn evict_;
 
-  // Ordered maps keep iteration deterministic — the DES benches rely on
-  // bit-identical replays across runs.
+  // Ordered maps for contexts/jobs keep cross-entity iteration
+  // deterministic — the DES benches rely on bit-identical replays. The
+  // client and per-context file tables are hash maps: they are only ever
+  // probed by key or iterated without order-sensitive effects (client
+  // fan-out goes through ContextState::clients, which is in connect
+  // order).
   std::map<std::string, std::unique_ptr<ContextState>> contexts_;
-  std::map<ClientId, ClientInfo> clients_;
+  std::unordered_map<ClientId, ClientInfo> clients_;
   std::map<SimJobId, JobInfo> jobs_;
   ClientId nextClient_ = 1;
   SimJobId nextJob_ = 1;

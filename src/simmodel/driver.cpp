@@ -11,6 +11,10 @@
 namespace simfs::simmodel {
 
 Result<StepIndex> SimulationDriver::key(const std::string& filename) const {
+  // Single-pass, allocation-free parse on the match path; the
+  // message-building outputKey only runs to produce the error.
+  StepIndex step = 0;
+  if (config().codec.matchOutput(filename, &step)) return step;
   return config().codec.outputKey(filename);
 }
 

@@ -3,6 +3,7 @@
 #include "common/strings.hpp"
 
 #include <cassert>
+#include <limits>
 
 namespace simfs::simmodel {
 
@@ -29,28 +30,45 @@ std::string FilenameCodec::restartFile(RestartIndex r) const {
                      static_cast<long long>(r), restart_suffix_.c_str());
 }
 
+bool FilenameCodec::matchIndex(std::string_view filename,
+                               std::string_view prefix,
+                               std::string_view suffix,
+                               std::int64_t* out) noexcept {
+  if (filename.size() <= prefix.size() + suffix.size() ||
+      !str::startsWith(filename, prefix) || !str::endsWith(filename, suffix)) {
+    return false;
+  }
+  const auto digits = filename.substr(
+      prefix.size(), filename.size() - prefix.size() - suffix.size());
+  std::int64_t v = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    if (v > (std::numeric_limits<std::int64_t>::max() - (c - '0')) / 10) {
+      return false;  // overflow
+    }
+    v = v * 10 + (c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool FilenameCodec::matchOutput(std::string_view filename,
+                                StepIndex* step) const noexcept {
+  return matchIndex(filename, output_prefix_, output_suffix_, step);
+}
+
+bool FilenameCodec::matchRestart(std::string_view filename,
+                                 RestartIndex* restart) const noexcept {
+  return matchIndex(filename, restart_prefix_, restart_suffix_, restart);
+}
+
 Result<std::int64_t> FilenameCodec::parseIndex(std::string_view filename,
                                                std::string_view prefix,
                                                std::string_view suffix) const {
-  if (!str::startsWith(filename, prefix) || !str::endsWith(filename, suffix) ||
-      filename.size() <= prefix.size() + suffix.size()) {
-    return errInvalidArgument("codec: name does not match convention: " +
-                              std::string(filename));
-  }
-  const auto digits =
-      filename.substr(prefix.size(), filename.size() - prefix.size() - suffix.size());
-  for (char c : digits) {
-    if (c < '0' || c > '9') {
-      return errInvalidArgument("codec: non-numeric index in: " +
-                                std::string(filename));
-    }
-  }
-  const auto v = str::parseInt(digits);
-  if (!v) {
-    return errInvalidArgument("codec: unparsable index in: " +
-                              std::string(filename));
-  }
-  return *v;
+  std::int64_t v = 0;
+  if (matchIndex(filename, prefix, suffix, &v)) return v;
+  return errInvalidArgument("codec: name does not match convention: " +
+                            std::string(filename));
 }
 
 Result<StepIndex> FilenameCodec::outputKey(std::string_view filename) const {
@@ -62,11 +80,13 @@ Result<RestartIndex> FilenameCodec::restartKey(std::string_view filename) const 
 }
 
 bool FilenameCodec::isOutputFile(std::string_view filename) const noexcept {
-  return parseIndex(filename, output_prefix_, output_suffix_).isOk();
+  StepIndex ignored = 0;
+  return matchOutput(filename, &ignored);
 }
 
 bool FilenameCodec::isRestartFile(std::string_view filename) const noexcept {
-  return parseIndex(filename, restart_prefix_, restart_suffix_).isOk();
+  RestartIndex ignored = 0;
+  return matchRestart(filename, &ignored);
 }
 
 }  // namespace simfs::simmodel

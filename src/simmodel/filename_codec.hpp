@@ -42,7 +42,22 @@ class FilenameCodec {
   /// True if the name matches the restart-step convention.
   [[nodiscard]] bool isRestartFile(std::string_view filename) const noexcept;
 
+  /// Allocation-free parse of an output filename; true on match with the
+  /// index stored in *step. The DV hot path uses this instead of the
+  /// Result-returning outputKey (whose error branch builds a message).
+  [[nodiscard]] bool matchOutput(std::string_view filename,
+                                 StepIndex* step) const noexcept;
+
+  /// Allocation-free parse of a restart filename.
+  [[nodiscard]] bool matchRestart(std::string_view filename,
+                                  RestartIndex* restart) const noexcept;
+
  private:
+  [[nodiscard]] static bool matchIndex(std::string_view filename,
+                                       std::string_view prefix,
+                                       std::string_view suffix,
+                                       std::int64_t* out) noexcept;
+
   [[nodiscard]] Result<std::int64_t> parseIndex(std::string_view filename,
                                                 std::string_view prefix,
                                                 std::string_view suffix) const;

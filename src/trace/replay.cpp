@@ -6,15 +6,6 @@
 
 namespace simfs::trace {
 
-namespace {
-
-/// Output steps are cached under their step index rendered as a short key.
-/// (Filename rendering is irrelevant to replacement behaviour and would
-/// only slow the replay down.)
-std::string stepKey(StepIndex i) { return std::to_string(i); }
-
-}  // namespace
-
 ReplayResult replayTrace(const Trace& trace,
                          const simmodel::StepGeometry& geometry,
                          cache::Cache& cache, const ReplayOptions& options) {
@@ -26,7 +17,7 @@ ReplayResult replayTrace(const Trace& trace,
     const StepIndex i = std::clamp<StepIndex>(raw, 0, maxStep);
     ++res.accesses;
     const double cost = static_cast<double>(geometry.missCostSteps(i));
-    auto outcome = cache.access(stepKey(i), cost);
+    auto outcome = cache.access(i, cost);
     res.evictions += outcome.evicted.size();
     if (outcome.hit) {
       ++res.hits;
@@ -46,7 +37,7 @@ ReplayResult replayTrace(const Trace& trace,
       for (StepIndex j = first; j <= last; ++j) {
         if (j == i) continue;  // already inserted by the access above
         const auto evicted = cache.insert(
-            stepKey(j), static_cast<double>(geometry.missCostSteps(j)));
+            j, static_cast<double>(geometry.missCostSteps(j)));
         res.evictions += evicted.size();
       }
     } else {

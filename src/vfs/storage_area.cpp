@@ -2,6 +2,34 @@
 
 namespace simfs::vfs {
 
+Status StorageArea::addStep(StepIndex step, Bytes size) {
+  const auto [it, inserted] = steps_.emplace(step, Entry{size, 0});
+  if (!inserted) {
+    return errAlreadyExists("storage: step exists: " + std::to_string(step));
+  }
+  used_ += size;
+  return Status::ok();
+}
+
+Status StorageArea::removeStep(StepIndex step) {
+  const auto it = steps_.find(step);
+  if (it == steps_.end()) {
+    return errNotFound("storage: no step: " + std::to_string(step));
+  }
+  if (it->second.refs > 0) {
+    return errFailedPrecondition("storage: step still referenced: " +
+                                 std::to_string(step));
+  }
+  used_ -= it->second.size;
+  steps_.erase(it);
+  return Status::ok();
+}
+
+Bytes StorageArea::stepSize(StepIndex step) const noexcept {
+  const auto it = steps_.find(step);
+  return it == steps_.end() ? 0 : it->second.size;
+}
+
 Status StorageArea::addFile(const std::string& file, Bytes size) {
   const auto [it, inserted] = files_.emplace(file, Entry{size, 0});
   if (!inserted) return errAlreadyExists("storage: file exists: " + file);

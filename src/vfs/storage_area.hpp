@@ -7,6 +7,11 @@
 //
 // The DV does all its accounting here (sizes, reference counts); actual
 // bytes may live in a FileStore (live mode) or nowhere (DES mode).
+//
+// Output steps are tracked under their StepIndex (the DV's hot path never
+// materializes a filename for quota accounting); the string-keyed table
+// remains for files that genuinely are names — restart files and whatever
+// operator tooling registers.
 #pragma once
 
 #include "common/status.hpp"
@@ -29,7 +34,34 @@ class StorageArea {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] Bytes quota() const noexcept { return quota_; }
   [[nodiscard]] Bytes used() const noexcept { return used_; }
-  [[nodiscard]] std::size_t fileCount() const noexcept { return files_.size(); }
+  [[nodiscard]] std::size_t fileCount() const noexcept {
+    return files_.size() + steps_.size();
+  }
+
+  // --- integer-keyed output-step accounting (DV hot path) -----------------
+
+  /// Registers an output step; kAlreadyExists if present.
+  Status addStep(StepIndex step, Bytes size);
+
+  /// Unregisters an output step; kNotFound if absent, kFailedPrecondition
+  /// if still referenced.
+  Status removeStep(StepIndex step);
+
+  [[nodiscard]] bool containsStep(StepIndex step) const noexcept {
+    return steps_.count(step) > 0;
+  }
+
+  /// Size of a registered step; 0 if absent.
+  [[nodiscard]] Bytes stepSize(StepIndex step) const noexcept;
+
+  [[nodiscard]] std::size_t stepCount() const noexcept { return steps_.size(); }
+
+  /// Visits every registered output step as (step, size) without
+  /// materializing filenames.
+  template <typename Fn>
+  void forEachStep(Fn&& fn) const {
+    for (const auto& [step, entry] : steps_) fn(step, entry.size);
+  }
 
   /// Registers a file; kAlreadyExists if present. Quota is NOT enforced
   /// here: the DV evicts *after* a simulator writes (files appear on disk
@@ -83,6 +115,7 @@ class StorageArea {
   Bytes quota_;
   Bytes used_ = 0;
   std::unordered_map<std::string, Entry> files_;
+  std::unordered_map<StepIndex, Entry> steps_;
 };
 
 }  // namespace simfs::vfs

@@ -1,0 +1,242 @@
+// Behavioural-equivalence tests for the integer-keyed cache refactor.
+//
+// Before the refactor, the string-keyed seed implementation was driven
+// through a deterministic 4000-operation trace (accesses, plain inserts,
+// pin/unpin churn, erases) and the full outcome sequence — hit flags,
+// evicted keys in order, and final statistics — was folded into an
+// FNV-1a digest per policy. The digests below are those recordings; the
+// integer-keyed policies must reproduce them bit for bit, proving the
+// re-keying changed representation, not behaviour.
+//
+// Also covers pin/unpin under eviction pressure, the case where the
+// intrusive victim scans interact with the pin refcounts.
+#include "cache/cache.hpp"
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+namespace simfs::cache {
+namespace {
+
+using simmodel::PolicyKind;
+
+std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Replays the recorded trace (same op mix and Rng stream as the seed
+/// recording) and digests every observable outcome.
+std::uint64_t traceDigest(PolicyKind kind) {
+  const auto c = makeCache(kind, 16, /*seed=*/42);
+  Rng rng(123);
+  std::uint64_t h = 1469598103934665603ull;
+  std::deque<StepIndex> pinned;
+  for (int op = 0; op < 4000; ++op) {
+    const int what = static_cast<int>(rng.uniformInt(0, 99));
+    const auto key = static_cast<StepIndex>(rng.uniformInt(0, 63));
+    const double cost = static_cast<double>(rng.uniformInt(1, 16));
+    if (what < 70) {
+      const auto out = c->access(key, cost);
+      h = fnv(h, out.hit ? 1 : 2);
+      for (const StepIndex e : out.evicted) {
+        h = fnv(h, 100 + static_cast<std::uint64_t>(e));
+      }
+    } else if (what < 80) {
+      const auto ev = c->insert(key, cost);
+      h = fnv(h, 3);
+      for (const StepIndex e : ev) {
+        h = fnv(h, 100 + static_cast<std::uint64_t>(e));
+      }
+    } else if (what < 90) {
+      if (c->contains(key)) {
+        c->pin(key);
+        pinned.push_back(key);
+        h = fnv(h, 4);
+      }
+    } else if (what < 95) {
+      for (int n = 0; n < 3 && !pinned.empty(); ++n) {
+        c->unpin(pinned.front());
+        pinned.pop_front();
+      }
+      h = fnv(h, 5);
+    } else {
+      h = fnv(h, c->erase(key) ? 6 : 7);
+    }
+  }
+  const auto& st = c->stats();
+  h = fnv(h, st.hits);
+  h = fnv(h, st.misses);
+  h = fnv(h, st.insertions);
+  h = fnv(h, st.evictions);
+  h = fnv(h, st.pinSkips);
+  h = fnv(h, static_cast<std::uint64_t>(st.evictedCostTotal * 16.0));
+  return h;
+}
+
+struct Recorded {
+  PolicyKind kind;
+  std::uint64_t digest;
+};
+
+// Recorded from the pre-refactor string-keyed implementation (seed commit,
+// keys "f<i>" mapped 1:1 to StepIndex i).
+constexpr Recorded kSeedDigests[] = {
+    {PolicyKind::kLru, 0x12e347b6a7a4407cull},
+    {PolicyKind::kLirs, 0x51abfd1ef28d67abull},
+    {PolicyKind::kArc, 0x07670ce670e270a0ull},
+    {PolicyKind::kBcl, 0xd7496b3c616aa369ull},
+    {PolicyKind::kDcl, 0x010037a1579c3016ull},
+    {PolicyKind::kFifo, 0x4e7270358a853aeeull},
+    {PolicyKind::kRandom, 0xa2d62162d1ef29e0ull},
+};
+
+class EquivalenceTest : public ::testing::TestWithParam<Recorded> {};
+
+TEST_P(EquivalenceTest, MatchesStringKeyedSeedBehaviour) {
+  EXPECT_EQ(traceDigest(GetParam().kind), GetParam().digest)
+      << simmodel::policyKindName(GetParam().kind)
+      << " diverged from the recorded seed behaviour";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, EquivalenceTest,
+                         ::testing::ValuesIn(kSeedDigests),
+                         [](const auto& info) {
+                           return simmodel::policyKindName(info.param.kind);
+                         });
+
+// ------------------------------------------------ pin/unpin under pressure
+
+constexpr PolicyKind kAllPolicies[] = {
+    PolicyKind::kLru, PolicyKind::kLirs, PolicyKind::kArc, PolicyKind::kBcl,
+    PolicyKind::kDcl, PolicyKind::kFifo, PolicyKind::kRandom};
+
+class PinPressureTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(PinPressureTest, FullyPinnedCacheOverflowsThenDrains) {
+  const auto c = makeCache(GetParam(), 8);
+  for (StepIndex s = 0; s < 8; ++s) {
+    c->access(s, 1.0);
+    c->pin(s);
+  }
+  // Everything pinned: the next 4 accesses must overflow, not evict
+  // (each new entry is pinned immediately so it survives the next access).
+  for (StepIndex s = 100; s < 104; ++s) {
+    const auto out = c->access(s, 1.0);
+    EXPECT_TRUE(out.evicted.empty());
+    c->pin(s);
+  }
+  EXPECT_EQ(c->size(), 12);
+  EXPECT_GT(c->stats().pinSkips, 0u);
+  // Unpin the original working set: eviction pressure drains the cache
+  // back to capacity on the next access, never touching the still-pinned
+  // late arrivals.
+  for (StepIndex s = 0; s < 8; ++s) c->unpin(s);
+  const auto out = c->access(200, 1.0);
+  EXPECT_EQ(c->size(), 8);
+  EXPECT_EQ(out.evicted.size(), 5u);
+  for (StepIndex s = 100; s < 104; ++s) EXPECT_TRUE(c->contains(s));
+}
+
+TEST_P(PinPressureTest, InterleavedPinUnpinNeverEvictsPinned) {
+  const auto c = makeCache(GetParam(), 12);
+  Rng rng(7);
+  std::deque<StepIndex> pinned;
+  for (int i = 0; i < 5000; ++i) {
+    const auto key = static_cast<StepIndex>(rng.uniformInt(0, 47));
+    c->access(key, static_cast<double>(rng.uniformInt(1, 8)));
+    if (rng.uniformInt(0, 3) == 0 && c->contains(key) &&
+        c->pinCount(key) == 0) {
+      c->pin(key);
+      pinned.push_back(key);
+    }
+    while (pinned.size() > 6) {
+      c->unpin(pinned.front());
+      pinned.pop_front();
+    }
+    for (const StepIndex p : pinned) {
+      ASSERT_TRUE(c->contains(p))
+          << c->name() << " evicted pinned step " << p << " at op " << i;
+    }
+  }
+  // Every pinned entry must still carry its refcount.
+  for (const StepIndex p : pinned) EXPECT_EQ(c->pinCount(p), 1);
+}
+
+TEST_P(PinPressureTest, EraseOfPinnedEntryIsHonoured) {
+  // erase() models an operator deleting the file out from under the DV —
+  // it must work even on pinned entries and fully forget the pin state.
+  const auto c = makeCache(GetParam(), 4);
+  c->access(3, 1.0);
+  c->pin(3);
+  EXPECT_TRUE(c->erase(3));
+  EXPECT_FALSE(c->contains(3));
+  EXPECT_EQ(c->pinCount(3), 0);
+  // Re-inserting the same key starts from a clean, unpinned state.
+  c->access(3, 1.0);
+  EXPECT_EQ(c->pinCount(3), 0);
+  c->access(10, 1.0);
+  c->access(11, 1.0);
+  c->access(12, 1.0);
+  const auto out = c->access(13, 1.0);
+  EXPECT_EQ(out.evicted.size(), 1u);  // key 3 is evictable again
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PinPressureTest,
+                         ::testing::ValuesIn(kAllPolicies),
+                         [](const auto& info) {
+                           return simmodel::policyKindName(info.param);
+                         });
+
+// -------------------------------------------- string adapter round-trips
+
+TEST(FilenameKeyedCacheTest, TranslatesThroughCodec) {
+  const auto c = makeCache(PolicyKind::kLru, 4);
+  const simmodel::FilenameCodec codec;
+  FilenameKeyedCache view(*c, codec);
+  (void)c->insert(7, 2.0);
+  EXPECT_TRUE(view.contains(codec.outputFile(7)));
+  EXPECT_FALSE(view.contains("garbage.bin"));
+  view.pin(codec.outputFile(7));
+  EXPECT_EQ(c->pinCount(7), 1);
+  view.unpin(codec.outputFile(7));
+  EXPECT_TRUE(view.access(codec.outputFile(7), 2.0).hit);
+  int seen = 0;
+  view.forEachResidentFile([&](const std::string& name, double, int) {
+    EXPECT_EQ(name, codec.outputFile(7));
+    ++seen;
+  });
+  EXPECT_EQ(seen, 1);
+  EXPECT_TRUE(view.erase(codec.outputFile(7)));
+  EXPECT_FALSE(c->contains(7));
+}
+
+// ---------------------------------------------- flat index map edge cases
+
+TEST(StepSlotMapTest, InsertEraseChurnKeepsChainsIntact) {
+  StepSlotMap map;
+  Rng rng(42);
+  std::unordered_map<StepIndex, std::int32_t> model;
+  for (int i = 0; i < 20000; ++i) {
+    const auto key = static_cast<StepIndex>(rng.uniformInt(0, 511));
+    if (rng.uniformInt(0, 1) == 0) {
+      if (model.count(key) == 0) {
+        const auto v = static_cast<std::int32_t>(i);
+        map.insert(key, v);
+        model[key] = v;
+      }
+    } else {
+      EXPECT_EQ(map.erase(key), model.erase(key) > 0);
+    }
+    ASSERT_EQ(map.size(), model.size());
+  }
+  for (const auto& [k, v] : model) ASSERT_EQ(map.find(k), v);
+}
+
+}  // namespace
+}  // namespace simfs::cache

@@ -8,14 +8,12 @@
 
 #include <gtest/gtest.h>
 
-#include <string>
-
 namespace simfs::cache {
 namespace {
 
 using simmodel::PolicyKind;
 
-std::string k(int i) { return "f" + std::to_string(i); }
+StepIndex k(int i) { return i; }
 
 // ------------------------------------------------------------ LRU behaviour
 

@@ -139,7 +139,7 @@ TEST(ReplayTest, NoIntervalFillProducesOnlyMissCost) {
   const trace::Trace t{3};
   const auto r = trace::replayTrace(t, g, *cache, opt);
   EXPECT_EQ(r.simulatedSteps, 4u);  // steps 0..3
-  EXPECT_FALSE(cache->contains("2"));  // neighbours not inserted
+  EXPECT_FALSE(cache->contains(2));  // neighbours not inserted
 }
 
 TEST(ReplayTest, TinyCacheThrashes) {
