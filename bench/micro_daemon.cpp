@@ -1,0 +1,233 @@
+// Daemon serving-pipeline throughput (google-benchmark): N flood clients
+// stream kOpenReq at the sharded daemon and the measured rate is acked
+// requests per second end-to-end through
+//
+//   transport -> dispatch -> shard queue -> worker batch drain -> DvShard
+//   -> buffered reply -> transport
+//
+// All opens hit pre-seeded steps, so this isolates the serving stack from
+// simulation cost. The contexts axis is the sharding axis: contexts are
+// pinned 1:1 to shards, so BM_*Flood/contexts:4 spreads the same client
+// load over four independently-locked pipelines while contexts:1
+// serializes it through one. A bounded in-flight window per client keeps
+// queues finite without round-trip lockstep.
+//
+// Run with --json (see bench_util.hpp) for BENCH_daemon.json; the
+// items_per_second counter is ops/sec (real time).
+#include "bench_util.hpp"
+#include "dv/daemon.hpp"
+#include "msg/message.hpp"
+#include "msg/transport.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace simfs;
+
+constexpr StepIndex kSeededSteps = 64;
+constexpr int kOpsPerClientPerIter = 4096;
+constexpr std::uint64_t kInFlightWindow = 1024;
+
+/// The daemon never launches anything here (pure hit traffic), but the
+/// seam must exist in case a request slips off the seeded range.
+class NullLauncher final : public dv::SimLauncher {
+ public:
+  void launch(SimJobId, const simmodel::JobSpec&) override {}
+  void kill(SimJobId) override {}
+};
+
+simmodel::ContextConfig benchContext(int i) {
+  simmodel::ContextConfig cfg;
+  cfg.name = "bench" + std::to_string(i);
+  cfg.geometry = simmodel::StepGeometry(1, 16, 1 << 12);
+  cfg.outputStepBytes = 1;
+  cfg.cacheQuotaBytes = 1 << 16;  // far above the seeded set: no eviction
+  cfg.prefetchEnabled = false;
+  return cfg;
+}
+
+/// One flood client: a raw transport, a per-client ack counter and a
+/// bounded-window sender.
+struct FloodClient {
+  std::unique_ptr<msg::Transport> transport;
+  std::vector<std::string> files;  ///< pre-rendered hit filenames
+  std::mutex mu;
+  std::condition_variable cv;
+  std::uint64_t acks = 0;
+  std::uint64_t sent = 0;
+  bool helloOk = false;
+  bool helloDone = false;
+
+  void attachHandler() {
+    transport->setHandler([this](msg::Message&& m) {
+      std::lock_guard lock(mu);
+      if (m.type == msg::MsgType::kHelloAck) {
+        helloDone = true;
+        helloOk = m.code == 0;
+      } else {
+        ++acks;
+      }
+      cv.notify_all();
+    });
+  }
+
+  bool hello(const std::string& context) {
+    msg::Message m;
+    m.type = msg::MsgType::kHello;
+    m.context = context;
+    m.intArg = static_cast<std::int64_t>(msg::ClientRole::kAnalysis);
+    if (!transport->send(m).isOk()) return false;
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return helloDone; });
+    return helloOk;
+  }
+
+  /// Streams `n` opens with at most kInFlightWindow unacked, then drains.
+  void flood(int n) {
+    msg::Message m;
+    m.type = msg::MsgType::kOpenReq;
+    m.files.resize(1);
+    for (int i = 0; i < n; ++i) {
+      m.files[0] = files[static_cast<std::size_t>(i) % files.size()];
+      if (!transport->send(m).isOk()) return;
+      ++sent;
+      if ((sent & 63u) == 0) {
+        std::unique_lock lock(mu);
+        cv.wait(lock, [&] { return sent - acks <= kInFlightWindow; });
+      }
+    }
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return acks == sent; });
+  }
+};
+
+using ConnectFn =
+    std::function<std::unique_ptr<msg::Transport>(dv::Daemon&, int client)>;
+
+void runFloodBenchmark(benchmark::State& state, const ConnectFn& connect) {
+  const int contexts = static_cast<int>(state.range(0));
+  const int clients = static_cast<int>(state.range(1));
+
+  dv::Daemon::Options options;
+  options.shards = static_cast<std::size_t>(contexts);
+  options.workers = static_cast<std::size_t>(contexts);
+  dv::Daemon daemon(options);
+  NullLauncher launcher;
+  daemon.setLauncher(&launcher);
+  std::vector<simmodel::ContextConfig> cfgs;
+  for (int i = 0; i < contexts; ++i) {
+    cfgs.push_back(benchContext(i));
+    if (!daemon
+             .registerContext(
+                 std::make_unique<simmodel::SyntheticDriver>(cfgs[i]))
+             .isOk()) {
+      state.SkipWithError("registerContext failed");
+      return;
+    }
+    for (StepIndex s = 0; s < kSeededSteps; ++s) {
+      (void)daemon.seedAvailableStep(cfgs[i].name, s);
+    }
+  }
+
+  std::vector<std::unique_ptr<FloodClient>> flood;
+  for (int c = 0; c < clients; ++c) {
+    auto fc = std::make_unique<FloodClient>();
+    fc->transport = connect(daemon, c);
+    if (!fc->transport) {
+      state.SkipWithError("connect failed");
+      return;
+    }
+    const auto& cfg = cfgs[static_cast<std::size_t>(c % contexts)];
+    for (StepIndex s = 0; s < kSeededSteps; ++s) {
+      fc->files.push_back(cfg.codec.outputFile(s));
+    }
+    fc->attachHandler();
+    if (!fc->hello(cfg.name)) {
+      state.SkipWithError("hello failed");
+      return;
+    }
+    flood.push_back(std::move(fc));
+  }
+
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(flood.size());
+    for (auto& fc : flood) {
+      threads.emplace_back([&fc] { fc->flood(kOpsPerClientPerIter); });
+    }
+    for (auto& t : threads) t.join();
+  }
+  state.SetItemsProcessed(state.iterations() * clients * kOpsPerClientPerIter);
+  state.counters["clients"] = clients;
+  state.counters["shards"] = contexts;
+
+  for (auto& fc : flood) fc->transport->close();
+}
+
+/// In-proc transports: no socket hop, so the measured scaling is the
+/// shard/worker pipeline itself.
+void BM_DaemonOpenFlood(benchmark::State& state) {
+  runFloodBenchmark(state, [](dv::Daemon& daemon, int) {
+    return daemon.connectInProc();
+  });
+}
+
+/// Unix-socket transports: adds the epoll reactor and writev batching to
+/// the measured path (the daemon deployment of the paper's Fig. 4).
+void BM_DaemonSocketOpenFlood(benchmark::State& state) {
+  static int serial = 0;
+  const std::string path = "/tmp/simfs_bench_" + std::to_string(::getpid()) +
+                           "_" + std::to_string(serial++) + ".sock";
+  struct Listener {
+    dv::Daemon* daemon = nullptr;
+    std::string path;
+    bool listening = false;
+  };
+  Listener listener;
+  listener.path = path;
+  runFloodBenchmark(
+      state, [&listener](dv::Daemon& daemon,
+                         int) -> std::unique_ptr<msg::Transport> {
+        if (!listener.listening) {
+          if (!daemon.listen(listener.path).isOk()) return nullptr;
+          listener.daemon = &daemon;
+          listener.listening = true;
+        }
+        auto conn = msg::unixSocketConnect(listener.path);
+        if (!conn.isOk()) return nullptr;
+        return std::move(*conn);
+      });
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+
+// The sharding axis: 4 clients against 1 shard vs 4 shards is the
+// headline scaling comparison; 1 and 16 clients bound the latency and
+// oversubscription regimes.
+BENCHMARK(BM_DaemonOpenFlood)
+    ->ArgNames({"contexts", "clients"})
+    ->Args({1, 1})
+    ->Args({1, 4})
+    ->Args({4, 4})
+    ->Args({1, 16})
+    ->Args({4, 16})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_DaemonSocketOpenFlood)
+    ->ArgNames({"contexts", "clients"})
+    ->Args({1, 4})
+    ->Args({4, 4})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  return simfs::bench::runMicroBenchmarks(argc, argv, "BENCH_daemon.json");
+}

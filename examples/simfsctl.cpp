@@ -18,6 +18,10 @@
 //
 //   simfsctl status <socket-path>
 //       Queries a running DV daemon for its aggregate statistics.
+//
+//   simfsctl stats <socket-path>
+//       Queries a running DV daemon for its per-shard serving counters
+//       (queued/served requests, batch sizes, resident steps).
 #include "common/checksum.hpp"
 #include "common/strings.hpp"
 #include "msg/message.hpp"
@@ -39,7 +43,8 @@ int usage() {
                "usage: simfsctl record-checksums <data-dir> <map-file>\n"
                "       simfsctl verify-checksums <data-dir> <map-file>\n"
                "       simfsctl driver-info <file.drv>\n"
-               "       simfsctl status <socket-path>\n");
+               "       simfsctl status <socket-path>\n"
+               "       simfsctl stats <socket-path>\n");
   return 2;
 }
 
@@ -136,7 +141,10 @@ int driverInfo(const std::string& path) {
   return 0;
 }
 
-int daemonStatus(const std::string& socketPath) {
+/// One-shot request/reply against a daemon socket; returns non-zero and
+/// prints a diagnostic on connection/timeout failure.
+int daemonCall(const std::string& socketPath, msg::MsgType type,
+               msg::Message* reply) {
   auto conn = msg::unixSocketConnect(socketPath);
   if (!conn) {
     std::fprintf(stderr, "cannot connect: %s\n",
@@ -146,15 +154,14 @@ int daemonStatus(const std::string& socketPath) {
   std::mutex mu;
   std::condition_variable cv;
   bool got = false;
-  msg::Message reply;
   (*conn)->setHandler([&](msg::Message&& m) {
     std::lock_guard lock(mu);
-    reply = std::move(m);
+    *reply = std::move(m);
     got = true;
     cv.notify_all();
   });
   msg::Message req;
-  req.type = msg::MsgType::kStatusReq;
+  req.type = type;
   req.requestId = 1;
   if (!(*conn)->send(req).isOk()) {
     std::fprintf(stderr, "send failed\n");
@@ -167,13 +174,44 @@ int daemonStatus(const std::string& socketPath) {
       return 1;
     }
   }
+  (*conn)->close();
+  return 0;
+}
+
+int daemonStatus(const std::string& socketPath) {
+  msg::Message reply;
+  if (const int rc = daemonCall(socketPath, msg::MsgType::kStatusReq, &reply);
+      rc != 0) {
+    return rc;
+  }
   std::printf("daemon statistics:\n");
   for (const auto& kv : str::split(reply.text, ';')) {
     std::printf("  %s\n", kv.c_str());
   }
   std::printf("contexts:\n");
   for (const auto& name : reply.files) std::printf("  %s\n", name.c_str());
-  (*conn)->close();
+  return 0;
+}
+
+int daemonShardStats(const std::string& socketPath) {
+  msg::Message reply;
+  if (const int rc =
+          daemonCall(socketPath, msg::MsgType::kShardStatsReq, &reply);
+      rc != 0) {
+    return rc;
+  }
+  if (reply.type != msg::MsgType::kShardStatsAck) {
+    std::fprintf(stderr, "daemon does not speak kShardStatsReq\n");
+    return 1;
+  }
+  std::printf("serving pipeline (%s):\n", reply.text.c_str());
+  for (const auto& line : reply.files) {
+    std::printf("  ");
+    for (const auto& kv : str::split(line, ';')) {
+      std::printf("%-24s", kv.c_str());
+    }
+    std::printf("\n");
+  }
   return 0;
 }
 
@@ -193,6 +231,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "status" && argc == 3) {
     return daemonStatus(argv[2]);
+  }
+  if (cmd == "stats" && argc == 3) {
+    return daemonShardStats(argv[2]);
   }
   return usage();
 }

@@ -3,6 +3,8 @@
 #include "common/log.hpp"
 #include "common/strings.hpp"
 
+#include <algorithm>
+
 namespace simfs::dv {
 
 namespace {
@@ -11,68 +13,148 @@ constexpr const char* kTag = "daemon";
 std::int32_t codeOf(const Status& st) noexcept {
   return static_cast<std::int32_t>(st.code());
 }
+
+void atomicMax(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Ack type matching a client request, for error replies produced outside
+/// the main per-type handling in processClientMessage (which additionally
+/// builds the success payloads). kError for non-request types.
+msg::MsgType ackTypeFor(msg::MsgType request) noexcept {
+  switch (request) {
+    case msg::MsgType::kHello: return msg::MsgType::kHelloAck;
+    case msg::MsgType::kOpenReq: return msg::MsgType::kOpenAck;
+    case msg::MsgType::kAcquireReq: return msg::MsgType::kAcquireAck;
+    case msg::MsgType::kReleaseReq: return msg::MsgType::kReleaseAck;
+    case msg::MsgType::kBitrepReq: return msg::MsgType::kBitrepAck;
+    case msg::MsgType::kStatusReq: return msg::MsgType::kStatusAck;
+    case msg::MsgType::kShardStatsReq: return msg::MsgType::kShardStatsAck;
+    default: return msg::MsgType::kError;
+  }
+}
 }  // namespace
 
 /// One connected DVLib endpoint (analysis or simulator).
 struct Daemon::Session {
   std::unique_ptr<msg::Transport> transport;
-  ClientId client = 0;       ///< 0 until kHello completes (analysis role)
-  bool isSimulator = false;
+  std::atomic<ClientId> client{0};   ///< 0 until kHello completes (analysis)
+  std::atomic<int> shard{-1};        ///< bound by kHello (context's shard)
+  std::atomic<bool> defunct{false};  ///< transport closed
 };
 
-Daemon::Daemon() : core_(clock_) {
+/// Client requests and simulator events, unified: everything a shard
+/// consumes flows through one queue in arrival order.
+struct Daemon::DaemonRequest {
+  enum class Kind {
+    kClientMessage,   ///< protocol message from a session
+    kDisconnect,      ///< session's transport closed
+    kSimStarted,      ///< launcher: job left the batch queue
+    kSimFileWritten,  ///< launcher: output step on disk
+    kSimFinished,     ///< launcher: job completed/failed
+  };
+  Kind kind = Kind::kClientMessage;
+  std::shared_ptr<Session> session;  ///< kClientMessage / kDisconnect
+  msg::Message msg;                  ///< kClientMessage
+  SimJobId job = 0;                  ///< kSim*
+  std::string file;                  ///< kSimFileWritten
+  Status status;                     ///< kSimFinished
+};
+
+/// Per-shard serving state around the DvShard itself.
+struct Daemon::ShardServing {
+  mutable std::mutex qMutex;
+  std::vector<DaemonRequest> queue;
+
+  // Touched only by the one worker that drains this shard (plus readers
+  // of the counters): no locks needed beyond the queue mutex above.
+  std::map<ClientId, std::shared_ptr<Session>> byClient;
+  std::vector<std::pair<std::shared_ptr<Session>, msg::Message>> out;
+
+  std::atomic<std::uint64_t> enqueued{0};
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> maxBatch{0};
+};
+
+struct Daemon::Worker {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool wake = false;
+  std::thread thread;
+};
+
+Daemon::Daemon(const Options& options)
+    : core_(clock_, std::max<std::size_t>(1, options.shards)) {
   core_.setNotifyFn([this](ClientId c, const std::string& f, const Status& s) {
-    notifyClient(c, f, s);
+    onNotify(c, f, s);
   });
+  serving_.reserve(core_.numShards());
+  for (std::size_t i = 0; i < core_.numShards(); ++i) {
+    serving_.push_back(std::make_unique<ShardServing>());
+  }
+  const std::size_t nWorkers =
+      std::clamp<std::size_t>(options.workers, 1, core_.numShards());
+  workers_.reserve(nWorkers);
+  for (std::size_t w = 0; w < nWorkers; ++w) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (std::size_t w = 0; w < nWorkers; ++w) {
+    workers_[w]->thread = std::thread([this, w] { workerLoop(w); });
+  }
 }
 
-Daemon::~Daemon() { stop(); }
+Daemon::~Daemon() {
+  stop();
+  // Tear every transport down (reactor deregistration is synchronous)
+  // before the members the handlers capture go away.
+  std::lock_guard lock(sessionsMutex_);
+  sessions_.clear();
+}
 
 Status Daemon::registerContext(
     std::unique_ptr<simmodel::SimulationDriver> driver) {
-  std::lock_guard lock(mutex_);
   return core_.registerContext(std::move(driver));
 }
 
-void Daemon::setLauncher(SimLauncher* launcher) {
-  std::lock_guard lock(mutex_);
-  core_.setLauncher(launcher);
-}
+void Daemon::setLauncher(SimLauncher* launcher) { core_.setLauncher(launcher); }
 
-void Daemon::setEvictFn(DataVirtualizer::EvictFn fn) {
-  std::lock_guard lock(mutex_);
-  core_.setEvictFn(std::move(fn));
-}
+void Daemon::setEvictFn(DvShard::EvictFn fn) { core_.setEvictFn(std::move(fn)); }
 
 Status Daemon::seedAvailableStep(const std::string& context, StepIndex step) {
-  std::lock_guard lock(mutex_);
   return core_.seedAvailableStep(context, step);
 }
 
 Status Daemon::setChecksumMap(const std::string& context,
                               simmodel::ChecksumMap map) {
-  std::lock_guard lock(mutex_);
   return core_.setChecksumMap(context, std::move(map));
 }
 
 void Daemon::serveTransport(std::unique_ptr<msg::Transport> transport) {
-  auto session = std::make_unique<Session>();
+  auto session = std::make_shared<Session>();
   session->transport = std::move(transport);
-  Session* raw = session.get();
   {
-    std::lock_guard lock(mutex_);
-    sessions_.push_back(std::move(session));
+    std::lock_guard lock(sessionsMutex_);
+    // Reap sessions that disconnected and are referenced by nobody else
+    // (no queued request, no in-flight batch).
+    std::erase_if(sessions_, [](const std::shared_ptr<Session>& s) {
+      return s->defunct.load() && !s->transport->isOpen() &&
+             s.use_count() == 1;
+    });
+    sessions_.push_back(session);
   }
-  raw->transport->setCloseHandler([this, raw] {
-    std::lock_guard lock(mutex_);
-    if (raw->client != 0) {
-      core_.clientDisconnect(raw->client);
-      byClient_.erase(raw->client);
-      raw->client = 0;
-    }
+  std::weak_ptr<Session> weak = session;
+  session->transport->setCloseHandler([this, weak] {
+    if (auto s = weak.lock()) onSessionClosed(s);
   });
-  raw->transport->setHandler(
-      [this, raw](msg::Message&& m) { handleMessage(raw, std::move(m)); });
+  // Installed last: frames that raced in before this are buffered by the
+  // transport and replayed here.
+  session->transport->setHandler([this, weak](msg::Message&& m) {
+    if (auto s = weak.lock()) dispatch(s, std::move(m));
+  });
 }
 
 std::unique_ptr<msg::Transport> Daemon::connectInProc() {
@@ -90,44 +172,333 @@ Status Daemon::listen(const std::string& socketPath) {
 
 void Daemon::stop() {
   if (server_) server_->stop();
+  std::lock_guard stopLock(stopMutex_);
+  if (workersJoined_) return;
+  stopping_.store(true);
+  for (auto& w : workers_) {
+    {
+      std::lock_guard lock(w->mutex);
+      w->wake = true;
+    }
+    w->cv.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  // Sweep requests that raced past the workers' final pass so no client
+  // is left waiting for a reply that never comes; enqueue()'s post-push
+  // stopping_ re-check (under stopMutex_) covers everything later.
+  std::vector<DaemonRequest> batch;
+  for (std::size_t s = 0; s < serving_.size(); ++s) (void)drainShard(s, batch);
+  workersJoined_ = true;
 }
 
-void Daemon::notifyClient(ClientId client, const std::string& file,
-                          const Status& st) {
-  // Called from within core_ (mutex held). Sends don't re-enter the core.
-  const auto it = byClient_.find(client);
-  if (it == byClient_.end()) return;
+void Daemon::onSessionClosed(const std::shared_ptr<Session>& session) {
+  // Dekker pairing with the worker's kHello handler: we store defunct
+  // BEFORE loading client, the worker stores client BEFORE loading
+  // defunct (both seq_cst). Whatever the interleaving, at least one side
+  // observes the other, so the shard client is disconnected either by
+  // the kDisconnect below or by the worker's own unwind; both running is
+  // harmless (kDisconnect finds client == 0).
+  session->defunct.store(true);
+  if (session->client.load() != 0 && session->shard.load() >= 0) {
+    DaemonRequest req;
+    req.kind = DaemonRequest::Kind::kDisconnect;
+    req.session = session;
+    enqueue(static_cast<std::size_t>(session->shard.load()), std::move(req));
+  }
+}
+
+// ----------------------------------------------------------------- dispatch
+
+void Daemon::dispatch(const std::shared_ptr<Session>& session,
+                      msg::Message&& m) {
+  switch (m.type) {
+    case msg::MsgType::kHello: {
+      if (static_cast<msg::ClientRole>(m.intArg) ==
+          msg::ClientRole::kSimulator) {
+        // Simulator sessions need no per-session state: their events
+        // (kSimFileClosed/kSimFinished) route by job id.
+        msg::Message reply;
+        reply.requestId = m.requestId;
+        reply.type = msg::MsgType::kHelloAck;
+        reply.code = codeOf(Status::ok());
+        (void)session->transport->send(reply);
+        return;
+      }
+      const auto idx = core_.shardOfContext(m.context);
+      if (!idx) {
+        const Status st = errNotFound("dv: no context: " + m.context);
+        msg::Message reply;
+        reply.requestId = m.requestId;
+        reply.type = msg::MsgType::kHelloAck;
+        reply.code = codeOf(st);
+        reply.text = st.message();
+        (void)session->transport->send(reply);
+        return;
+      }
+      // Bind the shard already at dispatch time so requests pipelined
+      // behind the hello (sent without waiting for kHelloAck) route to
+      // the same queue and are served, in order, after it. An already
+      // bound session keeps its shard — the worker rejects the re-hello
+      // in order with the session's other traffic.
+      const int bound = session->shard.load();
+      std::size_t target = *idx;
+      if (bound < 0) {
+        session->shard.store(static_cast<int>(*idx));
+      } else {
+        target = static_cast<std::size_t>(bound);
+      }
+      DaemonRequest req;
+      req.session = session;
+      req.msg = std::move(m);
+      enqueue(target, std::move(req));
+      return;
+    }
+    // Simulator events over the wire route by job id, not by session.
+    case msg::MsgType::kSimFileClosed:
+    case msg::MsgType::kSimFinished: {
+      DaemonRequest req;
+      req.session = session;
+      req.msg = std::move(m);
+      enqueue(core_.shardOfJob(static_cast<SimJobId>(req.msg.intArg)),
+              std::move(req));
+      return;
+    }
+    // Aggregate introspection never touches the shard queues. Tradeoff:
+    // it briefly takes each shard mutex on THIS (possibly reactor)
+    // thread, so a poll can wait behind one in-flight batch per shard —
+    // acceptable for an operator-frequency endpoint; latency-sensitive
+    // monitoring should use a dedicated in-proc connection.
+    case msg::MsgType::kStatusReq: {
+      (void)session->transport->send(buildStatusReply(m.requestId));
+      return;
+    }
+    case msg::MsgType::kShardStatsReq: {
+      (void)session->transport->send(buildShardStatsReply(m.requestId));
+      return;
+    }
+    default:
+      break;
+  }
+  // Everything else needs the session's bound shard.
+  const int shard = session->shard.load();
+  if (shard < 0) {
+    if (m.type == msg::MsgType::kCloseNotify) {
+      return;  // fire-and-forget even when unbound
+    }
+    const Status st = errFailedPrecondition("dv: unknown client");
+    msg::Message reply;
+    reply.requestId = m.requestId;
+    reply.type = ackTypeFor(m.type);
+    reply.code = codeOf(st);
+    reply.text = st.message();
+    (void)session->transport->send(reply);
+    return;
+  }
+  DaemonRequest req;
+  req.session = session;
+  req.msg = std::move(m);
+  enqueue(static_cast<std::size_t>(shard), std::move(req));
+}
+
+void Daemon::enqueue(std::size_t shard, DaemonRequest&& request) {
+  auto& sv = *serving_[shard];
+  {
+    std::lock_guard lock(sv.qMutex);
+    sv.queue.push_back(std::move(request));
+  }
+  sv.enqueued.fetch_add(1, std::memory_order_relaxed);
+  if (stopping_.load()) {
+    // Shutdown race: the workers (or stop()'s sweep) may already be past
+    // this queue. Once the join has completed we own the pipeline
+    // exclusively under stopMutex_ and can serve the request here.
+    std::lock_guard stopLock(stopMutex_);
+    if (workersJoined_) {
+      std::vector<DaemonRequest> batch;
+      (void)drainShard(shard, batch);
+    }
+    return;
+  }
+  Worker& w = *workers_[shard % workers_.size()];
+  {
+    std::lock_guard lock(w.mutex);
+    w.wake = true;
+  }
+  w.cv.notify_one();
+}
+
+void Daemon::enqueueSimEvent(DaemonRequest&& request) {
+  enqueue(core_.shardOfJob(request.job), std::move(request));
+}
+
+void Daemon::simulationStarted(SimJobId job) {
+  DaemonRequest req;
+  req.kind = DaemonRequest::Kind::kSimStarted;
+  req.job = job;
+  enqueueSimEvent(std::move(req));
+}
+
+void Daemon::simulationFileWritten(SimJobId job, const std::string& file) {
+  DaemonRequest req;
+  req.kind = DaemonRequest::Kind::kSimFileWritten;
+  req.job = job;
+  req.file = file;
+  enqueueSimEvent(std::move(req));
+}
+
+void Daemon::simulationFinished(SimJobId job, const Status& status) {
+  DaemonRequest req;
+  req.kind = DaemonRequest::Kind::kSimFinished;
+  req.job = job;
+  req.status = status;
+  enqueueSimEvent(std::move(req));
+}
+
+// ------------------------------------------------------------------ workers
+
+void Daemon::workerLoop(std::size_t workerIndex) {
+  Worker& w = *workers_[workerIndex];
+  std::vector<DaemonRequest> batch;
+  const std::size_t stride = workers_.size();
+  for (;;) {
+    bool did = false;
+    for (std::size_t s = workerIndex; s < serving_.size(); s += stride) {
+      did = drainShard(s, batch) || did;
+    }
+    if (did) continue;
+    std::unique_lock lock(w.mutex);
+    if (w.wake) {
+      w.wake = false;
+      if (stopping_.load()) {
+        // Final pass: drain what was enqueued before the stop flag.
+        lock.unlock();
+        for (std::size_t s = workerIndex; s < serving_.size(); s += stride) {
+          (void)drainShard(s, batch);
+        }
+        return;
+      }
+      continue;
+    }
+    w.cv.wait(lock, [&] { return w.wake; });
+  }
+}
+
+bool Daemon::drainShard(std::size_t shard, std::vector<DaemonRequest>& batch) {
+  auto& sv = *serving_[shard];
+  batch.clear();
+  {
+    std::lock_guard lock(sv.qMutex);
+    batch.swap(sv.queue);
+  }
+  if (batch.empty()) return false;
+  sv.out.clear();
+  {
+    // One lock acquisition for the whole batch.
+    std::lock_guard lock(core_.mutexOf(shard));
+    DvShard& dv = core_.shard(shard);
+    for (auto& request : batch) processOnShard(shard, dv, request);
+  }
+  sv.batches.fetch_add(1, std::memory_order_relaxed);
+  sv.served.fetch_add(batch.size(), std::memory_order_relaxed);
+  atomicMax(sv.maxBatch, batch.size());
+  // Flush replies and notifications outside the shard lock; the reactor
+  // coalesces consecutive frames per connection into writev batches.
+  for (auto& [session, message] : sv.out) {
+    if (!session->transport->send(message).isOk()) {
+      SIMFS_LOG_DEBUG(kTag, "dropping reply to closed session");
+    }
+  }
+  sv.out.clear();
+  batch.clear();  // release session references promptly
+  return true;
+}
+
+void Daemon::queueReply(std::size_t shardIndex,
+                        const std::shared_ptr<Session>& session,
+                        msg::Message&& m) {
+  serving_[shardIndex]->out.emplace_back(session, std::move(m));
+}
+
+void Daemon::onNotify(ClientId client, const std::string& file,
+                      const Status& st) {
+  // Fires inside DvShard calls, i.e. on the worker currently holding this
+  // client's shard lock; buffered and sent after the lock drops.
+  const std::size_t shard = core_.shardOfClient(client);
+  auto& sv = *serving_[shard];
+  const auto it = sv.byClient.find(client);
+  if (it == sv.byClient.end()) return;
   msg::Message m;
   m.type = msg::MsgType::kFileReady;
   m.files = {file};
   m.code = codeOf(st);
   m.text = st.message();
-  if (!it->second->transport->send(m).isOk()) {
-    SIMFS_LOG_WARN(kTag, "client %llu unreachable",
-                   static_cast<unsigned long long>(client));
+  sv.out.emplace_back(it->second, std::move(m));
+}
+
+void Daemon::processOnShard(std::size_t shardIndex, DvShard& shard,
+                            DaemonRequest& request) {
+  switch (request.kind) {
+    case DaemonRequest::Kind::kClientMessage:
+      processClientMessage(shardIndex, shard, request.session, request.msg);
+      return;
+    case DaemonRequest::Kind::kDisconnect: {
+      const ClientId client = request.session->client.load();
+      if (client != 0) {
+        shard.clientDisconnect(client);
+        serving_[shardIndex]->byClient.erase(client);
+        request.session->client.store(0);
+      }
+      request.session->defunct.store(true);
+      return;
+    }
+    case DaemonRequest::Kind::kSimStarted:
+      shard.simulationStarted(request.job);
+      return;
+    case DaemonRequest::Kind::kSimFileWritten:
+      shard.simulationFileWritten(request.job, request.file);
+      return;
+    case DaemonRequest::Kind::kSimFinished:
+      shard.simulationFinished(request.job, request.status);
+      return;
   }
 }
 
-void Daemon::handleMessage(Session* session, msg::Message&& m) {
+void Daemon::processClientMessage(std::size_t shardIndex, DvShard& shard,
+                                  const std::shared_ptr<Session>& session,
+                                  msg::Message& m) {
   msg::Message reply;
   reply.requestId = m.requestId;
   bool sendReply = true;
+  const ClientId client = session->client.load();
 
-  std::lock_guard lock(mutex_);
   switch (m.type) {
     case msg::MsgType::kHello: {
-      if (static_cast<msg::ClientRole>(m.intArg) ==
-          msg::ClientRole::kSimulator) {
-        session->isSimulator = true;
-        reply.type = msg::MsgType::kHelloAck;
-        reply.code = codeOf(Status::ok());
+      reply.type = msg::MsgType::kHelloAck;
+      if (client != 0) {
+        // Re-hello on a bound session would orphan the existing client
+        // registration (pinned steps, waiters) — reject it instead.
+        const Status st = errFailedPrecondition("dv: session already bound");
+        reply.code = codeOf(st);
+        reply.text = st.message();
         break;
       }
-      auto id = core_.clientConnect(m.context);
-      reply.type = msg::MsgType::kHelloAck;
+      auto id = shard.clientConnect(m.context);
       if (id.isOk()) {
-        session->client = *id;
-        byClient_[*id] = session;
+        session->shard.store(static_cast<int>(shardIndex));
+        session->client.store(*id);
+        serving_[shardIndex]->byClient[*id] = session;
+        // The transport may already have died: its close handler then saw
+        // client == 0 and could not enqueue a disconnect, so the session
+        // is marked defunct and this registration must be unwound here or
+        // the DvShard client would leak forever.
+        if (session->defunct.load()) {
+          shard.clientDisconnect(*id);
+          serving_[shardIndex]->byClient.erase(*id);
+          session->client.store(0);
+          sendReply = false;
+          break;
+        }
         reply.code = codeOf(Status::ok());
         reply.intArg = static_cast<std::int64_t>(*id);
       } else {
@@ -142,12 +513,12 @@ void Daemon::handleMessage(Session* session, msg::Message&& m) {
         reply.code = codeOf(errInvalidArgument("open: no file"));
         break;
       }
-      const auto res = core_.clientOpen(session->client, m.files[0]);
+      const auto res = shard.clientOpen(client, m.files[0]);
       reply.code = codeOf(res.status);
       reply.text = res.status.message();
       reply.intArg = res.available ? 1 : 0;
       reply.intArg2 = res.estimatedWait;
-      reply.files = {m.files[0]};
+      reply.files = {std::move(m.files[0])};
       break;
     }
     case msg::MsgType::kAcquireReq: {
@@ -155,7 +526,7 @@ void Daemon::handleMessage(Session* session, msg::Message&& m) {
       Status worst = Status::ok();
       VDuration maxWait = 0;
       for (const auto& f : m.files) {
-        const auto res = core_.clientOpen(session->client, f);
+        const auto res = shard.clientOpen(client, f);
         if (!res.status.isOk()) {
           worst = res.status;
           continue;
@@ -173,7 +544,7 @@ void Daemon::handleMessage(Session* session, msg::Message&& m) {
     }
     case msg::MsgType::kCloseNotify: {
       if (!m.files.empty()) {
-        (void)core_.clientRelease(session->client, m.files[0]);
+        (void)shard.clientRelease(client, m.files[0]);
       }
       sendReply = false;  // fire-and-forget (transparent-mode close)
       break;
@@ -182,7 +553,7 @@ void Daemon::handleMessage(Session* session, msg::Message&& m) {
       reply.type = msg::MsgType::kReleaseAck;
       Status st = m.files.empty()
                       ? errInvalidArgument("release: no file")
-                      : core_.clientRelease(session->client, m.files[0]);
+                      : shard.clientRelease(client, m.files[0]);
       reply.code = codeOf(st);
       reply.text = st.message();
       break;
@@ -193,8 +564,8 @@ void Daemon::handleMessage(Session* session, msg::Message&& m) {
         reply.code = codeOf(errInvalidArgument("bitrep: no file"));
         break;
       }
-      const auto match = core_.clientBitrep(
-          session->client, m.files[0], static_cast<std::uint64_t>(m.intArg));
+      const auto match = shard.clientBitrep(
+          client, m.files[0], static_cast<std::uint64_t>(m.intArg));
       if (match.isOk()) {
         reply.code = codeOf(Status::ok());
         reply.intArg = *match ? 1 : 0;
@@ -206,41 +577,16 @@ void Daemon::handleMessage(Session* session, msg::Message&& m) {
     }
     case msg::MsgType::kSimFileClosed: {
       if (!m.files.empty()) {
-        core_.simulationFileWritten(static_cast<SimJobId>(m.intArg),
+        shard.simulationFileWritten(static_cast<SimJobId>(m.intArg),
                                     m.files[0]);
       }
       sendReply = false;
       break;
     }
-    case msg::MsgType::kStatusReq: {
-      reply.type = msg::MsgType::kStatusAck;
-      const auto& s = core_.stats();
-      reply.code = codeOf(Status::ok());
-      reply.intArg = static_cast<std::int64_t>(s.stepsProduced);
-      reply.text = str::format(
-          "opens=%llu;hits=%llu;misses=%llu;jobs=%llu;demand=%llu;"
-          "prefetch=%llu;killed=%llu;steps=%llu;evictions=%llu;"
-          "notifications=%llu;agent_resets=%llu",
-          static_cast<unsigned long long>(s.opens),
-          static_cast<unsigned long long>(s.hits),
-          static_cast<unsigned long long>(s.misses),
-          static_cast<unsigned long long>(s.jobsLaunched),
-          static_cast<unsigned long long>(s.demandJobs),
-          static_cast<unsigned long long>(s.prefetchJobs),
-          static_cast<unsigned long long>(s.jobsKilled),
-          static_cast<unsigned long long>(s.stepsProduced),
-          static_cast<unsigned long long>(s.evictions),
-          static_cast<unsigned long long>(s.notifications),
-          static_cast<unsigned long long>(s.agentResets));
-      for (const auto& name : core_.contextNames()) {
-        reply.files.push_back(name);
-      }
-      break;
-    }
     case msg::MsgType::kSimFinished: {
       Status st = m.code == 0 ? Status::ok()
                               : Status(static_cast<StatusCode>(m.code), m.text);
-      core_.simulationFinished(static_cast<SimJobId>(m.intArg), st);
+      shard.simulationFinished(static_cast<SimJobId>(m.intArg), st);
       sendReply = false;
       break;
     }
@@ -250,31 +596,94 @@ void Daemon::handleMessage(Session* session, msg::Message&& m) {
       break;
     }
   }
-  if (sendReply) (void)session->transport->send(reply);
+  if (sendReply) queueReply(shardIndex, session, std::move(reply));
 }
 
-void Daemon::simulationStarted(SimJobId job) {
-  std::lock_guard lock(mutex_);
-  core_.simulationStarted(job);
+// ------------------------------------------------------------- introspection
+
+msg::Message Daemon::buildStatusReply(std::uint64_t requestId) const {
+  msg::Message reply;
+  reply.requestId = requestId;
+  reply.type = msg::MsgType::kStatusAck;
+  const auto s = core_.stats();
+  reply.code = codeOf(Status::ok());
+  reply.intArg = static_cast<std::int64_t>(s.stepsProduced);
+  reply.text = str::format(
+      "opens=%llu;hits=%llu;misses=%llu;jobs=%llu;demand=%llu;"
+      "prefetch=%llu;killed=%llu;steps=%llu;evictions=%llu;"
+      "notifications=%llu;agent_resets=%llu",
+      static_cast<unsigned long long>(s.opens),
+      static_cast<unsigned long long>(s.hits),
+      static_cast<unsigned long long>(s.misses),
+      static_cast<unsigned long long>(s.jobsLaunched),
+      static_cast<unsigned long long>(s.demandJobs),
+      static_cast<unsigned long long>(s.prefetchJobs),
+      static_cast<unsigned long long>(s.jobsKilled),
+      static_cast<unsigned long long>(s.stepsProduced),
+      static_cast<unsigned long long>(s.evictions),
+      static_cast<unsigned long long>(s.notifications),
+      static_cast<unsigned long long>(s.agentResets));
+  for (const auto& name : core_.contextNames()) {
+    reply.files.push_back(name);
+  }
+  return reply;
 }
 
-void Daemon::simulationFileWritten(SimJobId job, const std::string& file) {
-  std::lock_guard lock(mutex_);
-  core_.simulationFileWritten(job, file);
+std::vector<Daemon::ShardCounters> Daemon::shardCounters() const {
+  std::vector<ShardCounters> out;
+  out.reserve(serving_.size());
+  for (std::size_t i = 0; i < serving_.size(); ++i) {
+    const auto& sv = *serving_[i];
+    ShardCounters c;
+    c.shard = i;
+    c.enqueued = sv.enqueued.load(std::memory_order_relaxed);
+    c.served = sv.served.load(std::memory_order_relaxed);
+    c.batches = sv.batches.load(std::memory_order_relaxed);
+    c.maxBatch = sv.maxBatch.load(std::memory_order_relaxed);
+    {
+      std::lock_guard lock(sv.qMutex);
+      c.queued = sv.queue.size();
+    }
+    {
+      std::lock_guard lock(core_.mutexOf(i));
+      c.contexts = core_.shard(i).contextNames();
+      c.residentSteps = core_.shard(i).residentSteps();
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
 }
 
-void Daemon::simulationFinished(SimJobId job, const Status& status) {
-  std::lock_guard lock(mutex_);
-  core_.simulationFinished(job, status);
+msg::Message Daemon::buildShardStatsReply(std::uint64_t requestId) const {
+  msg::Message reply;
+  reply.requestId = requestId;
+  reply.type = msg::MsgType::kShardStatsAck;
+  reply.code = codeOf(Status::ok());
+  const auto counters = shardCounters();
+  reply.intArg = static_cast<std::int64_t>(counters.size());
+  reply.text = str::format("shards=%zu;workers=%zu", serving_.size(),
+                           workers_.size());
+  for (const auto& c : counters) {
+    std::string contexts;
+    for (const auto& name : c.contexts) {
+      if (!contexts.empty()) contexts += ',';
+      contexts += name;
+    }
+    reply.files.push_back(str::format(
+        "shard=%zu;contexts=%s;queued=%zu;enqueued=%llu;served=%llu;"
+        "batches=%llu;max_batch=%llu;resident_steps=%zu",
+        c.shard, contexts.c_str(), c.queued,
+        static_cast<unsigned long long>(c.enqueued),
+        static_cast<unsigned long long>(c.served),
+        static_cast<unsigned long long>(c.batches),
+        static_cast<unsigned long long>(c.maxBatch), c.residentSteps));
+  }
+  return reply;
 }
 
-DvStats Daemon::stats() const {
-  std::lock_guard lock(mutex_);
-  return core_.stats();
-}
+DvStats Daemon::stats() const { return core_.stats(); }
 
 bool Daemon::isAvailable(const std::string& context, StepIndex step) const {
-  std::lock_guard lock(mutex_);
   return core_.isAvailable(context, step);
 }
 

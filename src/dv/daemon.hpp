@@ -1,21 +1,40 @@
-// dv::Daemon — the live deployment wrapper around the DataVirtualizer core
-// (the "daemon process" of Sec. III).
+// dv::Daemon — the live deployment wrapper around the DV core (the
+// "daemon process" of Sec. III), restructured as a sharded, batched
+// serving pipeline:
 //
-// The daemon serializes access to the single-threaded DV core with a
-// mutex, speaks the msg:: protocol with DVLib clients over Transports
-// (in-process pairs or Unix-domain sockets), and forwards simulator
-// events from launcher threads. Notifications (kFileReady) flow back to
-// the transport a client connected on.
+//   transports (epoll reactor / in-proc) ──► dispatch (thread of arrival)
+//        │   route by context / client id / job id — no global lock
+//        ▼
+//   per-shard MPSC request queues  (client requests and simulator events
+//        │                          unified as DaemonRequest)
+//        ▼
+//   worker pool: each worker drains whole batches from its shards — one
+//        │       shard-lock acquisition and one reply/notification flush
+//        ▼       amortized over the batch
+//   DvShard state machines (ShardedVirtualizer)
+//        │
+//        ▼
+//   buffered replies + kFileReady notifications, sent after the shard
+//   lock drops (the reactor coalesces them into writev batches)
+//
+// Contexts are pinned to shards, so traffic for different contexts never
+// contends; per-context request order is preserved because exactly one
+// worker drains any given shard's queue. Aggregate introspection
+// (kStatusReq, stats()) and per-shard counters (kShardStatsReq) are
+// answered on the dispatching thread without touching the queues.
 #pragma once
 
 #include "common/clock.hpp"
-#include "dv/data_virtualizer.hpp"
+#include "dv/sharded_virtualizer.hpp"
 #include "msg/transport.hpp"
 
+#include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace simfs::dv {
@@ -23,21 +42,44 @@ namespace simfs::dv {
 /// Thread-safe, transport-facing DV daemon.
 class Daemon {
  public:
-  Daemon();
+  struct Options {
+    /// Independently-lockable DV shards; contexts round-robin onto them.
+    std::size_t shards = 8;
+    /// Worker threads draining the shard queues (clamped to [1, shards]).
+    std::size_t workers = 4;
+  };
+
+  /// Per-shard serving counters (also exposed over the wire via
+  /// msg::MsgType::kShardStatsReq and `simfsctl stats`).
+  struct ShardCounters {
+    std::size_t shard = 0;
+    std::vector<std::string> contexts;
+    std::uint64_t enqueued = 0;   ///< requests/events ever queued
+    std::uint64_t served = 0;     ///< requests/events processed
+    std::uint64_t batches = 0;    ///< queue drains (lock acquisitions)
+    std::uint64_t maxBatch = 0;   ///< largest single drain
+    std::size_t queued = 0;       ///< currently waiting in the queue
+    std::size_t residentSteps = 0;
+  };
+
+  Daemon() : Daemon(Options{}) {}
+  explicit Daemon(const Options& options);
   ~Daemon();
   Daemon(const Daemon&) = delete;
   Daemon& operator=(const Daemon&) = delete;
 
   // --- setup (before serving) -------------------------------------------------
 
-  /// Registers a context on the core.
+  /// Registers a context on the core (round-robin shard assignment).
   Status registerContext(std::unique_ptr<simmodel::SimulationDriver> driver);
 
-  /// Wires the launcher (e.g. ThreadedSimulatorFleet).
+  /// Wires the launcher (e.g. ThreadedSimulatorFleet). launch()/kill() are
+  /// invoked on worker threads with the owning shard's lock held.
   void setLauncher(SimLauncher* launcher);
 
-  /// Optional eviction sink (unlink files from the real store).
-  void setEvictFn(DataVirtualizer::EvictFn fn);
+  /// Optional eviction sink (unlink files from the real store). Invoked on
+  /// worker threads with the owning shard's lock held; must be thread-safe.
+  void setEvictFn(DvShard::EvictFn fn);
 
   /// Seeds an available step (initial simulation output).
   Status seedAvailableStep(const std::string& context, StepIndex step);
@@ -58,7 +100,8 @@ class Daemon {
   /// Binds a Unix-domain socket and serves every connection.
   Status listen(const std::string& socketPath);
 
-  /// Stops the socket server (in-proc connections keep working).
+  /// Stops the socket server and the worker pool (already-queued requests
+  /// are drained first; in-proc setup calls keep working).
   void stop();
 
   // --- simulator events (called by launcher implementations) ---------------------
@@ -71,19 +114,48 @@ class Daemon {
 
   [[nodiscard]] DvStats stats() const;
   [[nodiscard]] bool isAvailable(const std::string& context, StepIndex step) const;
+  [[nodiscard]] std::size_t shardCount() const noexcept {
+    return core_.numShards();
+  }
+  [[nodiscard]] std::vector<ShardCounters> shardCounters() const;
 
  private:
   struct Session;
+  struct DaemonRequest;
+  struct ShardServing;
+  struct Worker;
 
-  void handleMessage(Session* session, msg::Message&& m);
-  void notifyClient(ClientId client, const std::string& file, const Status& st);
+  /// Routes one inbound message on the thread it arrived on: introspection
+  /// is answered inline, everything else is enqueued to its shard.
+  void dispatch(const std::shared_ptr<Session>& session, msg::Message&& m);
 
-  mutable std::mutex mutex_;
+  void enqueue(std::size_t shard, DaemonRequest&& request);
+  void enqueueSimEvent(DaemonRequest&& request);
+  void onSessionClosed(const std::shared_ptr<Session>& session);
+  void workerLoop(std::size_t workerIndex);
+  bool drainShard(std::size_t shard, std::vector<DaemonRequest>& batch);
+  void processOnShard(std::size_t shardIndex, DvShard& shard,
+                      DaemonRequest& request);
+  void processClientMessage(std::size_t shardIndex, DvShard& shard,
+                            const std::shared_ptr<Session>& session,
+                            msg::Message& m);
+  void queueReply(std::size_t shardIndex, const std::shared_ptr<Session>& s,
+                  msg::Message&& m);
+  void onNotify(ClientId client, const std::string& file, const Status& st);
+  [[nodiscard]] msg::Message buildStatusReply(std::uint64_t requestId) const;
+  [[nodiscard]] msg::Message buildShardStatsReply(std::uint64_t requestId) const;
+
   RealClock clock_;
-  DataVirtualizer core_;
+  ShardedVirtualizer core_;
+  std::vector<std::unique_ptr<ShardServing>> serving_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stopping_{false};
+  bool workersJoined_ = false;
+  std::mutex stopMutex_;
+
+  std::mutex sessionsMutex_;
+  std::vector<std::shared_ptr<Session>> sessions_;
   std::unique_ptr<msg::UnixSocketServer> server_;
-  std::vector<std::unique_ptr<Session>> sessions_;
-  std::map<ClientId, Session*> byClient_;
 };
 
 }  // namespace simfs::dv

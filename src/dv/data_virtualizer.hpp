@@ -1,271 +1,117 @@
-// The Data Virtualizer (DV) core — SimFS's coordinating daemon (Sec. III).
+// The Data Virtualizer (DV) — SimFS's coordinating daemon (Sec. III) as a
+// single-threaded facade over one DvShard.
 //
-// This class is the deterministic heart of the system: a single-threaded,
-// clock-agnostic state machine. Every input is an explicit method call —
-// client requests (open/close/acquire/release/bitrep) and simulator events
-// (started/file written/finished) — and every side effect goes through an
-// injected seam (SimLauncher, notification callback, eviction callback).
+// The full state machine lives in dv::DvShard (see shard.hpp); this class
+// pins it to the (offset 1, stride 1) id lattice, which is exactly the id
+// sequence of the original monolithic implementation — the discrete-event
+// engine's experiments (Figs. 16-19) stay bit-reproducible. Live
+// deployments that need concurrency use dv::ShardedVirtualizer inside
+// dv::Daemon instead.
 //
-// The same object therefore runs
-//   * under the discrete-event engine for the paper's experiments
-//     (Figs. 16-19) with bit-reproducible results, and
-//   * inside dv::Daemon behind a mutex, driven by socket transports and
-//     real simulator threads, for live deployments.
-//
-// Hot-path design: filenames exist only at the client boundary. clientOpen
-// and simulationFileWritten parse the name exactly once (FilenameCodec via
-// the driver's key()); everything below — cache, storage accounting,
-// pending-file states, client references, job bookkeeping — is keyed by
-// StepIndex, and filename strings are re-materialized lazily only for
-// notification and eviction callbacks. The open-hit path performs no heap
-// allocation.
-//
-// Responsibilities (Sec. III-A/C/D, IV):
-//   - track per-context file states (missing / pending / available),
-//   - start demand re-simulations on misses, from R(d_i) until at least
-//     the next restart step,
-//   - reference-count output steps opened by analyses; evict unreferenced
-//     steps through the context's replacement policy when the storage
-//     area exceeds its quota,
-//   - notify blocked clients when files appear (or their job fails),
-//   - run one prefetch agent per client, clamp its launch requests
-//     against s_max, and kill prefetched simulations nobody waits for,
-//   - reset all agents on cache-pollution signals.
+// Not thread-safe by design: every input is an explicit method call on
+// one thread — client requests (open/close/acquire/release/bitrep) and
+// simulator events (started/file written/finished) — and every side
+// effect goes through an injected seam (SimLauncher, notification
+// callback, eviction callback).
 #pragma once
 
-#include "cache/cache.hpp"
-#include "common/clock.hpp"
-#include "common/stats.hpp"
-#include "common/status.hpp"
-#include "dv/launcher.hpp"
-#include "prefetch/agent.hpp"
-#include "simmodel/context.hpp"
-#include "simmodel/driver.hpp"
-#include "vfs/storage_area.hpp"
-
-#include <functional>
-#include <map>
-#include <memory>
-#include <optional>
-#include <string>
-#include <unordered_map>
-#include <vector>
+#include "dv/shard.hpp"
 
 namespace simfs::dv {
 
-/// Lifecycle of a (re-)simulation job.
-enum class JobPhase { kQueued, kRunning, kFinished, kFailed, kKilled };
-
-/// Why a job exists (prefetched jobs are kill candidates, Sec. IV-C).
-enum class JobPurpose { kDemand, kPrefetch };
-
-/// Reply to an open/acquire of one file.
-struct OpenResult {
-  Status status;               ///< kOk, or why the request is unserviceable
-  bool available = false;      ///< true: file on disk, go ahead
-  VDuration estimatedWait = 0; ///< DV's estimate until availability
-};
-
-/// Aggregate DV statistics (benchmarks read these).
-struct DvStats {
-  std::uint64_t opens = 0;
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t jobsLaunched = 0;
-  std::uint64_t demandJobs = 0;
-  std::uint64_t prefetchJobs = 0;
-  std::uint64_t jobsKilled = 0;
-  std::uint64_t stepsProduced = 0;
-  std::uint64_t evictions = 0;
-  std::uint64_t notifications = 0;
-  std::uint64_t agentResets = 0;   ///< pollution-triggered global resets
-};
-
-/// The DV core. Not thread-safe by design; see dv::Daemon for the locked,
+/// The single-threaded DV core. See dv::Daemon for the sharded,
 /// transport-facing wrapper.
 class DataVirtualizer {
  public:
-  /// `file` became available (status ok) or permanently failed.
-  using NotifyFn =
-      std::function<void(ClientId, const std::string& file, const Status&)>;
-  /// `file` was evicted from `context`'s storage area (live mode unlinks).
-  using EvictFn =
-      std::function<void(const std::string& context, const std::string& file)>;
+  using NotifyFn = DvShard::NotifyFn;
+  using EvictFn = DvShard::EvictFn;
 
   /// The clock provides request timestamps (virtual in DES, steady in live).
-  explicit DataVirtualizer(const Clock& clock);
-  ~DataVirtualizer();
+  explicit DataVirtualizer(const Clock& clock) : shard_(clock) {}
   DataVirtualizer(const DataVirtualizer&) = delete;
   DataVirtualizer& operator=(const DataVirtualizer&) = delete;
 
   // --- wiring ---------------------------------------------------------------
 
   /// Must be called before any client/simulator activity.
-  void setLauncher(SimLauncher* launcher) noexcept { launcher_ = launcher; }
-  void setNotifyFn(NotifyFn fn) { notify_ = std::move(fn); }
-  void setEvictFn(EvictFn fn) { evict_ = std::move(fn); }
+  void setLauncher(SimLauncher* launcher) noexcept {
+    shard_.setLauncher(launcher);
+  }
+  void setNotifyFn(NotifyFn fn) { shard_.setNotifyFn(std::move(fn)); }
+  void setEvictFn(EvictFn fn) { shard_.setEvictFn(std::move(fn)); }
 
   /// Registers a simulation context (driver carries the full config).
-  /// Optionally seeds already-available output steps (warm cache).
-  Status registerContext(std::unique_ptr<simmodel::SimulationDriver> driver);
+  Status registerContext(std::unique_ptr<simmodel::SimulationDriver> driver) {
+    return shard_.registerContext(std::move(driver));
+  }
 
   /// Marks an output step as already on disk (initial-simulation leftovers
   /// or warm-cache seeding in tests/benches).
-  Status seedAvailableStep(const std::string& context, StepIndex step);
+  Status seedAvailableStep(const std::string& context, StepIndex step) {
+    return shard_.seedAvailableStep(context, step);
+  }
 
   /// Reference checksums for SIMFS_Bitrep (recorded by the "command line
   /// utility" after the initial run).
-  Status setChecksumMap(const std::string& context, simmodel::ChecksumMap map);
+  Status setChecksumMap(const std::string& context, simmodel::ChecksumMap map) {
+    return shard_.setChecksumMap(context, std::move(map));
+  }
 
   // --- client side (DVLib requests) ------------------------------------------
 
-  /// Registers a client session on a context; returns its id.
-  [[nodiscard]] Result<ClientId> clientConnect(const std::string& context);
+  [[nodiscard]] Result<ClientId> clientConnect(const std::string& context) {
+    return shard_.clientConnect(context);
+  }
 
-  /// Releases every reference the client holds, resets its prefetch agent
-  /// and kills its unneeded prefetched jobs.
-  void clientDisconnect(ClientId client);
+  void clientDisconnect(ClientId client) { shard_.clientDisconnect(client); }
 
-  /// Transparent-mode open (also the per-file primitive of Acquire):
-  /// non-blocking; on a miss the demand re-simulation is started and the
-  /// client is registered as a waiter (notified via NotifyFn).
-  /// On success (immediate or later notification) the file is referenced.
-  [[nodiscard]] OpenResult clientOpen(ClientId client, const std::string& file);
+  [[nodiscard]] OpenResult clientOpen(ClientId client,
+                                      const std::string& file) {
+    return shard_.clientOpen(client, file);
+  }
 
-  /// Transparent-mode close / SIMFS_Release: drops one reference.
-  Status clientRelease(ClientId client, const std::string& file);
+  Status clientRelease(ClientId client, const std::string& file) {
+    return shard_.clientRelease(client, file);
+  }
 
-  /// SIMFS_Bitrep: compares `digest` (computed client-side over the
-  /// re-simulated file) with the recorded reference checksum.
   [[nodiscard]] Result<bool> clientBitrep(ClientId client,
                                           const std::string& file,
-                                          std::uint64_t digest);
+                                          std::uint64_t digest) {
+    return shard_.clientBitrep(client, file, digest);
+  }
 
   // --- simulator side (driver/launcher events) -------------------------------
 
-  /// The job left the batch queue and started executing.
-  void simulationStarted(SimJobId job);
+  void simulationStarted(SimJobId job) { shard_.simulationStarted(job); }
 
-  /// The simulator closed an output file: it is ready on disk (Fig. 4
-  /// step 4-5). Size accounting uses the context's configured step size.
-  void simulationFileWritten(SimJobId job, const std::string& file);
+  void simulationFileWritten(SimJobId job, const std::string& file) {
+    shard_.simulationFileWritten(job, file);
+  }
 
-  /// Job completed (ok) or failed (error status propagates to waiters).
-  void simulationFinished(SimJobId job, const Status& status);
+  void simulationFinished(SimJobId job, const Status& status) {
+    shard_.simulationFinished(job, status);
+  }
 
   // --- inspection -------------------------------------------------------------
 
-  [[nodiscard]] const DvStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] bool isAvailable(const std::string& context, StepIndex step) const;
-  [[nodiscard]] int runningJobs(const std::string& context) const;
-  [[nodiscard]] const cache::CacheStats* cacheStats(const std::string& context) const;
-  [[nodiscard]] std::vector<std::string> contextNames() const;
+  [[nodiscard]] const DvStats& stats() const noexcept { return shard_.stats(); }
+  [[nodiscard]] bool isAvailable(const std::string& context,
+                                 StepIndex step) const {
+    return shard_.isAvailable(context, step);
+  }
+  [[nodiscard]] int runningJobs(const std::string& context) const {
+    return shard_.runningJobs(context);
+  }
+  [[nodiscard]] const cache::CacheStats* cacheStats(
+      const std::string& context) const {
+    return shard_.cacheStats(context);
+  }
+  [[nodiscard]] std::vector<std::string> contextNames() const {
+    return shard_.contextNames();
+  }
 
  private:
-  struct ContextState;
-
-  struct FileState {
-    enum class Kind { kPending, kAvailable } kind = Kind::kPending;
-    SimJobId producer = 0;                ///< job producing it (pending)
-    std::vector<ClientId> waiters;        ///< clients blocked on it
-  };
-
-  struct JobInfo {
-    SimJobId id = 0;
-    ContextState* ctx = nullptr;
-    StepIndex startStep = 0;
-    StepIndex stopStep = 0;
-    int level = 0;
-    JobPhase phase = JobPhase::kQueued;
-    JobPurpose purpose = JobPurpose::kDemand;
-    ClientId owner = 0;       ///< client whose agent requested it
-    VTime launchTime = 0;
-    bool firstFileSeen = false;
-    VTime lastFileTime = 0;
-    /// Owed pending steps (producer == this job) with >= 1 waiter. Kept
-    /// incrementally so the prefetch-kill decision is O(1) instead of a
-    /// jobs x step-range scan.
-    int waitedSteps = 0;
-  };
-
-  struct ClientInfo {
-    ClientId id = 0;
-    ContextState* ctx = nullptr;
-    std::unique_ptr<prefetch::PrefetchAgent> agent;
-    /// step -> open count. Zero-count entries are kept so that steady
-    /// open/release cycles do not churn map nodes (allocation-free hits).
-    std::unordered_map<StepIndex, int> refs;
-    /// Steps this client is (or recently was) enqueued as a waiter for;
-    /// one entry per enqueue, pruned on wake/notify.
-    std::vector<StepIndex> waitingSteps;
-    /// Live prefetch jobs owned by this client's agent, ascending id.
-    std::vector<SimJobId> prefetchJobs;
-  };
-
-  struct ContextState {
-    std::unique_ptr<simmodel::SimulationDriver> driver;
-    vfs::StorageArea area;
-    std::unique_ptr<cache::Cache> cache;
-    std::unordered_map<StepIndex, FileState> files;  ///< pending/available
-    /// Connected clients in connect (= ascending id) order, so agent
-    /// observation fan-out is O(context clients), not O(all clients).
-    std::vector<ClientInfo*> clients;
-    simmodel::ChecksumMap checksums;
-    int running = 0;  ///< jobs in kQueued/kRunning phase
-    ContextState(std::unique_ptr<simmodel::SimulationDriver> d);
-  };
-
-  [[nodiscard]] ContextState* findContext(const std::string& name);
-  [[nodiscard]] const ContextState* findContext(const std::string& name) const;
-  [[nodiscard]] ClientInfo* findClient(ClientId id);
-
-  /// Launches a job covering [start, stop] (clamped/aligned to restarts).
-  SimJobId launchJob(ContextState& ctx, StepIndex start, StepIndex stop,
-                     int level, JobPurpose purpose, ClientId owner);
-
-  /// Runs one agent's actions: clamp + launch prefetches, handle pollution.
-  void applyAgentActions(ContextState& ctx, ClientInfo& client,
-                         const prefetch::AgentActions& actions);
-
-  /// Marks a step available, inserts it into the cache, processes
-  /// evictions and wakes waiters.
-  void makeAvailable(ContextState& ctx, StepIndex step, SimJobId producer);
-
-  /// Applies cache evictions to DV bookkeeping.
-  void processEvictions(ContextState& ctx, const std::vector<StepIndex>& evicted);
-
-  /// Enqueues `client` as a waiter on a pending step, maintaining the
-  /// producing job's waited-step counter.
-  void addWaiter(ContextState& ctx, StepIndex step, FileState& fs,
-                 ClientInfo& client);
-
-  /// Kills the client's prefetched jobs that nobody waits for.
-  void killUnneededPrefetches(ClientId client);
-
-  /// Drops a finished/killed job from its owner's prefetch-job list.
-  void forgetOwnedJob(const JobInfo& job);
-
-  /// Estimated wait until `step` is available, given its producing job.
-  [[nodiscard]] VDuration estimateWait(const ContextState& ctx,
-                                       const JobInfo& job, StepIndex step) const;
-
-  const Clock& clock_;
-  SimLauncher* launcher_ = nullptr;
-  NotifyFn notify_;
-  EvictFn evict_;
-
-  // Ordered maps for contexts/jobs keep cross-entity iteration
-  // deterministic — the DES benches rely on bit-identical replays. The
-  // client and per-context file tables are hash maps: they are only ever
-  // probed by key or iterated without order-sensitive effects (client
-  // fan-out goes through ContextState::clients, which is in connect
-  // order).
-  std::map<std::string, std::unique_ptr<ContextState>> contexts_;
-  std::unordered_map<ClientId, ClientInfo> clients_;
-  std::map<SimJobId, JobInfo> jobs_;
-  ClientId nextClient_ = 1;
-  SimJobId nextJob_ = 1;
-  DvStats stats_;
+  DvShard shard_;
 };
 
 }  // namespace simfs::dv

@@ -1,4 +1,4 @@
-#include "dv/data_virtualizer.hpp"
+#include "dv/shard.hpp"
 
 #include "common/log.hpp"
 #include "common/strings.hpp"
@@ -12,18 +12,27 @@ namespace {
 constexpr const char* kTag = "dv";
 }  // namespace
 
-DataVirtualizer::ContextState::ContextState(
+DvShard::ContextState::ContextState(
     std::unique_ptr<simmodel::SimulationDriver> d)
     : driver(std::move(d)),
       area(driver->config().name, driver->config().cacheQuotaBytes),
       cache(cache::makeCache(driver->config().policy,
                              driver->config().cacheCapacitySteps())) {}
 
-DataVirtualizer::DataVirtualizer(const Clock& clock) : clock_(clock) {}
+DvShard::DvShard(const Clock& clock, ClientId firstClientId,
+                 SimJobId firstJobId, std::uint64_t idStride)
+    : clock_(clock),
+      nextClient_(firstClientId),
+      nextJob_(firstJobId),
+      idStride_(idStride) {
+  SIMFS_CHECK(idStride_ > 0);
+  SIMFS_CHECK(firstClientId > 0);
+  SIMFS_CHECK(firstJobId > 0);
+}
 
-DataVirtualizer::~DataVirtualizer() = default;
+DvShard::~DvShard() = default;
 
-Status DataVirtualizer::registerContext(
+Status DvShard::registerContext(
     std::unique_ptr<simmodel::SimulationDriver> driver) {
   SIMFS_CHECK(driver != nullptr);
   const std::string name = driver->config().name;
@@ -35,8 +44,7 @@ Status DataVirtualizer::registerContext(
   return Status::ok();
 }
 
-Status DataVirtualizer::seedAvailableStep(const std::string& context,
-                                          StepIndex step) {
+Status DvShard::seedAvailableStep(const std::string& context, StepIndex step) {
   auto* ctx = findContext(context);
   if (ctx == nullptr) return errNotFound("dv: no context: " + context);
   const auto& cfg = ctx->driver->config();
@@ -62,18 +70,19 @@ Status DataVirtualizer::seedAvailableStep(const std::string& context,
   return Status::ok();
 }
 
-Status DataVirtualizer::setChecksumMap(const std::string& context,
-                                       simmodel::ChecksumMap map) {
+Status DvShard::setChecksumMap(const std::string& context,
+                               simmodel::ChecksumMap map) {
   auto* ctx = findContext(context);
   if (ctx == nullptr) return errNotFound("dv: no context: " + context);
   ctx->checksums = std::move(map);
   return Status::ok();
 }
 
-Result<ClientId> DataVirtualizer::clientConnect(const std::string& context) {
+Result<ClientId> DvShard::clientConnect(const std::string& context) {
   auto* ctx = findContext(context);
   if (ctx == nullptr) return errNotFound("dv: no context: " + context);
-  const ClientId id = nextClient_++;
+  const ClientId id = nextClient_;
+  nextClient_ += idStride_;
   ClientInfo info;
   info.id = id;
   info.ctx = ctx;
@@ -85,7 +94,7 @@ Result<ClientId> DataVirtualizer::clientConnect(const std::string& context) {
   return id;
 }
 
-void DataVirtualizer::clientDisconnect(ClientId client) {
+void DvShard::clientDisconnect(ClientId client) {
   auto* info = findClient(client);
   if (info == nullptr) return;
   auto* ctx = info->ctx;
@@ -115,8 +124,7 @@ void DataVirtualizer::clientDisconnect(ClientId client) {
   clients_.erase(client);
 }
 
-OpenResult DataVirtualizer::clientOpen(ClientId client,
-                                       const std::string& file) {
+OpenResult DvShard::clientOpen(ClientId client, const std::string& file) {
   OpenResult res;
   auto* info = findClient(client);
   if (info == nullptr) {
@@ -172,6 +180,12 @@ OpenResult DataVirtualizer::clientOpen(ClientId client,
     res.available = false;
     res.estimatedWait =
         jit == jobs_.end() ? 0 : estimateWait(*ctx, jit->second, step);
+  } else if (launcher_ == nullptr) {
+    // Launcher detached (fleet shut down): requests that would need a
+    // re-simulation fail soft instead of aborting.
+    ++stats_.misses;
+    res.status = errUnavailable("dv: launcher detached");
+    return res;
   } else {
     // Missing: start the demand re-simulation from R(d_i) until at least
     // the next restart step (Sec. II-A).
@@ -205,8 +219,8 @@ OpenResult DataVirtualizer::clientOpen(ClientId client,
   return res;
 }
 
-void DataVirtualizer::addWaiter(ContextState& /*ctx*/, StepIndex step,
-                                FileState& fs, ClientInfo& client) {
+void DvShard::addWaiter(ContextState& /*ctx*/, StepIndex step, FileState& fs,
+                        ClientInfo& client) {
   fs.waiters.push_back(client.id);
   client.waitingSteps.push_back(step);
   if (fs.waiters.size() == 1 && fs.kind == FileState::Kind::kPending) {
@@ -215,7 +229,7 @@ void DataVirtualizer::addWaiter(ContextState& /*ctx*/, StepIndex step,
   }
 }
 
-Status DataVirtualizer::clientRelease(ClientId client, const std::string& file) {
+Status DvShard::clientRelease(ClientId client, const std::string& file) {
   auto* info = findClient(client);
   if (info == nullptr) return errFailedPrecondition("dv: unknown client");
   ContextState* ctx = info->ctx;
@@ -234,9 +248,8 @@ Status DataVirtualizer::clientRelease(ClientId client, const std::string& file) 
   return Status::ok();
 }
 
-Result<bool> DataVirtualizer::clientBitrep(ClientId client,
-                                           const std::string& file,
-                                           std::uint64_t digest) {
+Result<bool> DvShard::clientBitrep(ClientId client, const std::string& file,
+                                   std::uint64_t digest) {
   auto* info = findClient(client);
   if (info == nullptr) return errFailedPrecondition("dv: unknown client");
   ContextState* ctx = info->ctx;
@@ -244,9 +257,8 @@ Result<bool> DataVirtualizer::clientBitrep(ClientId client,
   return ctx->checksums.matches(file, digest);
 }
 
-SimJobId DataVirtualizer::launchJob(ContextState& ctx, StepIndex start,
-                                    StepIndex stop, int level,
-                                    JobPurpose purpose, ClientId owner) {
+SimJobId DvShard::launchJob(ContextState& ctx, StepIndex start, StepIndex stop,
+                            int level, JobPurpose purpose, ClientId owner) {
   SIMFS_CHECK(launcher_ != nullptr);
   const auto& cfg = ctx.driver->config();
   // Align the start onto its restart step: the simulator can only begin
@@ -255,7 +267,8 @@ SimJobId DataVirtualizer::launchJob(ContextState& ctx, StepIndex start,
       cfg.geometry.firstStepAtOrAfterRestart(cfg.geometry.restartFor(start));
   stop = std::max(stop, start);
 
-  const SimJobId id = nextJob_++;
+  const SimJobId id = nextJob_;
+  nextJob_ += idStride_;
   JobInfo job;
   job.id = id;
   job.ctx = &ctx;
@@ -289,8 +302,8 @@ SimJobId DataVirtualizer::launchJob(ContextState& ctx, StepIndex start,
   return id;
 }
 
-void DataVirtualizer::applyAgentActions(ContextState& ctx, ClientInfo& client,
-                                        const prefetch::AgentActions& actions) {
+void DvShard::applyAgentActions(ContextState& ctx, ClientInfo& client,
+                                const prefetch::AgentActions& actions) {
   if (actions.pollutionDetected) {
     // Sec. IV-C: produced-then-evicted before use. Reset every agent.
     ++stats_.agentResets;
@@ -300,6 +313,7 @@ void DataVirtualizer::applyAgentActions(ContextState& ctx, ClientInfo& client,
   if (actions.trajectoryAbandoned) {
     killUnneededPrefetches(client.id);
   }
+  if (launcher_ == nullptr) return;  // detached: nothing left to prefetch into
   const int sMax = ctx.driver->config().sMax;
   for (const auto& req : actions.launches) {
     if (ctx.running >= sMax) break;  // s_max clamps prefetch depth
@@ -315,14 +329,13 @@ void DataVirtualizer::applyAgentActions(ContextState& ctx, ClientInfo& client,
   }
 }
 
-void DataVirtualizer::simulationStarted(SimJobId job) {
+void DvShard::simulationStarted(SimJobId job) {
   const auto it = jobs_.find(job);
   if (it == jobs_.end()) return;
   it->second.phase = JobPhase::kRunning;
 }
 
-void DataVirtualizer::simulationFileWritten(SimJobId job,
-                                            const std::string& file) {
+void DvShard::simulationFileWritten(SimJobId job, const std::string& file) {
   const auto it = jobs_.find(job);
   if (it == jobs_.end()) return;  // late event from a killed job
   auto& info = it->second;
@@ -356,8 +369,8 @@ void DataVirtualizer::simulationFileWritten(SimJobId job,
   makeAvailable(*ctx, *key, job);
 }
 
-void DataVirtualizer::makeAvailable(ContextState& ctx, StepIndex step,
-                                    SimJobId producer) {
+void DvShard::makeAvailable(ContextState& ctx, StepIndex step,
+                            SimJobId producer) {
   const auto& cfg = ctx.driver->config();
   if (!cfg.geometry.validStep(step)) return;
 
@@ -405,8 +418,8 @@ void DataVirtualizer::makeAvailable(ContextState& ctx, StepIndex step,
   processEvictions(ctx, evicted);
 }
 
-void DataVirtualizer::processEvictions(ContextState& ctx,
-                                       const std::vector<StepIndex>& evicted) {
+void DvShard::processEvictions(ContextState& ctx,
+                               const std::vector<StepIndex>& evicted) {
   const auto& cfg = ctx.driver->config();
   for (const StepIndex step : evicted) {
     ++stats_.evictions;
@@ -416,7 +429,7 @@ void DataVirtualizer::processEvictions(ContextState& ctx,
   }
 }
 
-void DataVirtualizer::simulationFinished(SimJobId job, const Status& status) {
+void DvShard::simulationFinished(SimJobId job, const Status& status) {
   const auto it = jobs_.find(job);
   if (it == jobs_.end()) return;
   auto& info = it->second;
@@ -463,13 +476,13 @@ void DataVirtualizer::simulationFinished(SimJobId job, const Status& status) {
   jobs_.erase(it);
 }
 
-void DataVirtualizer::forgetOwnedJob(const JobInfo& job) {
+void DvShard::forgetOwnedJob(const JobInfo& job) {
   if (job.purpose != JobPurpose::kPrefetch) return;
   auto* owner = findClient(job.owner);
   if (owner != nullptr) std::erase(owner->prefetchJobs, job.id);
 }
 
-void DataVirtualizer::killUnneededPrefetches(ClientId client) {
+void DvShard::killUnneededPrefetches(ClientId client) {
   auto* info = findClient(client);
   if (info == nullptr) return;
   std::vector<SimJobId> toKill;
@@ -488,7 +501,9 @@ void DataVirtualizer::killUnneededPrefetches(ClientId client) {
     auto& job = jobs_.at(id);
     ContextState* ctx = job.ctx;
     SIMFS_CHECK(ctx != nullptr);
-    launcher_->kill(id);
+    // A detached launcher (fleet already shut down) has no jobs left to
+    // kill; the bookkeeping below still has to be unwound.
+    if (launcher_ != nullptr) launcher_->kill(id);
     // Steps it still owed revert to missing.
     for (StepIndex s = job.startStep; s <= job.stopStep; ++s) {
       const auto fit = ctx->files.find(s);
@@ -507,34 +522,31 @@ void DataVirtualizer::killUnneededPrefetches(ClientId client) {
   }
 }
 
-VDuration DataVirtualizer::estimateWait(const ContextState& ctx,
-                                        const JobInfo& job,
-                                        StepIndex step) const {
+VDuration DvShard::estimateWait(const ContextState& ctx, const JobInfo& job,
+                                StepIndex step) const {
   const auto& perf = ctx.driver->config().perf.at(job.level);
   const std::int64_t stepsToGo = std::max<std::int64_t>(step - job.startStep + 1, 1);
   const VTime eta = job.launchTime + perf.alphaSim + stepsToGo * perf.tauSim;
   return std::max<VDuration>(0, eta - clock_.now());
 }
 
-DataVirtualizer::ContextState* DataVirtualizer::findContext(
-    const std::string& name) {
+DvShard::ContextState* DvShard::findContext(const std::string& name) {
   const auto it = contexts_.find(name);
   return it == contexts_.end() ? nullptr : it->second.get();
 }
 
-const DataVirtualizer::ContextState* DataVirtualizer::findContext(
+const DvShard::ContextState* DvShard::findContext(
     const std::string& name) const {
   const auto it = contexts_.find(name);
   return it == contexts_.end() ? nullptr : it->second.get();
 }
 
-DataVirtualizer::ClientInfo* DataVirtualizer::findClient(ClientId id) {
+DvShard::ClientInfo* DvShard::findClient(ClientId id) {
   const auto it = clients_.find(id);
   return it == clients_.end() ? nullptr : &it->second;
 }
 
-bool DataVirtualizer::isAvailable(const std::string& context,
-                                  StepIndex step) const {
+bool DvShard::isAvailable(const std::string& context, StepIndex step) const {
   const auto* ctx = findContext(context);
   if (ctx == nullptr) return false;
   const auto it = ctx->files.find(step);
@@ -542,22 +554,27 @@ bool DataVirtualizer::isAvailable(const std::string& context,
          it->second.kind == FileState::Kind::kAvailable;
 }
 
-int DataVirtualizer::runningJobs(const std::string& context) const {
+int DvShard::runningJobs(const std::string& context) const {
   const auto* ctx = findContext(context);
   return ctx == nullptr ? 0 : ctx->running;
 }
 
-const cache::CacheStats* DataVirtualizer::cacheStats(
-    const std::string& context) const {
+const cache::CacheStats* DvShard::cacheStats(const std::string& context) const {
   const auto* ctx = findContext(context);
   return ctx == nullptr ? nullptr : &ctx->cache->stats();
 }
 
-std::vector<std::string> DataVirtualizer::contextNames() const {
+std::vector<std::string> DvShard::contextNames() const {
   std::vector<std::string> out;
   out.reserve(contexts_.size());
   for (const auto& [name, _] : contexts_) out.push_back(name);
   return out;
+}
+
+std::size_t DvShard::residentSteps() const {
+  std::size_t total = 0;
+  for (const auto& [name, ctx] : contexts_) total += ctx->area.stepCount();
+  return total;
 }
 
 }  // namespace simfs::dv

@@ -69,6 +69,10 @@ class Reader {
 
   [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
 
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
  private:
   std::string_view data_;
   std::size_t pos_ = 0;
@@ -108,6 +112,12 @@ Result<Message> decode(std::string_view data) {
   m.code = static_cast<std::int32_t>(code);
   m.intArg = static_cast<std::int64_t>(intArg);
   m.intArg2 = static_cast<std::int64_t>(intArg2);
+  // A hostile/corrupted count must not drive a huge reserve(): every
+  // entry needs at least its 4-byte length prefix, so bound by what the
+  // buffer can actually hold before allocating.
+  if (nFiles > r.remaining() / 4) {
+    return errInvalidArgument("msg: file count exceeds buffer");
+  }
   m.files.reserve(nFiles);
   for (std::uint32_t i = 0; i < nFiles; ++i) {
     std::string f;

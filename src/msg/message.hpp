@@ -46,6 +46,11 @@ enum class MsgType : std::uint16_t {
 
   // --- generic --------------------------------------------------------------
   kError,          ///< code=status, text=message
+
+  // --- introspection (daemon pipeline) ---------------------------------------
+  kShardStatsReq,  ///< ask the daemon for per-shard serving counters
+  kShardStatsAck,  ///< files[i]="key=value;..." per shard, intArg=#shards,
+                   ///< text="shards=N;workers=M"
 };
 
 /// Who is connecting (intArg of kHello).

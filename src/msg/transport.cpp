@@ -1,20 +1,82 @@
 #include "msg/transport.hpp"
 
+#include "common/env.hpp"
 #include "common/log.hpp"
 
+#include <fcntl.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace simfs::msg {
 namespace {
+
+constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Backpressure bound: a peer that stops draining its socket may hold at
+/// most this many queued outbound bytes before the connection is torn
+/// down (the old thread-per-connection transport blocked in write()
+/// instead, which a shared event loop must never do).
+constexpr std::size_t kMaxOutboxBytes = 128u << 20;
+
+/// How long a close()d connection may keep flushing its tail to a slow
+/// peer before the remainder is dropped and the socket shut down hard.
+constexpr auto kCloseGrace = std::chrono::seconds(5);
+
+/// Delivers `m` to the handler, or parks it in the backlog when no handler
+/// is installed yet (or a setHandler replay is in flight — keeps order).
+/// Shared by both transport implementations.
+template <typename Lockable, typename HandlerSlot, typename Backlog>
+void deliverOrBuffer(Lockable& mutex, HandlerSlot& handler, bool& draining,
+                     Backlog& backlog, Message&& m) {
+  Transport::Handler h;
+  {
+    std::lock_guard lock(mutex);
+    if (!handler || draining) {
+      backlog.push_back(std::move(m));
+      return;
+    }
+    h = handler;
+  }
+  h(std::move(m));
+}
+
+/// setHandler body shared by both implementations: installs the handler
+/// and replays the backlog in order on the calling thread. `draining`
+/// makes concurrent sends append behind the replay instead of overtaking.
+template <typename Lockable, typename HandlerSlot, typename Backlog>
+void installAndReplay(Lockable& mutex, HandlerSlot& handler, bool& draining,
+                      Backlog& backlog, Transport::Handler h) {
+  std::unique_lock lock(mutex);
+  handler = std::move(h);
+  if (backlog.empty()) return;
+  draining = true;
+  while (!backlog.empty()) {
+    std::vector<Message> batch(std::make_move_iterator(backlog.begin()),
+                               std::make_move_iterator(backlog.end()));
+    backlog.clear();
+    const Transport::Handler local = handler;
+    lock.unlock();
+    for (auto& m : batch) local(std::move(m));
+    lock.lock();
+  }
+  draining = false;
+}
 
 // ------------------------------------------------------------------- InProc
 
@@ -22,7 +84,12 @@ namespace {
 struct InProcShared {
   std::mutex mutex[2];
   Transport::Handler handler[2];
+  bool draining[2] = {false, false};
+  int inFlight[2] = {0, 0};  ///< deliveries currently inside handler[i]
+  std::condition_variable idleCv[2];
+  std::vector<Message> backlog[2];
   std::function<void()> closeHandler[2];
+  bool closePending[2] = {false, false};  ///< peer died before handler set
   std::atomic<bool> open{true};
 };
 
@@ -31,41 +98,92 @@ class InProcEndpoint final : public Transport {
   InProcEndpoint(std::shared_ptr<InProcShared> shared, int side)
       : shared_(std::move(shared)), side_(side) {}
 
-  ~InProcEndpoint() override { close(); }
+  ~InProcEndpoint() override {
+    close();
+    // Teardown handshake (mirrors Reactor::remove): clear our handler and
+    // wait out deliveries already inside it, so the objects the handler
+    // captures may be destroyed the moment this destructor returns.
+    std::unique_lock lock(shared_->mutex[side_]);
+    shared_->handler[side_] = nullptr;
+    shared_->closeHandler[side_] = nullptr;
+    shared_->idleCv[side_].wait(lock,
+                                [&] { return shared_->inFlight[side_] == 0; });
+  }
 
   Status send(const Message& m) override {
     if (!shared_->open.load()) return errUnavailable("inproc: closed");
-    Handler handler;
-    {
-      std::lock_guard lock(shared_->mutex[1 - side_]);
-      handler = shared_->handler[1 - side_];
-    }
-    if (!handler) return errUnavailable("inproc: peer has no handler");
+    const int peer = 1 - side_;
     Message copy = m;
-    handler(std::move(copy));  // synchronous delivery on sender's thread
+    // Synchronous delivery on the sender's thread; pre-handler messages
+    // are buffered and replayed by the peer's setHandler. The in-flight
+    // count lets the peer's destructor wait for this call to leave its
+    // handler.
+    Handler h;
+    {
+      std::lock_guard lock(shared_->mutex[peer]);
+      if (!shared_->handler[peer] || shared_->draining[peer]) {
+        shared_->backlog[peer].push_back(std::move(copy));
+        return Status::ok();
+      }
+      h = shared_->handler[peer];
+      ++shared_->inFlight[peer];
+    }
+    h(std::move(copy));
+    {
+      std::lock_guard lock(shared_->mutex[peer]);
+      --shared_->inFlight[peer];
+    }
+    shared_->idleCv[peer].notify_all();
     return Status::ok();
   }
 
   void setHandler(Handler handler) override {
-    std::lock_guard lock(shared_->mutex[side_]);
-    shared_->handler[side_] = std::move(handler);
+    installAndReplay(shared_->mutex[side_], shared_->handler[side_],
+                     shared_->draining[side_], shared_->backlog[side_],
+                     std::move(handler));
   }
 
   void setCloseHandler(std::function<void()> handler) override {
-    std::lock_guard lock(shared_->mutex[side_]);
-    shared_->closeHandler[side_] = std::move(handler);
+    std::function<void()> fire;
+    {
+      std::lock_guard lock(shared_->mutex[side_]);
+      shared_->closeHandler[side_] = std::move(handler);
+      if (shared_->closePending[side_]) {
+        shared_->closePending[side_] = false;
+        fire = shared_->closeHandler[side_];
+      }
+    }
+    // The peer closed before this handler existed: deliver the buffered
+    // close event now (same replay contract as setHandler).
+    if (fire) fire();
   }
 
   void close() override {
     bool expected = true;
     if (!shared_->open.compare_exchange_strong(expected, false)) return;
-    // Tell the peer its counterpart is gone.
+    // Tell the peer its counterpart is gone. The invocation is counted
+    // in inFlight so the peer's destructor handshake also waits out a
+    // close callback already past the handler copy, not just message
+    // deliveries.
+    const int peer = 1 - side_;
     std::function<void()> peerClose;
     {
-      std::lock_guard lock(shared_->mutex[1 - side_]);
-      peerClose = shared_->closeHandler[1 - side_];
+      std::lock_guard lock(shared_->mutex[peer]);
+      peerClose = shared_->closeHandler[peer];
+      if (!peerClose) {
+        shared_->closePending[peer] = true;
+      } else {
+        ++shared_->inFlight[peer];
+      }
     }
-    if (peerClose) peerClose();
+    if (peerClose) {
+      peerClose();
+      {
+        std::lock_guard lock(shared_->mutex[peer]);
+        --shared_->inFlight[peer];
+      }
+      shared_->idleCv[peer].notify_all();
+    }
   }
 
   bool isOpen() const override { return shared_->open.load(); }
@@ -75,120 +193,618 @@ class InProcEndpoint final : public Transport {
   int side_;
 };
 
-// ------------------------------------------------------------------ sockets
+// ------------------------------------------------------------------ reactor
 
-/// Reads exactly n bytes; false on EOF/error.
-bool readFull(int fd, void* buf, std::size_t n) {
-  auto* p = static_cast<char*>(buf);
-  while (n > 0) {
-    const ssize_t r = ::read(fd, p, n);
-    if (r <= 0) return false;
-    p += r;
-    n -= static_cast<std::size_t>(r);
-  }
-  return true;
-}
+/// Per-connection state shared between the reactor loop that owns the fd
+/// and the ReactorTransport facade user threads hold.
+struct Conn {
+  int fd = -1;
+  std::size_t loop = 0;
 
-bool writeFull(int fd, const void* buf, std::size_t n) {
-  const auto* p = static_cast<const char*>(buf);
-  while (n > 0) {
-    const ssize_t r = ::write(fd, p, n);
-    if (r <= 0) return false;
-    p += r;
-    n -= static_cast<std::size_t>(r);
-  }
-  return true;
-}
+  std::mutex mutex;
+  // --- guarded by mutex -----------------------------------------------------
+  std::deque<std::string> outbox;  ///< framed messages awaiting writev
+  std::size_t outHead = 0;         ///< bytes of outbox.front() already sent
+  std::size_t outBytes = 0;        ///< queued + in-flight outbound bytes
+  bool writeArmed = false;         ///< a flush is scheduled / EPOLLOUT armed
+  bool closing = false;            ///< close() called: flush, then shutdown
+  bool shutdownSent = false;
+  Transport::Handler handler;
+  bool draining = false;
+  std::vector<Message> backlog;    ///< messages received before setHandler
+  std::function<void()> closeHandler;
+  bool closeNotified = false;
+  bool closePending = false;       ///< peer died before handler was set
+  bool removed = false;            ///< fully deregistered from the reactor
+  std::condition_variable removedCv;
+  // --- loop-thread only -----------------------------------------------------
+  std::string readBuf;
+  std::size_t readHead = 0;
+  bool wantWrite = false;          ///< EPOLLOUT currently in the interest set
+  bool registered = false;
+  /// Deadline for draining a close()d connection's tail (zero = unset).
+  std::chrono::steady_clock::time_point closeDeadline{};
+  // --- any thread -----------------------------------------------------------
+  std::atomic<bool> open{true};
+};
 
-class SocketTransport final : public Transport {
+/// Epoll reactor: one (or SIMFS_REACTOR_THREADS) event-loop thread(s) own
+/// every socket endpoint of the process. Inbound frames are decoded and
+/// dispatched on the loop thread; outbound frames queue per connection and
+/// flush as one writev per loop pass (send batching). All epoll_ctl and
+/// connection-table mutation happens on the owning loop thread, driven by
+/// a command queue + eventfd wakeup.
+class Reactor {
  public:
-  explicit SocketTransport(int fd) : fd_(fd) {}
+  explicit Reactor(std::size_t nLoops) {
+    loops_.reserve(nLoops);
+    for (std::size_t i = 0; i < nLoops; ++i) {
+      auto loop = std::make_unique<Loop>();
+      loop->epollFd = ::epoll_create1(EPOLL_CLOEXEC);
+      loop->wakeFd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+      SIMFS_CHECK(loop->epollFd >= 0 && loop->wakeFd >= 0);
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = loop->wakeFd;
+      SIMFS_CHECK(::epoll_ctl(loop->epollFd, EPOLL_CTL_ADD, loop->wakeFd,
+                              &ev) == 0);
+      loops_.push_back(std::move(loop));
+    }
+    for (auto& loop : loops_) {
+      loop->thread = std::thread([this, raw = loop.get()] { run(*raw); });
+    }
+  }
 
-  ~SocketTransport() override {
+  ~Reactor() {
+    for (auto& loop : loops_) {
+      loop->stop.store(true);
+      wake(*loop);
+    }
+    for (auto& loop : loops_) {
+      if (loop->thread.joinable()) loop->thread.join();
+    }
+    // Single-threaded from here: run stranded commands (e.g. a removal
+    // handshake posted during shutdown), then drop whatever is left.
+    for (auto& loop : loops_) {
+      std::vector<std::function<void()>> cmds;
+      {
+        std::lock_guard lock(loop->cmdMutex);
+        cmds.swap(loop->commands);
+      }
+      for (auto& c : cmds) c();
+      for (auto& [fd, conn] : loop->conns) {
+        ::close(fd);
+        conn->registered = false;
+        std::lock_guard lock(conn->mutex);
+        conn->open.store(false);
+        conn->removed = true;
+        conn->removedCv.notify_all();
+      }
+      loop->conns.clear();
+      ::close(loop->epollFd);
+      ::close(loop->wakeFd);
+    }
+  }
+
+  /// Process-wide reactor; sized by SIMFS_REACTOR_THREADS (default 1).
+  static Reactor& shared() {
+    static Reactor instance([] {
+      const auto v = env::getInt("SIMFS_REACTOR_THREADS");
+      if (!v) return std::size_t{1};
+      return static_cast<std::size_t>(std::clamp<std::int64_t>(*v, 1, 16));
+    }());
+    return instance;
+  }
+
+  /// Takes ownership of a connected fd; registration completes
+  /// asynchronously on the owning loop (commands are ordered, so sends
+  /// issued immediately after adopt flush after registration).
+  std::shared_ptr<Conn> adopt(int fd) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    conn->loop = nextLoop_.fetch_add(1) % loops_.size();
+    post(conn->loop, [this, conn] {
+      Loop& loop = *loops_[conn->loop];
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = conn->fd;
+      if (::epoll_ctl(loop.epollFd, EPOLL_CTL_ADD, conn->fd, &ev) == 0) {
+        loop.conns.emplace(conn->fd, conn);
+        conn->registered = true;
+      } else {
+        SIMFS_LOG_ERROR("msg", "reactor: cannot register fd %d", conn->fd);
+        ::close(conn->fd);
+        // Same owner-notification duties as disconnect(): without them
+        // the transport's close handler never fires and e.g. a daemon
+        // session would never be reaped.
+        std::function<void()> onClose;
+        {
+          std::lock_guard lock(conn->mutex);
+          conn->open.store(false);
+          if (conn->closeHandler) {
+            conn->closeNotified = true;
+            onClose = conn->closeHandler;
+          } else {
+            conn->closePending = true;
+          }
+          conn->removedCv.notify_all();
+        }
+        if (onClose) onClose();
+      }
+    });
+    return conn;
+  }
+
+  /// Asks the owning loop to flush `conn`'s outbox (and, once drained,
+  /// perform the deferred shutdown of a closing connection).
+  void scheduleFlush(const std::shared_ptr<Conn>& conn) {
+    post(conn->loop, [this, conn] {
+      if (conn->registered) flushWrites(*loops_[conn->loop], conn);
+    });
+  }
+
+  /// Runs the peer-disconnect teardown (epoll removal, fd close, close
+  /// callback) on the owning loop — used when a slow consumer overflows
+  /// its send queue and has to be dropped from a sender thread.
+  void scheduleDisconnect(const std::shared_ptr<Conn>& conn) {
+    post(conn->loop, [this, conn] {
+      if (conn->registered) disconnect(*loops_[conn->loop], conn);
+    });
+  }
+
+  /// Deregisters `conn` and blocks until no loop thread can touch it
+  /// again (drop-safe handshake for ~ReactorTransport).
+  void remove(const std::shared_ptr<Conn>& conn) {
+    Loop& loop = *loops_[conn->loop];
+    if (std::this_thread::get_id() == loop.threadId) {
+      deregister(loop, conn);
+      return;
+    }
+    // Honor the close contract before tearing the fd down: give the
+    // reactor until the grace deadline to flush the queued tail (a
+    // responsive peer drains in milliseconds; a dead one is bounded by
+    // sweepClosing, which empties the outbox at the deadline).
+    {
+      std::unique_lock lock(conn->mutex);
+      conn->removedCv.wait_for(lock, kCloseGrace, [&] {
+        // outBytes (not outbox.empty()): flushWrites steals the outbox
+        // into a local deque mid-write, and only outBytes keeps counting
+        // those in-flight frames. closeNotified/closePending: the peer is
+        // gone (possibly before a close handler existed) — nothing will
+        // ever drain the queue.
+        return conn->outBytes == 0 || conn->removed || conn->shutdownSent ||
+               conn->closeNotified || conn->closePending;
+      });
+    }
+    post(conn->loop, [this, &loop, conn] { deregister(loop, conn); });
+    std::unique_lock lock(conn->mutex);
+    conn->removedCv.wait(lock, [&] { return conn->removed; });
+  }
+
+ private:
+  struct Loop {
+    int epollFd = -1;
+    int wakeFd = -1;
+    std::thread thread;
+    std::thread::id threadId;
+    std::mutex cmdMutex;
+    std::vector<std::function<void()>> commands;
+    std::unordered_map<int, std::shared_ptr<Conn>> conns;
+    /// Closed connections still draining their tail (grace-bounded).
+    std::unordered_set<std::shared_ptr<Conn>> closingConns;
+    std::atomic<bool> stop{false};
+  };
+
+  void post(std::size_t loopIdx, std::function<void()> fn) {
+    Loop& loop = *loops_[loopIdx];
+    bool needWake = false;
+    {
+      std::lock_guard lock(loop.cmdMutex);
+      needWake = loop.commands.empty();
+      loop.commands.push_back(std::move(fn));
+    }
+    if (needWake) wake(loop);
+  }
+
+  void wake(Loop& loop) {
+    const std::uint64_t one = 1;
+    (void)!::write(loop.wakeFd, &one, sizeof(one));
+  }
+
+  void run(Loop& loop) {
+    loop.threadId = std::this_thread::get_id();
+    std::vector<epoll_event> events(64);
+    std::vector<std::function<void()>> cmds;
+    for (;;) {
+      cmds.clear();
+      {
+        std::lock_guard lock(loop.cmdMutex);
+        cmds.swap(loop.commands);
+      }
+      for (auto& c : cmds) c();
+      if (loop.stop.load()) return;
+      // Block indefinitely unless a closed connection is still draining;
+      // then wake periodically to enforce its grace deadline.
+      const int timeoutMs = loop.closingConns.empty() ? -1 : 100;
+      const int n = ::epoll_wait(loop.epollFd, events.data(),
+                                 static_cast<int>(events.size()), timeoutMs);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        SIMFS_LOG_ERROR("msg", "reactor: epoll_wait failed: %s",
+                        std::strerror(errno));
+        return;
+      }
+      if (!loop.closingConns.empty()) sweepClosing(loop);
+      for (int i = 0; i < n; ++i) {
+        const int fd = events[i].data.fd;
+        if (fd == loop.wakeFd) {
+          std::uint64_t drained = 0;
+          (void)!::read(loop.wakeFd, &drained, sizeof(drained));
+          continue;
+        }
+        const auto it = loop.conns.find(fd);
+        if (it == loop.conns.end()) continue;
+        // Copy: the handlers below may deregister the connection.
+        const std::shared_ptr<Conn> conn = it->second;
+        const auto flags = events[i].events;
+        if ((flags & EPOLLERR) != 0) {
+          disconnect(loop, conn);
+          continue;
+        }
+        if ((flags & (EPOLLIN | EPOLLHUP)) != 0) handleReadable(loop, conn);
+        if (conn->registered && (flags & EPOLLOUT) != 0) {
+          flushWrites(loop, conn);
+        }
+      }
+    }
+  }
+
+  void handleReadable(Loop& loop, const std::shared_ptr<Conn>& conn) {
+    char buf[64 * 1024];
+    bool dead = false;
+    // Read until EAGAIN (bounded per pass; level-triggered epoll re-fires
+    // if the peer outruns us).
+    for (int pass = 0; pass < 8; ++pass) {
+      const ssize_t r = ::read(conn->fd, buf, sizeof(buf));
+      if (r > 0) {
+        conn->readBuf.append(buf, static_cast<std::size_t>(r));
+        if (static_cast<std::size_t>(r) < sizeof(buf)) break;
+        continue;
+      }
+      if (r == 0) {
+        dead = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      dead = true;
+      break;
+    }
+    // Decode every complete frame accumulated so far.
+    std::string& rb = conn->readBuf;
+    std::size_t& head = conn->readHead;
+    while (rb.size() - head >= 4) {
+      std::uint32_t len = 0;
+      std::memcpy(&len, rb.data() + head, sizeof(len));
+      if (len > kMaxFrameBytes) {
+        SIMFS_LOG_ERROR("msg", "socket: oversized frame (%u bytes)", len);
+        dead = true;
+        break;
+      }
+      if (rb.size() - head < 4 + static_cast<std::size_t>(len)) break;
+      auto m = decode(std::string_view(rb).substr(head + 4, len));
+      head += 4 + static_cast<std::size_t>(len);
+      if (!m) {
+        SIMFS_LOG_ERROR("msg", "socket: undecodable frame: %s",
+                        m.status().toString().c_str());
+        dead = true;
+        break;
+      }
+      deliverOrBuffer(conn->mutex, conn->handler, conn->draining,
+                      conn->backlog, std::move(*m));
+    }
+    if (head > 0) {
+      rb.erase(0, head);  // compact once per event, not once per frame
+      head = 0;
+    }
+    if (dead) disconnect(loop, conn);
+  }
+
+  void flushWrites(Loop& loop, const std::shared_ptr<Conn>& conn) {
+    constexpr int kMaxIov = 64;
+    constexpr int kMaxPasses = 4;  // then yield to other connections
+    bool fail = false;
+    bool wantWrite = false;
+    bool doShutdown = false;
+    std::size_t poppedBytes = 0;
+    std::deque<std::string> local;
+    std::size_t head = 0;
+    for (int pass = 0; pass < kMaxPasses; ++pass) {
+      // Steal the outbox so the writev() syscalls below run without the
+      // connection mutex — senders stay non-blocking during kernel I/O.
+      {
+        std::lock_guard lock(conn->mutex);
+        local.swap(conn->outbox);
+        head = conn->outHead;
+        conn->outHead = 0;
+      }
+      if (local.empty()) break;
+      while (!local.empty()) {
+        iovec iov[kMaxIov];
+        int cnt = 0;
+        std::size_t skip = head;
+        for (auto it = local.begin(); it != local.end() && cnt < kMaxIov;
+             ++it) {
+          iov[cnt].iov_base = const_cast<char*>(it->data() + skip);
+          iov[cnt].iov_len = it->size() - skip;
+          skip = 0;
+          ++cnt;
+        }
+        const ssize_t w = ::writev(conn->fd, iov, cnt);
+        if (w < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            wantWrite = true;
+            break;
+          }
+          fail = true;
+          break;
+        }
+        std::size_t n = static_cast<std::size_t>(w);
+        while (n > 0 && !local.empty()) {
+          const std::size_t remain = local.front().size() - head;
+          if (n >= remain) {
+            n -= remain;
+            poppedBytes += local.front().size();
+            local.pop_front();
+            head = 0;
+          } else {
+            head += n;
+            n = 0;
+          }
+        }
+      }
+      if (fail) break;
+      if (!local.empty()) {
+        // Partial write: splice the tail back in FRONT of whatever new
+        // sends queued meanwhile, preserving frame order.
+        std::lock_guard lock(conn->mutex);
+        for (auto it = local.rbegin(); it != local.rend(); ++it) {
+          conn->outbox.push_front(std::move(*it));
+        }
+        conn->outHead = head;
+        local.clear();
+        break;  // socket is full (EAGAIN): wait for EPOLLOUT
+      }
+      // Drained everything we stole; loop in case senders refilled.
+    }
+    if (fail) {
+      disconnect(loop, conn);
+      return;
+    }
+    bool trackClosing = false;
+    {
+      std::lock_guard lock(conn->mutex);
+      conn->outBytes -= poppedBytes;
+      if (conn->outbox.empty()) {
+        conn->writeArmed = false;
+        if (conn->closing && !conn->shutdownSent) {
+          conn->shutdownSent = true;
+          doShutdown = true;
+        }
+      } else {
+        if (!wantWrite) {
+          // Refilled faster than kMaxPasses could drain: the socket is
+          // still writable, so level-triggered EPOLLOUT re-enters us on
+          // the next loop pass without starving other connections.
+          wantWrite = true;
+        }
+        // Closing with a tail still queued: keep flushing, but bounded —
+        // sweepClosing() drops the remainder once the grace expires.
+        if (conn->closing && !conn->shutdownSent) trackClosing = true;
+      }
+    }
+    if (trackClosing) {
+      if (conn->closeDeadline == std::chrono::steady_clock::time_point{}) {
+        conn->closeDeadline = std::chrono::steady_clock::now() + kCloseGrace;
+      }
+      loop.closingConns.insert(conn);
+    }
+    // Wake a destructor waiting in remove() for the tail to flush.
+    conn->removedCv.notify_all();
+    updateInterest(loop, *conn, wantWrite);
+    if (doShutdown) {
+      loop.closingConns.erase(conn);
+      // Queued sends are on the wire; now let the peer observe EOF. Our
+      // own read side then hits EOF and runs the disconnect path.
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+
+  /// Enforces the close grace: a close()d connection whose peer did not
+  /// drain the tail in time is shut down hard (close() promises EOF, not
+  /// unbounded patience with a peer that stopped reading).
+  void sweepClosing(Loop& loop) {
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = loop.closingConns.begin(); it != loop.closingConns.end();) {
+      const std::shared_ptr<Conn>& conn = *it;
+      bool expired = false;
+      {
+        std::lock_guard lock(conn->mutex);
+        if (conn->outbox.empty() || conn->shutdownSent || !conn->registered) {
+          it = loop.closingConns.erase(it);
+          continue;
+        }
+        if (now >= conn->closeDeadline) {
+          conn->outbox.clear();
+          conn->outHead = 0;
+          conn->outBytes = 0;
+          conn->writeArmed = false;
+          conn->shutdownSent = true;
+          expired = true;
+        }
+      }
+      if (expired) {
+        conn->removedCv.notify_all();
+        ::shutdown(conn->fd, SHUT_RDWR);
+        it = loop.closingConns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void updateInterest(Loop& loop, Conn& conn, bool wantWrite) {
+    if (!conn.registered || conn.wantWrite == wantWrite) return;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (wantWrite ? EPOLLOUT : 0u);
+    ev.data.fd = conn.fd;
+    (void)::epoll_ctl(loop.epollFd, EPOLL_CTL_MOD, conn.fd, &ev);
+    conn.wantWrite = wantWrite;
+  }
+
+  /// Peer-initiated teardown (EOF, error, poisoned frame).
+  void disconnect(Loop& loop, const std::shared_ptr<Conn>& conn) {
+    std::function<void()> onClose;
+    {
+      std::lock_guard lock(conn->mutex);
+      conn->open.store(false);
+      if (!conn->closeNotified) {
+        if (conn->closeHandler) {
+          conn->closeNotified = true;
+          onClose = conn->closeHandler;
+        } else {
+          // No handler yet: buffer the event, setCloseHandler replays it.
+          conn->closePending = true;
+        }
+      }
+    }
+    if (conn->registered) {
+      (void)::epoll_ctl(loop.epollFd, EPOLL_CTL_DEL, conn->fd, nullptr);
+      loop.conns.erase(conn->fd);
+      ::close(conn->fd);
+      conn->registered = false;
+    }
+    loop.closingConns.erase(conn);
+    conn->removedCv.notify_all();
+    if (onClose) onClose();
+  }
+
+  /// Transport-initiated teardown; after this returns on the loop thread,
+  /// no handler or close callback can run again.
+  void deregister(Loop& loop, const std::shared_ptr<Conn>& conn) {
+    if (conn->registered) {
+      (void)::epoll_ctl(loop.epollFd, EPOLL_CTL_DEL, conn->fd, nullptr);
+      loop.conns.erase(conn->fd);
+      ::close(conn->fd);
+      conn->registered = false;
+    }
+    loop.closingConns.erase(conn);
+    std::lock_guard lock(conn->mutex);
+    conn->open.store(false);
+    conn->handler = nullptr;
+    conn->closeHandler = nullptr;
+    conn->removed = true;
+    conn->removedCv.notify_all();
+  }
+
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::atomic<std::size_t> nextLoop_{0};
+};
+
+class ReactorTransport final : public Transport {
+ public:
+  ReactorTransport(Reactor& reactor, std::shared_ptr<Conn> conn)
+      : reactor_(reactor), conn_(std::move(conn)) {}
+
+  ~ReactorTransport() override {
     close();
-    if (reader_.joinable()) reader_.join();
+    reactor_.remove(conn_);
   }
 
   Status send(const Message& m) override {
-    std::lock_guard lock(sendMutex_);
-    if (!open_.load()) return errUnavailable("socket: closed");
-    const std::string framed = frame(encode(m));
-    if (!writeFull(fd_, framed.data(), framed.size())) {
-      open_.store(false);
-      return errUnavailable("socket: peer gone");
+    // Cheap sticky-state pre-check before paying for serialization; the
+    // locked check below remains authoritative.
+    if (!conn_->open.load()) return errUnavailable("socket: closed");
+    std::string framed = frame(encode(m));
+    bool schedule = false;
+    bool overflow = false;
+    {
+      std::lock_guard lock(conn_->mutex);
+      if (!conn_->open.load() || conn_->closing) {
+        return errUnavailable("socket: closed");
+      }
+      if (conn_->outBytes + framed.size() > kMaxOutboxBytes) {
+        // Backpressure: the peer stopped draining. A shared event loop
+        // must not block the sender, so the connection is dropped — the
+        // close callback lets the owner reclaim the session.
+        conn_->open.store(false);
+        overflow = true;
+      } else {
+        conn_->outBytes += framed.size();
+        conn_->outbox.push_back(std::move(framed));
+        if (!conn_->writeArmed) {
+          conn_->writeArmed = true;
+          schedule = true;
+        }
+      }
     }
+    if (overflow) {
+      SIMFS_LOG_WARN("msg", "socket: send queue overflow, dropping peer");
+      reactor_.scheduleDisconnect(conn_);
+      return errUnavailable("socket: send queue overflow");
+    }
+    // One wakeup covers every send queued until the loop drains the
+    // outbox (writev batching); only the first sender pays the post.
+    if (schedule) reactor_.scheduleFlush(conn_);
     return Status::ok();
   }
 
   void setHandler(Handler handler) override {
-    {
-      std::lock_guard lock(handlerMutex_);
-      handler_ = std::move(handler);
-    }
-    startReaderOnce();
+    installAndReplay(conn_->mutex, conn_->handler, conn_->draining,
+                     conn_->backlog, std::move(handler));
   }
 
   void setCloseHandler(std::function<void()> handler) override {
-    std::lock_guard lock(handlerMutex_);
-    closeHandler_ = std::move(handler);
+    std::function<void()> fire;
+    {
+      std::lock_guard lock(conn_->mutex);
+      conn_->closeHandler = std::move(handler);
+      if (conn_->closePending && !conn_->closeNotified) {
+        conn_->closeNotified = true;
+        conn_->closePending = false;
+        fire = conn_->closeHandler;
+      }
+    }
+    // The peer vanished before the handler existed (the reactor starts
+    // reading at adopt(), not at setHandler()): replay the close event.
+    if (fire) fire();
   }
 
   void close() override {
-    bool expected = true;
-    if (open_.compare_exchange_strong(expected, false)) {
-      ::shutdown(fd_, SHUT_RDWR);
+    bool schedule = false;
+    {
+      std::lock_guard lock(conn_->mutex);
+      if (conn_->closing) return;
+      conn_->closing = true;
+      conn_->open.store(false);
+      if (!conn_->writeArmed) {
+        conn_->writeArmed = true;
+        schedule = true;
+      }
     }
+    // The flush drains anything already queued, then shuts the socket
+    // down so the peer observes EOF.
+    if (schedule) reactor_.scheduleFlush(conn_);
   }
 
-  bool isOpen() const override { return open_.load(); }
+  bool isOpen() const override { return conn_->open.load(); }
 
  private:
-  void startReaderOnce() {
-    bool expected = false;
-    if (!readerStarted_.compare_exchange_strong(expected, true)) return;
-    reader_ = std::thread([this] { readLoop(); });
-  }
-
-  void readLoop() {
-    for (;;) {
-      std::uint32_t len = 0;
-      if (!readFull(fd_, &len, sizeof(len))) break;
-      if (len > (64u << 20)) {
-        SIMFS_LOG_ERROR("msg", "socket: oversized frame (%u bytes)", len);
-        break;
-      }
-      std::string payload(len, '\0');
-      if (!readFull(fd_, payload.data(), len)) break;
-      auto m = decode(payload);
-      if (!m) {
-        SIMFS_LOG_ERROR("msg", "socket: undecodable frame: %s",
-                        m.status().toString().c_str());
-        break;
-      }
-      Handler handler;
-      {
-        std::lock_guard lock(handlerMutex_);
-        handler = handler_;
-      }
-      if (handler) handler(std::move(*m));
-    }
-    open_.store(false);
-    std::function<void()> onClose;
-    {
-      std::lock_guard lock(handlerMutex_);
-      onClose = closeHandler_;
-    }
-    if (onClose) onClose();
-  }
-
-  int fd_;
-  std::atomic<bool> open_{true};
-  std::atomic<bool> readerStarted_{false};
-  std::mutex sendMutex_;
-  std::mutex handlerMutex_;
-  Handler handler_;
-  std::function<void()> closeHandler_;
-  std::thread reader_;
+  Reactor& reactor_;
+  std::shared_ptr<Conn> conn_;
 };
 
 }  // namespace
@@ -241,7 +857,9 @@ Status UnixSocketServer::start(ConnectionHandler onConnection) {
       if (n == 0 || (pfd.revents & POLLIN) == 0) continue;
       const int fd = ::accept(impl_->listenFd, nullptr, nullptr);
       if (fd < 0) break;
-      onConnection(std::make_unique<SocketTransport>(fd));
+      auto& reactor = Reactor::shared();
+      onConnection(
+          std::make_unique<ReactorTransport>(reactor, reactor.adopt(fd)));
     }
   });
   return Status::ok();
@@ -271,7 +889,9 @@ Result<std::unique_ptr<Transport>> unixSocketConnect(const std::string& path) {
     ::close(fd);
     return errUnavailable("connect() failed for " + path);
   }
-  return std::unique_ptr<Transport>(std::make_unique<SocketTransport>(fd));
+  auto& reactor = Reactor::shared();
+  return std::unique_ptr<Transport>(
+      std::make_unique<ReactorTransport>(reactor, reactor.adopt(fd)));
 }
 
 }  // namespace simfs::msg

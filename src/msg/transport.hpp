@@ -6,12 +6,19 @@
 //     DV runs as a thread of the analysis driver.
 //   * Unix-domain stream sockets — the daemon deployment (the paper uses
 //     TCP/IP; a UNIX socket carries the identical framed protocol and
-//     keeps the examples self-contained).
+//     keeps the examples self-contained). All socket endpoints of the
+//     process are owned by a shared epoll reactor: one (or
+//     SIMFS_REACTOR_THREADS) event-loop thread(s) service every
+//     connection, and outbound messages are batched into writev() calls
+//     instead of one write per frame — connection count no longer implies
+//     thread count.
 //
 // Delivery contract: the receive handler may be invoked from an arbitrary
-// thread (the sender's for InProc, a reader thread for sockets) and must
-// not synchronously send on the same transport it is handling, except to
-// reply — replies are safe because handlers never hold transport locks.
+// thread (the sender's for InProc, an event-loop thread for sockets) and
+// must not synchronously send on the same transport it is handling, except
+// to reply — replies are safe because handlers never hold transport locks.
+// Messages that arrive before a handler is installed are buffered and
+// replayed, in order, on the thread that calls setHandler().
 #pragma once
 
 #include "common/status.hpp"
@@ -31,17 +38,25 @@ class Transport {
   virtual ~Transport() = default;
 
   /// Sends a message to the peer. Returns kUnavailable once closed.
+  /// Socket sends are asynchronous: the message is queued and flushed by
+  /// the reactor (batched with neighbours into one writev). A peer that
+  /// stops draining its socket is disconnected once its queue exceeds a
+  /// fixed byte bound (send then also returns kUnavailable) — senders
+  /// are never blocked on a slow consumer.
   [[nodiscard]] virtual Status send(const Message& m) = 0;
 
-  /// Installs the receive handler. Must be set before the peer sends;
-  /// messages arriving with no handler are dropped.
+  /// Installs the receive handler. Messages that arrived before the
+  /// handler was installed are replayed to it, in arrival order, before
+  /// this call returns.
   virtual void setHandler(Handler handler) = 0;
 
   /// Installs a disconnect callback, invoked once when the peer goes away
   /// (socket EOF / peer close). Optional.
   virtual void setCloseHandler(std::function<void()> handler) = 0;
 
-  /// Closes the endpoint; pending sends fail, the peer observes EOF.
+  /// Closes the endpoint; new sends fail, already-queued sends are
+  /// flushed (bounded by a grace period if the peer stops reading), then
+  /// the peer observes EOF.
   virtual void close() = 0;
 
   /// True until close() (or peer disconnect for sockets).
@@ -52,8 +67,9 @@ class Transport {
 [[nodiscard]] std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
 makeInProcPair();
 
-/// Listening Unix-domain socket. One reader thread per accepted
-/// connection; connections are handed to the callback as Transports.
+/// Listening Unix-domain socket. Accepted connections are registered with
+/// the process-wide epoll reactor and handed to the callback as
+/// Transports; no per-connection threads are created.
 class UnixSocketServer {
  public:
   using ConnectionHandler = std::function<void(std::unique_ptr<Transport>)>;

@@ -28,6 +28,12 @@ ThreadedSimulatorFleet::ThreadedSimulatorFleet(dv::Daemon& daemon,
 }
 
 ThreadedSimulatorFleet::~ThreadedSimulatorFleet() {
+  // Detach from the daemon FIRST. Launcher calls only happen under shard
+  // locks and setLauncher acquires every one of them, so once this
+  // returns no daemon worker is inside (or will ever again enter) this
+  // fleet — no launch() can slip in behind the join below, and the
+  // daemon may keep processing queued requests after we are gone.
+  daemon_.setLauncher(nullptr);
   // Kill outstanding jobs so shutdown does not wait out their full runtime.
   {
     std::lock_guard lock(mutex_);
@@ -63,9 +69,12 @@ void ThreadedSimulatorFleet::launch(SimJobId id, const simmodel::JobSpec& spec) 
   auto job = std::make_unique<Job>();
   Job* raw = job.get();
   launched_.fetch_add(1);
-  // The thread body runs entirely outside the daemon lock.
-  raw->thread = std::thread(
-      [this, raw, id, spec] { runJob(*raw, id, spec); });
+  active_.fetch_add(1);
+  // The thread body runs entirely outside the daemon's shard locks.
+  raw->thread = std::thread([this, raw, id, spec] {
+    runJob(*raw, id, spec);
+    active_.fetch_sub(1);
+  });
   jobs_.emplace(id, std::move(job));
 }
 

@@ -53,16 +53,25 @@ class ThreadedSimulatorFleet final : public dv::SimLauncher {
   void setBatchModel(BatchModel model) { batch_ = model; }
 
   // --- SimLauncher ------------------------------------------------------------
-  /// Non-blocking: spawns the job thread. Called under the daemon lock,
-  /// so it must never call back into the daemon synchronously.
+  /// Non-blocking: spawns the job thread. Called on a daemon worker with
+  /// the owning shard's lock held, so it must never call back into the
+  /// daemon synchronously (job threads report events asynchronously via
+  /// the daemon's shard queues).
   void launch(SimJobId job, const simmodel::JobSpec& spec) override;
   void kill(SimJobId job) override;
 
   /// Blocks until every job thread has finished (shutdown path). Must not
-  /// be called while holding the daemon lock.
+  /// be called from a daemon worker (it would wait on jobs whose events
+  /// need that worker).
   void joinAll();
 
   [[nodiscard]] std::uint64_t launched() const noexcept { return launched_.load(); }
+
+  /// Jobs whose threads are still running (stress tests and benches poll
+  /// this to detect quiescence).
+  [[nodiscard]] std::uint64_t activeJobs() const noexcept {
+    return active_.load();
+  }
 
  private:
   struct Job {
@@ -87,6 +96,7 @@ class ThreadedSimulatorFleet final : public dv::SimLauncher {
   std::map<std::string, simmodel::ContextConfig> contexts_;
   std::map<SimJobId, std::unique_ptr<Job>> jobs_;
   std::atomic<std::uint64_t> launched_{0};
+  std::atomic<std::uint64_t> active_{0};
 };
 
 }  // namespace simfs::simulator

@@ -1,0 +1,229 @@
+// Concurrent-serving stress test: N socket clients x M contexts hammer
+// open/close against the sharded daemon while a threaded fleet produces
+// files. The per-context end state (which steps are resident) must match
+// a single-threaded DataVirtualizer replay of the same accesses: demand
+// jobs always cover whole restart intervals, so the union of produced
+// intervals is interleaving-independent — any divergence means the
+// sharded pipeline lost, duplicated, or cross-wired a request.
+//
+// This test is a primary target of the ThreadSanitizer CI job.
+#include "dv/daemon.hpp"
+#include "dv/data_virtualizer.hpp"
+#include "dvlib/simfs_client.hpp"
+#include "msg/transport.hpp"
+#include "simulator/threaded_fleet.hpp"
+#include "vfs/file_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+namespace simfs::dv {
+namespace {
+
+using simmodel::ContextConfig;
+using simmodel::PerfModel;
+using simmodel::StepGeometry;
+
+constexpr int kContexts = 4;
+constexpr int kClients = 8;
+constexpr int kAccessesPerClient = 12;
+constexpr StepIndex kStepSpan = 48;  // accessed region of the timeline
+
+std::string contextName(int i) { return "ctx" + std::to_string(i); }
+
+ContextConfig stressConfig(int i) {
+  ContextConfig cfg;
+  cfg.name = contextName(i);
+  cfg.geometry = StepGeometry(1, 4, 64);
+  cfg.outputStepBytes = 64;
+  cfg.cacheQuotaBytes = 0;  // unlimited: the end state is the produced union
+  cfg.sMax = 8;
+  cfg.prefetchEnabled = false;  // demand-only: no timing-dependent kills
+  cfg.perf = PerfModel(2, 1 * vtime::kMillisecond, 2 * vtime::kMillisecond);
+  return cfg;
+}
+
+/// The deterministic access list of client `c` (steps are distinct per
+/// client; ranges of different clients overlap within a context).
+std::vector<StepIndex> accessesOf(int c) {
+  std::vector<StepIndex> steps;
+  steps.reserve(kAccessesPerClient);
+  for (int k = 0; k < kAccessesPerClient; ++k) {
+    steps.push_back(static_cast<StepIndex>((c * 7 + k * 5) % kStepSpan));
+  }
+  return steps;
+}
+
+/// Records launches so the replay can complete them synchronously after
+/// the triggering request returns (a fleet whose jobs always finish
+/// before the next access).
+class RecordingLauncher final : public SimLauncher {
+ public:
+  struct Launched {
+    SimJobId id;
+    simmodel::JobSpec spec;
+  };
+  void launch(SimJobId job, const simmodel::JobSpec& spec) override {
+    pending.push_back({job, spec});
+  }
+  void kill(SimJobId) override {}
+  std::vector<Launched> pending;
+};
+
+/// Replays every access single-threaded and returns, per context, the set
+/// of steps available at the end.
+std::vector<std::set<StepIndex>> replaySingleThreaded() {
+  ManualClock clock;
+  RecordingLauncher launcher;
+  DataVirtualizer dv(clock);
+  dv.setLauncher(&launcher);
+  std::vector<ContextConfig> cfgs;
+  for (int i = 0; i < kContexts; ++i) {
+    cfgs.push_back(stressConfig(i));
+    EXPECT_TRUE(
+        dv.registerContext(std::make_unique<simmodel::SyntheticDriver>(cfgs[i]))
+            .isOk());
+  }
+  const auto completeLaunches = [&] {
+    while (!launcher.pending.empty()) {
+      const auto job = launcher.pending.back();
+      launcher.pending.pop_back();
+      const auto& cfg = cfgs[std::stoi(job.spec.context.substr(3))];
+      dv.simulationStarted(job.id);
+      for (StepIndex s = job.spec.startStep; s <= job.spec.stopStep; ++s) {
+        dv.simulationFileWritten(job.id, cfg.codec.outputFile(s));
+      }
+      dv.simulationFinished(job.id, Status::ok());
+    }
+  };
+  for (int c = 0; c < kClients; ++c) {
+    const int ctx = c % kContexts;
+    const auto client = dv.clientConnect(contextName(ctx)).value();
+    for (const StepIndex step : accessesOf(c)) {
+      const std::string file = cfgs[ctx].codec.outputFile(step);
+      (void)dv.clientOpen(client, file);
+      completeLaunches();
+      (void)dv.clientRelease(client, file);
+    }
+    dv.clientDisconnect(client);
+  }
+  std::vector<std::set<StepIndex>> available(kContexts);
+  for (int i = 0; i < kContexts; ++i) {
+    const auto steps = cfgs[i].geometry.numOutputSteps();
+    for (StepIndex s = 0; s < steps; ++s) {
+      if (dv.isAvailable(contextName(i), s)) available[i].insert(s);
+    }
+  }
+  return available;
+}
+
+TEST(DaemonStressTest, ConcurrentClientsMatchSingleThreadedReplay) {
+  const std::string path =
+      "/tmp/simfs_stress_" + std::to_string(::getpid()) + ".sock";
+  Daemon::Options options;
+  options.shards = kContexts;  // one shard per context
+  options.workers = kContexts;
+  auto daemon = std::make_unique<Daemon>(options);
+  vfs::MemFileStore store;
+  auto fleet = std::make_unique<simulator::ThreadedSimulatorFleet>(
+      *daemon, store, /*timeScale=*/1.0);
+  std::vector<ContextConfig> cfgs;
+  for (int i = 0; i < kContexts; ++i) {
+    cfgs.push_back(stressConfig(i));
+    ASSERT_TRUE(
+        daemon
+            ->registerContext(std::make_unique<simmodel::SyntheticDriver>(cfgs[i]))
+            .isOk());
+    fleet->registerContext(cfgs[i]);
+  }
+  daemon->setLauncher(fleet.get());
+  ASSERT_TRUE(daemon->listen(path).isOk());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      const int ctx = c % kContexts;
+      auto conn = msg::unixSocketConnect(path);
+      if (!conn.isOk()) {
+        ++failures;
+        return;
+      }
+      auto client = dvlib::SimFSClient::connect(std::move(*conn),
+                                                contextName(ctx));
+      if (!client.isOk()) {
+        ++failures;
+        return;
+      }
+      for (const StepIndex step : accessesOf(c)) {
+        const std::string file = cfgs[ctx].codec.outputFile(step);
+        if (!(*client)->acquire({file}).isOk() ||
+            !(*client)->release(file).isOk()) {
+          ++failures;
+          return;
+        }
+      }
+      (*client)->finalize();
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // Quiesce: demand jobs keep producing the rest of their restart
+  // interval after the acquiring client was already notified, and their
+  // final events may still sit in shard queues after the job threads
+  // exit — wait until every queued request has been served too.
+  const auto quiesced = [&] {
+    if (fleet->activeJobs() > 0) return false;
+    for (const auto& c : daemon->shardCounters()) {
+      if (c.queued > 0 || c.served < c.enqueued) return false;
+    }
+    return true;
+  };
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!quiesced() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(quiesced()) << "daemon pipeline did not quiesce";
+
+  const auto expected = replaySingleThreaded();
+  for (int i = 0; i < kContexts; ++i) {
+    const auto steps = cfgs[i].geometry.numOutputSteps();
+    for (StepIndex s = 0; s < steps; ++s) {
+      EXPECT_EQ(daemon->isAvailable(contextName(i), s),
+                expected[i].count(s) > 0)
+          << "context " << i << " step " << s;
+    }
+  }
+
+  // Aggregate accounting: every acquire was exactly one open, none lost.
+  const auto stats = daemon->stats();
+  EXPECT_EQ(stats.opens,
+            static_cast<std::uint64_t>(kClients) * kAccessesPerClient);
+  EXPECT_EQ(stats.hits + stats.misses, stats.opens);
+  EXPECT_EQ(stats.prefetchJobs, 0u);
+  EXPECT_EQ(stats.jobsKilled, 0u);
+
+  // Per-shard counters saw the traffic, and only the shards that own
+  // contexts did (one context per shard here).
+  const auto counters = daemon->shardCounters();
+  ASSERT_EQ(counters.size(), static_cast<std::size_t>(kContexts));
+  for (const auto& c : counters) {
+    EXPECT_EQ(c.contexts.size(), 1u);
+    EXPECT_GT(c.served, 0u);
+    EXPECT_EQ(c.queued, 0u);
+    EXPECT_GT(c.residentSteps, 0u);
+  }
+
+  fleet.reset();
+  daemon.reset();
+}
+
+}  // namespace
+}  // namespace simfs::dv

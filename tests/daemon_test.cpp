@@ -168,6 +168,104 @@ TEST_F(SocketDaemonTest, StatusRequestReportsCounters) {
   (*conn)->close();
 }
 
+TEST_F(SocketDaemonTest, PipelinedHelloThenOpenIsServedInOrder) {
+  // A client may stream kHello and kOpenReq in one burst without waiting
+  // for kHelloAck; the daemon must serve both, in order, on the context's
+  // shard (the seed's synchronous handler guaranteed this too).
+  auto conn = msg::unixSocketConnect(path_);
+  ASSERT_TRUE(conn.isOk());
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<msg::Message> replies;
+  (*conn)->setHandler([&](msg::Message&& m) {
+    std::lock_guard lock(mu);
+    replies.push_back(std::move(m));
+    cv.notify_all();
+  });
+  msg::Message hello;
+  hello.type = msg::MsgType::kHello;
+  hello.requestId = 1;
+  hello.context = "sock";
+  hello.intArg = static_cast<std::int64_t>(msg::ClientRole::kAnalysis);
+  ASSERT_TRUE((*conn)->send(hello).isOk());
+  msg::Message open;
+  open.type = msg::MsgType::kOpenReq;
+  open.requestId = 2;
+  open.files = {"out_0000000001.snc"};
+  ASSERT_TRUE((*conn)->send(open).isOk());
+  {
+    std::unique_lock lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return replies.size() >= 2u; }));
+  }
+  EXPECT_EQ(replies[0].type, msg::MsgType::kHelloAck);
+  EXPECT_EQ(replies[0].code, 0);
+  EXPECT_EQ(replies[1].type, msg::MsgType::kOpenAck);
+  EXPECT_EQ(replies[1].code, 0) << replies[1].text;
+  (*conn)->close();
+}
+
+TEST_F(SocketDaemonTest, ShardStatsReportPerShardCounters) {
+  // Generate some served traffic first.
+  {
+    auto conn = msg::unixSocketConnect(path_);
+    ASSERT_TRUE(conn.isOk());
+    auto client = dvlib::SimFSClient::connect(std::move(*conn), "sock");
+    ASSERT_TRUE(client.isOk());
+    ASSERT_TRUE((*client)->acquire({"out_0000000003.snc"}).isOk());
+    ASSERT_TRUE((*client)->release("out_0000000003.snc").isOk());
+    (*client)->finalize();
+  }
+  // The simfsctl introspection path: raw kShardStatsReq over the wire.
+  auto conn = msg::unixSocketConnect(path_);
+  ASSERT_TRUE(conn.isOk());
+  std::mutex mu;
+  std::condition_variable cv;
+  bool got = false;
+  msg::Message reply;
+  (*conn)->setHandler([&](msg::Message&& m) {
+    std::lock_guard lock(mu);
+    reply = std::move(m);
+    got = true;
+    cv.notify_all();
+  });
+  msg::Message req;
+  req.type = msg::MsgType::kShardStatsReq;
+  ASSERT_TRUE((*conn)->send(req).isOk());
+  {
+    std::unique_lock lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5), [&] { return got; }));
+  }
+  EXPECT_EQ(reply.type, msg::MsgType::kShardStatsAck);
+  EXPECT_EQ(static_cast<std::size_t>(reply.intArg), daemon_->shardCount());
+  ASSERT_EQ(reply.files.size(), daemon_->shardCount());
+  EXPECT_NE(reply.text.find("shards="), std::string::npos);
+  // The one context lives on exactly one shard; that shard served the
+  // traffic above and holds the produced steps.
+  bool sawServing = false;
+  for (const auto& line : reply.files) {
+    EXPECT_NE(line.find("shard="), std::string::npos);
+    if (line.find("contexts=sock") != std::string::npos) {
+      sawServing = true;
+      EXPECT_NE(line.find("resident_steps="), std::string::npos);
+      EXPECT_EQ(line.find("served=0;"), std::string::npos) << line;
+    }
+  }
+  EXPECT_TRUE(sawServing);
+  // The in-process view agrees with the wire view.
+  const auto counters = daemon_->shardCounters();
+  ASSERT_EQ(counters.size(), daemon_->shardCount());
+  std::uint64_t served = 0;
+  std::size_t resident = 0;
+  for (const auto& c : counters) {
+    served += c.served;
+    resident += c.residentSteps;
+  }
+  EXPECT_GT(served, 0u);
+  EXPECT_GT(resident, 0u);
+  (*conn)->close();
+}
+
 TEST_F(SocketDaemonTest, TraceToolRunsOverLiveStack) {
   auto conn = msg::unixSocketConnect(path_);
   ASSERT_TRUE(conn.isOk());

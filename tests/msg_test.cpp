@@ -121,9 +121,24 @@ TEST(InProcTransportTest, DeliversBothDirections) {
   EXPECT_EQ(atA[0].type, MsgType::kAcquireAck);
 }
 
-TEST(InProcTransportTest, SendWithoutHandlerFails) {
+TEST(InProcTransportTest, BuffersMessagesSentBeforeHandler) {
+  // The old contract dropped (failed) pre-handler sends, which raced
+  // connection setup; they are now buffered and replayed by setHandler.
   auto [a, b] = makeInProcPair();
-  EXPECT_EQ(a->send(sampleMessage()).code(), StatusCode::kUnavailable);
+  ASSERT_TRUE(a->send(sampleMessage()).isOk());
+  Message second;
+  second.type = MsgType::kOpenReq;
+  second.requestId = 99;
+  ASSERT_TRUE(a->send(second).isOk());
+  std::vector<Message> atB;
+  b->setHandler([&](Message&& m) { atB.push_back(std::move(m)); });
+  // Replay happens before setHandler returns, in send order.
+  ASSERT_EQ(atB.size(), 2u);
+  EXPECT_EQ(atB[0].type, MsgType::kAcquireReq);
+  EXPECT_EQ(atB[1].requestId, 99u);
+  // Later sends are delivered directly.
+  ASSERT_TRUE(a->send(sampleMessage()).isOk());
+  EXPECT_EQ(atB.size(), 3u);
 }
 
 TEST(InProcTransportTest, CloseStopsDelivery) {
@@ -184,6 +199,105 @@ TEST_F(UnixSocketTest, RequestReplyOverSocket) {
   EXPECT_EQ(replies[0].requestId, 77u);
   EXPECT_EQ(replies[0].files.size(), 2u);
 
+  (*client)->close();
+  server.stop();
+}
+
+TEST_F(UnixSocketTest, BuffersFramesUntilServerInstallsHandler) {
+  // Regression test for the documented transport race: frames that arrive
+  // before the receive handler is installed must be buffered and replayed,
+  // not dropped. The server deliberately delays setHandler until the
+  // client's messages are already on the wire.
+  UnixSocketServer server(path_);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::unique_ptr<Transport> serverConn;
+  ASSERT_TRUE(server
+                  .start([&](std::unique_ptr<Transport> conn) {
+                    std::lock_guard lock(mu);
+                    serverConn = std::move(conn);
+                    cv.notify_all();
+                  })
+                  .isOk());
+  auto client = unixSocketConnect(path_);
+  ASSERT_TRUE(client.isOk());
+  for (int i = 0; i < 3; ++i) {
+    Message m;
+    m.type = MsgType::kOpenReq;
+    m.requestId = static_cast<std::uint64_t>(i);
+    ASSERT_TRUE((*client)->send(m).isOk());
+  }
+  {
+    std::unique_lock lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return serverConn != nullptr; }));
+  }
+  // Let the frames reach the reactor before any handler exists.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::vector<std::uint64_t> seen;
+  std::mutex smu;
+  std::condition_variable scv;
+  serverConn->setHandler([&](Message&& m) {
+    std::lock_guard lock(smu);
+    seen.push_back(m.requestId);
+    scv.notify_all();
+  });
+  {
+    std::unique_lock lock(smu);
+    ASSERT_TRUE(scv.wait_for(lock, std::chrono::seconds(5),
+                             [&] { return seen.size() == 3u; }));
+  }
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(seen[i], static_cast<std::uint64_t>(i));
+  (*client)->close();
+  server.stop();
+}
+
+TEST_F(UnixSocketTest, LargeFramesSurviveWritevBatching) {
+  // Multi-megabyte frames force partial writev()s and EPOLLOUT re-arming
+  // in the reactor; they must arrive intact and in order.
+  UnixSocketServer server(path_);
+  std::vector<std::unique_ptr<Transport>> serverConns;
+  std::mutex mu;
+  ASSERT_TRUE(server
+                  .start([&](std::unique_ptr<Transport> conn) {
+                    auto* raw = conn.get();
+                    raw->setHandler([raw](Message&& m) { (void)raw->send(m); });
+                    std::lock_guard lock(mu);
+                    serverConns.push_back(std::move(conn));
+                  })
+                  .isOk());
+  auto client = unixSocketConnect(path_);
+  ASSERT_TRUE(client.isOk());
+
+  std::mutex rmu;
+  std::condition_variable rcv;
+  std::vector<Message> replies;
+  (*client)->setHandler([&](Message&& m) {
+    std::lock_guard lock(rmu);
+    replies.push_back(std::move(m));
+    rcv.notify_all();
+  });
+
+  simfs::Rng rng(0xBEEF);
+  std::vector<Message> sent;
+  for (int i = 0; i < 4; ++i) {
+    Message m;
+    m.type = MsgType::kSimFileClosed;
+    m.requestId = static_cast<std::uint64_t>(i);
+    std::string payload(1u << 21, '\0');  // 2 MiB
+    for (auto& c : payload) c = static_cast<char>(rng.uniformInt(0, 255));
+    m.files = {payload};
+    ASSERT_TRUE((*client)->send(m).isOk());
+    sent.push_back(std::move(m));
+  }
+  {
+    std::unique_lock lock(rmu);
+    ASSERT_TRUE(rcv.wait_for(lock, std::chrono::seconds(20),
+                             [&] { return replies.size() == sent.size(); }));
+  }
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(replies[i], sent[i]) << "frame " << i;
+  }
   (*client)->close();
   server.stop();
 }
