@@ -1,0 +1,169 @@
+// simfs_daemon — a standalone DV daemon process.
+//
+// Serves the msg:: protocol on a Unix-domain socket, optionally as one
+// member of a federated ring (see src/cluster). Every ring member is
+// started with the same membership spec and its own node id; contexts are
+// registered identically everywhere and the consistent-hash ring decides
+// which member actually serves each one (the others redirect).
+//
+//   simfs_daemon --socket /tmp/dv0.sock
+//                [--node dv0 --ring dv0=/tmp/dv0.sock,dv1=/tmp/dv1.sock]
+//                [--contexts 4] [--shards 4] [--workers 4] [--steps 64]
+//
+// Contexts are synthetic ("ctx0".."ctxN-1", the stress-test geometry) and
+// re-simulations run on an in-process ThreadedSimulatorFleet against an
+// in-memory store — enough to drive simfsctl, the federation smoke job,
+// and socket clients end to end. Terminates on SIGINT/SIGTERM.
+#include "cluster/ring.hpp"
+#include "dv/daemon.hpp"
+#include "simulator/threaded_fleet.hpp"
+#include "vfs/file_store.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+using namespace simfs;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void onSignal(int) { g_stop.store(true); }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: simfs_daemon --socket <path> [--node <id> --ring "
+               "<id=endpoint,...>]\n"
+               "                    [--contexts <n>] [--shards <n>] "
+               "[--workers <n>] [--steps <n>]\n");
+  return 2;
+}
+
+simmodel::ContextConfig syntheticConfig(int i, StepIndex steps) {
+  simmodel::ContextConfig cfg;
+  cfg.name = "ctx" + std::to_string(i);
+  cfg.geometry = simmodel::StepGeometry(1, 4, steps);
+  cfg.outputStepBytes = 64;
+  cfg.cacheQuotaBytes = 0;
+  cfg.sMax = 8;
+  cfg.prefetchEnabled = false;
+  cfg.perf = simmodel::PerfModel(2, 1 * vtime::kMillisecond,
+                                 2 * vtime::kMillisecond);
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socketPath;
+  std::string nodeId;
+  std::string ringSpec;
+  int contexts = 4;
+  std::size_t shards = 4;
+  std::size_t workers = 4;
+  StepIndex steps = 64;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--socket") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      socketPath = v;
+    } else if (arg == "--node") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      nodeId = v;
+    } else if (arg == "--ring") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      ringSpec = v;
+    } else if (arg == "--contexts") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      contexts = std::atoi(v);
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      shards = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      workers = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--steps") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      steps = static_cast<StepIndex>(std::atoll(v));
+    } else {
+      return usage();
+    }
+  }
+  if (socketPath.empty() || contexts <= 0) return usage();
+  if (nodeId.empty() != ringSpec.empty()) {
+    std::fprintf(stderr, "--node and --ring must be given together\n");
+    return 2;
+  }
+
+  dv::Daemon::Options options;
+  options.shards = shards;
+  options.workers = workers;
+  if (!nodeId.empty()) {
+    auto ring = cluster::Ring::parse(ringSpec, /*version=*/1);
+    if (!ring) {
+      std::fprintf(stderr, "bad --ring: %s\n", ring.status().toString().c_str());
+      return 2;
+    }
+    if (ring->find(nodeId) == nullptr) {
+      std::fprintf(stderr, "--node %s is not a --ring member\n", nodeId.c_str());
+      return 2;
+    }
+    options.nodeId = nodeId;
+    options.ring = std::move(*ring);
+  }
+
+  dv::Daemon daemon(options);
+  vfs::MemFileStore store;
+  simulator::ThreadedSimulatorFleet fleet(daemon, store, /*timeScale=*/0.001);
+  for (int i = 0; i < contexts; ++i) {
+    const auto cfg = syntheticConfig(i, steps);
+    const auto st = daemon.registerContext(
+        std::make_unique<simmodel::SyntheticDriver>(cfg));
+    if (!st.isOk()) {
+      std::fprintf(stderr, "register %s: %s\n", cfg.name.c_str(),
+                   st.toString().c_str());
+      return 1;
+    }
+    fleet.registerContext(cfg);
+  }
+  daemon.setLauncher(&fleet);
+
+  if (const auto st = daemon.listen(socketPath); !st.isOk()) {
+    std::fprintf(stderr, "listen %s: %s\n", socketPath.c_str(),
+                 st.toString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::printf("simfs_daemon ready socket=%s node=%s ring=%zu contexts=%d "
+              "shards=%zu\n",
+              socketPath.c_str(), nodeId.empty() ? "-" : nodeId.c_str(),
+              daemon.ring().size(), contexts, daemon.shardCount());
+  std::fflush(stdout);
+
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("simfs_daemon stopping\n");
+  daemon.stop();
+  fleet.joinAll();
+  return 0;
+}

@@ -21,7 +21,18 @@
 //
 //   simfsctl stats <socket-path>
 //       Queries a running DV daemon for its per-shard serving counters
-//       (queued/served requests, batch sizes, resident steps).
+//       (queued/served requests, batch sizes, shed requests, resident
+//       steps, and the autotuner feed: accesses/misses/resim_steps).
+//
+//   simfsctl ring <socket-path>
+//       Prints the daemon's federation membership table (node ids,
+//       endpoints, ring version).
+//
+//   simfsctl cluster-status <socket-path>
+//       Resolves the ring through one member, then queries every member
+//       for its aggregate statistics and prints which node owns which
+//       context (consistent-hash placement).
+#include "cluster/ring.hpp"
 #include "common/checksum.hpp"
 #include "common/strings.hpp"
 #include "msg/message.hpp"
@@ -44,7 +55,9 @@ int usage() {
                "       simfsctl verify-checksums <data-dir> <map-file>\n"
                "       simfsctl driver-info <file.drv>\n"
                "       simfsctl status <socket-path>\n"
-               "       simfsctl stats <socket-path>\n");
+               "       simfsctl stats <socket-path>\n"
+               "       simfsctl ring <socket-path>\n"
+               "       simfsctl cluster-status <socket-path>\n");
   return 2;
 }
 
@@ -215,6 +228,76 @@ int daemonShardStats(const std::string& socketPath) {
   return 0;
 }
 
+/// Fetches a daemon's ring (kRingReq); rc != 0 on failure.
+int fetchRing(const std::string& socketPath, cluster::Ring* ring,
+              std::string* nodeId) {
+  msg::Message reply;
+  if (const int rc = daemonCall(socketPath, msg::MsgType::kRingReq, &reply);
+      rc != 0) {
+    return rc;
+  }
+  if (reply.type != msg::MsgType::kRingUpdate) {
+    std::fprintf(stderr, "daemon does not speak kRingReq\n");
+    return 1;
+  }
+  if (nodeId != nullptr) *nodeId = reply.text;
+  if (reply.files.empty()) {
+    *ring = cluster::Ring();  // standalone daemon
+    return 0;
+  }
+  auto parsed = cluster::Ring::fromEntries(
+      reply.files, static_cast<std::uint64_t>(reply.intArg));
+  if (!parsed) {
+    std::fprintf(stderr, "bad ring from daemon: %s\n",
+                 parsed.status().toString().c_str());
+    return 1;
+  }
+  *ring = std::move(*parsed);
+  return 0;
+}
+
+int daemonRing(const std::string& socketPath) {
+  cluster::Ring ring;
+  std::string nodeId;
+  if (const int rc = fetchRing(socketPath, &ring, &nodeId); rc != 0) return rc;
+  if (ring.empty()) {
+    std::printf("standalone daemon (no ring)\n");
+    return 0;
+  }
+  std::printf("ring version %llu, answered by %s:\n",
+              static_cast<unsigned long long>(ring.version()),
+              nodeId.empty() ? "-" : nodeId.c_str());
+  for (const auto& n : ring.nodes()) {
+    std::printf("  %-12s %s\n", n.id.c_str(), n.endpoint.c_str());
+  }
+  return 0;
+}
+
+int clusterStatus(const std::string& socketPath) {
+  cluster::Ring ring;
+  if (const int rc = fetchRing(socketPath, &ring, nullptr); rc != 0) return rc;
+  if (ring.empty()) {
+    std::printf("standalone daemon (no ring); falling back to status\n");
+    return daemonStatus(socketPath);
+  }
+  for (const auto& n : ring.nodes()) {
+    msg::Message reply;
+    if (daemonCall(n.endpoint, msg::MsgType::kStatusReq, &reply) != 0) {
+      std::printf("%-12s %-28s UNREACHABLE\n", n.id.c_str(),
+                  n.endpoint.c_str());
+      continue;
+    }
+    std::printf("%-12s %-28s %s\n", n.id.c_str(), n.endpoint.c_str(),
+                reply.text.c_str());
+    for (const auto& ctx : reply.files) {
+      const bool owned = ring.ownerOf(ctx).id == n.id;
+      std::printf("    %-20s %s\n", ctx.c_str(),
+                  owned ? "owner" : "replicated (redirects)");
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -234,6 +317,12 @@ int main(int argc, char** argv) {
   }
   if (cmd == "stats" && argc == 3) {
     return daemonShardStats(argv[2]);
+  }
+  if (cmd == "ring" && argc == 3) {
+    return daemonRing(argv[2]);
+  }
+  if (cmd == "cluster-status" && argc == 3) {
+    return clusterStatus(argv[2]);
   }
   return usage();
 }

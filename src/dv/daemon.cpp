@@ -1,9 +1,11 @@
 #include "dv/daemon.hpp"
 
+#include "common/env.hpp"
 #include "common/log.hpp"
 #include "common/strings.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace simfs::dv {
 
@@ -33,8 +35,18 @@ msg::MsgType ackTypeFor(msg::MsgType request) noexcept {
     case msg::MsgType::kBitrepReq: return msg::MsgType::kBitrepAck;
     case msg::MsgType::kStatusReq: return msg::MsgType::kStatusAck;
     case msg::MsgType::kShardStatsReq: return msg::MsgType::kShardStatsAck;
+    case msg::MsgType::kRingReq: return msg::MsgType::kRingUpdate;
     default: return msg::MsgType::kError;
   }
+}
+
+std::size_t resolveQueueCap(std::size_t fromOptions) {
+  if (fromOptions != 0) return fromOptions;
+  constexpr std::size_t kUnbounded = std::numeric_limits<std::size_t>::max();
+  if (const auto v = env::getInt("SIMFS_SHARD_QUEUE_CAP")) {
+    return *v <= 0 ? kUnbounded : static_cast<std::size_t>(*v);
+  }
+  return 4096;  // generous: backstop against runaway producers, not a tuning knob
 }
 }  // namespace
 
@@ -78,6 +90,7 @@ struct Daemon::ShardServing {
   std::atomic<std::uint64_t> served{0};
   std::atomic<std::uint64_t> batches{0};
   std::atomic<std::uint64_t> maxBatch{0};
+  std::atomic<std::uint64_t> shed{0};
 };
 
 struct Daemon::Worker {
@@ -88,7 +101,18 @@ struct Daemon::Worker {
 };
 
 Daemon::Daemon(const Options& options)
-    : core_(clock_, std::max<std::size_t>(1, options.shards)) {
+    : core_(clock_, std::max<std::size_t>(1, options.shards)),
+      nodeId_(options.nodeId),
+      ring_(options.ring),
+      queueCap_(resolveQueueCap(options.queueCap)) {
+  if (!nodeId_.empty() && ring_.find(nodeId_) == nullptr) {
+    // Drop the ring too: keeping it would advertise (kRingReq, redirects)
+    // a placement this daemon does not enforce — clients would route
+    // contexts to "owners" while this node serves everything locally.
+    SIMFS_LOG_WARN(kTag, "node id not in ring; serving standalone");
+    nodeId_.clear();
+    ring_ = cluster::Ring();
+  }
   core_.setNotifyFn([this](ClientId c, const std::string& f, const Status& s) {
     onNotify(c, f, s);
   });
@@ -172,6 +196,12 @@ Status Daemon::listen(const std::string& socketPath) {
 
 void Daemon::stop() {
   if (server_) server_->stop();
+  {
+    // Close peer links first: forwards racing the shutdown fail soft
+    // (counted as drops) instead of dialing a dying cluster.
+    std::lock_guard lock(peersMutex_);
+    for (auto& [endpoint, link] : peers_) link->close();
+  }
   std::lock_guard stopLock(stopMutex_);
   if (workersJoined_) return;
   stopping_.store(true);
@@ -205,7 +235,8 @@ void Daemon::onSessionClosed(const std::shared_ptr<Session>& session) {
     DaemonRequest req;
     req.kind = DaemonRequest::Kind::kDisconnect;
     req.session = session;
-    enqueue(static_cast<std::size_t>(session->shard.load()), std::move(req));
+    (void)enqueue(static_cast<std::size_t>(session->shard.load()),
+                  std::move(req));
   }
 }
 
@@ -224,6 +255,15 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
         reply.type = msg::MsgType::kHelloAck;
         reply.code = codeOf(Status::ok());
         (void)session->transport->send(reply);
+        return;
+      }
+      // Federation: a context hashed onto a peer is never served here —
+      // the client is told who owns it (plus the full ring so it can
+      // resolve everything else without more round trips) and re-dials.
+      const cluster::NodeInfo* owner = nullptr;
+      if (ownedElsewhere(m.context, &owner)) {
+        redirects_.fetch_add(1, std::memory_order_relaxed);
+        (void)session->transport->send(buildRedirect(m, *owner));
         return;
       }
       const auto idx = core_.shardOfContext(m.context);
@@ -252,17 +292,33 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
       DaemonRequest req;
       req.session = session;
       req.msg = std::move(m);
-      enqueue(target, std::move(req));
+      if (!enqueue(target, std::move(req)) && bound < 0) {
+        // Shed hello: unbind again so a client retry can rebind cleanly.
+        session->shard.store(-1);
+      }
       return;
     }
-    // Simulator events over the wire route by job id, not by session.
+    // Simulator events over the wire route by job id, not by session. A
+    // context-tagged event for a peer-owned context is forwarded whole:
+    // job ids are issued by the owning node, so the id only means
+    // something over there — and being fire-and-forget, no reply has to
+    // find its way back through this node. Only never-forwarded messages
+    // (hops == 0) are relayed: if ring tables ever disagree, the second
+    // node processes the event locally (an unknown job id fails soft)
+    // instead of ping-ponging it back forever.
     case msg::MsgType::kSimFileClosed:
     case msg::MsgType::kSimFinished: {
+      const cluster::NodeInfo* owner = nullptr;
+      if (m.hops == 0 && !m.context.empty() &&
+          ownedElsewhere(m.context, &owner)) {
+        forwardToPeer(*owner, m);
+        return;
+      }
       DaemonRequest req;
       req.session = session;
       req.msg = std::move(m);
-      enqueue(core_.shardOfJob(static_cast<SimJobId>(req.msg.intArg)),
-              std::move(req));
+      (void)enqueue(core_.shardOfJob(static_cast<SimJobId>(req.msg.intArg)),
+                    std::move(req));
       return;
     }
     // Aggregate introspection never touches the shard queues. Tradeoff:
@@ -278,6 +334,10 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
       (void)session->transport->send(buildShardStatsReply(m.requestId));
       return;
     }
+    case msg::MsgType::kRingReq: {
+      (void)session->transport->send(buildRingUpdate(m.requestId));
+      return;
+    }
     default:
       break;
   }
@@ -285,7 +345,11 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
   const int shard = session->shard.load();
   if (shard < 0) {
     if (m.type == msg::MsgType::kCloseNotify) {
-      return;  // fire-and-forget even when unbound
+      // Fire-and-forget even when unbound. Not forwarded: a deref only
+      // means something for the client session holding the reference,
+      // and that session lives on the owner already (hello redirects
+      // before any reference can exist here).
+      return;
     }
     const Status st = errFailedPrecondition("dv: unknown client");
     msg::Message reply;
@@ -299,14 +363,123 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
   DaemonRequest req;
   req.session = session;
   req.msg = std::move(m);
-  enqueue(static_cast<std::size_t>(shard), std::move(req));
+  (void)enqueue(static_cast<std::size_t>(shard), std::move(req));
 }
 
-void Daemon::enqueue(std::size_t shard, DaemonRequest&& request) {
+// --------------------------------------------------------------- federation
+
+bool Daemon::ownedElsewhere(const std::string& context,
+                            const cluster::NodeInfo** owner) const {
+  if (nodeId_.empty() || ring_.size() < 2) return false;  // standalone / 1-node
+  const cluster::NodeInfo& o = ring_.ownerOf(context);
+  if (o.id == nodeId_) return false;
+  *owner = &o;
+  return true;
+}
+
+void Daemon::forwardToPeer(const cluster::NodeInfo& owner,
+                           const msg::Message& m) {
+  std::shared_ptr<msg::Transport> link;
+  {
+    std::lock_guard lock(peersMutex_);
+    const auto it = peers_.find(owner.endpoint);
+    if (it != peers_.end() && it->second->isOpen()) link = it->second;
+  }
+  if (!link) {
+    // Dial OUTSIDE the peers mutex: this runs on a dispatching (reactor)
+    // thread, and a stalled peer accept loop must not serialize every
+    // other forward — or shutdown — behind it.
+    auto conn = msg::unixSocketConnect(owner.endpoint);
+    if (!conn) {
+      forwardDrops_.fetch_add(1, std::memory_order_relaxed);
+      SIMFS_LOG_WARN(kTag, "cannot reach peer for forward");
+      return;
+    }
+    link = std::shared_ptr<msg::Transport>(std::move(*conn));
+    // The peer treats the link as any inbound session; forwarded
+    // messages are fire-and-forget, so replies (errors at worst) are
+    // drained and dropped.
+    link->setHandler([](msg::Message&&) {});
+    std::lock_guard lock(peersMutex_);
+    auto& slot = peers_[owner.endpoint];
+    if (slot && slot->isOpen()) {
+      link->close();  // lost a dial race: reuse the established link
+      link = slot;
+    } else {
+      slot = link;
+    }
+  }
+  msg::Message relay = m;
+  relay.hops = static_cast<std::uint16_t>(m.hops + 1);
+  if (link->send(relay).isOk()) {
+    forwarded_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    forwardDrops_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+msg::Message Daemon::buildRedirect(const msg::Message& request,
+                                   const cluster::NodeInfo& owner) const {
+  msg::Message reply;
+  reply.type = msg::MsgType::kRedirect;
+  reply.requestId = request.requestId;
+  reply.context = request.context;
+  reply.text = owner.id;
+  reply.files = ring_.encodeEntries();
+  reply.intArg = static_cast<std::int64_t>(ring_.version());
+  reply.code = codeOf(Status::ok());
+  return reply;
+}
+
+msg::Message Daemon::buildRingUpdate(std::uint64_t requestId) const {
+  msg::Message reply;
+  reply.type = msg::MsgType::kRingUpdate;
+  reply.requestId = requestId;
+  reply.text = nodeId_;
+  reply.files = ring_.encodeEntries();
+  reply.intArg = static_cast<std::int64_t>(ring_.version());
+  reply.code = codeOf(Status::ok());
+  return reply;
+}
+
+Daemon::FederationCounters Daemon::federationCounters() const {
+  FederationCounters c;
+  c.redirects = redirects_.load(std::memory_order_relaxed);
+  c.forwarded = forwarded_.load(std::memory_order_relaxed);
+  c.forwardDrops = forwardDrops_.load(std::memory_order_relaxed);
+  return c;
+}
+
+bool Daemon::enqueue(std::size_t shard, DaemonRequest&& request) {
   auto& sv = *serving_[shard];
+  // Backpressure: only request/reply client traffic is sheddable — the
+  // client sees kUnavailable and can back off. Fire-and-forget client
+  // messages, disconnects and simulator events always enqueue: dropping
+  // those would corrupt bookkeeping, and their volume is bounded by the
+  // request traffic that produces them. The check shares the queue's one
+  // lock acquisition, so concurrent dispatchers cannot overshoot the cap.
+  const bool sheddable =
+      request.kind == DaemonRequest::Kind::kClientMessage &&
+      ackTypeFor(request.msg.type) != msg::MsgType::kError;
+  bool shed = false;
   {
     std::lock_guard lock(sv.qMutex);
-    sv.queue.push_back(std::move(request));
+    if (sheddable && sv.queue.size() >= queueCap_) {
+      shed = true;  // request deliberately NOT moved from
+    } else {
+      sv.queue.push_back(std::move(request));
+    }
+  }
+  if (shed) {
+    sv.shed.fetch_add(1, std::memory_order_relaxed);
+    const Status st = errUnavailable("dv: shard queue over capacity");
+    msg::Message reply;
+    reply.requestId = request.msg.requestId;
+    reply.type = ackTypeFor(request.msg.type);
+    reply.code = codeOf(st);
+    reply.text = st.message();
+    (void)request.session->transport->send(reply);
+    return false;
   }
   sv.enqueued.fetch_add(1, std::memory_order_relaxed);
   if (stopping_.load()) {
@@ -318,7 +491,7 @@ void Daemon::enqueue(std::size_t shard, DaemonRequest&& request) {
       std::vector<DaemonRequest> batch;
       (void)drainShard(shard, batch);
     }
-    return;
+    return true;
   }
   Worker& w = *workers_[shard % workers_.size()];
   {
@@ -326,10 +499,11 @@ void Daemon::enqueue(std::size_t shard, DaemonRequest&& request) {
     w.wake = true;
   }
   w.cv.notify_one();
+  return true;
 }
 
 void Daemon::enqueueSimEvent(DaemonRequest&& request) {
-  enqueue(core_.shardOfJob(request.job), std::move(request));
+  (void)enqueue(core_.shardOfJob(request.job), std::move(request));
 }
 
 void Daemon::simulationStarted(SimJobId job) {
@@ -640,6 +814,7 @@ std::vector<Daemon::ShardCounters> Daemon::shardCounters() const {
     c.served = sv.served.load(std::memory_order_relaxed);
     c.batches = sv.batches.load(std::memory_order_relaxed);
     c.maxBatch = sv.maxBatch.load(std::memory_order_relaxed);
+    c.shed = sv.shed.load(std::memory_order_relaxed);
     {
       std::lock_guard lock(sv.qMutex);
       c.queued = sv.queue.size();
@@ -648,10 +823,23 @@ std::vector<Daemon::ShardCounters> Daemon::shardCounters() const {
       std::lock_guard lock(core_.mutexOf(i));
       c.contexts = core_.shard(i).contextNames();
       c.residentSteps = core_.shard(i).residentSteps();
+      const DvStats& s = core_.shard(i).stats();
+      c.accesses = s.opens;
+      c.misses = s.misses;
+      c.resimSteps = s.stepsProduced;
     }
     out.push_back(std::move(c));
   }
   return out;
+}
+
+TuneWindow Daemon::tuneWindowOf(const ShardCounters& now,
+                                const ShardCounters& prev) {
+  TuneWindow w;
+  w.accesses = now.accesses - prev.accesses;
+  w.misses = now.misses - prev.misses;
+  w.resimulatedSteps = now.resimSteps - prev.resimSteps;
+  return w;
 }
 
 msg::Message Daemon::buildShardStatsReply(std::uint64_t requestId) const {
@@ -660,9 +848,16 @@ msg::Message Daemon::buildShardStatsReply(std::uint64_t requestId) const {
   reply.type = msg::MsgType::kShardStatsAck;
   reply.code = codeOf(Status::ok());
   const auto counters = shardCounters();
+  const auto fed = federationCounters();
   reply.intArg = static_cast<std::int64_t>(counters.size());
-  reply.text = str::format("shards=%zu;workers=%zu", serving_.size(),
-                           workers_.size());
+  reply.text = str::format(
+      "shards=%zu;workers=%zu;node=%s;ring=%zu;redirects=%llu;"
+      "forwarded=%llu;forward_drops=%llu",
+      serving_.size(), workers_.size(),
+      nodeId_.empty() ? "-" : nodeId_.c_str(), ring_.size(),
+      static_cast<unsigned long long>(fed.redirects),
+      static_cast<unsigned long long>(fed.forwarded),
+      static_cast<unsigned long long>(fed.forwardDrops));
   for (const auto& c : counters) {
     std::string contexts;
     for (const auto& name : c.contexts) {
@@ -671,12 +866,17 @@ msg::Message Daemon::buildShardStatsReply(std::uint64_t requestId) const {
     }
     reply.files.push_back(str::format(
         "shard=%zu;contexts=%s;queued=%zu;enqueued=%llu;served=%llu;"
-        "batches=%llu;max_batch=%llu;resident_steps=%zu",
+        "batches=%llu;max_batch=%llu;shed=%llu;resident_steps=%zu;"
+        "accesses=%llu;misses=%llu;resim_steps=%llu",
         c.shard, contexts.c_str(), c.queued,
         static_cast<unsigned long long>(c.enqueued),
         static_cast<unsigned long long>(c.served),
         static_cast<unsigned long long>(c.batches),
-        static_cast<unsigned long long>(c.maxBatch), c.residentSteps));
+        static_cast<unsigned long long>(c.maxBatch),
+        static_cast<unsigned long long>(c.shed), c.residentSteps,
+        static_cast<unsigned long long>(c.accesses),
+        static_cast<unsigned long long>(c.misses),
+        static_cast<unsigned long long>(c.resimSteps)));
   }
   return reply;
 }

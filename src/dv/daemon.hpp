@@ -22,9 +22,22 @@
 // worker drains any given shard's queue. Aggregate introspection
 // (kStatusReq, stats()) and per-shard counters (kShardStatsReq) are
 // answered on the dispatching thread without touching the queues.
+// Federation (src/cluster): a daemon can be given a node identity and a
+// consistent-hash Ring. The ring picks the owning node for a context, the
+// shard lattice picks the shard within it — one placement function, two
+// levels. A kHello for a context owned by a peer is answered with
+// kRedirect (the routing-aware DVLib client re-dials the owner);
+// context-tagged fire-and-forget simulator events are transparently
+// forwarded over a lazily-dialed peer transport instead, because no
+// reply needs to find its way back (single-hop: Message::hops bounds
+// relaying even if ring tables disagree). A one-node ring never
+// redirects nor forwards — the single-node deployment is byte-identical
+// to the pre-federation daemon.
 #pragma once
 
+#include "cluster/ring.hpp"
 #include "common/clock.hpp"
+#include "dv/autotuner.hpp"
 #include "dv/sharded_virtualizer.hpp"
 #include "msg/transport.hpp"
 
@@ -47,6 +60,17 @@ class Daemon {
     std::size_t shards = 8;
     /// Worker threads draining the shard queues (clamped to [1, shards]).
     std::size_t workers = 4;
+    /// Per-shard queue bound: client requests arriving while a shard
+    /// already holds this many are shed with kUnavailable instead of
+    /// growing the queue without limit. 0 = take SIMFS_SHARD_QUEUE_CAP
+    /// from the environment (default 4096; <= 0 there means unbounded).
+    std::size_t queueCap = 0;
+    /// Federation identity: this daemon's id in `ring`. Empty = not
+    /// federated (every context is served locally, the pre-federation
+    /// behavior).
+    std::string nodeId;
+    /// Cluster membership; consulted only when nodeId is non-empty.
+    cluster::Ring ring;
   };
 
   /// Per-shard serving counters (also exposed over the wire via
@@ -58,8 +82,21 @@ class Daemon {
     std::uint64_t served = 0;     ///< requests/events processed
     std::uint64_t batches = 0;    ///< queue drains (lock acquisitions)
     std::uint64_t maxBatch = 0;   ///< largest single drain
+    std::uint64_t shed = 0;       ///< requests rejected by the queue cap
     std::size_t queued = 0;       ///< currently waiting in the queue
     std::size_t residentSteps = 0;
+    /// TuneWindow feed for CacheAutotuner (cumulative; diff two samples
+    /// for a window): DV opens, misses, and re-simulated output steps.
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t resimSteps = 0;
+  };
+
+  /// Node-level federation counters.
+  struct FederationCounters {
+    std::uint64_t redirects = 0;     ///< kRedirect replies sent
+    std::uint64_t forwarded = 0;     ///< fire-and-forget messages relayed
+    std::uint64_t forwardDrops = 0;  ///< relays lost (peer unreachable)
   };
 
   Daemon() : Daemon(Options{}) {}
@@ -118,6 +155,15 @@ class Daemon {
     return core_.numShards();
   }
   [[nodiscard]] std::vector<ShardCounters> shardCounters() const;
+  [[nodiscard]] FederationCounters federationCounters() const;
+  [[nodiscard]] const std::string& nodeId() const noexcept { return nodeId_; }
+  [[nodiscard]] const cluster::Ring& ring() const noexcept { return ring_; }
+  [[nodiscard]] std::size_t queueCap() const noexcept { return queueCap_; }
+
+  /// The autotuner observation window between two shard-counter samples
+  /// (`prev` all-zero for the first window).
+  [[nodiscard]] static TuneWindow tuneWindowOf(const ShardCounters& now,
+                                               const ShardCounters& prev);
 
  private:
   struct Session;
@@ -129,7 +175,23 @@ class Daemon {
   /// is answered inline, everything else is enqueued to its shard.
   void dispatch(const std::shared_ptr<Session>& session, msg::Message&& m);
 
-  void enqueue(std::size_t shard, DaemonRequest&& request);
+  /// True when this daemon has a federation identity and `context` hashes
+  /// to a different ring member (returned via `owner`).
+  [[nodiscard]] bool ownedElsewhere(const std::string& context,
+                                    const cluster::NodeInfo** owner) const;
+
+  /// Relays a fire-and-forget message to `owner` over the (lazily
+  /// dialed, cached) peer transport; drops it if the peer is unreachable.
+  void forwardToPeer(const cluster::NodeInfo& owner, const msg::Message& m);
+
+  [[nodiscard]] msg::Message buildRedirect(const msg::Message& request,
+                                           const cluster::NodeInfo& owner) const;
+  [[nodiscard]] msg::Message buildRingUpdate(std::uint64_t requestId) const;
+
+  /// Queues a request to its shard. Returns false when a sheddable
+  /// client request was rejected instead (queue at queueCap_; the
+  /// kUnavailable reply has already been sent).
+  bool enqueue(std::size_t shard, DaemonRequest&& request);
   void enqueueSimEvent(DaemonRequest&& request);
   void onSessionClosed(const std::shared_ptr<Session>& session);
   void workerLoop(std::size_t workerIndex);
@@ -147,6 +209,16 @@ class Daemon {
 
   RealClock clock_;
   ShardedVirtualizer core_;
+  std::string nodeId_;
+  cluster::Ring ring_;
+  std::size_t queueCap_ = 0;  ///< 0 = unbounded
+
+  std::atomic<std::uint64_t> redirects_{0};
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> forwardDrops_{0};
+  mutable std::mutex peersMutex_;
+  std::map<std::string, std::shared_ptr<msg::Transport>> peers_;  ///< by endpoint
+
   std::vector<std::unique_ptr<ShardServing>> serving_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> stopping_{false};

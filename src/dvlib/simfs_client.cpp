@@ -10,39 +10,148 @@ namespace simfs::dvlib {
 namespace {
 constexpr auto kCallTimeout = std::chrono::seconds(30);
 
+/// Hop bound for redirect-following: a correct federation resolves in one
+/// hop (two with a stale ring); more means the cluster disagrees with
+/// itself and looping would never converge.
+constexpr int kMaxRedirects = 4;
+
 Status statusFrom(const msg::Message& m) {
   const auto code = static_cast<StatusCode>(m.code);
   if (code == StatusCode::kOk) return Status::ok();
   return Status(code, m.text);
 }
-}  // namespace
 
-SimFSClient::SimFSClient(std::unique_ptr<msg::Transport> transport,
-                         std::string context)
-    : transport_(std::move(transport)), context_(std::move(context)) {}
-
-SimFSClient::~SimFSClient() { finalize(); }
-
-Result<std::unique_ptr<SimFSClient>> SimFSClient::connect(
-    std::unique_ptr<msg::Transport> transport, const std::string& context) {
-  auto client = std::unique_ptr<SimFSClient>(
-      new SimFSClient(std::move(transport), context));
-  client->transport_->setHandler(
-      [raw = client.get()](msg::Message&& m) { raw->onMessage(std::move(m)); });
-
+msg::Message makeHello(const std::string& context) {
   msg::Message hello;
   hello.type = msg::MsgType::kHello;
   hello.context = context;
   hello.intArg = static_cast<std::int64_t>(msg::ClientRole::kAnalysis);
-  auto reply = client->call(std::move(hello));
+  return hello;
+}
+}  // namespace
+
+SimFSClient::SimFSClient(std::string context) : context_(std::move(context)) {}
+
+SimFSClient::~SimFSClient() { finalize(); }
+
+void SimFSClient::attach(const std::shared_ptr<msg::Transport>& t) {
+  t->setHandler([this](msg::Message&& m) { onMessage(std::move(m)); });
+}
+
+Result<std::unique_ptr<SimFSClient>> SimFSClient::connect(
+    std::unique_ptr<msg::Transport> transport, const std::string& context) {
+  auto client = std::unique_ptr<SimFSClient>(new SimFSClient(context));
+  std::shared_ptr<msg::Transport> t = std::move(transport);
+  client->attach(t);
+  auto reply = client->callOn(t, makeHello(context));
   if (!reply) return reply.status();
+  if (reply->type == msg::MsgType::kRedirect) {
+    return errFailedPrecondition(
+        "dvlib: context '" + context + "' is owned by node '" + reply->text +
+        "'; connect through a NodeRouter to follow redirects");
+  }
   const auto st = statusFrom(*reply);
   if (!st.isOk()) return st;
   client->clientId_ = static_cast<ClientId>(reply->intArg);
+  client->transport_ = std::move(t);
   return client;
 }
 
+Result<std::unique_ptr<SimFSClient>> SimFSClient::connect(
+    std::shared_ptr<NodeRouter> router, const std::string& context) {
+  if (!router) return errInvalidArgument("dvlib: null router");
+  auto client = std::unique_ptr<SimFSClient>(new SimFSClient(context));
+  client->router_ = std::move(router);
+  auto owner = client->router_->ownerOf(context);
+  if (!owner) return owner.status();
+  SIMFS_RETURN_IF_ERROR(client->rebind(owner->id));
+  return client;
+}
+
+Status SimFSClient::rebind(std::string targetNode) {
+  for (int hop = 0; hop <= kMaxRedirects; ++hop) {
+    auto node = router_->node(targetNode);
+    if (!node) return node.status();
+    auto checked = router_->checkout(node->endpoint);
+    if (!checked) return checked.status();
+    std::shared_ptr<msg::Transport> t = std::move(*checked);
+    attach(t);
+    auto reply = callOn(t, makeHello(context_));
+    if (!reply) {
+      t->close();
+      return reply.status();
+    }
+    if (reply->type == msg::MsgType::kRedirect) {
+      // The daemon rejected the hello without binding anything, so the
+      // connection is reusable by sessions this node does own.
+      if (auto ring = ringFromMessage(*reply)) router_->adoptRing(*ring);
+      targetNode = reply->text;
+      router_->checkin(node->endpoint, std::move(t));
+      continue;
+    }
+    const Status st = statusFrom(*reply);
+    if (!st.isOk()) {
+      t->close();
+      return st;
+    }
+    std::shared_ptr<msg::Transport> old;
+    {
+      std::lock_guard lock(mutex_);
+      clientId_ = static_cast<ClientId>(reply->intArg);
+      old = std::move(transport_);
+      transport_ = std::move(t);
+      if (old) {
+        retired_.push_back(old);
+        // The old node held this session's pending opens and waiters;
+        // they die with it. Fail outstanding waits NOW so threads
+        // blocked in waitFile()/wait() wake with a retryable error and
+        // reopen on the new owner, instead of waiting forever for a
+        // kFileReady the new node will never send.
+        const Status moved =
+            errUnavailable("dvlib: session moved nodes; reopen the file");
+        for (auto& [file, fw] : fileWaits_) {
+          if (!fw.ready) {
+            fw.ready = true;
+            fw.status = moved;
+          }
+        }
+        for (auto& [id, req] : requests_) {
+          if (!req.pending.empty()) {
+            req.pending.clear();
+            req.worst = moved;
+          }
+        }
+        // Calls still awaiting a reply on the link being closed would
+        // otherwise sit out the full call timeout: hand them a synthetic
+        // error reply instead.
+        for (const auto& [id, tp] : inflight_) {
+          if (tp == old.get() && replies_.count(id) == 0) {
+            msg::Message failed;
+            failed.type = msg::MsgType::kError;
+            failed.requestId = id;
+            failed.code = static_cast<std::int32_t>(moved.code());
+            failed.text = moved.message();
+            replies_.emplace(id, std::move(failed));
+          }
+        }
+        cv_.notify_all();
+      }
+    }
+    // Closing the replaced link tears the stale session down on the node
+    // that no longer owns the context.
+    if (old) old->close();
+    return Status::ok();
+  }
+  return errUnavailable("dvlib: redirect loop (ring members disagree)");
+}
+
 void SimFSClient::onMessage(msg::Message&& m) {
+  if (m.type == msg::MsgType::kRingUpdate && router_ != nullptr) {
+    // Membership push: re-resolve future routing. router_ is set once at
+    // construction, so reading it here without the lock is safe.
+    if (auto ring = ringFromMessage(m)) router_->adoptRing(*ring);
+    if (m.requestId == 0) return;  // pure push, not a reply
+  }
   std::lock_guard lock(mutex_);
   if (m.type == msg::MsgType::kFileReady) {
     const std::string& file = m.files.empty() ? std::string() : m.files[0];
@@ -61,19 +170,51 @@ void SimFSClient::onMessage(msg::Message&& m) {
   cv_.notify_all();
 }
 
-Result<msg::Message> SimFSClient::call(msg::Message m) {
+std::shared_ptr<msg::Transport> SimFSClient::transportRef() {
+  std::lock_guard lock(mutex_);
+  return transport_;
+}
+
+Result<msg::Message> SimFSClient::callOn(
+    const std::shared_ptr<msg::Transport>& t, msg::Message m) {
   static std::atomic<std::uint64_t> callSeq{1};
   m.requestId = callSeq.fetch_add(1);
   const auto id = m.requestId;
-  SIMFS_RETURN_IF_ERROR(transport_->send(m));
-  std::unique_lock lock(mutex_);
-  if (!cv_.wait_for(lock, kCallTimeout,
-                    [&] { return replies_.count(id) > 0; })) {
-    return errTimedOut("dvlib: no reply from DV");
+  {
+    // Registered before the send so a rebind racing in between still
+    // sees (and can fail) this call.
+    std::lock_guard lock(mutex_);
+    inflight_[id] = t.get();
   }
+  const Status sent = t->send(m);
+  std::unique_lock lock(mutex_);
+  if (!sent.isOk()) {
+    inflight_.erase(id);
+    return sent;
+  }
+  const bool got = cv_.wait_for(lock, kCallTimeout,
+                                [&] { return replies_.count(id) > 0; });
+  inflight_.erase(id);
+  if (!got) return errTimedOut("dvlib: no reply from DV");
   auto reply = std::move(replies_.at(id));
   replies_.erase(id);
   return reply;
+}
+
+Result<msg::Message> SimFSClient::call(msg::Message m) {
+  for (int hop = 0; hop <= kMaxRedirects; ++hop) {
+    auto t = transportRef();
+    if (!t) return errUnavailable("dvlib: session not connected");
+    auto reply = callOn(t, m);  // m kept for a possible post-redirect resend
+    if (!reply || reply->type != msg::MsgType::kRedirect) return reply;
+    if (router_ == nullptr) {
+      return errUnavailable("dvlib: redirected to node '" + reply->text +
+                            "' but session has no router");
+    }
+    if (auto ring = ringFromMessage(*reply)) router_->adoptRing(*ring);
+    SIMFS_RETURN_IF_ERROR(rebind(reply->text));
+  }
+  return errUnavailable("dvlib: redirect loop (ring members disagree)");
 }
 
 Result<SimFSClient::OpenInfo> SimFSClient::open(const std::string& file) {
@@ -102,6 +243,13 @@ Result<SimFSClient::OpenInfo> SimFSClient::open(const std::string& file) {
     fw.status = Status::ok();
   } else if (!fw.ready) {
     fw.status = Status::ok();  // pending; kFileReady resolves it
+  } else if (!fw.status.isOk()) {
+    // A stale failure (failed job, or waits failed by a rebind) is
+    // superseded by this fresh not-yet-available open: back to pending,
+    // or waitFile()/acquire() would treat the file as settled and
+    // return the old error (or skip the wait entirely).
+    fw.ready = false;
+    fw.status = Status::ok();
   }
   return info;
 }
@@ -118,8 +266,9 @@ Status SimFSClient::waitFile(const std::string& file) {
 void SimFSClient::closeNotify(const std::string& file) {
   msg::Message m;
   m.type = msg::MsgType::kCloseNotify;
+  m.context = context_;  // self-describing for daemon-side diagnostics
   m.files = {file};
-  (void)transport_->send(m);
+  if (auto t = transportRef()) (void)t->send(m);
   std::lock_guard lock(mutex_);
   fileWaits_.erase(file);  // a later reopen re-queries the DV
 }
@@ -279,14 +428,17 @@ Result<bool> SimFSClient::bitrep(const std::string& file,
 }
 
 void SimFSClient::finalize() {
-  bool expected = false;
+  std::shared_ptr<msg::Transport> t;
+  std::vector<std::shared_ptr<msg::Transport>> retired;
   {
     std::lock_guard lock(mutex_);
     if (finalized_) return;
     finalized_ = true;
-    expected = true;
+    t = transport_;
+    retired = retired_;  // close outside the lock; entries stay alive
   }
-  if (expected && transport_) transport_->close();
+  for (const auto& r : retired) r->close();
+  if (t) t->close();
 }
 
 }  // namespace simfs::dvlib

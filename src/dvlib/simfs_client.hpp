@@ -13,12 +13,25 @@
 // open() (non-blocking, like the intercepted nc_open) and waitFile()
 // (the blocking point of the intercepted read).
 //
+// Federation: a session created via connect(NodeRouter, context) is
+// routing-aware. The router's ring resolves the owning node, the hello is
+// sent there (reusing a pooled connection when one exists), and a
+// kRedirect answer — from a stale ring, or a single seed endpoint — is
+// followed transparently: the carried ring is adopted, the unbound
+// transport returns to the pool, and the hello retries on the named
+// owner. Established sessions also follow per-request redirects (rebind +
+// resend) and adopt pushed kRingUpdate tables, so later sessions created
+// from the same router resolve against the newest membership. The legacy
+// connect(transport, context) stays single-transport: a redirect there is
+// surfaced as an error.
+//
 // Thread-safety: all public methods may be called from any thread; the
 // receive handler only touches internal state under the client mutex.
 #pragma once
 
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "dvlib/router.hpp"
 #include "msg/transport.hpp"
 
 #include <condition_variable>
@@ -46,6 +59,13 @@ class SimFSClient {
   /// (SIMFS_Init). Blocks for the handshake.
   [[nodiscard]] static Result<std::unique_ptr<SimFSClient>> connect(
       std::unique_ptr<msg::Transport> transport, const std::string& context);
+
+  /// Routing-aware SIMFS_Init against a federation: resolves `context`'s
+  /// owner through the router's ring, dials (or reuses a pooled
+  /// connection to) that node and follows redirects until a daemon
+  /// accepts the session.
+  [[nodiscard]] static Result<std::unique_ptr<SimFSClient>> connect(
+      std::shared_ptr<NodeRouter> router, const std::string& context);
 
   ~SimFSClient();
   SimFSClient(const SimFSClient&) = delete;
@@ -109,12 +129,28 @@ class SimFSClient {
   [[nodiscard]] ClientId clientId() const noexcept { return clientId_; }
 
  private:
-  SimFSClient(std::unique_ptr<msg::Transport> transport, std::string context);
+  explicit SimFSClient(std::string context);
+
+  /// Installs this client's receive/close handlers on `t`.
+  void attach(const std::shared_ptr<msg::Transport>& t);
 
   void onMessage(msg::Message&& m);
 
-  /// Sends a request and blocks for its matching reply.
+  /// Sends a request on `t` and blocks for its matching reply.
+  [[nodiscard]] Result<msg::Message> callOn(
+      const std::shared_ptr<msg::Transport>& t, msg::Message m);
+
+  /// Sends a request on the current transport and blocks for the reply;
+  /// routing-aware sessions transparently follow kRedirect answers
+  /// (rebind to the owner, resend) before returning.
   [[nodiscard]] Result<msg::Message> call(msg::Message m);
+
+  /// Current transport (swapped by rebind) under the client mutex.
+  [[nodiscard]] std::shared_ptr<msg::Transport> transportRef();
+
+  /// Dials + hellos `targetNode` (following further redirects), then
+  /// swaps it in as the session transport. Router sessions only.
+  Status rebind(std::string targetNode);
 
   /// Opens one file and registers it in `pendingOf_[req]` unless ready.
   [[nodiscard]] Status openInto(const std::string& file, RequestId req,
@@ -132,13 +168,20 @@ class SimFSClient {
     VDuration estimatedWait = 0;
   };
 
-  std::unique_ptr<msg::Transport> transport_;
+  std::shared_ptr<msg::Transport> transport_;  ///< swap guarded by mutex_
+  /// Transports replaced by rebind(), already close()d; kept until the
+  /// destructor so in-flight reactor callbacks never outlive their target.
+  std::vector<std::shared_ptr<msg::Transport>> retired_;
+  std::shared_ptr<NodeRouter> router_;  ///< null for single-transport sessions
   std::string context_;
   ClientId clientId_ = 0;
 
   std::mutex mutex_;
   std::condition_variable cv_;
   std::map<std::uint64_t, msg::Message> replies_;   ///< by requestId
+  /// Calls awaiting a reply, tagged with the transport they went out on,
+  /// so rebind() can fail the ones whose connection it is about to close.
+  std::map<std::uint64_t, const msg::Transport*> inflight_;
   std::map<std::string, FileWait> fileWaits_;
   std::map<RequestId, Request> requests_;
   std::uint64_t nextRequest_ = 1;

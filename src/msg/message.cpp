@@ -88,6 +88,7 @@ std::string encode(const Message& m) {
   putU32(out, static_cast<std::uint32_t>(m.code));
   putU64(out, static_cast<std::uint64_t>(m.intArg));
   putU64(out, static_cast<std::uint64_t>(m.intArg2));
+  putU16(out, m.hops);
   putStr(out, m.context);
   putStr(out, m.text);
   putU32(out, static_cast<std::uint32_t>(m.files.size()));
@@ -104,8 +105,8 @@ Result<Message> decode(std::string_view data) {
   std::uint64_t intArg2 = 0;
   std::uint32_t nFiles = 0;
   if (!r.getU16(type) || !r.getU64(m.requestId) || !r.getU32(code) ||
-      !r.getU64(intArg) || !r.getU64(intArg2) || !r.getStr(m.context) ||
-      !r.getStr(m.text) || !r.getU32(nFiles)) {
+      !r.getU64(intArg) || !r.getU64(intArg2) || !r.getU16(m.hops) ||
+      !r.getStr(m.context) || !r.getStr(m.text) || !r.getU32(nFiles)) {
     return errInvalidArgument("msg: truncated header");
   }
   m.type = static_cast<MsgType>(type);

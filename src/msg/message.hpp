@@ -51,6 +51,16 @@ enum class MsgType : std::uint16_t {
   kShardStatsReq,  ///< ask the daemon for per-shard serving counters
   kShardStatsAck,  ///< files[i]="key=value;..." per shard, intArg=#shards,
                    ///< text="shards=N;workers=M"
+
+  // --- federation (consistent-hash context routing) --------------------------
+  kRedirect,       ///< DV->client: context is owned by another node.
+                   ///< context=ctx, text=owner node id, files[i]=ring
+                   ///< entries "id=endpoint", intArg=ring version
+  kRingReq,        ///< ask a daemon for its ring membership table
+  kRingUpdate,     ///< DV->client: files[i]="id=endpoint", intArg=ring
+                   ///< version, text=answering node's id. Sent as the
+                   ///< kRingReq reply and pushed when a daemon learns a
+                   ///< newer table; receivers re-resolve routing.
 };
 
 /// Who is connecting (intArg of kHello).
@@ -65,6 +75,10 @@ struct Message {
   std::int32_t code = 0;         ///< StatusCode as int
   std::int64_t intArg = 0;       ///< type-specific scalar
   std::int64_t intArg2 = 0;      ///< second scalar (e.g. estimated wait)
+  /// Federation forwarding hop count. A daemon only relays messages with
+  /// hops == 0 and increments it on the relayed copy, so disagreeing
+  /// rings can never ping-pong a message between nodes.
+  std::uint16_t hops = 0;
   std::string text;              ///< human-readable detail
 
   friend bool operator==(const Message&, const Message&) = default;

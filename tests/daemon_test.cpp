@@ -266,6 +266,183 @@ TEST_F(SocketDaemonTest, ShardStatsReportPerShardCounters) {
   (*conn)->close();
 }
 
+TEST_F(SocketDaemonTest, ShardCountersFeedTheAutotuner) {
+  auto conn = msg::unixSocketConnect(path_);
+  ASSERT_TRUE(conn.isOk());
+  auto client = dvlib::SimFSClient::connect(std::move(*conn), "sock");
+  ASSERT_TRUE(client.isOk());
+  for (StepIndex s = 0; s < 6; s += 2) {
+    const std::string file = cfg_.codec.outputFile(s);
+    ASSERT_TRUE((*client)->acquire({file}).isOk());
+    ASSERT_TRUE((*client)->release(file).isOk());
+  }
+  (*client)->finalize();
+
+  // The shard owning the context exposes the live TuneWindow feed.
+  const auto counters = daemon_->shardCounters();
+  const Daemon::ShardCounters* owner = nullptr;
+  for (const auto& c : counters) {
+    if (!c.contexts.empty()) owner = &c;
+  }
+  ASSERT_NE(owner, nullptr);
+  EXPECT_EQ(owner->accesses, 3u);
+  EXPECT_GT(owner->misses, 0u);
+  EXPECT_GT(owner->resimSteps, 0u);
+
+  // Diffing two samples yields the observation window; all-zero "prev"
+  // is the first window. The tuner consumes it directly.
+  const auto window = Daemon::tuneWindowOf(*owner, Daemon::ShardCounters{});
+  EXPECT_EQ(window.accesses, owner->accesses);
+  EXPECT_EQ(window.misses, owner->misses);
+  EXPECT_EQ(window.resimulatedSteps, owner->resimSteps);
+  CacheAutotuner::Config tcfg;
+  tcfg.scenario = cost::cosmoScenario();
+  tcfg.rates = cost::azureRates();
+  tcfg.minCacheSteps = 100;
+  tcfg.maxCacheSteps = tcfg.scenario.numOutputSteps;
+  CacheAutotuner tuner(tcfg, 500);
+  const auto decision = tuner.observe(window);
+  EXPECT_GE(decision.recommendedCacheSteps, tcfg.minCacheSteps);
+  EXPECT_LE(decision.recommendedCacheSteps, tcfg.maxCacheSteps);
+
+  // And the same counters travel the wire (simfsctl stats).
+  auto raw = msg::unixSocketConnect(path_);
+  ASSERT_TRUE(raw.isOk());
+  std::mutex mu;
+  std::condition_variable cv;
+  bool got = false;
+  msg::Message reply;
+  (*raw)->setHandler([&](msg::Message&& m) {
+    std::lock_guard lock(mu);
+    reply = std::move(m);
+    got = true;
+    cv.notify_all();
+  });
+  msg::Message req;
+  req.type = msg::MsgType::kShardStatsReq;
+  ASSERT_TRUE((*raw)->send(req).isOk());
+  {
+    std::unique_lock lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5), [&] { return got; }));
+  }
+  bool sawFeed = false;
+  for (const auto& line : reply.files) {
+    if (line.find("contexts=sock") == std::string::npos) continue;
+    sawFeed = true;
+    EXPECT_NE(line.find("accesses=3"), std::string::npos) << line;
+    EXPECT_NE(line.find("misses="), std::string::npos) << line;
+    EXPECT_NE(line.find("resim_steps="), std::string::npos) << line;
+    EXPECT_NE(line.find("shed=0"), std::string::npos) << line;
+  }
+  EXPECT_TRUE(sawFeed);
+  (*raw)->close();
+}
+
+TEST(DaemonBackpressureTest, ShedsClientRequestsOverQueueCap) {
+  // A launcher that parks the (single) worker inside launch() — holding
+  // the shard lock — so the shard queue backs up deterministically.
+  struct BlockingLauncher final : SimLauncher {
+    void launch(SimJobId, const simmodel::JobSpec&) override {
+      std::unique_lock lock(mutex);
+      blocked = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    }
+    void kill(SimJobId) override {}
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool blocked = false;
+    bool release = false;
+  } launcher;
+
+  Daemon::Options options;
+  options.shards = 1;
+  options.workers = 1;
+  options.queueCap = 1;
+  Daemon daemon(options);
+  const auto cfg = socketConfig();
+  ASSERT_TRUE(
+      daemon.registerContext(std::make_unique<simmodel::SyntheticDriver>(cfg))
+          .isOk());
+  daemon.setLauncher(&launcher);
+  EXPECT_EQ(daemon.queueCap(), 1u);
+
+  auto conn = daemon.connectInProc();
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<msg::Message> replies;
+  conn->setHandler([&](msg::Message&& m) {
+    std::lock_guard lock(mu);
+    replies.push_back(std::move(m));
+    cv.notify_all();
+  });
+  const auto replyFor = [&](std::uint64_t id) -> const msg::Message* {
+    for (const auto& r : replies) {
+      if (r.requestId == id) return &r;
+    }
+    return nullptr;
+  };
+
+  msg::Message hello;
+  hello.type = msg::MsgType::kHello;
+  hello.requestId = 1;
+  hello.context = "sock";
+  hello.intArg = static_cast<std::int64_t>(msg::ClientRole::kAnalysis);
+  ASSERT_TRUE(conn->send(hello).isOk());
+  {
+    std::unique_lock lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return replyFor(1) != nullptr; }));
+  }
+
+  // Open a missing step: the worker dives into launch() and stays there.
+  msg::Message open;
+  open.type = msg::MsgType::kOpenReq;
+  open.requestId = 2;
+  open.files = {cfg.codec.outputFile(0)};
+  ASSERT_TRUE(conn->send(open).isOk());
+  {
+    std::unique_lock lock(launcher.mutex);
+    ASSERT_TRUE(launcher.cv.wait_for(lock, std::chrono::seconds(5),
+                                     [&] { return launcher.blocked; }));
+  }
+
+  // One request fits the queue; the next is shed with kUnavailable —
+  // synchronously, while the worker is still stuck.
+  open.requestId = 3;
+  ASSERT_TRUE(conn->send(open).isOk());
+  open.requestId = 4;
+  ASSERT_TRUE(conn->send(open).isOk());
+  {
+    std::lock_guard lock(mu);
+    const msg::Message* shedReply = replyFor(4);
+    ASSERT_NE(shedReply, nullptr) << "shed reply must not wait for the worker";
+    EXPECT_EQ(shedReply->type, msg::MsgType::kOpenAck);
+    EXPECT_EQ(static_cast<StatusCode>(shedReply->code),
+              StatusCode::kUnavailable);
+    EXPECT_EQ(replyFor(3), nullptr) << "within-cap request must not be shed";
+  }
+
+  // Unblock: the queued (not shed) request is then served normally.
+  {
+    std::lock_guard lock(launcher.mutex);
+    launcher.release = true;
+  }
+  launcher.cv.notify_all();
+  {
+    std::unique_lock lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5), [&] {
+      return replyFor(2) != nullptr && replyFor(3) != nullptr;
+    }));
+    EXPECT_EQ(static_cast<StatusCode>(replyFor(2)->code), StatusCode::kOk);
+    EXPECT_EQ(static_cast<StatusCode>(replyFor(3)->code), StatusCode::kOk);
+  }
+  // (Read only after the worker released the shard lock: shardCounters
+  // briefly takes every shard mutex.)
+  EXPECT_EQ(daemon.shardCounters()[0].shed, 1u);
+  conn->close();
+}
+
 TEST_F(SocketDaemonTest, TraceToolRunsOverLiveStack) {
   auto conn = msg::unixSocketConnect(path_);
   ASSERT_TRUE(conn.isOk());

@@ -1,0 +1,629 @@
+// Federation tests: a 3-node DV ring served by three daemon pipelines
+// (own sockets, own simulator fleets) must be indistinguishable, to the
+// clients, from one big DV:
+//
+//   * routing-aware clients spread across the ring (some seeded with a
+//     deliberately stale one-node ring so redirects are exercised)
+//     observe exactly the availability sets of a single-node
+//     DataVirtualizer replay of the same accesses,
+//   * every context is served by its ring owner and nobody else
+//     (verified through per-node serving stats),
+//   * fire-and-forget simulator events sent to the wrong node are
+//     transparently forwarded to the owner, and
+//   * a one-node ring degenerates to standalone behavior: same counters,
+//     zero redirects/forwards.
+//
+// The three daemons live in one process here (separate processes in the
+// CI federation-smoke job) — they share nothing but Unix sockets, so the
+// routing, redirect, and forwarding paths are identical.
+#include "cluster/ring.hpp"
+#include "dv/daemon.hpp"
+#include "dv/data_virtualizer.hpp"
+#include "dvlib/router.hpp"
+#include "dvlib/simfs_client.hpp"
+#include "msg/transport.hpp"
+#include "simulator/threaded_fleet.hpp"
+#include "vfs/file_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <thread>
+
+namespace simfs::dv {
+namespace {
+
+using simmodel::ContextConfig;
+using simmodel::PerfModel;
+using simmodel::StepGeometry;
+
+constexpr int kNodes = 3;
+constexpr int kContexts = 6;
+constexpr int kClients = 9;
+constexpr int kAccessesPerClient = 10;
+constexpr StepIndex kStepSpan = 48;
+
+std::string contextName(int i) { return "ctx" + std::to_string(i); }
+
+ContextConfig fedConfig(int i) {
+  ContextConfig cfg;
+  cfg.name = contextName(i);
+  cfg.geometry = StepGeometry(1, 4, 64);
+  cfg.outputStepBytes = 64;
+  cfg.cacheQuotaBytes = 0;  // unlimited: end state is the produced union
+  cfg.sMax = 8;
+  cfg.prefetchEnabled = false;
+  cfg.perf = PerfModel(2, 1 * vtime::kMillisecond, 2 * vtime::kMillisecond);
+  return cfg;
+}
+
+std::vector<StepIndex> accessesOf(int c) {
+  std::vector<StepIndex> steps;
+  steps.reserve(kAccessesPerClient);
+  for (int k = 0; k < kAccessesPerClient; ++k) {
+    steps.push_back(static_cast<StepIndex>((c * 11 + k * 5) % kStepSpan));
+  }
+  return steps;
+}
+
+/// One ring member: daemon + store + fleet, serving a Unix socket.
+struct Node {
+  std::unique_ptr<Daemon> daemon;
+  std::unique_ptr<vfs::MemFileStore> store;
+  std::unique_ptr<simulator::ThreadedSimulatorFleet> fleet;
+  std::string socketPath;
+};
+
+std::string socketPathFor(const std::string& tag, int i) {
+  return "/tmp/simfs_fed_" + tag + "_" + std::to_string(::getpid()) + "_" +
+         std::to_string(i) + ".sock";
+}
+
+/// Builds the shared membership table (version 2, so the version-1 stale
+/// client ring below is superseded by redirect payloads).
+cluster::Ring fullRing(const std::string& tag) {
+  std::vector<cluster::NodeInfo> members;
+  for (int i = 0; i < kNodes; ++i) {
+    members.push_back({"dv" + std::to_string(i), socketPathFor(tag, i)});
+  }
+  return cluster::Ring::make(std::move(members), /*version=*/2).value();
+}
+
+std::vector<Node> startCluster(const std::string& tag,
+                               const cluster::Ring& ring) {
+  std::vector<Node> nodes;
+  for (int i = 0; i < kNodes; ++i) {
+    Node node;
+    Daemon::Options options;
+    options.shards = 2;
+    options.workers = 2;
+    options.nodeId = "dv" + std::to_string(i);
+    options.ring = ring;
+    node.daemon = std::make_unique<Daemon>(options);
+    node.store = std::make_unique<vfs::MemFileStore>();
+    node.fleet = std::make_unique<simulator::ThreadedSimulatorFleet>(
+        *node.daemon, *node.store, /*timeScale=*/1.0);
+    for (int c = 0; c < kContexts; ++c) {
+      const auto cfg = fedConfig(c);
+      EXPECT_TRUE(node.daemon
+                      ->registerContext(
+                          std::make_unique<simmodel::SyntheticDriver>(cfg))
+                      .isOk());
+      node.fleet->registerContext(cfg);
+    }
+    node.daemon->setLauncher(node.fleet.get());
+    node.socketPath = socketPathFor(tag, i);
+    EXPECT_TRUE(node.daemon->listen(node.socketPath).isOk());
+    nodes.push_back(std::move(node));
+  }
+  return nodes;
+}
+
+void quiesce(std::vector<Node>& nodes) {
+  const auto quiet = [&] {
+    for (auto& n : nodes) {
+      if (n.fleet->activeJobs() > 0) return false;
+      for (const auto& c : n.daemon->shardCounters()) {
+        if (c.queued > 0 || c.served < c.enqueued) return false;
+      }
+    }
+    return true;
+  };
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!quiet() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(quiet()) << "federation did not quiesce";
+}
+
+/// Single-threaded replay of all accesses against one DataVirtualizer;
+/// returns the per-context availability sets (the federation oracle).
+std::vector<std::set<StepIndex>> replaySingleNode() {
+  ManualClock clock;
+  struct RecLauncher final : SimLauncher {
+    struct L {
+      SimJobId id;
+      simmodel::JobSpec spec;
+    };
+    void launch(SimJobId job, const simmodel::JobSpec& spec) override {
+      pending.push_back({job, spec});
+    }
+    void kill(SimJobId) override {}
+    std::vector<L> pending;
+  } launcher;
+  DataVirtualizer dv(clock);
+  dv.setLauncher(&launcher);
+  std::vector<ContextConfig> cfgs;
+  for (int i = 0; i < kContexts; ++i) {
+    cfgs.push_back(fedConfig(i));
+    EXPECT_TRUE(
+        dv.registerContext(std::make_unique<simmodel::SyntheticDriver>(cfgs[i]))
+            .isOk());
+  }
+  const auto completeLaunches = [&] {
+    while (!launcher.pending.empty()) {
+      const auto job = launcher.pending.back();
+      launcher.pending.pop_back();
+      const auto& cfg = cfgs[std::stoi(job.spec.context.substr(3))];
+      dv.simulationStarted(job.id);
+      for (StepIndex s = job.spec.startStep; s <= job.spec.stopStep; ++s) {
+        dv.simulationFileWritten(job.id, cfg.codec.outputFile(s));
+      }
+      dv.simulationFinished(job.id, Status::ok());
+    }
+  };
+  for (int c = 0; c < kClients; ++c) {
+    const int ctx = c % kContexts;
+    const auto client = dv.clientConnect(contextName(ctx)).value();
+    for (const StepIndex step : accessesOf(c)) {
+      const std::string file = cfgs[ctx].codec.outputFile(step);
+      (void)dv.clientOpen(client, file);
+      completeLaunches();
+      (void)dv.clientRelease(client, file);
+    }
+    dv.clientDisconnect(client);
+  }
+  std::vector<std::set<StepIndex>> available(kContexts);
+  for (int i = 0; i < kContexts; ++i) {
+    const auto steps = cfgs[i].geometry.numOutputSteps();
+    for (StepIndex s = 0; s < steps; ++s) {
+      if (dv.isAvailable(contextName(i), s)) available[i].insert(s);
+    }
+  }
+  return available;
+}
+
+TEST(FederationTest, ThreeNodeRingMatchesSingleNodeReplay) {
+  const std::string tag = "stress";
+  const cluster::Ring ring = fullRing(tag);
+  auto nodes = startCluster(tag, ring);
+
+  // Half the clients resolve through the true ring; the others are
+  // seeded with a stale one-node table pointing at dv0 (version 1) and
+  // must be redirected onto the owner, adopting the ring the redirect
+  // carries.
+  const cluster::Ring staleRing =
+      cluster::Ring::make({{"dv0", nodes[0].socketPath}}, /*version=*/1)
+          .value();
+  auto sharedRouter = dvlib::NodeRouter::overUnixSockets(ring);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  int expectedRedirects = 0;
+  for (int c = 0; c < kClients; ++c) {
+    const bool stale = c % 2 == 1;
+    if (stale && ring.ownerOf(contextName(c % kContexts)).id != "dv0") {
+      ++expectedRedirects;
+    }
+    threads.emplace_back([&, c, stale] {
+      const int ctx = c % kContexts;
+      auto router = stale ? dvlib::NodeRouter::overUnixSockets(staleRing)
+                          : sharedRouter;
+      auto client = dvlib::SimFSClient::connect(router, contextName(ctx));
+      if (!client.isOk()) {
+        ++failures;
+        return;
+      }
+      for (const StepIndex step : accessesOf(c)) {
+        const std::string file = fedConfig(ctx).codec.outputFile(step);
+        if (!(*client)->acquire({file}).isOk() ||
+            !(*client)->release(file).isOk()) {
+          ++failures;
+          return;
+        }
+      }
+      (*client)->finalize();
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  quiesce(nodes);
+
+  // Availability: for every context, the RING OWNER serves exactly the
+  // single-node replay's set; non-owners never produced anything.
+  const auto expected = replaySingleNode();
+  for (int i = 0; i < kContexts; ++i) {
+    const int owner = std::stoi(ring.ownerOf(contextName(i)).id.substr(2));
+    ASSERT_FALSE(expected[i].empty()) << "oracle produced nothing?";
+    const auto steps = fedConfig(i).geometry.numOutputSteps();
+    for (StepIndex s = 0; s < steps; ++s) {
+      EXPECT_EQ(nodes[owner].daemon->isAvailable(contextName(i), s),
+                expected[i].count(s) > 0)
+          << "context " << i << " step " << s << " owner dv" << owner;
+      for (int n = 0; n < kNodes; ++n) {
+        if (n == owner) continue;
+        EXPECT_FALSE(nodes[n].daemon->isAvailable(contextName(i), s))
+            << "non-owner dv" << n << " produced context " << i;
+      }
+    }
+  }
+
+  // Ownership: opens land only on ring owners, and add up exactly.
+  std::uint64_t expectedOpens[kNodes] = {};
+  for (int c = 0; c < kClients; ++c) {
+    const int owner =
+        std::stoi(ring.ownerOf(contextName(c % kContexts)).id.substr(2));
+    expectedOpens[owner] += kAccessesPerClient;
+  }
+  std::uint64_t totalOpens = 0;
+  for (int n = 0; n < kNodes; ++n) {
+    const auto stats = nodes[n].daemon->stats();
+    EXPECT_EQ(stats.opens, expectedOpens[n]) << "node dv" << n;
+    totalOpens += stats.opens;
+  }
+  EXPECT_EQ(totalOpens,
+            static_cast<std::uint64_t>(kClients) * kAccessesPerClient);
+
+  // Redirects: every stale-seeded client whose context lives off dv0 was
+  // bounced exactly once, by dv0; nobody else redirected anything.
+  EXPECT_EQ(nodes[0].daemon->federationCounters().redirects,
+            static_cast<std::uint64_t>(expectedRedirects));
+  for (int n = 1; n < kNodes; ++n) {
+    EXPECT_EQ(nodes[n].daemon->federationCounters().redirects, 0u)
+        << "dv" << n;
+  }
+
+  for (auto& n : nodes) {
+    n.fleet.reset();
+    n.daemon.reset();
+  }
+}
+
+TEST(FederationTest, WrongNodeSimulatorEventsAreForwarded) {
+  const std::string tag = "fwd";
+  const cluster::Ring ring = fullRing(tag);
+  auto nodes = startCluster(tag, ring);
+
+  // Pick any context owned by dv0 and a wrong node to aim at.
+  int ctxIdx = -1;
+  for (int i = 0; i < kContexts; ++i) {
+    if (ring.ownerOf(contextName(i)).id == "dv0") {
+      ctxIdx = i;
+      break;
+    }
+  }
+  ASSERT_GE(ctxIdx, 0) << "dv0 owns nothing (ring changed?)";
+  const std::string ctx = contextName(ctxIdx);
+  const auto cfg = fedConfig(ctxIdx);
+
+  // Replace dv0's fleet with a recording launcher so the demand job
+  // stays open until the test completes it over the wire.
+  struct RecLauncher final : SimLauncher {
+    void launch(SimJobId job, const simmodel::JobSpec& spec) override {
+      std::lock_guard lock(mutex);
+      jobs.push_back({job, spec});
+      cv.notify_all();
+    }
+    void kill(SimJobId) override {}
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<std::pair<SimJobId, simmodel::JobSpec>> jobs;
+  } launcher;
+  nodes[0].daemon->setLauncher(&launcher);
+
+  auto router = dvlib::NodeRouter::overUnixSockets(ring);
+  auto client = dvlib::SimFSClient::connect(router, ctx);
+  ASSERT_TRUE(client.isOk());
+
+  const std::string file = cfg.codec.outputFile(0);
+  auto info = (*client)->open(file);
+  ASSERT_TRUE(info.isOk());
+  ASSERT_FALSE(info->available);
+
+  SimJobId job = 0;
+  simmodel::JobSpec spec;
+  {
+    std::unique_lock lock(launcher.mutex);
+    ASSERT_TRUE(launcher.cv.wait_for(lock, std::chrono::seconds(5),
+                                     [&] { return !launcher.jobs.empty(); }));
+    job = launcher.jobs[0].first;
+    spec = launcher.jobs[0].second;
+  }
+
+  // Deliver the simulator events to the WRONG node (dv1): each must be
+  // forwarded to dv0, which owns the context and issued the job id.
+  auto wrong = msg::unixSocketConnect(nodes[1].socketPath);
+  ASSERT_TRUE(wrong.isOk());
+  (*wrong)->setHandler([](msg::Message&&) {});
+  std::uint64_t sent = 0;
+  for (StepIndex s = spec.startStep; s <= spec.stopStep; ++s) {
+    msg::Message m;
+    m.type = msg::MsgType::kSimFileClosed;
+    m.context = ctx;
+    m.intArg = static_cast<std::int64_t>(job);
+    m.files = {cfg.codec.outputFile(s)};
+    ASSERT_TRUE((*wrong)->send(m).isOk());
+    ++sent;
+  }
+  msg::Message fin;
+  fin.type = msg::MsgType::kSimFinished;
+  fin.context = ctx;
+  fin.intArg = static_cast<std::int64_t>(job);
+  ASSERT_TRUE((*wrong)->send(fin).isOk());
+  ++sent;
+
+  // The forwarded events reach dv0 and release the blocked open.
+  EXPECT_TRUE((*client)->waitFile(file).isOk());
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (nodes[1].daemon->federationCounters().forwarded < sent &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(nodes[1].daemon->federationCounters().forwarded, sent);
+  EXPECT_EQ(nodes[1].daemon->federationCounters().forwardDrops, 0u);
+  EXPECT_EQ(nodes[0].daemon->federationCounters().forwarded, 0u);
+  EXPECT_GT(nodes[0].daemon->stats().stepsProduced, 0u);
+
+  (*client)->finalize();
+  (*wrong)->close();
+  for (auto& n : nodes) {
+    n.fleet.reset();
+    n.daemon.reset();
+  }
+}
+
+TEST(FederationTest, DisagreeingRingsCannotPingPongForwards) {
+  // Adversarial setup: nodeA's ring says nodeB owns everything relevant,
+  // while nodeB's ring routes the same context back to nodeA's endpoint
+  // (under a different member id). Without the single-hop bound a
+  // forwarded event would bounce between them forever; with it, the
+  // second node must process the event locally and forward nothing.
+  const std::string pathA = socketPathFor("pingpong", 0);
+  const std::string pathB = socketPathFor("pingpong", 1);
+
+  // Ring for A, and a context A does NOT own (placement is pure hash,
+  // so scan the context names for one landing on nodeB).
+  const cluster::Ring ringA =
+      cluster::Ring::make({{"nodeA", pathA}, {"nodeB", pathB}}).value();
+  int ctxIdx = -1;
+  for (int i = 0; i < kContexts; ++i) {
+    if (ringA.ownerOf(contextName(i)).id == "nodeB") {
+      ctxIdx = i;
+      break;
+    }
+  }
+  ASSERT_GE(ctxIdx, 0) << "nodeB owns none of the test contexts";
+  const std::string ctx = contextName(ctxIdx);
+  // Ring for B: B plus an alias whose endpoint is A, picked so B does
+  // NOT own ctx either — B's table points the forward straight back.
+  cluster::Ring ringB;
+  for (const char* alias : {"nodeC", "nodeD", "nodeE", "nodeF"}) {
+    auto candidate =
+        cluster::Ring::make({{"nodeB", pathB}, {alias, pathA}}).value();
+    if (candidate.ownerOf(ctx).id == alias) {
+      ringB = candidate;
+      break;
+    }
+  }
+  ASSERT_FALSE(ringB.empty()) << "no alias maps ctx back to A's endpoint";
+
+  const auto makeNode = [&](const std::string& id, const cluster::Ring& ring,
+                            const std::string& path) {
+    Node node;
+    Daemon::Options options;
+    options.shards = 1;
+    options.workers = 1;
+    options.nodeId = id;
+    options.ring = ring;
+    node.daemon = std::make_unique<Daemon>(options);
+    node.store = std::make_unique<vfs::MemFileStore>();
+    node.fleet = std::make_unique<simulator::ThreadedSimulatorFleet>(
+        *node.daemon, *node.store, /*timeScale=*/1.0);
+    const auto cfg = fedConfig(ctxIdx);
+    EXPECT_TRUE(
+        node.daemon
+            ->registerContext(std::make_unique<simmodel::SyntheticDriver>(cfg))
+            .isOk());
+    node.fleet->registerContext(cfg);
+    node.daemon->setLauncher(node.fleet.get());
+    node.socketPath = path;
+    EXPECT_TRUE(node.daemon->listen(path).isOk());
+    return node;
+  };
+  Node a = makeNode("nodeA", ringA, pathA);
+  Node b = makeNode("nodeB", ringB, pathB);
+
+  auto conn = msg::unixSocketConnect(pathA);
+  ASSERT_TRUE(conn.isOk());
+  (*conn)->setHandler([](msg::Message&&) {});
+  msg::Message ev;
+  ev.type = msg::MsgType::kSimFileClosed;
+  ev.context = ctx;
+  ev.intArg = 12345;  // job id unknown everywhere: fails soft at B
+  ev.files = {fedConfig(ctxIdx).codec.outputFile(0)};
+  ASSERT_TRUE((*conn)->send(ev).isOk());
+
+  // A forwards once (to B); B must NOT forward it back despite its ring
+  // saying the owner is over at A's endpoint.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (a.daemon->federationCounters().forwarded < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(a.daemon->federationCounters().forwarded, 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(b.daemon->federationCounters().forwarded, 0u)
+      << "hop bound violated: B re-forwarded a relayed event";
+  EXPECT_EQ(a.daemon->federationCounters().forwarded, 1u)
+      << "event bounced back to A";
+
+  (*conn)->close();
+  a.fleet.reset();
+  a.daemon.reset();
+  b.fleet.reset();
+  b.daemon.reset();
+}
+
+TEST(FederationTest, OneNodeRingDegeneratesToStandalone) {
+  const std::string tag = "solo";
+  const std::string path = socketPathFor(tag, 0);
+  const cluster::Ring ring =
+      cluster::Ring::make({{"solo", path}}, /*version=*/1).value();
+
+  // Run the same access sequence against (a) a federated one-node ring
+  // and (b) a plain standalone daemon; every serving stat must agree.
+  DvStats statsBy[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    Daemon::Options options;
+    options.shards = 2;
+    options.workers = 2;
+    if (mode == 0) {
+      options.nodeId = "solo";
+      options.ring = ring;
+    }
+    Daemon daemon(options);
+    vfs::MemFileStore store;
+    simulator::ThreadedSimulatorFleet fleet(daemon, store, /*timeScale=*/1.0);
+    for (int c = 0; c < kContexts; ++c) {
+      const auto cfg = fedConfig(c);
+      ASSERT_TRUE(
+          daemon
+              .registerContext(std::make_unique<simmodel::SyntheticDriver>(cfg))
+              .isOk());
+      fleet.registerContext(cfg);
+    }
+    daemon.setLauncher(&fleet);
+    if (mode == 0) {
+      ASSERT_TRUE(daemon.listen(path).isOk());
+    }
+
+    for (int c = 0; c < 4; ++c) {
+      const int ctx = c % kContexts;
+      std::unique_ptr<dvlib::SimFSClient> client;
+      if (mode == 0) {
+        auto router = dvlib::NodeRouter::overUnixSockets(ring);
+        auto connected = dvlib::SimFSClient::connect(router, contextName(ctx));
+        ASSERT_TRUE(connected.isOk());
+        client = std::move(*connected);
+      } else {
+        auto connected = dvlib::SimFSClient::connect(daemon.connectInProc(),
+                                                     contextName(ctx));
+        ASSERT_TRUE(connected.isOk());
+        client = std::move(*connected);
+      }
+      for (const StepIndex step : accessesOf(c)) {
+        const std::string file = fedConfig(ctx).codec.outputFile(step);
+        ASSERT_TRUE(client->acquire({file}).isOk());
+        ASSERT_TRUE(client->release(file).isOk());
+      }
+      client->finalize();
+    }
+
+    const auto quiet = [&] {
+      if (fleet.activeJobs() > 0) return false;
+      for (const auto& sc : daemon.shardCounters()) {
+        if (sc.queued > 0 || sc.served < sc.enqueued) return false;
+      }
+      return true;
+    };
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (!quiet() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_TRUE(quiet());
+
+    statsBy[mode] = daemon.stats();
+    EXPECT_EQ(daemon.federationCounters().redirects, 0u);
+    EXPECT_EQ(daemon.federationCounters().forwarded, 0u);
+    daemon.stop();
+    fleet.joinAll();
+  }
+  EXPECT_EQ(statsBy[0].opens, statsBy[1].opens);
+  EXPECT_EQ(statsBy[0].hits, statsBy[1].hits);
+  EXPECT_EQ(statsBy[0].misses, statsBy[1].misses);
+  EXPECT_EQ(statsBy[0].jobsLaunched, statsBy[1].jobsLaunched);
+  EXPECT_EQ(statsBy[0].stepsProduced, statsBy[1].stepsProduced);
+}
+
+TEST(NodeRouterTest, PoolsUnboundConnectionsPerEndpoint) {
+  // The dialer counts dials; checkout after checkin must reuse.
+  std::atomic<int> dials{0};
+  std::vector<std::unique_ptr<msg::Transport>> serverEnds;
+  std::mutex serverMutex;
+  auto router = std::make_shared<dvlib::NodeRouter>(
+      cluster::Ring::make({{"a", "ep-a"}, {"b", "ep-b"}}).value(),
+      [&](const std::string&) -> Result<std::unique_ptr<msg::Transport>> {
+        ++dials;
+        auto [server, client] = msg::makeInProcPair();
+        std::lock_guard lock(serverMutex);
+        serverEnds.push_back(std::move(server));
+        return std::move(client);
+      });
+
+  auto first = router->checkout("ep-a");
+  ASSERT_TRUE(first.isOk());
+  EXPECT_EQ(dials.load(), 1);
+  router->checkin("ep-a", std::move(*first));
+  auto second = router->checkout("ep-a");
+  ASSERT_TRUE(second.isOk());
+  EXPECT_EQ(dials.load(), 1) << "pooled transport not reused";
+  auto other = router->checkout("ep-b");
+  ASSERT_TRUE(other.isOk());
+  EXPECT_EQ(dials.load(), 2) << "pool must be per-endpoint";
+
+  // A transport whose peer died while pooled is discarded, not reused.
+  router->checkin("ep-a", std::move(*second));
+  {
+    std::lock_guard lock(serverMutex);
+    serverEnds.clear();  // closes every server end
+  }
+  auto third = router->checkout("ep-a");
+  ASSERT_TRUE(third.isOk());
+  EXPECT_EQ(dials.load(), 3) << "stale pooled transport was handed out";
+  router->drainPool();
+}
+
+TEST(NodeRouterTest, AdoptRingKeepsNewestVersion) {
+  auto v2 = cluster::Ring::make({{"a", "/a"}, {"b", "/b"}}, 2).value();
+  auto v3 = cluster::Ring::make({{"a", "/a"}, {"c", "/c"}}, 3).value();
+  auto router = std::make_shared<dvlib::NodeRouter>(
+      v2, [](const std::string&) -> Result<std::unique_ptr<msg::Transport>> {
+        return errUnavailable("no dial in this test");
+      });
+  EXPECT_FALSE(router->adoptRing(v2));  // same version, same table: no-op
+  EXPECT_TRUE(router->adoptRing(v3));
+  EXPECT_EQ(router->ringSnapshot().version(), 3u);
+  EXPECT_FALSE(router->adoptRing(v2));  // stale: ignored
+  EXPECT_NE(router->node("c").isOk(), false);
+  EXPECT_FALSE(router->node("b").isOk());
+  // Same version but DIFFERENT membership is authoritative (the daemon's
+  // table supersedes a wrong client seed) — without this, a client seeded
+  // with a bad same-version ring could never converge on the table every
+  // redirect carries.
+  auto v3fixed = cluster::Ring::make({{"a", "/a"}, {"d", "/d"}}, 3).value();
+  EXPECT_TRUE(router->adoptRing(v3fixed));
+  EXPECT_TRUE(router->node("d").isOk());
+  EXPECT_FALSE(router->node("c").isOk());
+}
+
+}  // namespace
+}  // namespace simfs::dv

@@ -105,6 +105,89 @@ TEST(MessageCodecTest, MutatedValidBuffersFailOrRoundTrip) {
   }
 }
 
+// --- federation wire surface (kRedirect / kRingUpdate) ----------------------
+
+Message sampleRedirect() {
+  Message m;
+  m.type = MsgType::kRedirect;
+  m.requestId = 41;
+  m.context = "cosmo-5min";
+  m.text = "dv2";  // owner node id
+  m.files = {"dv0=/tmp/dv0.sock", "dv1=/tmp/dv1.sock", "dv2=/tmp/dv2.sock"};
+  m.intArg = 9;  // ring version
+  return m;
+}
+
+TEST(MessageCodecTest, ForwardHopCountSurvives) {
+  Message m;
+  m.type = MsgType::kSimFileClosed;
+  m.context = "cosmo-5min";
+  m.files = {"out_0000000001.snc"};
+  m.hops = 1;
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.isOk());
+  EXPECT_EQ(*decoded, m);
+  EXPECT_EQ(decoded->hops, 1u);
+}
+
+TEST(MessageCodecTest, RedirectRoundTrip) {
+  const auto m = sampleRedirect();
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.isOk());
+  EXPECT_EQ(*decoded, m);
+  EXPECT_EQ(decoded->text, "dv2");
+  EXPECT_EQ(decoded->files.size(), 3u);
+  EXPECT_EQ(decoded->intArg, 9);
+}
+
+TEST(MessageCodecTest, RingUpdateRoundTrip) {
+  Message m;
+  m.type = MsgType::kRingUpdate;
+  m.requestId = 0;  // push (no matching request)
+  m.text = "dv0";
+  m.files = {"dv0=/tmp/dv0.sock", "dv1=/tmp/dv1.sock"};
+  m.intArg = 3;
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.isOk());
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(MessageCodecTest, RingReqRoundTrip) {
+  Message m;
+  m.type = MsgType::kRingReq;
+  m.requestId = 12;
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.isOk());
+  EXPECT_EQ(*decoded, m);
+}
+
+// Hostile-length hardening on the new messages, mirroring the PR 2 decode
+// bounds: a forged ring-entry count must fail cleanly, not drive a huge
+// reserve() or an overread.
+TEST(MessageCodecTest, RedirectWithForgedEntryCountFailsCleanly) {
+  auto buf = encode(sampleRedirect());
+  // The file-count u32 sits right after the two length-prefixed strings
+  // (context, text) and the fixed header (type, requestId, code, intArg,
+  // intArg2, hops). Recompute its offset and forge the count sky-high
+  // while keeping the buffer length unchanged.
+  const std::size_t header = 2 + 8 + 4 + 8 + 8 + 2;
+  const std::size_t ctxField = 4 + sampleRedirect().context.size();
+  const std::size_t textField = 4 + sampleRedirect().text.size();
+  const std::size_t countAt = header + ctxField + textField;
+  ASSERT_LT(countAt + 4, buf.size());
+  for (int i = 0; i < 4; ++i) buf[countAt + i] = static_cast<char>(0xFF);
+  EXPECT_FALSE(decode(buf).isOk());
+}
+
+TEST(MessageCodecTest, RedirectTruncatedEntriesFailCleanly) {
+  const auto full = encode(sampleRedirect());
+  for (std::size_t cut = 1; cut < 24; ++cut) {
+    EXPECT_FALSE(
+        decode(std::string_view(full).substr(0, full.size() - cut)).isOk())
+        << "cut=" << cut;
+  }
+}
+
 TEST(InProcTransportTest, DeliversBothDirections) {
   auto [a, b] = makeInProcPair();
   std::vector<Message> atB;
