@@ -1,0 +1,145 @@
+// DVLib session-API round-trip costs (google-benchmark): the per-file
+// open loop (the pre-redesign wire shape — one request/reply per file)
+// against the vectored acquire (ONE kOpenBatchReq for the whole batch,
+// released again with one kCancelReq), end-to-end through a real daemon
+// over a Unix-domain socket:
+//
+//   Session -> socket -> reactor -> dispatch -> shard queue -> worker
+//   batch drain -> DvShard -> buffered ack -> reactor -> Session
+//
+// All opens hit pre-seeded steps, so the measured gap is pure protocol:
+// N round trips vs 1. Batch sizes 1 / 8 / 64 mirror typical analysis
+// working sets; items_per_second counts files acquired+released per
+// second (real time).
+//
+// Run with --json (see bench_util.hpp) for BENCH_dvlib.json.
+#include "bench_util.hpp"
+#include "dv/daemon.hpp"
+#include "dvlib/session.hpp"
+#include "msg/transport.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace simfs;
+
+constexpr StepIndex kSeededSteps = 64;
+
+/// Pure hit traffic: the launcher seam must exist but never fires.
+class NullLauncher final : public dv::SimLauncher {
+ public:
+  void launch(SimJobId, const simmodel::JobSpec&) override {}
+  void kill(SimJobId) override {}
+};
+
+simmodel::ContextConfig benchContext() {
+  simmodel::ContextConfig cfg;
+  cfg.name = "bench";
+  cfg.geometry = simmodel::StepGeometry(1, 16, 1 << 12);
+  cfg.outputStepBytes = 1;
+  cfg.cacheQuotaBytes = 1 << 16;  // far above the seeded set: no eviction
+  cfg.prefetchEnabled = false;
+  return cfg;
+}
+
+/// Daemon serving a Unix socket with kSeededSteps pre-available steps,
+/// plus one connected session.
+struct Stack {
+  NullLauncher launcher;
+  std::unique_ptr<dv::Daemon> daemon;
+  std::shared_ptr<dvlib::Session> session;
+  std::vector<std::string> files;
+
+  explicit Stack(const std::string& tag) {
+    const auto cfg = benchContext();
+    daemon = std::make_unique<dv::Daemon>();
+    if (!daemon
+             ->registerContext(
+                 std::make_unique<simmodel::SyntheticDriver>(cfg))
+             .isOk()) {
+      std::abort();
+    }
+    daemon->setLauncher(&launcher);
+    for (StepIndex s = 0; s < kSeededSteps; ++s) {
+      (void)daemon->seedAvailableStep(cfg.name, s);
+      files.push_back(cfg.codec.outputFile(s));
+    }
+    const std::string path = "/tmp/simfs_bench_dvlib_" + tag + "_" +
+                             std::to_string(::getpid()) + ".sock";
+    if (!daemon->listen(path).isOk()) std::abort();
+    auto conn = msg::unixSocketConnect(path);
+    if (!conn) std::abort();
+    auto s = dvlib::Session::connect(std::move(*conn), cfg.name);
+    if (!s) std::abort();
+    session = std::move(*s);
+  }
+
+  ~Stack() {
+    session->finalize();
+    daemon->stop();
+  }
+};
+
+/// The pre-redesign shape: one request/reply round trip per file (open),
+/// then one per file again (release).
+void BM_DvlibPerFileLoop(benchmark::State& state) {
+  Stack stack("loop" + std::to_string(state.range(0)));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      auto info = stack.session->open(stack.files[i]);
+      if (!info || !info->available) state.SkipWithError("open missed");
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!stack.session->release(stack.files[i]).isOk()) {
+        state.SkipWithError("release failed");
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+
+/// The redesigned shape: the whole batch in ONE kOpenBatchReq, released
+/// again with one kCancelReq.
+void BM_DvlibVectoredAcquire(benchmark::State& state) {
+  Stack stack("vec" + std::to_string(state.range(0)));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::string> batch(stack.files.begin(),
+                                       stack.files.begin() +
+                                           static_cast<std::ptrdiff_t>(n));
+  for (auto _ : state) {
+    auto handle = stack.session->acquireAsync(batch);
+    if (!handle.wait().isOk()) state.SkipWithError("acquire failed");
+    if (!handle.cancel().isOk()) state.SkipWithError("cancel failed");
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+
+BENCHMARK(BM_DvlibPerFileLoop)
+    ->ArgName("files")
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK(BM_DvlibVectoredAcquire)
+    ->ArgName("files")
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return simfs::bench::runMicroBenchmarks(argc, argv, "BENCH_dvlib.json");
+}

@@ -30,6 +30,8 @@ msg::MsgType ackTypeFor(msg::MsgType request) noexcept {
   switch (request) {
     case msg::MsgType::kHello: return msg::MsgType::kHelloAck;
     case msg::MsgType::kOpenReq: return msg::MsgType::kOpenAck;
+    case msg::MsgType::kOpenBatchReq: return msg::MsgType::kOpenBatchAck;
+    case msg::MsgType::kCancelReq: return msg::MsgType::kCancelAck;
     case msg::MsgType::kAcquireReq: return msg::MsgType::kAcquireAck;
     case msg::MsgType::kReleaseReq: return msg::MsgType::kReleaseAck;
     case msg::MsgType::kBitrepReq: return msg::MsgType::kBitrepAck;
@@ -344,7 +346,8 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
   // Everything else needs the session's bound shard.
   const int shard = session->shard.load();
   if (shard < 0) {
-    if (m.type == msg::MsgType::kCloseNotify) {
+    if (m.type == msg::MsgType::kCloseNotify ||
+        (m.type == msg::MsgType::kCancelReq && m.requestId == 0)) {
       // Fire-and-forget even when unbound. Not forwarded: a deref only
       // means something for the client session holding the reference,
       // and that session lives on the owner already (hello redirects
@@ -456,10 +459,14 @@ bool Daemon::enqueue(std::size_t shard, DaemonRequest&& request) {
   // client sees kUnavailable and can back off. Fire-and-forget client
   // messages, disconnects and simulator events always enqueue: dropping
   // those would corrupt bookkeeping, and their volume is bounded by the
-  // request traffic that produces them. The check shares the queue's one
-  // lock acquisition, so concurrent dispatchers cannot overshoot the cap.
+  // request traffic that produces them. Cancels also always enqueue: they
+  // FREE resources (waiter entries, pinned slots), so shedding one under
+  // overload would leak exactly when the daemon can least afford it. The
+  // check shares the queue's one lock acquisition, so concurrent
+  // dispatchers cannot overshoot the cap.
   const bool sheddable =
       request.kind == DaemonRequest::Kind::kClientMessage &&
+      request.msg.type != msg::MsgType::kCancelReq &&
       ackTypeFor(request.msg.type) != msg::MsgType::kError;
   bool shed = false;
   {
@@ -693,6 +700,52 @@ void Daemon::processClientMessage(std::size_t shardIndex, DvShard& shard,
       reply.intArg = res.available ? 1 : 0;
       reply.intArg2 = res.estimatedWait;
       reply.files = {std::move(m.files[0])};
+      break;
+    }
+    case msg::MsgType::kOpenBatchReq: {
+      // The vectored open: the whole batch resolves inside this one
+      // message, i.e. under the single shard-lock acquisition its queue
+      // drain already holds — N files, one round trip, one lock. The ack
+      // carries a per-file outcome pair so the client can tell the
+      // immediately-available subset from the steps being re-simulated.
+      reply.type = msg::MsgType::kOpenBatchAck;
+      Status worst = Status::ok();
+      VDuration maxWait = 0;
+      std::int64_t availableNow = 0;
+      // Outcome pairs only, positional by request order — echoing the
+      // filenames back would double the ack payload for nothing.
+      reply.ints.reserve(2 * m.files.size());
+      for (const auto& f : m.files) {
+        const auto res = shard.clientOpen(client, f);
+        if (!res.status.isOk()) worst = res.status;
+        if (res.available) ++availableNow;
+        maxWait = std::max(maxWait, res.estimatedWait);
+        reply.ints.push_back(
+            static_cast<std::int64_t>(res.status.code()) * 2 +
+            (res.available ? 1 : 0));
+        reply.ints.push_back(res.estimatedWait);
+      }
+      reply.code = codeOf(worst);
+      reply.text = worst.message();
+      reply.intArg = availableNow;
+      reply.intArg2 = maxWait;
+      break;
+    }
+    case msg::MsgType::kCancelReq: {
+      // Abandoned acquire: free every piece of interest the batch still
+      // holds. Per-file misses (already released, never opened) are
+      // expected under races and fail soft — the ack reports how many
+      // registrations were actually freed.
+      reply.type = msg::MsgType::kCancelAck;
+      std::int64_t freed = 0;
+      for (const auto& f : m.files) {
+        if (shard.clientCancel(client, f).isOk()) ++freed;
+      }
+      reply.code = codeOf(Status::ok());
+      reply.intArg = freed;
+      // requestId 0 marks a fire-and-forget cancel (the DVLib default,
+      // mirroring kCloseNotify): no ack is wanted.
+      sendReply = m.requestId != 0;
       break;
     }
     case msg::MsgType::kAcquireReq: {

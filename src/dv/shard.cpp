@@ -248,6 +248,57 @@ Status DvShard::clientRelease(ClientId client, const std::string& file) {
   return Status::ok();
 }
 
+Status DvShard::clientCancel(ClientId client, const std::string& file) {
+  auto* info = findClient(client);
+  if (info == nullptr) return errFailedPrecondition("dv: unknown client");
+  ContextState* ctx = info->ctx;
+  SIMFS_CHECK(ctx != nullptr);
+  if (ctx->driver->config().codec.isRestartFile(file)) {
+    return Status::ok();  // restart opens register nothing to cancel
+  }
+  const auto key = ctx->driver->key(file);
+  if (!key) return errFailedPrecondition("dv: cancel without open: " + file);
+  const StepIndex step = *key;
+
+  // Still pending: the open registered this client as a waiter. Remove
+  // exactly ONE entry (overlapping acquires enqueue one entry each) and
+  // keep the producing job's waited-step counter consistent, mirroring
+  // clientDisconnect's per-step unwind.
+  const auto fit = ctx->files.find(step);
+  if (fit != ctx->files.end() &&
+      fit->second.kind == FileState::Kind::kPending) {
+    auto& fs = fit->second;
+    const auto wit = std::find(fs.waiters.begin(), fs.waiters.end(), client);
+    if (wit != fs.waiters.end()) {
+      fs.waiters.erase(wit);
+      const auto pos = std::find(info->waitingSteps.begin(),
+                                 info->waitingSteps.end(), step);
+      if (pos != info->waitingSteps.end()) {
+        *pos = info->waitingSteps.back();
+        info->waitingSteps.pop_back();
+      }
+      if (fs.waiters.empty()) {
+        const auto jit = jobs_.find(fs.producer);
+        if (jit != jobs_.end()) --jit->second.waitedSteps;
+      }
+      // The waiter is gone: a prefetch nobody else waits for is now a
+      // kill candidate again.
+      killUnneededPrefetches(client);
+      return Status::ok();
+    }
+  }
+
+  // Already delivered (available at open time, or the notification won
+  // the race against this cancel): the open holds a reference — drop it.
+  const auto rit = info->refs.find(step);
+  if (rit != info->refs.end() && rit->second > 0) {
+    --rit->second;
+    ctx->cache->unpin(step);
+    return Status::ok();
+  }
+  return errFailedPrecondition("dv: cancel without open: " + file);
+}
+
 Result<bool> DvShard::clientBitrep(ClientId client, const std::string& file,
                                    std::uint64_t digest) {
   auto* info = findClient(client);

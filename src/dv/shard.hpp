@@ -163,6 +163,14 @@ class DvShard {
   /// Transparent-mode close / SIMFS_Release: drops one reference.
   Status clientRelease(ClientId client, const std::string& file);
 
+  /// Cancellation of an abandoned acquire (kCancelReq): releases whatever
+  /// interest the client's open of `file` registered — the waiter entry
+  /// if the step is still pending, or one reference if the open (or the
+  /// availability notification racing the cancel) already delivered it.
+  /// A cancelled acquire therefore can never pin a cache slot. Fails soft
+  /// (kFailedPrecondition) when no interest is held.
+  Status clientCancel(ClientId client, const std::string& file);
+
   /// SIMFS_Bitrep: compares `digest` (computed client-side over the
   /// re-simulated file) with the recorded reference checksum.
   [[nodiscard]] Result<bool> clientBitrep(ClientId client,

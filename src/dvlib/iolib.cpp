@@ -96,15 +96,17 @@ Result<std::int64_t> IoDispatch::openForRead(const std::string& name) {
       return errNotFound("iolib: no file " + name);
     }
   }
+  AcquireHandle acquire;
   if (client != nullptr) {
-    // The paper's non-blocking open: the DV may kick off a re-simulation;
-    // the read blocks later.
-    auto info = client->open(name);
-    if (!info) return info.status();
+    // The paper's non-blocking open, pipelined: the vectored request goes
+    // on the wire (the DV may kick off a re-simulation) and we do NOT
+    // wait for the ack — consecutive opens stream back-to-back. The read
+    // is the blocking point; open-time errors surface there.
+    acquire = client->session()->acquireAsync({name});
   }
   std::lock_guard lock(mutex_);
   const auto id = nextHandle_++;
-  handles_[id] = Handle{name, /*writing=*/false, {}};
+  handles_[id] = Handle{name, /*writing=*/false, {}, std::move(acquire)};
   return id;
 }
 
@@ -117,13 +119,13 @@ Result<std::int64_t> IoDispatch::createForWrite(const std::string& name) {
     return errFailedPrecondition("iolib: analysis role cannot create");
   }
   const auto id = nextHandle_++;
-  handles_[id] = Handle{name, /*writing=*/true, {}};
+  handles_[id] = Handle{name, /*writing=*/true, {}, {}};
   return id;
 }
 
 Result<std::string> IoDispatch::readAll(std::int64_t handle) {
   std::string name;
-  SimFSClient* client = nullptr;
+  AcquireHandle acquire;
   vfs::FileStore* store = nullptr;
   {
     std::lock_guard lock(mutex_);
@@ -133,12 +135,13 @@ Result<std::string> IoDispatch::readAll(std::int64_t handle) {
       return errFailedPrecondition("iolib: handle open for write");
     }
     name = it->second.name;
-    client = role_ == Role::kAnalysis ? client_ : nullptr;
+    acquire = it->second.acquire;
     store = store_;
   }
-  if (client != nullptr) {
-    // Blocking point of the intercepted read (Fig. 4 step 6).
-    SIMFS_RETURN_IF_ERROR(client->waitFile(name));
+  if (acquire.valid()) {
+    // Blocking point of the intercepted read (Fig. 4 step 6): wait on
+    // the pipelined open's completion token.
+    SIMFS_RETURN_IF_ERROR(acquire.wait());
   }
   return store->read(name);
 }
@@ -177,9 +180,19 @@ Status IoDispatch::close(std::int64_t handle) {
     if (role == Role::kSimulator && onFileClosed) onFileClosed(h.name);
     return Status::ok();
   }
-  // Analysis close: dereference the output step at the DV.
-  if (role == Role::kAnalysis && client != nullptr) {
-    client->closeNotify(h.name);
+  // Analysis close: dereference the output step at the DV. An open whose
+  // acquire never completed (or was never read) is CANCELLED instead —
+  // the DV drops the waiter entry / reference so the abandoned open
+  // cannot pin a cache slot.
+  if (role == Role::kAnalysis && client != nullptr && h.acquire.valid()) {
+    bool done = false;
+    const Status st = h.acquire.test(&done, nullptr);
+    if (!done) {
+      (void)h.acquire.cancel();
+    } else if (st.isOk()) {
+      client->closeNotify(h.name);
+    }
+    // Completed-with-failure holds no DV interest: nothing to release.
   }
   return Status::ok();
 }
@@ -279,7 +292,9 @@ int sh5_fclose(sh5_id file) { return rc(IoDispatch::instance().close(file)); }
 
 namespace {
 /// Pending scheduled reads per ADIOS handle (ADIOS batches reads and
-/// executes them in perform_reads).
+/// executes them in perform_reads). The open already fired the vectored
+/// acquire without blocking, so perform_reads is one wait on the batch
+/// handle — the SAVIME/ADIOS scheduled-read model end-to-end.
 struct ScheduledRead {
   double* out;
   std::size_t maxValues;

@@ -19,6 +19,16 @@
 //   * simulator create/close -> content lands in the store and the DV is
 //     notified that the file is ready (Fig. 4 steps 4-5).
 //
+// Pipelining (async session core): an analysis open fires a vectored
+// acquire (kOpenBatchReq) and returns WITHOUT waiting for the daemon's
+// ack — N consecutive snc/sh5/sadios opens put N requests on the wire
+// back-to-back instead of paying N serial round trips. The read is the
+// first point that waits on the open's AcquireHandle (for sadios that is
+// sadios_perform_reads, the scheduled-read model); open-time errors such
+// as an unparsable name therefore surface at the read. Closing a handle
+// whose acquire never completed cancels it (kCancelReq), so abandoned
+// opens cannot pin DV cache slots.
+//
 // All payloads use one trivial container format: "SNC1" magic, u64 count,
 // raw little-endian doubles (helpers below).
 #pragma once
@@ -96,6 +106,9 @@ class IoDispatch {
     std::string name;
     bool writing = false;
     std::string buffer;
+    /// Analysis role: the pipelined open's completion token; the read
+    /// waits on it, close cancels it when still incomplete.
+    AcquireHandle acquire;
   };
 
   mutable std::mutex mutex_;

@@ -1,0 +1,925 @@
+#include "dvlib/session.hpp"
+
+#include "common/log.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+namespace simfs::dvlib {
+
+namespace detail {
+
+/// Shared state behind an AcquireHandle. All fields are guarded by the
+/// owning Session's mutex.
+struct AcquireState {
+  std::vector<std::string> files;
+  std::vector<Status> fileStatus;      ///< per-file outcome (ack / retire)
+  std::vector<bool> availableAtAck;    ///< on disk at batch time
+  std::vector<VDuration> fileWait;     ///< per-file DV estimate
+  std::set<std::string> pending;       ///< awaiting kFileReady
+  Status worst;
+  VDuration estimatedWait = 0;
+  std::uint64_t wireId = 0;  ///< requestId of the kOpenBatchReq
+  bool ack = false;        ///< batch ack processed
+  bool completed = false;  ///< terminal; continuations fired
+  bool cancelled = false;
+  std::vector<std::function<void(const Status&)>> continuations;
+};
+
+}  // namespace detail
+
+namespace {
+
+constexpr auto kCallTimeout = std::chrono::seconds(30);
+
+/// Hop bound for redirect-following: a correct federation resolves in one
+/// hop (two with a stale ring); more means the cluster disagrees with
+/// itself and looping would never converge.
+constexpr int kMaxRedirects = 4;
+
+Status statusFrom(const msg::Message& m) {
+  const auto code = static_cast<StatusCode>(m.code);
+  if (code == StatusCode::kOk) return Status::ok();
+  return Status(code, m.text);
+}
+
+msg::Message makeHello(const std::string& context) {
+  msg::Message hello;
+  hello.type = msg::MsgType::kHello;
+  hello.context = context;
+  hello.intArg = static_cast<std::int64_t>(msg::ClientRole::kAnalysis);
+  return hello;
+}
+
+std::uint64_t nextCallId() {
+  static std::atomic<std::uint64_t> callSeq{1};
+  return callSeq.fetch_add(1);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- AcquireHandle
+
+AcquireHandle::AcquireHandle() = default;
+AcquireHandle::~AcquireHandle() = default;
+AcquireHandle::AcquireHandle(const AcquireHandle&) = default;
+AcquireHandle& AcquireHandle::operator=(const AcquireHandle&) = default;
+AcquireHandle::AcquireHandle(AcquireHandle&&) noexcept = default;
+AcquireHandle& AcquireHandle::operator=(AcquireHandle&&) noexcept = default;
+
+AcquireHandle::AcquireHandle(std::shared_ptr<Session> session,
+                             std::shared_ptr<detail::AcquireState> state)
+    : session_(std::move(session)), state_(std::move(state)) {}
+
+bool AcquireHandle::valid() const noexcept {
+  return session_ != nullptr && state_ != nullptr;
+}
+
+const std::vector<std::string>& AcquireHandle::files() const {
+  static const std::vector<std::string> kEmpty;
+  if (!valid()) return kEmpty;
+  return state_->files;  // immutable after construction
+}
+
+Status AcquireHandle::wait(SimfsStatus* status, VDuration timeoutNs) {
+  if (!valid()) return errFailedPrecondition("dvlib: empty handle");
+  return session_->handleWait(state_, status, timeoutNs);
+}
+
+Status AcquireHandle::test(bool* done, SimfsStatus* status) {
+  if (!valid()) return errFailedPrecondition("dvlib: empty handle");
+  std::lock_guard lock(session_->mutex_);
+  if (done != nullptr) *done = state_->completed;
+  if (status != nullptr) {
+    status->error = state_->worst;
+    status->estimatedWait = state_->estimatedWait;
+  }
+  return state_->worst;
+}
+
+Status AcquireHandle::waitSome(std::vector<int>* readyIdx,
+                               SimfsStatus* status) {
+  if (!valid()) return errFailedPrecondition("dvlib: empty handle");
+  Session::Fired fired;
+  std::unique_lock lock(session_->mutex_);
+  auto& st = *state_;
+  const auto resolvedCount = [&] {
+    return st.ack ? st.files.size() - st.pending.size() : 0;
+  };
+  if (session_->awaitAckLocked(lock, state_, fired)) {
+    session_->cv_.wait(lock,
+                       [&] { return st.completed || resolvedCount() > 0; });
+  }
+  if (readyIdx != nullptr) {
+    readyIdx->clear();
+    for (std::size_t i = 0; i < st.files.size(); ++i) {
+      if (st.ack && st.pending.count(st.files[i]) == 0) {
+        readyIdx->push_back(static_cast<int>(i));
+      }
+    }
+  }
+  if (status != nullptr) {
+    status->error = st.worst;
+    status->estimatedWait = st.estimatedWait;
+  }
+  const Status result = st.worst;
+  lock.unlock();
+  for (auto& [fn, s] : fired) fn(s);
+  return result;
+}
+
+Status AcquireHandle::testSome(std::vector<int>* readyIdx,
+                               SimfsStatus* status) {
+  if (!valid()) return errFailedPrecondition("dvlib: empty handle");
+  std::lock_guard lock(session_->mutex_);
+  auto& st = *state_;
+  if (readyIdx != nullptr) {
+    readyIdx->clear();
+    for (std::size_t i = 0; i < st.files.size(); ++i) {
+      if (st.ack && st.pending.count(st.files[i]) == 0) {
+        readyIdx->push_back(static_cast<int>(i));
+      }
+    }
+  }
+  if (status != nullptr) {
+    status->error = st.worst;
+    status->estimatedWait = st.estimatedWait;
+  }
+  return st.worst;
+}
+
+Status AcquireHandle::waitAck(SimfsStatus* status) {
+  if (!valid()) return errFailedPrecondition("dvlib: empty handle");
+  Session::Fired fired;
+  std::unique_lock lock(session_->mutex_);
+  (void)session_->awaitAckLocked(lock, state_, fired);
+  if (status != nullptr) {
+    status->error = state_->worst;
+    status->estimatedWait = state_->estimatedWait;
+  }
+  const Status result = state_->worst;
+  lock.unlock();
+  for (auto& [fn, s] : fired) fn(s);
+  return result;
+}
+
+void AcquireHandle::then(std::function<void(const Status&)> fn) {
+  if (!valid() || !fn) return;
+  Status final;
+  {
+    std::lock_guard lock(session_->mutex_);
+    if (!state_->completed) {
+      state_->continuations.push_back(std::move(fn));
+      return;
+    }
+    final = state_->worst;
+  }
+  fn(final);  // already terminal: fire inline
+}
+
+Status AcquireHandle::cancel() {
+  if (!valid()) return errFailedPrecondition("dvlib: empty handle");
+  return session_->handleCancel(state_);
+}
+
+bool AcquireHandle::complete() const {
+  if (!valid()) return false;
+  std::lock_guard lock(session_->mutex_);
+  return state_->completed;
+}
+
+VDuration AcquireHandle::estimatedWait() const {
+  if (!valid()) return 0;
+  std::lock_guard lock(session_->mutex_);
+  return state_->estimatedWait;
+}
+
+AcquireHandle::FileProbe AcquireHandle::probe(std::size_t index) const {
+  FileProbe p;
+  if (!valid()) {
+    p.status = errFailedPrecondition("dvlib: empty handle");
+    return p;
+  }
+  std::lock_guard lock(session_->mutex_);
+  if (index >= state_->files.size()) {
+    p.status = errInvalidArgument("dvlib: probe index out of range");
+    return p;
+  }
+  p.status = state_->fileStatus[index];
+  p.available = state_->availableAtAck[index];
+  p.estimatedWait = state_->fileWait[index];
+  return p;
+}
+
+// ------------------------------------------------------------------ Session
+
+Session::Session(std::string context) : context_(std::move(context)) {}
+
+Session::~Session() {
+  finalize();
+  // Teardown handshake: destroying the endpoints disarms their handlers
+  // and blocks until in-flight callbacks have left, so the members those
+  // callbacks capture (via `this`) are still alive while they run.
+  retired_.clear();
+  transport_.reset();
+}
+
+void Session::attach(const std::shared_ptr<msg::Transport>& t) {
+  // Raw `this` is deliberate — and safe only because ~Session destroys
+  // every attached endpoint FIRST: a transport destructor disarms its
+  // handler slots and waits out invocations already inside them, so no
+  // callback can touch session members mid-destruction. (A weak/shared
+  // self-reference here would be worse, not better: a callback that
+  // ends up owning the last reference would run ~Session inside the
+  // very handler invocation the transport destructor waits on — a
+  // self-deadlock.)
+  t->setHandler([this](msg::Message&& m) { onMessage(std::move(m)); });
+  // Peer death must fail outstanding waits instead of stranding them.
+  t->setCloseHandler([this, raw = t.get()] { onTransportClosed(raw); });
+}
+
+Result<std::shared_ptr<Session>> Session::connect(
+    std::unique_ptr<msg::Transport> transport, const std::string& context) {
+  auto session = std::shared_ptr<Session>(new Session(context));
+  std::shared_ptr<msg::Transport> t = std::move(transport);
+  session->attach(t);
+  auto reply = session->callOn(t, makeHello(context));
+  if (!reply) return reply.status();
+  if (reply->type == msg::MsgType::kRedirect) {
+    return errFailedPrecondition(
+        "dvlib: context '" + context + "' is owned by node '" + reply->text +
+        "'; connect through a NodeRouter to follow redirects");
+  }
+  const auto st = statusFrom(*reply);
+  if (!st.isOk()) return st;
+  session->clientId_ = static_cast<ClientId>(reply->intArg);
+  session->transport_ = std::move(t);
+  return session;
+}
+
+Result<std::shared_ptr<Session>> Session::connect(
+    std::shared_ptr<NodeRouter> router, const std::string& context) {
+  if (!router) return errInvalidArgument("dvlib: null router");
+  auto session = std::shared_ptr<Session>(new Session(context));
+  session->router_ = std::move(router);
+  auto owner = session->router_->ownerOf(context);
+  if (!owner) return owner.status();
+  SIMFS_RETURN_IF_ERROR(session->rebind(owner->id));
+  return session;
+}
+
+std::shared_ptr<msg::Transport> Session::transportRef() {
+  std::lock_guard lock(mutex_);
+  return transport_;
+}
+
+Result<msg::Message> Session::callOn(const std::shared_ptr<msg::Transport>& t,
+                                     msg::Message m) {
+  m.requestId = nextCallId();
+  const auto id = m.requestId;
+  {
+    // Registered before the send so a rebind racing in between still
+    // sees (and can fail) this call.
+    std::lock_guard lock(mutex_);
+    inflight_[id] = t.get();
+  }
+  const Status sent = t->send(m);
+  std::unique_lock lock(mutex_);
+  if (!sent.isOk()) {
+    inflight_.erase(id);
+    return sent;
+  }
+  const bool got =
+      cv_.wait_for(lock, kCallTimeout, [&] { return replies_.count(id) > 0; });
+  inflight_.erase(id);
+  if (!got) return errTimedOut("dvlib: no reply from DV");
+  auto reply = std::move(replies_.at(id));
+  replies_.erase(id);
+  return reply;
+}
+
+Result<msg::Message> Session::call(msg::Message m) {
+  for (int hop = 0; hop <= kMaxRedirects; ++hop) {
+    auto t = transportRef();
+    if (!t) return errUnavailable("dvlib: session not connected");
+    auto reply = callOn(t, m);  // m kept for a possible post-redirect resend
+    if (!reply || reply->type != msg::MsgType::kRedirect) return reply;
+    if (router_ == nullptr) {
+      return errUnavailable("dvlib: redirected to node '" + reply->text +
+                            "' but session has no router");
+    }
+    if (auto ring = ringFromMessage(*reply)) router_->adoptRing(*ring);
+    SIMFS_RETURN_IF_ERROR(rebind(reply->text));
+  }
+  return errUnavailable("dvlib: redirect loop (ring members disagree)");
+}
+
+// ----------------------------------------------------------- async delivery
+
+void Session::completeLocked(
+    const std::shared_ptr<detail::AcquireState>& state, Fired& fired) {
+  if (state->completed) return;
+  state->completed = true;
+  for (auto& fn : state->continuations) {
+    fired.emplace_back(std::move(fn), state->worst);
+  }
+  state->continuations.clear();
+  std::erase(active_, state);
+  cv_.notify_all();
+}
+
+void Session::failStateLocked(
+    const std::shared_ptr<detail::AcquireState>& state, const Status& st,
+    Fired& fired) {
+  if (state->completed) return;
+  state->ack = true;
+  if (state->worst.isOk()) state->worst = st;
+  for (std::size_t i = 0; i < state->files.size(); ++i) {
+    if (!state->availableAtAck[i] && state->fileStatus[i].isOk()) {
+      state->fileStatus[i] = st;
+    }
+  }
+  state->pending.clear();
+  completeLocked(state, fired);
+}
+
+void Session::applyBatchAckLocked(detail::AcquireState& state,
+                                  const msg::Message& m) {
+  state.ack = true;
+  const std::size_t n = state.files.size();
+  if (m.type != msg::MsgType::kOpenBatchAck || m.ints.size() != 2 * n) {
+    // Error reply (or a malformed ack from a hostile peer): the whole
+    // batch failed, nothing was registered server-side.
+    Status overall = statusFrom(m);
+    if (overall.isOk()) {
+      overall = errInternal("dvlib: malformed open-batch ack");
+    }
+    state.worst = overall;
+    state.fileStatus.assign(n, overall);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t packed = m.ints[2 * i];
+    const VDuration wait = m.ints[2 * i + 1];
+    if (packed < 0) {
+      state.fileStatus[i] = errInternal("dvlib: bad per-file outcome");
+      state.worst = state.fileStatus[i];
+      continue;
+    }
+    const auto code = static_cast<StatusCode>(packed >> 1);
+    const bool avail = (packed & 1) != 0;
+    state.availableAtAck[i] = avail;
+    state.fileWait[i] = wait;
+    if (code != StatusCode::kOk) {
+      // Per-file failure: this file registered nothing server-side. The
+      // worst-status message travels in m.text.
+      Status st(code, m.code == static_cast<std::int32_t>(code)
+                          ? m.text
+                          : std::string(statusCodeName(code)));
+      state.fileStatus[i] = st;
+      state.worst = st;
+      continue;
+    }
+    state.fileStatus[i] = Status::ok();
+    const std::string& f = state.files[i];
+    auto& fw = fileWaits_[f];
+    if (avail) {
+      fw.ready = true;
+      fw.status = Status::ok();
+    } else {
+      state.estimatedWait = std::max(state.estimatedWait, wait);
+      if (fw.ready) {
+        // A stale resolution (earlier completion since evicted, failed
+        // job, or waits failed by a rebind) is superseded by this fresh
+        // not-yet-available outcome: the server is authoritative and has
+        // just re-registered us as a waiter.
+        fw.ready = false;
+        fw.status = Status::ok();
+      }
+      if (!state.cancelled) state.pending.insert(f);
+    }
+  }
+}
+
+void Session::onMessage(msg::Message&& m) {
+  if (m.type == msg::MsgType::kRingUpdate && router_ != nullptr) {
+    // Membership push: re-resolve future routing. router_ is set once at
+    // construction, so reading it here without the lock is safe.
+    if (auto ring = ringFromMessage(m)) router_->adoptRing(*ring);
+    if (m.requestId == 0) return;  // pure push, not a reply
+  }
+  Fired fired;
+  {
+    std::lock_guard lock(mutex_);
+    if (m.type == msg::MsgType::kFileReady) {
+      const std::string& file = m.files.empty() ? std::string() : m.files[0];
+      auto& fw = fileWaits_[file];
+      fw.ready = true;
+      fw.status = statusFrom(m);
+      // Retire the file from every live acquire awaiting it.
+      std::vector<std::shared_ptr<detail::AcquireState>> done;
+      for (const auto& state : active_) {
+        if (state->pending.erase(file) == 0) continue;
+        for (std::size_t i = 0; i < state->files.size(); ++i) {
+          if (state->files[i] == file && !state->availableAtAck[i]) {
+            state->fileStatus[i] = fw.status;
+          }
+        }
+        if (!fw.status.isOk()) state->worst = fw.status;
+        if (state->ack && state->pending.empty()) done.push_back(state);
+      }
+      for (const auto& state : done) completeLocked(state, fired);
+      cv_.notify_all();
+    } else if (const auto op = asyncOps_.find(m.requestId);
+               op != asyncOps_.end()) {
+      if (m.type == msg::MsgType::kRedirect) {
+        ++op->second.redirects;
+        if (router_ == nullptr || op->second.redirects > kMaxRedirects) {
+          auto state = op->second.state;
+          asyncOps_.erase(op);
+          failStateLocked(
+              state,
+              router_ == nullptr
+                  ? errUnavailable("dvlib: redirected to node '" + m.text +
+                                   "' but session has no router")
+                  : errUnavailable(
+                        "dvlib: redirect loop (ring members disagree)"),
+              fired);
+        } else {
+          // The rebind dials and blocks for a hello — not allowed on
+          // this (reactor) thread. Hand it to the recovery thread, which
+          // resends every surviving op once rebound.
+          if (auto ring = ringFromMessage(m)) router_->adoptRing(*ring);
+          queueRedirectLocked(m.text);
+        }
+      } else {
+        auto state = op->second.state;
+        asyncOps_.erase(op);
+        applyBatchAckLocked(*state, m);
+        if (!state->cancelled && state->pending.empty()) {
+          completeLocked(state, fired);
+        }
+        cv_.notify_all();
+      }
+    } else if (inflight_.count(m.requestId) != 0) {
+      replies_[m.requestId] = std::move(m);
+      cv_.notify_all();
+    } else {
+      // Unmatched reply — e.g. a batch ack landing after its op already
+      // timed out. Dropping it is the only option that does not grow
+      // replies_ without bound on a slow daemon.
+      SIMFS_LOG_DEBUG("dvlib", "dropping unmatched reply");
+    }
+  }
+  for (auto& [fn, st] : fired) fn(st);
+}
+
+void Session::queueRedirectLocked(const std::string& target) {
+  if (std::find(redirectTargets_.begin(), redirectTargets_.end(), target) ==
+      redirectTargets_.end()) {
+    redirectTargets_.push_back(target);
+  }
+  if (!recovery_.joinable()) {
+    recovery_ = std::thread([this] { recoveryLoop(); });
+  }
+  cv_.notify_all();
+}
+
+void Session::recoveryLoop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    cv_.wait(lock,
+             [&] { return recoveryStop_ || !redirectTargets_.empty(); });
+    if (recoveryStop_) return;
+    const std::string target = redirectTargets_.front();
+    redirectTargets_.pop_front();
+    lock.unlock();
+    const Status st = rebind(target);
+    if (!st.isOk()) failAsyncOps(st);
+    lock.lock();
+  }
+}
+
+void Session::failAllLocked(const Status& down, Fired& fired) {
+  for (auto& [id, op] : asyncOps_) failStateLocked(op.state, down, fired);
+  asyncOps_.clear();
+  for (auto& [file, fw] : fileWaits_) {
+    if (!fw.ready) {
+      fw.ready = true;
+      fw.status = down;
+    }
+  }
+  const auto actives = active_;  // completeLocked mutates active_
+  for (const auto& s : actives) failStateLocked(s, down, fired);
+  for (const auto& [id, tp] : inflight_) {
+    if (replies_.count(id) == 0) {
+      msg::Message failed;
+      failed.type = msg::MsgType::kError;
+      failed.requestId = id;
+      failed.code = static_cast<std::int32_t>(down.code());
+      failed.text = down.message();
+      replies_.emplace(id, std::move(failed));
+    }
+  }
+  cv_.notify_all();
+}
+
+void Session::onTransportClosed(const msg::Transport* t) {
+  Fired fired;
+  {
+    std::lock_guard lock(mutex_);
+    const Status down = errUnavailable("dvlib: connection to DV lost");
+    if (transport_ != nullptr && transport_.get() == t) {
+      // The live link died: nothing outstanding can resolve anymore.
+      failAllLocked(down, fired);
+    } else {
+      // A retired link died late: only ops still tagged to it are lost
+      // (rebind retargets surviving ops before closing the old link).
+      for (auto it = asyncOps_.begin(); it != asyncOps_.end();) {
+        if (it->second.transport != t) {
+          ++it;
+          continue;
+        }
+        auto state = it->second.state;
+        it = asyncOps_.erase(it);
+        failStateLocked(state, down, fired);
+      }
+      for (const auto& [id, tp] : inflight_) {
+        if (tp == t && replies_.count(id) == 0) {
+          msg::Message failed;
+          failed.type = msg::MsgType::kError;
+          failed.requestId = id;
+          failed.code = static_cast<std::int32_t>(down.code());
+          failed.text = down.message();
+          replies_.emplace(id, std::move(failed));
+        }
+      }
+      cv_.notify_all();
+    }
+  }
+  for (auto& [fn, s] : fired) fn(s);
+}
+
+void Session::failAsyncOps(const Status& st) {
+  Fired fired;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& [id, op] : asyncOps_) failStateLocked(op.state, st, fired);
+    asyncOps_.clear();
+    cv_.notify_all();
+  }
+  for (auto& [fn, s] : fired) fn(s);
+}
+
+Status Session::rebind(std::string targetNode) {
+  for (int hop = 0; hop <= kMaxRedirects; ++hop) {
+    auto node = router_->node(targetNode);
+    if (!node) return node.status();
+    auto checked = router_->checkout(node->endpoint);
+    if (!checked) return checked.status();
+    std::shared_ptr<msg::Transport> t = std::move(*checked);
+    attach(t);
+    auto reply = callOn(t, makeHello(context_));
+    if (!reply) {
+      t->close();
+      return reply.status();
+    }
+    if (reply->type == msg::MsgType::kRedirect) {
+      // The daemon rejected the hello without binding anything, so the
+      // connection is reusable by sessions this node does own.
+      if (auto ring = ringFromMessage(*reply)) router_->adoptRing(*ring);
+      targetNode = reply->text;
+      router_->checkin(node->endpoint, std::move(t));
+      continue;
+    }
+    const Status st = statusFrom(*reply);
+    if (!st.isOk()) {
+      t->close();
+      return st;
+    }
+    std::shared_ptr<msg::Transport> old;
+    std::vector<std::uint64_t> resendIds;
+    std::vector<msg::Message> resend;
+    Fired fired;
+    {
+      std::lock_guard lock(mutex_);
+      clientId_ = static_cast<ClientId>(reply->intArg);
+      old = std::move(transport_);
+      transport_ = t;
+      if (old) {
+        retired_.push_back(old);
+        const Status moved =
+            errUnavailable("dvlib: session moved nodes; reopen the file");
+        // Un-acked vectored ops SURVIVE the move: they are resent on the
+        // new link below under the same requestId, so the eventual ack
+        // still matches — this is the redirect-follow for batched opens.
+        // Ops already cancelled client-side are dropped instead;
+        // resending them would re-register interest nobody releases.
+        for (auto it = asyncOps_.begin(); it != asyncOps_.end();) {
+          if (it->second.state->completed) {
+            it = asyncOps_.erase(it);
+            continue;
+          }
+          it->second.transport = t.get();
+          resendIds.push_back(it->first);
+          resend.push_back(it->second.request);
+          ++it;
+        }
+        // The old node held this session's registered waiters; they die
+        // with it. Fail outstanding per-file waits NOW so threads
+        // blocked in waitFile() wake with a retryable error and reopen
+        // on the new owner, instead of waiting forever for a kFileReady
+        // the new node will never send. (Resent ops re-arm their files
+        // when their fresh ack lands.)
+        for (auto& [file, fw] : fileWaits_) {
+          if (!fw.ready) {
+            fw.ready = true;
+            fw.status = moved;
+          }
+        }
+        // Acked acquires still owed files complete with the same
+        // retryable error — their waiter registrations died on the old
+        // node.
+        std::vector<std::shared_ptr<detail::AcquireState>> owed;
+        for (const auto& s : active_) {
+          if (s->ack && !s->pending.empty()) owed.push_back(s);
+        }
+        for (const auto& s : owed) failStateLocked(s, moved, fired);
+        // Sync calls still awaiting a reply on the link being closed
+        // would otherwise sit out the full call timeout: hand them a
+        // synthetic error reply instead.
+        for (const auto& [id, tp] : inflight_) {
+          if (tp == old.get() && replies_.count(id) == 0) {
+            msg::Message failed;
+            failed.type = msg::MsgType::kError;
+            failed.requestId = id;
+            failed.code = static_cast<std::int32_t>(moved.code());
+            failed.text = moved.message();
+            replies_.emplace(id, std::move(failed));
+          }
+        }
+        cv_.notify_all();
+      }
+    }
+    for (auto& [fn, s] : fired) fn(s);
+    // Closing the replaced link tears the stale session down on the node
+    // that no longer owns the context.
+    if (old) old->close();
+    // Resend surviving vectored ops on the new link, outside the lock
+    // (an in-proc send can deliver the ack inline).
+    for (std::size_t i = 0; i < resend.size(); ++i) {
+      const Status sent = t->send(resend[i]);
+      if (sent.isOk()) continue;
+      Fired f2;
+      {
+        std::lock_guard lock(mutex_);
+        const auto it = asyncOps_.find(resendIds[i]);
+        if (it == asyncOps_.end()) continue;
+        auto state = it->second.state;
+        asyncOps_.erase(it);
+        failStateLocked(state, sent, f2);
+      }
+      for (auto& [fn, s] : f2) fn(s);
+    }
+    return Status::ok();
+  }
+  return errUnavailable("dvlib: redirect loop (ring members disagree)");
+}
+
+// -------------------------------------------------------------- acquire core
+
+AcquireHandle Session::acquireAsync(std::vector<std::string> files) {
+  auto state = std::make_shared<detail::AcquireState>();
+  state->files = std::move(files);
+  const std::size_t n = state->files.size();
+  state->fileStatus.assign(n, Status::ok());
+  state->availableAtAck.assign(n, false);
+  state->fileWait.assign(n, static_cast<VDuration>(0));
+  auto self = shared_from_this();
+
+  msg::Message m;
+  m.type = msg::MsgType::kOpenBatchReq;
+  std::shared_ptr<msg::Transport> t;
+  {
+    std::lock_guard lock(mutex_);
+    if (n == 0) {  // trivially complete; nothing to put on the wire
+      state->ack = true;
+      state->completed = true;
+      return AcquireHandle(std::move(self), std::move(state));
+    }
+    t = transport_;
+    if (finalized_ || !t) {
+      state->ack = true;
+      state->completed = true;
+      state->worst = errUnavailable("dvlib: session not connected");
+      state->fileStatus.assign(n, state->worst);
+      return AcquireHandle(std::move(self), std::move(state));
+    }
+    m.requestId = nextCallId();
+    m.files = state->files;
+    state->wireId = m.requestId;
+    active_.push_back(state);
+    AsyncOp op;
+    op.transport = t.get();
+    op.state = state;
+    op.request = m;
+    asyncOps_.emplace(m.requestId, std::move(op));
+  }
+  const Status sent = t->send(m);
+  if (!sent.isOk()) {
+    Fired fired;
+    {
+      std::lock_guard lock(mutex_);
+      // A rebind can have retargeted + resent this op on a fresh link
+      // while our send raced the old one being closed — then the resend
+      // owns the op and this failure is stale, not terminal.
+      const auto it = asyncOps_.find(m.requestId);
+      if (it != asyncOps_.end() && it->second.transport == t.get()) {
+        asyncOps_.erase(it);
+        failStateLocked(state, sent, fired);
+      }
+    }
+    for (auto& [fn, s] : fired) fn(s);
+  }
+  return AcquireHandle(std::move(self), std::move(state));
+}
+
+bool Session::awaitAckLocked(
+    std::unique_lock<std::mutex>& lock,
+    const std::shared_ptr<detail::AcquireState>& state, Fired& fired) {
+  const auto acked = [&] { return state->ack || state->completed; };
+  if (cv_.wait_for(lock, kCallTimeout, acked)) return true;
+  // The DV never answered the batch within the protocol deadline: fail
+  // the op exactly like a synchronous call would.
+  asyncOps_.erase(state->wireId);
+  failStateLocked(state, errTimedOut("dvlib: no reply from DV"), fired);
+  return false;
+}
+
+Status Session::handleWait(
+    const std::shared_ptr<detail::AcquireState>& state, SimfsStatus* status,
+    VDuration timeoutNs) {
+  Fired fired;
+  std::unique_lock lock(mutex_);
+  const auto done = [&] { return state->completed; };
+  if (timeoutNs < 0) {
+    // No explicit deadline: the ack phase is still bounded (the old
+    // per-file calls timed out after kCallTimeout), the completion
+    // phase — a running re-simulation — is not.
+    if (awaitAckLocked(lock, state, fired)) cv_.wait(lock, done);
+    if (status != nullptr) {
+      status->error = state->worst;
+      status->estimatedWait = 0;
+    }
+    const Status result = state->worst;
+    lock.unlock();
+    for (auto& [fn, s] : fired) fn(s);
+    return result;
+  }
+  if (!cv_.wait_for(lock, std::chrono::nanoseconds(timeoutNs), done)) {
+    const Status st = errTimedOut("dvlib: acquire deadline exceeded");
+    if (status != nullptr) {
+      status->error = st;
+      status->estimatedWait = state->estimatedWait;
+    }
+    return st;
+  }
+  if (status != nullptr) {
+    status->error = state->worst;
+    status->estimatedWait = 0;
+  }
+  return state->worst;
+}
+
+Status Session::handleCancel(
+    const std::shared_ptr<detail::AcquireState>& state) {
+  std::vector<std::string> files;
+  Fired fired;
+  {
+    std::lock_guard lock(mutex_);
+    if (state->cancelled) return Status::ok();  // idempotent
+    state->cancelled = true;
+    if (!state->completed) {
+      state->worst = errCancelled("dvlib: acquire cancelled");
+      state->pending.clear();
+      completeLocked(state, fired);
+    }
+    files = state->files;
+  }
+  for (auto& [fn, s] : fired) fn(s);
+  if (files.empty()) return Status::ok();
+  // One wire op frees everything the batch registered: waiter entries
+  // for steps still pending, references for steps already delivered.
+  // Fire-and-forget like closeNotify (requestId 0 tells the daemon no
+  // ack is wanted): an intercepted close must not pay a round trip, and
+  // per-connection FIFO guarantees the cancel lands after its batch.
+  msg::Message m;
+  m.type = msg::MsgType::kCancelReq;
+  m.context = context_;
+  m.files = std::move(files);
+  auto t = transportRef();
+  if (!t) return errUnavailable("dvlib: session not connected");
+  return t->send(m);
+}
+
+Status Session::acquire(const std::vector<std::string>& files,
+                        SimfsStatus* status) {
+  auto handle = acquireAsync(files);
+  const Status st = handle.wait(status);
+  if (!st.isOk()) {
+    // Partial-acquire unwind: files that resolved before the failure
+    // already registered DV interest (references or waiter entries) —
+    // release them so a failed acquire leaves nothing pinned.
+    (void)handle.cancel();
+    if (status != nullptr) status->error = st;  // keep the original error
+  }
+  return st;
+}
+
+Result<Session::OpenInfo> Session::open(const std::string& file) {
+  {
+    // An earlier miss may already have completed.
+    std::lock_guard lock(mutex_);
+    const auto it = fileWaits_.find(file);
+    if (it != fileWaits_.end() && it->second.ready &&
+        it->second.status.isOk()) {
+      return OpenInfo{true, 0};
+    }
+  }
+  auto handle = acquireAsync({file});
+  (void)handle.waitAck(nullptr);  // one round trip
+  const auto p = handle.probe(0);
+  if (!p.status.isOk()) return p.status;
+  return OpenInfo{p.available, p.estimatedWait};
+}
+
+Status Session::waitFile(const std::string& file) {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] {
+    const auto it = fileWaits_.find(file);
+    return it != fileWaits_.end() && it->second.ready;
+  });
+  return fileWaits_.at(file).status;
+}
+
+void Session::closeNotify(const std::string& file) {
+  msg::Message m;
+  m.type = msg::MsgType::kCloseNotify;
+  m.context = context_;  // self-describing for daemon-side diagnostics
+  m.files = {file};
+  if (auto t = transportRef()) (void)t->send(m);
+  std::lock_guard lock(mutex_);
+  fileWaits_.erase(file);  // a later reopen re-queries the DV
+}
+
+Status Session::release(const std::string& file) {
+  msg::Message m;
+  m.type = msg::MsgType::kReleaseReq;
+  m.files = {file};
+  auto reply = call(std::move(m));
+  if (!reply) return reply.status();
+  {
+    std::lock_guard lock(mutex_);
+    fileWaits_.erase(file);
+  }
+  return statusFrom(*reply);
+}
+
+Result<bool> Session::bitrep(const std::string& file, std::uint64_t digest) {
+  msg::Message m;
+  m.type = msg::MsgType::kBitrepReq;
+  m.files = {file};
+  m.intArg = static_cast<std::int64_t>(digest);
+  auto reply = call(std::move(m));
+  if (!reply) return reply.status();
+  const auto st = statusFrom(*reply);
+  if (!st.isOk()) return st;
+  return reply->intArg == 1;
+}
+
+void Session::finalize() {
+  std::shared_ptr<msg::Transport> t;
+  std::vector<std::shared_ptr<msg::Transport>> retired;
+  bool joinRecovery = false;
+  Fired fired;
+  {
+    std::lock_guard lock(mutex_);
+    if (finalized_) return;
+    finalized_ = true;
+    recoveryStop_ = true;
+    joinRecovery = recovery_.joinable();
+    // Wake every blocked waiter: nothing outstanding can resolve once
+    // the session is gone.
+    failAllLocked(errUnavailable("dvlib: session finalized"), fired);
+    t = transport_;
+    retired = retired_;  // close outside the lock; entries stay alive
+  }
+  cv_.notify_all();
+  for (auto& [fn, s] : fired) fn(s);
+  if (joinRecovery) recovery_.join();
+  for (const auto& r : retired) r->close();
+  if (t) t->close();
+}
+
+}  // namespace simfs::dvlib

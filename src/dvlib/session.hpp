@@ -1,0 +1,342 @@
+// Asynchronous, pipelined DVLib session core — the redesigned public
+// surface of the client library.
+//
+// A Session is one context-bound connection into the DV federation. Its
+// one primitive is the VECTORED ASYNCHRONOUS ACQUIRE:
+//
+//   auto handle = session->acquireAsync({f0, f1, ..., fN});
+//
+// encodes all N files into a single kOpenBatchReq and returns an
+// AcquireHandle without blocking — not even for the ack. The daemon
+// resolves the whole batch under one shard-lock acquisition and answers
+// with per-file outcomes (available now / being re-simulated + estimated
+// wait / failed); files still owed retire one by one through kFileReady
+// notifications. Completion is driven entirely off the transport receive
+// callback, so any number of acquires can be in flight and a 64-file
+// acquire costs exactly one round trip instead of 64.
+//
+// The AcquireHandle is a completion token:
+//   wait([status], [timeout])  — block, optionally with a deadline (the
+//                                DV's estimated wait, via estimatedWait(),
+//                                is the natural deadline seed)
+//   test / waitSome / testSome — the paper's SIMFS_Test/Waitsome shapes
+//   waitAck                    — block only for the batch ack (one RTT)
+//   then(fn)                   — continuation fired once on completion,
+//                                on the completing (reactor) thread, or
+//                                inline if already complete
+//   cancel()                   — first-class cancellation: completes the
+//                                handle with kCancelled and sends ONE
+//                                kCancelReq releasing every waiter entry
+//                                and output-step reference the batch
+//                                registered, so an abandoned acquire can
+//                                never pin cache slots
+//   probe(i)                   — per-file ack outcome (availability,
+//                                status, estimated wait)
+//
+// Everything else is an adapter over this core: Session::acquire (=
+// acquireAsync + wait, unwinding partial registrations on failure),
+// SimFSClient (the paper's SIMFS_* call shapes), the C API, and the
+// transparent I/O facades (whose opens pipeline through per-open
+// handles).
+//
+// Federation: sessions created from a NodeRouter keep the PR 3 redirect
+// semantics for batched ops. A kRedirect answering an in-flight
+// kOpenBatchReq is not an error: the session rebinds to the named owner
+// (dial + hello, on a dedicated recovery thread so the reactor callback
+// never blocks) and RESENDS the batch there; the handle completes as if
+// nothing happened. Legacy single-transport sessions surface redirects
+// as errors, exactly as before.
+//
+// Thread-safety: all public methods may be called from any thread;
+// handles are freely copyable across threads.
+#pragma once
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "dvlib/router.hpp"
+#include "msg/transport.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace simfs::dvlib {
+
+/// The paper's SIMFS_Status: error state plus estimated waiting time.
+struct SimfsStatus {
+  Status error;
+  VDuration estimatedWait = 0;
+};
+
+class Session;
+
+namespace detail {
+struct AcquireState;
+}
+
+/// Completion token of a vectored asynchronous acquire (the async
+/// generalization of the paper's SIMFS_Req).
+class AcquireHandle {
+ public:
+  /// No deadline: wait() blocks until completion.
+  static constexpr VDuration kNoDeadline = -1;
+
+  /// Per-file outcome as reported by the batch ack.
+  struct FileProbe {
+    Status status;                ///< per-file error state
+    bool available = false;       ///< true: was on disk at batch time
+    VDuration estimatedWait = 0;  ///< DV's estimate until availability
+  };
+
+  AcquireHandle();  ///< invalid (empty) handle
+  ~AcquireHandle();
+  AcquireHandle(const AcquireHandle&);
+  AcquireHandle& operator=(const AcquireHandle&);
+  AcquireHandle(AcquireHandle&&) noexcept;
+  AcquireHandle& operator=(AcquireHandle&&) noexcept;
+
+  [[nodiscard]] bool valid() const noexcept;
+  [[nodiscard]] const std::vector<std::string>& files() const;
+
+  /// Blocks until every file resolved (or the handle failed/cancelled).
+  /// With a deadline, returns kTimedOut once it expires — the handle
+  /// stays live and can be re-waited or cancel()ed.
+  [[nodiscard]] Status wait(SimfsStatus* status = nullptr,
+                            VDuration timeoutNs = kNoDeadline);
+
+  /// Non-blocking completion check (SIMFS_Test shape).
+  [[nodiscard]] Status test(bool* done, SimfsStatus* status = nullptr);
+
+  /// Blocks until at least one file resolved; returns the indices
+  /// resolved so far (SIMFS_Waitsome shape).
+  [[nodiscard]] Status waitSome(std::vector<int>* readyIdx,
+                                SimfsStatus* status = nullptr);
+
+  /// Non-blocking subset check (SIMFS_Testsome shape).
+  [[nodiscard]] Status testSome(std::vector<int>* readyIdx,
+                                SimfsStatus* status = nullptr);
+
+  /// Blocks only until the batch ack arrived (one round trip): per-file
+  /// probes and the estimated wait are valid afterwards.
+  [[nodiscard]] Status waitAck(SimfsStatus* status = nullptr);
+
+  /// Registers a continuation fired exactly once when the handle
+  /// completes, with the final status. Runs on the completing thread
+  /// (usually the transport reactor) — or inline, right here, if the
+  /// handle already completed. Continuations must not block.
+  void then(std::function<void(const Status&)> fn);
+
+  /// Cancels the acquire: the handle completes with kCancelled (waiters
+  /// wake, continuations fire) and one fire-and-forget kCancelReq
+  /// releases every waiter entry / step reference the batch registered
+  /// at the DV — like closeNotify, no reply round trip blocks the
+  /// caller. Idempotent; per-connection FIFO ordering guarantees the
+  /// release lands after the batch it unwinds.
+  [[nodiscard]] Status cancel();
+
+  /// True once the handle reached a terminal state (non-blocking).
+  [[nodiscard]] bool complete() const;
+
+  /// Max estimated wait across still-pending files (valid after the ack;
+  /// the natural seed for a wait() deadline).
+  [[nodiscard]] VDuration estimatedWait() const;
+
+  /// Per-file ack outcome; index follows files(). Valid after waitAck().
+  [[nodiscard]] FileProbe probe(std::size_t index) const;
+
+ private:
+  friend class Session;
+  AcquireHandle(std::shared_ptr<Session> session,
+                std::shared_ptr<detail::AcquireState> state);
+
+  std::shared_ptr<Session> session_;
+  std::shared_ptr<detail::AcquireState> state_;
+};
+
+/// One context-bound client session against a DV daemon or federation.
+class Session : public std::enable_shared_from_this<Session> {
+ public:
+  /// Result of a (batch-of-one) non-blocking open.
+  struct OpenInfo {
+    bool available = false;
+    VDuration estimatedWait = 0;
+  };
+
+  /// Connects over `transport` and opens a session on `context`
+  /// (SIMFS_Init). Blocks for the handshake. Single-transport: a
+  /// redirect answer is surfaced as an error.
+  [[nodiscard]] static Result<std::shared_ptr<Session>> connect(
+      std::unique_ptr<msg::Transport> transport, const std::string& context);
+
+  /// Routing-aware SIMFS_Init against a federation: resolves `context`'s
+  /// owner through the router's ring, dials (or reuses a pooled
+  /// connection to) that node and follows redirects until a daemon
+  /// accepts the session.
+  [[nodiscard]] static Result<std::shared_ptr<Session>> connect(
+      std::shared_ptr<NodeRouter> router, const std::string& context);
+
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // --- the asynchronous vectored core ----------------------------------------
+
+  /// Registers interest in all `files` with ONE kOpenBatchReq and
+  /// returns immediately — completion (ack + kFileReady retirements) is
+  /// driven off the receive callback. Never fails synchronously: send
+  /// errors complete the returned handle.
+  [[nodiscard]] AcquireHandle acquireAsync(std::vector<std::string> files);
+
+  // --- blocking adapters over the core ---------------------------------------
+
+  /// SIMFS_Acquire: one vectored round trip, then blocks until every
+  /// file is available. On failure the partial registration is unwound
+  /// (cancelled) so no reference survives a failed acquire.
+  [[nodiscard]] Status acquire(const std::vector<std::string>& files,
+                               SimfsStatus* status = nullptr);
+
+  /// Intercepted open (batch of one): one round trip for the ack; on a
+  /// miss the DV starts the re-simulation and waitFile() later unblocks.
+  [[nodiscard]] Result<OpenInfo> open(const std::string& file);
+
+  /// Intercepted read's blocking point: waits until `file` (previously
+  /// opened or acquired) is available on disk.
+  [[nodiscard]] Status waitFile(const std::string& file);
+
+  /// Intercepted close: fire-and-forget dereference.
+  void closeNotify(const std::string& file);
+
+  /// SIMFS_Release.
+  [[nodiscard]] Status release(const std::string& file);
+
+  /// SIMFS_Bitrep: compares the digest (computed over the locally read
+  /// content) against the reference recorded at initial-simulation time.
+  [[nodiscard]] Result<bool> bitrep(const std::string& file,
+                                    std::uint64_t digest);
+
+  /// SIMFS_Finalize: closes the session (idempotent).
+  void finalize();
+
+  [[nodiscard]] const std::string& context() const noexcept {
+    return context_;
+  }
+  [[nodiscard]] ClientId clientId() const noexcept { return clientId_; }
+
+ private:
+  friend class AcquireHandle;
+
+  explicit Session(std::string context);
+
+  struct FileWait {
+    bool ready = false;
+    Status status;
+  };
+
+  /// An in-flight async request awaiting its ack, tagged with the
+  /// transport it went out on and carrying the original message so a
+  /// redirect-triggered rebind can resend it verbatim (same requestId).
+  struct AsyncOp {
+    const msg::Transport* transport = nullptr;
+    std::shared_ptr<detail::AcquireState> state;
+    msg::Message request;
+    int redirects = 0;
+  };
+
+  /// Continuations to fire outside the session lock.
+  using Fired = std::vector<std::pair<std::function<void(const Status&)>,
+                                      Status>>;
+
+  void attach(const std::shared_ptr<msg::Transport>& t);
+  void onMessage(msg::Message&& m);
+  /// Close callback: fails whatever can no longer resolve. A dead
+  /// retired link only takes the ops still tagged to it; the live link
+  /// going down fails everything outstanding.
+  void onTransportClosed(const msg::Transport* t);
+  [[nodiscard]] std::shared_ptr<msg::Transport> transportRef();
+
+  /// Sends a request on `t` and blocks for its matching reply.
+  [[nodiscard]] Result<msg::Message> callOn(
+      const std::shared_ptr<msg::Transport>& t, msg::Message m);
+
+  /// Sends a request on the current transport and blocks for the reply;
+  /// routing-aware sessions transparently follow kRedirect answers.
+  [[nodiscard]] Result<msg::Message> call(msg::Message m);
+
+  /// Dials + hellos `targetNode` (following further redirects), swaps it
+  /// in as the session transport and RESENDS un-acked async ops on the
+  /// new link. Router sessions only.
+  Status rebind(std::string targetNode);
+
+  /// Applies a kOpenBatchAck (or error reply) to its state. Lock held.
+  void applyBatchAckLocked(detail::AcquireState& state, const msg::Message& m);
+
+  /// Marks a state terminal, wakes waiters, collects continuations.
+  void completeLocked(const std::shared_ptr<detail::AcquireState>& state,
+                      Fired& fired);
+
+  /// Fails a state with `st` and completes it: still-open per-file slots
+  /// take the error (delivered files keep their outcome), pending files
+  /// are dropped. No-op on already-terminal states. Lock held.
+  void failStateLocked(const std::shared_ptr<detail::AcquireState>& state,
+                       const Status& st, Fired& fired);
+
+  /// Fails every un-acked async op (rebind failure, shutdown).
+  void failAsyncOps(const Status& st);
+
+  /// Fails everything outstanding — async ops, per-file waits, live
+  /// acquire states, in-flight sync calls — with `down`. Lock held.
+  void failAllLocked(const Status& down, Fired& fired);
+
+  /// Bounds the ack phase by the protocol call timeout, failing the op
+  /// like a sync call would if the DV never answers. Returns false on
+  /// timeout. Lock held (via `lock`).
+  bool awaitAckLocked(std::unique_lock<std::mutex>& lock,
+                      const std::shared_ptr<detail::AcquireState>& state,
+                      Fired& fired);
+
+  /// Queues an async-op redirect for the recovery thread. Lock held.
+  void queueRedirectLocked(const std::string& target);
+  void recoveryLoop();
+
+  [[nodiscard]] Status handleWait(
+      const std::shared_ptr<detail::AcquireState>& state, SimfsStatus* status,
+      VDuration timeoutNs);
+  [[nodiscard]] Status handleCancel(
+      const std::shared_ptr<detail::AcquireState>& state);
+
+  std::shared_ptr<msg::Transport> transport_;  ///< swap guarded by mutex_
+  /// Transports replaced by rebind(), already close()d; kept until the
+  /// destructor so in-flight reactor callbacks never outlive their target.
+  std::vector<std::shared_ptr<msg::Transport>> retired_;
+  std::shared_ptr<NodeRouter> router_;  ///< null for single-transport sessions
+  std::string context_;
+  ClientId clientId_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, msg::Message> replies_;  ///< sync calls, by id
+  /// Sync calls awaiting a reply, tagged with the transport they went out
+  /// on, so rebind() can fail the ones whose connection it closes.
+  std::map<std::uint64_t, const msg::Transport*> inflight_;
+  std::map<std::uint64_t, AsyncOp> asyncOps_;  ///< async ops awaiting ack
+  std::map<std::string, FileWait> fileWaits_;
+  /// Acquire states not yet terminal (kFileReady fan-out targets).
+  std::vector<std::shared_ptr<detail::AcquireState>> active_;
+  bool finalized_ = false;
+
+  /// Redirect recovery for async ops: rebinds must dial + block for a
+  /// hello, which the reactor callback may not do — they are handed to
+  /// this lazily-started thread instead.
+  std::thread recovery_;
+  std::deque<std::string> redirectTargets_;
+  bool recoveryStop_ = false;
+};
+
+}  // namespace simfs::dvlib

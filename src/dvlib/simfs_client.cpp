@@ -1,444 +1,126 @@
 #include "dvlib/simfs_client.hpp"
 
-#include "common/log.hpp"
-
-#include <algorithm>
-#include <chrono>
-
 namespace simfs::dvlib {
 
-namespace {
-constexpr auto kCallTimeout = std::chrono::seconds(30);
-
-/// Hop bound for redirect-following: a correct federation resolves in one
-/// hop (two with a stale ring); more means the cluster disagrees with
-/// itself and looping would never converge.
-constexpr int kMaxRedirects = 4;
-
-Status statusFrom(const msg::Message& m) {
-  const auto code = static_cast<StatusCode>(m.code);
-  if (code == StatusCode::kOk) return Status::ok();
-  return Status(code, m.text);
-}
-
-msg::Message makeHello(const std::string& context) {
-  msg::Message hello;
-  hello.type = msg::MsgType::kHello;
-  hello.context = context;
-  hello.intArg = static_cast<std::int64_t>(msg::ClientRole::kAnalysis);
-  return hello;
-}
-}  // namespace
-
-SimFSClient::SimFSClient(std::string context) : context_(std::move(context)) {}
+SimFSClient::SimFSClient(std::shared_ptr<Session> session)
+    : session_(std::move(session)) {}
 
 SimFSClient::~SimFSClient() { finalize(); }
 
-void SimFSClient::attach(const std::shared_ptr<msg::Transport>& t) {
-  t->setHandler([this](msg::Message&& m) { onMessage(std::move(m)); });
-}
-
 Result<std::unique_ptr<SimFSClient>> SimFSClient::connect(
     std::unique_ptr<msg::Transport> transport, const std::string& context) {
-  auto client = std::unique_ptr<SimFSClient>(new SimFSClient(context));
-  std::shared_ptr<msg::Transport> t = std::move(transport);
-  client->attach(t);
-  auto reply = client->callOn(t, makeHello(context));
-  if (!reply) return reply.status();
-  if (reply->type == msg::MsgType::kRedirect) {
-    return errFailedPrecondition(
-        "dvlib: context '" + context + "' is owned by node '" + reply->text +
-        "'; connect through a NodeRouter to follow redirects");
-  }
-  const auto st = statusFrom(*reply);
-  if (!st.isOk()) return st;
-  client->clientId_ = static_cast<ClientId>(reply->intArg);
-  client->transport_ = std::move(t);
-  return client;
+  auto session = Session::connect(std::move(transport), context);
+  if (!session) return session.status();
+  return std::unique_ptr<SimFSClient>(new SimFSClient(std::move(*session)));
 }
 
 Result<std::unique_ptr<SimFSClient>> SimFSClient::connect(
     std::shared_ptr<NodeRouter> router, const std::string& context) {
-  if (!router) return errInvalidArgument("dvlib: null router");
-  auto client = std::unique_ptr<SimFSClient>(new SimFSClient(context));
-  client->router_ = std::move(router);
-  auto owner = client->router_->ownerOf(context);
-  if (!owner) return owner.status();
-  SIMFS_RETURN_IF_ERROR(client->rebind(owner->id));
-  return client;
+  auto session = Session::connect(std::move(router), context);
+  if (!session) return session.status();
+  return std::unique_ptr<SimFSClient>(new SimFSClient(std::move(*session)));
 }
 
-Status SimFSClient::rebind(std::string targetNode) {
-  for (int hop = 0; hop <= kMaxRedirects; ++hop) {
-    auto node = router_->node(targetNode);
-    if (!node) return node.status();
-    auto checked = router_->checkout(node->endpoint);
-    if (!checked) return checked.status();
-    std::shared_ptr<msg::Transport> t = std::move(*checked);
-    attach(t);
-    auto reply = callOn(t, makeHello(context_));
-    if (!reply) {
-      t->close();
-      return reply.status();
-    }
-    if (reply->type == msg::MsgType::kRedirect) {
-      // The daemon rejected the hello without binding anything, so the
-      // connection is reusable by sessions this node does own.
-      if (auto ring = ringFromMessage(*reply)) router_->adoptRing(*ring);
-      targetNode = reply->text;
-      router_->checkin(node->endpoint, std::move(t));
-      continue;
-    }
-    const Status st = statusFrom(*reply);
-    if (!st.isOk()) {
-      t->close();
-      return st;
-    }
-    std::shared_ptr<msg::Transport> old;
-    {
-      std::lock_guard lock(mutex_);
-      clientId_ = static_cast<ClientId>(reply->intArg);
-      old = std::move(transport_);
-      transport_ = std::move(t);
-      if (old) {
-        retired_.push_back(old);
-        // The old node held this session's pending opens and waiters;
-        // they die with it. Fail outstanding waits NOW so threads
-        // blocked in waitFile()/wait() wake with a retryable error and
-        // reopen on the new owner, instead of waiting forever for a
-        // kFileReady the new node will never send.
-        const Status moved =
-            errUnavailable("dvlib: session moved nodes; reopen the file");
-        for (auto& [file, fw] : fileWaits_) {
-          if (!fw.ready) {
-            fw.ready = true;
-            fw.status = moved;
-          }
-        }
-        for (auto& [id, req] : requests_) {
-          if (!req.pending.empty()) {
-            req.pending.clear();
-            req.worst = moved;
-          }
-        }
-        // Calls still awaiting a reply on the link being closed would
-        // otherwise sit out the full call timeout: hand them a synthetic
-        // error reply instead.
-        for (const auto& [id, tp] : inflight_) {
-          if (tp == old.get() && replies_.count(id) == 0) {
-            msg::Message failed;
-            failed.type = msg::MsgType::kError;
-            failed.requestId = id;
-            failed.code = static_cast<std::int32_t>(moved.code());
-            failed.text = moved.message();
-            replies_.emplace(id, std::move(failed));
-          }
-        }
-        cv_.notify_all();
-      }
-    }
-    // Closing the replaced link tears the stale session down on the node
-    // that no longer owns the context.
-    if (old) old->close();
-    return Status::ok();
-  }
-  return errUnavailable("dvlib: redirect loop (ring members disagree)");
-}
-
-void SimFSClient::onMessage(msg::Message&& m) {
-  if (m.type == msg::MsgType::kRingUpdate && router_ != nullptr) {
-    // Membership push: re-resolve future routing. router_ is set once at
-    // construction, so reading it here without the lock is safe.
-    if (auto ring = ringFromMessage(m)) router_->adoptRing(*ring);
-    if (m.requestId == 0) return;  // pure push, not a reply
-  }
+Result<AcquireHandle> SimFSClient::findRequest(RequestId req) {
   std::lock_guard lock(mutex_);
-  if (m.type == msg::MsgType::kFileReady) {
-    const std::string& file = m.files.empty() ? std::string() : m.files[0];
-    auto& fw = fileWaits_[file];
-    fw.ready = true;
-    fw.status = statusFrom(m);
-    for (auto& [id, req] : requests_) {
-      if (req.pending.erase(file) > 0 && !fw.status.isOk()) {
-        req.worst = fw.status;
-      }
-    }
-    cv_.notify_all();
-    return;
+  const auto it = requests_.find(req);
+  if (it == requests_.end()) {
+    return errFailedPrecondition("dvlib: unknown request");
   }
-  replies_[m.requestId] = std::move(m);
-  cv_.notify_all();
+  return it->second;
 }
 
-std::shared_ptr<msg::Transport> SimFSClient::transportRef() {
+void SimFSClient::eraseIfComplete(RequestId req, const AcquireHandle& handle) {
+  if (!handle.complete()) return;
   std::lock_guard lock(mutex_);
-  return transport_;
-}
-
-Result<msg::Message> SimFSClient::callOn(
-    const std::shared_ptr<msg::Transport>& t, msg::Message m) {
-  static std::atomic<std::uint64_t> callSeq{1};
-  m.requestId = callSeq.fetch_add(1);
-  const auto id = m.requestId;
-  {
-    // Registered before the send so a rebind racing in between still
-    // sees (and can fail) this call.
-    std::lock_guard lock(mutex_);
-    inflight_[id] = t.get();
-  }
-  const Status sent = t->send(m);
-  std::unique_lock lock(mutex_);
-  if (!sent.isOk()) {
-    inflight_.erase(id);
-    return sent;
-  }
-  const bool got = cv_.wait_for(lock, kCallTimeout,
-                                [&] { return replies_.count(id) > 0; });
-  inflight_.erase(id);
-  if (!got) return errTimedOut("dvlib: no reply from DV");
-  auto reply = std::move(replies_.at(id));
-  replies_.erase(id);
-  return reply;
-}
-
-Result<msg::Message> SimFSClient::call(msg::Message m) {
-  for (int hop = 0; hop <= kMaxRedirects; ++hop) {
-    auto t = transportRef();
-    if (!t) return errUnavailable("dvlib: session not connected");
-    auto reply = callOn(t, m);  // m kept for a possible post-redirect resend
-    if (!reply || reply->type != msg::MsgType::kRedirect) return reply;
-    if (router_ == nullptr) {
-      return errUnavailable("dvlib: redirected to node '" + reply->text +
-                            "' but session has no router");
-    }
-    if (auto ring = ringFromMessage(*reply)) router_->adoptRing(*ring);
-    SIMFS_RETURN_IF_ERROR(rebind(reply->text));
-  }
-  return errUnavailable("dvlib: redirect loop (ring members disagree)");
-}
-
-Result<SimFSClient::OpenInfo> SimFSClient::open(const std::string& file) {
-  {
-    // An earlier miss may already have completed.
-    std::lock_guard lock(mutex_);
-    const auto it = fileWaits_.find(file);
-    if (it != fileWaits_.end() && it->second.ready && it->second.status.isOk()) {
-      return OpenInfo{true, 0};
-    }
-  }
-  msg::Message m;
-  m.type = msg::MsgType::kOpenReq;
-  m.files = {file};
-  auto reply = call(std::move(m));
-  if (!reply) return reply.status();
-  const auto st = statusFrom(*reply);
-  if (!st.isOk()) return st;
-  OpenInfo info;
-  info.available = reply->intArg == 1;
-  info.estimatedWait = reply->intArg2;
-  std::lock_guard lock(mutex_);
-  auto& fw = fileWaits_[file];
-  if (info.available) {
-    fw.ready = true;
-    fw.status = Status::ok();
-  } else if (!fw.ready) {
-    fw.status = Status::ok();  // pending; kFileReady resolves it
-  } else if (!fw.status.isOk()) {
-    // A stale failure (failed job, or waits failed by a rebind) is
-    // superseded by this fresh not-yet-available open: back to pending,
-    // or waitFile()/acquire() would treat the file as settled and
-    // return the old error (or skip the wait entirely).
-    fw.ready = false;
-    fw.status = Status::ok();
-  }
-  return info;
-}
-
-Status SimFSClient::waitFile(const std::string& file) {
-  std::unique_lock lock(mutex_);
-  cv_.wait(lock, [&] {
-    const auto it = fileWaits_.find(file);
-    return it != fileWaits_.end() && it->second.ready;
-  });
-  return fileWaits_.at(file).status;
-}
-
-void SimFSClient::closeNotify(const std::string& file) {
-  msg::Message m;
-  m.type = msg::MsgType::kCloseNotify;
-  m.context = context_;  // self-describing for daemon-side diagnostics
-  m.files = {file};
-  if (auto t = transportRef()) (void)t->send(m);
-  std::lock_guard lock(mutex_);
-  fileWaits_.erase(file);  // a later reopen re-queries the DV
-}
-
-Status SimFSClient::openInto(const std::string& file, RequestId req,
-                             VDuration* wait) {
-  auto info = open(file);
-  if (!info) return info.status();
-  if (wait != nullptr) *wait = std::max(*wait, info->estimatedWait);
-  if (!info->available) {
-    std::lock_guard lock(mutex_);
-    const auto it = fileWaits_.find(file);
-    const bool ready = it != fileWaits_.end() && it->second.ready;
-    if (!ready) requests_.at(req).pending.insert(file);
-  }
-  return Status::ok();
-}
-
-Result<RequestId> SimFSClient::acquireNb(const std::vector<std::string>& files,
-                                         SimfsStatus* status) {
-  const RequestId id = nextRequest_++;
-  {
-    std::lock_guard lock(mutex_);
-    Request req;
-    req.files = files;
-    requests_.emplace(id, std::move(req));
-  }
-  VDuration wait = 0;
-  Status worst = Status::ok();
-  for (const auto& f : files) {
-    const auto st = openInto(f, id, &wait);
-    if (!st.isOk()) worst = st;
-  }
-  {
-    std::lock_guard lock(mutex_);
-    auto& req = requests_.at(id);
-    if (!worst.isOk()) req.worst = worst;
-    req.estimatedWait = wait;
-    if (status != nullptr) {
-      status->error = req.worst;
-      status->estimatedWait = wait;
-    }
-  }
-  return id;
+  requests_.erase(req);
 }
 
 Status SimFSClient::acquire(const std::vector<std::string>& files,
                             SimfsStatus* status) {
-  auto req = acquireNb(files, status);
-  if (!req) return req.status();
-  return wait(*req, status);
+  return session_->acquire(files, status);
+}
+
+Result<RequestId> SimFSClient::acquireNb(const std::vector<std::string>& files,
+                                         SimfsStatus* status) {
+  auto handle = session_->acquireAsync(files);
+  // One round trip: the ack fills the DV's estimates into `status`, the
+  // paper's SIMFS_Acquire_nb contract.
+  (void)handle.waitAck(status);
+  std::lock_guard lock(mutex_);
+  const RequestId id = nextRequest_++;
+  requests_.emplace(id, std::move(handle));
+  return id;
 }
 
 Status SimFSClient::wait(RequestId req, SimfsStatus* status) {
-  std::unique_lock lock(mutex_);
-  const auto it = requests_.find(req);
-  if (it == requests_.end()) {
-    return errFailedPrecondition("dvlib: unknown request");
-  }
-  cv_.wait(lock, [&] { return it->second.pending.empty(); });
-  const Status st = it->second.worst;
-  if (status != nullptr) {
-    status->error = st;
-    status->estimatedWait = 0;
-  }
-  requests_.erase(it);
+  auto handle = findRequest(req);
+  if (!handle) return handle.status();
+  const Status st = handle->wait(status);
+  std::lock_guard lock(mutex_);
+  requests_.erase(req);
   return st;
 }
 
 Status SimFSClient::test(RequestId req, bool* done, SimfsStatus* status) {
-  std::lock_guard lock(mutex_);
-  const auto it = requests_.find(req);
-  if (it == requests_.end()) {
-    return errFailedPrecondition("dvlib: unknown request");
-  }
-  const bool complete = it->second.pending.empty();
+  auto handle = findRequest(req);
+  if (!handle) return handle.status();
+  bool complete = false;
+  const Status st = handle->test(&complete, status);
   if (done != nullptr) *done = complete;
-  if (status != nullptr) {
-    status->error = it->second.worst;
-    status->estimatedWait = it->second.estimatedWait;
-  }
-  Status st = it->second.worst;
-  if (complete) requests_.erase(it);
+  eraseIfComplete(req, *handle);
   return st;
 }
 
 Status SimFSClient::waitSome(RequestId req, std::vector<int>* readyIdx,
                              SimfsStatus* status) {
-  std::unique_lock lock(mutex_);
-  const auto it = requests_.find(req);
-  if (it == requests_.end()) {
-    return errFailedPrecondition("dvlib: unknown request");
-  }
-  auto readyCount = [&] {
-    return it->second.files.size() - it->second.pending.size();
-  };
-  cv_.wait(lock, [&] { return readyCount() > 0 || it->second.pending.empty(); });
-  if (readyIdx != nullptr) {
-    readyIdx->clear();
-    for (std::size_t i = 0; i < it->second.files.size(); ++i) {
-      if (it->second.pending.count(it->second.files[i]) == 0) {
-        readyIdx->push_back(static_cast<int>(i));
-      }
-    }
-  }
-  const Status st = it->second.worst;
-  if (status != nullptr) status->error = st;
-  if (it->second.pending.empty()) requests_.erase(it);
+  auto handle = findRequest(req);
+  if (!handle) return handle.status();
+  const Status st = handle->waitSome(readyIdx, status);
+  eraseIfComplete(req, *handle);
   return st;
 }
 
 Status SimFSClient::testSome(RequestId req, std::vector<int>* readyIdx,
                              SimfsStatus* status) {
-  std::lock_guard lock(mutex_);
-  const auto it = requests_.find(req);
-  if (it == requests_.end()) {
-    return errFailedPrecondition("dvlib: unknown request");
-  }
-  if (readyIdx != nullptr) {
-    readyIdx->clear();
-    for (std::size_t i = 0; i < it->second.files.size(); ++i) {
-      if (it->second.pending.count(it->second.files[i]) == 0) {
-        readyIdx->push_back(static_cast<int>(i));
-      }
-    }
-  }
-  const Status st = it->second.worst;
-  if (status != nullptr) status->error = st;
-  if (it->second.pending.empty()) requests_.erase(it);
+  auto handle = findRequest(req);
+  if (!handle) return handle.status();
+  const Status st = handle->testSome(readyIdx, status);
+  eraseIfComplete(req, *handle);
   return st;
 }
 
-Status SimFSClient::release(const std::string& file) {
-  msg::Message m;
-  m.type = msg::MsgType::kReleaseReq;
-  m.files = {file};
-  auto reply = call(std::move(m));
-  if (!reply) return reply.status();
+Status SimFSClient::cancel(RequestId req) {
+  auto handle = findRequest(req);
+  if (!handle) return handle.status();
   {
     std::lock_guard lock(mutex_);
-    fileWaits_.erase(file);
+    requests_.erase(req);
   }
-  return statusFrom(*reply);
+  return handle->cancel();
+}
+
+Status SimFSClient::release(const std::string& file) {
+  return session_->release(file);
 }
 
 Result<bool> SimFSClient::bitrep(const std::string& file,
                                  std::uint64_t digest) {
-  msg::Message m;
-  m.type = msg::MsgType::kBitrepReq;
-  m.files = {file};
-  m.intArg = static_cast<std::int64_t>(digest);
-  auto reply = call(std::move(m));
-  if (!reply) return reply.status();
-  const auto st = statusFrom(*reply);
-  if (!st.isOk()) return st;
-  return reply->intArg == 1;
+  return session_->bitrep(file, digest);
 }
 
-void SimFSClient::finalize() {
-  std::shared_ptr<msg::Transport> t;
-  std::vector<std::shared_ptr<msg::Transport>> retired;
-  {
-    std::lock_guard lock(mutex_);
-    if (finalized_) return;
-    finalized_ = true;
-    t = transport_;
-    retired = retired_;  // close outside the lock; entries stay alive
-  }
-  for (const auto& r : retired) r->close();
-  if (t) t->close();
+Result<SimFSClient::OpenInfo> SimFSClient::open(const std::string& file) {
+  return session_->open(file);
 }
+
+Status SimFSClient::waitFile(const std::string& file) {
+  return session_->waitFile(file);
+}
+
+void SimFSClient::closeNotify(const std::string& file) {
+  session_->closeNotify(file);
+}
+
+void SimFSClient::finalize() { session_->finalize(); }
 
 }  // namespace simfs::dvlib

@@ -1,7 +1,8 @@
-// DVLib client (Sec. III-C): the library analyses link against.
+// DVLib client (Sec. III-C): the paper-shaped library analyses link
+// against — now a THIN ADAPTER over the asynchronous vectored Session
+// core (dvlib/session.hpp).
 //
-// SimFSClient speaks the msg:: protocol with a DV daemon over any
-// Transport (in-process pair or Unix socket) and exposes the paper's API:
+// SimFSClient keeps the paper's exact call shapes:
 //
 //   SIMFS_Init / SIMFS_Finalize        -> connect() / finalize()
 //   SIMFS_Acquire / SIMFS_Acquire_nb   -> acquire() / acquireNb()
@@ -9,52 +10,47 @@
 //   SIMFS_Release                      -> release()
 //   SIMFS_Bitrep                       -> bitrep()
 //
-// plus the transparent-mode primitives used by the I/O facades:
-// open() (non-blocking, like the intercepted nc_open) and waitFile()
-// (the blocking point of the intercepted read).
+// but every acquire — blocking or not, 1 file or 64 — is now ONE
+// kOpenBatchReq round trip resolved by the Session core; the old
+// per-file kOpenReq loop is gone. RequestIds map 1:1 onto AcquireHandles
+// held in a small table; wait/test/waitSome/testSome delegate to the
+// handle and erase the entry on completion, reproducing the original
+// consume-on-completion semantics. cancel() exposes the core's
+// first-class cancellation for non-blocking requests. A failed acquire()
+// unwinds its partial registration (the files that resolved before the
+// failure release their DV interest) instead of leaking pinned steps.
 //
-// Federation: a session created via connect(NodeRouter, context) is
-// routing-aware. The router's ring resolves the owning node, the hello is
-// sent there (reusing a pooled connection when one exists), and a
-// kRedirect answer — from a stale ring, or a single seed endpoint — is
-// followed transparently: the carried ring is adopted, the unbound
-// transport returns to the pool, and the hello retries on the named
-// owner. Established sessions also follow per-request redirects (rebind +
-// resend) and adopt pushed kRingUpdate tables, so later sessions created
-// from the same router resolve against the newest membership. The legacy
-// connect(transport, context) stays single-transport: a redirect there is
-// surfaced as an error.
+// The transparent-mode primitives used by the I/O facades — open(),
+// waitFile(), closeNotify() — pass through to the Session, as do the
+// federation semantics (routing-aware connect, redirect-follow, ring
+// adoption); see session.hpp for the full contract. The legacy
+// single-transport connect() keeps working unchanged.
 //
-// Thread-safety: all public methods may be called from any thread; the
-// receive handler only touches internal state under the client mutex.
+// Thread-safety: all public methods may be called from any thread.
 #pragma once
 
 #include "common/status.hpp"
 #include "common/types.hpp"
 #include "dvlib/router.hpp"
+#include "dvlib/session.hpp"
 #include "msg/transport.hpp"
 
-#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <string>
 #include <vector>
 
 namespace simfs::dvlib {
-
-/// The paper's SIMFS_Status: error state plus estimated waiting time.
-struct SimfsStatus {
-  Status error;
-  VDuration estimatedWait = 0;
-};
 
 /// Handle of a non-blocking acquire (the paper's SIMFS_Req).
 using RequestId = std::uint64_t;
 
 class SimFSClient {
  public:
+  /// Result of a non-blocking open.
+  using OpenInfo = Session::OpenInfo;
+
   /// Connects over `transport` and opens a session on `context`
   /// (SIMFS_Init). Blocks for the handshake.
   [[nodiscard]] static Result<std::unique_ptr<SimFSClient>> connect(
@@ -71,18 +67,21 @@ class SimFSClient {
   SimFSClient(const SimFSClient&) = delete;
   SimFSClient& operator=(const SimFSClient&) = delete;
 
-  /// SIMFS_Acquire: blocks until every file is available (or one fails).
+  /// SIMFS_Acquire: ONE vectored round trip, blocks until every file is
+  /// available (or one fails, unwinding the partial registration).
   [[nodiscard]] Status acquire(const std::vector<std::string>& files,
                                SimfsStatus* status = nullptr);
 
-  /// SIMFS_Acquire_nb: registers interest, returns immediately.
+  /// SIMFS_Acquire_nb: registers interest (one vectored round trip for
+  /// the ack, so `status` carries the DV's estimates), returns a request
+  /// handle immediately — completion is asynchronous.
   [[nodiscard]] Result<RequestId> acquireNb(const std::vector<std::string>& files,
                                             SimfsStatus* status = nullptr);
 
-  /// SIMFS_Wait: blocks until the request completes.
+  /// SIMFS_Wait: blocks until the request completes (consumes it).
   [[nodiscard]] Status wait(RequestId req, SimfsStatus* status = nullptr);
 
-  /// SIMFS_Test: non-blocking completion check.
+  /// SIMFS_Test: non-blocking completion check (consumes when complete).
   [[nodiscard]] Status test(RequestId req, bool* done,
                             SimfsStatus* status = nullptr);
 
@@ -95,6 +94,10 @@ class SimFSClient {
   [[nodiscard]] Status testSome(RequestId req, std::vector<int>* readyIdx,
                                 SimfsStatus* status = nullptr);
 
+  /// Cancels a non-blocking request: releases every waiter entry / step
+  /// reference its batch registered at the DV and consumes the handle.
+  [[nodiscard]] Status cancel(RequestId req);
+
   /// SIMFS_Release.
   [[nodiscard]] Status release(const std::string& file);
 
@@ -104,12 +107,6 @@ class SimFSClient {
                                     std::uint64_t digest);
 
   // --- transparent-mode primitives -------------------------------------------
-
-  /// Result of a non-blocking open.
-  struct OpenInfo {
-    bool available = false;
-    VDuration estimatedWait = 0;
-  };
 
   /// Intercepted open: non-blocking; on a miss the DV starts the
   /// re-simulation and this client later unblocks waitFile().
@@ -125,67 +122,34 @@ class SimFSClient {
   /// SIMFS_Finalize: closes the session (idempotent).
   void finalize();
 
-  [[nodiscard]] const std::string& context() const noexcept { return context_; }
-  [[nodiscard]] ClientId clientId() const noexcept { return clientId_; }
+  /// The asynchronous session core (pipelined acquires, continuations,
+  /// per-file probes) for callers that outgrow the paper API.
+  [[nodiscard]] const std::shared_ptr<Session>& session() const noexcept {
+    return session_;
+  }
+
+  [[nodiscard]] const std::string& context() const noexcept {
+    return session_->context();
+  }
+  [[nodiscard]] ClientId clientId() const noexcept {
+    return session_->clientId();
+  }
 
  private:
-  explicit SimFSClient(std::string context);
+  explicit SimFSClient(std::shared_ptr<Session> session);
 
-  /// Installs this client's receive/close handlers on `t`.
-  void attach(const std::shared_ptr<msg::Transport>& t);
+  /// Looks a request's handle up (copy; handles are shared tokens).
+  [[nodiscard]] Result<AcquireHandle> findRequest(RequestId req);
 
-  void onMessage(msg::Message&& m);
+  /// Consume-on-completion semantics of the paper API: drops the table
+  /// entry once the request reached a terminal state.
+  void eraseIfComplete(RequestId req, const AcquireHandle& handle);
 
-  /// Sends a request on `t` and blocks for its matching reply.
-  [[nodiscard]] Result<msg::Message> callOn(
-      const std::shared_ptr<msg::Transport>& t, msg::Message m);
-
-  /// Sends a request on the current transport and blocks for the reply;
-  /// routing-aware sessions transparently follow kRedirect answers
-  /// (rebind to the owner, resend) before returning.
-  [[nodiscard]] Result<msg::Message> call(msg::Message m);
-
-  /// Current transport (swapped by rebind) under the client mutex.
-  [[nodiscard]] std::shared_ptr<msg::Transport> transportRef();
-
-  /// Dials + hellos `targetNode` (following further redirects), then
-  /// swaps it in as the session transport. Router sessions only.
-  Status rebind(std::string targetNode);
-
-  /// Opens one file and registers it in `pendingOf_[req]` unless ready.
-  [[nodiscard]] Status openInto(const std::string& file, RequestId req,
-                                VDuration* wait);
-
-  struct FileWait {
-    bool ready = false;
-    Status status;
-  };
-
-  struct Request {
-    std::vector<std::string> files;
-    std::set<std::string> pending;
-    Status worst;
-    VDuration estimatedWait = 0;
-  };
-
-  std::shared_ptr<msg::Transport> transport_;  ///< swap guarded by mutex_
-  /// Transports replaced by rebind(), already close()d; kept until the
-  /// destructor so in-flight reactor callbacks never outlive their target.
-  std::vector<std::shared_ptr<msg::Transport>> retired_;
-  std::shared_ptr<NodeRouter> router_;  ///< null for single-transport sessions
-  std::string context_;
-  ClientId clientId_ = 0;
+  std::shared_ptr<Session> session_;
 
   std::mutex mutex_;
-  std::condition_variable cv_;
-  std::map<std::uint64_t, msg::Message> replies_;   ///< by requestId
-  /// Calls awaiting a reply, tagged with the transport they went out on,
-  /// so rebind() can fail the ones whose connection it is about to close.
-  std::map<std::uint64_t, const msg::Transport*> inflight_;
-  std::map<std::string, FileWait> fileWaits_;
-  std::map<RequestId, Request> requests_;
-  std::uint64_t nextRequest_ = 1;
-  bool finalized_ = false;
+  std::map<RequestId, AcquireHandle> requests_;
+  RequestId nextRequest_ = 1;
 };
 
 }  // namespace simfs::dvlib

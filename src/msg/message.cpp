@@ -93,6 +93,8 @@ std::string encode(const Message& m) {
   putStr(out, m.text);
   putU32(out, static_cast<std::uint32_t>(m.files.size()));
   for (const auto& f : m.files) putStr(out, f);
+  putU32(out, static_cast<std::uint32_t>(m.ints.size()));
+  for (const std::int64_t v : m.ints) putU64(out, static_cast<std::uint64_t>(v));
   return out;
 }
 
@@ -124,6 +126,20 @@ Result<Message> decode(std::string_view data) {
     std::string f;
     if (!r.getStr(f)) return errInvalidArgument("msg: truncated file list");
     m.files.push_back(std::move(f));
+  }
+  std::uint32_t nInts = 0;
+  if (!r.getU32(nInts)) return errInvalidArgument("msg: truncated int list");
+  // Same hostile-count bound as the file list: every entry takes 8 bytes,
+  // so a forged count larger than the remaining buffer can never decode —
+  // reject it before it drives the reserve().
+  if (nInts > r.remaining() / 8) {
+    return errInvalidArgument("msg: int count exceeds buffer");
+  }
+  m.ints.reserve(nInts);
+  for (std::uint32_t i = 0; i < nInts; ++i) {
+    std::uint64_t v = 0;
+    if (!r.getU64(v)) return errInvalidArgument("msg: truncated int list");
+    m.ints.push_back(static_cast<std::int64_t>(v));
   }
   if (!r.done()) return errInvalidArgument("msg: trailing bytes");
   return m;

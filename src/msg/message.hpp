@@ -61,6 +61,25 @@ enum class MsgType : std::uint16_t {
                    ///< version, text=answering node's id. Sent as the
                    ///< kRingReq reply and pushed when a daemon learns a
                    ///< newer table; receivers re-resolve routing.
+
+  // --- vectored session ops (async DVLib core) --------------------------------
+  kOpenBatchReq,   ///< files[]: open N files in ONE round trip. The daemon
+                   ///< resolves the whole batch under a single shard-lock
+                   ///< acquisition; per-file outcomes come back in the ack.
+  kOpenBatchAck,   ///< code/text=worst per-file status. Outcome pairs are
+                   ///< positional (request order): ints[2i]=per-file
+                   ///< StatusCode*2 + (1 if already available),
+                   ///< ints[2i+1]=per-file estimated wait (ns).
+                   ///< intArg=#immediately available, intArg2=max
+                   ///< estimated wait across the batch.
+  kCancelReq,      ///< files[]: release DV interest registered by an
+                   ///< abandoned acquire — per file, either the client's
+                   ///< waiter entry (still pending) or one output-step
+                   ///< reference (already delivered). Never shed: dropping
+                   ///< a cancel would leak pinned cache slots. requestId 0
+                   ///< = fire-and-forget (no ack), the DVLib default.
+  kCancelAck,      ///< code=status, intArg=#files whose interest was freed
+                   ///< (only sent for cancels with requestId != 0)
 };
 
 /// Who is connecting (intArg of kHello).
@@ -72,6 +91,9 @@ struct Message {
   std::uint64_t requestId = 0;   ///< echoes the request on replies
   std::string context;           ///< simulation context name
   std::vector<std::string> files;
+  /// Type-specific scalar list (e.g. the per-file outcome pairs of
+  /// kOpenBatchAck). Encoded after `files`.
+  std::vector<std::int64_t> ints;
   std::int32_t code = 0;         ///< StatusCode as int
   std::int64_t intArg = 0;       ///< type-specific scalar
   std::int64_t intArg2 = 0;      ///< second scalar (e.g. estimated wait)

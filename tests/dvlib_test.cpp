@@ -3,6 +3,7 @@
 #include "common/checksum.hpp"
 #include "dv/daemon.hpp"
 #include "dvlib/iolib.hpp"
+#include "dvlib/session.hpp"
 #include "dvlib/simfs_capi.hpp"
 #include "dvlib/simfs_client.hpp"
 #include "simulator/threaded_fleet.hpp"
@@ -10,12 +11,70 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <map>
+#include <thread>
+
 namespace simfs::dvlib {
 namespace {
 
 using simmodel::ContextConfig;
 using simmodel::PerfModel;
 using simmodel::StepGeometry;
+
+/// Pass-through transport wrapper counting outbound messages by type —
+/// pins the wire-level contract of the vectored session API.
+class CountingTransport final : public msg::Transport {
+ public:
+  struct Counters {
+    std::mutex mu;
+    std::map<msg::MsgType, int> sent;
+    int of(msg::MsgType t) {
+      std::lock_guard lock(mu);
+      const auto it = sent.find(t);
+      return it == sent.end() ? 0 : it->second;
+    }
+  };
+
+  CountingTransport(std::unique_ptr<msg::Transport> inner,
+                    std::shared_ptr<Counters> counters)
+      : inner_(std::move(inner)), counters_(std::move(counters)) {}
+
+  Status send(const msg::Message& m) override {
+    {
+      std::lock_guard lock(counters_->mu);
+      ++counters_->sent[m.type];
+    }
+    return inner_->send(m);
+  }
+  void setHandler(Handler handler) override {
+    inner_->setHandler(std::move(handler));
+  }
+  void setCloseHandler(std::function<void()> handler) override {
+    inner_->setCloseHandler(std::move(handler));
+  }
+  void close() override { inner_->close(); }
+  [[nodiscard]] bool isOpen() const override { return inner_->isOpen(); }
+
+ private:
+  std::unique_ptr<msg::Transport> inner_;
+  std::shared_ptr<Counters> counters_;
+};
+
+/// A launcher that records jobs without running them: files stay pending
+/// until the test completes them by hand (deterministic cancellation
+/// scenarios).
+struct RecordingLauncher final : dv::SimLauncher {
+  void launch(SimJobId job, const simmodel::JobSpec& spec) override {
+    std::lock_guard lock(mu);
+    jobs.emplace_back(job, spec);
+  }
+  void kill(SimJobId) override {}
+  std::mutex mu;
+  std::vector<std::pair<SimJobId, simmodel::JobSpec>> jobs;
+};
 
 ContextConfig liveConfig() {
   ContextConfig cfg;
@@ -178,6 +237,264 @@ TEST_F(LiveStackTest, OpenIsNonBlockingThenWaitFileBlocks) {
   EXPECT_GT(info->estimatedWait, 0);   // DV estimated the wait
   ASSERT_TRUE(client_->waitFile("out_0000000013.snc").isOk());
   EXPECT_TRUE(store_.exists("out_0000000013.snc"));
+}
+
+// ------------------------------------------- vectored async session core
+
+TEST_F(LiveStackTest, VectoredAcquireIsOneRoundTrip) {
+  // The acceptance contract of the session redesign: a 64-file acquire
+  // puts exactly ONE kOpenBatchReq on the wire — no per-file kOpenReq
+  // round trips.
+  auto counters = std::make_shared<CountingTransport::Counters>();
+  auto transport = std::make_unique<CountingTransport>(
+      daemon_->connectInProc(), counters);
+  auto client = SimFSClient::connect(std::move(transport), cfg_.name);
+  ASSERT_TRUE(client.isOk()) << client.status().toString();
+
+  std::vector<std::string> files;
+  for (StepIndex s = 0; s < 64; ++s) {
+    files.push_back(cfg_.codec.outputFile(s));
+  }
+  SimfsStatus status;
+  ASSERT_TRUE((*client)->acquire(files, &status).isOk());
+  for (const auto& f : files) EXPECT_TRUE(store_.exists(f));
+
+  EXPECT_EQ(counters->of(msg::MsgType::kOpenBatchReq), 1);
+  EXPECT_EQ(counters->of(msg::MsgType::kOpenReq), 0);
+  EXPECT_EQ(counters->of(msg::MsgType::kAcquireReq), 0);
+
+  for (const auto& f : files) ASSERT_TRUE((*client)->release(f).isOk());
+  (*client)->finalize();
+}
+
+TEST_F(LiveStackTest, PartialAcquireFailureUnwindsRegisteredInterest) {
+  // Regression: when file i of an acquire fails, files 0..i-1 already
+  // registered DV interest (references / waiter entries); a failed
+  // acquire must release them again, or the steps stay pinned forever.
+  connectClient();
+  const std::string good = "out_0000000002.snc";
+  SimfsStatus status;
+  EXPECT_FALSE(client_->acquire({good, "definitely-not-a-step"}, &status)
+                   .isOk());
+  EXPECT_FALSE(status.error.isOk());
+  // The good file's reference was unwound: releasing it again must fail
+  // exactly like a release-without-open.
+  EXPECT_EQ(client_->release(good).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LiveStackTest, CancelReleasesDeliveredReference) {
+  connectClient();
+  const std::string f = "out_0000000004.snc";
+  ASSERT_TRUE(client_->acquire({f}).isOk());  // reference #1
+
+  // A second, vectored acquire of the now-available file takes another
+  // reference; cancelling the handle must give exactly that one back.
+  auto handle = client_->session()->acquireAsync({f});
+  ASSERT_TRUE(handle.wait().isOk());
+  const auto p = handle.probe(0);
+  EXPECT_TRUE(p.available);
+  ASSERT_TRUE(handle.cancel().isOk());
+  EXPECT_TRUE(handle.complete());
+
+  ASSERT_TRUE(client_->release(f).isOk());  // reference #1 still held
+  EXPECT_EQ(client_->release(f).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LiveStackTest, ThenContinuationFiresOnCompletion) {
+  connectClient();
+  auto handle = client_->session()->acquireAsync({"out_0000000017.snc"});
+  std::promise<Status> completed;
+  handle.then([&](const Status& st) { completed.set_value(st); });
+  auto fut = completed.get_future();
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  EXPECT_TRUE(fut.get().isOk());
+  // Registering on an already-complete handle fires inline.
+  bool inlineFired = false;
+  handle.then([&](const Status&) { inlineFired = true; });
+  EXPECT_TRUE(inlineFired);
+  ASSERT_TRUE(handle.cancel().isOk());  // drop the reference again
+}
+
+TEST_F(LiveStackTest, AcquireNbAckCarriesPerFileEstimates) {
+  connectClient();
+  SimfsStatus status;
+  auto req = client_->acquireNb({"out_0000000025.snc"}, &status);
+  ASSERT_TRUE(req.isOk());
+  // The batch ack came back within the acquireNb call: a miss carries
+  // the DV's estimated wait.
+  EXPECT_TRUE(status.error.isOk());
+  EXPECT_GT(status.estimatedWait, 0);
+  ASSERT_TRUE(client_->wait(*req).isOk());
+  ASSERT_TRUE(client_->release("out_0000000025.snc").isOk());
+}
+
+/// Daemon without a completing fleet: jobs stay pending until the test
+/// drives the simulator events by hand — deterministic cancellation and
+/// deadline scenarios.
+class PendingStackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cfg_ = liveConfig();
+    daemon_ = std::make_unique<dv::Daemon>();
+    ASSERT_TRUE(daemon_
+                    ->registerContext(
+                        std::make_unique<simmodel::SyntheticDriver>(cfg_))
+                    .isOk());
+    daemon_->setLauncher(&launcher_);
+  }
+
+  void TearDown() override {
+    client_.reset();
+    daemon_.reset();
+  }
+
+  void connectClient() {
+    auto c = SimFSClient::connect(daemon_->connectInProc(), cfg_.name);
+    ASSERT_TRUE(c.isOk()) << c.status().toString();
+    client_ = std::move(*c);
+  }
+
+  /// Fully-async opens race the worker pool: wait until the daemon has
+  /// actually launched `n` jobs before replaying them.
+  void awaitRecordedJobs(std::size_t n) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    for (;;) {
+      {
+        std::lock_guard lock(launcher_.mu);
+        if (launcher_.jobs.size() >= n) return;
+      }
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "job never reached the launcher";
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  /// Replays every recorded job as a completed simulation.
+  void completeRecordedJobs() {
+    std::vector<std::pair<SimJobId, simmodel::JobSpec>> jobs;
+    {
+      std::lock_guard lock(launcher_.mu);
+      jobs = launcher_.jobs;
+    }
+    for (const auto& [id, spec] : jobs) {
+      daemon_->simulationStarted(id);
+      for (StepIndex s = spec.startStep; s <= spec.stopStep; ++s) {
+        daemon_->simulationFileWritten(id, cfg_.codec.outputFile(s));
+      }
+      daemon_->simulationFinished(id, Status::ok());
+    }
+  }
+
+  void awaitAvailable(StepIndex step) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!daemon_->isAvailable(cfg_.name, step) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_TRUE(daemon_->isAvailable(cfg_.name, step));
+  }
+
+  ContextConfig cfg_;
+  RecordingLauncher launcher_;
+  std::unique_ptr<dv::Daemon> daemon_;
+  std::unique_ptr<SimFSClient> client_;
+};
+
+TEST_F(PendingStackTest, CancelPendingAcquireRemovesWaiter) {
+  connectClient();
+  const std::string f = "out_0000000006.snc";
+  SimfsStatus status;
+  auto req = client_->acquireNb({f}, &status);
+  ASSERT_TRUE(req.isOk());
+  EXPECT_GT(status.estimatedWait, 0);  // pending: job recorded, not run
+
+  // Cancel while the step is still owed: the DV must drop the waiter
+  // entry, so when the file later materializes no reference is taken on
+  // this client's behalf.
+  ASSERT_TRUE(client_->cancel(*req).isOk());
+  // The request handle is consumed.
+  EXPECT_EQ(client_->wait(*req).code(), StatusCode::kFailedPrecondition);
+
+  completeRecordedJobs();
+  awaitAvailable(6);
+  // No reference was registered for the cancelled acquire: a cancelled
+  // acquire cannot pin cache slots.
+  EXPECT_EQ(client_->release(f).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PendingStackTest, WaitDeadlineExpiresWithoutCompleting) {
+  connectClient();
+  auto handle = client_->session()->acquireAsync({"out_0000000009.snc"});
+  SimfsStatus status;
+  // 5 ms deadline against a job that never runs: the wait must time out
+  // and leave the handle live.
+  const auto st =
+      handle.wait(&status, /*timeoutNs=*/5 * vtime::kMillisecond);
+  EXPECT_EQ(st.code(), StatusCode::kTimedOut);
+  EXPECT_FALSE(handle.complete());
+  // The DV's estimate (from the ack) seeds a real deadline choice.
+  EXPECT_GT(handle.estimatedWait(), 0);
+  ASSERT_TRUE(handle.cancel().isOk());
+  EXPECT_TRUE(handle.complete());
+  bool done = false;
+  EXPECT_EQ(handle.test(&done, nullptr).code(), StatusCode::kCancelled);
+  EXPECT_TRUE(done);
+}
+
+TEST_F(PendingStackTest, DaemonDeathFailsOutstandingWaitsInsteadOfHanging) {
+  // Regression for the async redesign: the session installs a close
+  // handler, so when the daemon dies mid-wait every outstanding acquire
+  // completes with kUnavailable instead of blocking forever (the old
+  // per-file calls were bounded by the 30s call timeout).
+  connectClient();
+  auto handle = client_->session()->acquireAsync({"out_0000000014.snc"});
+  ASSERT_TRUE(handle.waitAck(nullptr).isOk());
+  EXPECT_FALSE(handle.complete());  // pending: the job never runs
+
+  daemon_->stop();
+  daemon_.reset();  // tears every transport down
+
+  const Status st = handle.wait();  // must return promptly
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(handle.complete());
+  // The transparent-mode wait wakes too.
+  EXPECT_EQ(client_->waitFile("out_0000000014.snc").code(),
+            StatusCode::kUnavailable);
+}
+
+TEST_F(PendingStackTest, FinalizeWakesBlockedWaiters) {
+  connectClient();
+  auto handle = client_->session()->acquireAsync({"out_0000000018.snc"});
+  ASSERT_TRUE(handle.waitAck(nullptr).isOk());
+  std::thread finalizer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    client_->finalize();
+  });
+  const Status st = handle.wait();  // woken by finalize, not hung
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  finalizer.join();
+}
+
+TEST_F(PendingStackTest, FacadeCloseWithoutReadCancelsPendingOpen) {
+  // snc_open pipelines (no ack wait); closing the handle without ever
+  // reading must cancel the open so the DV registers no lasting
+  // interest for it.
+  connectClient();
+  vfs::MemFileStore store;
+  IoDispatch::instance().installAnalysis(client_.get(), &store);
+  int ncid = -1;
+  ASSERT_EQ(snc_open("out_0000000012.snc", 0, &ncid), 0);
+  ASSERT_EQ(snc_close(ncid), 0);
+  IoDispatch::instance().reset();
+
+  awaitRecordedJobs(1);
+  completeRecordedJobs();
+  awaitAvailable(12);
+  EXPECT_EQ(client_->release("out_0000000012.snc").code(),
+            StatusCode::kFailedPrecondition);
 }
 
 // ------------------------------------------------------------------- C API

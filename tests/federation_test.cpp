@@ -564,6 +564,124 @@ TEST(FederationTest, OneNodeRingDegeneratesToStandalone) {
   EXPECT_EQ(statsBy[0].stepsProduced, statsBy[1].stepsProduced);
 }
 
+TEST(FederationTest, BatchedOpenFollowsRedirect) {
+  // A routing-aware session holds an in-flight kOpenBatchReq when the
+  // serving node answers kRedirect (here: a scripted impostor node that
+  // accepts the hello but disowns the context on first use). The session
+  // must rebind to the named owner — dial, re-hello — and RESEND the
+  // batch there under the same request id, completing the acquire as if
+  // nothing happened, without duplicating the batch on either node.
+  const auto cfg = fedConfig(0);
+  const std::string ctx = contextName(0);
+
+  Daemon realDaemon;  // standalone: accepts any context it serves
+  vfs::MemFileStore store;
+  simulator::ThreadedSimulatorFleet fleet(realDaemon, store, /*timeScale=*/1.0);
+  ASSERT_TRUE(
+      realDaemon
+          .registerContext(std::make_unique<simmodel::SyntheticDriver>(cfg))
+          .isOk());
+  fleet.registerContext(cfg);
+  realDaemon.setLauncher(&fleet);
+
+  // Whichever node the hash picks for `ctx` plays the impostor; the
+  // other one fronts the real daemon — so the first batch always lands
+  // on the scripted node, whatever the ring says.
+  const cluster::Ring ring =
+      cluster::Ring::make({{"dvA", "ep-A"}, {"dvB", "ep-B"}}, /*version=*/2)
+          .value();
+  const std::string fakeId = ring.ownerOf(ctx).id;
+  const std::string realId = fakeId == "dvA" ? "dvB" : "dvA";
+  const std::string fakeEp = ring.find(fakeId)->endpoint;
+  std::vector<std::string> ringEntries;
+  for (const auto& n : ring.nodes()) {
+    ringEntries.push_back(n.id + "=" + n.endpoint);
+  }
+
+  std::atomic<int> batchReqsAtFake{0};
+  std::atomic<int> batchReqsAtReal{0};
+  std::vector<std::unique_ptr<msg::Transport>> fakeEnds;
+  std::mutex fakeMutex;
+
+  /// Counts kOpenBatchReq on the real link (resend exactly once).
+  class CountingTransport final : public msg::Transport {
+   public:
+    CountingTransport(std::unique_ptr<msg::Transport> inner,
+                      std::atomic<int>& batches)
+        : inner_(std::move(inner)), batches_(batches) {}
+    Status send(const msg::Message& m) override {
+      if (m.type == msg::MsgType::kOpenBatchReq) ++batches_;
+      return inner_->send(m);
+    }
+    void setHandler(Handler h) override { inner_->setHandler(std::move(h)); }
+    void setCloseHandler(std::function<void()> h) override {
+      inner_->setCloseHandler(std::move(h));
+    }
+    void close() override { inner_->close(); }
+    [[nodiscard]] bool isOpen() const override { return inner_->isOpen(); }
+
+   private:
+    std::unique_ptr<msg::Transport> inner_;
+    std::atomic<int>& batches_;
+  };
+
+  auto router = std::make_shared<dvlib::NodeRouter>(
+      ring,
+      [&](const std::string& endpoint)
+          -> Result<std::unique_ptr<msg::Transport>> {
+        if (endpoint != fakeEp) {
+          return std::unique_ptr<msg::Transport>(
+              std::make_unique<CountingTransport>(realDaemon.connectInProc(),
+                                                  batchReqsAtReal));
+        }
+        // The impostor: hello succeeds, the first batched open bounces.
+        auto [serverEnd, clientEnd] = msg::makeInProcPair();
+        msg::Transport* raw = serverEnd.get();
+        raw->setHandler(
+            [raw, &batchReqsAtFake, ringEntries, realId](msg::Message&& m) {
+              msg::Message reply;
+              reply.requestId = m.requestId;
+              if (m.type == msg::MsgType::kHello) {
+                reply.type = msg::MsgType::kHelloAck;
+                reply.intArg = 4242;
+                (void)raw->send(reply);
+              } else if (m.type == msg::MsgType::kOpenBatchReq) {
+                ++batchReqsAtFake;
+                reply.type = msg::MsgType::kRedirect;
+                reply.text = realId;
+                reply.files = ringEntries;
+                reply.intArg = 2;  // ring version
+                (void)raw->send(reply);
+              }
+            });
+        std::lock_guard lock(fakeMutex);
+        fakeEnds.push_back(std::move(serverEnd));
+        return std::move(clientEnd);
+      });
+
+  auto connected = dvlib::Session::connect(router, ctx);
+  ASSERT_TRUE(connected.isOk()) << connected.status().toString();
+  std::shared_ptr<dvlib::Session> session = std::move(*connected);
+
+  const std::string file = cfg.codec.outputFile(3);
+  dvlib::SimfsStatus status;
+  ASSERT_TRUE(session->acquire({file}, &status).isOk())
+      << status.error.toString();
+  EXPECT_TRUE(store.exists(file));
+  EXPECT_TRUE(realDaemon.isAvailable(ctx, 3));
+
+  EXPECT_EQ(batchReqsAtFake.load(), 1) << "batch not sent to first owner";
+  EXPECT_EQ(batchReqsAtReal.load(), 1)
+      << "batch must be resent exactly once after the redirect";
+
+  // Exactly one reference was registered end-to-end (no duplicate from
+  // the resend): the second release must fail.
+  ASSERT_TRUE(session->release(file).isOk());
+  EXPECT_EQ(session->release(file).code(), StatusCode::kFailedPrecondition);
+
+  session->finalize();
+}
+
 TEST(NodeRouterTest, PoolsUnboundConnectionsPerEndpoint) {
   // The dialer counts dials; checkout after checkin must reuse.
   std::atomic<int> dials{0};

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -182,6 +183,90 @@ TEST(MessageCodecTest, RedirectWithForgedEntryCountFailsCleanly) {
 TEST(MessageCodecTest, RedirectTruncatedEntriesFailCleanly) {
   const auto full = encode(sampleRedirect());
   for (std::size_t cut = 1; cut < 24; ++cut) {
+    EXPECT_FALSE(
+        decode(std::string_view(full).substr(0, full.size() - cut)).isOk())
+        << "cut=" << cut;
+  }
+}
+
+// --- vectored session ops (kOpenBatchReq/Ack, kCancelReq/Ack) ---------------
+
+Message sampleOpenBatchAck() {
+  Message m;
+  m.type = MsgType::kOpenBatchAck;
+  m.requestId = 55;
+  m.files = {"out_0000000001.snc", "out_0000000002.snc",
+             "out_0000000003.snc"};
+  // Per-file outcome pairs: [code*2 + available, estimated wait].
+  m.ints = {1, 0, 0, 1500, static_cast<std::int64_t>(StatusCode::kOutOfRange) * 2, 0};
+  m.code = static_cast<std::int32_t>(StatusCode::kOutOfRange);
+  m.text = "step outside timeline";
+  m.intArg = 1;     // immediately available
+  m.intArg2 = 1500; // max estimated wait
+  return m;
+}
+
+TEST(MessageCodecTest, OpenBatchRoundTrip) {
+  Message req;
+  req.type = MsgType::kOpenBatchReq;
+  req.requestId = 54;
+  req.files = {"out_0000000001.snc", "out_0000000002.snc"};
+  const auto decodedReq = decode(encode(req));
+  ASSERT_TRUE(decodedReq.isOk());
+  EXPECT_EQ(*decodedReq, req);
+
+  const auto ack = sampleOpenBatchAck();
+  const auto decodedAck = decode(encode(ack));
+  ASSERT_TRUE(decodedAck.isOk());
+  EXPECT_EQ(*decodedAck, ack);
+  EXPECT_EQ(decodedAck->ints.size(), 6u);
+  EXPECT_EQ(decodedAck->ints[3], 1500);
+}
+
+TEST(MessageCodecTest, CancelRoundTrip) {
+  Message req;
+  req.type = MsgType::kCancelReq;
+  req.requestId = 60;
+  req.files = {"out_0000000009.snc", "out_0000000010.snc"};
+  const auto decoded = decode(encode(req));
+  ASSERT_TRUE(decoded.isOk());
+  EXPECT_EQ(*decoded, req);
+
+  Message ack;
+  ack.type = MsgType::kCancelAck;
+  ack.requestId = 60;
+  ack.intArg = 2;  // registrations freed
+  const auto decodedAck = decode(encode(ack));
+  ASSERT_TRUE(decodedAck.isOk());
+  EXPECT_EQ(*decodedAck, ack);
+}
+
+TEST(MessageCodecTest, NegativeIntsSurvive) {
+  Message m;
+  m.type = MsgType::kOpenBatchAck;
+  m.ints = {-1, std::numeric_limits<std::int64_t>::min(),
+            std::numeric_limits<std::int64_t>::max()};
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.isOk());
+  EXPECT_EQ(*decoded, m);
+}
+
+// Hostile-length hardening on the new ints field, mirroring the file-list
+// bounds: a forged count must fail cleanly, not drive a huge reserve() or
+// an overread.
+TEST(MessageCodecTest, OpenBatchAckWithForgedIntCountFailsCleanly) {
+  const auto m = sampleOpenBatchAck();
+  auto buf = encode(m);
+  // The int-count u32 sits 4 + 8 * n bytes from the end of the buffer.
+  const std::size_t countAt = buf.size() - (4 + 8 * m.ints.size());
+  for (int i = 0; i < 4; ++i) buf[countAt + i] = static_cast<char>(0xFF);
+  EXPECT_FALSE(decode(buf).isOk());
+}
+
+TEST(MessageCodecTest, OpenBatchAckTruncatedIntsFailCleanly) {
+  const auto full = encode(sampleOpenBatchAck());
+  // Cut anywhere inside the ints region (and its count prefix).
+  for (std::size_t cut = 1; cut <= 4 + 8 * 6; ++cut) {
     EXPECT_FALSE(
         decode(std::string_view(full).substr(0, full.size() - cut)).isOk())
         << "cut=" << cut;
