@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
@@ -15,20 +16,23 @@
 
 namespace simfs::bench {
 
-/// Total operator-new calls in this process (single-threaded benches).
-inline std::uint64_t g_allocCount = 0;
+/// Total operator-new calls in this process. Relaxed atomic so the
+/// multi-threaded serving benches (flood clients, reactor loops, shard
+/// workers) count every thread's allocations — a steady-state reading of
+/// 0 really means NO thread touched the heap.
+inline std::atomic<std::uint64_t> g_allocCount{0};
 
 namespace detail {
 
 inline void* countedAlloc(std::size_t size) {
-  ++g_allocCount;
+  g_allocCount.fetch_add(1, std::memory_order_relaxed);
   // malloc(0) may legally return nullptr; operator new must not.
   if (void* p = std::malloc(size > 0 ? size : 1)) return p;
   throw std::bad_alloc();
 }
 
 inline void* countedAlignedAlloc(std::size_t size, std::align_val_t align) {
-  ++g_allocCount;
+  g_allocCount.fetch_add(1, std::memory_order_relaxed);
   const auto a = static_cast<std::size_t>(align);
   // aligned_alloc requires size to be a multiple of the alignment.
   const std::size_t rounded = ((size > 0 ? size : 1) + a - 1) / a * a;
@@ -41,26 +45,32 @@ inline void* countedAlignedAlloc(std::size_t size, std::align_val_t align) {
 /// Tracks allocations across a timed benchmark loop and reports an
 /// allocs/op counter. Call loopStarted() as the first statement of every
 /// iteration; the first call arms the counter (skipping loop-setup
-/// allocations), the destructor files the result.
+/// allocations), the destructor files the result. Benches whose iteration
+/// performs many logical operations (a flood of N opens, a batch of N
+/// files) pass the per-iteration op count so allocs/op means "per
+/// request", matching items_per_second.
 class AllocScope {
  public:
-  explicit AllocScope(benchmark::State& state) : state_(state) {}
+  explicit AllocScope(benchmark::State& state, double opsPerIteration = 1.0)
+      : state_(state), opsPerIteration_(opsPerIteration) {}
   void loopStarted() {
     if (!armed_) {
       armed_ = true;
-      start_ = g_allocCount;
+      start_ = g_allocCount.load(std::memory_order_relaxed);
     }
   }
   ~AllocScope() {
     if (armed_ && state_.iterations() > 0) {
       state_.counters["allocs/op"] = benchmark::Counter(
-          static_cast<double>(g_allocCount - start_) /
-          static_cast<double>(state_.iterations()));
+          static_cast<double>(g_allocCount.load(std::memory_order_relaxed) -
+                              start_) /
+          (static_cast<double>(state_.iterations()) * opsPerIteration_));
     }
   }
 
  private:
   benchmark::State& state_;
+  double opsPerIteration_;
   bool armed_ = false;
   std::uint64_t start_ = 0;
 };

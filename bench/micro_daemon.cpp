@@ -12,8 +12,16 @@
 // serializes it through one. A bounded in-flight window per client keeps
 // queues finite without round-trip lockstep.
 //
+// Zero-copy pipeline accounting: every benchmark reports allocs/op
+// (operator-new calls per open, across ALL threads — clients, reactor
+// loops, shard workers). Clients receive acks through the MessageView
+// handler, flood threads persist across iterations, and one untimed
+// warm-up round fills the buffer pools / arenas / queue capacities, so
+// the steady-state number must be 0 — CI gates on it.
+//
 // Run with --json (see bench_util.hpp) for BENCH_daemon.json; the
 // items_per_second counter is ops/sec (real time).
+#include "alloc_counter.hpp"
 #include "bench_util.hpp"
 #include "dv/daemon.hpp"
 #include "msg/message.hpp"
@@ -53,10 +61,13 @@ simmodel::ContextConfig benchContext(int i) {
 }
 
 /// One flood client: a raw transport, a per-client ack counter and a
-/// bounded-window sender.
+/// bounded-window sender. Acks arrive through the zero-copy view handler
+/// and the request message is reused across sends, so a warm flood round
+/// performs no client-side allocation.
 struct FloodClient {
   std::unique_ptr<msg::Transport> transport;
   std::vector<std::string> files;  ///< pre-rendered hit filenames
+  msg::Message request;            ///< reused kOpenReq
   std::mutex mu;
   std::condition_variable cv;
   std::uint64_t acks = 0;
@@ -65,11 +76,11 @@ struct FloodClient {
   bool helloDone = false;
 
   void attachHandler() {
-    transport->setHandler([this](msg::Message&& m) {
+    transport->setViewHandler([this](const msg::MessageView& m) {
       std::lock_guard lock(mu);
-      if (m.type == msg::MsgType::kHelloAck) {
+      if (m.type() == msg::MsgType::kHelloAck) {
         helloDone = true;
-        helloOk = m.code == 0;
+        helloOk = m.code() == 0;
       } else {
         ++acks;
       }
@@ -90,7 +101,7 @@ struct FloodClient {
 
   /// Streams `n` opens with at most kInFlightWindow unacked, then drains.
   void flood(int n) {
-    msg::Message m;
+    msg::Message& m = request;
     m.type = msg::MsgType::kOpenReq;
     m.files.resize(1);
     for (int i = 0; i < n; ++i) {
@@ -107,6 +118,70 @@ struct FloodClient {
   }
 };
 
+/// Persistent flood threads: spawning a thread per iteration would both
+/// skew small-iteration timings and allocate (stacks, handles) inside the
+/// measured region. One pool of threads runs numbered rounds instead.
+class FloodPool {
+ public:
+  explicit FloodPool(std::vector<std::unique_ptr<FloodClient>>& clients)
+      : clients_(clients) {
+    threads_.reserve(clients_.size());
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      threads_.emplace_back([this, i] { worker(i); });
+    }
+  }
+
+  ~FloodPool() {
+    {
+      std::lock_guard lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  /// Runs one flood round on every client and blocks until all drain.
+  void runRound(int opsPerClient) {
+    {
+      std::lock_guard lock(mu_);
+      ops_ = opsPerClient;
+      done_ = 0;
+      ++round_;
+    }
+    cv_.notify_all();
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return done_ == threads_.size(); });
+  }
+
+ private:
+  void worker(std::size_t index) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock lock(mu_);
+        cv_.wait(lock, [&] { return stop_ || round_ != seen; });
+        if (stop_) return;
+        seen = round_;
+      }
+      clients_[index]->flood(ops_);
+      {
+        std::lock_guard lock(mu_);
+        ++done_;
+      }
+      cv_.notify_all();
+    }
+  }
+
+  std::vector<std::unique_ptr<FloodClient>>& clients_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t round_ = 0;
+  std::size_t done_ = 0;
+  int ops_ = 0;
+  bool stop_ = false;
+};
+
 using ConnectFn =
     std::function<std::unique_ptr<msg::Transport>(dv::Daemon&, int client)>;
 
@@ -117,6 +192,11 @@ void runFloodBenchmark(benchmark::State& state, const ConnectFn& connect) {
   dv::Daemon::Options options;
   options.shards = static_cast<std::size_t>(contexts);
   options.workers = static_cast<std::size_t>(contexts);
+  // Provision the queues for the full in-flight load (clients x window):
+  // shedding is backpressure for misbehaving producers, not a regime this
+  // throughput bench wants to measure — and each shed builds an owned
+  // error reply, which would show up in the allocs/op audit.
+  options.queueCap = static_cast<std::size_t>(clients) * kInFlightWindow * 2;
   dv::Daemon daemon(options);
   NullLauncher launcher;
   daemon.setLauncher(&launcher);
@@ -155,13 +235,27 @@ void runFloodBenchmark(benchmark::State& state, const ConnectFn& connect) {
     flood.push_back(std::move(fc));
   }
 
-  for (auto _ : state) {
-    std::vector<std::thread> threads;
-    threads.reserve(flood.size());
-    for (auto& fc : flood) {
-      threads.emplace_back([&fc] { fc->flood(kOpsPerClientPerIter); });
+  {
+    FloodPool pool(flood);
+    // Untimed warm-up round: grows the buffer pools, shard arenas, queue
+    // and outbox capacities to steady state.
+    pool.runRound(kOpsPerClientPerIter);
+    for (auto _ : state) {
+      pool.runRound(kOpsPerClientPerIter);
     }
-    for (auto& t : threads) t.join();
+    // Steady-state allocation audit, in a quiet region after the timed
+    // loop so google-benchmark's own bookkeeping cannot leak into the
+    // count: every operator-new on any thread (flood clients, reactor
+    // loops, shard workers) lands in g_allocCount. CI fails the bench if
+    // the socket flood's number is not 0.
+    const std::uint64_t before =
+        bench::g_allocCount.load(std::memory_order_relaxed);
+    pool.runRound(kOpsPerClientPerIter);
+    state.counters["allocs/op"] = benchmark::Counter(
+        static_cast<double>(bench::g_allocCount.load(
+                                std::memory_order_relaxed) -
+                            before) /
+        (static_cast<double>(clients) * kOpsPerClientPerIter));
   }
   state.SetItemsProcessed(state.iterations() * clients * kOpsPerClientPerIter);
   state.counters["clients"] = clients;

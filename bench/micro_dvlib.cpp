@@ -13,6 +13,7 @@
 // second (real time).
 //
 // Run with --json (see bench_util.hpp) for BENCH_dvlib.json.
+#include "alloc_counter.hpp"
 #include "bench_util.hpp"
 #include "dv/daemon.hpp"
 #include "dvlib/session.hpp"
@@ -21,6 +22,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -106,17 +108,59 @@ void BM_DvlibPerFileLoop(benchmark::State& state) {
 }
 
 /// The redesigned shape: the whole batch in ONE kOpenBatchReq, released
-/// again with one kCancelReq.
+/// again with one kCancelReq. The span overload routes through the
+/// session's pooled acquire states and the transports' pooled wire
+/// buffers, so after the untimed warm-up cycles the loop reports
+/// 0 allocs/op end to end (client + reactor + daemon) — CI gates on it.
 void BM_DvlibVectoredAcquire(benchmark::State& state) {
   Stack stack("vec" + std::to_string(state.range(0)));
   const auto n = static_cast<std::size_t>(state.range(0));
-  const std::vector<std::string> batch(stack.files.begin(),
-                                       stack.files.begin() +
-                                           static_cast<std::ptrdiff_t>(n));
+  const std::span<const std::string> batch(stack.files.data(), n);
+  for (int warm = 0; warm < 3; ++warm) {
+    auto handle = stack.session->acquireAsync(batch);
+    if (!handle.wait().isOk()) state.SkipWithError("warmup acquire failed");
+    if (!handle.cancel().isOk()) state.SkipWithError("warmup cancel failed");
+  }
   for (auto _ : state) {
     auto handle = stack.session->acquireAsync(batch);
     if (!handle.wait().isOk()) state.SkipWithError("acquire failed");
     if (!handle.cancel().isOk()) state.SkipWithError("cancel failed");
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+  // Steady-state allocation audit, in a quiet region after the timed
+  // loop so google-benchmark's own bookkeeping cannot leak into the
+  // count: every operator-new on any thread (session, reactor, daemon
+  // workers) lands in g_allocCount. CI fails the bench if this is not 0.
+  constexpr int kAuditIters = 500;
+  const std::uint64_t before =
+      bench::g_allocCount.load(std::memory_order_relaxed);
+  for (int i = 0; i < kAuditIters; ++i) {
+    auto handle = stack.session->acquireAsync(batch);
+    if (!handle.wait().isOk()) state.SkipWithError("audit acquire failed");
+    if (!handle.cancel().isOk()) state.SkipWithError("audit cancel failed");
+  }
+  state.counters["allocs/op"] = benchmark::Counter(
+      static_cast<double>(bench::g_allocCount.load(
+                              std::memory_order_relaxed) -
+                          before) /
+      (static_cast<double>(kAuditIters) * static_cast<double>(n)));
+}
+
+/// Batched release (vector kReleaseReq): acquire N files vectored, then
+/// release them all with ONE request/reply round trip instead of N —
+/// the daemon drops every reference under a single shard-lock
+/// acquisition.
+void BM_DvlibBatchedRelease(benchmark::State& state) {
+  Stack stack("rel" + std::to_string(state.range(0)));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::span<const std::string> batch(stack.files.data(), n);
+  for (auto _ : state) {
+    auto handle = stack.session->acquireAsync(batch);
+    if (!handle.wait().isOk()) state.SkipWithError("acquire failed");
+    if (!stack.session->release(batch).isOk()) {
+      state.SkipWithError("release failed");
+    }
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(n));
@@ -133,6 +177,13 @@ BENCHMARK(BM_DvlibPerFileLoop)
 BENCHMARK(BM_DvlibVectoredAcquire)
     ->ArgName("files")
     ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK(BM_DvlibBatchedRelease)
+    ->ArgName("files")
     ->Arg(8)
     ->Arg(64)
     ->UseRealTime()

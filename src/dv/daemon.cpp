@@ -61,7 +61,10 @@ struct Daemon::Session {
 };
 
 /// Client requests and simulator events, unified: everything a shard
-/// consumes flows through one queue in arrival order.
+/// consumes flows through one queue in arrival order. Client messages are
+/// MessageRefs whose storage lives in the shard's arena (the transport's
+/// receive buffer dies with the dispatch callback), valid until the batch
+/// that carries them has been processed and its arena reset.
 struct Daemon::DaemonRequest {
   enum class Kind {
     kClientMessage,   ///< protocol message from a session
@@ -72,7 +75,7 @@ struct Daemon::DaemonRequest {
   };
   Kind kind = Kind::kClientMessage;
   std::shared_ptr<Session> session;  ///< kClientMessage / kDisconnect
-  msg::Message msg;                  ///< kClientMessage
+  msg::MessageRef msg;               ///< kClientMessage (arena-backed)
   SimJobId job = 0;                  ///< kSim*
   std::string file;                  ///< kSimFileWritten
   Status status;                     ///< kSimFinished
@@ -82,11 +85,21 @@ struct Daemon::DaemonRequest {
 struct Daemon::ShardServing {
   mutable std::mutex qMutex;
   std::vector<DaemonRequest> queue;
+  /// Request/reply storage, double-buffered: dispatchers bump-copy into
+  /// arenas[activeArena] under qMutex while the worker's in-flight batch
+  /// (and the replies built from it) still reference the other arena.
+  /// drainShard flips the index when it steals the queue and resets the
+  /// drained arena after the reply flush — so arena memory is stable for
+  /// exactly as long as anything points into it, and a warm drain cycle
+  /// performs zero heap allocations.
+  msg::Arena arenas[2];
+  int activeArena = 0;  ///< guarded by qMutex
 
   // Touched only by the one worker that drains this shard (plus readers
   // of the counters): no locks needed beyond the queue mutex above.
+  msg::Arena* replyArena = nullptr;  ///< arena of the batch being processed
   std::map<ClientId, std::shared_ptr<Session>> byClient;
-  std::vector<std::pair<std::shared_ptr<Session>, msg::Message>> out;
+  std::vector<std::pair<std::shared_ptr<Session>, msg::MessageRef>> out;
 
   std::atomic<std::uint64_t> enqueued{0};
   std::atomic<std::uint64_t> served{0};
@@ -177,9 +190,10 @@ void Daemon::serveTransport(std::unique_ptr<msg::Transport> transport) {
     if (auto s = weak.lock()) onSessionClosed(s);
   });
   // Installed last: frames that raced in before this are buffered by the
-  // transport and replayed here.
-  session->transport->setHandler([this, weak](msg::Message&& m) {
-    if (auto s = weak.lock()) dispatch(s, std::move(m));
+  // transport and replayed here. The view is only valid inside dispatch —
+  // anything queued is arena-copied there.
+  session->transport->setViewHandler([this, weak](const msg::MessageView& m) {
+    if (auto s = weak.lock()) dispatch(s, m);
   });
 }
 
@@ -237,23 +251,22 @@ void Daemon::onSessionClosed(const std::shared_ptr<Session>& session) {
     DaemonRequest req;
     req.kind = DaemonRequest::Kind::kDisconnect;
     req.session = session;
-    (void)enqueue(static_cast<std::size_t>(session->shard.load()),
-                  std::move(req));
+    enqueue(static_cast<std::size_t>(session->shard.load()), std::move(req));
   }
 }
 
 // ----------------------------------------------------------------- dispatch
 
 void Daemon::dispatch(const std::shared_ptr<Session>& session,
-                      msg::Message&& m) {
-  switch (m.type) {
+                      const msg::MessageView& m) {
+  switch (m.type()) {
     case msg::MsgType::kHello: {
-      if (static_cast<msg::ClientRole>(m.intArg) ==
+      if (static_cast<msg::ClientRole>(m.intArg()) ==
           msg::ClientRole::kSimulator) {
         // Simulator sessions need no per-session state: their events
         // (kSimFileClosed/kSimFinished) route by job id.
         msg::Message reply;
-        reply.requestId = m.requestId;
+        reply.requestId = m.requestId();
         reply.type = msg::MsgType::kHelloAck;
         reply.code = codeOf(Status::ok());
         (void)session->transport->send(reply);
@@ -263,16 +276,18 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
       // the client is told who owns it (plus the full ring so it can
       // resolve everything else without more round trips) and re-dials.
       const cluster::NodeInfo* owner = nullptr;
-      if (ownedElsewhere(m.context, &owner)) {
+      if (ownedElsewhere(m.context(), &owner)) {
         redirects_.fetch_add(1, std::memory_order_relaxed);
-        (void)session->transport->send(buildRedirect(m, *owner));
+        (void)session->transport->send(
+            buildRedirect(m.requestId(), m.context(), *owner));
         return;
       }
-      const auto idx = core_.shardOfContext(m.context);
+      const std::string context(m.context());
+      const auto idx = core_.shardOfContext(context);
       if (!idx) {
-        const Status st = errNotFound("dv: no context: " + m.context);
+        const Status st = errNotFound("dv: no context: " + context);
         msg::Message reply;
-        reply.requestId = m.requestId;
+        reply.requestId = m.requestId();
         reply.type = msg::MsgType::kHelloAck;
         reply.code = codeOf(st);
         reply.text = st.message();
@@ -291,10 +306,7 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
       } else {
         target = static_cast<std::size_t>(bound);
       }
-      DaemonRequest req;
-      req.session = session;
-      req.msg = std::move(m);
-      if (!enqueue(target, std::move(req)) && bound < 0) {
+      if (!enqueueClient(target, session, m) && bound < 0) {
         // Shed hello: unbind again so a client retry can rebind cleanly.
         session->shard.store(-1);
       }
@@ -311,16 +323,13 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
     case msg::MsgType::kSimFileClosed:
     case msg::MsgType::kSimFinished: {
       const cluster::NodeInfo* owner = nullptr;
-      if (m.hops == 0 && !m.context.empty() &&
-          ownedElsewhere(m.context, &owner)) {
-        forwardToPeer(*owner, m);
+      if (m.hops() == 0 && !m.context().empty() &&
+          ownedElsewhere(m.context(), &owner)) {
+        forwardToPeer(*owner, m.toMessage());
         return;
       }
-      DaemonRequest req;
-      req.session = session;
-      req.msg = std::move(m);
-      (void)enqueue(core_.shardOfJob(static_cast<SimJobId>(req.msg.intArg)),
-                    std::move(req));
+      (void)enqueueClient(
+          core_.shardOfJob(static_cast<SimJobId>(m.intArg())), session, m);
       return;
     }
     // Aggregate introspection never touches the shard queues. Tradeoff:
@@ -329,15 +338,15 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
     // acceptable for an operator-frequency endpoint; latency-sensitive
     // monitoring should use a dedicated in-proc connection.
     case msg::MsgType::kStatusReq: {
-      (void)session->transport->send(buildStatusReply(m.requestId));
+      (void)session->transport->send(buildStatusReply(m.requestId()));
       return;
     }
     case msg::MsgType::kShardStatsReq: {
-      (void)session->transport->send(buildShardStatsReply(m.requestId));
+      (void)session->transport->send(buildShardStatsReply(m.requestId()));
       return;
     }
     case msg::MsgType::kRingReq: {
-      (void)session->transport->send(buildRingUpdate(m.requestId));
+      (void)session->transport->send(buildRingUpdate(m.requestId()));
       return;
     }
     default:
@@ -346,8 +355,8 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
   // Everything else needs the session's bound shard.
   const int shard = session->shard.load();
   if (shard < 0) {
-    if (m.type == msg::MsgType::kCloseNotify ||
-        (m.type == msg::MsgType::kCancelReq && m.requestId == 0)) {
+    if (m.type() == msg::MsgType::kCloseNotify ||
+        (m.type() == msg::MsgType::kCancelReq && m.requestId() == 0)) {
       // Fire-and-forget even when unbound. Not forwarded: a deref only
       // means something for the client session holding the reference,
       // and that session lives on the owner already (hello redirects
@@ -356,22 +365,19 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
     }
     const Status st = errFailedPrecondition("dv: unknown client");
     msg::Message reply;
-    reply.requestId = m.requestId;
-    reply.type = ackTypeFor(m.type);
+    reply.requestId = m.requestId();
+    reply.type = ackTypeFor(m.type());
     reply.code = codeOf(st);
     reply.text = st.message();
     (void)session->transport->send(reply);
     return;
   }
-  DaemonRequest req;
-  req.session = session;
-  req.msg = std::move(m);
-  (void)enqueue(static_cast<std::size_t>(shard), std::move(req));
+  (void)enqueueClient(static_cast<std::size_t>(shard), session, m);
 }
 
 // --------------------------------------------------------------- federation
 
-bool Daemon::ownedElsewhere(const std::string& context,
+bool Daemon::ownedElsewhere(std::string_view context,
                             const cluster::NodeInfo** owner) const {
   if (nodeId_.empty() || ring_.size() < 2) return false;  // standalone / 1-node
   const cluster::NodeInfo& o = ring_.ownerOf(context);
@@ -421,12 +427,13 @@ void Daemon::forwardToPeer(const cluster::NodeInfo& owner,
   }
 }
 
-msg::Message Daemon::buildRedirect(const msg::Message& request,
+msg::Message Daemon::buildRedirect(std::uint64_t requestId,
+                                   std::string_view context,
                                    const cluster::NodeInfo& owner) const {
   msg::Message reply;
   reply.type = msg::MsgType::kRedirect;
-  reply.requestId = request.requestId;
-  reply.context = request.context;
+  reply.requestId = requestId;
+  reply.context.assign(context);
   reply.text = owner.id;
   reply.files = ring_.encodeEntries();
   reply.intArg = static_cast<std::int64_t>(ring_.version());
@@ -453,42 +460,63 @@ Daemon::FederationCounters Daemon::federationCounters() const {
   return c;
 }
 
-bool Daemon::enqueue(std::size_t shard, DaemonRequest&& request) {
+// ------------------------------------------------------------------ queueing
+
+void Daemon::enqueue(std::size_t shard, DaemonRequest&& request) {
+  auto& sv = *serving_[shard];
+  {
+    std::lock_guard lock(sv.qMutex);
+    sv.queue.push_back(std::move(request));
+  }
+  finishEnqueue(shard);
+}
+
+bool Daemon::enqueueClient(std::size_t shard,
+                           const std::shared_ptr<Session>& session,
+                           const msg::MessageView& m) {
   auto& sv = *serving_[shard];
   // Backpressure: only request/reply client traffic is sheddable — the
   // client sees kUnavailable and can back off. Fire-and-forget client
-  // messages, disconnects and simulator events always enqueue: dropping
-  // those would corrupt bookkeeping, and their volume is bounded by the
-  // request traffic that produces them. Cancels also always enqueue: they
-  // FREE resources (waiter entries, pinned slots), so shedding one under
+  // messages and simulator events always enqueue: dropping those would
+  // corrupt bookkeeping, and their volume is bounded by the request
+  // traffic that produces them. Cancels also always enqueue: they FREE
+  // resources (waiter entries, pinned slots), so shedding one under
   // overload would leak exactly when the daemon can least afford it. The
   // check shares the queue's one lock acquisition, so concurrent
-  // dispatchers cannot overshoot the cap.
-  const bool sheddable =
-      request.kind == DaemonRequest::Kind::kClientMessage &&
-      request.msg.type != msg::MsgType::kCancelReq &&
-      ackTypeFor(request.msg.type) != msg::MsgType::kError;
+  // dispatchers cannot overshoot the cap — and the arena copy happens
+  // under the same lock, into the queue's active arena.
+  const bool sheddable = m.type() != msg::MsgType::kCancelReq &&
+                         ackTypeFor(m.type()) != msg::MsgType::kError;
   bool shed = false;
   {
     std::lock_guard lock(sv.qMutex);
     if (sheddable && sv.queue.size() >= queueCap_) {
-      shed = true;  // request deliberately NOT moved from
+      shed = true;
     } else {
-      sv.queue.push_back(std::move(request));
+      DaemonRequest req;
+      req.kind = DaemonRequest::Kind::kClientMessage;
+      req.session = session;
+      req.msg = msg::copyToArena(m, sv.arenas[sv.activeArena]);
+      sv.queue.push_back(std::move(req));
     }
   }
   if (shed) {
     sv.shed.fetch_add(1, std::memory_order_relaxed);
     const Status st = errUnavailable("dv: shard queue over capacity");
     msg::Message reply;
-    reply.requestId = request.msg.requestId;
-    reply.type = ackTypeFor(request.msg.type);
+    reply.requestId = m.requestId();
+    reply.type = ackTypeFor(m.type());
     reply.code = codeOf(st);
     reply.text = st.message();
-    (void)request.session->transport->send(reply);
+    (void)session->transport->send(reply);
     return false;
   }
-  sv.enqueued.fetch_add(1, std::memory_order_relaxed);
+  finishEnqueue(shard);
+  return true;
+}
+
+void Daemon::finishEnqueue(std::size_t shard) {
+  serving_[shard]->enqueued.fetch_add(1, std::memory_order_relaxed);
   if (stopping_.load()) {
     // Shutdown race: the workers (or stop()'s sweep) may already be past
     // this queue. Once the join has completed we own the pipeline
@@ -498,7 +526,7 @@ bool Daemon::enqueue(std::size_t shard, DaemonRequest&& request) {
       std::vector<DaemonRequest> batch;
       (void)drainShard(shard, batch);
     }
-    return true;
+    return;
   }
   Worker& w = *workers_[shard % workers_.size()];
   {
@@ -506,11 +534,10 @@ bool Daemon::enqueue(std::size_t shard, DaemonRequest&& request) {
     w.wake = true;
   }
   w.cv.notify_one();
-  return true;
 }
 
 void Daemon::enqueueSimEvent(DaemonRequest&& request) {
-  (void)enqueue(core_.shardOfJob(request.job), std::move(request));
+  enqueue(core_.shardOfJob(request.job), std::move(request));
 }
 
 void Daemon::simulationStarted(SimJobId job) {
@@ -568,12 +595,22 @@ void Daemon::workerLoop(std::size_t workerIndex) {
 bool Daemon::drainShard(std::size_t shard, std::vector<DaemonRequest>& batch) {
   auto& sv = *serving_[shard];
   batch.clear();
+  int drainedArena = 0;
   {
     std::lock_guard lock(sv.qMutex);
+    if (sv.queue.empty()) return false;
     batch.swap(sv.queue);
+    // Flip the arenas: new requests copy into the other one while this
+    // batch (whose MessageRefs point into arenas[drainedArena]) is
+    // processed. Safe because exactly one worker drains a given shard,
+    // so the previous batch from the other arena has fully retired.
+    drainedArena = sv.activeArena;
+    sv.activeArena ^= 1;
   }
-  if (batch.empty()) return false;
   sv.out.clear();
+  // Replies (and kFileReady notifications) are built in the same arena
+  // as the batch: both stay valid until after the flush below.
+  sv.replyArena = &sv.arenas[drainedArena];
   {
     // One lock acquisition for the whole batch.
     std::lock_guard lock(core_.mutexOf(shard));
@@ -584,7 +621,9 @@ bool Daemon::drainShard(std::size_t shard, std::vector<DaemonRequest>& batch) {
   sv.served.fetch_add(batch.size(), std::memory_order_relaxed);
   atomicMax(sv.maxBatch, batch.size());
   // Flush replies and notifications outside the shard lock; the reactor
-  // coalesces consecutive frames per connection into writev batches.
+  // coalesces consecutive frames per connection into writev batches. The
+  // transports serialize into their own pooled buffers, so the arena may
+  // be reset the moment the loop finishes.
   for (auto& [session, message] : sv.out) {
     if (!session->transport->send(message).isOk()) {
       SIMFS_LOG_DEBUG(kTag, "dropping reply to closed session");
@@ -592,29 +631,37 @@ bool Daemon::drainShard(std::size_t shard, std::vector<DaemonRequest>& batch) {
   }
   sv.out.clear();
   batch.clear();  // release session references promptly
+  sv.replyArena = nullptr;
+  sv.arenas[drainedArena].reset();
   return true;
-}
-
-void Daemon::queueReply(std::size_t shardIndex,
-                        const std::shared_ptr<Session>& session,
-                        msg::Message&& m) {
-  serving_[shardIndex]->out.emplace_back(session, std::move(m));
 }
 
 void Daemon::onNotify(ClientId client, const std::string& file,
                       const Status& st) {
   // Fires inside DvShard calls, i.e. on the worker currently holding this
-  // client's shard lock; buffered and sent after the lock drops.
+  // client's shard lock mid-drain; buffered and sent after the lock
+  // drops.
   const std::size_t shard = core_.shardOfClient(client);
   auto& sv = *serving_[shard];
   const auto it = sv.byClient.find(client);
   if (it == sv.byClient.end()) return;
-  msg::Message m;
+  if (sv.replyArena == nullptr) {
+    // Outside a drain no flush follows (setup-time seeding has no
+    // connected clients; every serving-path DvShard call happens inside
+    // one) — mirror the old pipeline, which cleared stale entries at the
+    // next drain without sending them.
+    SIMFS_LOG_DEBUG(kTag, "dropping out-of-drain notification");
+    return;
+  }
+  msg::Arena& arena = *sv.replyArena;
+  msg::MessageRef m;
   m.type = msg::MsgType::kFileReady;
-  m.files = {file};
+  auto files = arena.allocSpan<std::string_view>(1);
+  files[0] = arena.copyString(file);
+  m.files = files;
   m.code = codeOf(st);
-  m.text = st.message();
-  sv.out.emplace_back(it->second, std::move(m));
+  if (!st.isOk()) m.text = arena.copyString(st.message());
+  sv.out.emplace_back(it->second, m);
 }
 
 void Daemon::processOnShard(std::size_t shardIndex, DvShard& shard,
@@ -647,8 +694,10 @@ void Daemon::processOnShard(std::size_t shardIndex, DvShard& shard,
 
 void Daemon::processClientMessage(std::size_t shardIndex, DvShard& shard,
                                   const std::shared_ptr<Session>& session,
-                                  msg::Message& m) {
-  msg::Message reply;
+                                  const msg::MessageRef& m) {
+  auto& sv = *serving_[shardIndex];
+  msg::Arena& arena = *sv.replyArena;
+  msg::MessageRef reply;
   reply.requestId = m.requestId;
   bool sendReply = true;
   const ClientId client = session->client.load();
@@ -661,21 +710,21 @@ void Daemon::processClientMessage(std::size_t shardIndex, DvShard& shard,
         // registration (pinned steps, waiters) — reject it instead.
         const Status st = errFailedPrecondition("dv: session already bound");
         reply.code = codeOf(st);
-        reply.text = st.message();
+        reply.text = arena.copyString(st.message());
         break;
       }
-      auto id = shard.clientConnect(m.context);
+      auto id = shard.clientConnect(std::string(m.context));
       if (id.isOk()) {
         session->shard.store(static_cast<int>(shardIndex));
         session->client.store(*id);
-        serving_[shardIndex]->byClient[*id] = session;
+        sv.byClient[*id] = session;
         // The transport may already have died: its close handler then saw
         // client == 0 and could not enqueue a disconnect, so the session
         // is marked defunct and this registration must be unwound here or
         // the DvShard client would leak forever.
         if (session->defunct.load()) {
           shard.clientDisconnect(*id);
-          serving_[shardIndex]->byClient.erase(*id);
+          sv.byClient.erase(*id);
           session->client.store(0);
           sendReply = false;
           break;
@@ -684,7 +733,7 @@ void Daemon::processClientMessage(std::size_t shardIndex, DvShard& shard,
         reply.intArg = static_cast<std::int64_t>(*id);
       } else {
         reply.code = codeOf(id.status());
-        reply.text = id.status().message();
+        reply.text = arena.copyString(id.status().message());
       }
       break;
     }
@@ -696,10 +745,12 @@ void Daemon::processClientMessage(std::size_t shardIndex, DvShard& shard,
       }
       const auto res = shard.clientOpen(client, m.files[0]);
       reply.code = codeOf(res.status);
-      reply.text = res.status.message();
+      if (!res.status.isOk()) reply.text = arena.copyString(res.status.message());
       reply.intArg = res.available ? 1 : 0;
       reply.intArg2 = res.estimatedWait;
-      reply.files = {std::move(m.files[0])};
+      // Echo the filename: the request's arena copy is stable until the
+      // reply has been flushed, so the span aliases it — no copy at all.
+      reply.files = m.files.first(1);
       break;
     }
     case msg::MsgType::kOpenBatchReq: {
@@ -714,19 +765,20 @@ void Daemon::processClientMessage(std::size_t shardIndex, DvShard& shard,
       std::int64_t availableNow = 0;
       // Outcome pairs only, positional by request order — echoing the
       // filenames back would double the ack payload for nothing.
-      reply.ints.reserve(2 * m.files.size());
-      for (const auto& f : m.files) {
+      auto ints = arena.allocSpan<std::int64_t>(2 * m.files.size());
+      std::size_t at = 0;
+      for (const auto f : m.files) {
         const auto res = shard.clientOpen(client, f);
         if (!res.status.isOk()) worst = res.status;
         if (res.available) ++availableNow;
         maxWait = std::max(maxWait, res.estimatedWait);
-        reply.ints.push_back(
-            static_cast<std::int64_t>(res.status.code()) * 2 +
-            (res.available ? 1 : 0));
-        reply.ints.push_back(res.estimatedWait);
+        ints[at++] = static_cast<std::int64_t>(res.status.code()) * 2 +
+                     (res.available ? 1 : 0);
+        ints[at++] = res.estimatedWait;
       }
+      reply.ints = ints;
       reply.code = codeOf(worst);
-      reply.text = worst.message();
+      if (!worst.isOk()) reply.text = arena.copyString(worst.message());
       reply.intArg = availableNow;
       reply.intArg2 = maxWait;
       break;
@@ -738,7 +790,7 @@ void Daemon::processClientMessage(std::size_t shardIndex, DvShard& shard,
       // registrations were actually freed.
       reply.type = msg::MsgType::kCancelAck;
       std::int64_t freed = 0;
-      for (const auto& f : m.files) {
+      for (const auto f : m.files) {
         if (shard.clientCancel(client, f).isOk()) ++freed;
       }
       reply.code = codeOf(Status::ok());
@@ -752,20 +804,23 @@ void Daemon::processClientMessage(std::size_t shardIndex, DvShard& shard,
       reply.type = msg::MsgType::kAcquireAck;
       Status worst = Status::ok();
       VDuration maxWait = 0;
-      for (const auto& f : m.files) {
+      auto ready = arena.allocSpan<std::string_view>(m.files.size());
+      std::size_t nReady = 0;
+      for (const auto f : m.files) {
         const auto res = shard.clientOpen(client, f);
         if (!res.status.isOk()) {
           worst = res.status;
           continue;
         }
         if (res.available) {
-          reply.files.push_back(f);  // immediately ready subset
+          ready[nReady++] = f;  // immediately ready subset
         } else {
           maxWait = std::max(maxWait, res.estimatedWait);
         }
       }
+      reply.files = ready.first(nReady);
       reply.code = codeOf(worst);
-      reply.text = worst.message();
+      if (!worst.isOk()) reply.text = arena.copyString(worst.message());
       reply.intArg2 = maxWait;
       break;
     }
@@ -777,12 +832,23 @@ void Daemon::processClientMessage(std::size_t shardIndex, DvShard& shard,
       break;
     }
     case msg::MsgType::kReleaseReq: {
+      // Batched like kOpenBatchReq: one message releases every file under
+      // the single shard-lock acquisition this drain already holds.
       reply.type = msg::MsgType::kReleaseAck;
-      Status st = m.files.empty()
-                      ? errInvalidArgument("release: no file")
-                      : shard.clientRelease(client, m.files[0]);
-      reply.code = codeOf(st);
-      reply.text = st.message();
+      Status worst = m.files.empty() ? errInvalidArgument("release: no file")
+                                     : Status::ok();
+      std::int64_t released = 0;
+      for (const auto f : m.files) {
+        const Status st = shard.clientRelease(client, f);
+        if (st.isOk()) {
+          ++released;
+        } else {
+          worst = st;
+        }
+      }
+      reply.code = codeOf(worst);
+      if (!worst.isOk()) reply.text = arena.copyString(worst.message());
+      reply.intArg = released;
       break;
     }
     case msg::MsgType::kBitrepReq: {
@@ -798,7 +864,7 @@ void Daemon::processClientMessage(std::size_t shardIndex, DvShard& shard,
         reply.intArg = *match ? 1 : 0;
       } else {
         reply.code = codeOf(match.status());
-        reply.text = match.status().message();
+        reply.text = arena.copyString(match.status().message());
       }
       break;
     }
@@ -812,7 +878,8 @@ void Daemon::processClientMessage(std::size_t shardIndex, DvShard& shard,
     }
     case msg::MsgType::kSimFinished: {
       Status st = m.code == 0 ? Status::ok()
-                              : Status(static_cast<StatusCode>(m.code), m.text);
+                              : Status(static_cast<StatusCode>(m.code),
+                                       std::string(m.text));
       shard.simulationFinished(static_cast<SimJobId>(m.intArg), st);
       sendReply = false;
       break;
@@ -823,7 +890,7 @@ void Daemon::processClientMessage(std::size_t shardIndex, DvShard& shard,
       break;
     }
   }
-  if (sendReply) queueReply(shardIndex, session, std::move(reply));
+  if (sendReply) sv.out.emplace_back(session, reply);
 }
 
 // ------------------------------------------------------------- introspection

@@ -3,10 +3,14 @@
 // serving pipeline:
 //
 //   transports (epoll reactor / in-proc) ──► dispatch (thread of arrival)
-//        │   route by context / client id / job id — no global lock
+//        │   zero-copy: inbound frames arrive as msg::MessageView over the
+//        │   receive buffer; route by context / client id / job id — no
+//        │   global lock
 //        ▼
 //   per-shard MPSC request queues  (client requests and simulator events
-//        │                          unified as DaemonRequest)
+//        │   unified as DaemonRequest; client messages are bump-copied
+//        │   into the shard's arena, which is reset after each batch
+//        │   drain — steady-state queueing never touches the heap)
 //        ▼
 //   worker pool: each worker drains whole batches from its shards — one
 //        │       shard-lock acquisition and one reply/notification flush
@@ -172,26 +176,37 @@ class Daemon {
   struct Worker;
 
   /// Routes one inbound message on the thread it arrived on: introspection
-  /// is answered inline, everything else is enqueued to its shard.
-  void dispatch(const std::shared_ptr<Session>& session, msg::Message&& m);
+  /// is answered inline, everything else is arena-copied into its shard's
+  /// queue. `m` is a zero-copy view over the transport's receive buffer —
+  /// valid only for the duration of this call.
+  void dispatch(const std::shared_ptr<Session>& session,
+                const msg::MessageView& m);
 
   /// True when this daemon has a federation identity and `context` hashes
   /// to a different ring member (returned via `owner`).
-  [[nodiscard]] bool ownedElsewhere(const std::string& context,
+  [[nodiscard]] bool ownedElsewhere(std::string_view context,
                                     const cluster::NodeInfo** owner) const;
 
   /// Relays a fire-and-forget message to `owner` over the (lazily
   /// dialed, cached) peer transport; drops it if the peer is unreachable.
   void forwardToPeer(const cluster::NodeInfo& owner, const msg::Message& m);
 
-  [[nodiscard]] msg::Message buildRedirect(const msg::Message& request,
+  [[nodiscard]] msg::Message buildRedirect(std::uint64_t requestId,
+                                           std::string_view context,
                                            const cluster::NodeInfo& owner) const;
   [[nodiscard]] msg::Message buildRingUpdate(std::uint64_t requestId) const;
 
-  /// Queues a request to its shard. Returns false when a sheddable
-  /// client request was rejected instead (queue at queueCap_; the
+  /// Queues a non-client request (sim event, disconnect) to its shard;
+  /// these are never shed.
+  void enqueue(std::size_t shard, DaemonRequest&& request);
+  /// Arena-copies a client message into its shard's queue. Returns false
+  /// when the request was shed instead (queue at queueCap_; the
   /// kUnavailable reply has already been sent).
-  bool enqueue(std::size_t shard, DaemonRequest&& request);
+  bool enqueueClient(std::size_t shard, const std::shared_ptr<Session>& s,
+                     const msg::MessageView& m);
+  /// Post-push bookkeeping shared by the enqueue paths: counters, the
+  /// stop-race drain, and the worker wakeup.
+  void finishEnqueue(std::size_t shard);
   void enqueueSimEvent(DaemonRequest&& request);
   void onSessionClosed(const std::shared_ptr<Session>& session);
   void workerLoop(std::size_t workerIndex);
@@ -200,9 +215,7 @@ class Daemon {
                       DaemonRequest& request);
   void processClientMessage(std::size_t shardIndex, DvShard& shard,
                             const std::shared_ptr<Session>& session,
-                            msg::Message& m);
-  void queueReply(std::size_t shardIndex, const std::shared_ptr<Session>& s,
-                  msg::Message&& m);
+                            const msg::MessageRef& m);
   void onNotify(ClientId client, const std::string& file, const Status& st);
   [[nodiscard]] msg::Message buildStatusReply(std::uint64_t requestId) const;
   [[nodiscard]] msg::Message buildShardStatsReply(std::uint64_t requestId) const;

@@ -66,11 +66,11 @@ class DataVirtualizer {
   void clientDisconnect(ClientId client) { shard_.clientDisconnect(client); }
 
   [[nodiscard]] OpenResult clientOpen(ClientId client,
-                                      const std::string& file) {
+                                      std::string_view file) {
     return shard_.clientOpen(client, file);
   }
 
-  Status clientRelease(ClientId client, const std::string& file) {
+  Status clientRelease(ClientId client, std::string_view file) {
     return shard_.clientRelease(client, file);
   }
 
@@ -84,7 +84,7 @@ class DataVirtualizer {
 
   void simulationStarted(SimJobId job) { shard_.simulationStarted(job); }
 
-  void simulationFileWritten(SimJobId job, const std::string& file) {
+  void simulationFileWritten(SimJobId job, std::string_view file) {
     shard_.simulationFileWritten(job, file);
   }
 

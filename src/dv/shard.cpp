@@ -124,7 +124,7 @@ void DvShard::clientDisconnect(ClientId client) {
   clients_.erase(client);
 }
 
-OpenResult DvShard::clientOpen(ClientId client, const std::string& file) {
+OpenResult DvShard::clientOpen(ClientId client, std::string_view file) {
   OpenResult res;
   auto* info = findClient(client);
   if (info == nullptr) {
@@ -151,7 +151,7 @@ OpenResult DvShard::clientOpen(ClientId client, const std::string& file) {
   }
   const StepIndex step = *key;
   if (!cfg.geometry.validStep(step)) {
-    res.status = errOutOfRange("dv: step outside timeline: " + file);
+    res.status = errOutOfRange("dv: step outside timeline: " + std::string(file));
     return res;
   }
 
@@ -229,7 +229,7 @@ void DvShard::addWaiter(ContextState& /*ctx*/, StepIndex step, FileState& fs,
   }
 }
 
-Status DvShard::clientRelease(ClientId client, const std::string& file) {
+Status DvShard::clientRelease(ClientId client, std::string_view file) {
   auto* info = findClient(client);
   if (info == nullptr) return errFailedPrecondition("dv: unknown client");
   ContextState* ctx = info->ctx;
@@ -237,18 +237,18 @@ Status DvShard::clientRelease(ClientId client, const std::string& file) {
   // Same parse seam as clientOpen: the driver's key() is the authority
   // (its default is the allocation-free codec fast path).
   const auto key = ctx->driver->key(file);
-  if (!key) return errFailedPrecondition("dv: release without open: " + file);
+  if (!key) return errFailedPrecondition("dv: release without open: " + std::string(file));
   const StepIndex step = *key;
   const auto rit = info->refs.find(step);
   if (rit == info->refs.end() || rit->second <= 0) {
-    return errFailedPrecondition("dv: release without open: " + file);
+    return errFailedPrecondition("dv: release without open: " + std::string(file));
   }
   --rit->second;  // zero-count entries linger: keeps the hot path node-free
   ctx->cache->unpin(step);
   return Status::ok();
 }
 
-Status DvShard::clientCancel(ClientId client, const std::string& file) {
+Status DvShard::clientCancel(ClientId client, std::string_view file) {
   auto* info = findClient(client);
   if (info == nullptr) return errFailedPrecondition("dv: unknown client");
   ContextState* ctx = info->ctx;
@@ -257,7 +257,7 @@ Status DvShard::clientCancel(ClientId client, const std::string& file) {
     return Status::ok();  // restart opens register nothing to cancel
   }
   const auto key = ctx->driver->key(file);
-  if (!key) return errFailedPrecondition("dv: cancel without open: " + file);
+  if (!key) return errFailedPrecondition("dv: cancel without open: " + std::string(file));
   const StepIndex step = *key;
 
   // Still pending: the open registered this client as a waiter. Remove
@@ -296,16 +296,16 @@ Status DvShard::clientCancel(ClientId client, const std::string& file) {
     ctx->cache->unpin(step);
     return Status::ok();
   }
-  return errFailedPrecondition("dv: cancel without open: " + file);
+  return errFailedPrecondition("dv: cancel without open: " + std::string(file));
 }
 
-Result<bool> DvShard::clientBitrep(ClientId client, const std::string& file,
+Result<bool> DvShard::clientBitrep(ClientId client, std::string_view file,
                                    std::uint64_t digest) {
   auto* info = findClient(client);
   if (info == nullptr) return errFailedPrecondition("dv: unknown client");
   ContextState* ctx = info->ctx;
   SIMFS_CHECK(ctx != nullptr);
-  return ctx->checksums.matches(file, digest);
+  return ctx->checksums.matches(std::string(file), digest);
 }
 
 SimJobId DvShard::launchJob(ContextState& ctx, StepIndex start, StepIndex stop,
@@ -386,7 +386,7 @@ void DvShard::simulationStarted(SimJobId job) {
   it->second.phase = JobPhase::kRunning;
 }
 
-void DvShard::simulationFileWritten(SimJobId job, const std::string& file) {
+void DvShard::simulationFileWritten(SimJobId job, std::string_view file) {
   const auto it = jobs_.find(job);
   if (it == jobs_.end()) return;  // late event from a killed job
   auto& info = it->second;
@@ -395,7 +395,8 @@ void DvShard::simulationFileWritten(SimJobId job, const std::string& file) {
   // The one and only filename parse of this event.
   const auto key = ctx->driver->key(file);
   if (!key) {
-    SIMFS_LOG_WARN(kTag, "simulator wrote unparsable file '%s'", file.c_str());
+    SIMFS_LOG_WARN(kTag, "simulator wrote unparsable file '%s'",
+                    std::string(file).c_str());
     return;
   }
   ++stats_.stepsProduced;

@@ -57,6 +57,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -158,10 +159,10 @@ class DvShard {
   /// non-blocking; on a miss the demand re-simulation is started and the
   /// client is registered as a waiter (notified via NotifyFn).
   /// On success (immediate or later notification) the file is referenced.
-  [[nodiscard]] OpenResult clientOpen(ClientId client, const std::string& file);
+  [[nodiscard]] OpenResult clientOpen(ClientId client, std::string_view file);
 
   /// Transparent-mode close / SIMFS_Release: drops one reference.
-  Status clientRelease(ClientId client, const std::string& file);
+  Status clientRelease(ClientId client, std::string_view file);
 
   /// Cancellation of an abandoned acquire (kCancelReq): releases whatever
   /// interest the client's open of `file` registered — the waiter entry
@@ -169,12 +170,12 @@ class DvShard {
   /// availability notification racing the cancel) already delivered it.
   /// A cancelled acquire therefore can never pin a cache slot. Fails soft
   /// (kFailedPrecondition) when no interest is held.
-  Status clientCancel(ClientId client, const std::string& file);
+  Status clientCancel(ClientId client, std::string_view file);
 
   /// SIMFS_Bitrep: compares `digest` (computed client-side over the
   /// re-simulated file) with the recorded reference checksum.
   [[nodiscard]] Result<bool> clientBitrep(ClientId client,
-                                          const std::string& file,
+                                          std::string_view file,
                                           std::uint64_t digest);
 
   // --- simulator side (driver/launcher events) -------------------------------
@@ -184,7 +185,7 @@ class DvShard {
 
   /// The simulator closed an output file: it is ready on disk (Fig. 4
   /// step 4-5). Size accounting uses the context's configured step size.
-  void simulationFileWritten(SimJobId job, const std::string& file);
+  void simulationFileWritten(SimJobId job, std::string_view file);
 
   /// Job completed (ok) or failed (error status propagates to waiters).
   void simulationFinished(SimJobId job, const Status& status);

@@ -5,19 +5,24 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <optional>
 
 namespace simfs::dvlib {
 
 namespace detail {
 
 /// Shared state behind an AcquireHandle. All fields are guarded by the
-/// owning Session's mutex.
+/// owning Session's mutex. Instances are recycled through the session's
+/// state pool, so vectors (and the strings inside them) keep their
+/// capacity across acquires.
 struct AcquireState {
   std::vector<std::string> files;
   std::vector<Status> fileStatus;      ///< per-file outcome (ack / retire)
   std::vector<bool> availableAtAck;    ///< on disk at batch time
   std::vector<VDuration> fileWait;     ///< per-file DV estimate
-  std::set<std::string> pending;       ///< awaiting kFileReady
+  /// Awaiting kFileReady; transparent comparator so retirements probe
+  /// with the receive view's string_view.
+  std::set<std::string, std::less<>> pending;
   Status worst;
   VDuration estimatedWait = 0;
   std::uint64_t wireId = 0;  ///< requestId of the kOpenBatchReq
@@ -38,10 +43,19 @@ constexpr auto kCallTimeout = std::chrono::seconds(30);
 /// itself and looping would never converge.
 constexpr int kMaxRedirects = 4;
 
+/// How many recyclable AcquireStates a session retains.
+constexpr std::size_t kStatePoolCap = 64;
+
 Status statusFrom(const msg::Message& m) {
   const auto code = static_cast<StatusCode>(m.code);
   if (code == StatusCode::kOk) return Status::ok();
   return Status(code, m.text);
+}
+
+Status statusFromView(const msg::MessageView& m) {
+  const auto code = static_cast<StatusCode>(m.code());
+  if (code == StatusCode::kOk) return Status::ok();
+  return Status(code, std::string(m.text()));
 }
 
 msg::Message makeHello(const std::string& context) {
@@ -55,6 +69,18 @@ msg::Message makeHello(const std::string& context) {
 std::uint64_t nextCallId() {
   static std::atomic<std::uint64_t> callSeq{1};
   return callSeq.fetch_add(1);
+}
+
+/// Per-thread view array over an owned file list, for zero-copy sends.
+/// Reused across calls; the returned span is only read until the send
+/// returns, and the strings it references must outlive the call (the
+/// acquire paths pin them through the state's shared_ptr).
+std::span<const std::string_view> scratchViewsOf(
+    const std::vector<std::string>& files) {
+  thread_local std::vector<std::string_view> scratch;
+  scratch.clear();
+  for (const auto& f : files) scratch.push_back(f);
+  return scratch;
 }
 
 }  // namespace
@@ -234,7 +260,7 @@ void Session::attach(const std::shared_ptr<msg::Transport>& t) {
   // ends up owning the last reference would run ~Session inside the
   // very handler invocation the transport destructor waits on — a
   // self-deadlock.)
-  t->setHandler([this](msg::Message&& m) { onMessage(std::move(m)); });
+  t->setViewHandler([this](const msg::MessageView& m) { onMessage(m); });
   // Peer death must fail outstanding waits instead of stranding them.
   t->setCloseHandler([this, raw = t.get()] { onTransportClosed(raw); });
 }
@@ -317,6 +343,12 @@ Result<msg::Message> Session::call(msg::Message m) {
 
 // ----------------------------------------------------------- async delivery
 
+std::vector<Session::AsyncOp>::iterator Session::findAsyncOp(
+    std::uint64_t id) {
+  return std::find_if(asyncOps_.begin(), asyncOps_.end(),
+                      [id](const AsyncOp& op) { return op.id == id; });
+}
+
 void Session::completeLocked(
     const std::shared_ptr<detail::AcquireState>& state, Fired& fired) {
   if (state->completed) return;
@@ -345,13 +377,13 @@ void Session::failStateLocked(
 }
 
 void Session::applyBatchAckLocked(detail::AcquireState& state,
-                                  const msg::Message& m) {
+                                  const msg::MessageView& m) {
   state.ack = true;
   const std::size_t n = state.files.size();
-  if (m.type != msg::MsgType::kOpenBatchAck || m.ints.size() != 2 * n) {
+  if (m.type() != msg::MsgType::kOpenBatchAck || m.intCount() != 2 * n) {
     // Error reply (or a malformed ack from a hostile peer): the whole
     // batch failed, nothing was registered server-side.
-    Status overall = statusFrom(m);
+    Status overall = statusFromView(m);
     if (overall.isOk()) {
       overall = errInternal("dvlib: malformed open-batch ack");
     }
@@ -359,9 +391,14 @@ void Session::applyBatchAckLocked(detail::AcquireState& state,
     state.fileStatus.assign(n, overall);
     return;
   }
+  // Outcome pairs decode lazily, in place, straight from the receive
+  // buffer — the whole hit path runs without touching the heap.
+  auto it = m.intsBegin();
   for (std::size_t i = 0; i < n; ++i) {
-    const std::int64_t packed = m.ints[2 * i];
-    const VDuration wait = m.ints[2 * i + 1];
+    const std::int64_t packed = *it;
+    ++it;
+    const VDuration wait = *it;
+    ++it;
     if (packed < 0) {
       state.fileStatus[i] = errInternal("dvlib: bad per-file outcome");
       state.worst = state.fileStatus[i];
@@ -373,9 +410,9 @@ void Session::applyBatchAckLocked(detail::AcquireState& state,
     state.fileWait[i] = wait;
     if (code != StatusCode::kOk) {
       // Per-file failure: this file registered nothing server-side. The
-      // worst-status message travels in m.text.
-      Status st(code, m.code == static_cast<std::int32_t>(code)
-                          ? m.text
+      // worst-status message travels in the ack's text field.
+      Status st(code, m.code() == static_cast<std::int32_t>(code)
+                          ? std::string(m.text())
                           : std::string(statusCodeName(code)));
       state.fileStatus[i] = st;
       state.worst = st;
@@ -402,25 +439,35 @@ void Session::applyBatchAckLocked(detail::AcquireState& state,
   }
 }
 
-void Session::onMessage(msg::Message&& m) {
-  if (m.type == msg::MsgType::kRingUpdate && router_ != nullptr) {
+void Session::onMessage(const msg::MessageView& m) {
+  // One owned copy serves both the ring adoption and (for kRingReq
+  // replies) the sync-reply delivery below.
+  std::optional<msg::Message> ringOwned;
+  if (m.type() == msg::MsgType::kRingUpdate && router_ != nullptr) {
     // Membership push: re-resolve future routing. router_ is set once at
     // construction, so reading it here without the lock is safe.
-    if (auto ring = ringFromMessage(m)) router_->adoptRing(*ring);
-    if (m.requestId == 0) return;  // pure push, not a reply
+    ringOwned = m.toMessage();
+    if (auto ring = ringFromMessage(*ringOwned)) router_->adoptRing(*ring);
+    if (m.requestId() == 0) return;  // pure push, not a reply
   }
   Fired fired;
   {
     std::lock_guard lock(mutex_);
-    if (m.type == msg::MsgType::kFileReady) {
-      const std::string& file = m.files.empty() ? std::string() : m.files[0];
-      auto& fw = fileWaits_[file];
+    if (m.type() == msg::MsgType::kFileReady) {
+      const std::string_view file = m.file0();
+      auto fit = fileWaits_.find(file);
+      if (fit == fileWaits_.end()) {
+        fit = fileWaits_.emplace(std::string(file), FileWait{}).first;
+      }
+      FileWait& fw = fit->second;
       fw.ready = true;
-      fw.status = statusFrom(m);
+      fw.status = statusFromView(m);
       // Retire the file from every live acquire awaiting it.
       std::vector<std::shared_ptr<detail::AcquireState>> done;
       for (const auto& state : active_) {
-        if (state->pending.erase(file) == 0) continue;
+        const auto pit = state->pending.find(file);
+        if (pit == state->pending.end()) continue;
+        state->pending.erase(pit);
         for (std::size_t i = 0; i < state->files.size(); ++i) {
           if (state->files[i] == file && !state->availableAtAck[i]) {
             state->fileStatus[i] = fw.status;
@@ -431,17 +478,18 @@ void Session::onMessage(msg::Message&& m) {
       }
       for (const auto& state : done) completeLocked(state, fired);
       cv_.notify_all();
-    } else if (const auto op = asyncOps_.find(m.requestId);
+    } else if (const auto op = findAsyncOp(m.requestId());
                op != asyncOps_.end()) {
-      if (m.type == msg::MsgType::kRedirect) {
-        ++op->second.redirects;
-        if (router_ == nullptr || op->second.redirects > kMaxRedirects) {
-          auto state = op->second.state;
+      if (m.type() == msg::MsgType::kRedirect) {
+        ++op->redirects;
+        if (router_ == nullptr || op->redirects > kMaxRedirects) {
+          auto state = op->state;
           asyncOps_.erase(op);
           failStateLocked(
               state,
               router_ == nullptr
-                  ? errUnavailable("dvlib: redirected to node '" + m.text +
+                  ? errUnavailable("dvlib: redirected to node '" +
+                                   std::string(m.text()) +
                                    "' but session has no router")
                   : errUnavailable(
                         "dvlib: redirect loop (ring members disagree)"),
@@ -450,11 +498,12 @@ void Session::onMessage(msg::Message&& m) {
           // The rebind dials and blocks for a hello — not allowed on
           // this (reactor) thread. Hand it to the recovery thread, which
           // resends every surviving op once rebound.
-          if (auto ring = ringFromMessage(m)) router_->adoptRing(*ring);
-          queueRedirectLocked(m.text);
+          const msg::Message owned = m.toMessage();
+          if (auto ring = ringFromMessage(owned)) router_->adoptRing(*ring);
+          queueRedirectLocked(owned.text);
         }
       } else {
-        auto state = op->second.state;
+        auto state = op->state;
         asyncOps_.erase(op);
         applyBatchAckLocked(*state, m);
         if (!state->cancelled && state->pending.empty()) {
@@ -462,8 +511,9 @@ void Session::onMessage(msg::Message&& m) {
         }
         cv_.notify_all();
       }
-    } else if (inflight_.count(m.requestId) != 0) {
-      replies_[m.requestId] = std::move(m);
+    } else if (inflight_.count(m.requestId()) != 0) {
+      replies_[m.requestId()] =
+          ringOwned ? std::move(*ringOwned) : m.toMessage();
       cv_.notify_all();
     } else {
       // Unmatched reply — e.g. a batch ack landing after its op already
@@ -502,7 +552,7 @@ void Session::recoveryLoop() {
 }
 
 void Session::failAllLocked(const Status& down, Fired& fired) {
-  for (auto& [id, op] : asyncOps_) failStateLocked(op.state, down, fired);
+  for (auto& op : asyncOps_) failStateLocked(op.state, down, fired);
   asyncOps_.clear();
   for (auto& [file, fw] : fileWaits_) {
     if (!fw.ready) {
@@ -537,11 +587,11 @@ void Session::onTransportClosed(const msg::Transport* t) {
       // A retired link died late: only ops still tagged to it are lost
       // (rebind retargets surviving ops before closing the old link).
       for (auto it = asyncOps_.begin(); it != asyncOps_.end();) {
-        if (it->second.transport != t) {
+        if (it->transport != t) {
           ++it;
           continue;
         }
-        auto state = it->second.state;
+        auto state = it->state;
         it = asyncOps_.erase(it);
         failStateLocked(state, down, fired);
       }
@@ -565,7 +615,7 @@ void Session::failAsyncOps(const Status& st) {
   Fired fired;
   {
     std::lock_guard lock(mutex_);
-    for (auto& [id, op] : asyncOps_) failStateLocked(op.state, st, fired);
+    for (auto& op : asyncOps_) failStateLocked(op.state, st, fired);
     asyncOps_.clear();
     cv_.notify_all();
   }
@@ -615,15 +665,20 @@ Status Session::rebind(std::string targetNode) {
         // new link below under the same requestId, so the eventual ack
         // still matches — this is the redirect-follow for batched opens.
         // Ops already cancelled client-side are dropped instead;
-        // resending them would re-register interest nobody releases.
+        // resending them would re-register interest nobody releases. The
+        // wire message is rebuilt from the state's file list.
         for (auto it = asyncOps_.begin(); it != asyncOps_.end();) {
-          if (it->second.state->completed) {
+          if (it->state->completed) {
             it = asyncOps_.erase(it);
             continue;
           }
-          it->second.transport = t.get();
-          resendIds.push_back(it->first);
-          resend.push_back(it->second.request);
+          it->transport = t.get();
+          msg::Message req;
+          req.type = msg::MsgType::kOpenBatchReq;
+          req.requestId = it->id;
+          req.files = it->state->files;
+          resendIds.push_back(it->id);
+          resend.push_back(std::move(req));
           ++it;
         }
         // The old node held this session's registered waiters; they die
@@ -674,9 +729,9 @@ Status Session::rebind(std::string targetNode) {
       Fired f2;
       {
         std::lock_guard lock(mutex_);
-        const auto it = asyncOps_.find(resendIds[i]);
+        const auto it = findAsyncOp(resendIds[i]);
         if (it == asyncOps_.end()) continue;
-        auto state = it->second.state;
+        auto state = it->state;
         asyncOps_.erase(it);
         failStateLocked(state, sent, f2);
       }
@@ -689,20 +744,42 @@ Status Session::rebind(std::string targetNode) {
 
 // -------------------------------------------------------------- acquire core
 
-AcquireHandle Session::acquireAsync(std::vector<std::string> files) {
+std::shared_ptr<detail::AcquireState> Session::takeStateLocked() {
+  for (auto& pooled : statePool_) {
+    // Sole pool reference: no handle, active-list entry or async op can
+    // reach this state anymore, so it is safe to recycle. Vectors (and
+    // the strings inside files) keep their capacity.
+    if (pooled.use_count() != 1) continue;
+    auto state = pooled;
+    state->pending.clear();
+    state->continuations.clear();
+    state->worst = Status::ok();
+    state->estimatedWait = 0;
+    state->wireId = 0;
+    state->ack = false;
+    state->completed = false;
+    state->cancelled = false;
+    return state;
+  }
   auto state = std::make_shared<detail::AcquireState>();
-  state->files = std::move(files);
-  const std::size_t n = state->files.size();
-  state->fileStatus.assign(n, Status::ok());
-  state->availableAtAck.assign(n, false);
-  state->fileWait.assign(n, static_cast<VDuration>(0));
-  auto self = shared_from_this();
+  if (statePool_.size() < kStatePoolCap) statePool_.push_back(state);
+  return state;
+}
 
-  msg::Message m;
-  m.type = msg::MsgType::kOpenBatchReq;
+template <typename FillFn>
+AcquireHandle Session::startAcquire(FillFn&& fill) {
+  auto self = shared_from_this();
+  std::shared_ptr<detail::AcquireState> state;
   std::shared_ptr<msg::Transport> t;
+  std::uint64_t id = 0;
   {
     std::lock_guard lock(mutex_);
+    state = takeStateLocked();
+    fill(*state);
+    const std::size_t n = state->files.size();
+    state->fileStatus.assign(n, Status::ok());
+    state->availableAtAck.assign(n, false);
+    state->fileWait.assign(n, static_cast<VDuration>(0));
     if (n == 0) {  // trivially complete; nothing to put on the wire
       state->ack = true;
       state->completed = true;
@@ -716,17 +793,23 @@ AcquireHandle Session::acquireAsync(std::vector<std::string> files) {
       state->fileStatus.assign(n, state->worst);
       return AcquireHandle(std::move(self), std::move(state));
     }
-    m.requestId = nextCallId();
-    m.files = state->files;
-    state->wireId = m.requestId;
+    id = nextCallId();
+    state->wireId = id;
     active_.push_back(state);
     AsyncOp op;
+    op.id = id;
     op.transport = t.get();
     op.state = state;
-    op.request = m;
-    asyncOps_.emplace(m.requestId, std::move(op));
+    asyncOps_.push_back(std::move(op));
   }
-  const Status sent = t->send(m);
+  // Serialize OUTSIDE the lock (an in-proc send delivers the ack inline
+  // on this thread). The scratch views reference state->files, which is
+  // immutable while the handle and the async op pin the state.
+  msg::MessageRef req;
+  req.type = msg::MsgType::kOpenBatchReq;
+  req.requestId = id;
+  req.files = scratchViewsOf(state->files);
+  const Status sent = t->send(req);
   if (!sent.isOk()) {
     Fired fired;
     {
@@ -734,8 +817,8 @@ AcquireHandle Session::acquireAsync(std::vector<std::string> files) {
       // A rebind can have retargeted + resent this op on a fresh link
       // while our send raced the old one being closed — then the resend
       // owns the op and this failure is stale, not terminal.
-      const auto it = asyncOps_.find(m.requestId);
-      if (it != asyncOps_.end() && it->second.transport == t.get()) {
+      const auto it = findAsyncOp(id);
+      if (it != asyncOps_.end() && it->transport == t.get()) {
         asyncOps_.erase(it);
         failStateLocked(state, sent, fired);
       }
@@ -745,6 +828,22 @@ AcquireHandle Session::acquireAsync(std::vector<std::string> files) {
   return AcquireHandle(std::move(self), std::move(state));
 }
 
+AcquireHandle Session::acquireAsync(std::vector<std::string> files) {
+  return startAcquire(
+      [&files](detail::AcquireState& state) { state.files = std::move(files); });
+}
+
+AcquireHandle Session::acquireAsync(std::span<const std::string> files) {
+  return startAcquire([files](detail::AcquireState& state) {
+    // Element-wise assign into the pooled vector: both the vector buffer
+    // and each string's capacity are reused on a warm state.
+    state.files.resize(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      state.files[i].assign(files[i]);
+    }
+  });
+}
+
 bool Session::awaitAckLocked(
     std::unique_lock<std::mutex>& lock,
     const std::shared_ptr<detail::AcquireState>& state, Fired& fired) {
@@ -752,7 +851,9 @@ bool Session::awaitAckLocked(
   if (cv_.wait_for(lock, kCallTimeout, acked)) return true;
   // The DV never answered the batch within the protocol deadline: fail
   // the op exactly like a synchronous call would.
-  asyncOps_.erase(state->wireId);
+  if (const auto it = findAsyncOp(state->wireId); it != asyncOps_.end()) {
+    asyncOps_.erase(it);
+  }
   failStateLocked(state, errTimedOut("dvlib: no reply from DV"), fired);
   return false;
 }
@@ -794,8 +895,8 @@ Status Session::handleWait(
 
 Status Session::handleCancel(
     const std::shared_ptr<detail::AcquireState>& state) {
-  std::vector<std::string> files;
   Fired fired;
+  bool hadFiles = false;
   {
     std::lock_guard lock(mutex_);
     if (state->cancelled) return Status::ok();  // idempotent
@@ -805,27 +906,30 @@ Status Session::handleCancel(
       state->pending.clear();
       completeLocked(state, fired);
     }
-    files = state->files;
+    hadFiles = !state->files.empty();
   }
   for (auto& [fn, s] : fired) fn(s);
-  if (files.empty()) return Status::ok();
+  if (!hadFiles) return Status::ok();
+  auto t = transportRef();
+  if (!t) return errUnavailable("dvlib: session not connected");
   // One wire op frees everything the batch registered: waiter entries
   // for steps still pending, references for steps already delivered.
   // Fire-and-forget like closeNotify (requestId 0 tells the daemon no
   // ack is wanted): an intercepted close must not pay a round trip, and
-  // per-connection FIFO guarantees the cancel lands after its batch.
-  msg::Message m;
+  // per-connection FIFO guarantees the release lands after its batch.
+  // The file list is served as views over the state's own storage —
+  // stable while the caller's handle pins the state — so the cancel is
+  // as allocation-free as the acquire it unwinds.
+  msg::MessageRef m;
   m.type = msg::MsgType::kCancelReq;
   m.context = context_;
-  m.files = std::move(files);
-  auto t = transportRef();
-  if (!t) return errUnavailable("dvlib: session not connected");
+  m.files = scratchViewsOf(state->files);
   return t->send(m);
 }
 
 Status Session::acquire(const std::vector<std::string>& files,
                         SimfsStatus* status) {
-  auto handle = acquireAsync(files);
+  auto handle = acquireAsync(std::span<const std::string>(files));
   const Status st = handle.wait(status);
   if (!st.isOk()) {
     // Partial-acquire unwind: files that resolved before the failure
@@ -847,7 +951,7 @@ Result<Session::OpenInfo> Session::open(const std::string& file) {
       return OpenInfo{true, 0};
     }
   }
-  auto handle = acquireAsync({file});
+  auto handle = acquireAsync(std::span<const std::string>(&file, 1));
   (void)handle.waitAck(nullptr);  // one round trip
   const auto p = handle.probe(0);
   if (!p.status.isOk()) return p.status;
@@ -860,28 +964,33 @@ Status Session::waitFile(const std::string& file) {
     const auto it = fileWaits_.find(file);
     return it != fileWaits_.end() && it->second.ready;
   });
-  return fileWaits_.at(file).status;
+  return fileWaits_.find(file)->second.status;
 }
 
 void Session::closeNotify(const std::string& file) {
-  msg::Message m;
+  const std::string_view one[1] = {file};
+  msg::MessageRef m;
   m.type = msg::MsgType::kCloseNotify;
   m.context = context_;  // self-describing for daemon-side diagnostics
-  m.files = {file};
+  m.files = one;
   if (auto t = transportRef()) (void)t->send(m);
   std::lock_guard lock(mutex_);
   fileWaits_.erase(file);  // a later reopen re-queries the DV
 }
 
 Status Session::release(const std::string& file) {
+  return release(std::span<const std::string>(&file, 1));
+}
+
+Status Session::release(std::span<const std::string> files) {
   msg::Message m;
   m.type = msg::MsgType::kReleaseReq;
-  m.files = {file};
+  m.files.assign(files.begin(), files.end());
   auto reply = call(std::move(m));
   if (!reply) return reply.status();
   {
     std::lock_guard lock(mutex_);
-    fileWaits_.erase(file);
+    for (const auto& f : files) fileWaits_.erase(f);
   }
   return statusFrom(*reply);
 }

@@ -63,6 +63,7 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -194,6 +195,12 @@ class Session : public std::enable_shared_from_this<Session> {
   /// errors complete the returned handle.
   [[nodiscard]] AcquireHandle acquireAsync(std::vector<std::string> files);
 
+  /// Zero-copy variant: copies `files` into a pooled acquire state
+  /// (reusing its string storage) and serializes the batch request
+  /// straight into the transport's send buffer — a warm steady-state
+  /// acquire/cancel cycle performs no heap allocation.
+  [[nodiscard]] AcquireHandle acquireAsync(std::span<const std::string> files);
+
   // --- blocking adapters over the core ---------------------------------------
 
   /// SIMFS_Acquire: one vectored round trip, then blocks until every
@@ -215,6 +222,11 @@ class Session : public std::enable_shared_from_this<Session> {
 
   /// SIMFS_Release.
   [[nodiscard]] Status release(const std::string& file);
+
+  /// Batched SIMFS_Release: every file travels in ONE kReleaseReq and
+  /// the daemon drops all references under a single shard-lock
+  /// acquisition (mirrors the vectored acquire).
+  [[nodiscard]] Status release(std::span<const std::string> files);
 
   /// SIMFS_Bitrep: compares the digest (computed over the locally read
   /// content) against the reference recorded at initial-simulation time.
@@ -240,12 +252,15 @@ class Session : public std::enable_shared_from_this<Session> {
   };
 
   /// An in-flight async request awaiting its ack, tagged with the
-  /// transport it went out on and carrying the original message so a
-  /// redirect-triggered rebind can resend it verbatim (same requestId).
+  /// transport it went out on. A redirect-triggered rebind rebuilds the
+  /// wire message from the state's file list and resends it under the
+  /// same requestId. Kept in a flat vector (in-flight counts are small):
+  /// lookup is a scan, erase is cheap, and steady-state traffic reuses
+  /// the vector's capacity instead of churning map nodes.
   struct AsyncOp {
+    std::uint64_t id = 0;  ///< requestId of the kOpenBatchReq
     const msg::Transport* transport = nullptr;
     std::shared_ptr<detail::AcquireState> state;
-    msg::Message request;
     int redirects = 0;
   };
 
@@ -254,7 +269,10 @@ class Session : public std::enable_shared_from_this<Session> {
                                       Status>>;
 
   void attach(const std::shared_ptr<msg::Transport>& t);
-  void onMessage(msg::Message&& m);
+  /// Receive-path dispatch over the transport's zero-copy view; owned
+  /// copies are materialized only for the cold paths (sync replies,
+  /// redirects, ring updates).
+  void onMessage(const msg::MessageView& m);
   /// Close callback: fails whatever can no longer resolve. A dead
   /// retired link only takes the ops still tagged to it; the live link
   /// going down fails everything outstanding.
@@ -274,8 +292,21 @@ class Session : public std::enable_shared_from_this<Session> {
   /// new link. Router sessions only.
   Status rebind(std::string targetNode);
 
-  /// Applies a kOpenBatchAck (or error reply) to its state. Lock held.
-  void applyBatchAckLocked(detail::AcquireState& state, const msg::Message& m);
+  /// Applies a kOpenBatchAck (or error reply) to its state, reading the
+  /// per-file outcome pairs in place from the view. Lock held.
+  void applyBatchAckLocked(detail::AcquireState& state,
+                           const msg::MessageView& m);
+
+  /// Pops a recyclable state off the pool (sole pool reference means no
+  /// live handle can touch it) or makes a fresh one. Lock held.
+  [[nodiscard]] std::shared_ptr<detail::AcquireState> takeStateLocked();
+
+  /// The acquire core shared by both acquireAsync overloads: `fill`
+  /// populates state->files (by move or by copy into reused storage).
+  template <typename FillFn>
+  [[nodiscard]] AcquireHandle startAcquire(FillFn&& fill);
+
+  [[nodiscard]] std::vector<AsyncOp>::iterator findAsyncOp(std::uint64_t id);
 
   /// Marks a state terminal, wakes waiters, collects continuations.
   void completeLocked(const std::shared_ptr<detail::AcquireState>& state,
@@ -325,10 +356,16 @@ class Session : public std::enable_shared_from_this<Session> {
   /// Sync calls awaiting a reply, tagged with the transport they went out
   /// on, so rebind() can fail the ones whose connection it closes.
   std::map<std::uint64_t, const msg::Transport*> inflight_;
-  std::map<std::uint64_t, AsyncOp> asyncOps_;  ///< async ops awaiting ack
-  std::map<std::string, FileWait> fileWaits_;
+  std::vector<AsyncOp> asyncOps_;  ///< async ops awaiting ack
+  /// Heterogeneous lookup (std::less<>): kFileReady retirements probe by
+  /// the view's string_view without materializing a key.
+  std::map<std::string, FileWait, std::less<>> fileWaits_;
   /// Acquire states not yet terminal (kFileReady fan-out targets).
   std::vector<std::shared_ptr<detail::AcquireState>> active_;
+  /// Recycled AcquireStates: an entry whose use_count() is 1 (pool-only)
+  /// has no live handle/op and can be reused, vectors and string
+  /// capacities intact — the steady-state acquire allocates nothing.
+  std::vector<std::shared_ptr<detail::AcquireState>> statePool_;
   bool finalized_ = false;
 
   /// Redirect recovery for async ops: rebinds must dial + block for a

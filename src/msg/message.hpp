@@ -8,8 +8,10 @@
 
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "msg/wire.hpp"
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,8 +30,10 @@ enum class MsgType : std::uint16_t {
   kCloseNotify,    ///< files[0]=name: close interception (deref), no reply
   kAcquireReq,     ///< files[]: SIMFS_Acquire(_nb)
   kAcquireAck,     ///< code=status, intArg=estimated wait (ns)
-  kReleaseReq,     ///< files[0]=name: SIMFS_Release
-  kReleaseAck,     ///< code=status
+  kReleaseReq,     ///< files[]: SIMFS_Release. Vectored like kOpenBatchReq:
+                   ///< the daemon drops every file's reference under ONE
+                   ///< shard-lock acquisition.
+  kReleaseAck,     ///< code=worst per-file status, intArg=#refs released
   kBitrepReq,      ///< files[0]=name: SIMFS_Bitrep
   kBitrepAck,      ///< code=status, intArg: 1 bitwise match, 0 mismatch
   kFileReady,      ///< DV->client: files[0]=name, code=status (also failures)
@@ -106,10 +110,149 @@ struct Message {
   friend bool operator==(const Message&, const Message&) = default;
 };
 
-/// Serializes a message (without any outer framing).
+/// Non-owning message for the zero-copy send path: the same fields as
+/// Message, but every string is a view and the lists are spans. Callers
+/// keep the referenced storage alive until the send call returns (the
+/// transport serializes into its own pooled buffer before queueing).
+/// The daemon builds replies as MessageRefs over per-shard arena memory.
+struct MessageRef {
+  MsgType type = MsgType::kError;
+  std::uint64_t requestId = 0;
+  std::string_view context;
+  std::span<const std::string_view> files;
+  std::span<const std::int64_t> ints;
+  std::int32_t code = 0;
+  std::int64_t intArg = 0;
+  std::int64_t intArg2 = 0;
+  std::uint16_t hops = 0;
+  std::string_view text;
+};
+
+/// Non-owning view over one encoded message, decoding IN PLACE from the
+/// transport's receive buffer: scalars are parsed eagerly (cheap), the
+/// context/text strings are string_views into the buffer, and files[] /
+/// ints[] decode lazily through forward iterators. parse() validates the
+/// whole buffer up front (hostile counts, truncation, trailing bytes —
+/// exactly the checks decode() applies), so iteration afterwards is
+/// unchecked and allocation-free.
+///
+/// Lifetime: a view (and everything it hands out) is valid only while the
+/// underlying buffer is; transports guarantee it for the duration of the
+/// receive callback and not a moment longer. Anything that outlives the
+/// callback must be copied out (toMessage(), or an arena copy).
+class MessageView {
+ public:
+  /// Validates `payload` (an encode()d message, no outer frame) and
+  /// builds the view. Failure modes and messages match decode().
+  [[nodiscard]] static Result<MessageView> parse(std::string_view payload);
+
+  [[nodiscard]] MsgType type() const noexcept { return type_; }
+  [[nodiscard]] std::uint64_t requestId() const noexcept { return requestId_; }
+  [[nodiscard]] std::int32_t code() const noexcept { return code_; }
+  [[nodiscard]] std::int64_t intArg() const noexcept { return intArg_; }
+  [[nodiscard]] std::int64_t intArg2() const noexcept { return intArg2_; }
+  [[nodiscard]] std::uint16_t hops() const noexcept { return hops_; }
+  [[nodiscard]] std::string_view context() const noexcept { return context_; }
+  [[nodiscard]] std::string_view text() const noexcept { return text_; }
+
+  [[nodiscard]] std::size_t fileCount() const noexcept { return nFiles_; }
+  [[nodiscard]] std::size_t intCount() const noexcept { return nInts_; }
+
+  /// Forward iterator over files[], decoding each length-prefixed entry
+  /// in place.
+  class FileIterator {
+   public:
+    FileIterator() = default;
+    FileIterator(const char* at, std::size_t remaining)
+        : at_(at), remaining_(remaining) {}
+    [[nodiscard]] std::string_view operator*() const;
+    FileIterator& operator++();
+    [[nodiscard]] bool operator==(const FileIterator& o) const noexcept {
+      return remaining_ == o.remaining_;
+    }
+
+   private:
+    const char* at_ = nullptr;
+    std::size_t remaining_ = 0;  ///< entries left including *this
+  };
+
+  /// Forward iterator over ints[]; entries are byte-decoded, so the
+  /// region needs no alignment.
+  class IntIterator {
+   public:
+    IntIterator() = default;
+    IntIterator(const char* at, std::size_t remaining)
+        : at_(at), remaining_(remaining) {}
+    [[nodiscard]] std::int64_t operator*() const;
+    IntIterator& operator++() {
+      at_ += 8;
+      --remaining_;
+      return *this;
+    }
+    [[nodiscard]] bool operator==(const IntIterator& o) const noexcept {
+      return remaining_ == o.remaining_;
+    }
+
+   private:
+    const char* at_ = nullptr;
+    std::size_t remaining_ = 0;
+  };
+
+  [[nodiscard]] FileIterator filesBegin() const noexcept {
+    return {filesRegion_.data(), nFiles_};
+  }
+  [[nodiscard]] FileIterator filesEnd() const noexcept { return {nullptr, 0}; }
+  [[nodiscard]] IntIterator intsBegin() const noexcept {
+    return {intsRegion_.data(), nInts_};
+  }
+  [[nodiscard]] IntIterator intsEnd() const noexcept { return {nullptr, 0}; }
+
+  /// First file, or empty when the list is (most handlers only need
+  /// files[0]).
+  [[nodiscard]] std::string_view file0() const noexcept {
+    return nFiles_ == 0 ? std::string_view() : *filesBegin();
+  }
+
+  /// Materializes an owned Message (the legacy decode() result).
+  [[nodiscard]] Message toMessage() const;
+
+ private:
+  MsgType type_ = MsgType::kError;
+  std::uint64_t requestId_ = 0;
+  std::int32_t code_ = 0;
+  std::int64_t intArg_ = 0;
+  std::int64_t intArg2_ = 0;
+  std::uint16_t hops_ = 0;
+  std::string_view context_;
+  std::string_view text_;
+  std::string_view filesRegion_;  ///< the validated files[] byte region
+  std::string_view intsRegion_;   ///< the validated ints[] byte region
+  std::size_t nFiles_ = 0;
+  std::size_t nInts_ = 0;
+};
+
+/// Serializes `m` as ONE COMPLETE FRAME (u32 length prefix + payload)
+/// directly into `out`: beginFrame / payload bytes / endFrame, no
+/// intermediate string and no re-copy. out.payload() is byte-identical
+/// to encode(m) — pinned by the golden-bytes test.
+void encodeInto(const Message& m, WireBuffer& out);
+void encodeInto(const MessageRef& m, WireBuffer& out);
+
+/// Materializes an owned Message from a send ref (legacy-transport
+/// interop; the zero-copy paths never call this).
+[[nodiscard]] Message materialize(const MessageRef& m);
+
+/// Deep-copies a view into `arena` and returns a MessageRef over the
+/// stable arena storage — how a request outlives the receive buffer
+/// without touching the heap (the daemon's queued shard requests).
+[[nodiscard]] MessageRef copyToArena(const MessageView& v, Arena& arena);
+
+/// Serializes a message (without any outer framing). Thin wrapper over
+/// encodeInto, kept for tests and cold paths.
 [[nodiscard]] std::string encode(const Message& m);
 
-/// Parses an encode()d buffer.
+/// Parses an encode()d buffer into an owned Message. Thin wrapper over
+/// MessageView::parse + toMessage, kept for tests and cold paths.
 [[nodiscard]] Result<Message> decode(std::string_view data);
 
 /// Frames a payload with a u32 length prefix for stream transports.

@@ -16,7 +16,6 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
-#include <deque>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -38,44 +37,102 @@ constexpr std::size_t kMaxOutboxBytes = 128u << 20;
 /// peer before the remainder is dropped and the socket shut down hard.
 constexpr auto kCloseGrace = std::chrono::seconds(5);
 
-/// Delivers `m` to the handler, or parks it in the backlog when no handler
-/// is installed yet (or a setHandler replay is in flight — keeps order).
-/// Shared by both transport implementations.
-template <typename Lockable, typename HandlerSlot, typename Backlog>
-void deliverOrBuffer(Lockable& mutex, HandlerSlot& handler, bool& draining,
-                     Backlog& backlog, Message&& m) {
-  Transport::Handler h;
-  {
-    std::lock_guard lock(mutex);
-    if (!handler || draining) {
-      backlog.push_back(std::move(m));
-      return;
-    }
-    h = handler;
-  }
-  h(std::move(m));
+// ------------------------------------------------------------------ scratch
+
+/// Per-thread stack of scratch WireBuffers for view deliveries that start
+/// from an owned Message (in-proc sends, backlog replay, legacy-handler
+/// adaptation). A STACK, not a single buffer: a handler that replies
+/// inline over another in-proc transport nests a second delivery while
+/// the outer view still references the outer scratch buffer.
+std::vector<WireBuffer>& scratchStack() {
+  thread_local std::vector<WireBuffer> stack;
+  return stack;
 }
 
-/// setHandler body shared by both implementations: installs the handler
-/// and replays the backlog in order on the calling thread. `draining`
-/// makes concurrent sends append behind the replay instead of overtaking.
-template <typename Lockable, typename HandlerSlot, typename Backlog>
-void installAndReplay(Lockable& mutex, HandlerSlot& handler, bool& draining,
-                      Backlog& backlog, Transport::Handler h) {
+WireBuffer acquireScratch() {
+  auto& stack = scratchStack();
+  if (stack.empty()) return WireBuffer();
+  WireBuffer b = std::move(stack.back());
+  stack.pop_back();
+  return b;
+}
+
+void releaseScratch(WireBuffer&& b) {
+  auto& stack = scratchStack();
+  if (stack.size() >= 8) return;
+  b.shrink(64 * 1024);
+  stack.push_back(std::move(b));
+}
+
+/// Encodes `m` (Message or MessageRef) into a scratch buffer and hands
+/// the parsed view to `handler` — the adapter between owned messages and
+/// the zero-copy receive contract.
+template <typename M>
+void deliverAsView(const Transport::ViewHandler& handler, const M& m) {
+  WireBuffer scratch = acquireScratch();
+  encodeInto(m, scratch);
+  auto view = MessageView::parse(scratch.payload());
+  SIMFS_CHECK(view.isOk());  // our own encoder output always parses
+  handler(*view);
+  releaseScratch(std::move(scratch));
+}
+
+// ------------------------------------------------------------ handler slots
+
+/// The receive-side handler state shared by both transports: at most one
+/// of the two handler kinds installed (latest wins), plus the pre-handler
+/// backlog. Handlers live behind shared_ptr so delivery copies a pointer
+/// under the lock instead of a std::function (whose captures would
+/// otherwise reallocate on every message).
+struct HandlerSlot {
+  std::shared_ptr<Transport::Handler> onMessage;
+  std::shared_ptr<Transport::ViewHandler> onView;
+  bool draining = false;  ///< a setHandler replay is in flight
+  std::vector<Message> backlog;
+
+  [[nodiscard]] bool any() const noexcept {
+    return onMessage != nullptr || onView != nullptr;
+  }
+};
+
+/// setHandler/setViewHandler body shared by both implementations:
+/// installs the handler (exactly one of `h`/`vh`) and replays the backlog
+/// in order on the calling thread. `draining` makes concurrent sends
+/// append behind the replay instead of overtaking.
+template <typename Lockable>
+void installAndReplay(Lockable& mutex, HandlerSlot& slot, Transport::Handler h,
+                      Transport::ViewHandler vh) {
   std::unique_lock lock(mutex);
-  handler = std::move(h);
-  if (backlog.empty()) return;
-  draining = true;
-  while (!backlog.empty()) {
-    std::vector<Message> batch(std::make_move_iterator(backlog.begin()),
-                               std::make_move_iterator(backlog.end()));
-    backlog.clear();
-    const Transport::Handler local = handler;
+  if (h) {
+    slot.onMessage = std::make_shared<Transport::Handler>(std::move(h));
+    slot.onView.reset();
+  } else if (vh) {
+    slot.onView = std::make_shared<Transport::ViewHandler>(std::move(vh));
+    slot.onMessage.reset();
+  } else {
+    slot.onMessage.reset();
+    slot.onView.reset();
+    return;
+  }
+  if (slot.backlog.empty()) return;
+  slot.draining = true;
+  while (!slot.backlog.empty()) {
+    std::vector<Message> batch(std::make_move_iterator(slot.backlog.begin()),
+                               std::make_move_iterator(slot.backlog.end()));
+    slot.backlog.clear();
+    const auto msgHandler = slot.onMessage;
+    const auto viewHandler = slot.onView;
     lock.unlock();
-    for (auto& m : batch) local(std::move(m));
+    for (auto& m : batch) {
+      if (viewHandler) {
+        deliverAsView(*viewHandler, m);
+      } else {
+        (*msgHandler)(std::move(m));
+      }
+    }
     lock.lock();
   }
-  draining = false;
+  slot.draining = false;
 }
 
 // ------------------------------------------------------------------- InProc
@@ -83,11 +140,9 @@ void installAndReplay(Lockable& mutex, HandlerSlot& handler, bool& draining,
 /// Shared state of one in-process pair; endpoints index it as side 0/1.
 struct InProcShared {
   std::mutex mutex[2];
-  Transport::Handler handler[2];
-  bool draining[2] = {false, false};
-  int inFlight[2] = {0, 0};  ///< deliveries currently inside handler[i]
+  HandlerSlot slot[2];
+  int inFlight[2] = {0, 0};  ///< deliveries currently inside a handler
   std::condition_variable idleCv[2];
-  std::vector<Message> backlog[2];
   std::function<void()> closeHandler[2];
   bool closePending[2] = {false, false};  ///< peer died before handler set
   std::atomic<bool> open{true};
@@ -104,42 +159,23 @@ class InProcEndpoint final : public Transport {
     // wait out deliveries already inside it, so the objects the handler
     // captures may be destroyed the moment this destructor returns.
     std::unique_lock lock(shared_->mutex[side_]);
-    shared_->handler[side_] = nullptr;
+    shared_->slot[side_].onMessage.reset();
+    shared_->slot[side_].onView.reset();
     shared_->closeHandler[side_] = nullptr;
     shared_->idleCv[side_].wait(lock,
                                 [&] { return shared_->inFlight[side_] == 0; });
   }
 
-  Status send(const Message& m) override {
-    if (!shared_->open.load()) return errUnavailable("inproc: closed");
-    const int peer = 1 - side_;
-    Message copy = m;
-    // Synchronous delivery on the sender's thread; pre-handler messages
-    // are buffered and replayed by the peer's setHandler. The in-flight
-    // count lets the peer's destructor wait for this call to leave its
-    // handler.
-    Handler h;
-    {
-      std::lock_guard lock(shared_->mutex[peer]);
-      if (!shared_->handler[peer] || shared_->draining[peer]) {
-        shared_->backlog[peer].push_back(std::move(copy));
-        return Status::ok();
-      }
-      h = shared_->handler[peer];
-      ++shared_->inFlight[peer];
-    }
-    h(std::move(copy));
-    {
-      std::lock_guard lock(shared_->mutex[peer]);
-      --shared_->inFlight[peer];
-    }
-    shared_->idleCv[peer].notify_all();
-    return Status::ok();
-  }
+  Status send(const Message& m) override { return deliver(m); }
+  Status send(const MessageRef& m) override { return deliver(m); }
 
   void setHandler(Handler handler) override {
-    installAndReplay(shared_->mutex[side_], shared_->handler[side_],
-                     shared_->draining[side_], shared_->backlog[side_],
+    installAndReplay(shared_->mutex[side_], shared_->slot[side_],
+                     std::move(handler), nullptr);
+  }
+
+  void setViewHandler(ViewHandler handler) override {
+    installAndReplay(shared_->mutex[side_], shared_->slot[side_], nullptr,
                      std::move(handler));
   }
 
@@ -189,6 +225,45 @@ class InProcEndpoint final : public Transport {
   bool isOpen() const override { return shared_->open.load(); }
 
  private:
+  static Message owned(const Message& m) { return m; }
+  static Message owned(const MessageRef& m) { return materialize(m); }
+
+  /// Synchronous delivery on the sender's thread; pre-handler messages
+  /// are buffered and replayed by the peer's setHandler. The in-flight
+  /// count lets the peer's destructor wait for this call to leave its
+  /// handler. A view-handling peer receives the message in place over a
+  /// scratch encode — no owned Message is ever built for it.
+  template <typename M>
+  Status deliver(const M& m) {
+    if (!shared_->open.load()) return errUnavailable("inproc: closed");
+    const int peer = 1 - side_;
+    std::shared_ptr<Handler> h;
+    std::shared_ptr<ViewHandler> vh;
+    {
+      std::lock_guard lock(shared_->mutex[peer]);
+      auto& slot = shared_->slot[peer];
+      if (!slot.any() || slot.draining) {
+        slot.backlog.push_back(owned(m));
+        return Status::ok();
+      }
+      vh = slot.onView;
+      h = slot.onMessage;
+      ++shared_->inFlight[peer];
+    }
+    if (vh) {
+      deliverAsView(*vh, m);
+    } else {
+      Message copy = owned(m);
+      (*h)(std::move(copy));
+    }
+    {
+      std::lock_guard lock(shared_->mutex[peer]);
+      --shared_->inFlight[peer];
+    }
+    shared_->idleCv[peer].notify_all();
+    return Status::ok();
+  }
+
   std::shared_ptr<InProcShared> shared_;
   int side_;
 };
@@ -201,23 +276,29 @@ struct Conn {
   int fd = -1;
   std::size_t loop = 0;
 
+  /// Send-buffer pool: senders acquire, the loop releases after writev.
+  /// Thread-safe on its own; not guarded by `mutex`.
+  BufferPool pool;
+
   std::mutex mutex;
   // --- guarded by mutex -----------------------------------------------------
-  std::deque<std::string> outbox;  ///< framed messages awaiting writev
-  std::size_t outHead = 0;         ///< bytes of outbox.front() already sent
+  std::vector<WireBuffer> outbox;  ///< framed messages awaiting writev
   std::size_t outBytes = 0;        ///< queued + in-flight outbound bytes
   bool writeArmed = false;         ///< a flush is scheduled / EPOLLOUT armed
   bool closing = false;            ///< close() called: flush, then shutdown
   bool shutdownSent = false;
-  Transport::Handler handler;
-  bool draining = false;
-  std::vector<Message> backlog;    ///< messages received before setHandler
+  HandlerSlot slot;
   std::function<void()> closeHandler;
   bool closeNotified = false;
   bool closePending = false;       ///< peer died before handler was set
   bool removed = false;            ///< fully deregistered from the reactor
   std::condition_variable removedCv;
   // --- loop-thread only -----------------------------------------------------
+  /// Buffers stolen from the outbox, being written. The consumed prefix
+  /// [0, inflightPos) is released to the pool when the batch drains.
+  std::vector<WireBuffer> inflight;
+  std::size_t inflightPos = 0;   ///< first unwritten buffer
+  std::size_t inflightHead = 0;  ///< bytes of inflight[inflightPos] sent
   std::string readBuf;
   std::size_t readHead = 0;
   bool wantWrite = false;          ///< EPOLLOUT currently in the interest set
@@ -229,11 +310,14 @@ struct Conn {
 };
 
 /// Epoll reactor: one (or SIMFS_REACTOR_THREADS) event-loop thread(s) own
-/// every socket endpoint of the process. Inbound frames are decoded and
-/// dispatched on the loop thread; outbound frames queue per connection and
-/// flush as one writev per loop pass (send batching). All epoll_ctl and
-/// connection-table mutation happens on the owning loop thread, driven by
-/// a command queue + eventfd wakeup.
+/// every socket endpoint of the process. Inbound frames are decoded IN
+/// PLACE over the receive buffer and dispatched as MessageViews on the
+/// loop thread; outbound frames are pooled WireBuffers queued per
+/// connection and flushed as one writev per loop pass (send batching).
+/// All epoll_ctl and connection-table mutation happens on the owning loop
+/// thread, driven by a command queue + eventfd wakeup. Commands are plain
+/// structs (kind + connection), not std::functions, so posting one never
+/// allocates.
 class Reactor {
  public:
   explicit Reactor(std::size_t nLoops) {
@@ -266,12 +350,12 @@ class Reactor {
     // Single-threaded from here: run stranded commands (e.g. a removal
     // handshake posted during shutdown), then drop whatever is left.
     for (auto& loop : loops_) {
-      std::vector<std::function<void()>> cmds;
+      std::vector<Cmd> cmds;
       {
         std::lock_guard lock(loop->cmdMutex);
         cmds.swap(loop->commands);
       }
-      for (auto& c : cmds) c();
+      for (auto& c : cmds) execute(*loop, c);
       for (auto& [fd, conn] : loop->conns) {
         ::close(fd);
         conn->registered = false;
@@ -305,53 +389,21 @@ class Reactor {
     auto conn = std::make_shared<Conn>();
     conn->fd = fd;
     conn->loop = nextLoop_.fetch_add(1) % loops_.size();
-    post(conn->loop, [this, conn] {
-      Loop& loop = *loops_[conn->loop];
-      epoll_event ev{};
-      ev.events = EPOLLIN;
-      ev.data.fd = conn->fd;
-      if (::epoll_ctl(loop.epollFd, EPOLL_CTL_ADD, conn->fd, &ev) == 0) {
-        loop.conns.emplace(conn->fd, conn);
-        conn->registered = true;
-      } else {
-        SIMFS_LOG_ERROR("msg", "reactor: cannot register fd %d", conn->fd);
-        ::close(conn->fd);
-        // Same owner-notification duties as disconnect(): without them
-        // the transport's close handler never fires and e.g. a daemon
-        // session would never be reaped.
-        std::function<void()> onClose;
-        {
-          std::lock_guard lock(conn->mutex);
-          conn->open.store(false);
-          if (conn->closeHandler) {
-            conn->closeNotified = true;
-            onClose = conn->closeHandler;
-          } else {
-            conn->closePending = true;
-          }
-          conn->removedCv.notify_all();
-        }
-        if (onClose) onClose();
-      }
-    });
+    post({Cmd::Kind::kRegister, conn});
     return conn;
   }
 
   /// Asks the owning loop to flush `conn`'s outbox (and, once drained,
   /// perform the deferred shutdown of a closing connection).
   void scheduleFlush(const std::shared_ptr<Conn>& conn) {
-    post(conn->loop, [this, conn] {
-      if (conn->registered) flushWrites(*loops_[conn->loop], conn);
-    });
+    post({Cmd::Kind::kFlush, conn});
   }
 
   /// Runs the peer-disconnect teardown (epoll removal, fd close, close
   /// callback) on the owning loop — used when a slow consumer overflows
   /// its send queue and has to be dropped from a sender thread.
   void scheduleDisconnect(const std::shared_ptr<Conn>& conn) {
-    post(conn->loop, [this, conn] {
-      if (conn->registered) disconnect(*loops_[conn->loop], conn);
-    });
+    post({Cmd::Kind::kDisconnect, conn});
   }
 
   /// Deregisters `conn` and blocks until no loop thread can touch it
@@ -370,40 +422,48 @@ class Reactor {
       std::unique_lock lock(conn->mutex);
       conn->removedCv.wait_for(lock, kCloseGrace, [&] {
         // outBytes (not outbox.empty()): flushWrites steals the outbox
-        // into a local deque mid-write, and only outBytes keeps counting
-        // those in-flight frames. closeNotified/closePending: the peer is
-        // gone (possibly before a close handler existed) — nothing will
-        // ever drain the queue.
+        // into its in-flight batch, and only outBytes keeps counting
+        // those frames. closeNotified/closePending: the peer is gone
+        // (possibly before a close handler existed) — nothing will ever
+        // drain the queue.
         return conn->outBytes == 0 || conn->removed || conn->shutdownSent ||
                conn->closeNotified || conn->closePending;
       });
     }
-    post(conn->loop, [this, &loop, conn] { deregister(loop, conn); });
+    post({Cmd::Kind::kDeregister, conn});
     std::unique_lock lock(conn->mutex);
     conn->removedCv.wait(lock, [&] { return conn->removed; });
   }
 
  private:
+  /// Loop-thread work item. A plain struct (no type-erased callable):
+  /// posting one is a vector push under the command mutex, nothing more.
+  struct Cmd {
+    enum class Kind { kRegister, kFlush, kDisconnect, kDeregister };
+    Kind kind = Kind::kFlush;
+    std::shared_ptr<Conn> conn;
+  };
+
   struct Loop {
     int epollFd = -1;
     int wakeFd = -1;
     std::thread thread;
     std::thread::id threadId;
     std::mutex cmdMutex;
-    std::vector<std::function<void()>> commands;
+    std::vector<Cmd> commands;
     std::unordered_map<int, std::shared_ptr<Conn>> conns;
     /// Closed connections still draining their tail (grace-bounded).
     std::unordered_set<std::shared_ptr<Conn>> closingConns;
     std::atomic<bool> stop{false};
   };
 
-  void post(std::size_t loopIdx, std::function<void()> fn) {
-    Loop& loop = *loops_[loopIdx];
+  void post(Cmd cmd) {
+    Loop& loop = *loops_[cmd.conn->loop];
     bool needWake = false;
     {
       std::lock_guard lock(loop.cmdMutex);
       needWake = loop.commands.empty();
-      loop.commands.push_back(std::move(fn));
+      loop.commands.push_back(std::move(cmd));
     }
     if (needWake) wake(loop);
   }
@@ -413,17 +473,63 @@ class Reactor {
     (void)!::write(loop.wakeFd, &one, sizeof(one));
   }
 
+  void execute(Loop& loop, Cmd& cmd) {
+    switch (cmd.kind) {
+      case Cmd::Kind::kRegister:
+        doRegister(loop, cmd.conn);
+        return;
+      case Cmd::Kind::kFlush:
+        if (cmd.conn->registered) flushWrites(loop, cmd.conn);
+        return;
+      case Cmd::Kind::kDisconnect:
+        if (cmd.conn->registered) disconnect(loop, cmd.conn);
+        return;
+      case Cmd::Kind::kDeregister:
+        deregister(loop, cmd.conn);
+        return;
+    }
+  }
+
+  void doRegister(Loop& loop, const std::shared_ptr<Conn>& conn) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = conn->fd;
+    if (::epoll_ctl(loop.epollFd, EPOLL_CTL_ADD, conn->fd, &ev) == 0) {
+      loop.conns.emplace(conn->fd, conn);
+      conn->registered = true;
+      return;
+    }
+    SIMFS_LOG_ERROR("msg", "reactor: cannot register fd %d", conn->fd);
+    ::close(conn->fd);
+    // Same owner-notification duties as disconnect(): without them the
+    // transport's close handler never fires and e.g. a daemon session
+    // would never be reaped.
+    std::function<void()> onClose;
+    {
+      std::lock_guard lock(conn->mutex);
+      conn->open.store(false);
+      if (conn->closeHandler) {
+        conn->closeNotified = true;
+        onClose = conn->closeHandler;
+      } else {
+        conn->closePending = true;
+      }
+      conn->removedCv.notify_all();
+    }
+    if (onClose) onClose();
+  }
+
   void run(Loop& loop) {
     loop.threadId = std::this_thread::get_id();
     std::vector<epoll_event> events(64);
-    std::vector<std::function<void()>> cmds;
+    std::vector<Cmd> cmds;
     for (;;) {
       cmds.clear();
       {
         std::lock_guard lock(loop.cmdMutex);
         cmds.swap(loop.commands);
       }
-      for (auto& c : cmds) c();
+      for (auto& c : cmds) execute(loop, c);
       if (loop.stop.load()) return;
       // Block indefinitely unless a closed connection is still draining;
       // then wake periodically to enforce its grace deadline.
@@ -461,6 +567,30 @@ class Reactor {
     }
   }
 
+  /// Hands one decoded frame to the connection's handler: the view stays
+  /// in place over the receive buffer for a view handler; a legacy
+  /// handler (or the pre-handler backlog) gets an owned materialization.
+  static void deliverFrame(const std::shared_ptr<Conn>& conn,
+                           const MessageView& view) {
+    std::shared_ptr<Transport::Handler> h;
+    std::shared_ptr<Transport::ViewHandler> vh;
+    {
+      std::lock_guard lock(conn->mutex);
+      auto& slot = conn->slot;
+      if (!slot.any() || slot.draining) {
+        slot.backlog.push_back(view.toMessage());
+        return;
+      }
+      vh = slot.onView;
+      h = slot.onMessage;
+    }
+    if (vh) {
+      (*vh)(view);
+    } else {
+      (*h)(view.toMessage());
+    }
+  }
+
   void handleReadable(Loop& loop, const std::shared_ptr<Conn>& conn) {
     char buf[64 * 1024];
     bool dead = false;
@@ -482,7 +612,9 @@ class Reactor {
       dead = true;
       break;
     }
-    // Decode every complete frame accumulated so far.
+    // Decode every complete frame accumulated so far, in place: the view
+    // handed to the handler references this buffer and dies with the
+    // callback.
     std::string& rb = conn->readBuf;
     std::size_t& head = conn->readHead;
     while (rb.size() - head >= 4) {
@@ -494,22 +626,30 @@ class Reactor {
         break;
       }
       if (rb.size() - head < 4 + static_cast<std::size_t>(len)) break;
-      auto m = decode(std::string_view(rb).substr(head + 4, len));
+      auto view = MessageView::parse(std::string_view(rb).substr(head + 4, len));
       head += 4 + static_cast<std::size_t>(len);
-      if (!m) {
+      if (!view) {
         SIMFS_LOG_ERROR("msg", "socket: undecodable frame: %s",
-                        m.status().toString().c_str());
+                        view.status().toString().c_str());
         dead = true;
         break;
       }
-      deliverOrBuffer(conn->mutex, conn->handler, conn->draining,
-                      conn->backlog, std::move(*m));
+      deliverFrame(conn, *view);
     }
     if (head > 0) {
       rb.erase(0, head);  // compact once per event, not once per frame
       head = 0;
     }
     if (dead) disconnect(loop, conn);
+  }
+
+  /// Releases the consumed in-flight prefix back to the pool and resets
+  /// the cursors. Loop thread only.
+  static void recycleInflight(Conn& conn) {
+    for (auto& b : conn.inflight) conn.pool.release(std::move(b));
+    conn.inflight.clear();
+    conn.inflightPos = 0;
+    conn.inflightHead = 0;
   }
 
   void flushWrites(Loop& loop, const std::shared_ptr<Conn>& conn) {
@@ -519,26 +659,27 @@ class Reactor {
     bool wantWrite = false;
     bool doShutdown = false;
     std::size_t poppedBytes = 0;
-    std::deque<std::string> local;
-    std::size_t head = 0;
-    for (int pass = 0; pass < kMaxPasses; ++pass) {
-      // Steal the outbox so the writev() syscalls below run without the
-      // connection mutex — senders stay non-blocking during kernel I/O.
-      {
+    for (int pass = 0; pass < kMaxPasses && !fail && !wantWrite; ++pass) {
+      if (conn->inflightPos == conn->inflight.size()) {
+        // Batch drained: recycle its buffers, then steal the outbox. The
+        // swap hands the senders back an empty vector whose capacity they
+        // reuse — steady-state queueing allocates nothing.
+        recycleInflight(*conn);
         std::lock_guard lock(conn->mutex);
-        local.swap(conn->outbox);
-        head = conn->outHead;
-        conn->outHead = 0;
+        if (conn->outbox.empty()) break;
+        conn->inflight.swap(conn->outbox);
       }
-      if (local.empty()) break;
-      while (!local.empty()) {
+      // writev() runs without the connection mutex — senders stay
+      // non-blocking during kernel I/O (the in-flight batch is loop-owned).
+      while (conn->inflightPos < conn->inflight.size()) {
         iovec iov[kMaxIov];
         int cnt = 0;
-        std::size_t skip = head;
-        for (auto it = local.begin(); it != local.end() && cnt < kMaxIov;
-             ++it) {
-          iov[cnt].iov_base = const_cast<char*>(it->data() + skip);
-          iov[cnt].iov_len = it->size() - skip;
+        std::size_t skip = conn->inflightHead;
+        for (std::size_t i = conn->inflightPos;
+             i < conn->inflight.size() && cnt < kMaxIov; ++i) {
+          iov[cnt].iov_base =
+              const_cast<char*>(conn->inflight[i].data() + skip);
+          iov[cnt].iov_len = conn->inflight[i].size() - skip;
           skip = 0;
           ++cnt;
         }
@@ -546,49 +687,38 @@ class Reactor {
         if (w < 0) {
           if (errno == EINTR) continue;
           if (errno == EAGAIN || errno == EWOULDBLOCK) {
-            wantWrite = true;
+            wantWrite = true;  // socket full: wait for EPOLLOUT
             break;
           }
           fail = true;
           break;
         }
         std::size_t n = static_cast<std::size_t>(w);
-        while (n > 0 && !local.empty()) {
-          const std::size_t remain = local.front().size() - head;
+        while (n > 0) {
+          WireBuffer& front = conn->inflight[conn->inflightPos];
+          const std::size_t remain = front.size() - conn->inflightHead;
           if (n >= remain) {
             n -= remain;
-            poppedBytes += local.front().size();
-            local.pop_front();
-            head = 0;
+            poppedBytes += front.size();
+            ++conn->inflightPos;
+            conn->inflightHead = 0;
           } else {
-            head += n;
+            conn->inflightHead += n;
             n = 0;
           }
         }
       }
-      if (fail) break;
-      if (!local.empty()) {
-        // Partial write: splice the tail back in FRONT of whatever new
-        // sends queued meanwhile, preserving frame order.
-        std::lock_guard lock(conn->mutex);
-        for (auto it = local.rbegin(); it != local.rend(); ++it) {
-          conn->outbox.push_front(std::move(*it));
-        }
-        conn->outHead = head;
-        local.clear();
-        break;  // socket is full (EAGAIN): wait for EPOLLOUT
-      }
-      // Drained everything we stole; loop in case senders refilled.
     }
     if (fail) {
       disconnect(loop, conn);
       return;
     }
+    const bool inflightDrained = conn->inflightPos == conn->inflight.size();
     bool trackClosing = false;
     {
       std::lock_guard lock(conn->mutex);
-      conn->outBytes -= poppedBytes;
-      if (conn->outbox.empty()) {
+      conn->outBytes -= std::min(conn->outBytes, poppedBytes);
+      if (inflightDrained && conn->outbox.empty()) {
         conn->writeArmed = false;
         if (conn->closing && !conn->shutdownSent) {
           conn->shutdownSent = true;
@@ -630,16 +760,18 @@ class Reactor {
     const auto now = std::chrono::steady_clock::now();
     for (auto it = loop.closingConns.begin(); it != loop.closingConns.end();) {
       const std::shared_ptr<Conn>& conn = *it;
+      const bool inflightDrained =
+          conn->inflightPos == conn->inflight.size();  // loop-owned state
       bool expired = false;
       {
         std::lock_guard lock(conn->mutex);
-        if (conn->outbox.empty() || conn->shutdownSent || !conn->registered) {
+        if ((conn->outbox.empty() && inflightDrained) || conn->shutdownSent ||
+            !conn->registered) {
           it = loop.closingConns.erase(it);
           continue;
         }
         if (now >= conn->closeDeadline) {
           conn->outbox.clear();
-          conn->outHead = 0;
           conn->outBytes = 0;
           conn->writeArmed = false;
           conn->shutdownSent = true;
@@ -647,6 +779,7 @@ class Reactor {
         }
       }
       if (expired) {
+        recycleInflight(*conn);
         conn->removedCv.notify_all();
         ::shutdown(conn->fd, SHUT_RDWR);
         it = loop.closingConns.erase(it);
@@ -687,6 +820,7 @@ class Reactor {
       ::close(conn->fd);
       conn->registered = false;
     }
+    recycleInflight(*conn);
     loop.closingConns.erase(conn);
     conn->removedCv.notify_all();
     if (onClose) onClose();
@@ -701,10 +835,12 @@ class Reactor {
       ::close(conn->fd);
       conn->registered = false;
     }
+    recycleInflight(*conn);
     loop.closingConns.erase(conn);
     std::lock_guard lock(conn->mutex);
     conn->open.store(false);
-    conn->handler = nullptr;
+    conn->slot.onMessage.reset();
+    conn->slot.onView.reset();
     conn->closeHandler = nullptr;
     conn->removed = true;
     conn->removedCv.notify_all();
@@ -724,47 +860,15 @@ class ReactorTransport final : public Transport {
     reactor_.remove(conn_);
   }
 
-  Status send(const Message& m) override {
-    // Cheap sticky-state pre-check before paying for serialization; the
-    // locked check below remains authoritative.
-    if (!conn_->open.load()) return errUnavailable("socket: closed");
-    std::string framed = frame(encode(m));
-    bool schedule = false;
-    bool overflow = false;
-    {
-      std::lock_guard lock(conn_->mutex);
-      if (!conn_->open.load() || conn_->closing) {
-        return errUnavailable("socket: closed");
-      }
-      if (conn_->outBytes + framed.size() > kMaxOutboxBytes) {
-        // Backpressure: the peer stopped draining. A shared event loop
-        // must not block the sender, so the connection is dropped — the
-        // close callback lets the owner reclaim the session.
-        conn_->open.store(false);
-        overflow = true;
-      } else {
-        conn_->outBytes += framed.size();
-        conn_->outbox.push_back(std::move(framed));
-        if (!conn_->writeArmed) {
-          conn_->writeArmed = true;
-          schedule = true;
-        }
-      }
-    }
-    if (overflow) {
-      SIMFS_LOG_WARN("msg", "socket: send queue overflow, dropping peer");
-      reactor_.scheduleDisconnect(conn_);
-      return errUnavailable("socket: send queue overflow");
-    }
-    // One wakeup covers every send queued until the loop drains the
-    // outbox (writev batching); only the first sender pays the post.
-    if (schedule) reactor_.scheduleFlush(conn_);
-    return Status::ok();
-  }
+  Status send(const Message& m) override { return sendEncoded(m); }
+  Status send(const MessageRef& m) override { return sendEncoded(m); }
 
   void setHandler(Handler handler) override {
-    installAndReplay(conn_->mutex, conn_->handler, conn_->draining,
-                     conn_->backlog, std::move(handler));
+    installAndReplay(conn_->mutex, conn_->slot, std::move(handler), nullptr);
+  }
+
+  void setViewHandler(ViewHandler handler) override {
+    installAndReplay(conn_->mutex, conn_->slot, nullptr, std::move(handler));
   }
 
   void setCloseHandler(std::function<void()> handler) override {
@@ -803,11 +907,66 @@ class ReactorTransport final : public Transport {
   bool isOpen() const override { return conn_->open.load(); }
 
  private:
+  /// The one send path: serialize into a pooled buffer (frame header
+  /// reserved up front, back-patched — no re-copy), queue it, wake the
+  /// loop. Steady-state cost is a pool pop, the serialization itself and
+  /// a vector push into reused capacity.
+  template <typename M>
+  Status sendEncoded(const M& m) {
+    // Cheap sticky-state pre-check before paying for serialization; the
+    // locked check below remains authoritative.
+    if (!conn_->open.load()) return errUnavailable("socket: closed");
+    WireBuffer buf = conn_->pool.acquire();
+    encodeInto(m, buf);
+    bool schedule = false;
+    bool overflow = false;
+    {
+      std::lock_guard lock(conn_->mutex);
+      if (!conn_->open.load() || conn_->closing) {
+        return errUnavailable("socket: closed");
+      }
+      if (conn_->outBytes + buf.size() > kMaxOutboxBytes) {
+        // Backpressure: the peer stopped draining. A shared event loop
+        // must not block the sender, so the connection is dropped — the
+        // close callback lets the owner reclaim the session.
+        conn_->open.store(false);
+        overflow = true;
+      } else {
+        conn_->outBytes += buf.size();
+        conn_->outbox.push_back(std::move(buf));
+        if (!conn_->writeArmed) {
+          conn_->writeArmed = true;
+          schedule = true;
+        }
+      }
+    }
+    if (overflow) {
+      SIMFS_LOG_WARN("msg", "socket: send queue overflow, dropping peer");
+      reactor_.scheduleDisconnect(conn_);
+      return errUnavailable("socket: send queue overflow");
+    }
+    // One wakeup covers every send queued until the loop drains the
+    // outbox (writev batching); only the first sender pays the post.
+    if (schedule) reactor_.scheduleFlush(conn_);
+    return Status::ok();
+  }
+
   Reactor& reactor_;
   std::shared_ptr<Conn> conn_;
 };
 
 }  // namespace
+
+// The default adapts legacy-only transports (wrappers forwarding just
+// setHandler) to the view contract: each owned Message is re-encoded into
+// a per-thread scratch buffer and delivered in place.
+void Transport::setViewHandler(ViewHandler handler) {
+  if (!handler) {
+    setHandler(nullptr);
+    return;
+  }
+  setHandler([h = std::move(handler)](Message&& m) { deliverAsView(h, m); });
+}
 
 std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
 makeInProcPair() {

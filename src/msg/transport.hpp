@@ -34,6 +34,11 @@ namespace simfs::msg {
 class Transport {
  public:
   using Handler = std::function<void(Message&&)>;
+  /// Zero-copy receive handler: the view (and every string_view /
+  /// iterator it hands out) references transport-owned buffer memory and
+  /// is valid ONLY for the duration of the callback. Copy out (or arena-
+  /// copy) anything that must survive it.
+  using ViewHandler = std::function<void(const MessageView&)>;
 
   virtual ~Transport() = default;
 
@@ -45,10 +50,28 @@ class Transport {
   /// are never blocked on a slow consumer.
   [[nodiscard]] virtual Status send(const Message& m) = 0;
 
+  /// Zero-copy send: the built-in transports serialize `m` straight into
+  /// a pooled, framed send buffer (no Message, no intermediate string).
+  /// The referenced storage only needs to outlive this call. The default
+  /// materializes an owned Message and forwards to send(Message) so
+  /// wrapper transports that only override the legacy entry point keep
+  /// observing (and counting) every message.
+  [[nodiscard]] virtual Status send(const MessageRef& m) {
+    return send(materialize(m));
+  }
+
   /// Installs the receive handler. Messages that arrived before the
   /// handler was installed are replayed to it, in arrival order, before
   /// this call returns.
   virtual void setHandler(Handler handler) = 0;
+
+  /// Installs a zero-copy receive handler (mutually exclusive with
+  /// setHandler — the most recent installation of either wins). The
+  /// built-in transports feed it views straight over their receive
+  /// buffers; the default adapts through setHandler by re-encoding into
+  /// a scratch buffer, so wrappers forwarding only the legacy hook still
+  /// deliver views to their consumers.
+  virtual void setViewHandler(ViewHandler handler);
 
   /// Installs a disconnect callback, invoked once when the peer goes away
   /// (socket EOF / peer close). Optional.

@@ -10,7 +10,7 @@
 
 namespace simfs::simmodel {
 
-Result<StepIndex> SimulationDriver::key(const std::string& filename) const {
+Result<StepIndex> SimulationDriver::key(std::string_view filename) const {
   // Single-pass, allocation-free parse on the match path; the
   // message-building outputKey only runs to produce the error.
   StepIndex step = 0;

@@ -37,7 +37,7 @@ class SimulationDriver {
   [[nodiscard]] virtual const ContextConfig& config() const noexcept = 0;
 
   /// The paper's key(): total order over output filenames.
-  [[nodiscard]] virtual Result<StepIndex> key(const std::string& filename) const;
+  [[nodiscard]] virtual Result<StepIndex> key(std::string_view filename) const;
 
   /// Builds the job covering output steps [start, stop] at a parallelism
   /// level (clamped by the driver to its own constraints).

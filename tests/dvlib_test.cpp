@@ -267,6 +267,45 @@ TEST_F(LiveStackTest, VectoredAcquireIsOneRoundTrip) {
   (*client)->finalize();
 }
 
+TEST_F(LiveStackTest, BatchedReleaseIsOneRoundTrip) {
+  // The release mirror of the vectored acquire: N files travel in ONE
+  // kReleaseReq, and the daemon drops every reference under one
+  // shard-lock acquisition.
+  auto counters = std::make_shared<CountingTransport::Counters>();
+  auto transport = std::make_unique<CountingTransport>(
+      daemon_->connectInProc(), counters);
+  auto client = SimFSClient::connect(std::move(transport), cfg_.name);
+  ASSERT_TRUE(client.isOk()) << client.status().toString();
+
+  std::vector<std::string> files;
+  for (StepIndex s = 0; s < 8; ++s) {
+    files.push_back(cfg_.codec.outputFile(s));
+  }
+  ASSERT_TRUE((*client)->acquire(files).isOk());
+  ASSERT_TRUE((*client)->session()->release(files).isOk());
+  EXPECT_EQ(counters->of(msg::MsgType::kReleaseReq), 1);
+
+  // Every reference is gone: releasing any file again must fail exactly
+  // like a release-without-open.
+  for (const auto& f : files) {
+    EXPECT_EQ((*client)->release(f).code(), StatusCode::kFailedPrecondition);
+  }
+  EXPECT_EQ(counters->of(msg::MsgType::kReleaseReq), 9);
+  (*client)->finalize();
+}
+
+TEST_F(LiveStackTest, BatchedReleaseReportsWorstStatusAndFreedCount) {
+  connectClient();
+  const std::string good = "out_0000000002.snc";
+  ASSERT_TRUE(client_->acquire({good}).isOk());
+  // One held file, one never-opened file: the batch must release the
+  // held reference AND surface the per-file failure as the worst status.
+  const std::vector<std::string> batch = {good, "out_0000000003.snc"};
+  EXPECT_EQ(client_->session()->release(batch).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(client_->release(good).code(), StatusCode::kFailedPrecondition);
+}
+
 TEST_F(LiveStackTest, PartialAcquireFailureUnwindsRegisteredInterest) {
   // Regression: when file i of an acquire fails, files 0..i-1 already
   // registered DV interest (references / waiter entries); a failed
