@@ -13,7 +13,12 @@
 // Contexts are synthetic ("ctx0".."ctxN-1", the stress-test geometry) and
 // re-simulations run on an in-process ThreadedSimulatorFleet against an
 // in-memory store — enough to drive simfsctl, the federation smoke job,
-// and socket clients end to end. Terminates on SIGINT/SIGTERM.
+// and socket clients end to end.
+//
+// SIGINT/SIGTERM trigger a graceful drain: the listener closes first,
+// queued requests are answered for up to SIMFS_DRAIN_MS (default 2000),
+// then the pipeline stops. kill -9 is the crash case the fault tests
+// cover — peers mark the node dead and clients fail over.
 #include "cluster/ring.hpp"
 #include "dv/daemon.hpp"
 #include "simulator/threaded_fleet.hpp"
@@ -162,8 +167,9 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
-  std::printf("simfs_daemon stopping\n");
-  daemon.stop();
+  std::printf("simfs_daemon draining\n");
+  std::fflush(stdout);
+  daemon.drain();  // stop accepting, answer what's queued, then stop
   fleet.joinAll();
   return 0;
 }

@@ -16,6 +16,12 @@
 //       Parses a simulation-driver description and prints the context it
 //       defines (geometry, timing, naming, job template sanity check).
 //
+//   simfsctl ping <socket-path>
+//       Liveness probe: one kPing round trip, answered on the daemon's
+//       dispatch thread (NOT through the worker pool), so it tells a
+//       wedged pipeline apart from a dead process. Prints the node id
+//       and the measured RTT.
+//
 //   simfsctl status <socket-path>
 //       Queries a running DV daemon for its aggregate statistics.
 //
@@ -62,6 +68,7 @@ int usage() {
                "usage: simfsctl record-checksums <data-dir> <map-file>\n"
                "       simfsctl verify-checksums <data-dir> <map-file>\n"
                "       simfsctl driver-info <file.drv>\n"
+               "       simfsctl ping <socket-path>\n"
                "       simfsctl status <socket-path>\n"
                "       simfsctl stats <socket-path>\n"
                "       simfsctl ring <socket-path>\n"
@@ -197,6 +204,25 @@ int daemonCall(const std::string& socketPath, msg::MsgType type,
     }
   }
   (*conn)->close();
+  return 0;
+}
+
+int daemonPing(const std::string& socketPath) {
+  const auto t0 = std::chrono::steady_clock::now();
+  msg::Message reply;
+  if (const int rc = daemonCall(socketPath, msg::MsgType::kPing, &reply);
+      rc != 0) {
+    return rc;
+  }
+  const auto rtt = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - t0);
+  if (reply.type != msg::MsgType::kPong) {
+    std::fprintf(stderr, "unexpected reply type\n");
+    return 1;
+  }
+  std::printf("pong from %s: %lld us\n",
+              reply.text.empty() ? "(standalone)" : reply.text.c_str(),
+              static_cast<long long>(rtt.count()));
   return 0;
 }
 
@@ -381,6 +407,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "driver-info" && argc == 3) {
     return driverInfo(argv[2]);
+  }
+  if (cmd == "ping" && argc == 3) {
+    return daemonPing(argv[2]);
   }
   if (cmd == "status" && argc == 3) {
     return daemonStatus(argv[2]);

@@ -1,0 +1,201 @@
+#include "common/fault.hpp"
+
+#include "common/env.hpp"
+#include "common/rng.hpp"
+
+#include <array>
+#include <atomic>
+#include <charconv>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace simfs::fault {
+namespace {
+
+struct PointRules {
+  double failProbability = 0.0;   // 0 = no fail rule
+  std::int64_t delayNs = 0;       // 0 = no delay rule
+  std::uint32_t closeAfter = 0;   // 0 = no close_after rule
+};
+
+struct Config {
+  std::array<PointRules, kPointCount> points{};
+  Rng rng{1};
+  std::string spec;
+  bool anyRule = false;
+};
+
+std::atomic<bool> g_active{false};
+std::mutex g_mutex;           // guards g_config (rules + RNG draws)
+Config g_config;              // under g_mutex
+std::atomic<bool> g_envParsed{false};
+
+bool parsePoint(std::string_view name, Point* out) {
+  if (name == "peer_dial") { *out = Point::kPeerDial; return true; }
+  if (name == "recv") { *out = Point::kRecv; return true; }
+  if (name == "send") { *out = Point::kSend; return true; }
+  if (name == "conn") { *out = Point::kConn; return true; }
+  if (name == "drain") { *out = Point::kDrain; return true; }
+  return false;
+}
+
+bool parseU64(std::string_view s, std::uint64_t* out) {
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last;
+}
+
+bool parseDouble(std::string_view s, double* out) {
+  // from_chars<double> is available in libstdc++ >= 11.
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last;
+}
+
+/// "5ms" / "100us" / "2s" / "250ns" -> nanoseconds; false on bad input.
+bool parseDuration(std::string_view s, std::int64_t* outNs) {
+  std::size_t unitAt = s.size();
+  while (unitAt > 0 && !(s[unitAt - 1] >= '0' && s[unitAt - 1] <= '9')) {
+    --unitAt;
+  }
+  const std::string_view digits = s.substr(0, unitAt);
+  const std::string_view unit = s.substr(unitAt);
+  std::uint64_t n = 0;
+  if (!parseU64(digits, &n)) return false;
+  std::int64_t scale = 0;
+  if (unit == "ns") scale = 1;
+  else if (unit == "us") scale = 1000;
+  else if (unit == "ms") scale = 1000 * 1000;
+  else if (unit == "s") scale = 1000LL * 1000 * 1000;
+  else return false;
+  *outNs = static_cast<std::int64_t>(n) * scale;
+  return true;
+}
+
+/// Parses one `point:action[:arg]` rule into `cfg`. Unknown tokens are
+/// skipped so newer specs degrade gracefully on older binaries.
+void applyRule(Config& cfg, std::string_view rule, std::uint64_t* seed) {
+  const auto c1 = rule.find(':');
+  if (c1 == std::string_view::npos) return;
+  const std::string_view head = rule.substr(0, c1);
+  std::string_view rest = rule.substr(c1 + 1);
+
+  if (head == "seed") {
+    std::uint64_t s = 0;
+    if (parseU64(rest, &s)) *seed = s;
+    return;
+  }
+
+  Point point{};
+  if (!parsePoint(head, &point)) return;
+  const auto c2 = rest.find(':');
+  const std::string_view action =
+      c2 == std::string_view::npos ? rest : rest.substr(0, c2);
+  const std::string_view arg =
+      c2 == std::string_view::npos ? std::string_view() : rest.substr(c2 + 1);
+  PointRules& rules = cfg.points[static_cast<std::size_t>(point)];
+
+  if (action == "fail") {
+    double p = 0;
+    if (parseDouble(arg, &p) && p > 0.0) {
+      rules.failProbability = p > 1.0 ? 1.0 : p;
+      cfg.anyRule = true;
+    }
+  } else if (action == "delay") {
+    std::int64_t ns = 0;
+    if (parseDuration(arg, &ns) && ns > 0) {
+      rules.delayNs = ns;
+      cfg.anyRule = true;
+    }
+  } else if (action == "close_after") {
+    std::uint64_t n = 0;
+    if (parseU64(arg, &n) && n > 0) {
+      rules.closeAfter = static_cast<std::uint32_t>(n);
+      cfg.anyRule = true;
+    }
+  }
+}
+
+void installLocked(std::string_view spec, std::uint64_t seed) {
+  Config cfg;
+  std::uint64_t effectiveSeed = seed;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find_first_of(",;", begin);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string_view rule = spec.substr(begin, end - begin);
+    // Trim surrounding spaces.
+    while (!rule.empty() && rule.front() == ' ') rule.remove_prefix(1);
+    while (!rule.empty() && rule.back() == ' ') rule.remove_suffix(1);
+    if (!rule.empty()) applyRule(cfg, rule, &effectiveSeed);
+    begin = end + 1;
+  }
+  cfg.rng = Rng(effectiveSeed);
+  cfg.spec = std::string(spec);
+  g_config = std::move(cfg);
+  g_active.store(g_config.anyRule, std::memory_order_release);
+}
+
+void parseEnvLocked() {
+  const auto spec = env::getOr("SIMFS_FAULTS", "");
+  const auto seed = env::getInt("SIMFS_FAULT_SEED").value_or(1);
+  installLocked(spec, static_cast<std::uint64_t>(seed));
+  g_envParsed.store(true, std::memory_order_release);
+}
+
+void ensureParsed() {
+  if (g_envParsed.load(std::memory_order_acquire)) return;
+  std::lock_guard lock(g_mutex);
+  if (!g_envParsed.load(std::memory_order_relaxed)) parseEnvLocked();
+}
+
+}  // namespace
+
+bool active() noexcept {
+  if (!g_envParsed.load(std::memory_order_acquire)) ensureParsed();
+  return g_active.load(std::memory_order_relaxed);
+}
+
+void configure(std::string_view spec, std::uint64_t seed) {
+  std::lock_guard lock(g_mutex);
+  installLocked(spec, seed);
+  g_envParsed.store(true, std::memory_order_release);
+}
+
+void reset() {
+  std::lock_guard lock(g_mutex);
+  parseEnvLocked();
+}
+
+bool shouldFail(Point p) noexcept {
+  std::lock_guard lock(g_mutex);
+  PointRules& rules = g_config.points[static_cast<std::size_t>(p)];
+  if (rules.failProbability <= 0.0) return false;
+  return g_config.rng.bernoulli(rules.failProbability);
+}
+
+void maybeDelay(Point p) noexcept {
+  std::int64_t ns = 0;
+  {
+    std::lock_guard lock(g_mutex);
+    ns = g_config.points[static_cast<std::size_t>(p)].delayNs;
+  }
+  if (ns > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+std::uint32_t closeAfterLimit() noexcept {
+  std::lock_guard lock(g_mutex);
+  return g_config.points[static_cast<std::size_t>(Point::kConn)].closeAfter;
+}
+
+std::string describe() {
+  ensureParsed();
+  std::lock_guard lock(g_mutex);
+  return g_config.anyRule ? g_config.spec : std::string();
+}
+
+}  // namespace simfs::fault

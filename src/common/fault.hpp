@@ -1,0 +1,68 @@
+// Deterministic fault injection for failure-domain testing.
+//
+// A process opts in through the SIMFS_FAULTS environment variable — a
+// comma/semicolon-separated rule list, each rule `<point>:<action>[:<arg>]`:
+//
+//   peer_dial:fail:0.3     fail 30% of daemon peer-transport dials
+//   recv:delay:5ms         sleep 5 ms before dispatching a received frame
+//   conn:close_after:64    hard-close a socket after 64 received frames
+//   send:fail:0.05         fail 5% of transport sends with kUnavailable
+//   drain:delay:1ms        sleep 1 ms per shard drain batch
+//   seed:42                seed the fault RNG (default SIMFS_FAULT_SEED or 1)
+//
+// Durations accept ns/us/ms/s suffixes. Probabilistic rules draw from one
+// seeded xoshiro stream, so a given (spec, seed) pair replays the same fault
+// schedule — tests assert recovery, not luck.
+//
+// Zero-cost when unset: every call site guards with fault::active(), a single
+// relaxed atomic load that is false unless SIMFS_FAULTS parsed to at least
+// one rule (or a test called fault::configure). No rule lookup, no RNG, no
+// lock on the fast path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace simfs::fault {
+
+/// Instrumented locations. Call sites name the point; rules attach to it.
+enum class Point : std::uint8_t {
+  kPeerDial = 0,  ///< daemon dialing a cached peer transport
+  kRecv,          ///< reactor delivering a received frame
+  kSend,          ///< transport queueing an outbound frame
+  kConn,          ///< per-connection lifetime (close_after)
+  kDrain,         ///< shard drain batch
+};
+inline constexpr std::size_t kPointCount = 5;
+
+/// True when at least one fault rule is installed. The only check hot
+/// paths make; keep every other helper behind it.
+[[nodiscard]] bool active() noexcept;
+
+/// (Re)parses a spec string — the test hook. An empty spec deactivates
+/// injection. Unknown points/actions are ignored (forward compatibility),
+/// malformed arguments disable the rule. Thread-safe, but intended for
+/// test setup, not concurrent reconfiguration under load.
+void configure(std::string_view spec, std::uint64_t seed);
+
+/// Restores the environment-driven configuration (SIMFS_FAULTS /
+/// SIMFS_FAULT_SEED, parsed lazily on first use).
+void reset();
+
+/// Draws the `<point>:fail:<p>` rule: true = the call site must fail as
+/// if the real operation failed. Always false when no such rule exists.
+[[nodiscard]] bool shouldFail(Point p) noexcept;
+
+/// Applies the `<point>:delay:<dur>` rule by sleeping. No-op without one.
+void maybeDelay(Point p) noexcept;
+
+/// The `conn:close_after:<N>` limit, 0 when unset. Connections count
+/// received frames themselves and tear down once the count reaches N.
+[[nodiscard]] std::uint32_t closeAfterLimit() noexcept;
+
+/// Human-readable dump of the installed rules ("" when inactive) — logged
+/// once by daemons at startup so fault runs are self-describing.
+[[nodiscard]] std::string describe();
+
+}  // namespace simfs::fault

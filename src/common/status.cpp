@@ -17,6 +17,7 @@ const char* statusCodeName(StatusCode code) noexcept {
     case StatusCode::kCancelled: return "cancelled";
     case StatusCode::kIoError: return "io_error";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kUnreachable: return "unreachable";
   }
   return "unknown";
 }

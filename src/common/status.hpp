@@ -30,6 +30,9 @@ enum class StatusCode : int {
   kCancelled,       // request cancelled (client gone, sim killed)
   kIoError,         // underlying filesystem / socket error
   kInternal,        // invariant violation escaped as error
+  kUnreachable,     // retry budget exhausted: the op terminally failed to
+                    // reach a daemon (distinct from kUnavailable, which is
+                    // transient and retried)
 };
 
 /// Returns a stable lowercase name for a StatusCode (for logs and tests).
@@ -104,6 +107,9 @@ class Status {
 }
 [[nodiscard]] inline Status errInternal(std::string m) {
   return {StatusCode::kInternal, std::move(m)};
+}
+[[nodiscard]] inline Status errUnreachable(std::string m) {
+  return {StatusCode::kUnreachable, std::move(m)};
 }
 
 /// Value-or-error. Like std::expected (which libstdc++ 12 lacks).

@@ -1,10 +1,13 @@
 #include "dv/daemon.hpp"
 
 #include "common/env.hpp"
+#include "common/fault.hpp"
 #include "common/log.hpp"
 #include "common/strings.hpp"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <limits>
 
 namespace simfs::dv {
@@ -50,6 +53,25 @@ std::size_t resolveQueueCap(std::size_t fromOptions) {
   }
   return 4096;  // generous: backstop against runaway producers, not a tuning knob
 }
+
+/// Environment interval knob in milliseconds, converted to VTime ns.
+VDuration intervalKnobNs(const char* name, std::int64_t defaultMs) {
+  const auto ms = env::getInt(name).value_or(defaultMs);
+  return ms <= 0 ? 0 : static_cast<VDuration>(ms) * 1'000'000;
+}
+
+/// Forwards for a peer with no open link queue up to this many messages
+/// while the maintenance thread dials; overflow is dropped and counted.
+constexpr std::size_t kPeerPendingCap = 64;
+
+/// Peer dial backoff: first retry after 100ms, doubling to a 5s cap.
+constexpr VDuration kDialBackoffInitial = 100'000'000;
+constexpr VDuration kDialBackoffCap = 5'000'000'000;
+
+/// Consecutive failed dials (or unanswered pings) before a peer is
+/// declared dead and its queued forwards are dropped.
+constexpr int kDialFailsToDead = 3;
+constexpr int kMissedPongsToDead = 3;
 }  // namespace
 
 /// One connected DVLib endpoint (analysis or simulator).
@@ -58,6 +80,20 @@ struct Daemon::Session {
   std::atomic<ClientId> client{0};   ///< 0 until kHello completes (analysis)
   std::atomic<int> shard{-1};        ///< bound by kHello (context's shard)
   std::atomic<bool> defunct{false};  ///< transport closed
+
+  /// Recently-answered kOpenBatchReq acks, by requestId: a client that
+  /// resends a batch under the same id (per-op timeout retry, rebind
+  /// resend racing the old delivery) gets the cached ack replayed
+  /// instead of double-registering interest — the dedup window that
+  /// makes idempotent resend safe. Touched only by the single worker
+  /// draining this session's bound shard, so no lock is needed; slots
+  /// are reused in a ring, so steady-state caching reuses capacity.
+  struct CachedAck {
+    std::uint64_t requestId = 0;
+    msg::Message ack;
+  };
+  std::array<CachedAck, 4> recentAcks;
+  std::size_t recentAckNext = 0;
 };
 
 /// Client requests and simulator events, unified: everything a shard
@@ -72,6 +108,7 @@ struct Daemon::DaemonRequest {
     kSimStarted,      ///< launcher: job left the batch queue
     kSimFileWritten,  ///< launcher: output step on disk
     kSimFinished,     ///< launcher: job completed/failed
+    kReapExpired,     ///< maintenance tick: drop deadline-expired waiters
   };
   Kind kind = Kind::kClientMessage;
   std::shared_ptr<Session> session;  ///< kClientMessage / kDisconnect
@@ -144,6 +181,13 @@ Daemon::Daemon(const Options& options)
   for (std::size_t w = 0; w < nWorkers; ++w) {
     workers_[w]->thread = std::thread([this, w] { workerLoop(w); });
   }
+  pingIntervalNs_ = intervalKnobNs("SIMFS_PEER_PING_MS", 500);
+  reapIntervalNs_ = intervalKnobNs("SIMFS_DV_REAP_MS", 1000);
+  maintenance_ = std::thread([this] { maintenanceLoop(); });
+  if (fault::active()) {
+    SIMFS_LOG_WARN(kTag, "fault injection active: %s",
+                   fault::describe().c_str());
+  }
 }
 
 Daemon::~Daemon() {
@@ -213,10 +257,24 @@ Status Daemon::listen(const std::string& socketPath) {
 void Daemon::stop() {
   if (server_) server_->stop();
   {
-    // Close peer links first: forwards racing the shutdown fail soft
+    // Stop the maintenance thread before the workers: a reap tick
+    // enqueued mid-join would only bounce off the stopping_ re-check,
+    // but joining here makes the shutdown order obvious.
+    std::lock_guard lock(maintMutex_);
+    maintStop_ = true;
+    maintWake_ = true;
+  }
+  maintCv_.notify_all();
+  if (maintenance_.joinable()) maintenance_.join();
+  {
+    // Close peer links next: forwards racing the shutdown fail soft
     // (counted as drops) instead of dialing a dying cluster.
     std::lock_guard lock(peersMutex_);
-    for (auto& [endpoint, link] : peers_) link->close();
+    for (auto& [endpoint, link] : peers_) {
+      if (link.transport) link.transport->close();
+      forwardDrops_.fetch_add(link.pending.size(), std::memory_order_relaxed);
+      link.pending.clear();
+    }
   }
   std::lock_guard stopLock(stopMutex_);
   if (workersJoined_) return;
@@ -237,6 +295,25 @@ void Daemon::stop() {
   std::vector<DaemonRequest> batch;
   for (std::size_t s = 0; s < serving_.size(); ++s) (void)drainShard(s, batch);
   workersJoined_ = true;
+}
+
+void Daemon::drain() {
+  if (server_) server_->stop();  // no new connections
+  const VDuration budget = intervalKnobNs("SIMFS_DRAIN_MS", 2000);
+  const VTime deadline = clock_.now() + budget;
+  for (;;) {
+    bool empty = true;
+    for (const auto& sv : serving_) {
+      std::lock_guard lock(sv->qMutex);
+      if (!sv->queue.empty()) {
+        empty = false;
+        break;
+      }
+    }
+    if (empty || clock_.now() >= deadline || stopping_.load()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop();
 }
 
 void Daemon::onSessionClosed(const std::shared_ptr<Session>& session) {
@@ -349,6 +426,21 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
       (void)session->transport->send(buildRingUpdate(m.requestId()));
       return;
     }
+    // Liveness probe (peer heartbeat or `simfsctl ping`): answered on the
+    // dispatching thread — a wedged worker pool must not make the daemon
+    // look dead, the probe answers what the reactor can still answer.
+    case msg::MsgType::kPing: {
+      msg::Message pong;
+      pong.requestId = m.requestId();
+      pong.type = msg::MsgType::kPong;
+      pong.code = codeOf(Status::ok());
+      pong.intArg = m.intArg();
+      pong.text = nodeId_;
+      (void)session->transport->send(pong);
+      return;
+    }
+    case msg::MsgType::kPong:
+      return;  // stray pong on a serving session: ignore
     default:
       break;
   }
@@ -388,42 +480,215 @@ bool Daemon::ownedElsewhere(std::string_view context,
 
 void Daemon::forwardToPeer(const cluster::NodeInfo& owner,
                            const msg::Message& m) {
-  std::shared_ptr<msg::Transport> link;
-  {
-    std::lock_guard lock(peersMutex_);
-    const auto it = peers_.find(owner.endpoint);
-    if (it != peers_.end() && it->second->isOpen()) link = it->second;
-  }
-  if (!link) {
-    // Dial OUTSIDE the peers mutex: this runs on a dispatching (reactor)
-    // thread, and a stalled peer accept loop must not serialize every
-    // other forward — or shutdown — behind it.
-    auto conn = msg::unixSocketConnect(owner.endpoint);
-    if (!conn) {
-      forwardDrops_.fetch_add(1, std::memory_order_relaxed);
-      SIMFS_LOG_WARN(kTag, "cannot reach peer for forward");
-      return;
-    }
-    link = std::shared_ptr<msg::Transport>(std::move(*conn));
-    // The peer treats the link as any inbound session; forwarded
-    // messages are fire-and-forget, so replies (errors at worst) are
-    // drained and dropped.
-    link->setHandler([](msg::Message&&) {});
-    std::lock_guard lock(peersMutex_);
-    auto& slot = peers_[owner.endpoint];
-    if (slot && slot->isOpen()) {
-      link->close();  // lost a dial race: reuse the established link
-      link = slot;
-    } else {
-      slot = link;
-    }
-  }
   msg::Message relay = m;
   relay.hops = static_cast<std::uint16_t>(m.hops + 1);
-  if (link->send(relay).isOk()) {
-    forwarded_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    forwardDrops_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<msg::Transport> link;
+  bool queued = false;
+  bool deadInBackoff = false;
+  {
+    std::lock_guard lock(peersMutex_);
+    PeerLink& peer = peers_[owner.endpoint];
+    if (peer.transport && peer.transport->isOpen()) {
+      link = peer.transport;
+    } else if (peer.health == PeerHealth::kDead &&
+               clock_.now() < peer.nextDialAt) {
+      // Dead peer inside its backoff window: drop instead of queueing —
+      // the forward is fire-and-forget, and hoarding messages for a
+      // peer that keeps failing dials only delays the inevitable drop.
+      deadInBackoff = true;
+    } else if (peer.pending.size() >= kPeerPendingCap) {
+      deadInBackoff = true;  // queue overflow: same outcome, counted drop
+    } else {
+      // No open link: NEVER dial here — this is a dispatching (reactor)
+      // thread and a stalled peer accept loop must not serialize frame
+      // delivery behind connect(). The maintenance thread dials.
+      peer.pending.push_back(std::move(relay));
+      queued = true;
+    }
+  }
+  if (link) {
+    if (link->send(relay).isOk()) {
+      forwarded_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      forwardDrops_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  if (queued) {
+    wakeMaintenance();
+    return;
+  }
+  (void)deadInBackoff;
+  forwardDrops_.fetch_add(1, std::memory_order_relaxed);
+  SIMFS_LOG_WARN(kTag, "dropping forward to unreachable peer");
+}
+
+void Daemon::wakeMaintenance() {
+  {
+    std::lock_guard lock(maintMutex_);
+    maintWake_ = true;
+  }
+  maintCv_.notify_one();
+}
+
+void Daemon::maintenanceLoop() {
+  VTime lastPing = clock_.now();
+  VTime lastReap = clock_.now();
+  const bool federated = !nodeId_.empty();
+  for (;;) {
+    VDuration tick = reapIntervalNs_ > 0 ? reapIntervalNs_ : 1'000'000'000;
+    if (federated && pingIntervalNs_ > 0) {
+      tick = std::min(tick, pingIntervalNs_);
+    }
+    {
+      std::unique_lock lock(maintMutex_);
+      maintCv_.wait_for(lock, std::chrono::nanoseconds(tick),
+                        [&] { return maintWake_; });
+      if (maintStop_) return;
+      maintWake_ = false;
+    }
+    if (federated) {
+      dialPendingPeers();
+      const VTime now = clock_.now();
+      if (pingIntervalNs_ > 0 && now - lastPing >= pingIntervalNs_) {
+        lastPing = now;
+        heartbeatPeers();
+      }
+    }
+    const VTime now = clock_.now();
+    if (reapIntervalNs_ > 0 && now - lastReap >= reapIntervalNs_ &&
+        !stopping_.load()) {
+      lastReap = now;
+      for (std::size_t s = 0; s < serving_.size(); ++s) {
+        DaemonRequest req;
+        req.kind = DaemonRequest::Kind::kReapExpired;
+        enqueue(s, std::move(req));
+      }
+    }
+  }
+}
+
+void Daemon::dialPendingPeers() {
+  // Snapshot the endpoints that want a dial, then dial OUTSIDE the peers
+  // mutex (connect() can block on a stalled accept loop).
+  std::vector<std::string> toDial;
+  {
+    std::lock_guard lock(peersMutex_);
+    const VTime now = clock_.now();
+    for (auto& [endpoint, peer] : peers_) {
+      if (peer.pending.empty()) continue;
+      if (peer.transport && peer.transport->isOpen()) continue;
+      if (now < peer.nextDialAt) continue;
+      toDial.push_back(endpoint);
+    }
+  }
+  for (const auto& endpoint : toDial) {
+    std::shared_ptr<msg::Transport> link;
+    if (!(fault::active() && fault::shouldFail(fault::Point::kPeerDial))) {
+      if (auto conn = msg::unixSocketConnect(endpoint)) {
+        link = std::shared_ptr<msg::Transport>(std::move(*conn));
+      }
+    }
+    std::vector<msg::Message> flush;
+    std::size_t dropped = 0;
+    if (link) {
+      // The peer treats the link as any inbound session. The handler
+      // feeds heartbeat pongs back into the health state; everything
+      // else (error replies to fire-and-forget forwards) is dropped.
+      link->setHandler([this, endpoint](msg::Message&& reply) {
+        if (reply.type != msg::MsgType::kPong) return;
+        pongsReceived_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard lock(peersMutex_);
+        const auto it = peers_.find(endpoint);
+        if (it == peers_.end()) return;
+        PeerLink& peer = it->second;
+        peer.pongSeq = std::max<std::uint64_t>(
+            peer.pongSeq, static_cast<std::uint64_t>(reply.intArg));
+        peer.missedPongs = 0;
+        peer.health = PeerHealth::kHealthy;
+      });
+      std::lock_guard lock(peersMutex_);
+      PeerLink& peer = peers_[endpoint];
+      if (peer.transport && peer.transport->isOpen()) {
+        link->close();  // lost a dial race: reuse the established link
+        link = peer.transport;
+      } else {
+        peer.transport = link;
+      }
+      peer.health = PeerHealth::kHealthy;
+      peer.missedPongs = 0;
+      peer.dialFails = 0;
+      peer.dialBackoff = 0;
+      peer.nextDialAt = 0;
+      flush.swap(peer.pending);
+    } else {
+      std::lock_guard lock(peersMutex_);
+      PeerLink& peer = peers_[endpoint];
+      ++peer.dialFails;
+      peer.dialBackoff = peer.dialBackoff == 0
+                             ? kDialBackoffInitial
+                             : std::min(peer.dialBackoff * 2, kDialBackoffCap);
+      peer.nextDialAt = clock_.now() + peer.dialBackoff;
+      if (peer.dialFails >= kDialFailsToDead) {
+        peer.health = PeerHealth::kDead;
+        dropped = peer.pending.size();
+        peer.pending.clear();
+      }
+    }
+    if (dropped > 0) {
+      forwardDrops_.fetch_add(dropped, std::memory_order_relaxed);
+      SIMFS_LOG_WARN(kTag, "peer declared dead; dropped %zu queued forwards",
+                     dropped);
+    }
+    for (auto& msg : flush) {
+      if (link->send(msg).isOk()) {
+        forwarded_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        forwardDrops_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+void Daemon::heartbeatPeers() {
+  // Collect sends under the lock, send outside it.
+  std::vector<std::pair<std::shared_ptr<msg::Transport>, std::uint64_t>> pings;
+  std::size_t dropped = 0;
+  {
+    std::lock_guard lock(peersMutex_);
+    for (auto& [endpoint, peer] : peers_) {
+      if (!peer.transport || !peer.transport->isOpen()) continue;
+      if (peer.pongSeq < peer.pingSeq) {
+        // The previous ping went unanswered within a full interval.
+        ++peer.missedPongs;
+        if (peer.missedPongs >= kMissedPongsToDead) {
+          peer.health = PeerHealth::kDead;
+          peer.transport->close();
+          peer.transport.reset();
+          peer.dialBackoff = kDialBackoffInitial;
+          peer.nextDialAt = clock_.now() + peer.dialBackoff;
+          dropped += peer.pending.size();
+          peer.pending.clear();
+          SIMFS_LOG_WARN(kTag, "peer heartbeat lost; link closed");
+          continue;
+        }
+        peer.health = PeerHealth::kSuspect;
+      }
+      ++peer.pingSeq;
+      pings.emplace_back(peer.transport, peer.pingSeq);
+    }
+  }
+  if (dropped > 0) {
+    forwardDrops_.fetch_add(dropped, std::memory_order_relaxed);
+  }
+  for (auto& [transport, seq] : pings) {
+    msg::Message ping;
+    ping.type = msg::MsgType::kPing;
+    ping.intArg = static_cast<std::int64_t>(seq);
+    ping.text = nodeId_;
+    if (transport->send(ping).isOk()) {
+      pingsSent_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -457,6 +722,13 @@ Daemon::FederationCounters Daemon::federationCounters() const {
   c.redirects = redirects_.load(std::memory_order_relaxed);
   c.forwarded = forwarded_.load(std::memory_order_relaxed);
   c.forwardDrops = forwardDrops_.load(std::memory_order_relaxed);
+  c.pingsSent = pingsSent_.load(std::memory_order_relaxed);
+  c.pongsReceived = pongsReceived_.load(std::memory_order_relaxed);
+  std::lock_guard lock(peersMutex_);
+  for (const auto& [endpoint, peer] : peers_) {
+    if (peer.health == PeerHealth::kSuspect) ++c.peersSuspect;
+    if (peer.health == PeerHealth::kDead) ++c.peersDead;
+  }
   return c;
 }
 
@@ -594,6 +866,7 @@ void Daemon::workerLoop(std::size_t workerIndex) {
 
 bool Daemon::drainShard(std::size_t shard, std::vector<DaemonRequest>& batch) {
   auto& sv = *serving_[shard];
+  if (fault::active()) fault::maybeDelay(fault::Point::kDrain);
   batch.clear();
   int drainedArena = 0;
   {
@@ -689,6 +962,9 @@ void Daemon::processOnShard(std::size_t shardIndex, DvShard& shard,
     case DaemonRequest::Kind::kSimFinished:
       shard.simulationFinished(request.job, request.status);
       return;
+    case DaemonRequest::Kind::kReapExpired:
+      (void)shard.reapExpiredWaiters(clock_.now());
+      return;
   }
 }
 
@@ -760,6 +1036,37 @@ void Daemon::processClientMessage(std::size_t shardIndex, DvShard& shard,
       // carries a per-file outcome pair so the client can tell the
       // immediately-available subset from the steps being re-simulated.
       reply.type = msg::MsgType::kOpenBatchAck;
+      if (m.requestId != 0) {
+        // Dedup window: a batch resent under the same requestId (per-op
+        // timeout retry; a rebind resend whose original delivery raced
+        // through after all) already registered its interest — replay
+        // the cached ack instead of double-registering. The copy into
+        // the arena keeps the ref valid even if later requests in this
+        // same batch rotate the cache slot.
+        bool replayed = false;
+        for (const auto& e : session->recentAcks) {
+          if (e.requestId != m.requestId) continue;
+          msg::MessageRef cached;
+          cached.type = e.ack.type;
+          cached.requestId = e.ack.requestId;
+          cached.code = e.ack.code;
+          cached.intArg = e.ack.intArg;
+          cached.intArg2 = e.ack.intArg2;
+          auto cachedInts = arena.allocSpan<std::int64_t>(e.ack.ints.size());
+          std::copy(e.ack.ints.begin(), e.ack.ints.end(), cachedInts.begin());
+          cached.ints = cachedInts;
+          if (!e.ack.text.empty()) cached.text = arena.copyString(e.ack.text);
+          sv.out.emplace_back(session, cached);
+          replayed = true;
+          break;
+        }
+        if (replayed) return;
+      }
+      // Client-supplied deadline budget travels relative (ns) in intArg2
+      // and becomes an absolute shard deadline here, at dispatch — the
+      // one clock that matters is the daemon's own.
+      const VTime deadline =
+          m.intArg2 > 0 ? clock_.now() + m.intArg2 : 0;
       Status worst = Status::ok();
       VDuration maxWait = 0;
       std::int64_t availableNow = 0;
@@ -768,7 +1075,7 @@ void Daemon::processClientMessage(std::size_t shardIndex, DvShard& shard,
       auto ints = arena.allocSpan<std::int64_t>(2 * m.files.size());
       std::size_t at = 0;
       for (const auto f : m.files) {
-        const auto res = shard.clientOpen(client, f);
+        const auto res = shard.clientOpen(client, f, deadline);
         if (!res.status.isOk()) worst = res.status;
         if (res.available) ++availableNow;
         maxWait = std::max(maxWait, res.estimatedWait);
@@ -781,6 +1088,19 @@ void Daemon::processClientMessage(std::size_t shardIndex, DvShard& shard,
       if (!worst.isOk()) reply.text = arena.copyString(worst.message());
       reply.intArg = availableNow;
       reply.intArg2 = maxWait;
+      if (m.requestId != 0) {
+        auto& e = session->recentAcks[session->recentAckNext];
+        session->recentAckNext =
+            (session->recentAckNext + 1) % session->recentAcks.size();
+        e.requestId = m.requestId;
+        e.ack.type = msg::MsgType::kOpenBatchAck;
+        e.ack.requestId = m.requestId;
+        e.ack.code = reply.code;
+        e.ack.intArg = reply.intArg;
+        e.ack.intArg2 = reply.intArg2;
+        e.ack.ints.assign(ints.begin(), ints.end());
+        e.ack.text.assign(reply.text);
+      }
       break;
     }
     case msg::MsgType::kCancelReq: {
@@ -905,7 +1225,7 @@ msg::Message Daemon::buildStatusReply(std::uint64_t requestId) const {
   reply.text = str::format(
       "opens=%llu;hits=%llu;misses=%llu;jobs=%llu;demand=%llu;"
       "prefetch=%llu;killed=%llu;steps=%llu;evictions=%llu;"
-      "notifications=%llu;agent_resets=%llu",
+      "notifications=%llu;agent_resets=%llu;waiters_expired=%llu",
       static_cast<unsigned long long>(s.opens),
       static_cast<unsigned long long>(s.hits),
       static_cast<unsigned long long>(s.misses),
@@ -916,7 +1236,8 @@ msg::Message Daemon::buildStatusReply(std::uint64_t requestId) const {
       static_cast<unsigned long long>(s.stepsProduced),
       static_cast<unsigned long long>(s.evictions),
       static_cast<unsigned long long>(s.notifications),
-      static_cast<unsigned long long>(s.agentResets));
+      static_cast<unsigned long long>(s.agentResets),
+      static_cast<unsigned long long>(s.waitersExpired));
   for (const auto& name : core_.contextNames()) {
     reply.files.push_back(name);
   }
@@ -972,12 +1293,17 @@ msg::Message Daemon::buildShardStatsReply(std::uint64_t requestId) const {
   reply.intArg = static_cast<std::int64_t>(counters.size());
   reply.text = str::format(
       "shards=%zu;workers=%zu;node=%s;ring=%zu;redirects=%llu;"
-      "forwarded=%llu;forward_drops=%llu",
+      "forwarded=%llu;forward_drops=%llu;pings=%llu;pongs=%llu;"
+      "peers_suspect=%llu;peers_dead=%llu",
       serving_.size(), workers_.size(),
       nodeId_.empty() ? "-" : nodeId_.c_str(), ring_.size(),
       static_cast<unsigned long long>(fed.redirects),
       static_cast<unsigned long long>(fed.forwarded),
-      static_cast<unsigned long long>(fed.forwardDrops));
+      static_cast<unsigned long long>(fed.forwardDrops),
+      static_cast<unsigned long long>(fed.pingsSent),
+      static_cast<unsigned long long>(fed.pongsReceived),
+      static_cast<unsigned long long>(fed.peersSuspect),
+      static_cast<unsigned long long>(fed.peersDead));
   for (const auto& c : counters) {
     std::string contexts;
     for (const auto& name : c.contexts) {

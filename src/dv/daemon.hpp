@@ -101,6 +101,10 @@ class Daemon {
     std::uint64_t redirects = 0;     ///< kRedirect replies sent
     std::uint64_t forwarded = 0;     ///< fire-and-forget messages relayed
     std::uint64_t forwardDrops = 0;  ///< relays lost (peer unreachable)
+    std::uint64_t pingsSent = 0;     ///< peer heartbeats sent
+    std::uint64_t pongsReceived = 0; ///< peer heartbeats answered
+    std::uint64_t peersSuspect = 0;  ///< peers currently missing pongs
+    std::uint64_t peersDead = 0;     ///< peers currently declared dead
   };
 
   Daemon() : Daemon(Options{}) {}
@@ -145,6 +149,12 @@ class Daemon {
   /// are drained first; in-proc setup calls keep working).
   void stop();
 
+  /// Graceful shutdown (SIGTERM): stops accepting new connections, waits
+  /// (bounded by SIMFS_DRAIN_MS, default 2000) for the shard queues to
+  /// empty so in-flight replies flush, then stop()s. Safe to call from a
+  /// signal-forwarding thread.
+  void drain();
+
   // --- simulator events (called by launcher implementations) ---------------------
 
   void simulationStarted(SimJobId job);
@@ -187,9 +197,27 @@ class Daemon {
   [[nodiscard]] bool ownedElsewhere(std::string_view context,
                                     const cluster::NodeInfo** owner) const;
 
-  /// Relays a fire-and-forget message to `owner` over the (lazily
-  /// dialed, cached) peer transport; drops it if the peer is unreachable.
+  /// Relays a fire-and-forget message to `owner` over the cached peer
+  /// link. Never dials on this (dispatching / reactor) thread: with no
+  /// open link the message is queued (bounded) and the maintenance thread
+  /// dials under exponential backoff; messages for a dead peer inside its
+  /// backoff window are dropped and counted instead of blocking.
   void forwardToPeer(const cluster::NodeInfo& owner, const msg::Message& m);
+
+  /// Wakes the maintenance thread (pending peer dials, health checks).
+  void wakeMaintenance();
+
+  /// Background loop: peer dialing + heartbeats (federated only) and the
+  /// per-shard deadline-reap tick.
+  void maintenanceLoop();
+
+  /// Dials every peer with queued forwards whose backoff window elapsed;
+  /// flushes their pending messages on success.
+  void dialPendingPeers();
+
+  /// Sends one kPing per live peer link and demotes peers whose previous
+  /// ping went unanswered (healthy -> suspect -> dead).
+  void heartbeatPeers();
 
   [[nodiscard]] msg::Message buildRedirect(std::uint64_t requestId,
                                            std::string_view context,
@@ -226,11 +254,31 @@ class Daemon {
   cluster::Ring ring_;
   std::size_t queueCap_ = 0;  ///< 0 = unbounded
 
+  /// Peer liveness, judged by heartbeat pongs and dial outcomes.
+  enum class PeerHealth { kHealthy, kSuspect, kDead };
+
+  /// One cached daemon->daemon link plus its health state. All fields
+  /// are guarded by peersMutex_; sends happen on a copied transport ref
+  /// outside the lock.
+  struct PeerLink {
+    std::shared_ptr<msg::Transport> transport;  ///< open link, or null
+    std::vector<msg::Message> pending;  ///< forwards awaiting a dial
+    PeerHealth health = PeerHealth::kHealthy;
+    std::uint64_t pingSeq = 0;   ///< sequence of the last ping sent
+    std::uint64_t pongSeq = 0;   ///< highest sequence echoed back
+    int missedPongs = 0;         ///< consecutive unanswered pings
+    int dialFails = 0;           ///< consecutive failed dials
+    VTime nextDialAt = 0;        ///< re-dial gate (backoff window end)
+    VDuration dialBackoff = 0;   ///< current backoff interval (ns)
+  };
+
   std::atomic<std::uint64_t> redirects_{0};
   std::atomic<std::uint64_t> forwarded_{0};
   std::atomic<std::uint64_t> forwardDrops_{0};
+  std::atomic<std::uint64_t> pingsSent_{0};
+  std::atomic<std::uint64_t> pongsReceived_{0};
   mutable std::mutex peersMutex_;
-  std::map<std::string, std::shared_ptr<msg::Transport>> peers_;  ///< by endpoint
+  std::map<std::string, PeerLink> peers_;  ///< by endpoint
 
   std::vector<std::unique_ptr<ShardServing>> serving_;
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -241,6 +289,16 @@ class Daemon {
   std::mutex sessionsMutex_;
   std::vector<std::shared_ptr<Session>> sessions_;
   std::unique_ptr<msg::UnixSocketServer> server_;
+
+  // Maintenance thread: deadline-reap ticks (always) plus peer dialing
+  // and heartbeats (federated daemons).
+  std::mutex maintMutex_;
+  std::condition_variable maintCv_;
+  bool maintWake_ = false;
+  bool maintStop_ = false;
+  std::thread maintenance_;
+  VDuration pingIntervalNs_ = 0;
+  VDuration reapIntervalNs_ = 0;
 };
 
 }  // namespace simfs::dv

@@ -109,7 +109,8 @@ void DvShard::clientDisconnect(ClientId client) {
     if (fit == ctx->files.end()) continue;
     auto& fs = fit->second;
     const bool hadWaiters = !fs.waiters.empty();
-    std::erase(fs.waiters, client);
+    std::erase_if(fs.waiters,
+                  [client](const Waiter& w) { return w.client == client; });
     if (hadWaiters && fs.waiters.empty() &&
         fs.kind == FileState::Kind::kPending) {
       const auto jit = jobs_.find(fs.producer);
@@ -124,7 +125,8 @@ void DvShard::clientDisconnect(ClientId client) {
   clients_.erase(client);
 }
 
-OpenResult DvShard::clientOpen(ClientId client, std::string_view file) {
+OpenResult DvShard::clientOpen(ClientId client, std::string_view file,
+                               VTime deadline) {
   OpenResult res;
   auto* info = findClient(client);
   if (info == nullptr) {
@@ -174,7 +176,7 @@ OpenResult DvShard::clientOpen(ClientId client, std::string_view file) {
     // Pending: some job is already producing it.
     ++stats_.misses;
     servedBySim = true;
-    addWaiter(*ctx, step, fit->second, *info);
+    addWaiter(*ctx, step, fit->second, *info, deadline);
     const auto jit = jobs_.find(fit->second.producer);
     res.status = Status::ok();
     res.available = false;
@@ -205,7 +207,7 @@ OpenResult DvShard::clientOpen(ClientId client, std::string_view file) {
     auto& fs = ctx->files[step];
     fs.kind = FileState::Kind::kPending;
     fs.producer = job;
-    addWaiter(*ctx, step, fs, *info);
+    addWaiter(*ctx, step, fs, *info, deadline);
     const auto jit = jobs_.find(job);
     res.status = Status::ok();
     res.available = false;
@@ -220,8 +222,8 @@ OpenResult DvShard::clientOpen(ClientId client, std::string_view file) {
 }
 
 void DvShard::addWaiter(ContextState& /*ctx*/, StepIndex step, FileState& fs,
-                        ClientInfo& client) {
-  fs.waiters.push_back(client.id);
+                        ClientInfo& client, VTime deadline) {
+  fs.waiters.push_back(Waiter{client.id, deadline});
   client.waitingSteps.push_back(step);
   if (fs.waiters.size() == 1 && fs.kind == FileState::Kind::kPending) {
     const auto jit = jobs_.find(fs.producer);
@@ -268,7 +270,9 @@ Status DvShard::clientCancel(ClientId client, std::string_view file) {
   if (fit != ctx->files.end() &&
       fit->second.kind == FileState::Kind::kPending) {
     auto& fs = fit->second;
-    const auto wit = std::find(fs.waiters.begin(), fs.waiters.end(), client);
+    const auto wit =
+        std::find_if(fs.waiters.begin(), fs.waiters.end(),
+                     [client](const Waiter& w) { return w.client == client; });
     if (wit != fs.waiters.end()) {
       fs.waiters.erase(wit);
       const auto pos = std::find(info->waitingSteps.begin(),
@@ -447,11 +451,11 @@ void DvShard::makeAvailable(ContextState& ctx, StepIndex step,
   // Wake the waiters: each takes its reference now. The filename is
   // materialized once, and only when someone needs to hear about it.
   if (!fs.waiters.empty()) {
-    std::vector<ClientId> waiters;
+    std::vector<Waiter> waiters;
     waiters.swap(fs.waiters);
     const std::string file = cfg.codec.outputFile(step);
-    for (const ClientId w : waiters) {
-      auto* wi = findClient(w);
+    for (const Waiter& w : waiters) {
+      auto* wi = findClient(w.client);
       if (wi == nullptr) continue;
       ctx.cache->pin(step);
       ++wi->refs[step];
@@ -463,7 +467,7 @@ void DvShard::makeAvailable(ContextState& ctx, StepIndex step,
         wi->waitingSteps.pop_back();
       }
       ++stats_.notifications;
-      if (notify_) notify_(w, file, Status::ok());
+      if (notify_) notify_(w.client, file, Status::ok());
     }
   }
 
@@ -504,11 +508,11 @@ void DvShard::simulationFinished(SimJobId job, const Status& status) {
       }
       if (!fit->second.waiters.empty()) {
         const std::string file = ctx->driver->config().codec.outputFile(s);
-        for (const ClientId w : fit->second.waiters) {
+        for (const Waiter& w : fit->second.waiters) {
           ++stats_.notifications;
-          if (notify_) notify_(w, file, status);
+          if (notify_) notify_(w.client, file, status);
           // Mirror makeAvailable: one waitingSteps entry per notification.
-          if (auto* wi = findClient(w); wi != nullptr) {
+          if (auto* wi = findClient(w.client); wi != nullptr) {
             const auto pos = std::find(wi->waitingSteps.begin(),
                                        wi->waitingSteps.end(), s);
             if (pos != wi->waitingSteps.end()) {
@@ -550,28 +554,93 @@ void DvShard::killUnneededPrefetches(ClientId client) {
     if (job.waitedSteps == 0) toKill.push_back(id);
   }
   for (const SimJobId id : toKill) {
-    auto& job = jobs_.at(id);
-    ContextState* ctx = job.ctx;
-    SIMFS_CHECK(ctx != nullptr);
-    // A detached launcher (fleet already shut down) has no jobs left to
-    // kill; the bookkeeping below still has to be unwound.
-    if (launcher_ != nullptr) launcher_->kill(id);
-    // Steps it still owed revert to missing.
-    for (StepIndex s = job.startStep; s <= job.stopStep; ++s) {
-      const auto fit = ctx->files.find(s);
-      if (fit != ctx->files.end() &&
-          fit->second.kind == FileState::Kind::kPending &&
-          fit->second.producer == id) {
-        ctx->files.erase(fit);
-      }
-    }
-    --ctx->running;
-    ++stats_.jobsKilled;
-    std::erase(info->prefetchJobs, id);
-    jobs_.erase(id);
+    killJob(id);
     SIMFS_LOG_DEBUG(kTag, "killed prefetch job %llu",
                     static_cast<unsigned long long>(id));
   }
+}
+
+void DvShard::killJob(SimJobId id) {
+  const auto jit = jobs_.find(id);
+  if (jit == jobs_.end()) return;
+  JobInfo& job = jit->second;
+  if (job.phase != JobPhase::kQueued && job.phase != JobPhase::kRunning) {
+    return;
+  }
+  ContextState* ctx = job.ctx;
+  SIMFS_CHECK(ctx != nullptr);
+  // A detached launcher (fleet already shut down) has no jobs left to
+  // kill; the bookkeeping below still has to be unwound.
+  if (launcher_ != nullptr) launcher_->kill(id);
+  // Steps it still owed revert to missing.
+  for (StepIndex s = job.startStep; s <= job.stopStep; ++s) {
+    const auto fit = ctx->files.find(s);
+    if (fit != ctx->files.end() &&
+        fit->second.kind == FileState::Kind::kPending &&
+        fit->second.producer == id) {
+      ctx->files.erase(fit);
+    }
+  }
+  --ctx->running;
+  ++stats_.jobsKilled;
+  forgetOwnedJob(job);
+  jobs_.erase(jit);
+}
+
+std::size_t DvShard::reapExpiredWaiters(VTime now) {
+  std::size_t reaped = 0;
+  // Producers whose last owed waited step expired in THIS sweep. Only
+  // those are kill candidates: a job at waitedSteps == 0 because its
+  // waiters were already satisfied is healthy read-ahead, not abandoned.
+  std::vector<SimJobId> abandoned;
+  for (auto& [name, ctxPtr] : contexts_) {
+    ContextState& ctx = *ctxPtr;
+    const auto& cfg = ctx.driver->config();
+    for (auto& [step, fs] : ctx.files) {
+      if (fs.kind != FileState::Kind::kPending || fs.waiters.empty()) {
+        continue;
+      }
+      std::string file;  // materialized once, only if something expired
+      bool removed = false;
+      for (std::size_t i = 0; i < fs.waiters.size();) {
+        const Waiter w = fs.waiters[i];
+        if (w.deadline == 0 || w.deadline > now) {
+          ++i;
+          continue;
+        }
+        fs.waiters[i] = fs.waiters.back();
+        fs.waiters.pop_back();
+        removed = true;
+        ++reaped;
+        ++stats_.waitersExpired;
+        if (auto* wi = findClient(w.client); wi != nullptr) {
+          const auto pos = std::find(wi->waitingSteps.begin(),
+                                     wi->waitingSteps.end(), step);
+          if (pos != wi->waitingSteps.end()) {
+            *pos = wi->waitingSteps.back();
+            wi->waitingSteps.pop_back();
+          }
+        }
+        if (file.empty()) file = cfg.codec.outputFile(step);
+        ++stats_.notifications;
+        if (notify_) notify_(w.client, file, errTimedOut("dv: open deadline expired"));
+      }
+      if (removed && fs.waiters.empty()) {
+        const auto jit = jobs_.find(fs.producer);
+        if (jit != jobs_.end() && --jit->second.waitedSteps == 0 &&
+            (jit->second.phase == JobPhase::kQueued ||
+             jit->second.phase == JobPhase::kRunning)) {
+          abandoned.push_back(fs.producer);
+        }
+      }
+    }
+  }
+  for (const SimJobId id : abandoned) {
+    killJob(id);
+    SIMFS_LOG_DEBUG(kTag, "killed abandoned job %llu (all waiters expired)",
+                    static_cast<unsigned long long>(id));
+  }
+  return reaped;
 }
 
 VDuration DvShard::estimateWait(const ContextState& ctx, const JobInfo& job,

@@ -90,6 +90,7 @@ struct DvStats {
   std::uint64_t evictions = 0;
   std::uint64_t notifications = 0;
   std::uint64_t agentResets = 0;   ///< pollution-triggered global resets
+  std::uint64_t waitersExpired = 0;  ///< waiter entries reaped past deadline
 
   DvStats& operator+=(const DvStats& o) noexcept {
     opens += o.opens;
@@ -103,6 +104,7 @@ struct DvStats {
     evictions += o.evictions;
     notifications += o.notifications;
     agentResets += o.agentResets;
+    waitersExpired += o.waitersExpired;
     return *this;
   }
 };
@@ -159,7 +161,11 @@ class DvShard {
   /// non-blocking; on a miss the demand re-simulation is started and the
   /// client is registered as a waiter (notified via NotifyFn).
   /// On success (immediate or later notification) the file is referenced.
-  [[nodiscard]] OpenResult clientOpen(ClientId client, std::string_view file);
+  /// `deadline` (absolute clock time, 0 = none) bounds how long the client
+  /// is willing to wait: reapExpiredWaiters drops the registration and
+  /// notifies kTimedOut once the clock passes it.
+  [[nodiscard]] OpenResult clientOpen(ClientId client, std::string_view file,
+                                      VTime deadline = 0);
 
   /// Transparent-mode close / SIMFS_Release: drops one reference.
   Status clientRelease(ClientId client, std::string_view file);
@@ -190,6 +196,15 @@ class DvShard {
   /// Job completed (ok) or failed (error status propagates to waiters).
   void simulationFinished(SimJobId job, const Status& status);
 
+  // --- deadline reaping --------------------------------------------------------
+
+  /// Drops every waiter whose deadline passed (notified kTimedOut) and
+  /// kills the re-simulations those expiries drove to zero owed waited
+  /// steps — a job every interested client abandoned burns cycles for
+  /// nobody. Returns the number of waiter entries reaped. Called
+  /// periodically by the daemon's maintenance tick.
+  std::size_t reapExpiredWaiters(VTime now);
+
   // --- inspection -------------------------------------------------------------
 
   [[nodiscard]] const DvStats& stats() const noexcept { return stats_; }
@@ -205,10 +220,15 @@ class DvShard {
  private:
   struct ContextState;
 
+  struct Waiter {
+    ClientId client = 0;
+    VTime deadline = 0;  ///< absolute give-up time, 0 = wait forever
+  };
+
   struct FileState {
     enum class Kind { kPending, kAvailable } kind = Kind::kPending;
     SimJobId producer = 0;                ///< job producing it (pending)
-    std::vector<ClientId> waiters;        ///< clients blocked on it
+    std::vector<Waiter> waiters;          ///< clients blocked on it
   };
 
   struct JobInfo {
@@ -278,7 +298,11 @@ class DvShard {
   /// Enqueues `client` as a waiter on a pending step, maintaining the
   /// producing job's waited-step counter.
   void addWaiter(ContextState& ctx, StepIndex step, FileState& fs,
-                 ClientInfo& client);
+                 ClientInfo& client, VTime deadline);
+
+  /// Kills a queued/running job and reverts the pending steps it still
+  /// owes to missing (shared by prefetch kills and deadline reaping).
+  void killJob(SimJobId id);
 
   /// Kills the client's prefetched jobs that nobody waits for.
   void killUnneededPrefetches(ClientId client);

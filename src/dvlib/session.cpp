@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <optional>
 
 namespace simfs::dvlib {
@@ -36,7 +37,23 @@ struct AcquireState {
 
 namespace {
 
-constexpr auto kCallTimeout = std::chrono::seconds(30);
+/// Integer env knob with a fallback for unset/garbage values.
+std::int64_t envInt(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<std::int64_t>(parsed);
+}
+
+/// Steady-clock ns for retry due-times (never the DV's virtual clock:
+/// backoff must keep flowing while the daemon is the thing that's down).
+VTime steadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Hop bound for redirect-following: a correct federation resolves in one
 /// hop (two with a stale ring); more means the cluster disagrees with
@@ -240,7 +257,28 @@ AcquireHandle::FileProbe AcquireHandle::probe(std::size_t index) const {
 
 // ------------------------------------------------------------------ Session
 
-Session::Session(std::string context) : context_(std::move(context)) {}
+Session::Session(std::string context) : context_(std::move(context)) {
+  opDeadlineNs_ =
+      std::max<std::int64_t>(0, envInt("SIMFS_OP_DEADLINE_MS", 0)) * 1'000'000;
+  retryBudget_ = static_cast<int>(
+      std::clamp<std::int64_t>(envInt("SIMFS_RETRY_BUDGET", 3), 0, 1000));
+  retryBaseNs_ =
+      std::max<std::int64_t>(1, envInt("SIMFS_RETRY_BASE_MS", 10)) * 1'000'000;
+  callTimeoutNs_ =
+      std::max<std::int64_t>(1, envInt("SIMFS_CALL_TIMEOUT_MS", 30'000)) *
+      1'000'000;
+}
+
+void Session::setOpDeadline(VDuration ns) {
+  std::lock_guard lock(mutex_);
+  opDeadlineNs_ = ns > 0 ? ns : 0;
+}
+
+void Session::setRetryPolicy(int budget, VDuration baseBackoffNs) {
+  std::lock_guard lock(mutex_);
+  retryBudget_ = std::max(0, budget);
+  if (baseBackoffNs > 0) retryBaseNs_ = baseBackoffNs;
+}
 
 Session::~Session() {
   finalize();
@@ -316,8 +354,8 @@ Result<msg::Message> Session::callOn(const std::shared_ptr<msg::Transport>& t,
     inflight_.erase(id);
     return sent;
   }
-  const bool got =
-      cv_.wait_for(lock, kCallTimeout, [&] { return replies_.count(id) > 0; });
+  const bool got = cv_.wait_for(lock, std::chrono::nanoseconds(callTimeoutNs_),
+                                [&] { return replies_.count(id) > 0; });
   inflight_.erase(id);
   if (!got) return errTimedOut("dvlib: no reply from DV");
   auto reply = std::move(replies_.at(id));
@@ -503,13 +541,35 @@ void Session::onMessage(const msg::MessageView& m) {
           queueRedirectLocked(owned.text);
         }
       } else {
-        auto state = op->state;
-        asyncOps_.erase(op);
-        applyBatchAckLocked(*state, m);
-        if (!state->cancelled && state->pending.empty()) {
-          completeLocked(state, fired);
+        // A whole-batch kUnavailable with no outcome pairs is a load
+        // shed: the shard dropped the request before registering
+        // anything, so resending the SAME requestId is safe (and the
+        // daemon's dedup window absorbs the case where it did answer
+        // and the ack was lost).
+        const bool shed =
+            static_cast<StatusCode>(m.code()) == StatusCode::kUnavailable &&
+            m.intCount() == 0 && !op->state->cancelled;
+        if (shed && op->attempts < retryBudget_) {
+          ++op->attempts;
+          const VDuration hint =
+              std::max(op->state->estimatedWait, retryBaseNs_);
+          queueRetryLocked(op->id, retryBackoffNs(op->attempts, hint));
+        } else if (shed) {
+          auto state = op->state;
+          asyncOps_.erase(op);
+          failStateLocked(
+              state,
+              errUnreachable("dvlib: retry budget exhausted (DV shedding)"),
+              fired);
+        } else {
+          auto state = op->state;
+          asyncOps_.erase(op);
+          applyBatchAckLocked(*state, m);
+          if (!state->cancelled && state->pending.empty()) {
+            completeLocked(state, fired);
+          }
+          cv_.notify_all();
         }
-        cv_.notify_all();
       }
     } else if (inflight_.count(m.requestId()) != 0) {
       replies_[m.requestId()] =
@@ -525,30 +585,170 @@ void Session::onMessage(const msg::MessageView& m) {
   for (auto& [fn, st] : fired) fn(st);
 }
 
-void Session::queueRedirectLocked(const std::string& target) {
-  if (std::find(redirectTargets_.begin(), redirectTargets_.end(), target) ==
-      redirectTargets_.end()) {
-    redirectTargets_.push_back(target);
-  }
+void Session::wakeRecoveryLocked() {
   if (!recovery_.joinable()) {
     recovery_ = std::thread([this] { recoveryLoop(); });
   }
   cv_.notify_all();
 }
 
+void Session::queueRedirectLocked(const std::string& target) {
+  if (std::find(redirectTargets_.begin(), redirectTargets_.end(), target) ==
+      redirectTargets_.end()) {
+    redirectTargets_.push_back(target);
+  }
+  wakeRecoveryLocked();
+}
+
+void Session::queueRetryLocked(std::uint64_t opId, VDuration delayNs) {
+  retries_.push_back(PendingRetry{opId, steadyNowNs() + delayNs});
+  wakeRecoveryLocked();
+}
+
+void Session::queueReconnectLocked() {
+  if (reconnectPending_) return;  // one re-dial covers every closed-op wake
+  reconnectPending_ = true;
+  wakeRecoveryLocked();
+}
+
+VDuration Session::retryBackoffNs(int attempt, VDuration hint) {
+  constexpr VDuration kBackoffCap = 2'000'000'000;  // 2s
+  VDuration base = std::max(hint, retryBaseNs_);
+  for (int i = 1; i < attempt && base < kBackoffCap; ++i) base *= 2;
+  base = std::min(base, kBackoffCap);
+  // Deterministic ±25% jitter (splitmix-style) so a fleet of shed clients
+  // does not re-dogpile the shard in lockstep.
+  retrySalt_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = retrySalt_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  const std::uint64_t r = (z ^ (z >> 31)) & 0x1ff;  // 0..511
+  return static_cast<VDuration>(static_cast<double>(base) *
+                                (0.75 + static_cast<double>(r) / 1024.0));
+}
+
 void Session::recoveryLoop() {
   std::unique_lock lock(mutex_);
   for (;;) {
-    cv_.wait(lock,
-             [&] { return recoveryStop_ || !redirectTargets_.empty(); });
+    const auto signalled = [&] {
+      return recoveryStop_ || !redirectTargets_.empty() || reconnectPending_;
+    };
+    if (retries_.empty()) {
+      cv_.wait(lock, [&] { return signalled() || !retries_.empty(); });
+    } else {
+      VTime due = retries_.front().due;
+      for (const auto& r : retries_) due = std::min(due, r.due);
+      const auto until =
+          std::chrono::steady_clock::now() +
+          std::chrono::nanoseconds(std::max<VTime>(0, due - steadyNowNs()));
+      (void)cv_.wait_until(lock, until, signalled);
+    }
     if (recoveryStop_) return;
-    const std::string target = redirectTargets_.front();
-    redirectTargets_.pop_front();
-    lock.unlock();
-    const Status st = rebind(target);
-    if (!st.isOk()) failAsyncOps(st);
-    lock.lock();
+    if (!redirectTargets_.empty()) {
+      const std::string target = redirectTargets_.front();
+      redirectTargets_.pop_front();
+      lock.unlock();
+      const Status st = rebind(target);
+      if (!st.isOk()) failAsyncOps(st);
+      lock.lock();
+      continue;
+    }
+    if (reconnectPending_) {
+      reconnectPending_ = false;
+      const int attempt = ++reconnectAttempts_;
+      const int budget = retryBudget_;
+      lock.unlock();
+      // Re-resolve the context owner — the ring may have healed around
+      // the dead node — and rebind, which resends surviving un-acked
+      // batches under their original requestIds.
+      Status st = errUnavailable("dvlib: session has no router");
+      if (router_ != nullptr) {
+        if (auto owner = router_->ownerOf(context_)) {
+          st = rebind(owner->id);
+        } else {
+          st = owner.status();
+        }
+      }
+      if (st.isOk()) {
+        lock.lock();
+        reconnectAttempts_ = 0;
+        continue;
+      }
+      if (attempt > budget) {
+        // Out of budget: everything still outstanding completes with a
+        // terminal kUnreachable instead of hanging on a dead endpoint.
+        Fired fired;
+        {
+          std::lock_guard lk(mutex_);
+          failAllLocked(errUnreachable("dvlib: retry budget exhausted: " +
+                                       std::string(st.message())),
+                        fired);
+        }
+        for (auto& [fn, s] : fired) fn(s);
+        lock.lock();
+        reconnectAttempts_ = 0;
+        continue;
+      }
+      lock.lock();
+      (void)cv_.wait_for(lock,
+                         std::chrono::nanoseconds(
+                             retryBackoffNs(attempt, retryBaseNs_)),
+                         [&] { return recoveryStop_; });
+      if (recoveryStop_) return;
+      reconnectPending_ = true;
+      continue;
+    }
+    const VTime now = steadyNowNs();
+    for (std::size_t i = 0; i < retries_.size();) {
+      if (retries_[i].due > now) {
+        ++i;
+        continue;
+      }
+      const std::uint64_t opId = retries_[i].opId;
+      retries_.erase(retries_.begin() + static_cast<std::ptrdiff_t>(i));
+      lock.unlock();
+      resendOp(opId);
+      lock.lock();
+      i = 0;  // the deque may have changed while unlocked
+    }
   }
+}
+
+void Session::resendOp(std::uint64_t opId) {
+  std::shared_ptr<msg::Transport> t;
+  std::shared_ptr<detail::AcquireState> state;
+  VDuration deadline = 0;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = findAsyncOp(opId);
+    if (it == asyncOps_.end() || it->state->completed ||
+        it->state->cancelled) {
+      return;  // resolved (or abandoned) while the backoff ran
+    }
+    t = transport_;
+    if (!t) return;  // reconnect in flight; the rebind resends survivors
+    it->transport = t.get();
+    state = it->state;
+    deadline = opDeadlineNs_;
+  }
+  msg::MessageRef req;
+  req.type = msg::MsgType::kOpenBatchReq;
+  req.requestId = opId;
+  req.intArg2 = deadline;
+  req.files = scratchViewsOf(state->files);
+  const Status sent = t->send(req);
+  if (sent.isOk()) return;
+  Fired fired;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = findAsyncOp(opId);
+    if (it != asyncOps_.end() && it->transport == t.get()) {
+      auto failing = it->state;
+      asyncOps_.erase(it);
+      failStateLocked(failing, sent, fired);
+    }
+  }
+  for (auto& [fn, s] : fired) fn(s);
 }
 
 void Session::failAllLocked(const Status& down, Fired& fired) {
@@ -575,14 +775,58 @@ void Session::failAllLocked(const Status& down, Fired& fired) {
   cv_.notify_all();
 }
 
+void Session::failNonResendableLocked(const Status& down, Fired& fired) {
+  // Per-file waiter registrations died with the connection; threads in
+  // waitFile() wake with a retryable error and reopen after the rebind.
+  for (auto& [file, fw] : fileWaits_) {
+    if (!fw.ready) {
+      fw.ready = true;
+      fw.status = down;
+    }
+  }
+  // Acked acquires still owed files cannot be resent (their batch already
+  // registered and the registrations are gone) — complete them now.
+  std::vector<std::shared_ptr<detail::AcquireState>> owed;
+  for (const auto& s : active_) {
+    if (s->ack && !s->pending.empty()) owed.push_back(s);
+  }
+  for (const auto& s : owed) failStateLocked(s, down, fired);
+  // Sync calls are request/reply: hand them a synthetic error instead of
+  // letting them sit out the full call timeout.
+  for (const auto& [id, tp] : inflight_) {
+    if (replies_.count(id) == 0) {
+      msg::Message failed;
+      failed.type = msg::MsgType::kError;
+      failed.requestId = id;
+      failed.code = static_cast<std::int32_t>(down.code());
+      failed.text = down.message();
+      replies_.emplace(id, std::move(failed));
+    }
+  }
+  cv_.notify_all();
+}
+
 void Session::onTransportClosed(const msg::Transport* t) {
   Fired fired;
   {
     std::lock_guard lock(mutex_);
     const Status down = errUnavailable("dvlib: connection to DV lost");
     if (transport_ != nullptr && transport_.get() == t) {
-      // The live link died: nothing outstanding can resolve anymore.
-      failAllLocked(down, fired);
+      if (router_ != nullptr && !finalized_) {
+        // The live link died mid-session, but the router can re-resolve
+        // the context owner: fail only what cannot survive the move and
+        // hand re-dialing to the recovery thread. Un-acked async ops stay
+        // alive — the rebind resends them under their original
+        // requestIds, and the daemon's dedup window makes that safe even
+        // if the original request was processed and only its ack lost.
+        failNonResendableLocked(down, fired);
+        queueReconnectLocked();
+      } else {
+        // No router to fail over with: nothing outstanding can resolve
+        // anymore. Terminal, not transient — retrying a dead endpoint
+        // the session cannot re-resolve would hang forever.
+        failAllLocked(errUnreachable("dvlib: connection to DV lost"), fired);
+      }
     } else {
       // A retired link died late: only ops still tagged to it are lost
       // (rebind retargets surviving ops before closing the old link).
@@ -676,6 +920,7 @@ Status Session::rebind(std::string targetNode) {
           msg::Message req;
           req.type = msg::MsgType::kOpenBatchReq;
           req.requestId = it->id;
+          req.intArg2 = opDeadlineNs_;  // fresh budget on the new owner
           req.files = it->state->files;
           resendIds.push_back(it->id);
           resend.push_back(std::move(req));
@@ -772,8 +1017,10 @@ AcquireHandle Session::startAcquire(FillFn&& fill) {
   std::shared_ptr<detail::AcquireState> state;
   std::shared_ptr<msg::Transport> t;
   std::uint64_t id = 0;
+  VDuration deadline = 0;
   {
     std::lock_guard lock(mutex_);
+    deadline = opDeadlineNs_;
     state = takeStateLocked();
     fill(*state);
     const std::size_t n = state->files.size();
@@ -808,6 +1055,7 @@ AcquireHandle Session::startAcquire(FillFn&& fill) {
   msg::MessageRef req;
   req.type = msg::MsgType::kOpenBatchReq;
   req.requestId = id;
+  req.intArg2 = deadline;  // relative ns budget; 0 = no deadline
   req.files = scratchViewsOf(state->files);
   const Status sent = t->send(req);
   if (!sent.isOk()) {
@@ -848,7 +1096,9 @@ bool Session::awaitAckLocked(
     std::unique_lock<std::mutex>& lock,
     const std::shared_ptr<detail::AcquireState>& state, Fired& fired) {
   const auto acked = [&] { return state->ack || state->completed; };
-  if (cv_.wait_for(lock, kCallTimeout, acked)) return true;
+  if (cv_.wait_for(lock, std::chrono::nanoseconds(callTimeoutNs_), acked)) {
+    return true;
+  }
   // The DV never answered the batch within the protocol deadline: fail
   // the op exactly like a synchronous call would.
   if (const auto it = findAsyncOp(state->wireId); it != asyncOps_.end()) {

@@ -241,6 +241,22 @@ class Session : public std::enable_shared_from_this<Session> {
   }
   [[nodiscard]] ClientId clientId() const noexcept { return clientId_; }
 
+  // --- failure-domain knobs ---------------------------------------------------
+
+  /// Per-op deadline budget (ns, 0 = none; default SIMFS_OP_DEADLINE_MS)
+  /// attached to every batch request: the daemon converts it into an
+  /// absolute shard deadline and reaps the registration — killing
+  /// re-simulations nobody waits for anymore — once it passes. The
+  /// affected files then resolve with kTimedOut.
+  void setOpDeadline(VDuration ns);
+
+  /// Bounds transient-failure handling (defaults SIMFS_RETRY_BUDGET=3,
+  /// SIMFS_RETRY_BASE_MS=10): a shed batch (kUnavailable) is resent
+  /// after jittered exponential backoff up to `budget` times; a lost
+  /// transport is re-dialed up to `budget` times. Exhaustion completes
+  /// the affected ops with kUnreachable instead of hanging.
+  void setRetryPolicy(int budget, VDuration baseBackoffNs);
+
  private:
   friend class AcquireHandle;
 
@@ -262,6 +278,7 @@ class Session : public std::enable_shared_from_this<Session> {
     const msg::Transport* transport = nullptr;
     std::shared_ptr<detail::AcquireState> state;
     int redirects = 0;
+    int attempts = 0;  ///< shed-retry resends consumed (<= retry budget)
   };
 
   /// Continuations to fire outside the session lock.
@@ -336,6 +353,32 @@ class Session : public std::enable_shared_from_this<Session> {
   void queueRedirectLocked(const std::string& target);
   void recoveryLoop();
 
+  /// Lazily starts the recovery thread and wakes it. Lock held.
+  void wakeRecoveryLocked();
+
+  /// Schedules an idempotent resend of op `opId` (same requestId; the
+  /// daemon's dedup window absorbs duplicate deliveries) after
+  /// `delayNs`. Lock held.
+  void queueRetryLocked(std::uint64_t opId, VDuration delayNs);
+
+  /// Marks the live transport lost and hands re-dialing to the recovery
+  /// thread (router sessions). Lock held.
+  void queueReconnectLocked();
+
+  /// Resends the batch request of a still-live async op on the current
+  /// transport (recovery thread).
+  void resendOp(std::uint64_t opId);
+
+  /// Fails everything that cannot survive a transport loss — per-file
+  /// waits, acked-but-owed acquire states, in-flight sync calls — while
+  /// leaving un-acked async ops alive for the post-reconnect resend.
+  /// Lock held.
+  void failNonResendableLocked(const Status& down, Fired& fired);
+
+  /// Jittered exponential backoff for attempt N (1-based), seeded from
+  /// `hint` (the DV's estimated wait when known, the base otherwise).
+  [[nodiscard]] VDuration retryBackoffNs(int attempt, VDuration hint);
+
   [[nodiscard]] Status handleWait(
       const std::shared_ptr<detail::AcquireState>& state, SimfsStatus* status,
       VDuration timeoutNs);
@@ -370,10 +413,25 @@ class Session : public std::enable_shared_from_this<Session> {
 
   /// Redirect recovery for async ops: rebinds must dial + block for a
   /// hello, which the reactor callback may not do — they are handed to
-  /// this lazily-started thread instead.
+  /// this lazily-started thread instead. The same thread runs shed-retry
+  /// resends and transport-loss reconnects.
   std::thread recovery_;
   std::deque<std::string> redirectTargets_;
   bool recoveryStop_ = false;
+
+  // Failure-domain state (guarded by mutex_).
+  VDuration opDeadlineNs_ = 0;      ///< batch deadline budget (0 = none)
+  int retryBudget_ = 3;             ///< transient-failure resend bound
+  VDuration retryBaseNs_ = 10'000'000;  ///< first backoff interval
+  VDuration callTimeoutNs_ = 0;     ///< sync-call / ack protocol timeout
+  std::uint64_t retrySalt_ = 0x9e3779b97f4a7c15ULL;  ///< jitter stream
+  struct PendingRetry {
+    std::uint64_t opId = 0;
+    VTime due = 0;  ///< steady-clock ns
+  };
+  std::deque<PendingRetry> retries_;
+  bool reconnectPending_ = false;
+  int reconnectAttempts_ = 0;
 };
 
 }  // namespace simfs::dvlib

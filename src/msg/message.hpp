@@ -70,6 +70,11 @@ enum class MsgType : std::uint16_t {
   kOpenBatchReq,   ///< files[]: open N files in ONE round trip. The daemon
                    ///< resolves the whole batch under a single shard-lock
                    ///< acquisition; per-file outcomes come back in the ack.
+                   ///< intArg2=relative deadline budget (ns, 0 = none): the
+                   ///< daemon converts it to an absolute shard deadline at
+                   ///< dispatch, and re-simulations whose waiters have all
+                   ///< expired or cancelled are killed. Relative on the wire
+                   ///< so cross-process clock skew cannot shift it.
   kOpenBatchAck,   ///< code/text=worst per-file status. Outcome pairs are
                    ///< positional (request order): ints[2i]=per-file
                    ///< StatusCode*2 + (1 if already available),
@@ -84,6 +89,13 @@ enum class MsgType : std::uint16_t {
                    ///< = fire-and-forget (no ack), the DVLib default.
   kCancelAck,      ///< code=status, intArg=#files whose interest was freed
                    ///< (only sent for cancels with requestId != 0)
+
+  // --- liveness (peer health / probing) ---------------------------------------
+  kPing,           ///< liveness probe: intArg=sender's monotonic sequence
+                   ///< number. Sent daemon->daemon as the peer heartbeat and
+                   ///< by `simfsctl ping`; answered inline, never queued.
+  kPong,           ///< probe reply: intArg echoes the ping sequence,
+                   ///< text=answering node's id
 };
 
 /// Who is connecting (intArg of kHello).

@@ -1,6 +1,7 @@
 #include "msg/transport.hpp"
 
 #include "common/env.hpp"
+#include "common/fault.hpp"
 #include "common/log.hpp"
 
 #include <fcntl.h>
@@ -305,6 +306,9 @@ struct Conn {
   bool registered = false;
   /// Deadline for draining a close()d connection's tail (zero = unset).
   std::chrono::steady_clock::time_point closeDeadline{};
+  /// Frames delivered so far, counted only under fault injection for the
+  /// conn:close_after rule.
+  std::uint32_t faultFramesSeen = 0;
   // --- any thread -----------------------------------------------------------
   std::atomic<bool> open{true};
 };
@@ -634,6 +638,16 @@ class Reactor {
         dead = true;
         break;
       }
+      if (fault::active()) {
+        fault::maybeDelay(fault::Point::kRecv);
+        const auto limit = fault::closeAfterLimit();
+        if (limit > 0 && ++conn->faultFramesSeen > limit) {
+          SIMFS_LOG_WARN("msg", "fault: closing fd %d after %u frames",
+                         conn->fd, limit);
+          dead = true;
+          break;
+        }
+      }
       deliverFrame(conn, *view);
     }
     if (head > 0) {
@@ -916,6 +930,14 @@ class ReactorTransport final : public Transport {
     // Cheap sticky-state pre-check before paying for serialization; the
     // locked check below remains authoritative.
     if (!conn_->open.load()) return errUnavailable("socket: closed");
+    if (fault::active() && fault::shouldFail(fault::Point::kSend)) {
+      // Injected abrupt connection loss: the same observable behaviour as
+      // the peer dying mid-send (sticky close + close callback), so the
+      // recovery machinery above us is exercised, not a fake error path.
+      conn_->open.store(false);
+      reactor_.scheduleDisconnect(conn_);
+      return errUnavailable("socket: injected send fault");
+    }
     WireBuffer buf = conn_->pool.acquire();
     encodeInto(m, buf);
     bool schedule = false;

@@ -486,8 +486,10 @@ TEST_F(PendingStackTest, WaitDeadlineExpiresWithoutCompleting) {
 TEST_F(PendingStackTest, DaemonDeathFailsOutstandingWaitsInsteadOfHanging) {
   // Regression for the async redesign: the session installs a close
   // handler, so when the daemon dies mid-wait every outstanding acquire
-  // completes with kUnavailable instead of blocking forever (the old
-  // per-file calls were bounded by the 30s call timeout).
+  // completes instead of blocking forever (the old per-file calls were
+  // bounded by the 30s call timeout). A router-less session has no way
+  // to re-resolve the owner, so the outcome is the terminal
+  // kUnreachable, not the retryable kUnavailable.
   connectClient();
   auto handle = client_->session()->acquireAsync({"out_0000000014.snc"});
   ASSERT_TRUE(handle.waitAck(nullptr).isOk());
@@ -497,11 +499,11 @@ TEST_F(PendingStackTest, DaemonDeathFailsOutstandingWaitsInsteadOfHanging) {
   daemon_.reset();  // tears every transport down
 
   const Status st = handle.wait();  // must return promptly
-  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(st.code(), StatusCode::kUnreachable);
   EXPECT_TRUE(handle.complete());
   // The transparent-mode wait wakes too.
   EXPECT_EQ(client_->waitFile("out_0000000014.snc").code(),
-            StatusCode::kUnavailable);
+            StatusCode::kUnreachable);
 }
 
 TEST_F(PendingStackTest, FinalizeWakesBlockedWaiters) {
@@ -685,6 +687,127 @@ TEST_F(LiveStackTest, PassthroughReadsExistingFiles) {
   ASSERT_EQ(snc_close(ncid), 0);
   // Missing files fail at open in passthrough mode.
   EXPECT_NE(snc_open("missing.snc", 0, &ncid), 0);
+}
+
+/// A transport that sheds the first `shedCount` open batches exactly like
+/// an overloaded shard (whole-batch kUnavailable, no outcome pairs), then
+/// acks every file as immediately available. Hellos succeed inline.
+class SheddingTransport final : public msg::Transport {
+ public:
+  explicit SheddingTransport(int shedCount) : shedLeft_(shedCount) {}
+
+  Status send(const msg::Message& m) override {
+    msg::Message reply;
+    reply.requestId = m.requestId;
+    switch (m.type) {
+      case msg::MsgType::kHello:
+        reply.type = msg::MsgType::kHelloAck;
+        reply.intArg = 7;  // clientId
+        break;
+      case msg::MsgType::kOpenBatchReq: {
+        std::lock_guard lock(mu_);
+        batchIds_.push_back(m.requestId);
+        reply.type = msg::MsgType::kOpenBatchAck;
+        if (shedLeft_ > 0) {
+          --shedLeft_;
+          reply.code = static_cast<std::int32_t>(StatusCode::kUnavailable);
+          reply.text = "dv: shard queue over capacity";
+        } else {
+          for (std::size_t i = 0; i < m.files.size(); ++i) {
+            reply.ints.push_back(
+                (static_cast<std::int64_t>(StatusCode::kOk) << 1) | 1);
+            reply.ints.push_back(0);
+          }
+        }
+        break;
+      }
+      default:
+        return Status::ok();  // fire-and-forget traffic needs no reply
+    }
+    Handler h;
+    {
+      std::lock_guard lock(mu_);
+      h = handler_;
+    }
+    if (h) h(std::move(reply));
+    return Status::ok();
+  }
+  void setHandler(Handler handler) override {
+    std::lock_guard lock(mu_);
+    handler_ = std::move(handler);
+  }
+  void setCloseHandler(std::function<void()>) override {}
+  void close() override { open_ = false; }
+  [[nodiscard]] bool isOpen() const override { return open_; }
+
+  std::vector<std::uint64_t> batchIds() {
+    std::lock_guard lock(mu_);
+    return batchIds_;
+  }
+
+ private:
+  std::mutex mu_;
+  Handler handler_;
+  std::vector<std::uint64_t> batchIds_;
+  int shedLeft_;
+  std::atomic<bool> open_{true};
+};
+
+TEST(SessionRetryTest, ShedBatchesResendUnderSameRequestId) {
+  auto owned = std::make_unique<SheddingTransport>(2);
+  auto* t = owned.get();
+  auto session = Session::connect(std::move(owned), "live");
+  ASSERT_TRUE(session.isOk()) << session.status().toString();
+  (*session)->setRetryPolicy(/*budget=*/3, /*baseBackoffNs=*/1'000'000);
+  auto handle = (*session)->acquireAsync({"out_0000000001.snc"});
+  const Status st = handle.wait();
+  EXPECT_TRUE(st.isOk()) << st.toString();
+  // Two sheds, one success — all three sends carry the SAME requestId,
+  // which is what makes the daemon-side dedup window able to absorb a
+  // resend that raced a lost ack.
+  const auto ids = t->batchIds();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], ids[1]);
+  EXPECT_EQ(ids[1], ids[2]);
+  (*session)->finalize();
+}
+
+TEST(SessionRetryTest, ShedBeyondBudgetCompletesUnreachable) {
+  auto owned = std::make_unique<SheddingTransport>(1'000'000);
+  auto* t = owned.get();
+  auto session = Session::connect(std::move(owned), "live");
+  ASSERT_TRUE(session.isOk()) << session.status().toString();
+  (*session)->setRetryPolicy(/*budget=*/2, /*baseBackoffNs=*/1'000'000);
+  auto handle = (*session)->acquireAsync({"out_0000000001.snc"});
+  const Status st = handle.wait();  // must complete, not hang
+  EXPECT_EQ(st.code(), StatusCode::kUnreachable);
+  EXPECT_EQ(t->batchIds().size(), 3u);  // the original + 2 budgeted resends
+  (*session)->finalize();
+}
+
+TEST(DeadlineReapTest, ServerReapsExpiredWaitersWithTimedOut) {
+  // The reap interval is read at daemon construction; shrink it so the
+  // sweep fires within test time.
+  ::setenv("SIMFS_DV_REAP_MS", "20", 1);
+  auto cfg = liveConfig();
+  auto daemon = std::make_unique<dv::Daemon>();
+  ::unsetenv("SIMFS_DV_REAP_MS");
+  ASSERT_TRUE(
+      daemon->registerContext(std::make_unique<simmodel::SyntheticDriver>(cfg))
+          .isOk());
+  RecordingLauncher launcher;  // jobs never run: the file stays pending
+  daemon->setLauncher(&launcher);
+  auto c = SimFSClient::connect(daemon->connectInProc(), cfg.name);
+  ASSERT_TRUE(c.isOk()) << c.status().toString();
+  (*c)->session()->setOpDeadline(50 * vtime::kMillisecond);
+  auto handle = (*c)->session()->acquireAsync({"out_0000000014.snc"});
+  ASSERT_TRUE(handle.waitAck(nullptr).isOk());
+  EXPECT_FALSE(handle.complete());  // pending on the never-run job
+  // The daemon's reap sweep expires the waiter and notifies kTimedOut —
+  // the client needs no timer of its own.
+  const Status st = handle.wait();
+  EXPECT_EQ(st.code(), StatusCode::kTimedOut);
+  (*c)->finalize();
 }
 
 TEST(IoFormatTest, EncodeDecodeRoundTrip) {

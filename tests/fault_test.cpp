@@ -1,0 +1,290 @@
+// Failure-domain tests: a federated DV under injected transport faults
+// and node kills must degrade, not wedge.
+//
+//   * With recv delays and probabilistic send failures injected
+//     process-wide (the SIMFS_FAULTS machinery, driven through
+//     fault::configure), clients that retry at the application level
+//     complete every access, and every accessed step ends up available
+//     on its ring owner — fault recovery changes latency, never the
+//     final state.
+//   * Killing a ring member mid-run bounds the damage to its own
+//     failure domain: clients of its contexts complete with errors
+//     within the retry budget (no hangs), while the surviving nodes
+//     serve exactly the availability a fault-free run of the same
+//     accesses produces.
+//
+// All faults are seeded, so a given schedule replays; assertions are on
+// recovery, not luck.
+#include "cluster/ring.hpp"
+#include "common/fault.hpp"
+#include "dv/daemon.hpp"
+#include "dvlib/router.hpp"
+#include "dvlib/simfs_client.hpp"
+#include "msg/transport.hpp"
+#include "simulator/threaded_fleet.hpp"
+#include "vfs/file_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace simfs::dv {
+namespace {
+
+using simmodel::ContextConfig;
+using simmodel::PerfModel;
+using simmodel::StepGeometry;
+
+constexpr int kNodes = 3;
+constexpr int kContexts = 6;
+constexpr StepIndex kStepSpan = 48;
+
+std::string contextName(int i) { return "ctx" + std::to_string(i); }
+
+ContextConfig faultConfig(int i) {
+  ContextConfig cfg;
+  cfg.name = contextName(i);
+  cfg.geometry = StepGeometry(1, 4, 64);
+  cfg.outputStepBytes = 64;
+  cfg.cacheQuotaBytes = 0;  // no eviction: availability is the produced union
+  cfg.sMax = 8;
+  cfg.prefetchEnabled = false;
+  cfg.perf = PerfModel(2, 1 * vtime::kMillisecond, 2 * vtime::kMillisecond);
+  return cfg;
+}
+
+/// Deterministic per-context access schedules; phase 1 runs before the
+/// node kill, phase 3 after it (phase 2 is the dead-node probe).
+std::vector<StepIndex> accessesOf(int ctx, int phase) {
+  std::vector<StepIndex> steps;
+  if (phase == 1) {
+    for (int k = 0; k < 6; ++k) {
+      steps.push_back(static_cast<StepIndex>((ctx * 7 + k * 3) % kStepSpan));
+    }
+  } else {
+    for (int k = 0; k < 4; ++k) {
+      steps.push_back(
+          static_cast<StepIndex>((ctx * 5 + k * 11 + 1) % kStepSpan));
+    }
+  }
+  return steps;
+}
+
+struct Node {
+  std::unique_ptr<Daemon> daemon;
+  std::unique_ptr<vfs::MemFileStore> store;
+  std::unique_ptr<simulator::ThreadedSimulatorFleet> fleet;
+  std::string socketPath;
+};
+
+std::string socketPathFor(const std::string& tag, int i) {
+  return "/tmp/simfs_fault_" + tag + "_" + std::to_string(::getpid()) + "_" +
+         std::to_string(i) + ".sock";
+}
+
+cluster::Ring fullRing(const std::string& tag) {
+  std::vector<cluster::NodeInfo> members;
+  for (int i = 0; i < kNodes; ++i) {
+    members.push_back({"dv" + std::to_string(i), socketPathFor(tag, i)});
+  }
+  return cluster::Ring::make(std::move(members), /*version=*/2).value();
+}
+
+std::vector<Node> startCluster(const std::string& tag,
+                               const cluster::Ring& ring) {
+  std::vector<Node> nodes;
+  for (int i = 0; i < kNodes; ++i) {
+    Node node;
+    Daemon::Options options;
+    options.shards = 2;
+    options.workers = 2;
+    options.nodeId = "dv" + std::to_string(i);
+    options.ring = ring;
+    node.daemon = std::make_unique<Daemon>(options);
+    node.store = std::make_unique<vfs::MemFileStore>();
+    node.fleet = std::make_unique<simulator::ThreadedSimulatorFleet>(
+        *node.daemon, *node.store, /*timeScale=*/1.0);
+    for (int c = 0; c < kContexts; ++c) {
+      const auto cfg = faultConfig(c);
+      EXPECT_TRUE(node.daemon
+                      ->registerContext(
+                          std::make_unique<simmodel::SyntheticDriver>(cfg))
+                      .isOk());
+      node.fleet->registerContext(cfg);
+    }
+    node.daemon->setLauncher(node.fleet.get());
+    node.socketPath = socketPathFor(tag, i);
+    EXPECT_TRUE(node.daemon->listen(node.socketPath).isOk());
+    nodes.push_back(std::move(node));
+  }
+  return nodes;
+}
+
+void stopNode(Node& node) {
+  node.fleet.reset();  // kill + join before the daemon goes away
+  node.daemon->stop();
+  node.daemon.reset();
+}
+
+void quiesce(std::vector<Node>& nodes) {
+  const auto quiet = [&] {
+    for (auto& n : nodes) {
+      if (!n.daemon) continue;  // killed mid-test
+      if (n.fleet->activeJobs() > 0) return false;
+      for (const auto& c : n.daemon->shardCounters()) {
+        if (c.queued > 0 || c.served < c.enqueued) return false;
+      }
+    }
+    return true;
+  };
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!quiet() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(quiet()) << "cluster did not quiesce";
+}
+
+void killCluster(std::vector<Node>& nodes) {
+  for (auto& n : nodes) {
+    if (n.daemon) stopNode(n);
+  }
+}
+
+/// One sequential client per context: acquires every step of `phase`,
+/// retrying at the application level (a connection loss fails acked
+/// acquires with a retryable error telling the caller to reopen).
+void runPhase(const cluster::Ring& ring, int phase,
+              const std::string& skipOwner, std::atomic<int>& failures) {
+  auto router = dvlib::NodeRouter::overUnixSockets(ring);
+  std::vector<std::thread> threads;
+  for (int ctx = 0; ctx < kContexts; ++ctx) {
+    if (!skipOwner.empty() && ring.ownerOf(contextName(ctx)).id == skipOwner) {
+      continue;
+    }
+    threads.emplace_back([&, ctx] {
+      auto client = dvlib::SimFSClient::connect(router, contextName(ctx));
+      if (!client.isOk()) {
+        ++failures;
+        return;
+      }
+      (*client)->session()->setRetryPolicy(/*budget=*/6,
+                                           /*baseBackoffNs=*/1'000'000);
+      const auto cfg = faultConfig(ctx);
+      for (const StepIndex step : accessesOf(ctx, phase)) {
+        const std::string file = cfg.codec.outputFile(step);
+        bool done = false;
+        for (int attempt = 0; attempt < 10 && !done; ++attempt) {
+          if ((*client)->acquire({file}).isOk() &&
+              (*client)->release(file).isOk()) {
+            done = true;
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        if (!done) ++failures;
+      }
+      (*client)->finalize();
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(FaultTest, InjectedTransportFaultsAreRecoveredNotSurfaced) {
+  // recv delays stretch every frame dispatch; send failures hard-close
+  // connections mid-batch (the transport converts an injected send fault
+  // into a sticky close, exactly like a peer reset). Seeded: the
+  // schedule replays.
+  fault::configure("recv:delay:100us;send:fail:0.02", /*seed=*/7);
+  const cluster::Ring ring = fullRing("inj");
+  auto nodes = startCluster("inj", ring);
+
+  std::atomic<int> failures{0};
+  runPhase(ring, /*phase=*/1, /*skipOwner=*/"", failures);
+  EXPECT_EQ(failures.load(), 0)
+      << "faults must be absorbed by retries, not surfaced";
+  quiesce(nodes);
+  fault::reset();
+
+  // Recovery changes latency, never the outcome: every accessed step is
+  // available on its ring owner (and only there).
+  for (int ctx = 0; ctx < kContexts; ++ctx) {
+    const int owner = std::stoi(ring.ownerOf(contextName(ctx)).id.substr(2));
+    for (const StepIndex step : accessesOf(ctx, 1)) {
+      EXPECT_TRUE(nodes[owner].daemon->isAvailable(contextName(ctx), step))
+          << "ctx " << ctx << " step " << step;
+    }
+  }
+  killCluster(nodes);
+}
+
+TEST(FaultTest, NodeKillBoundsErrorsAndPreservesSurvivorAvailability) {
+  // Two identical clusters driven with identical accesses: A stays
+  // healthy (the fault-free oracle), B loses a node between phases.
+  const cluster::Ring ringA = fullRing("oracle");
+  const cluster::Ring ringB = fullRing("victim");
+  auto clusterA = startCluster("oracle", ringA);
+  auto clusterB = startCluster("victim", ringB);
+  const std::string victim = ringB.ownerOf(contextName(0)).id;
+  const int victimIdx = victim.back() - '0';
+
+  std::atomic<int> failures{0};
+  runPhase(ringA, /*phase=*/1, /*skipOwner=*/"", failures);
+  runPhase(ringB, /*phase=*/1, /*skipOwner=*/"", failures);
+  ASSERT_EQ(failures.load(), 0);
+  quiesce(clusterA);
+  quiesce(clusterB);
+
+  stopNode(clusterB[victimIdx]);
+
+  // Phase 2: the dead node's failure domain. A client of a victim-owned
+  // context must complete with an error within the retry budget — never
+  // hang. (Depending on where the teardown caught it, that is a refused
+  // dial at connect or a kUnreachable after the reconnect budget.)
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto router = dvlib::NodeRouter::overUnixSockets(ringB);
+    auto dead = dvlib::SimFSClient::connect(router, contextName(0));
+    if (dead.isOk()) {
+      (*dead)->session()->setRetryPolicy(/*budget=*/2,
+                                         /*baseBackoffNs=*/2'000'000);
+      const std::string file = faultConfig(0).codec.outputFile(40);
+      EXPECT_FALSE((*dead)->acquire({file}).isOk());
+      (*dead)->finalize();
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_LT(elapsed, std::chrono::seconds(20))
+        << "dead-node ops must complete within the retry budget";
+  }
+
+  // Phase 3: surviving failure domains are untouched — the same new
+  // accesses succeed on both clusters.
+  runPhase(ringA, /*phase=*/3, /*skipOwner=*/victim, failures);
+  runPhase(ringB, /*phase=*/3, /*skipOwner=*/victim, failures);
+  EXPECT_EQ(failures.load(), 0);
+  quiesce(clusterA);
+  quiesce(clusterB);
+
+  // Equivalence: for every surviving context, the kill-run cluster holds
+  // exactly the availability set of the fault-free run.
+  for (int ctx = 0; ctx < kContexts; ++ctx) {
+    if (ringB.ownerOf(contextName(ctx)).id == victim) continue;
+    const int owner = std::stoi(ringB.ownerOf(contextName(ctx)).id.substr(2));
+    const auto steps = faultConfig(ctx).geometry.numOutputSteps();
+    for (StepIndex s = 0; s < steps; ++s) {
+      EXPECT_EQ(clusterB[owner].daemon->isAvailable(contextName(ctx), s),
+                clusterA[owner].daemon->isAvailable(contextName(ctx), s))
+          << "ctx " << ctx << " step " << s;
+    }
+  }
+  killCluster(clusterA);
+  killCluster(clusterB);
+}
+
+}  // namespace
+}  // namespace simfs::dv
