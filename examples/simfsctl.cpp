@@ -16,8 +16,9 @@
 //       Parses a simulation-driver description and prints the context it
 //       defines (geometry, timing, naming, job template sanity check).
 //
-//   simfsctl ping <socket-path>
-//       Liveness probe: one kPing round trip, answered on the daemon's
+//   simfsctl ping <socket-path> [count]
+//       Liveness probe: `count` (default 1) kPing round trips on one
+//       negotiated connection, answered on the daemon's
 //       dispatch thread (NOT through the worker pool), so it tells a
 //       wedged pipeline apart from a dead process. Prints the node id
 //       and the measured RTT.
@@ -56,7 +57,9 @@
 
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <mutex>
 
 using namespace simfs;
@@ -68,7 +71,7 @@ int usage() {
                "usage: simfsctl record-checksums <data-dir> <map-file>\n"
                "       simfsctl verify-checksums <data-dir> <map-file>\n"
                "       simfsctl driver-info <file.drv>\n"
-               "       simfsctl ping <socket-path>\n"
+               "       simfsctl ping <socket-path> [count]\n"
                "       simfsctl status <socket-path>\n"
                "       simfsctl stats <socket-path>\n"
                "       simfsctl ring <socket-path>\n"
@@ -170,10 +173,29 @@ int driverInfo(const std::string& path) {
   return 0;
 }
 
+/// Name for the TransportChoice a kHelloAck reported (0 = the daemon
+/// predates negotiation, or no offer was made).
+const char* transportChoiceName(std::int64_t choice) {
+  switch (static_cast<msg::TransportChoice>(choice)) {
+    case msg::TransportChoice::kShm: return "shm";
+    case msg::TransportChoice::kUringSocket: return "socket+uring";
+    case msg::TransportChoice::kSocket: return "socket";
+    case msg::TransportChoice::kLegacy: break;
+  }
+  return "socket (no negotiation)";
+}
+
 /// One-shot request/reply against a daemon socket; returns non-zero and
 /// prints a diagnostic on connection/timeout failure.
+///
+/// With `transportKind` set, a simulator-role kHello precedes the request
+/// so the connection can negotiate the same-host shm data plane — the
+/// request then travels over whichever transport the session settled on,
+/// and `transportKind` receives its name. `rttUs` (optional) receives the
+/// round-trip time of the request itself, negotiation excluded.
 int daemonCall(const std::string& socketPath, msg::MsgType type,
-               msg::Message* reply) {
+               msg::Message* reply, std::string* transportKind = nullptr,
+               long long* rttUs = nullptr) {
   auto conn = msg::unixSocketConnect(socketPath);
   if (!conn) {
     std::fprintf(stderr, "cannot connect: %s\n",
@@ -182,47 +204,124 @@ int daemonCall(const std::string& socketPath, msg::MsgType type,
   }
   std::mutex mu;
   std::condition_variable cv;
-  bool got = false;
+  std::vector<msg::Message> got;
+  std::size_t seen = 0;
   (*conn)->setHandler([&](msg::Message&& m) {
     std::lock_guard lock(mu);
-    *reply = std::move(m);
-    got = true;
+    got.push_back(std::move(m));
     cv.notify_all();
   });
+  const auto await = [&](msg::Message* out) {
+    std::unique_lock lock(mu);
+    if (!cv.wait_for(lock, std::chrono::seconds(5),
+                     [&] { return got.size() > seen; })) {
+      std::fprintf(stderr, "no reply from daemon\n");
+      return false;
+    }
+    *out = std::move(got[seen++]);
+    return true;
+  };
+  if (transportKind != nullptr) {
+    msg::Message hello;
+    hello.type = msg::MsgType::kHello;
+    hello.requestId = 1;
+    hello.intArg = static_cast<std::int64_t>(msg::ClientRole::kSimulator);
+    if (!(*conn)->send(hello).isOk()) {
+      std::fprintf(stderr, "send failed\n");
+      return 1;
+    }
+    msg::Message ack;
+    if (!await(&ack)) return 1;
+    *transportKind = transportChoiceName(ack.intArg2);
+  }
   msg::Message req;
   req.type = type;
-  req.requestId = 1;
+  req.requestId = 2;
+  const auto t0 = std::chrono::steady_clock::now();
   if (!(*conn)->send(req).isOk()) {
     std::fprintf(stderr, "send failed\n");
     return 1;
   }
-  {
-    std::unique_lock lock(mu);
-    if (!cv.wait_for(lock, std::chrono::seconds(5), [&] { return got; })) {
-      std::fprintf(stderr, "no reply from daemon\n");
-      return 1;
-    }
+  if (!await(reply)) return 1;
+  if (rttUs != nullptr) {
+    *rttUs = std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::steady_clock::now() - t0)
+                 .count();
   }
   (*conn)->close();
   return 0;
 }
 
-int daemonPing(const std::string& socketPath) {
-  const auto t0 = std::chrono::steady_clock::now();
-  msg::Message reply;
-  if (const int rc = daemonCall(socketPath, msg::MsgType::kPing, &reply);
-      rc != 0) {
-    return rc;
-  }
-  const auto rtt = std::chrono::duration_cast<std::chrono::microseconds>(
-      std::chrono::steady_clock::now() - t0);
-  if (reply.type != msg::MsgType::kPong) {
-    std::fprintf(stderr, "unexpected reply type\n");
+int daemonPing(const std::string& socketPath, long long count) {
+  auto conn = msg::unixSocketConnect(socketPath);
+  if (!conn) {
+    std::fprintf(stderr, "cannot connect: %s\n",
+                 conn.status().toString().c_str());
     return 1;
   }
-  std::printf("pong from %s: %lld us\n",
-              reply.text.empty() ? "(standalone)" : reply.text.c_str(),
-              static_cast<long long>(rtt.count()));
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<msg::Message> got;
+  std::size_t seen = 0;
+  (*conn)->setHandler([&](msg::Message&& m) {
+    std::lock_guard lock(mu);
+    got.push_back(std::move(m));
+    cv.notify_all();
+  });
+  const auto await = [&](msg::Message* out) {
+    std::unique_lock lock(mu);
+    if (!cv.wait_for(lock, std::chrono::seconds(5),
+                     [&] { return got.size() > seen; })) {
+      std::fprintf(stderr, "no reply from daemon\n");
+      return false;
+    }
+    *out = std::move(got[seen++]);
+    return true;
+  };
+  msg::Message hello;
+  hello.type = msg::MsgType::kHello;
+  hello.requestId = 1;
+  hello.intArg = static_cast<std::int64_t>(msg::ClientRole::kSimulator);
+  if (!(*conn)->send(hello).isOk()) {
+    std::fprintf(stderr, "send failed\n");
+    return 1;
+  }
+  msg::Message ack;
+  if (!await(&ack)) return 1;
+  const std::string transport = transportChoiceName(ack.intArg2);
+  long long minUs = std::numeric_limits<long long>::max();
+  long long sumUs = 0;
+  msg::Message reply;
+  for (long long i = 0; i < count; ++i) {
+    msg::Message req;
+    req.type = msg::MsgType::kPing;
+    req.requestId = static_cast<std::uint64_t>(2 + i);
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!(*conn)->send(req).isOk()) {
+      std::fprintf(stderr, "send failed\n");
+      return 1;
+    }
+    if (!await(&reply)) return 1;
+    if (reply.type != msg::MsgType::kPong) {
+      std::fprintf(stderr, "unexpected reply type\n");
+      return 1;
+    }
+    const long long us = std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+    minUs = std::min(minUs, us);
+    sumUs += us;
+  }
+  const char* node = reply.text.empty() ? "(standalone)" : reply.text.c_str();
+  if (count == 1) {
+    std::printf("pong from %s: %lld us over %s\n", node, sumUs,
+                transport.c_str());
+  } else {
+    std::printf("pong from %s: %lld pings, min %lld us, avg %lld us over %s\n",
+                node, count, minUs, count > 0 ? sumUs / count : 0,
+                transport.c_str());
+  }
+  (*conn)->close();
   return 0;
 }
 
@@ -243,8 +342,9 @@ int daemonStatus(const std::string& socketPath) {
 
 int daemonShardStats(const std::string& socketPath) {
   msg::Message reply;
-  if (const int rc =
-          daemonCall(socketPath, msg::MsgType::kShardStatsReq, &reply);
+  std::string transport;
+  if (const int rc = daemonCall(socketPath, msg::MsgType::kShardStatsReq,
+                                &reply, &transport);
       rc != 0) {
     return rc;
   }
@@ -252,6 +352,7 @@ int daemonShardStats(const std::string& socketPath) {
     std::fprintf(stderr, "daemon does not speak kShardStatsReq\n");
     return 1;
   }
+  std::printf("transport: %s\n", transport.c_str());
   std::printf("serving pipeline (%s):\n", reply.text.c_str());
   for (const auto& line : reply.files) {
     std::printf("  ");
@@ -408,8 +509,10 @@ int main(int argc, char** argv) {
   if (cmd == "driver-info" && argc == 3) {
     return driverInfo(argv[2]);
   }
-  if (cmd == "ping" && argc == 3) {
-    return daemonPing(argv[2]);
+  if (cmd == "ping" && (argc == 3 || argc == 4)) {
+    const long long count = argc == 4 ? std::atoll(argv[3]) : 1;
+    if (count < 1) return usage();
+    return daemonPing(argv[2], count);
   }
   if (cmd == "status" && argc == 3) {
     return daemonStatus(argv[2]);

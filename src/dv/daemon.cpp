@@ -4,6 +4,7 @@
 #include "common/fault.hpp"
 #include "common/log.hpp"
 #include "common/strings.hpp"
+#include "msg/shm_transport.hpp"
 
 #include <algorithm>
 #include <array>
@@ -17,6 +18,17 @@ constexpr const char* kTag = "daemon";
 
 std::int32_t codeOf(const Status& st) noexcept {
   return static_cast<std::int32_t>(st.code());
+}
+
+/// TransportChoice echoed in a kHelloAck when (and only when) the hello
+/// advertised negotiation caps: what this session actually settled on.
+std::int64_t negotiatedChoice(const msg::Transport& t) {
+  if (t.kindName() == "shm") {
+    return static_cast<std::int64_t>(msg::TransportChoice::kShm);
+  }
+  return static_cast<std::int64_t>(msg::reactorBackendName() == "uring"
+                                       ? msg::TransportChoice::kUringSocket
+                                       : msg::TransportChoice::kSocket);
 }
 
 void atomicMax(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
@@ -229,6 +241,10 @@ void Daemon::serveTransport(std::unique_ptr<msg::Transport> transport) {
     });
     sessions_.push_back(session);
   }
+  installSessionHandlers(session);
+}
+
+void Daemon::installSessionHandlers(const std::shared_ptr<Session>& session) {
   std::weak_ptr<Session> weak = session;
   session->transport->setCloseHandler([this, weak] {
     if (auto s = weak.lock()) onSessionClosed(s);
@@ -239,6 +255,40 @@ void Daemon::serveTransport(std::unique_ptr<msg::Transport> transport) {
   session->transport->setViewHandler([this, weak](const msg::MessageView& m) {
     if (auto s = weak.lock()) dispatch(s, m);
   });
+}
+
+void Daemon::maybeUpgradeToShm(const std::shared_ptr<Session>& session,
+                               const msg::MessageView& m) {
+  // Upgrade decision, taken exactly once per session at its first kHello,
+  // on the dispatching thread (the only thread that touches an unbound
+  // session's transport): the client offered a segment, negotiation is
+  // enabled here, and the session actually runs over a plain socket.
+  if ((m.intArg2() & msg::kHelloCapShm) == 0) return;
+  if (m.text().empty() || !msg::shmNegotiationEnabled()) return;
+  if (session->transport->kindName() != "socket") return;
+  // Never on a bound session: workers may be sending replies on this
+  // transport concurrently (the re-hello is rejected downstream anyway).
+  if (session->client.load() != 0 || session->shard.load() >= 0) return;
+  auto shm = msg::shmAdoptServer(std::string(m.text()), session->transport);
+  if (!shm) return;  // bad segment: decline silently, the socket ack settles
+  // Swap the data plane under the session, then re-point the handlers at
+  // the wrapper. The hello view `m` stays valid: it references the socket
+  // conn's receive buffer, and the socket lives on inside the wrapper for
+  // crash detection. The kHelloAck sent after this — over the ring — is
+  // the accept signal the client's negotiator waits for.
+  session->transport = std::move(shm);
+  installSessionHandlers(session);
+}
+
+void Daemon::noteHelloTransport(const msg::Transport& t) {
+  const std::string_view kind = t.kindName();
+  if (kind == "shm") {
+    connShm_.fetch_add(1, std::memory_order_relaxed);
+  } else if (kind == "socket") {
+    connSocket_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    connOther_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 std::unique_ptr<msg::Transport> Daemon::connectInProc() {
@@ -341,11 +391,17 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
       if (static_cast<msg::ClientRole>(m.intArg()) ==
           msg::ClientRole::kSimulator) {
         // Simulator sessions need no per-session state: their events
-        // (kSimFileClosed/kSimFinished) route by job id.
+        // (kSimFileClosed/kSimFinished) route by job id. The transport
+        // upgrade still applies — acked inline, over whichever plane won.
+        maybeUpgradeToShm(session, m);
         msg::Message reply;
         reply.requestId = m.requestId();
         reply.type = msg::MsgType::kHelloAck;
         reply.code = codeOf(Status::ok());
+        if ((m.intArg2() & msg::kHelloCapShm) != 0) {
+          reply.intArg2 = negotiatedChoice(*session->transport);
+        }
+        noteHelloTransport(*session->transport);
         (void)session->transport->send(reply);
         return;
       }
@@ -379,6 +435,11 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
       const int bound = session->shard.load();
       std::size_t target = *idx;
       if (bound < 0) {
+        // First hello on a locally-served context: the last point where
+        // no worker can hold a reference to this session's transport, so
+        // the shm upgrade (if offered) swaps the data plane here. The
+        // worker's kHelloAck then travels over the winning channel.
+        maybeUpgradeToShm(session, m);
         session->shard.store(static_cast<int>(*idx));
       } else {
         target = static_cast<std::size_t>(bound);
@@ -981,6 +1042,12 @@ void Daemon::processClientMessage(std::size_t shardIndex, DvShard& shard,
   switch (m.type) {
     case msg::MsgType::kHello: {
       reply.type = msg::MsgType::kHelloAck;
+      // Negotiation answer, echoed ONLY to clients that advertised caps —
+      // acks to legacy clients stay byte-identical to pre-negotiation
+      // daemons. The transport itself was already chosen at dispatch.
+      if ((m.intArg2 & msg::kHelloCapShm) != 0) {
+        reply.intArg2 = negotiatedChoice(*session->transport);
+      }
       if (client != 0) {
         // Re-hello on a bound session would orphan the existing client
         // registration (pinned steps, waiters) — reject it instead.
@@ -1007,6 +1074,7 @@ void Daemon::processClientMessage(std::size_t shardIndex, DvShard& shard,
         }
         reply.code = codeOf(Status::ok());
         reply.intArg = static_cast<std::int64_t>(*id);
+        noteHelloTransport(*session->transport);
       } else {
         reply.code = codeOf(id.status());
         reply.text = arena.copyString(id.status().message());
@@ -1294,7 +1362,8 @@ msg::Message Daemon::buildShardStatsReply(std::uint64_t requestId) const {
   reply.text = str::format(
       "shards=%zu;workers=%zu;node=%s;ring=%zu;redirects=%llu;"
       "forwarded=%llu;forward_drops=%llu;pings=%llu;pongs=%llu;"
-      "peers_suspect=%llu;peers_dead=%llu",
+      "peers_suspect=%llu;peers_dead=%llu;"
+      "conn_socket=%llu;conn_shm=%llu;conn_other=%llu;reactor=%.*s",
       serving_.size(), workers_.size(),
       nodeId_.empty() ? "-" : nodeId_.c_str(), ring_.size(),
       static_cast<unsigned long long>(fed.redirects),
@@ -1303,7 +1372,14 @@ msg::Message Daemon::buildShardStatsReply(std::uint64_t requestId) const {
       static_cast<unsigned long long>(fed.pingsSent),
       static_cast<unsigned long long>(fed.pongsReceived),
       static_cast<unsigned long long>(fed.peersSuspect),
-      static_cast<unsigned long long>(fed.peersDead));
+      static_cast<unsigned long long>(fed.peersDead),
+      static_cast<unsigned long long>(
+          connSocket_.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(connShm_.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          connOther_.load(std::memory_order_relaxed)),
+      static_cast<int>(msg::reactorBackendName().size()),
+      msg::reactorBackendName().data());
   for (const auto& c : counters) {
     std::string contexts;
     for (const auto& name : c.contexts) {

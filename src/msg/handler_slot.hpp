@@ -1,0 +1,142 @@
+// Internal receive-side handler machinery shared by the transport
+// implementations (socket reactor, in-proc pair, shm negotiator). Not
+// part of the public API — include only from src/msg/*.cpp.
+//
+//   * scratch buffers — per-thread stack of WireBuffers for view
+//     deliveries that start from an owned Message.
+//   * HandlerSlot — at most one of the two handler kinds installed
+//     (latest wins) plus the pre-handler backlog.
+//   * installAndReplay — the setHandler/setViewHandler body: install,
+//     then replay the backlog in order on the calling thread.
+#pragma once
+
+#include "common/log.hpp"
+#include "msg/message.hpp"
+#include "msg/transport.hpp"
+
+#include <iterator>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace simfs::msg::detail {
+
+/// Per-thread stack of scratch WireBuffers for view deliveries that start
+/// from an owned Message (in-proc sends, backlog replay, legacy-handler
+/// adaptation). A STACK, not a single buffer: a handler that replies
+/// inline over another in-proc transport nests a second delivery while
+/// the outer view still references the outer scratch buffer.
+inline std::vector<WireBuffer>& scratchStack() {
+  thread_local std::vector<WireBuffer> stack;
+  return stack;
+}
+
+inline WireBuffer acquireScratch() {
+  auto& stack = scratchStack();
+  if (stack.empty()) return WireBuffer();
+  WireBuffer b = std::move(stack.back());
+  stack.pop_back();
+  return b;
+}
+
+inline void releaseScratch(WireBuffer&& b) {
+  auto& stack = scratchStack();
+  if (stack.size() >= 8) return;
+  b.shrink(64 * 1024);
+  stack.push_back(std::move(b));
+}
+
+/// Encodes `m` (Message or MessageRef) into a scratch buffer and hands
+/// the parsed view to `handler` — the adapter between owned messages and
+/// the zero-copy receive contract.
+template <typename M>
+void deliverAsView(const Transport::ViewHandler& handler, const M& m) {
+  WireBuffer scratch = acquireScratch();
+  encodeInto(m, scratch);
+  auto view = MessageView::parse(scratch.payload());
+  SIMFS_CHECK(view.isOk());  // our own encoder output always parses
+  handler(*view);
+  releaseScratch(std::move(scratch));
+}
+
+/// The receive-side handler state shared by the transports: at most one
+/// of the two handler kinds installed (latest wins), plus the pre-handler
+/// backlog. Handlers live behind shared_ptr so delivery copies a pointer
+/// under the lock instead of a std::function (whose captures would
+/// otherwise reallocate on every message).
+struct HandlerSlot {
+  std::shared_ptr<Transport::Handler> onMessage;
+  std::shared_ptr<Transport::ViewHandler> onView;
+  bool draining = false;  ///< a setHandler replay is in flight
+  std::vector<Message> backlog;
+
+  [[nodiscard]] bool any() const noexcept {
+    return onMessage != nullptr || onView != nullptr;
+  }
+};
+
+/// setHandler/setViewHandler body shared by the implementations: installs
+/// the handler (exactly one of `h`/`vh`) and replays the backlog in order
+/// on the calling thread. `draining` makes concurrent sends append behind
+/// the replay instead of overtaking.
+template <typename Lockable>
+void installAndReplay(Lockable& mutex, HandlerSlot& slot, Transport::Handler h,
+                      Transport::ViewHandler vh) {
+  std::unique_lock lock(mutex);
+  if (h) {
+    slot.onMessage = std::make_shared<Transport::Handler>(std::move(h));
+    slot.onView.reset();
+  } else if (vh) {
+    slot.onView = std::make_shared<Transport::ViewHandler>(std::move(vh));
+    slot.onMessage.reset();
+  } else {
+    slot.onMessage.reset();
+    slot.onView.reset();
+    return;
+  }
+  if (slot.backlog.empty()) return;
+  slot.draining = true;
+  while (!slot.backlog.empty()) {
+    std::vector<Message> batch(std::make_move_iterator(slot.backlog.begin()),
+                               std::make_move_iterator(slot.backlog.end()));
+    slot.backlog.clear();
+    const auto msgHandler = slot.onMessage;
+    const auto viewHandler = slot.onView;
+    lock.unlock();
+    for (auto& m : batch) {
+      if (viewHandler) {
+        deliverAsView(*viewHandler, m);
+      } else {
+        (*msgHandler)(std::move(m));
+      }
+    }
+    lock.lock();
+  }
+  slot.draining = false;
+}
+
+/// Hands one decoded view to the slot's handler: in place for a view
+/// handler, as an owned materialization for a legacy handler or the
+/// pre-handler backlog.
+template <typename Lockable>
+void deliverView(Lockable& mutex, HandlerSlot& slot, const MessageView& view) {
+  std::shared_ptr<Transport::Handler> h;
+  std::shared_ptr<Transport::ViewHandler> vh;
+  {
+    std::lock_guard lock(mutex);
+    if (!slot.any() || slot.draining) {
+      slot.backlog.push_back(view.toMessage());
+      return;
+    }
+    vh = slot.onView;
+    h = slot.onMessage;
+  }
+  if (vh) {
+    (*vh)(view);
+  } else {
+    (*h)(view.toMessage());
+  }
+}
+
+}  // namespace simfs::msg::detail

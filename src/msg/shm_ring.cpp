@@ -1,0 +1,247 @@
+#include "msg/shm_ring.hpp"
+
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <climits>
+#include <cstring>
+#include <thread>
+
+namespace simfs::msg {
+namespace {
+
+/// How many times a waiter polls before parking in the kernel. Sized so a
+/// peer that answers within a few hundred ns (the shm fast path) is
+/// caught without any syscall at all.
+constexpr int kSpinIters = 4000;
+
+/// Spinning only helps when the peer can make progress while we burn the
+/// CPU. On a single-hardware-thread host the producer and consumer share
+/// the one core, so the spin phase just delays the peer's timeslice —
+/// park immediately instead.
+int spinIters() {
+  static const int iters =
+      std::thread::hardware_concurrency() > 1 ? kSpinIters : 0;
+  return iters;
+}
+
+/// Parked waits are chunked: a futex wait never exceeds this, so a peer
+/// that dies without running its close path can delay a waiter by at most
+/// one chunk before the close-mask recheck.
+constexpr auto kParkSlice = std::chrono::milliseconds(100);
+
+/// Oversized-frame reassembly bound — mirrors the socket path's
+/// kMaxFrameBytes; a forged chunk stream cannot grow the scratch past it.
+constexpr std::size_t kMaxReassemblyBytes = 64u << 20;
+
+/// Cross-process futex (deliberately NOT FUTEX_PRIVATE_FLAG: the waiter
+/// and waker live in different processes mapping the same segment).
+void futexWait(std::atomic<std::uint32_t>* word, std::uint32_t expected,
+               std::chrono::nanoseconds timeout) {
+  timespec ts{};
+  ts.tv_sec = static_cast<time_t>(timeout.count() / 1'000'000'000);
+  ts.tv_nsec = static_cast<long>(timeout.count() % 1'000'000'000);
+  (void)::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word),
+                  FUTEX_WAIT, expected, &ts, nullptr, 0);
+}
+
+void futexWake(std::atomic<std::uint32_t>* word) {
+  (void)::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word),
+                  FUTEX_WAKE, INT_MAX, nullptr, nullptr, 0);
+}
+
+[[nodiscard]] constexpr std::uint64_t roundUpToSlot(std::uint64_t n) noexcept {
+  return (n + kShmSlotBytes - 1) & ~(std::uint64_t{kShmSlotBytes} - 1);
+}
+
+}  // namespace
+
+void ShmRing::initHeader(ShmRingHdr* hdr) {
+  hdr->head.store(0, std::memory_order_relaxed);
+  hdr->dataSeq.store(0, std::memory_order_relaxed);
+  hdr->consumerParked.store(0, std::memory_order_relaxed);
+  hdr->tail.store(0, std::memory_order_relaxed);
+  hdr->spaceSeq.store(0, std::memory_order_relaxed);
+  hdr->producerParked.store(0, std::memory_order_release);
+}
+
+char* ShmRing::beginWrite(std::uint32_t len, std::chrono::nanoseconds timeout) {
+  const std::uint64_t extent = roundUpToSlot(sizeof(ShmSlotHdr) + len);
+  std::uint64_t off = headShadow_ % cap_;
+  const std::uint64_t padBytes = off + extent > cap_ ? cap_ - off : 0;
+  const std::uint64_t need = padBytes + extent;
+
+  // Wait for contiguous space: spin first, then park on spaceSeq until the
+  // consumer frees slots, the peer closes, or the timeout expires. The
+  // parked-flag/seq handshake mirrors the consumer side (see consume()).
+  auto avail = [&] {
+    return cap_ - (headShadow_ - hdr_->tail.load(std::memory_order_acquire));
+  };
+  if (avail() < need) {
+    bool ready = false;
+    for (int i = 0; i < spinIters(); ++i) {
+      if (isClosed()) return nullptr;
+      if (avail() >= need) {
+        ready = true;
+        break;
+      }
+    }
+    if (!ready) {
+      const auto deadline = std::chrono::steady_clock::now() + timeout;
+      for (;;) {
+        if (isClosed()) return nullptr;
+        if (avail() >= need) break;
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) return nullptr;
+        const std::uint32_t seq =
+            hdr_->spaceSeq.load(std::memory_order_acquire);
+        hdr_->producerParked.store(1, std::memory_order_seq_cst);
+        if (avail() >= need || isClosed()) {
+          hdr_->producerParked.store(0, std::memory_order_relaxed);
+          continue;
+        }
+        const auto slice = std::min<std::chrono::nanoseconds>(
+            kParkSlice, deadline - now);
+        futexWait(&hdr_->spaceSeq, seq, slice);
+        hdr_->producerParked.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  if (padBytes > 0) {
+    ShmSlotHdr pad{static_cast<std::uint32_t>(padBytes - sizeof(ShmSlotHdr)),
+                   kSlotPad, 0};
+    std::memcpy(data_ + off, &pad, sizeof(pad));
+    off = 0;
+  }
+  pendingOff_ = off;
+  pendingAdvance_ = need;
+  return data_ + off + sizeof(ShmSlotHdr);
+}
+
+void ShmRing::commitWrite(std::uint32_t len, std::uint16_t kind,
+                          std::uint16_t flags) {
+  ShmSlotHdr rec{len, kind, flags};
+  std::memcpy(data_ + pendingOff_, &rec, sizeof(rec));
+  headShadow_ += pendingAdvance_;
+  hdr_->head.store(headShadow_, std::memory_order_release);
+  hdr_->dataSeq.fetch_add(1, std::memory_order_seq_cst);
+  // Dekker pairing: the consumer stores consumerParked (seq_cst) and then
+  // re-reads head; we store head and then read consumerParked. One side
+  // always observes the other, so the wake is never lost.
+  if (hdr_->consumerParked.load(std::memory_order_seq_cst) != 0) {
+    futexWake(&hdr_->dataSeq);
+  }
+}
+
+void ShmRing::consumeAdvance(std::uint64_t bytes) {
+  tailShadow_ += bytes;
+  hdr_->tail.store(tailShadow_, std::memory_order_release);
+  hdr_->spaceSeq.fetch_add(1, std::memory_order_seq_cst);
+  if (hdr_->producerParked.load(std::memory_order_seq_cst) != 0) {
+    futexWake(&hdr_->spaceSeq);
+  }
+}
+
+ShmRing::Poll ShmRing::consume(
+    std::chrono::nanoseconds timeout,
+    const std::function<void(std::string_view)>& fn) {
+  // Lazily armed: the hot path (data already published) never reads the
+  // clock at all.
+  std::chrono::steady_clock::time_point deadline{};
+  for (;;) {
+    std::uint64_t avail =
+        hdr_->head.load(std::memory_order_acquire) - tailShadow_;
+    if (avail == 0) {
+      if (deadline == std::chrono::steady_clock::time_point{}) {
+        deadline = std::chrono::steady_clock::now() + timeout;
+      }
+      // Spin, then park on dataSeq (same handshake as beginWrite).
+      bool ready = false;
+      for (int i = 0; i < spinIters(); ++i) {
+        avail = hdr_->head.load(std::memory_order_acquire) - tailShadow_;
+        if (avail != 0) {
+          ready = true;
+          break;
+        }
+        if (isClosed()) return Poll::kClosed;
+      }
+      if (!ready) {
+        for (;;) {
+          avail = hdr_->head.load(std::memory_order_acquire) - tailShadow_;
+          if (avail != 0) break;
+          if (isClosed()) return Poll::kClosed;
+          const auto now = std::chrono::steady_clock::now();
+          if (now >= deadline) return Poll::kIdle;
+          const std::uint32_t seq =
+              hdr_->dataSeq.load(std::memory_order_acquire);
+          hdr_->consumerParked.store(1, std::memory_order_seq_cst);
+          avail = hdr_->head.load(std::memory_order_seq_cst) - tailShadow_;
+          if (avail != 0 || isClosed()) {
+            hdr_->consumerParked.store(0, std::memory_order_relaxed);
+            continue;
+          }
+          const auto slice = std::min<std::chrono::nanoseconds>(
+              kParkSlice, deadline - now);
+          futexWait(&hdr_->dataSeq, seq, slice);
+          hdr_->consumerParked.store(0, std::memory_order_relaxed);
+        }
+      }
+    }
+
+    // One record is (at least partially) published. Validate the header
+    // before trusting anything in it — the peer shares this memory and a
+    // buggy or hostile one must not be able to crash us.
+    const std::uint64_t off = tailShadow_ % cap_;
+    if (avail < sizeof(ShmSlotHdr) || cap_ - off < sizeof(ShmSlotHdr)) {
+      return Poll::kPoisoned;  // head advanced by a sub-header amount
+    }
+    ShmSlotHdr rec{};
+    std::memcpy(&rec, data_ + off, sizeof(rec));
+    if (rec.kind == kSlotPad) {
+      const std::uint64_t padBytes = cap_ - off;
+      if (padBytes > avail) return Poll::kPoisoned;
+      consumeAdvance(padBytes);
+      continue;
+    }
+    if (rec.kind != kSlotMsg && rec.kind != kSlotChunk) {
+      return Poll::kPoisoned;
+    }
+    const std::uint64_t extent = roundUpToSlot(sizeof(ShmSlotHdr) + rec.len);
+    if (rec.len > kMaxReassemblyBytes || extent > avail ||
+        off + extent > cap_) {
+      return Poll::kPoisoned;  // forged length / wrapping extent
+    }
+    const std::string_view payload(data_ + off + sizeof(ShmSlotHdr), rec.len);
+    if (rec.kind == kSlotMsg) {
+      // Deliver BEFORE advancing tail: the producer cannot reuse these
+      // slots while the callback still reads them — that is the whole
+      // in-place contract.
+      fn(payload);
+      consumeAdvance(extent);
+      return Poll::kFrame;
+    }
+    // Chunked frame: accumulate (bounded) and deliver on the last piece.
+    if (chunkScratch_.size() + rec.len > kMaxReassemblyBytes) {
+      return Poll::kPoisoned;
+    }
+    chunkScratch_.append(payload);
+    const bool last = (rec.flags & kChunkLast) != 0;
+    consumeAdvance(extent);
+    if (last) {
+      fn(chunkScratch_);
+      chunkScratch_.clear();
+      return Poll::kFrame;
+    }
+  }
+}
+
+void ShmRing::wakeAll() {
+  hdr_->dataSeq.fetch_add(1, std::memory_order_seq_cst);
+  hdr_->spaceSeq.fetch_add(1, std::memory_order_seq_cst);
+  futexWake(&hdr_->dataSeq);
+  futexWake(&hdr_->spaceSeq);
+}
+
+}  // namespace simfs::msg

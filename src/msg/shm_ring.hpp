@@ -1,0 +1,192 @@
+// Same-host shared-memory data plane: the SPSC command/completion ring.
+//
+// A connection's shm segment holds one ShmSegmentHdr followed by two
+// byte rings (client->server commands, server->client completions). Each
+// ring is a classic single-producer/single-consumer byte queue carved
+// into fixed-size slots of kShmSlotBytes — the SAME constant as
+// WireBuffer's inline storage, so a frame that a socket send would keep
+// inline also occupies exactly one ring slot.
+//
+// Record format (one record = one contiguous extent of whole slots):
+//
+//   +--------+-----------------------------+
+//   | 8B hdr | payload (len bytes) ...     |  extent = roundUp(8+len, slot)
+//   +--------+-----------------------------+
+//
+//   hdr = {u32 len, u16 kind, u16 flags}
+//   kind: kSlotMsg   — one complete encode()d message payload
+//         kSlotPad   — dead space to the wrap point (producer could not
+//                      place a contiguous extent before the ring end)
+//         kSlotChunk — piece of an oversized frame; the consumer
+//                      reassembles chunks until kChunkLast and parses the
+//                      concatenation
+//
+// Extents never wrap: the producer pads to the ring end instead, so every
+// kSlotMsg payload is contiguous and decodes IN PLACE as a MessageView
+// over shared memory. head/tail are free-running byte cursors
+// (release/acquire); "full" is head - tail == capacity.
+//
+// Doorbell: spin-then-park on a cross-process futex. Each side advertises
+// that it is about to sleep in a parked word (seq_cst — the classic
+// Dekker handshake with the peer's publish), then FUTEX_WAITs on a
+// sequence word the peer bumps per publish/consume. The peer only pays
+// the FUTEX_WAKE syscall when the parked word says someone is actually
+// asleep, so a busy ring runs syscall-free. Waits use bounded (100 ms)
+// timeouts as a belt-and-braces liveness floor: a peer that dies without
+// closing can never strand the other side in the kernel.
+//
+// Crash/abuse safety: the consumer validates every record header (kind,
+// length, extent bounds) before touching the payload; anything
+// inconsistent reports kPoisoned and the transport drops the connection —
+// a forged or corrupted ring can wedge itself, never this process.
+#pragma once
+
+#include "common/status.hpp"
+#include "msg/wire.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace simfs::msg {
+
+/// Ring slot granularity — tied to the wire pipeline's inline frame size.
+inline constexpr std::size_t kShmSlotBytes = kInlineFrameBytes;
+static_assert(kShmSlotBytes == WireBuffer::kInlineCapacity,
+              "shm slot size and WireBuffer inline storage must stay in "
+              "lockstep: both derive from kInlineFrameBytes");
+static_assert((kShmSlotBytes & (kShmSlotBytes - 1)) == 0,
+              "slot size must be a power of two");
+
+/// Per-record header, written at the start of the record's first slot.
+struct ShmSlotHdr {
+  std::uint32_t len;    ///< payload bytes (excluding this header)
+  std::uint16_t kind;   ///< kSlotMsg / kSlotPad / kSlotChunk
+  std::uint16_t flags;  ///< kChunkLast for the final chunk of a frame
+};
+static_assert(sizeof(ShmSlotHdr) == 8);
+
+inline constexpr std::uint16_t kSlotMsg = 1;
+inline constexpr std::uint16_t kSlotPad = 2;
+inline constexpr std::uint16_t kSlotChunk = 3;
+inline constexpr std::uint16_t kChunkLast = 1;
+
+/// One direction's shared control block. Producer-written and consumer-
+/// written fields live on separate cache lines.
+struct ShmRingHdr {
+  alignas(64) std::atomic<std::uint64_t> head;  ///< bytes produced
+  std::atomic<std::uint32_t> dataSeq;        ///< bumped per publish
+  std::atomic<std::uint32_t> consumerParked; ///< consumer sleeping on dataSeq
+  alignas(64) std::atomic<std::uint64_t> tail;  ///< bytes consumed
+  std::atomic<std::uint32_t> spaceSeq;       ///< bumped per consume
+  std::atomic<std::uint32_t> producerParked; ///< producer sleeping on spaceSeq
+};
+
+/// The shared segment's leading header; the two rings' data areas follow.
+struct ShmSegmentHdr {
+  char magic[8];           ///< "SIMFSHM1"
+  std::uint32_t version;   ///< kShmVersion
+  std::uint32_t slotBytes; ///< must equal kShmSlotBytes
+  std::uint64_t ringBytes; ///< per-direction data capacity
+  std::atomic<std::uint32_t> closed;          ///< kShmClosedClient/Server bits
+  std::atomic<std::uint32_t> serverAttached;  ///< daemon mapped the segment
+  ShmRingHdr c2s;  ///< client->server commands (client produces)
+  ShmRingHdr s2c;  ///< server->client completions (server produces)
+};
+
+inline constexpr std::uint32_t kShmVersion = 1;
+inline constexpr std::uint32_t kShmClosedClient = 1;
+inline constexpr std::uint32_t kShmClosedServer = 2;
+
+/// Total segment size for a per-direction data capacity of `ringBytes`.
+[[nodiscard]] constexpr std::size_t shmSegmentBytes(
+    std::size_t ringBytes) noexcept {
+  return sizeof(ShmSegmentHdr) + 2 * ringBytes;
+}
+
+/// One directional SPSC ring over caller-provided memory (a mapped shm
+/// segment in production; plain heap memory in the unit tests). Each side
+/// constructs its own ShmRing over the shared header/data — the producer
+/// methods are called by exactly one thread of one process, the consumer
+/// methods by exactly one thread of the other.
+class ShmRing {
+ public:
+  enum class Poll {
+    kFrame,     ///< one complete frame delivered to the callback
+    kIdle,      ///< timeout expired with no frame
+    kClosed,    ///< ring empty and the close mask is set
+    kPoisoned,  ///< inconsistent record header — drop the connection
+  };
+
+  /// `closed` is the segment's close mask (or any shared u32 in tests);
+  /// both waits abort once it is non-zero.
+  ShmRing(ShmRingHdr* hdr, char* data, std::size_t capBytes,
+          const std::atomic<std::uint32_t>* closed)
+      : hdr_(hdr),
+        data_(data),
+        cap_(capBytes),
+        closed_(closed),
+        headShadow_(hdr->head.load(std::memory_order_acquire)),
+        tailShadow_(hdr->tail.load(std::memory_order_acquire)) {}
+
+  /// Zeroes the shared cursors (segment creator, before the peer maps).
+  static void initHeader(ShmRingHdr* hdr);
+
+  /// Largest payload placeable as ONE contiguous extent; bigger frames go
+  /// through the kSlotChunk reassembly path. Capped at half the ring so a
+  /// single frame can always fit regardless of wrap position.
+  [[nodiscard]] std::uint32_t maxExtentPayload() const noexcept {
+    return static_cast<std::uint32_t>(cap_ / 2 - sizeof(ShmSlotHdr));
+  }
+
+  // --- producer side ---------------------------------------------------------
+
+  /// Reserves a contiguous extent for a `len`-byte payload (writing a pad
+  /// record first when the extent would cross the wrap point) and returns
+  /// the payload cursor to encode into, or nullptr when the ring stayed
+  /// full past `timeout` or the close mask fired. `len` must be
+  /// <= maxExtentPayload().
+  [[nodiscard]] char* beginWrite(std::uint32_t len,
+                                 std::chrono::nanoseconds timeout);
+
+  /// Publishes the record reserved by the preceding beginWrite.
+  void commitWrite(std::uint32_t len, std::uint16_t kind, std::uint16_t flags);
+
+  // --- consumer side ---------------------------------------------------------
+
+  /// Waits up to `timeout` for a complete frame and hands its payload to
+  /// `fn`: in place over ring memory for single-extent frames, over the
+  /// internal reassembly scratch for chunked ones. Pads and non-final
+  /// chunks are consumed internally without returning.
+  Poll consume(std::chrono::nanoseconds timeout,
+               const std::function<void(std::string_view)>& fn);
+
+  /// Wakes both parked sides (close path: the closing process sets the
+  /// close mask, then kicks the futexes so nobody waits out a timeout).
+  void wakeAll();
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+
+ private:
+  [[nodiscard]] bool isClosed() const noexcept {
+    return closed_->load(std::memory_order_acquire) != 0;
+  }
+  void consumeAdvance(std::uint64_t bytes);
+
+  ShmRingHdr* hdr_;
+  char* data_;
+  std::size_t cap_;
+  const std::atomic<std::uint32_t>* closed_;
+  // producer-local (single producer: shadows avoid re-reading shared words)
+  std::uint64_t headShadow_ = 0;     ///< mirrors hdr_->head
+  std::uint64_t pendingOff_ = 0;     ///< reservation between begin/commit
+  std::uint64_t pendingAdvance_ = 0;
+  // consumer-local
+  std::uint64_t tailShadow_ = 0;  ///< mirrors hdr_->tail (single consumer)
+  std::string chunkScratch_;      ///< oversized-frame reassembly buffer
+};
+
+}  // namespace simfs::msg

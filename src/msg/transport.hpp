@@ -27,6 +27,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 
 namespace simfs::msg {
 
@@ -84,6 +85,13 @@ class Transport {
 
   /// True until close() (or peer disconnect for sockets).
   [[nodiscard]] virtual bool isOpen() const = 0;
+
+  /// Which data plane this endpoint currently uses: "inproc", "socket" or
+  /// "shm". A negotiating wrapper's answer can change once — from
+  /// "socket" to "shm" — when the hello handshake settles.
+  [[nodiscard]] virtual std::string_view kindName() const {
+    return "unknown";
+  }
 };
 
 /// Creates a connected in-process transport pair.
@@ -117,8 +125,18 @@ class UnixSocketServer {
   std::string path_;
 };
 
-/// Connects to a UnixSocketServer.
+/// Connects to a UnixSocketServer. When shm negotiation is enabled
+/// (SIMFS_SHM unset or != 0) the returned transport is wrapped in the
+/// same-host shm negotiator: a kHello sent through it offers a shared-
+/// memory ring pair to the peer and the session upgrades transparently if
+/// the daemon accepts (see shm_transport.hpp). Endpoints that never send
+/// kHello (daemon peer links, raw tools) behave exactly as before.
 [[nodiscard]] Result<std::unique_ptr<Transport>> unixSocketConnect(
     const std::string& path);
+
+/// The reactor backend driving this process's socket endpoints: "uring"
+/// when SIMFS_REACTOR_BACKEND=uring and the kernel supports io_uring,
+/// otherwise "epoll" (including the fallback case, which logs a notice).
+[[nodiscard]] std::string_view reactorBackendName();
 
 }  // namespace simfs::msg

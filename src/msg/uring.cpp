@@ -1,0 +1,213 @@
+#include "msg/uring.hpp"
+
+#include <cstring>
+
+#if SIMFS_HAS_URING
+
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace simfs::msg::uring {
+namespace {
+
+int sysSetup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int sysEnter(int fd, unsigned toSubmit, unsigned minComplete, unsigned flags,
+             const void* arg, std::size_t argsz) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, toSubmit,
+                                    minComplete, flags, arg, argsz));
+}
+
+int sysRegister(int fd, unsigned opcode, void* arg, unsigned nr) {
+  return static_cast<int>(::syscall(__NR_io_uring_register, fd, opcode, arg,
+                                    nr));
+}
+
+}  // namespace
+
+Queue::~Queue() {
+  // Closing the ring fd cancels/reaps in-kernel requests; unmap after so
+  // no completion path can touch freed user memory.
+  if (fd_ >= 0) ::close(fd_);
+  if (sqes_ != nullptr) ::munmap(sqes_, sqesBytes_);
+  if (sqRing_ != nullptr) ::munmap(sqRing_, sqRingBytes_);
+  if (cqRing_ != nullptr && cqRing_ != sqRing_) ::munmap(cqRing_, cqRingBytes_);
+  if (bufRing_ != nullptr) ::munmap(bufRing_, bufRingBytes_);
+  delete[] slab_;
+}
+
+bool Queue::init(unsigned sqEntries) {
+  io_uring_params p{};
+  fd_ = sysSetup(sqEntries, &p);
+  if (fd_ < 0) return false;
+  if ((p.features & IORING_FEAT_EXT_ARG) == 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  sqEntries_ = p.sq_entries;
+  sqRingBytes_ = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+  cqRingBytes_ = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+  const bool single = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single) {
+    sqRingBytes_ = cqRingBytes_ = std::max(sqRingBytes_, cqRingBytes_);
+  }
+  sqRing_ = ::mmap(nullptr, sqRingBytes_, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_POPULATE, fd_, IORING_OFF_SQ_RING);
+  if (sqRing_ == MAP_FAILED) {
+    sqRing_ = nullptr;
+    return false;
+  }
+  if (single) {
+    cqRing_ = sqRing_;
+  } else {
+    cqRing_ = ::mmap(nullptr, cqRingBytes_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, fd_, IORING_OFF_CQ_RING);
+    if (cqRing_ == MAP_FAILED) {
+      cqRing_ = nullptr;
+      return false;
+    }
+  }
+  sqesBytes_ = p.sq_entries * sizeof(io_uring_sqe);
+  sqes_ = static_cast<io_uring_sqe*>(
+      ::mmap(nullptr, sqesBytes_, PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_POPULATE, fd_, IORING_OFF_SQES));
+  if (sqes_ == MAP_FAILED) {
+    sqes_ = nullptr;
+    return false;
+  }
+  auto* sq = static_cast<char*>(sqRing_);
+  sqHead_ = reinterpret_cast<unsigned*>(sq + p.sq_off.head);
+  sqTail_ = reinterpret_cast<unsigned*>(sq + p.sq_off.tail);
+  sqMask_ = *reinterpret_cast<unsigned*>(sq + p.sq_off.ring_mask);
+  sqArray_ = reinterpret_cast<unsigned*>(sq + p.sq_off.array);
+  auto* cq = static_cast<char*>(cqRing_);
+  cqHead_ = reinterpret_cast<unsigned*>(cq + p.cq_off.head);
+  cqTail_ = reinterpret_cast<unsigned*>(cq + p.cq_off.tail);
+  cqMask_ = *reinterpret_cast<unsigned*>(cq + p.cq_off.ring_mask);
+  cqes_ = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
+  localTail_ = *sqTail_;
+  return true;
+}
+
+io_uring_sqe* Queue::getSqe() {
+  const unsigned head = __atomic_load_n(sqHead_, __ATOMIC_ACQUIRE);
+  if (localTail_ - head >= sqEntries_) return nullptr;
+  io_uring_sqe* sqe = &sqes_[localTail_ & sqMask_];
+  std::memset(sqe, 0, sizeof(*sqe));
+  sqArray_[localTail_ & sqMask_] = localTail_ & sqMask_;
+  ++localTail_;
+  ++pending_;
+  return sqe;
+}
+
+int Queue::submit() {
+  if (pending_ == 0) return 0;
+  __atomic_store_n(sqTail_, localTail_, __ATOMIC_RELEASE);
+  const int r = sysEnter(fd_, pending_, 0, 0, nullptr, 0);
+  if (r < 0) return -errno;
+  pending_ -= std::min(pending_, static_cast<unsigned>(r));
+  return r;
+}
+
+int Queue::submitAndWait(std::chrono::nanoseconds timeout) {
+  __atomic_store_n(sqTail_, localTail_, __ATOMIC_RELEASE);
+  unsigned flags = IORING_ENTER_GETEVENTS;
+  io_uring_getevents_arg arg{};
+  __kernel_timespec ts{};
+  const void* argp = nullptr;
+  std::size_t argsz = 0;
+  if (timeout.count() >= 0) {
+    ts.tv_sec = timeout.count() / 1'000'000'000;
+    ts.tv_nsec = timeout.count() % 1'000'000'000;
+    arg.ts = reinterpret_cast<std::uint64_t>(&ts);
+    flags |= IORING_ENTER_EXT_ARG;
+    argp = &arg;
+    argsz = sizeof(arg);
+  }
+  const unsigned toSubmit = pending_;
+  const int r = sysEnter(fd_, toSubmit, 1, flags, argp, argsz);
+  if (r < 0) {
+    // ETIME (timeout) and EINTR still consumed nothing reportable; the
+    // kernel may nonetheless have started the submissions — re-reading
+    // khead on the next getSqe keeps the accounting straight either way.
+    if (errno == ETIME || errno == EINTR) {
+      pending_ = 0;
+      return -ETIME;
+    }
+    return -errno;
+  }
+  pending_ -= std::min(pending_, static_cast<unsigned>(r));
+  return r;
+}
+
+bool Queue::setupBufRing(std::uint16_t bgid, std::uint32_t bufCount,
+                         std::uint32_t bufBytes) {
+  bufRingBytes_ = bufCount * sizeof(io_uring_buf);
+  bufRing_ = static_cast<io_uring_buf_ring*>(
+      ::mmap(nullptr, bufRingBytes_, PROT_READ | PROT_WRITE,
+             MAP_ANONYMOUS | MAP_PRIVATE, -1, 0));
+  if (bufRing_ == MAP_FAILED) {
+    bufRing_ = nullptr;
+    return false;
+  }
+  io_uring_buf_reg reg{};
+  reg.ring_addr = reinterpret_cast<std::uint64_t>(bufRing_);
+  reg.ring_entries = bufCount;
+  reg.bgid = bgid;
+  if (sysRegister(fd_, IORING_REGISTER_PBUF_RING, &reg, 1) != 0) {
+    return false;
+  }
+  slab_ = new (std::nothrow) char[std::size_t{bufCount} * bufBytes];
+  if (slab_ == nullptr) return false;
+  bufCount_ = bufCount;
+  bufBytes_ = bufBytes;
+  bufTail_ = 0;
+  for (std::uint32_t i = 0; i < bufCount; ++i) {
+    recycleBuf(static_cast<std::uint16_t>(i));
+  }
+  return true;
+}
+
+void Queue::recycleBuf(std::uint16_t bid) {
+  // Never touch `bufRing_->bufs` from C++: the uapi header's
+  // __DECLARE_FLEX_ARRAY C fallback wraps the flexible array together
+  // with an empty struct whose sizeof is 1 in C++ (0 in C), padding
+  // `bufs` to offset 8 — but the kernel ABI reads entries from offset 0.
+  // Index the entry array from the ring base instead; `tail` (offset 14,
+  // overlaying entry 0's resv bytes) is declared outside the flex array
+  // and stays correct in both languages.
+  auto* entries = reinterpret_cast<io_uring_buf*>(bufRing_);
+  io_uring_buf& slot = entries[bufTail_ & (bufCount_ - 1)];
+  slot.addr = reinterpret_cast<std::uint64_t>(bufData(bid));
+  slot.len = bufBytes_;
+  slot.bid = bid;
+  ++bufTail_;
+  __atomic_store_n(&bufRing_->tail, static_cast<std::uint16_t>(bufTail_),
+                   __ATOMIC_RELEASE);
+}
+
+bool supported() {
+  static const bool ok = [] {
+    Queue probe;
+    return probe.init(8) && probe.setupBufRing(0, 8, 4096);
+  }();
+  return ok;
+}
+
+}  // namespace simfs::msg::uring
+
+#else  // !SIMFS_HAS_URING
+
+namespace simfs::msg::uring {
+
+bool supported() { return false; }
+
+}  // namespace simfs::msg::uring
+
+#endif

@@ -1,0 +1,121 @@
+// Minimal raw-syscall io_uring wrapper for the reactor's uring backend.
+//
+// No liburing dependency: the ring is set up with io_uring_setup(2), SQ/
+// CQ/SQE arrays are mmap()ed directly and submission goes through
+// io_uring_enter(2) with EXT_ARG timeouts. The surface is exactly what
+// the reactor needs — SQE acquisition, submit(+wait), CQE drain, and one
+// provided-buffer ring (IORING_REGISTER_PBUF_RING) feeding multishot
+// recv — nothing more.
+//
+// Compile-gated on the kernel headers: on a toolchain without
+// <linux/io_uring.h> everything degrades to supported() == false and the
+// reactor stays on epoll.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#if __has_include(<linux/io_uring.h>)
+#define SIMFS_HAS_URING 1
+#include <linux/io_uring.h>
+#else
+#define SIMFS_HAS_URING 0
+#endif
+
+namespace simfs::msg::uring {
+
+/// Cached runtime probe: true when the kernel accepts an io_uring with
+/// the features this backend relies on (EXT_ARG timeouts and a provided-
+/// buffer ring). False on old kernels, seccomp-filtered sandboxes, or
+/// builds without the headers.
+[[nodiscard]] bool supported();
+
+#if SIMFS_HAS_URING
+
+class Queue {
+ public:
+  Queue() = default;
+  ~Queue();
+  Queue(const Queue&) = delete;
+  Queue& operator=(const Queue&) = delete;
+
+  /// Sets the ring up with `sqEntries` submission slots. False on any
+  /// setup/mmap failure or missing kernel feature (caller falls back).
+  [[nodiscard]] bool init(unsigned sqEntries);
+
+  /// Next free SQE (zeroed), or nullptr when the SQ is full — submit()
+  /// and retry.
+  [[nodiscard]] io_uring_sqe* getSqe();
+
+  /// Submits queued SQEs without waiting. Returns -errno on failure.
+  int submit();
+
+  /// Submits queued SQEs and waits up to `timeout` for >= 1 CQE
+  /// (negative timeout = block indefinitely). Returns -errno on failure;
+  /// -ETIME (timeout expired) is a normal outcome.
+  int submitAndWait(std::chrono::nanoseconds timeout);
+
+  /// Drains every pending CQE through `fn(const io_uring_cqe&)`.
+  template <typename Fn>
+  unsigned drainCqes(Fn&& fn) {
+    unsigned head = *cqHead_;
+    const unsigned tail = __atomic_load_n(cqTail_, __ATOMIC_ACQUIRE);
+    unsigned n = 0;
+    while (head != tail) {
+      fn(cqes_[head & cqMask_]);
+      ++head;
+      ++n;
+    }
+    __atomic_store_n(cqHead_, head, __ATOMIC_RELEASE);
+    return n;
+  }
+
+  /// Registers a provided-buffer ring (group `bgid`): `bufCount` (power
+  /// of two) buffers of `bufBytes` each, carved from one slab, all
+  /// published to the kernel immediately. Multishot recv SQEs select
+  /// from this pool via IOSQE_BUFFER_SELECT.
+  [[nodiscard]] bool setupBufRing(std::uint16_t bgid, std::uint32_t bufCount,
+                                  std::uint32_t bufBytes);
+
+  /// Hands buffer `bid` back to the kernel after its data is consumed.
+  void recycleBuf(std::uint16_t bid);
+
+
+  [[nodiscard]] char* bufData(std::uint16_t bid) const noexcept {
+    return slab_ + static_cast<std::size_t>(bid) * bufBytes_;
+  }
+  [[nodiscard]] std::uint32_t bufBytes() const noexcept { return bufBytes_; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_ = -1;
+  unsigned sqEntries_ = 0;
+  void* sqRing_ = nullptr;
+  std::size_t sqRingBytes_ = 0;
+  void* cqRing_ = nullptr;  ///< == sqRing_ with IORING_FEAT_SINGLE_MMAP
+  std::size_t cqRingBytes_ = 0;
+  io_uring_sqe* sqes_ = nullptr;
+  std::size_t sqesBytes_ = 0;
+  unsigned* sqHead_ = nullptr;
+  unsigned* sqTail_ = nullptr;
+  unsigned sqMask_ = 0;
+  unsigned* sqArray_ = nullptr;
+  unsigned* cqHead_ = nullptr;
+  unsigned* cqTail_ = nullptr;
+  unsigned cqMask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+  unsigned localTail_ = 0;  ///< SQEs written but not yet pushed to ktail
+  unsigned pending_ = 0;    ///< SQEs pushed but not yet submitted
+
+  io_uring_buf_ring* bufRing_ = nullptr;
+  std::size_t bufRingBytes_ = 0;
+  char* slab_ = nullptr;
+  std::uint32_t bufCount_ = 0;
+  std::uint32_t bufBytes_ = 0;
+  unsigned bufTail_ = 0;
+};
+
+#endif  // SIMFS_HAS_URING
+
+}  // namespace simfs::msg::uring

@@ -36,12 +36,18 @@
 
 namespace simfs::msg {
 
+/// THE frame-size constant: sized so every control message (acks, opens,
+/// small batches) fits without spilling. WireBuffer's inline storage and
+/// the shm ring slot size both derive from it — a static_assert in
+/// shm_ring.hpp ties them together, so the two paths cannot drift apart.
+inline constexpr std::size_t kInlineFrameBytes = 256;
+
 /// One framed outbound message; see file comment.
 class WireBuffer {
  public:
   /// Control messages (acks, opens, small batches) fit inline; only bulk
   /// payloads (ring tables, big batches) spill to the heap.
-  static constexpr std::size_t kInlineCapacity = 256;
+  static constexpr std::size_t kInlineCapacity = kInlineFrameBytes;
   static constexpr std::size_t kFrameHeaderBytes = 4;
 
   WireBuffer() = default;

@@ -19,12 +19,17 @@
 #include "common/fault.hpp"
 #include "dv/daemon.hpp"
 #include "dvlib/router.hpp"
+#include "dvlib/session.hpp"
 #include "dvlib/simfs_client.hpp"
 #include "msg/transport.hpp"
 #include "simulator/threaded_fleet.hpp"
 #include "vfs/file_store.hpp"
 
 #include <gtest/gtest.h>
+
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -284,6 +289,111 @@ TEST(FaultTest, NodeKillBoundsErrorsAndPreservesSurvivorAvailability) {
   }
   killCluster(clusterA);
   killCluster(clusterB);
+}
+
+TEST(FaultTest, ShmPeerSigkillMidFloodIsContainedLikeSocketLoss) {
+  // A same-host client that negotiated the shm data plane and then dies
+  // without unwinding (SIGKILL mid-ping-flood) must look exactly like
+  // socket loss: the daemon reaps the session and the context keeps
+  // serving fresh clients — no wedge, no poisoned shard.
+  if (::access("./simfsctl", X_OK) != 0) {
+    GTEST_SKIP() << "simfsctl binary not next to the test runner";
+  }
+  const std::string path = socketPathFor("shmkill", 0);
+  Daemon::Options options;
+  options.shards = 2;
+  options.workers = 2;
+  Daemon daemon(options);
+  vfs::MemFileStore store;
+  simulator::ThreadedSimulatorFleet fleet(daemon, store, /*timeScale=*/1.0);
+  const auto cfg = faultConfig(0);
+  ASSERT_TRUE(
+      daemon.registerContext(std::make_unique<simmodel::SyntheticDriver>(cfg))
+          .isOk());
+  fleet.registerContext(cfg);
+  daemon.setLauncher(&fleet);
+  ASSERT_TRUE(daemon.listen(path).isOk());
+
+  // Per-transport connection counters travel in the kShardStatsAck
+  // header; an in-proc probe reads them without disturbing the socket
+  // side under test.
+  const auto statsText = [&]() -> std::string {
+    auto conn = daemon.connectInProc();
+    std::mutex mu;
+    std::condition_variable cv;
+    std::string text;
+    bool got = false;
+    conn->setHandler([&](msg::Message&& m) {
+      std::lock_guard lock(mu);
+      text = m.text;
+      got = true;
+      cv.notify_all();
+    });
+    msg::Message req;
+    req.type = msg::MsgType::kShardStatsReq;
+    req.requestId = 1;
+    EXPECT_TRUE(conn->send(req).isOk());
+    std::unique_lock lock(mu);
+    EXPECT_TRUE(
+        cv.wait_for(lock, std::chrono::seconds(5), [&] { return got; }));
+    return text;
+  };
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Flood the daemon with pings over a negotiated shm connection until
+    // killed; the count is effectively "forever".
+    ::execl("./simfsctl", "simfsctl", "ping", path.c_str(), "2000000000",
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+
+  // Wait until the child's hello settled on shm and the flood is live.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  bool sawShm = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (statsText().find("conn_shm=1") != std::string::npos) {
+      sawShm = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(sawShm) << "child never negotiated the shm data plane";
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+  ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+  // Containment: a fresh socket client completes a full acquire/release
+  // on the same context within the retry budget.
+  {
+    auto conn = msg::unixSocketConnect(path);
+    ASSERT_TRUE(conn.isOk());
+    auto session =
+        dvlib::Session::connect(std::move(*conn), contextName(0));
+    ASSERT_TRUE(session.isOk());
+    const std::string file = cfg.codec.outputFile(3);
+    bool done = false;
+    for (int attempt = 0; attempt < 10 && !done; ++attempt) {
+      if ((*session)->acquire({file}).isOk() &&
+          (*session)->release(file).isOk()) {
+        done = true;
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+    EXPECT_TRUE(done) << "daemon wedged after shm peer SIGKILL";
+    (*session)->finalize();
+  }
+  // The verification client negotiated shm too: the cumulative counter
+  // kept counting past the crash instead of wedging at 1.
+  EXPECT_NE(statsText().find("conn_shm=2"), std::string::npos)
+      << "stats: " << statsText();
 }
 
 }  // namespace

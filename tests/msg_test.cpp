@@ -580,5 +580,86 @@ TEST_F(UnixSocketTest, ManyMessagesInOrder) {
   server.stop();
 }
 
+TEST_F(UnixSocketTest, LegacyHelloDowngradeIsBytePinned) {
+  // Negotiation must be invisible to peers that predate it. With the shm
+  // offer suppressed, a client hello crosses the wire byte-identical to
+  // the pre-negotiation protocol, and the ack a daemon sends back to a
+  // hello that advertised nothing is byte-identical to the ack a
+  // pre-negotiation daemon would have built — intArg2 stays untouched, so
+  // old clients (which never read it) and new clients (which read
+  // kLegacy) both settle on the socket path.
+  ::setenv("SIMFS_SHM", "0", 1);
+  UnixSocketServer server(path_);
+  std::mutex mu;
+  std::vector<std::unique_ptr<Transport>> serverConns;
+  std::vector<Message> heard;
+  ASSERT_TRUE(server
+                  .start([&](std::unique_ptr<Transport> conn) {
+                    auto* raw = conn.get();
+                    raw->setHandler([&, raw](Message&& m) {
+                      {
+                        std::lock_guard lock(mu);
+                        heard.push_back(m);
+                      }
+                      // The daemon's negotiation branch: answer in
+                      // intArg2 only when the hello advertised caps.
+                      Message ack;
+                      ack.type = MsgType::kHelloAck;
+                      ack.requestId = m.requestId;
+                      if ((m.intArg2 & kHelloCapShm) != 0) {
+                        ack.intArg2 =
+                            static_cast<std::int64_t>(TransportChoice::kShm);
+                      }
+                      (void)raw->send(ack);
+                    });
+                    std::lock_guard lock(mu);
+                    serverConns.push_back(std::move(conn));
+                  })
+                  .isOk());
+  auto client = unixSocketConnect(path_);
+  ASSERT_TRUE(client.isOk());
+  std::mutex rmu;
+  std::condition_variable rcv;
+  std::vector<Message> replies;
+  (*client)->setHandler([&](Message&& m) {
+    std::lock_guard lock(rmu);
+    replies.push_back(std::move(m));
+    rcv.notify_all();
+  });
+
+  Message hello;
+  hello.type = MsgType::kHello;
+  hello.requestId = 9;
+  hello.context = "cosmo-5min";
+  hello.intArg = static_cast<std::int64_t>(ClientRole::kAnalysis);
+  ASSERT_TRUE((*client)->send(hello).isOk());
+  {
+    std::unique_lock lock(rmu);
+    ASSERT_TRUE(rcv.wait_for(lock, std::chrono::seconds(5),
+                             [&] { return !replies.empty(); }));
+  }
+  {
+    std::lock_guard lock(mu);
+    ASSERT_EQ(heard.size(), 1u);
+    // Client side of the pin: the hello the daemon heard encodes exactly
+    // as the one the caller handed to send() — no capability bit, no shm
+    // key smuggled in by the transport wrapper.
+    EXPECT_EQ(encode(heard[0]), encode(hello));
+    EXPECT_EQ(heard[0].intArg2 & kHelloCapShm, 0);
+  }
+  // Daemon side of the pin: the ack matches a hand-built pre-negotiation
+  // ack byte for byte, and decodes to the kLegacy choice.
+  Message oldAck;
+  oldAck.type = MsgType::kHelloAck;
+  oldAck.requestId = 9;
+  EXPECT_EQ(encode(replies[0]), encode(oldAck));
+  EXPECT_EQ(replies[0].intArg2,
+            static_cast<std::int64_t>(TransportChoice::kLegacy));
+  EXPECT_EQ((*client)->kindName(), "socket");
+  (*client)->close();
+  server.stop();
+  ::unsetenv("SIMFS_SHM");
+}
+
 }  // namespace
 }  // namespace simfs::msg
