@@ -37,8 +37,15 @@ def main() -> int:
         except (OSError, json.JSONDecodeError) as err:
             print(f"merge_bench: skipping {name}: {err}", file=sys.stderr)
             continue
+        ctx = data.get("context")
         if merged["context"] is None:
-            merged["context"] = data.get("context")
+            merged["context"] = ctx
+        elif isinstance(ctx, dict) and isinstance(merged["context"], dict):
+            # Machine facts (hw_cores, reactor_backend) must survive the
+            # merge even when the first input predates them.
+            for key in ("hw_cores", "reactor_backend"):
+                if key in ctx:
+                    merged["context"].setdefault(key, ctx[key])
         merged["sources"].append(path.name)
         for bench in data.get("benchmarks", []):
             entry = dict(bench)

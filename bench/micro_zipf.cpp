@@ -1,0 +1,419 @@
+// Zipf-skewed federation serving throughput (google-benchmark): the
+// replica-lease headline number. A 3-node ring serves 6 contexts; 9
+// client threads issue vectored opens whose CONTEXT choice follows a
+// Zipf(alpha = 1.1) distribution, so one hot context dominates the
+// traffic exactly like a popular simulation output under analysis
+// fan-in. Every open hits a pre-seeded resident step.
+//
+//   replicas:0  — owner-only serving: the hot context's ring owner (one
+//                 shard, one node) serializes the skewed load.
+//   replicas:2  — read-only lease fan-out: both ring successors hold
+//                 leases over the resident steps and the dvlib sessions
+//                 spread acquires across owner + replicas with
+//                 power-of-two-choices on estimated wait.
+//
+// The items_per_second ratio replicas:2 / replicas:0 is the gate CI
+// tracks (zipf-smoke): the fan-out must at least double aggregate open
+// throughput on a multi-core runner. allocs/op audits the steady-state
+// serving path across ALL threads in a quiet region (client sessions,
+// reactors, shard workers, lease plane); periodic peer heartbeats are
+// the only expected source, so the number must be ~0.
+//
+// Run with --json (see bench_util.hpp) for BENCH_zipf.json.
+#include "alloc_counter.hpp"
+#include "bench_util.hpp"
+#include "cluster/ring.hpp"
+#include "dv/daemon.hpp"
+#include "dvlib/router.hpp"
+#include "dvlib/session.hpp"
+#include "msg/message.hpp"
+#include "msg/transport.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace simfs;
+
+constexpr int kNodes = 3;
+constexpr int kContexts = 6;
+constexpr int kClients = 9;
+constexpr StepIndex kSeededSteps = 64;
+constexpr std::size_t kBatchFiles = 4;   ///< files per kOpenBatchReq
+constexpr std::size_t kWindow = 32;      ///< in-flight acquires per client
+constexpr int kOpsPerClientPerIter = 512;
+constexpr double kZipfAlpha = 1.1;
+
+class NullLauncher final : public dv::SimLauncher {
+ public:
+  void launch(SimJobId, const simmodel::JobSpec&) override {}
+  void kill(SimJobId) override {}
+};
+
+simmodel::ContextConfig zipfContext(int i) {
+  simmodel::ContextConfig cfg;
+  cfg.name = "zipf" + std::to_string(i);
+  cfg.geometry = simmodel::StepGeometry(1, 16, 1 << 12);
+  cfg.outputStepBytes = 1;
+  cfg.cacheQuotaBytes = 1 << 16;  // far above the seeded set: no eviction
+  cfg.prefetchEnabled = false;
+  return cfg;
+}
+
+std::string zipfSocketPath(int i) {
+  static const int pid = static_cast<int>(::getpid());
+  return "/tmp/simfs_zipf_" + std::to_string(pid) + "_" + std::to_string(i) +
+         ".sock";
+}
+
+/// Cumulative Zipf(alpha) distribution over kContexts ranks. Rank k
+/// (0-based) gets weight 1 / (k+1)^alpha; the hottest context takes
+/// ~44% of the traffic at alpha = 1.1 over 6 contexts.
+std::vector<double> zipfCdf() {
+  std::vector<double> cdf(kContexts);
+  double total = 0;
+  for (int k = 0; k < kContexts; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), kZipfAlpha);
+    cdf[static_cast<std::size_t>(k)] = total;
+  }
+  for (auto& v : cdf) v /= total;
+  return cdf;
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// One ring member, serving a Unix socket.
+struct ZipfNode {
+  std::unique_ptr<dv::Daemon> daemon;
+  std::string socketPath;
+};
+
+/// One client thread: a session per context (each spreading over
+/// owner + leased replicas on its own), a deterministic per-thread Zipf
+/// stream, and a bounded window of in-flight vectored acquires.
+struct ZipfClient {
+  std::vector<std::shared_ptr<dvlib::Session>> sessions;  ///< per context
+  std::vector<std::vector<std::string>> files;  ///< [context][step] names
+  std::vector<std::string> batch;               ///< reused batch storage
+  std::uint64_t rng = 0;
+  std::uint64_t acks = 0;
+
+  /// Streams `n` Zipf-routed batched acquires, windowed, then drains.
+  bool flood(int n, const std::vector<double>& cdf) {
+    std::vector<dvlib::AcquireHandle> window(kWindow);
+    batch.resize(kBatchFiles);
+    bool ok = true;
+    for (int i = 0; i < n; ++i) {
+      const double u =
+          static_cast<double>(splitmix64(rng) >> 11) * 0x1p-53;
+      int ctx = 0;
+      while (ctx < kContexts - 1 && cdf[static_cast<std::size_t>(ctx)] < u) {
+        ++ctx;
+      }
+      const auto& names = files[static_cast<std::size_t>(ctx)];
+      for (std::size_t j = 0; j < kBatchFiles; ++j) {
+        batch[j].assign(
+            names[(static_cast<std::size_t>(i) * kBatchFiles + j) %
+                  names.size()]);
+      }
+      auto& slot = window[static_cast<std::size_t>(i) % kWindow];
+      if (slot.valid()) {
+        if (!slot.wait().isOk()) ok = false;
+        ++acks;
+      }
+      slot = sessions[static_cast<std::size_t>(ctx)]->acquireAsync(
+          std::span<const std::string>(batch));
+    }
+    for (auto& slot : window) {
+      if (!slot.valid()) continue;
+      if (!slot.wait().isOk()) ok = false;
+      ++acks;
+      slot = dvlib::AcquireHandle();
+    }
+    return ok;
+  }
+};
+
+/// Persistent client threads (same rationale as micro_daemon's FloodPool:
+/// thread spawn cost and allocation must stay out of the timed region).
+class ZipfPool {
+ public:
+  ZipfPool(std::vector<std::unique_ptr<ZipfClient>>& clients,
+           const std::vector<double>& cdf)
+      : clients_(clients), cdf_(cdf) {
+    threads_.reserve(clients_.size());
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      threads_.emplace_back([this, i] { worker(i); });
+    }
+  }
+
+  ~ZipfPool() {
+    {
+      std::lock_guard lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  /// Runs one flood round on every client; returns false on any failure.
+  bool runRound(int opsPerClient) {
+    {
+      std::lock_guard lock(mu_);
+      ops_ = opsPerClient;
+      done_ = 0;
+      ok_ = true;
+      ++round_;
+    }
+    cv_.notify_all();
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return done_ == threads_.size(); });
+    return ok_;
+  }
+
+ private:
+  void worker(std::size_t index) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock lock(mu_);
+        cv_.wait(lock, [&] { return stop_ || round_ != seen; });
+        if (stop_) return;
+        seen = round_;
+      }
+      const bool ok = clients_[index]->flood(ops_, cdf_);
+      {
+        std::lock_guard lock(mu_);
+        if (!ok) ok_ = false;
+        ++done_;
+      }
+      cv_.notify_all();
+    }
+  }
+
+  std::vector<std::unique_ptr<ZipfClient>>& clients_;
+  const std::vector<double>& cdf_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t round_ = 0;
+  std::size_t done_ = 0;
+  int ops_ = 0;
+  bool ok_ = true;
+  bool stop_ = false;
+};
+
+void BM_ZipfOpenFlood(benchmark::State& state) {
+  const int replicas = static_cast<int>(state.range(0));
+
+  std::vector<cluster::NodeInfo> members;
+  for (int i = 0; i < kNodes; ++i) {
+    members.push_back({"dv" + std::to_string(i), zipfSocketPath(i)});
+  }
+  const cluster::Ring ring =
+      cluster::Ring::make(std::move(members), /*version=*/1).value();
+
+  NullLauncher launcher;
+  std::vector<ZipfNode> nodes;
+  std::vector<simmodel::ContextConfig> cfgs;
+  for (int c = 0; c < kContexts; ++c) cfgs.push_back(zipfContext(c));
+  for (int i = 0; i < kNodes; ++i) {
+    ZipfNode node;
+    dv::Daemon::Options options;
+    options.shards = 2;
+    options.workers = 2;
+    options.nodeId = "dv" + std::to_string(i);
+    options.ring = ring;
+    options.replicas = replicas;
+    options.queueCap =
+        static_cast<std::size_t>(kClients) * kWindow * kBatchFiles * 4;
+    node.daemon = std::make_unique<dv::Daemon>(options);
+    node.daemon->setLauncher(&launcher);
+    for (int c = 0; c < kContexts; ++c) {
+      if (!node.daemon
+               ->registerContext(
+                   std::make_unique<simmodel::SyntheticDriver>(cfgs[c]))
+               .isOk()) {
+        state.SkipWithError("registerContext failed");
+        return;
+      }
+    }
+    node.socketPath = zipfSocketPath(i);
+    if (!node.daemon->listen(node.socketPath).isOk()) {
+      state.SkipWithError("listen failed");
+      return;
+    }
+    nodes.push_back(std::move(node));
+  }
+
+  // Seed the resident working set on each context's RING OWNER; the
+  // seeds fan leases out to the R successors through the lease plane.
+  for (int c = 0; c < kContexts; ++c) {
+    const std::string owner = ring.ownerOf(cfgs[c].name).id;
+    for (auto& node : nodes) {
+      if (node.daemon->nodeId() != owner) continue;
+      for (StepIndex s = 0; s < kSeededSteps; ++s) {
+        (void)node.daemon->seedAvailableStep(cfgs[c].name, s);
+      }
+    }
+  }
+
+  if (replicas > 0) {
+    // Lease propagation barrier: every replica must hold the full seeded
+    // step set before the measured rounds, or the early traffic would
+    // measure not-leased fallbacks instead of steady-state serving.
+    const std::uint64_t want = static_cast<std::uint64_t>(kContexts) *
+                               kSeededSteps *
+                               static_cast<std::uint64_t>(replicas);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    std::uint64_t leased = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      leased = 0;
+      for (auto& node : nodes) {
+        for (const auto& sc : node.daemon->shardCounters()) {
+          leased += sc.leasedSteps;
+        }
+      }
+      if (leased >= want) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (leased < want) {
+      state.SkipWithError("lease propagation timed out");
+      return;
+    }
+  }
+
+  auto router = dvlib::NodeRouter::overUnixSockets(ring);
+  std::vector<std::unique_ptr<ZipfClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    auto client = std::make_unique<ZipfClient>();
+    client->rng = 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(c + 1);
+    for (int x = 0; x < kContexts; ++x) {
+      auto session = dvlib::Session::connect(router, cfgs[x].name);
+      if (!session.isOk()) {
+        state.SkipWithError("session connect failed");
+        return;
+      }
+      client->sessions.push_back(std::move(*session));
+      std::vector<std::string> names;
+      for (StepIndex s = 0; s < kSeededSteps; ++s) {
+        names.push_back(cfgs[x].codec.outputFile(s));
+      }
+      client->files.push_back(std::move(names));
+    }
+    clients.push_back(std::move(client));
+  }
+
+  const std::vector<double> cdf = zipfCdf();
+  {
+    ZipfPool pool(clients, cdf);
+    // Untimed warm-up: grows pools/arenas to steady state AND triggers
+    // the sessions' replica-link setup (the first acquire schedules it).
+    if (!pool.runRound(kOpsPerClientPerIter)) {
+      state.SkipWithError("warm-up round failed");
+      return;
+    }
+    if (replicas > 0) {
+      // Replica links come up asynchronously on the sessions' recovery
+      // threads — wait until every session spreads over all R replicas.
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(20);
+      bool linked = false;
+      while (!linked && std::chrono::steady_clock::now() < deadline) {
+        linked = true;
+        for (auto& client : clients) {
+          for (auto& session : client->sessions) {
+            if (session->replicaEndpoints() <
+                static_cast<std::size_t>(replicas)) {
+              linked = false;
+              break;
+            }
+          }
+          if (!linked) break;
+        }
+        if (!linked) {
+          (void)pool.runRound(kOpsPerClientPerIter / 8);
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      }
+      if (!linked) {
+        state.SkipWithError("replica links did not come up");
+        return;
+      }
+      (void)pool.runRound(kOpsPerClientPerIter);  // re-warm, links live
+    }
+    for (auto _ : state) {
+      if (!pool.runRound(kOpsPerClientPerIter)) {
+        state.SkipWithError("flood round failed");
+        return;
+      }
+    }
+    // Steady-state allocation audit in a quiet region (same discipline
+    // as micro_daemon): serving must not touch the heap. Peer
+    // heartbeats are the only tolerated source, amortized to ~0/op.
+    const std::uint64_t before =
+        bench::g_allocCount.load(std::memory_order_relaxed);
+    (void)pool.runRound(kOpsPerClientPerIter);
+    state.counters["allocs/op"] = benchmark::Counter(
+        static_cast<double>(bench::g_allocCount.load(
+                                std::memory_order_relaxed) -
+                            before) /
+        (static_cast<double>(kClients) * kOpsPerClientPerIter * kBatchFiles));
+  }
+
+  // Opens per second: every acquire carries kBatchFiles resident files.
+  state.SetItemsProcessed(state.iterations() * kClients *
+                          kOpsPerClientPerIter *
+                          static_cast<std::int64_t>(kBatchFiles));
+  state.counters["replicas"] = replicas;
+  state.counters["clients"] = kClients;
+  std::uint64_t replicaHits = 0;
+  std::uint64_t opens = 0;
+  for (auto& node : nodes) {
+    for (const auto& sc : node.daemon->shardCounters()) {
+      replicaHits += sc.replicaHits;
+    }
+    opens += node.daemon->stats().opens;
+  }
+  // Share of opens served off-owner: ~0 at replicas:0, substantial at
+  // replicas:2 (the fan-out actually absorbing the skew).
+  state.counters["replica_share"] =
+      opens > 0 ? static_cast<double>(replicaHits) /
+                      static_cast<double>(replicaHits + opens)
+                : 0.0;
+
+  for (auto& client : clients) {
+    for (auto& session : client->sessions) session->finalize();
+  }
+  clients.clear();
+  router->drainPool();
+  for (auto& node : nodes) node.daemon.reset();
+  for (int i = 0; i < kNodes; ++i) ::unlink(zipfSocketPath(i).c_str());
+}
+
+}  // namespace
+
+BENCHMARK(BM_ZipfOpenFlood)
+    ->ArgNames({"replicas"})
+    ->Arg(0)
+    ->Arg(2)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  return simfs::bench::runMicroBenchmarks(argc, argv, "BENCH_zipf.json");
+}

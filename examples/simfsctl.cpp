@@ -38,7 +38,14 @@
 //   simfsctl cluster-status <socket-path>
 //       Resolves the ring through one member, then queries every member
 //       for its aggregate statistics and prints which node owns which
-//       context (consistent-hash placement).
+//       context (consistent-hash placement), which nodes hold its read
+//       lease, and flags contexts with an eviction revocation in flight.
+//
+//   simfsctl replicas <socket-path> <context>
+//       Read-replica lease view of one context: the owner, the replica
+//       set R consecutive ring successors deep, the lease generation and
+//       per-node leased-step counts — the operator's answer to "who can
+//       serve this context's reads right now?".
 //
 //   simfsctl acquire <socket-path> <context> <file...>
 //       Drives the vectored session API against a live daemon: ALL files
@@ -60,7 +67,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <map>
 #include <mutex>
+#include <set>
 
 using namespace simfs;
 
@@ -76,6 +85,7 @@ int usage() {
                "       simfsctl stats <socket-path>\n"
                "       simfsctl ring <socket-path>\n"
                "       simfsctl cluster-status <socket-path>\n"
+               "       simfsctl replicas <socket-path> <context>\n"
                "       simfsctl acquire <socket-path> <context> <file...>\n");
   return 2;
 }
@@ -364,9 +374,11 @@ int daemonShardStats(const std::string& socketPath) {
   return 0;
 }
 
-/// Fetches a daemon's ring (kRingReq); rc != 0 on failure.
+/// Fetches a daemon's ring (kRingReq); rc != 0 on failure. `replicas`
+/// (optional) receives the federation's read-replica count R, carried
+/// additively in intArg2 (0 from pre-replica daemons).
 int fetchRing(const std::string& socketPath, cluster::Ring* ring,
-              std::string* nodeId) {
+              std::string* nodeId, std::size_t* replicas = nullptr) {
   msg::Message reply;
   if (const int rc = daemonCall(socketPath, msg::MsgType::kRingReq, &reply);
       rc != 0) {
@@ -377,6 +389,9 @@ int fetchRing(const std::string& socketPath, cluster::Ring* ring,
     return 1;
   }
   if (nodeId != nullptr) *nodeId = reply.text;
+  if (replicas != nullptr) {
+    *replicas = reply.intArg2 > 0 ? static_cast<std::size_t>(reply.intArg2) : 0;
+  }
   if (reply.files.empty()) {
     *ring = cluster::Ring();  // standalone daemon
     return 0;
@@ -409,12 +424,145 @@ int daemonRing(const std::string& socketPath) {
   return 0;
 }
 
+/// "key=value;key=value" (the shard-stats text field) into a map.
+std::map<std::string, std::string> parseKvText(const std::string& text) {
+  std::map<std::string, std::string> kv;
+  for (const auto& item : str::split(text, ';')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) continue;
+    kv[item.substr(0, eq)] = item.substr(eq + 1);
+  }
+  return kv;
+}
+
+/// One applied/granted lease as a shard-stats line reports it.
+struct LeaseEntry {
+  unsigned long long generation = 0;
+  std::size_t steps = 0;
+  bool replica = false;  // 'r' role: applied grant; 'o': granting owner
+};
+
+/// Decodes one "name:gen:steps:role" lease entry. Parsed from the RIGHT
+/// so a ':' inside a context name cannot shift the numeric fields.
+bool parseLeaseEntry(const std::string& entry, std::string* name,
+                     LeaseEntry* out) {
+  const auto c3 = entry.rfind(':');
+  if (c3 == std::string::npos || c3 + 2 != entry.size()) return false;
+  const auto c2 = entry.rfind(':', c3 - 1);
+  if (c2 == std::string::npos) return false;
+  const auto c1 = entry.rfind(':', c2 - 1);
+  if (c1 == std::string::npos) return false;
+  const char role = entry[c3 + 1];
+  if (role != 'r' && role != 'o') return false;
+  *name = entry.substr(0, c1);
+  out->generation = std::strtoull(entry.c_str() + c1 + 1, nullptr, 10);
+  out->steps = std::strtoull(entry.c_str() + c2 + 1, nullptr, 10);
+  out->replica = role == 'r';
+  return true;
+}
+
+/// Lease-plane view of one node: its shard-stats lines folded into
+/// per-context lease entries plus the node-level kv text.
+struct NodeLeaseView {
+  bool reachable = false;
+  std::map<std::string, std::string> kv;
+  std::map<std::string, LeaseEntry> leases;  // by context
+};
+
+NodeLeaseView fetchLeaseView(const std::string& endpoint) {
+  NodeLeaseView view;
+  msg::Message reply;
+  if (daemonCall(endpoint, msg::MsgType::kShardStatsReq, &reply) != 0 ||
+      reply.type != msg::MsgType::kShardStatsAck) {
+    return view;
+  }
+  view.reachable = true;
+  view.kv = parseKvText(reply.text);
+  for (const auto& line : reply.files) {
+    const auto shardKv = parseKvText(line);
+    const auto it = shardKv.find("leases");
+    if (it == shardKv.end() || it->second == "-") continue;
+    for (const auto& entry : str::split(it->second, ',')) {
+      std::string name;
+      LeaseEntry lease;
+      if (parseLeaseEntry(entry, &name, &lease)) view.leases[name] = lease;
+    }
+  }
+  return view;
+}
+
+int replicaStatus(const std::string& socketPath, const std::string& context) {
+  cluster::Ring ring;
+  std::size_t replicas = 0;
+  if (const int rc = fetchRing(socketPath, &ring, nullptr, &replicas);
+      rc != 0) {
+    return rc;
+  }
+  if (ring.empty()) {
+    std::printf("standalone daemon (no ring): no replica plane\n");
+    return 0;
+  }
+  const cluster::NodeInfo owner = ring.ownerOf(context);
+  const auto replicaSet = ring.replicasOf(context, replicas);
+  std::printf("context   %s\n", context.c_str());
+  std::printf("replicas  R=%zu%s\n", replicas,
+              replicas == 0 ? " (replica reads disabled)" : "");
+  std::vector<cluster::NodeInfo> probe{owner};
+  probe.insert(probe.end(), replicaSet.begin(), replicaSet.end());
+  for (const auto& n : probe) {
+    const bool isOwner = n.id == owner.id;
+    const auto view = fetchLeaseView(n.endpoint);
+    if (!view.reachable) {
+      std::printf("%-8s  %-12s %-28s UNREACHABLE\n",
+                  isOwner ? "owner" : "replica", n.id.c_str(),
+                  n.endpoint.c_str());
+      continue;
+    }
+    const auto lease = view.leases.find(context);
+    std::string detail;
+    if (lease == view.leases.end()) {
+      detail = "no lease";
+    } else {
+      detail = str::format("gen=%llu leased_steps=%zu",
+                           lease->second.generation, lease->second.steps);
+    }
+    // An un-acked eviction revoke is only ledgered at the owner.
+    const auto rev = view.kv.find("revoking");
+    if (isOwner && rev != view.kv.end() && rev->second != "-") {
+      for (const auto& name : str::split(rev->second, ',')) {
+        if (name == context) {
+          detail += "  REVOKING";
+          break;
+        }
+      }
+    }
+    std::printf("%-8s  %-12s %-28s %s\n", isOwner ? "owner" : "replica",
+                n.id.c_str(), n.endpoint.c_str(), detail.c_str());
+  }
+  return 0;
+}
+
 int clusterStatus(const std::string& socketPath) {
   cluster::Ring ring;
-  if (const int rc = fetchRing(socketPath, &ring, nullptr); rc != 0) return rc;
+  std::size_t replicas = 0;
+  if (const int rc = fetchRing(socketPath, &ring, nullptr, &replicas);
+      rc != 0) {
+    return rc;
+  }
   if (ring.empty()) {
     std::printf("standalone daemon (no ring); falling back to status\n");
     return daemonStatus(socketPath);
+  }
+  // Contexts with an eviction revocation still in flight anywhere in the
+  // federation (the owner ledgers them until every replica acks).
+  std::set<std::string> revoking;
+  for (const auto& n : ring.nodes()) {
+    const auto view = fetchLeaseView(n.endpoint);
+    const auto rev = view.kv.find("revoking");
+    if (rev == view.kv.end() || rev->second == "-") continue;
+    for (const auto& name : str::split(rev->second, ',')) {
+      revoking.insert(name);
+    }
   }
   for (const auto& n : ring.nodes()) {
     msg::Message reply;
@@ -427,8 +575,18 @@ int clusterStatus(const std::string& socketPath) {
                 reply.text.c_str());
     for (const auto& ctx : reply.files) {
       const bool owned = ring.ownerOf(ctx).id == n.id;
-      std::printf("    %-20s %s\n", ctx.c_str(),
-                  owned ? "owner" : "replicated (redirects)");
+      bool leased = false;
+      for (const auto& r : ring.replicasOf(ctx, replicas)) {
+        if (r.id == n.id) {
+          leased = true;
+          break;
+        }
+      }
+      std::printf("    %-20s %s%s\n", ctx.c_str(),
+                  owned    ? "owner"
+                  : leased ? "replica (leased reads)"
+                           : "remote (redirects)",
+                  owned && revoking.count(ctx) != 0 ? "  REVOKING" : "");
     }
   }
   return 0;
@@ -525,6 +683,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "cluster-status" && argc == 3) {
     return clusterStatus(argv[2]);
+  }
+  if (cmd == "replicas" && argc == 4) {
+    return replicaStatus(argv[2], argv[3]);
   }
   if (cmd == "acquire" && argc >= 5) {
     return acquireFiles(argv[2], argv[3],

@@ -53,8 +53,19 @@ msg::MsgType ackTypeFor(msg::MsgType request) noexcept {
     case msg::MsgType::kStatusReq: return msg::MsgType::kStatusAck;
     case msg::MsgType::kShardStatsReq: return msg::MsgType::kShardStatsAck;
     case msg::MsgType::kRingReq: return msg::MsgType::kRingUpdate;
+    case msg::MsgType::kLeaseGrant:
+    case msg::MsgType::kLeaseRevoke: return msg::MsgType::kLeaseAck;
     default: return msg::MsgType::kError;
   }
+}
+
+/// Effective read-replica count R: Options wins when >= 0, otherwise the
+/// SIMFS_REPLICAS environment knob (absent / <= 0 means disabled).
+std::size_t resolveReplicas(int fromOptions) {
+  const std::int64_t v = fromOptions >= 0
+                             ? fromOptions
+                             : env::getInt("SIMFS_REPLICAS").value_or(0);
+  return v <= 0 ? 0 : static_cast<std::size_t>(v);
 }
 
 std::size_t resolveQueueCap(std::size_t fromOptions) {
@@ -92,6 +103,9 @@ struct Daemon::Session {
   std::atomic<ClientId> client{0};   ///< 0 until kHello completes (analysis)
   std::atomic<int> shard{-1};        ///< bound by kHello (context's shard)
   std::atomic<bool> defunct{false};  ///< transport closed
+  /// Serving a peer-owned context off a local read lease (set at dispatch
+  /// before the hello is queued; read by the worker's kHello handler).
+  std::atomic<bool> replica{false};
 
   /// Recently-answered kOpenBatchReq acks, by requestId: a client that
   /// resends a batch under the same id (per-op timeout retry, rebind
@@ -177,9 +191,30 @@ Daemon::Daemon(const Options& options)
     nodeId_.clear();
     ring_ = cluster::Ring();
   }
+  replicas_ = resolveReplicas(options.replicas);
+  if (nodeId_.empty() || ring_.size() < 2) {
+    replicas_ = 0;  // standalone / 1-node: nobody to lease to
+  } else {
+    replicas_ = std::min(replicas_, ring_.size() - 1);
+  }
   core_.setNotifyFn([this](ClientId c, const std::string& f, const Status& s) {
     onNotify(c, f, s);
   });
+  if (replicas_ > 0) {
+    // Owner-side lease emission. The callback fires with a shard lock
+    // held (revokes strictly BEFORE the eviction mutates the step), so it
+    // only queues and wakes — the maintenance thread does the peer sends.
+    core_.setLeaseFn([this](const std::string& ctx, std::uint64_t gen,
+                            const std::vector<StepIndex>& steps, bool revoke) {
+      const cluster::NodeInfo* owner = nullptr;
+      if (ownedElsewhere(ctx, &owner)) return;  // replica-side state change
+      {
+        std::lock_guard lock(leaseMutex_);
+        leaseOutbox_.push_back(LeaseCmd{ctx, gen, steps, revoke});
+      }
+      wakeMaintenance();
+    });
+  }
   serving_.reserve(core_.numShards());
   for (std::size_t i = 0; i < core_.numShards(); ++i) {
     serving_.push_back(std::make_unique<ShardServing>());
@@ -405,15 +440,28 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
         (void)session->transport->send(reply);
         return;
       }
-      // Federation: a context hashed onto a peer is never served here —
-      // the client is told who owns it (plus the full ring so it can
-      // resolve everything else without more round trips) and re-dials.
+      // Federation: a context hashed onto a peer is normally not served
+      // here — the client is told who owns it (plus the full ring so it
+      // can resolve everything else without more round trips) and
+      // re-dials. Exception: a replica-capable client may read a
+      // peer-owned context HERE when this node is one of its R ring
+      // successors and holds an active lease; the session is flagged so
+      // the shard serves it in replica mode (lease lookups only, misses
+      // answer kNotLeased instead of re-simulating).
       const cluster::NodeInfo* owner = nullptr;
       if (ownedElsewhere(m.context(), &owner)) {
-        redirects_.fetch_add(1, std::memory_order_relaxed);
-        (void)session->transport->send(
-            buildRedirect(m.requestId(), m.context(), *owner));
-        return;
+        const bool replicaRead =
+            replicas_ > 0 &&
+            (m.intArg2() & msg::kHelloCapReplica) != 0 &&
+            isReplicaFor(m.context()) &&
+            hasActiveLease(std::string(m.context()));
+        if (!replicaRead) {
+          redirects_.fetch_add(1, std::memory_order_relaxed);
+          (void)session->transport->send(
+              buildRedirect(m.requestId(), m.context(), *owner));
+          return;
+        }
+        session->replica.store(true);
       }
       const std::string context(m.context());
       const auto idx = core_.shardOfContext(context);
@@ -443,6 +491,14 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
         session->shard.store(static_cast<int>(*idx));
       } else {
         target = static_cast<std::size_t>(bound);
+      }
+      if (bound < 0 && replicas_ > 0) {
+        // Advertise the replica count R up front: a requestId-0
+        // kRingUpdate push rides the connection FIFO ahead of the
+        // worker's kHelloAck, so the client learns R (intArg2) without
+        // an extra round trip or ever being redirected. R = 0 daemons
+        // push nothing — the legacy hello exchange stays byte-identical.
+        (void)session->transport->send(buildRingUpdate(0));
       }
       if (!enqueueClient(target, session, m) && bound < 0) {
         // Shed hello: unbind again so a client retry can rebind cleanly.
@@ -502,6 +558,18 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
     }
     case msg::MsgType::kPong:
       return;  // stray pong on a serving session: ignore
+    // Lease plane, owner -> replica. Applied inline under the owning
+    // shard's lock: lease traffic runs at owner-event frequency, not
+    // request frequency, and inline application keeps the revoke -> ack
+    // path independent of worker queue depth (revoke-before-mutate must
+    // not wait behind a deep serving queue).
+    case msg::MsgType::kLeaseGrant:
+    case msg::MsgType::kLeaseRevoke: {
+      handleLeaseOp(session, m);
+      return;
+    }
+    case msg::MsgType::kLeaseAck:
+      return;  // owners consume acks on their peer links; stray here
     default:
       break;
   }
@@ -609,6 +677,7 @@ void Daemon::maintenanceLoop() {
       maintWake_ = false;
     }
     if (federated) {
+      if (replicas_ > 0) flushLeaseOutbox();
       dialPendingPeers();
       const VTime now = clock_.now();
       if (pingIntervalNs_ > 0 && now - lastPing >= pingIntervalNs_) {
@@ -652,11 +721,25 @@ void Daemon::dialPendingPeers() {
     }
     std::vector<msg::Message> flush;
     std::size_t dropped = 0;
+    bool declaredDead = false;
     if (link) {
       // The peer treats the link as any inbound session. The handler
-      // feeds heartbeat pongs back into the health state; everything
-      // else (error replies to fire-and-forget forwards) is dropped.
+      // feeds heartbeat pongs back into the health state and lease acks
+      // into the revocation ledger; everything else (error replies to
+      // fire-and-forget forwards) is dropped.
       link->setHandler([this, endpoint](msg::Message&& reply) {
+        if (reply.type == msg::MsgType::kLeaseAck) {
+          leaseAcksReceived_.fetch_add(1, std::memory_order_relaxed);
+          if (reply.intArg2 == 1) {  // revoke ack: context converged there
+            std::lock_guard lock(leaseMutex_);
+            const auto it = pendingRevokes_.find(reply.context);
+            if (it != pendingRevokes_.end()) {
+              it->second.erase(endpoint);
+              if (it->second.empty()) pendingRevokes_.erase(it);
+            }
+          }
+          return;
+        }
         if (reply.type != msg::MsgType::kPong) return;
         pongsReceived_.fetch_add(1, std::memory_order_relaxed);
         std::lock_guard lock(peersMutex_);
@@ -692,10 +775,12 @@ void Daemon::dialPendingPeers() {
       peer.nextDialAt = clock_.now() + peer.dialBackoff;
       if (peer.dialFails >= kDialFailsToDead) {
         peer.health = PeerHealth::kDead;
+        declaredDead = true;
         dropped = peer.pending.size();
         peer.pending.clear();
       }
     }
+    if (declaredDead) clearPendingRevokes(endpoint);
     if (dropped > 0) {
       forwardDrops_.fetch_add(dropped, std::memory_order_relaxed);
       SIMFS_LOG_WARN(kTag, "peer declared dead; dropped %zu queued forwards",
@@ -708,12 +793,16 @@ void Daemon::dialPendingPeers() {
         forwardDrops_.fetch_add(1, std::memory_order_relaxed);
       }
     }
+    // Fresh link: (re)establish this peer's view of every lease we own
+    // for it — queued grants may have been dropped while it was down.
+    if (link && replicas_ > 0) resyncLeasesTo(endpoint, link);
   }
 }
 
 void Daemon::heartbeatPeers() {
   // Collect sends under the lock, send outside it.
   std::vector<std::pair<std::shared_ptr<msg::Transport>, std::uint64_t>> pings;
+  std::vector<std::string> died;
   std::size_t dropped = 0;
   {
     std::lock_guard lock(peersMutex_);
@@ -730,6 +819,7 @@ void Daemon::heartbeatPeers() {
           peer.nextDialAt = clock_.now() + peer.dialBackoff;
           dropped += peer.pending.size();
           peer.pending.clear();
+          died.push_back(endpoint);
           SIMFS_LOG_WARN(kTag, "peer heartbeat lost; link closed");
           continue;
         }
@@ -739,6 +829,9 @@ void Daemon::heartbeatPeers() {
       pings.emplace_back(peer.transport, peer.pingSeq);
     }
   }
+  // A dead peer's leases die with it: its un-acked revokes can never
+  // complete, so stop flagging their contexts as "revoking".
+  for (const auto& endpoint : died) clearPendingRevokes(endpoint);
   if (dropped > 0) {
     forwardDrops_.fetch_add(dropped, std::memory_order_relaxed);
   }
@@ -753,6 +846,153 @@ void Daemon::heartbeatPeers() {
   }
 }
 
+// -------------------------------------------------------------- lease plane
+
+void Daemon::flushLeaseOutbox() {
+  std::vector<LeaseCmd> cmds;
+  {
+    std::lock_guard lock(leaseMutex_);
+    cmds.swap(leaseOutbox_);
+  }
+  for (const auto& cmd : cmds) {
+    const auto replicaSet = ring_.replicasOf(cmd.context, replicas_);
+    if (replicaSet.empty()) continue;
+    msg::Message m;
+    m.type = cmd.revoke ? msg::MsgType::kLeaseRevoke
+                        : msg::MsgType::kLeaseGrant;
+    m.context = cmd.context;
+    m.intArg = static_cast<std::int64_t>(cmd.generation);
+    m.text = nodeId_;
+    m.ints.reserve(cmd.steps.size());
+    for (const StepIndex s : cmd.steps) {
+      m.ints.push_back(static_cast<std::int64_t>(s));
+    }
+    if (cmd.revoke && !cmd.steps.empty()) {
+      // Eviction revoke: flag the context as "revoking" until every
+      // replica acks. Operator introspection only — correctness rests on
+      // the generation fence, not on this ledger.
+      std::lock_guard lock(leaseMutex_);
+      auto& eps = pendingRevokes_[cmd.context];
+      for (const auto& r : replicaSet) eps.insert(r.endpoint);
+    }
+    for (const auto& r : replicaSet) {
+      forwardToPeer(r, m);
+      (cmd.revoke ? leaseRevokesSent_ : leaseGrantsSent_)
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Daemon::resyncLeasesTo(const std::string& endpoint,
+                            const std::shared_ptr<msg::Transport>& link) {
+  for (std::size_t i = 0; i < core_.numShards(); ++i) {
+    std::vector<std::string> names;
+    {
+      std::lock_guard lock(core_.mutexOf(i));
+      names = core_.shard(i).contextNames();
+    }
+    for (const auto& name : names) {
+      const cluster::NodeInfo* owner = nullptr;
+      if (ownedElsewhere(name, &owner)) continue;  // not ours to grant
+      const auto replicaSet = ring_.replicasOf(name, replicas_);
+      const bool covers = std::any_of(
+          replicaSet.begin(), replicaSet.end(),
+          [&](const cluster::NodeInfo& n) { return n.endpoint == endpoint; });
+      if (!covers) continue;
+      std::uint64_t gen = 0;
+      std::vector<StepIndex> steps;
+      {
+        std::lock_guard lock(core_.mutexOf(i));
+        const auto view = core_.shard(i).leaseView(name);
+        if (!view) continue;  // context never emitted a lease
+        gen = view->generation;
+        steps = core_.shard(i).availableSteps(name);
+      }
+      // Revoke-all then full grant, both at the current generation: the
+      // pair is idempotent under the fence, and the wipe clears grants
+      // the replica kept across drops this owner never saw.
+      msg::Message wipe;
+      wipe.type = msg::MsgType::kLeaseRevoke;
+      wipe.context = name;
+      wipe.intArg = static_cast<std::int64_t>(gen);
+      wipe.text = nodeId_;
+      wipe.hops = 1;
+      if (!link->send(wipe).isOk()) return;  // link died: next dial resyncs
+      leaseRevokesSent_.fetch_add(1, std::memory_order_relaxed);
+      if (steps.empty()) continue;
+      msg::Message grant;
+      grant.type = msg::MsgType::kLeaseGrant;
+      grant.context = name;
+      grant.intArg = static_cast<std::int64_t>(gen);
+      grant.text = nodeId_;
+      grant.hops = 1;
+      grant.ints.reserve(steps.size());
+      for (const StepIndex s : steps) {
+        grant.ints.push_back(static_cast<std::int64_t>(s));
+      }
+      if (!link->send(grant).isOk()) return;
+      leaseGrantsSent_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Daemon::clearPendingRevokes(const std::string& endpoint) {
+  std::lock_guard lock(leaseMutex_);
+  for (auto it = pendingRevokes_.begin(); it != pendingRevokes_.end();) {
+    it->second.erase(endpoint);
+    it = it->second.empty() ? pendingRevokes_.erase(it) : std::next(it);
+  }
+}
+
+bool Daemon::isReplicaFor(std::string_view context) const {
+  const auto replicaSet = ring_.replicasOf(context, replicas_);
+  return std::any_of(
+      replicaSet.begin(), replicaSet.end(),
+      [&](const cluster::NodeInfo& n) { return n.id == nodeId_; });
+}
+
+bool Daemon::hasActiveLease(const std::string& context) const {
+  const auto idx = core_.shardOfContext(context);
+  if (!idx) return false;
+  std::lock_guard lock(core_.mutexOf(*idx));
+  const auto view = core_.shard(*idx).leaseView(context);
+  return view && view->replica && view->steps > 0;
+}
+
+void Daemon::handleLeaseOp(const std::shared_ptr<Session>& session,
+                           const msg::MessageView& m) {
+  const bool grant = m.type() == msg::MsgType::kLeaseGrant;
+  msg::Message ack;
+  ack.type = msg::MsgType::kLeaseAck;
+  ack.requestId = m.requestId();
+  ack.context.assign(m.context());
+  ack.intArg = m.intArg();  // echo the generation
+  ack.intArg2 = grant ? 0 : 1;
+  ack.text = nodeId_;
+  Status st = Status::ok();
+  const std::string context(m.context());
+  const auto idx = core_.shardOfContext(context);
+  if (nodeId_.empty()) {
+    st = errFailedPrecondition("dv: lease op on standalone daemon");
+  } else if (!idx) {
+    st = errNotFound("dv: no context: " + context);
+  } else {
+    std::vector<std::int64_t> steps;
+    steps.reserve(m.intCount());
+    for (auto it = m.intsBegin(); it != m.intsEnd(); ++it) {
+      steps.push_back(*it);
+    }
+    const auto gen = static_cast<std::uint64_t>(m.intArg());
+    std::lock_guard lock(core_.mutexOf(*idx));
+    DvShard& shard = core_.shard(*idx);
+    st = grant ? shard.applyLeaseGrant(context, gen, steps)
+               : shard.applyLeaseRevoke(context, gen, steps);
+  }
+  ack.code = codeOf(st);
+  if (!st.isOk()) ack.text = st.message();
+  (void)session->transport->send(ack);
+}
+
 msg::Message Daemon::buildRedirect(std::uint64_t requestId,
                                    std::string_view context,
                                    const cluster::NodeInfo& owner) const {
@@ -763,6 +1003,9 @@ msg::Message Daemon::buildRedirect(std::uint64_t requestId,
   reply.text = owner.id;
   reply.files = ring_.encodeEntries();
   reply.intArg = static_cast<std::int64_t>(ring_.version());
+  // Read-replica count R, additive: 0 whenever replicas are disabled, so
+  // those redirects stay byte-identical to pre-replica daemons.
+  reply.intArg2 = static_cast<std::int64_t>(replicas_);
   reply.code = codeOf(Status::ok());
   return reply;
 }
@@ -774,6 +1017,7 @@ msg::Message Daemon::buildRingUpdate(std::uint64_t requestId) const {
   reply.text = nodeId_;
   reply.files = ring_.encodeEntries();
   reply.intArg = static_cast<std::int64_t>(ring_.version());
+  reply.intArg2 = static_cast<std::int64_t>(replicas_);
   reply.code = codeOf(Status::ok());
   return reply;
 }
@@ -785,6 +1029,13 @@ Daemon::FederationCounters Daemon::federationCounters() const {
   c.forwardDrops = forwardDrops_.load(std::memory_order_relaxed);
   c.pingsSent = pingsSent_.load(std::memory_order_relaxed);
   c.pongsReceived = pongsReceived_.load(std::memory_order_relaxed);
+  c.leaseGrantsSent = leaseGrantsSent_.load(std::memory_order_relaxed);
+  c.leaseRevokesSent = leaseRevokesSent_.load(std::memory_order_relaxed);
+  c.leaseAcksReceived = leaseAcksReceived_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(leaseMutex_);
+    c.contextsRevoking = pendingRevokes_.size();
+  }
   std::lock_guard lock(peersMutex_);
   for (const auto& [endpoint, peer] : peers_) {
     if (peer.health == PeerHealth::kSuspect) ++c.peersSuspect;
@@ -1056,7 +1307,8 @@ void Daemon::processClientMessage(std::size_t shardIndex, DvShard& shard,
         reply.text = arena.copyString(st.message());
         break;
       }
-      auto id = shard.clientConnect(std::string(m.context));
+      auto id = shard.clientConnect(std::string(m.context),
+                                    session->replica.load());
       if (id.isOk()) {
         session->shard.store(static_cast<int>(shardIndex));
         session->client.store(*id);
@@ -1336,6 +1588,13 @@ std::vector<Daemon::ShardCounters> Daemon::shardCounters() const {
       c.accesses = s.opens;
       c.misses = s.misses;
       c.resimSteps = s.stepsProduced;
+      const LeaseCounters& lc = core_.shard(i).leaseCounters();
+      c.replicaHits = lc.replicaHits;
+      c.notLeased = lc.notLeased;
+      c.leases = core_.shard(i).leaseViews();
+      for (const auto& [name, v] : c.leases) {
+        if (v.replica) c.leasedSteps += v.steps;
+      }
     }
     out.push_back(std::move(c));
   }
@@ -1359,11 +1618,23 @@ msg::Message Daemon::buildShardStatsReply(std::uint64_t requestId) const {
   const auto counters = shardCounters();
   const auto fed = federationCounters();
   reply.intArg = static_cast<std::int64_t>(counters.size());
+  // Contexts with un-acked eviction revokes, for `simfsctl cluster-status`.
+  std::string revoking;
+  {
+    std::lock_guard lock(leaseMutex_);
+    for (const auto& [name, eps] : pendingRevokes_) {
+      if (!revoking.empty()) revoking += ',';
+      revoking += name;
+    }
+  }
+  if (revoking.empty()) revoking = "-";
   reply.text = str::format(
       "shards=%zu;workers=%zu;node=%s;ring=%zu;redirects=%llu;"
       "forwarded=%llu;forward_drops=%llu;pings=%llu;pongs=%llu;"
       "peers_suspect=%llu;peers_dead=%llu;"
-      "conn_socket=%llu;conn_shm=%llu;conn_other=%llu;reactor=%.*s",
+      "conn_socket=%llu;conn_shm=%llu;conn_other=%llu;reactor=%.*s;"
+      "replicas=%zu;lease_grants=%llu;lease_revokes=%llu;lease_acks=%llu;"
+      "revoking=%s",
       serving_.size(), workers_.size(),
       nodeId_.empty() ? "-" : nodeId_.c_str(), ring_.size(),
       static_cast<unsigned long long>(fed.redirects),
@@ -1379,17 +1650,30 @@ msg::Message Daemon::buildShardStatsReply(std::uint64_t requestId) const {
       static_cast<unsigned long long>(
           connOther_.load(std::memory_order_relaxed)),
       static_cast<int>(msg::reactorBackendName().size()),
-      msg::reactorBackendName().data());
+      msg::reactorBackendName().data(), replicas_,
+      static_cast<unsigned long long>(fed.leaseGrantsSent),
+      static_cast<unsigned long long>(fed.leaseRevokesSent),
+      static_cast<unsigned long long>(fed.leaseAcksReceived),
+      revoking.c_str());
   for (const auto& c : counters) {
     std::string contexts;
     for (const auto& name : c.contexts) {
       if (!contexts.empty()) contexts += ',';
       contexts += name;
     }
+    std::string leases;
+    for (const auto& [name, v] : c.leases) {
+      if (!leases.empty()) leases += ',';
+      leases += str::format("%s:%llu:%zu:%c", name.c_str(),
+                            static_cast<unsigned long long>(v.generation),
+                            v.steps, v.replica ? 'r' : 'o');
+    }
+    if (leases.empty()) leases = "-";
     reply.files.push_back(str::format(
         "shard=%zu;contexts=%s;queued=%zu;enqueued=%llu;served=%llu;"
         "batches=%llu;max_batch=%llu;shed=%llu;resident_steps=%zu;"
-        "accesses=%llu;misses=%llu;resim_steps=%llu",
+        "accesses=%llu;misses=%llu;resim_steps=%llu;"
+        "replica_hits=%llu;not_leased=%llu;leased_steps=%zu;leases=%s",
         c.shard, contexts.c_str(), c.queued,
         static_cast<unsigned long long>(c.enqueued),
         static_cast<unsigned long long>(c.served),
@@ -1398,7 +1682,10 @@ msg::Message Daemon::buildShardStatsReply(std::uint64_t requestId) const {
         static_cast<unsigned long long>(c.shed), c.residentSteps,
         static_cast<unsigned long long>(c.accesses),
         static_cast<unsigned long long>(c.misses),
-        static_cast<unsigned long long>(c.resimSteps)));
+        static_cast<unsigned long long>(c.resimSteps),
+        static_cast<unsigned long long>(c.replicaHits),
+        static_cast<unsigned long long>(c.notLeased), c.leasedSteps,
+        leases.c_str()));
   }
   return reply;
 }

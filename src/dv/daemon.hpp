@@ -50,6 +50,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -75,6 +76,12 @@ class Daemon {
     std::string nodeId;
     /// Cluster membership; consulted only when nodeId is non-empty.
     cluster::Ring ring;
+    /// Read-replica count R: the owner of a context pushes resident-step
+    /// leases to the next R distinct ring successors, which then serve
+    /// leased kOpenBatchReq traffic locally. -1 = take SIMFS_REPLICAS
+    /// from the environment (default 0 = replicas disabled). Clamped to
+    /// ring size - 1; forced to 0 on non-federated daemons.
+    int replicas = -1;
   };
 
   /// Per-shard serving counters (also exposed over the wire via
@@ -94,6 +101,12 @@ class Daemon {
     std::uint64_t accesses = 0;
     std::uint64_t misses = 0;
     std::uint64_t resimSteps = 0;
+    /// Replica-lease serving counters (0 when replicas are disabled).
+    std::uint64_t replicaHits = 0;  ///< opens served locally off a lease
+    std::uint64_t notLeased = 0;    ///< opens bounced back to the owner
+    std::size_t leasedSteps = 0;    ///< steps currently leased in
+    /// Per-context lease detail (contexts with lease activity only).
+    std::vector<std::pair<std::string, LeaseView>> leases;
   };
 
   /// Node-level federation counters.
@@ -105,6 +118,10 @@ class Daemon {
     std::uint64_t pongsReceived = 0; ///< peer heartbeats answered
     std::uint64_t peersSuspect = 0;  ///< peers currently missing pongs
     std::uint64_t peersDead = 0;     ///< peers currently declared dead
+    std::uint64_t leaseGrantsSent = 0;    ///< kLeaseGrant messages pushed
+    std::uint64_t leaseRevokesSent = 0;   ///< kLeaseRevoke messages pushed
+    std::uint64_t leaseAcksReceived = 0;  ///< kLeaseAck consumed on peer links
+    std::uint64_t contextsRevoking = 0;   ///< contexts with un-acked revokes
   };
 
   Daemon() : Daemon(Options{}) {}
@@ -173,6 +190,8 @@ class Daemon {
   [[nodiscard]] const std::string& nodeId() const noexcept { return nodeId_; }
   [[nodiscard]] const cluster::Ring& ring() const noexcept { return ring_; }
   [[nodiscard]] std::size_t queueCap() const noexcept { return queueCap_; }
+  /// Effective read-replica count R (0 = replica serving disabled).
+  [[nodiscard]] std::size_t replicas() const noexcept { return replicas_; }
 
   /// The autotuner observation window between two shard-counter samples
   /// (`prev` all-zero for the first window).
@@ -219,6 +238,38 @@ class Daemon {
   /// ping went unanswered (healthy -> suspect -> dead).
   void heartbeatPeers();
 
+  /// Drains leaseOutbox_ on the maintenance thread: each queued grant /
+  /// revoke is fanned out to the context's R ring successors over the
+  /// cached peer links (forwardToPeer semantics — queued for dial when no
+  /// link is open). Eviction revokes are recorded in pendingRevokes_
+  /// until every replica acks.
+  void flushLeaseOutbox();
+
+  /// Peer link just (re)established: push a revoke-all + full resident
+  /// grant for every locally-owned context whose replica set includes
+  /// `endpoint`, so replicas that missed queued grants (drops, restarts)
+  /// converge. Both messages are generation-fenced, hence idempotent.
+  void resyncLeasesTo(const std::string& endpoint,
+                      const std::shared_ptr<msg::Transport>& link);
+
+  /// Peer declared dead: its un-acked revokes can never complete; stop
+  /// flagging their contexts as "revoking" (the peer's leases die with it).
+  void clearPendingRevokes(const std::string& endpoint);
+
+  /// True when this node is one of the R ring successors for `context`.
+  [[nodiscard]] bool isReplicaFor(std::string_view context) const;
+
+  /// True when this node currently holds a non-empty replica lease for
+  /// `context` (takes the owning shard's lock briefly).
+  [[nodiscard]] bool hasActiveLease(const std::string& context) const;
+
+  /// Applies an inbound kLeaseGrant / kLeaseRevoke under the owning
+  /// shard's lock and acks with kLeaseAck (intArg echoes the generation,
+  /// intArg2=1 marks a revoke ack). Runs inline on the dispatch thread —
+  /// lease traffic is rare relative to serving traffic.
+  void handleLeaseOp(const std::shared_ptr<Session>& session,
+                     const msg::MessageView& m);
+
   [[nodiscard]] msg::Message buildRedirect(std::uint64_t requestId,
                                            std::string_view context,
                                            const cluster::NodeInfo& owner) const;
@@ -264,6 +315,17 @@ class Daemon {
   std::string nodeId_;
   cluster::Ring ring_;
   std::size_t queueCap_ = 0;  ///< 0 = unbounded
+  std::size_t replicas_ = 0;  ///< effective R (0 = replicas disabled)
+
+  /// One owner-side lease command, queued by the LeaseFn (which fires
+  /// with a shard lock held) and flushed by the maintenance thread so
+  /// peer sends never happen under a shard lock.
+  struct LeaseCmd {
+    std::string context;
+    std::uint64_t generation = 0;
+    std::vector<StepIndex> steps;
+    bool revoke = false;
+  };
 
   /// Peer liveness, judged by heartbeat pongs and dial outcomes.
   enum class PeerHealth { kHealthy, kSuspect, kDead };
@@ -293,8 +355,18 @@ class Daemon {
   std::atomic<std::uint64_t> forwardDrops_{0};
   std::atomic<std::uint64_t> pingsSent_{0};
   std::atomic<std::uint64_t> pongsReceived_{0};
+  std::atomic<std::uint64_t> leaseGrantsSent_{0};
+  std::atomic<std::uint64_t> leaseRevokesSent_{0};
+  std::atomic<std::uint64_t> leaseAcksReceived_{0};
   mutable std::mutex peersMutex_;
   std::map<std::string, PeerLink> peers_;  ///< by endpoint
+
+  /// Lease plane state. Lock order: shard lock -> leaseMutex_; never
+  /// held across a send or while holding peersMutex_.
+  mutable std::mutex leaseMutex_;
+  std::vector<LeaseCmd> leaseOutbox_;
+  /// Contexts with eviction revokes not yet acked, by replica endpoint.
+  std::map<std::string, std::set<std::string>> pendingRevokes_;
 
   std::vector<std::unique_ptr<ShardServing>> serving_;
   std::vector<std::unique_ptr<Worker>> workers_;

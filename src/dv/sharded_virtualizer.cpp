@@ -32,6 +32,13 @@ void ShardedVirtualizer::setEvictFn(DvShard::EvictFn fn) {
   }
 }
 
+void ShardedVirtualizer::setLeaseFn(DvShard::LeaseFn fn) {
+  for (auto& slot : shards_) {
+    std::lock_guard lock(slot->mutex);
+    slot->shard.setLeaseFn(fn);
+  }
+}
+
 Status ShardedVirtualizer::registerContext(
     std::unique_ptr<simmodel::SimulationDriver> driver) {
   SIMFS_CHECK(driver != nullptr);

@@ -40,6 +40,7 @@ class ShardedVirtualizer {
   void setLauncher(SimLauncher* launcher);
   void setNotifyFn(DvShard::NotifyFn fn);
   void setEvictFn(DvShard::EvictFn fn);
+  void setLeaseFn(DvShard::LeaseFn fn);
 
   // --- routed, internally-locked wrappers -------------------------------------
 

@@ -68,12 +68,17 @@ enum class MsgType : std::uint16_t {
   // --- federation (consistent-hash context routing) --------------------------
   kRedirect,       ///< DV->client: context is owned by another node.
                    ///< context=ctx, text=owner node id, files[i]=ring
-                   ///< entries "id=endpoint", intArg=ring version
+                   ///< entries "id=endpoint", intArg=ring version.
+                   ///< intArg2=read-replica count R (additive, PR 8):
+                   ///< 0 from pre-replica daemons and whenever replicas
+                   ///< are disabled, so legacy redirects stay
+                   ///< byte-identical.
   kRingReq,        ///< ask a daemon for its ring membership table
   kRingUpdate,     ///< DV->client: files[i]="id=endpoint", intArg=ring
                    ///< version, text=answering node's id. Sent as the
                    ///< kRingReq reply and pushed when a daemon learns a
                    ///< newer table; receivers re-resolve routing.
+                   ///< intArg2=read-replica count R (0 = replicas off).
 
   // --- vectored session ops (async DVLib core) --------------------------------
   kOpenBatchReq,   ///< files[]: open N files in ONE round trip. The daemon
@@ -105,6 +110,23 @@ enum class MsgType : std::uint16_t {
                    ///< by `simfsctl ping`; answered inline, never queued.
   kPong,           ///< probe reply: intArg echoes the ping sequence,
                    ///< text=answering node's id
+
+  // --- read-only replica leases (owner -> ring successors) --------------------
+  kLeaseGrant,     ///< owner->replica: context, intArg=lease generation,
+                   ///< ints[]=resident StepIndex values now covered,
+                   ///< text=granting node's id. Grants are incremental
+                   ///< (union into the replica's leased set) and fenced
+                   ///< by generation: a grant older than the replica's
+                   ///< current generation is inert.
+  kLeaseRevoke,    ///< owner->replica: context, intArg=lease generation
+                   ///< (already bumped past every outstanding grant),
+                   ///< ints[]=steps to revoke; an EMPTY list revokes the
+                   ///< whole context (used for resync after a peer link
+                   ///< is re-established). Sent BEFORE the owner mutates
+                   ///< the step (eviction unlink / re-simulation).
+  kLeaseAck,       ///< replica->owner: context, code=status, intArg
+                   ///< echoes the generation, intArg2=1 when acking a
+                   ///< revoke (0 for grants), text=acking node's id.
 };
 
 /// Who is connecting (intArg of kHello).
@@ -113,6 +135,12 @@ enum class ClientRole : std::int64_t { kAnalysis = 0, kSimulator = 1 };
 /// kHello.intArg2 capability bit: the client can map a same-host shared-
 /// memory ring pair; kHello.text then names its shm segment.
 inline constexpr std::int64_t kHelloCapShm = 1;
+
+/// kHello.intArg2 capability bit: the client understands replica serving —
+/// a non-owner node holding an active read lease for the context may bind
+/// the session locally instead of redirecting, and the client handles
+/// per-file kNotLeased outcomes by retrying the batch at the ring owner.
+inline constexpr std::int64_t kHelloCapReplica = 2;
 
 /// kHelloAck.intArg2: which data plane the daemon chose for this session.
 /// kLegacy (0) doubles as "the daemon predates negotiation" — both sides
