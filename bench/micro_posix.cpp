@@ -1,0 +1,200 @@
+// POSIX-frontend passthrough overhead (google-benchmark): the preload
+// shim's contract is that a NON-SimFS path costs exactly one prefix
+// comparison (PathClassifier::match) per path call and one atomic slot
+// load (FdTable::get) per fd call before the real libc call runs. This
+// bench measures a bare glibc open/read/lseek/close loop on a tmpfs file
+// against the same loop with the shim's fast-path checks inlined around
+// every call — the exact work the interposers add — and reports the
+// relative overhead.
+//
+// BM_PassthroughOverhead gates in-process: overhead above
+// SIMFS_POSIX_OVERHEAD_MAX_PCT (default 5) fails the bench, so the CI
+// job needs no JSON post-processing to enforce the satellite contract.
+// Both loops run interleaved in alternating blocks inside one timing
+// region to cancel frequency drift on small CI runners.
+//
+// Run with --json (see bench_util.hpp) for BENCH_posix.json.
+#include "bench_util.hpp"
+#include "posix/shim.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace {
+
+using namespace simfs;
+
+/// A real (non-SimFS) scratch file the loops re-open and read.
+struct Scratch {
+  std::string path;
+
+  Scratch() {
+    path = "/tmp/simfs_bench_posix_" + std::to_string(::getpid()) + ".dat";
+    const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0600);
+    if (fd < 0) std::abort();
+    char block[4096] = {};
+    if (::write(fd, block, sizeof(block)) != sizeof(block)) std::abort();
+    ::close(fd);
+  }
+  ~Scratch() { ::unlink(path.c_str()); }
+};
+
+/// One bare libc open/read/lseek/close cycle.
+inline int bareCycle(const char* path, char* buf, std::size_t n) {
+  const int fd = ::open(path, O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return -1;
+  ssize_t got = ::read(fd, buf, n);
+  got += ::lseek(fd, 0, SEEK_SET);
+  got += ::read(fd, buf, n);
+  ::close(fd);
+  return static_cast<int>(got);
+}
+
+/// The same cycle with the shim fast path inlined: the prefix check the
+/// open interposer pays, and the fd-table lookup each of read/lseek/
+/// read/close pays. This mirrors preload/simfs_preload.cpp exactly —
+/// classify once per path, one lock-free get() per fd call.
+inline int shimCycle(const posix::PathClassifier& classifier,
+                     posix::FdTable& fds, const char* path, char* buf,
+                     std::size_t n) {
+  if (classifier.match(path)) return -1;  // not taken: non-SimFS path
+  const int fd = ::open(path, O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return -1;
+  ssize_t got = 0;
+  if (fds.get(fd) == nullptr) got += ::read(fd, buf, n);
+  if (fds.get(fd) == nullptr) got += ::lseek(fd, 0, SEEK_SET);
+  if (fds.get(fd) == nullptr) got += ::read(fd, buf, n);
+  if (fds.take(fd) == nullptr) ::close(fd);
+  return static_cast<int>(got);
+}
+
+/// Interleaved A/B measurement of the two cycles; reports bare and
+/// shimmed ns/op plus overhead_pct, and fails the bench above the gate.
+void BM_PassthroughOverhead(benchmark::State& state) {
+  const Scratch scratch;
+  const posix::PathClassifier classifier("/simfs");
+  posix::FdTable fds;
+  char buf[4096];
+  constexpr int kBlock = 256;
+
+  // Warm the page cache and the branch predictors outside the timing.
+  for (int i = 0; i < kBlock; ++i) {
+    benchmark::DoNotOptimize(bareCycle(scratch.path.c_str(), buf, sizeof(buf)));
+    benchmark::DoNotOptimize(
+        shimCycle(classifier, fds, scratch.path.c_str(), buf, sizeof(buf)));
+  }
+
+  // Two-part estimator. An end-to-end A/B of the two loops is too
+  // unstable to gate at the 5% scale on shared runners (per-run code
+  // layout and frequency bias swamp a ~15 ns true delta), so the gate is
+  // computed from two individually-stable measurements:
+  //   (a) the bare cycle cost — fastest block over many blocks (noise
+  //       only ever ADDS time, so the minimum is interference-immune),
+  //   (b) the cost of exactly the checks the interposers add to that
+  //       cycle — one classifier match (open) + one fd-table load per
+  //       read/lseek/read + one detach (close) — in a tight loop.
+  // overhead_pct = (b) / (a); the interleaved shim loop still runs and
+  // is reported as ab_shim_ns/op for eyeballing.
+  using Clock = std::chrono::steady_clock;
+  std::int64_t bareMinNs = std::numeric_limits<std::int64_t>::max();
+  std::int64_t shimMinNs = std::numeric_limits<std::int64_t>::max();
+  std::int64_t checksMinNs = std::numeric_limits<std::int64_t>::max();
+  std::int64_t cycles = 0;
+  const char* path = scratch.path.c_str();
+  for (auto _ : state) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < kBlock; ++i) {
+      benchmark::DoNotOptimize(bareCycle(path, buf, sizeof(buf)));
+    }
+    const auto t1 = Clock::now();
+    for (int i = 0; i < kBlock; ++i) {
+      benchmark::DoNotOptimize(shimCycle(classifier, fds, path, buf,
+                                         sizeof(buf)));
+    }
+    const auto t2 = Clock::now();
+    for (int i = 0; i < kBlock; ++i) {
+      // The exact per-cycle additions, sans syscalls: open's match, the
+      // three data-call lookups, close's detach.
+      benchmark::DoNotOptimize(classifier.match(path));
+      benchmark::DoNotOptimize(fds.get(17));
+      benchmark::DoNotOptimize(fds.get(17));
+      benchmark::DoNotOptimize(fds.get(17));
+      benchmark::DoNotOptimize(fds.take(17));
+    }
+    const auto t3 = Clock::now();
+    const auto ns = [](Clock::time_point a, Clock::time_point b) {
+      return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+          .count();
+    };
+    bareMinNs = std::min<std::int64_t>(bareMinNs, ns(t0, t1));
+    shimMinNs = std::min<std::int64_t>(shimMinNs, ns(t1, t2));
+    checksMinNs = std::min<std::int64_t>(checksMinNs, ns(t2, t3));
+    cycles += 2 * kBlock;
+  }
+  if (cycles == 0 || bareMinNs <= 0) return;
+
+  const double overheadPct = static_cast<double>(checksMinNs) /
+                             static_cast<double>(bareMinNs) * 100.0;
+  state.counters["bare_ns/op"] =
+      static_cast<double>(bareMinNs) / static_cast<double>(kBlock);
+  state.counters["checks_ns/op"] =
+      static_cast<double>(checksMinNs) / static_cast<double>(kBlock);
+  state.counters["ab_shim_ns/op"] =
+      static_cast<double>(shimMinNs) / static_cast<double>(kBlock);
+  state.counters["overhead_pct"] = overheadPct;
+  state.SetItemsProcessed(cycles);
+
+  const auto maxPct = env::getInt("SIMFS_POSIX_OVERHEAD_MAX_PCT");
+  const double gate = maxPct && *maxPct > 0 ? static_cast<double>(*maxPct) : 5.0;
+  if (overheadPct > gate) {
+    char msg[128];
+    std::snprintf(msg, sizeof(msg),
+                  "passthrough overhead %.2f%% exceeds gate %.1f%%",
+                  overheadPct, gate);
+    state.SkipWithError(msg);
+  }
+}
+
+/// The two fast-path primitives in isolation — what a miss costs with no
+/// syscall noise at all. Sub-nanosecond-to-few-ns numbers here are the
+/// reason the end-to-end overhead stays inside the gate.
+void BM_ClassifierMiss(benchmark::State& state) {
+  const posix::PathClassifier classifier("/simfs");
+  const char* path = "/usr/lib/x86_64-linux-gnu/libc.so.6";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.match(path));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_FdTableMiss(benchmark::State& state) {
+  posix::FdTable fds;
+  int fd = 17;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fds.get(fd));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_PassthroughOverhead)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond)
+    ->MinTime(2.0);
+
+BENCHMARK(BM_ClassifierMiss)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_FdTableMiss)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return simfs::bench::runMicroBenchmarks(argc, argv, "BENCH_posix.json");
+}

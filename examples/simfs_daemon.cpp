@@ -29,6 +29,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -45,11 +46,13 @@ int usage() {
                "usage: simfs_daemon --socket <path> [--node <id> --ring "
                "<id=endpoint,...>]\n"
                "                    [--contexts <n>] [--shards <n>] "
-               "[--workers <n>] [--steps <n>]\n");
+               "[--workers <n>] [--steps <n>]\n"
+               "                    [--store <dir>] [--name-by-context]\n");
   return 2;
 }
 
-simmodel::ContextConfig syntheticConfig(int i, StepIndex steps) {
+simmodel::ContextConfig syntheticConfig(int i, StepIndex steps,
+                                        bool nameByContext) {
   simmodel::ContextConfig cfg;
   cfg.name = "ctx" + std::to_string(i);
   cfg.geometry = simmodel::StepGeometry(1, 4, steps);
@@ -59,6 +62,12 @@ simmodel::ContextConfig syntheticConfig(int i, StepIndex steps) {
   cfg.prefetchEnabled = false;
   cfg.perf = simmodel::PerfModel(2, 1 * vtime::kMillisecond,
                                  2 * vtime::kMillisecond);
+  if (nameByContext) {
+    // Per-context output prefix, so many contexts can share one flat
+    // backing store (the POSIX adapters read it directly).
+    cfg.codec = simmodel::FilenameCodec(cfg.name + "_out_", ".snc",
+                                        cfg.name + "_restart_", ".rst", 10);
+  }
   return cfg;
 }
 
@@ -68,6 +77,8 @@ int main(int argc, char** argv) {
   std::string socketPath;
   std::string nodeId;
   std::string ringSpec;
+  std::string storeDir;
+  bool nameByContext = false;
   int contexts = 4;
   std::size_t shards = 4;
   std::size_t workers = 4;
@@ -106,6 +117,12 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       steps = static_cast<StepIndex>(std::atoll(v));
+    } else if (arg == "--store") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      storeDir = v;
+    } else if (arg == "--name-by-context") {
+      nameByContext = true;
     } else {
       return usage();
     }
@@ -134,10 +151,17 @@ int main(int argc, char** argv) {
   }
 
   dv::Daemon daemon(options);
-  vfs::MemFileStore store;
-  simulator::ThreadedSimulatorFleet fleet(daemon, store, /*timeScale=*/0.001);
+  // --store puts re-simulated steps on disk, where the POSIX frontend
+  // (FUSE server, preload shim) reads them back directly.
+  std::unique_ptr<vfs::FileStore> store;
+  if (storeDir.empty()) {
+    store = std::make_unique<vfs::MemFileStore>();
+  } else {
+    store = std::make_unique<vfs::DiskFileStore>(storeDir);
+  }
+  simulator::ThreadedSimulatorFleet fleet(daemon, *store, /*timeScale=*/0.001);
   for (int i = 0; i < contexts; ++i) {
-    const auto cfg = syntheticConfig(i, steps);
+    const auto cfg = syntheticConfig(i, steps, nameByContext);
     const auto st = daemon.registerContext(
         std::make_unique<simmodel::SyntheticDriver>(cfg));
     if (!st.isOk()) {

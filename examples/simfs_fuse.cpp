@@ -1,0 +1,75 @@
+// simfs_fuse — mounts a running DV daemon's virtualized namespace as a
+// read-only filesystem:
+//
+//   simfs_fuse <socket-path> <mount-point> <store-dir>
+//
+// `<mount-point>/<context>/<file>` then behaves like a plain file tree:
+// `ls` synthesizes the listing from the daemon's context geometry
+// (kGeometryReq — no directory ever exists on disk), `cat` of a
+// non-resident step transparently blocks while the daemon re-simulates
+// it, and unmodified tools (cat, dd, h5py, ParaView loaders) work
+// without relinking. `<store-dir>` must be the same directory the
+// daemon's file store serves, since READ serves bytes straight from it
+// after the session-level ready-wait.
+//
+// Mounting needs CAP_SYS_ADMIN over /dev/fuse. Exit code 3 means "FUSE
+// unavailable in this environment" so smoke scripts can skip visibly
+// rather than fail.
+#include "common/log.hpp"
+#include "posix/fuse.hpp"
+#include "posix/vfs_core.hpp"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+using namespace simfs;
+
+namespace {
+
+posix::FuseServer* g_server = nullptr;
+
+void onSignal(int) {
+  if (g_server != nullptr) g_server->stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::fprintf(stderr, "usage: simfs_fuse <socket-path> <mount-point> <store-dir>\n");
+    return 2;
+  }
+  const std::string socketPath = argv[1];
+  const std::string mountPoint = argv[2];
+  const std::string storeDir = argv[3];
+
+  if (const Status st = posix::FuseServer::probe(); !st.isOk()) {
+    std::fprintf(stderr, "simfs_fuse: %s\n", st.toString().c_str());
+    return 3;
+  }
+
+  auto vfs = std::make_shared<posix::PosixVfs>(
+      posix::PosixVfs::socketOptions(socketPath));
+  posix::FuseServer server(posix::FuseServer::Options{
+      mountPoint, storeDir, std::move(vfs)});
+  if (const Status st = server.mount(); !st.isOk()) {
+    // EPERM at mount(2) is the unprivileged-container case: same skip
+    // signal as a missing /dev/fuse.
+    std::fprintf(stderr, "simfs_fuse: %s\n", st.toString().c_str());
+    return 3;
+  }
+
+  g_server = &server;
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  std::printf("simfs_fuse: serving %s on %s\n", socketPath.c_str(),
+              mountPoint.c_str());
+  std::fflush(stdout);
+  server.run();
+  std::printf("simfs_fuse: unmounted\n");
+  return 0;
+}

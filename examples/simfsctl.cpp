@@ -53,15 +53,27 @@
 //       printed (available now / re-simulating + estimated wait /
 //       failed), then the command blocks until the whole batch resolved
 //       and releases the acquired references again (kCancelReq).
+//
+//   simfsctl ls <socket-path> [<context>]
+//       The POSIX frontend's synthesized namespace without a mount: no
+//       context lists the registered contexts, with one it renders the
+//       directory listing (size + filename per output step) from one
+//       kGeometryReq.
+//
+//   simfsctl stat <socket-path> <context> <file>
+//       Classifies one synthesized filename: step index, size, and the
+//       timestep/restart coordinates a re-simulation would start from.
 #include "cluster/ring.hpp"
 #include "common/checksum.hpp"
 #include "common/strings.hpp"
 #include "dvlib/session.hpp"
 #include "msg/message.hpp"
 #include "msg/transport.hpp"
+#include "posix/geometry.hpp"
 #include "simmodel/driver.hpp"
 #include "vfs/file_store.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -86,7 +98,9 @@ int usage() {
                "       simfsctl ring <socket-path>\n"
                "       simfsctl cluster-status <socket-path>\n"
                "       simfsctl replicas <socket-path> <context>\n"
-               "       simfsctl acquire <socket-path> <context> <file...>\n");
+               "       simfsctl acquire <socket-path> <context> <file...>\n"
+               "       simfsctl ls <socket-path> [<context>]\n"
+               "       simfsctl stat <socket-path> <context> <file>\n");
   return 2;
 }
 
@@ -653,6 +667,89 @@ int acquireFiles(const std::string& socketPath, const std::string& context,
   return 0;
 }
 
+// --------------------------------------------------------- POSIX namespace
+
+/// `simfsctl ls <socket> [<context>]` — the geometry RPC as an operator
+/// view: no context lists the registered contexts; with one, the
+/// synthesized directory listing (name + size per output step), i.e.
+/// exactly what the FUSE mount / preload shim present, without mounting
+/// anything.
+int posixLs(const std::string& socketPath, const std::string& context) {
+  const auto call = posix::socketGeometryCall(socketPath);
+  if (context.empty()) {
+    const auto ack = call(posix::makeGeometryReq(1, ""));
+    if (!ack) {
+      std::fprintf(stderr, "geometry rpc failed: %s\n",
+                   ack.status().toString().c_str());
+      return 1;
+    }
+    auto names = posix::parseContextListAck(*ack);
+    if (!names) {
+      std::fprintf(stderr, "bad geometry ack: %s\n",
+                   names.status().toString().c_str());
+      return 1;
+    }
+    std::sort(names->begin(), names->end());
+    for (const auto& n : *names) std::printf("%s/\n", n.c_str());
+    return 0;
+  }
+  const auto ack = call(posix::makeGeometryReq(1, context));
+  if (!ack) {
+    std::fprintf(stderr, "geometry rpc failed: %s\n",
+                 ack.status().toString().c_str());
+    return 1;
+  }
+  const auto g = posix::parseGeometryAck(*ack);
+  if (!g) {
+    std::fprintf(stderr, "bad geometry ack: %s\n",
+                 g.status().toString().c_str());
+    return 1;
+  }
+  for (StepIndex i = 0; i < g->numOutputSteps; ++i) {
+    std::printf("%10llu  %s\n",
+                static_cast<unsigned long long>(g->outputStepBytes),
+                g->fileAt(i).c_str());
+  }
+  return 0;
+}
+
+/// `simfsctl stat <socket> <context> <file>` — classifies one synthesized
+/// filename: its step index, size, and the timestep/restart coordinates
+/// the DV would re-simulate from.
+int posixStat(const std::string& socketPath, const std::string& context,
+              const std::string& file) {
+  const auto call = posix::socketGeometryCall(socketPath);
+  const auto ack = call(posix::makeGeometryReq(1, context));
+  if (!ack) {
+    std::fprintf(stderr, "geometry rpc failed: %s\n",
+                 ack.status().toString().c_str());
+    return 1;
+  }
+  const auto g = posix::parseGeometryAck(*ack);
+  if (!g) {
+    std::fprintf(stderr, "bad geometry ack: %s\n",
+                 g.status().toString().c_str());
+    return 1;
+  }
+  StepIndex step = 0;
+  if (!g->stepOf(file, &step) || step < 0 || step >= g->numOutputSteps) {
+    std::fprintf(stderr, "%s: not an output step of %s\n", file.c_str(),
+                 context.c_str());
+    return 1;
+  }
+  const auto& geo = g->geometry;
+  std::printf("context:   %s\n", g->context.c_str());
+  std::printf("file:      %s\n", file.c_str());
+  std::printf("step:      %lld\n", static_cast<long long>(step));
+  std::printf("size:      %llu\n",
+              static_cast<unsigned long long>(g->outputStepBytes));
+  std::printf("timestep:  %lld\n",
+              static_cast<long long>(geo.outputTimestep(step)));
+  std::printf("restart:   %lld\n",
+              static_cast<long long>(geo.restartFor(step)));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -690,6 +787,12 @@ int main(int argc, char** argv) {
   if (cmd == "acquire" && argc >= 5) {
     return acquireFiles(argv[2], argv[3],
                         std::vector<std::string>(argv + 4, argv + argc));
+  }
+  if (cmd == "ls" && (argc == 3 || argc == 4)) {
+    return posixLs(argv[2], argc == 4 ? argv[3] : "");
+  }
+  if (cmd == "stat" && argc == 5) {
+    return posixStat(argv[2], argv[3], argv[4]);
   }
   return usage();
 }

@@ -1,0 +1,72 @@
+// snc_cat — the facade-path oracle for the POSIX frontend smoke test.
+//
+//   snc_cat <socket-path> <store-dir> <context> <file>
+//
+// Reads one virtualized output step the "linked against DVLib" way —
+// SIMFS_Init, intercepted open (non-blocking, may start a
+// re-simulation), intercepted read (blocks until resident), intercepted
+// close (deref) — and writes the raw bytes to stdout. The CI posix-smoke
+// job pipes this next to `LD_PRELOAD=libsimfs_preload.so cat` and
+// `cat` under the FUSE mount: all three must be byte-identical,
+// including for cold steps the daemon has to re-simulate first.
+#include "dvlib/iolib.hpp"
+#include "dvlib/simfs_client.hpp"
+#include "msg/transport.hpp"
+#include "vfs/file_store.hpp"
+
+#include <cstdio>
+#include <string>
+
+using namespace simfs;
+
+int main(int argc, char** argv) {
+  if (argc != 5) {
+    std::fprintf(stderr,
+                 "usage: snc_cat <socket-path> <store-dir> <context> <file>\n");
+    return 2;
+  }
+  const std::string socketPath = argv[1];
+  const std::string storeDir = argv[2];
+  const std::string context = argv[3];
+  const std::string file = argv[4];
+
+  auto transport = msg::unixSocketConnect(socketPath);
+  if (!transport) {
+    std::fprintf(stderr, "snc_cat: connect: %s\n",
+                 transport.status().toString().c_str());
+    return 1;
+  }
+  auto client = dvlib::SimFSClient::connect(std::move(*transport), context);
+  if (!client) {
+    std::fprintf(stderr, "snc_cat: init: %s\n",
+                 client.status().toString().c_str());
+    return 1;
+  }
+  vfs::DiskFileStore store(storeDir);
+  auto& io = dvlib::IoDispatch::instance();
+  io.installAnalysis(client->get(), &store);
+
+  const auto handle = io.openForRead(file);
+  if (!handle) {
+    std::fprintf(stderr, "snc_cat: open: %s\n",
+                 handle.status().toString().c_str());
+    io.reset();
+    return 1;
+  }
+  const auto content = io.readAll(*handle);  // blocks through re-simulation
+  if (!content) {
+    std::fprintf(stderr, "snc_cat: read: %s\n",
+                 content.status().toString().c_str());
+    (void)io.close(*handle);
+    io.reset();
+    return 1;
+  }
+  if (const auto st = io.close(*handle); !st.isOk()) {
+    std::fprintf(stderr, "snc_cat: close: %s\n", st.toString().c_str());
+  }
+  io.reset();
+
+  std::fwrite(content->data(), 1, content->size(), stdout);
+  std::fflush(stdout);
+  return 0;
+}

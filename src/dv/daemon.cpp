@@ -53,6 +53,7 @@ msg::MsgType ackTypeFor(msg::MsgType request) noexcept {
     case msg::MsgType::kStatusReq: return msg::MsgType::kStatusAck;
     case msg::MsgType::kShardStatsReq: return msg::MsgType::kShardStatsAck;
     case msg::MsgType::kRingReq: return msg::MsgType::kRingUpdate;
+    case msg::MsgType::kGeometryReq: return msg::MsgType::kGeometryAck;
     case msg::MsgType::kLeaseGrant:
     case msg::MsgType::kLeaseRevoke: return msg::MsgType::kLeaseAck;
     default: return msg::MsgType::kError;
@@ -541,6 +542,15 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
     }
     case msg::MsgType::kRingReq: {
       (void)session->transport->send(buildRingUpdate(m.requestId()));
+      return;
+    }
+    // Context geometry for the POSIX frontend (listings / stat synthesis).
+    // Answered inline like the other introspection: geometry is static
+    // registration-time config and every federation node registers every
+    // context, so the local answer is authoritative — no redirect needed.
+    case msg::MsgType::kGeometryReq: {
+      (void)session->transport->send(
+          buildGeometryReply(m.requestId(), std::string(m.context())));
       return;
     }
     // Liveness probe (peer heartbeat or `simfsctl ping`): answered on the
@@ -1561,6 +1571,37 @@ msg::Message Daemon::buildStatusReply(std::uint64_t requestId) const {
   for (const auto& name : core_.contextNames()) {
     reply.files.push_back(name);
   }
+  return reply;
+}
+
+msg::Message Daemon::buildGeometryReply(std::uint64_t requestId,
+                                        const std::string& context) const {
+  msg::Message reply;
+  reply.requestId = requestId;
+  reply.type = msg::MsgType::kGeometryAck;
+  reply.text = nodeId_;
+  if (context.empty()) {
+    // Enumeration form: the registered namespace roots.
+    reply.code = codeOf(Status::ok());
+    reply.files = core_.contextNames();
+    reply.intArg = static_cast<std::int64_t>(reply.files.size());
+    return reply;
+  }
+  const auto cfg = core_.contextConfig(context);
+  if (!cfg) {
+    const Status st = errNotFound("dv: no context: " + context);
+    reply.code = codeOf(st);
+    reply.text = st.message();
+    return reply;
+  }
+  reply.code = codeOf(Status::ok());
+  reply.context = context;
+  reply.ints = {cfg->geometry.deltaD(), cfg->geometry.deltaR(),
+                cfg->geometry.numTimesteps(),
+                static_cast<std::int64_t>(cfg->outputStepBytes),
+                static_cast<std::int64_t>(cfg->codec.padWidth())};
+  reply.files = {cfg->codec.outputPrefix(), cfg->codec.outputSuffix()};
+  reply.intArg = cfg->geometry.numOutputSteps();
   return reply;
 }
 

@@ -309,6 +309,9 @@ class Daemon {
   void onNotify(ClientId client, const std::string& file, const Status& st);
   [[nodiscard]] msg::Message buildStatusReply(std::uint64_t requestId) const;
   [[nodiscard]] msg::Message buildShardStatsReply(std::uint64_t requestId) const;
+  /// kGeometryAck for one context ("" = enumerate registered contexts).
+  [[nodiscard]] msg::Message buildGeometryReply(std::uint64_t requestId,
+                                                const std::string& context) const;
 
   RealClock clock_;
   ShardedVirtualizer core_;

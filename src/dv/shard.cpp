@@ -779,6 +779,12 @@ const cache::CacheStats* DvShard::cacheStats(const std::string& context) const {
   return ctx == nullptr ? nullptr : &ctx->cache->stats();
 }
 
+const simmodel::ContextConfig* DvShard::contextConfig(
+    const std::string& context) const {
+  const auto* ctx = findContext(context);
+  return ctx == nullptr ? nullptr : &ctx->driver->config();
+}
+
 std::vector<std::string> DvShard::contextNames() const {
   std::vector<std::string> out;
   out.reserve(contexts_.size());

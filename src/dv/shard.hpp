@@ -269,6 +269,12 @@ class DvShard {
   [[nodiscard]] const cache::CacheStats* cacheStats(const std::string& context) const;
   [[nodiscard]] std::vector<std::string> contextNames() const;
 
+  /// Full configuration of a registered context (nullptr: unknown). The
+  /// pointer is borrowed from the driver and valid only while the caller
+  /// holds this shard's lock.
+  [[nodiscard]] const simmodel::ContextConfig* contextConfig(
+      const std::string& context) const;
+
   /// Output steps currently resident across this shard's storage areas
   /// (per-shard introspection for simfsctl stats).
   [[nodiscard]] std::size_t residentSteps() const;

@@ -110,6 +110,16 @@ int ShardedVirtualizer::runningJobs(const std::string& context) const {
   return shard(*idx).runningJobs(context);
 }
 
+std::optional<simmodel::ContextConfig> ShardedVirtualizer::contextConfig(
+    const std::string& context) const {
+  const auto idx = shardOfContext(context);
+  if (!idx) return std::nullopt;
+  std::lock_guard lock(mutexOf(*idx));
+  const auto* cfg = shard(*idx).contextConfig(context);
+  if (cfg == nullptr) return std::nullopt;
+  return *cfg;  // copied out so the caller never outlives the shard lock
+}
+
 std::vector<std::string> ShardedVirtualizer::contextNames() const {
   // Shard-local name lists are concatenated in shard order; within a
   // shard the names are sorted (std::map). Daemon consumers (kStatusAck)

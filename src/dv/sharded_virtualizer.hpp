@@ -79,6 +79,9 @@ class ShardedVirtualizer {
   [[nodiscard]] bool isAvailable(const std::string& context, StepIndex step) const;
   [[nodiscard]] int runningJobs(const std::string& context) const;
   [[nodiscard]] std::vector<std::string> contextNames() const;
+  /// Copy of a registered context's configuration (nullopt: unknown).
+  [[nodiscard]] std::optional<simmodel::ContextConfig> contextConfig(
+      const std::string& context) const;
 
  private:
   struct Slot {

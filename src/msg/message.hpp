@@ -127,6 +127,22 @@ enum class MsgType : std::uint16_t {
   kLeaseAck,       ///< replica->owner: context, code=status, intArg
                    ///< echoes the generation, intArg2=1 when acking a
                    ///< revoke (0 for grants), text=acking node's id.
+
+  // --- context geometry (POSIX frontend namespace synthesis) ------------------
+  kGeometryReq,    ///< ask a daemon for a context's step/file geometry so a
+                   ///< POSIX adapter can synthesize listings and stat
+                   ///< results without opening anything. context="" asks
+                   ///< for the context enumeration instead. Answered inline
+                   ///< on the dispatching thread (geometry is static config,
+                   ///< registered on every node, so no kRedirect is needed).
+  kGeometryAck,    ///< context form: ints[] = [deltaD, deltaR, numTimesteps,
+                   ///< outputStepBytes, padWidth], files[] = [outputPrefix,
+                   ///< outputSuffix], intArg = numOutputSteps, text =
+                   ///< answering node's id, code = status (kNotFound for an
+                   ///< unknown context). Enumeration form (req context ""):
+                   ///< files[] = registered context names, intArg = count,
+                   ///< ints[] empty. Decoders must length-check both lists
+                   ///< like every other ack — a hostile peer controls them.
 };
 
 /// Who is connecting (intArg of kHello).

@@ -1,0 +1,555 @@
+#include "posix/fuse.hpp"
+
+#include "common/log.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <linux/fuse.h>
+#include <sys/mount.h>
+#include <sys/stat.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace simfs::posix {
+
+namespace {
+
+constexpr const char* kTag = "fuse";
+
+/// One device read must hold the largest request (a write would be
+/// max_write + headers; we are read-only, so this is generous).
+constexpr std::size_t kRequestBufBytes = 1 << 20;
+
+/// How long the kernel may cache lookups/attrs before re-asking. The
+/// namespace only changes when a context is re-registered, so short and
+/// simple beats precise invalidation.
+constexpr std::uint64_t kCacheSeconds = 1;
+
+// The dirent stream is serialized by hand: fuse_dirent ends in a flex
+// array, and PR 7 taught us not to trust C++ offsets of uapi flex-array
+// structs (empty-struct padding). Plain `char name[]` is safe today, but
+// the manual layout costs nothing and cannot rot.
+constexpr std::size_t kDirentNameOffset = 24;
+static_assert(FUSE_NAME_OFFSET == kDirentNameOffset,
+              "fuse_dirent layout changed");
+
+std::size_t direntSize(std::size_t nameLen) {
+  return FUSE_DIRENT_ALIGN(kDirentNameOffset + nameLen);
+}
+
+/// Appends one dirent to `out`; returns false (without appending) when
+/// it would not fit in `maxBytes`.
+bool appendDirent(std::vector<char>& out, std::size_t maxBytes,
+                  std::uint64_t ino, std::uint64_t off, std::uint32_t type,
+                  std::string_view name) {
+  const std::size_t sz = direntSize(name.size());
+  if (out.size() + sz > maxBytes) return false;
+  const std::size_t at = out.size();
+  out.resize(at + sz, 0);
+  fuse_dirent d{};
+  d.ino = ino;
+  d.off = off;
+  d.namelen = static_cast<std::uint32_t>(name.size());
+  d.type = type;
+  std::memcpy(out.data() + at, &d, kDirentNameOffset);
+  std::memcpy(out.data() + at + kDirentNameOffset, name.data(), name.size());
+  return true;
+}
+
+int statusToErrno(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kNotFound: return ENOENT;
+    case StatusCode::kInvalidArgument: return EINVAL;
+    case StatusCode::kOutOfRange: return ENOENT;
+    case StatusCode::kUnavailable:
+    case StatusCode::kUnreachable: return EIO;
+    case StatusCode::kTimedOut: return ETIMEDOUT;
+    case StatusCode::kCancelled: return EINTR;
+    default: return EIO;
+  }
+}
+
+}  // namespace
+
+FuseServer::FuseServer(Options options) : options_(std::move(options)) {
+  nodes_.push_back(Node{Node::Kind::kRoot, "", ""});
+}
+
+FuseServer::~FuseServer() {
+  stop();
+  for (auto& [fh, open] : openFiles_) {
+    if (open.backingFd >= 0) ::close(open.backingFd);
+    options_.vfs->close(open.vfsOpenId);
+  }
+  if (devFd_ >= 0) ::close(devFd_);
+}
+
+Status FuseServer::probe() {
+  const int fd = ::open("/dev/fuse", O_RDWR | O_CLOEXEC);
+  if (fd < 0) {
+    return errUnavailable(std::string("fuse: cannot open /dev/fuse: ") +
+                          std::strerror(errno));
+  }
+  ::close(fd);
+  return Status::ok();
+}
+
+Status FuseServer::mount() {
+  devFd_ = ::open("/dev/fuse", O_RDWR | O_CLOEXEC);
+  if (devFd_ < 0) {
+    return errUnavailable(std::string("fuse: cannot open /dev/fuse: ") +
+                          std::strerror(errno));
+  }
+  char opts[128];
+  std::snprintf(opts, sizeof(opts),
+                "fd=%d,rootmode=40000,user_id=%u,group_id=%u", devFd_,
+                static_cast<unsigned>(::getuid()),
+                static_cast<unsigned>(::getgid()));
+  if (::mount("simfs", options_.mountPoint.c_str(), "fuse",
+              MS_RDONLY | MS_NOSUID | MS_NODEV, opts) != 0) {
+    const int err = errno;
+    ::close(devFd_);
+    devFd_ = -1;
+    return errUnavailable(std::string("fuse: mount failed: ") +
+                          std::strerror(err));
+  }
+  mounted_ = true;
+  return Status::ok();
+}
+
+void FuseServer::stop() {
+  if (stopping_.exchange(true)) return;
+  if (mounted_) {
+    // Lazy detach: also fails run()'s device read with ENODEV, which is
+    // the loop's exit signal.
+    (void)::umount2(options_.mountPoint.c_str(), MNT_DETACH);
+    mounted_ = false;
+  }
+}
+
+void FuseServer::run() {
+  std::vector<char> buf(kRequestBufBytes);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const ssize_t n = ::read(devFd_, buf.data(), buf.size());
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      // ENODEV: unmounted (by stop() or an external umount) — done.
+      if (errno != ENODEV) {
+        SIMFS_LOG_WARN(kTag, "device read failed: %s", std::strerror(errno));
+      }
+      break;
+    }
+    if (n == 0) break;
+    handleRequest(buf.data(), static_cast<std::size_t>(n));
+  }
+}
+
+void FuseServer::replyError(std::uint64_t unique, int err) {
+  fuse_out_header h{};
+  h.len = sizeof(h);
+  h.error = -err;
+  h.unique = unique;
+  (void)!::write(devFd_, &h, sizeof(h));
+}
+
+void FuseServer::replyData(std::uint64_t unique, const void* data,
+                           std::size_t len) {
+  fuse_out_header h{};
+  h.len = static_cast<std::uint32_t>(sizeof(h) + len);
+  h.error = 0;
+  h.unique = unique;
+  iovec iov[2] = {{&h, sizeof(h)},
+                  {const_cast<void*>(data), len}};
+  (void)!::writev(devFd_, iov, len > 0 ? 2 : 1);
+}
+
+void FuseServer::handleRequest(const char* buf, std::size_t len) {
+  if (len < sizeof(fuse_in_header)) return;
+  fuse_in_header h{};
+  std::memcpy(&h, buf, sizeof(h));
+  const char* body = buf + sizeof(h);
+  const std::size_t bodyLen = len - sizeof(h);
+  switch (h.opcode) {
+    case FUSE_INIT:
+      doInit(h.unique, body, bodyLen);
+      return;
+    case FUSE_LOOKUP: {
+      if (bodyLen == 0 || body[bodyLen - 1] != '\0') {
+        replyError(h.unique, EINVAL);
+        return;
+      }
+      doLookup(h.unique, h.nodeid, body);
+      return;
+    }
+    case FUSE_GETATTR:
+      doGetattr(h.unique, h.nodeid);
+      return;
+    case FUSE_OPENDIR: {
+      fuse_open_out out{};
+      replyData(h.unique, &out, sizeof(out));
+      return;
+    }
+    case FUSE_READDIR: {
+      if (bodyLen < sizeof(fuse_read_in)) {
+        replyError(h.unique, EINVAL);
+        return;
+      }
+      fuse_read_in in{};
+      std::memcpy(&in, body, sizeof(in));
+      doReaddir(h.unique, h.nodeid, in.offset, in.size);
+      return;
+    }
+    case FUSE_OPEN: {
+      if (bodyLen < sizeof(fuse_open_in)) {
+        replyError(h.unique, EINVAL);
+        return;
+      }
+      fuse_open_in in{};
+      std::memcpy(&in, body, sizeof(in));
+      doOpen(h.unique, h.nodeid, in.flags);
+      return;
+    }
+    case FUSE_READ: {
+      if (bodyLen < sizeof(fuse_read_in)) {
+        replyError(h.unique, EINVAL);
+        return;
+      }
+      fuse_read_in in{};
+      std::memcpy(&in, body, sizeof(in));
+      doRead(h.unique, in.fh, in.offset, in.size);
+      return;
+    }
+    case FUSE_RELEASE: {
+      if (bodyLen < sizeof(fuse_release_in)) {
+        replyError(h.unique, EINVAL);
+        return;
+      }
+      fuse_release_in in{};
+      std::memcpy(&in, body, sizeof(in));
+      doRelease(h.unique, in.fh);
+      return;
+    }
+    case FUSE_RELEASEDIR:
+    case FUSE_FLUSH:
+      replyError(h.unique, 0);
+      return;
+    case FUSE_FORGET:
+    case FUSE_BATCH_FORGET:
+      return;  // no reply by protocol; nodes are kept (they are tiny)
+    case FUSE_STATFS: {
+      fuse_statfs_out out{};
+      out.st.bsize = 4096;
+      out.st.frsize = 4096;
+      out.st.namelen = 255;
+      replyData(h.unique, &out, sizeof(out));
+      return;
+    }
+    // The kernel stops sending an opcode after one ENOSYS — exactly what
+    // we want for ACCESS (mount is read-only), xattrs and locks.
+    case FUSE_ACCESS:
+    case FUSE_GETXATTR:
+    case FUSE_LISTXATTR:
+    case FUSE_GETLK:
+    case FUSE_SETLK:
+    case FUSE_SETLKW:
+      replyError(h.unique, ENOSYS);
+      return;
+    // Mutations: the MS_RDONLY mount already blocks these kernel-side;
+    // answer EROFS for any that slip through.
+    case FUSE_SETATTR:
+    case FUSE_MKNOD:
+    case FUSE_MKDIR:
+    case FUSE_UNLINK:
+    case FUSE_RMDIR:
+    case FUSE_SYMLINK:
+    case FUSE_RENAME:
+    case FUSE_RENAME2:
+    case FUSE_LINK:
+    case FUSE_WRITE:
+    case FUSE_CREATE:
+    case FUSE_SETXATTR:
+    case FUSE_REMOVEXATTR:
+    case FUSE_FALLOCATE:
+      replyError(h.unique, EROFS);
+      return;
+    default:
+      replyError(h.unique, ENOSYS);
+      return;
+  }
+}
+
+void FuseServer::doInit(std::uint64_t unique, const char* body,
+                        std::size_t len) {
+  if (len < sizeof(fuse_init_in)) {
+    replyError(unique, EINVAL);
+    return;
+  }
+  fuse_init_in in{};
+  std::memcpy(&in, body, sizeof(in));
+  if (in.major != FUSE_KERNEL_VERSION) {
+    // Newer-major kernel: reply with just our major, the kernel re-INITs
+    // at our level. Older-major: nothing to negotiate down to.
+    fuse_init_out out{};
+    out.major = FUSE_KERNEL_VERSION;
+    replyData(unique, &out, sizeof(out));
+    return;
+  }
+  if (in.minor < 23) {
+    // Pre-7.23 kernels want truncated init replies; nothing this decade
+    // runs one, so refuse instead of carrying compat paths.
+    replyError(unique, EPROTO);
+    return;
+  }
+  fuse_init_out out{};
+  out.major = FUSE_KERNEL_VERSION;
+  out.minor = std::min<std::uint32_t>(FUSE_KERNEL_MINOR_VERSION, in.minor);
+  out.max_readahead = in.max_readahead;
+  out.flags = 0;  // no READDIRPLUS, no caching extensions: plain READDIR
+  out.max_background = 16;
+  out.congestion_threshold = 12;
+  out.max_write = 128 * 1024;
+  out.time_gran = 1;
+  replyData(unique, &out, sizeof(out));
+}
+
+std::uint64_t FuseServer::internNode(Node node) {
+  nodes_.push_back(std::move(node));
+  return nodes_.size();  // nodeid = index + 1
+}
+
+const FuseServer::Node* FuseServer::findNode(std::uint64_t nodeid) const {
+  if (nodeid == 0 || nodeid > nodes_.size()) return nullptr;
+  return &nodes_[nodeid - 1];
+}
+
+void FuseServer::doLookup(std::uint64_t unique, std::uint64_t parent,
+                          const char* name) {
+  const Node* dir = findNode(parent);
+  if (dir == nullptr || dir->kind == Node::Kind::kFile ||
+      !validComponent(name)) {
+    replyError(unique, ENOENT);
+    return;
+  }
+  ParsedPath path;
+  Node node;
+  if (dir->kind == Node::Kind::kRoot) {
+    path.kind = PathKind::kContext;
+    path.context = name;
+    node = Node{Node::Kind::kContext, name, ""};
+  } else {
+    path.kind = PathKind::kFile;
+    path.context = dir->context;
+    path.file = name;
+    node = Node{Node::Kind::kFile, dir->context, name};
+  }
+  const auto attr = options_.vfs->getattr(path);
+  if (!attr) {
+    replyError(unique, statusToErrno(attr.status()));
+    return;
+  }
+  const auto key = std::make_pair(parent, std::string(name));
+  auto it = byName_.find(key);
+  if (it == byName_.end()) {
+    it = byName_.emplace(key, internNode(std::move(node))).first;
+  }
+  fuse_entry_out out{};
+  out.nodeid = it->second;
+  out.generation = 1;
+  out.entry_valid = kCacheSeconds;
+  out.attr_valid = kCacheSeconds;
+  out.attr.ino = it->second;
+  out.attr.size = attr->size;
+  out.attr.blocks = (attr->size + 511) / 512;
+  out.attr.mode = attr->dir ? (S_IFDIR | 0555) : (S_IFREG | 0444);
+  out.attr.nlink = attr->dir ? 2 : 1;
+  out.attr.uid = ::getuid();
+  out.attr.gid = ::getgid();
+  out.attr.blksize = 4096;
+  replyData(unique, &out, sizeof(out));
+}
+
+void FuseServer::doGetattr(std::uint64_t unique, std::uint64_t nodeid) {
+  const Node* node = findNode(nodeid);
+  if (node == nullptr) {
+    replyError(unique, ENOENT);
+    return;
+  }
+  ParsedPath path;
+  switch (node->kind) {
+    case Node::Kind::kRoot:
+      path.kind = PathKind::kRoot;
+      break;
+    case Node::Kind::kContext:
+      path.kind = PathKind::kContext;
+      path.context = node->context;
+      break;
+    case Node::Kind::kFile:
+      path.kind = PathKind::kFile;
+      path.context = node->context;
+      path.file = node->file;
+      break;
+  }
+  const auto attr = options_.vfs->getattr(path);
+  if (!attr) {
+    replyError(unique, statusToErrno(attr.status()));
+    return;
+  }
+  fuse_attr_out out{};
+  out.attr_valid = kCacheSeconds;
+  out.attr.ino = nodeid;
+  out.attr.size = attr->size;
+  out.attr.blocks = (attr->size + 511) / 512;
+  out.attr.mode = attr->dir ? (S_IFDIR | 0555) : (S_IFREG | 0444);
+  out.attr.nlink = attr->dir ? 2 : 1;
+  out.attr.uid = ::getuid();
+  out.attr.gid = ::getgid();
+  out.attr.blksize = 4096;
+  replyData(unique, &out, sizeof(out));
+}
+
+void FuseServer::doReaddir(std::uint64_t unique, std::uint64_t nodeid,
+                           std::uint64_t offset, std::uint32_t size) {
+  const Node* node = findNode(nodeid);
+  if (node == nullptr || node->kind == Node::Kind::kFile) {
+    replyError(unique, ENOTDIR);
+    return;
+  }
+  const std::size_t maxBytes = std::min<std::size_t>(size, kRequestBufBytes);
+  std::vector<char> out;
+  out.reserve(std::min<std::size_t>(maxBytes, 64 * 1024));
+  // Offsets are logical entry indices: 0 = ".", 1 = "..", 2+k = entry k.
+  // The kernel resumes with the `off` of the last dirent it consumed, so
+  // each dirent's off is its successor's index.
+  std::uint64_t idx = offset;
+  if (idx == 0) {
+    if (!appendDirent(out, maxBytes, nodeid, 1, DT_DIR, ".")) {
+      replyData(unique, out.data(), out.size());
+      return;
+    }
+    ++idx;
+  }
+  if (idx == 1) {
+    if (!appendDirent(out, maxBytes, FUSE_ROOT_ID, 2, DT_DIR, "..")) {
+      replyData(unique, out.data(), out.size());
+      return;
+    }
+    ++idx;
+  }
+  // Page the synthesized listing in chunks; entry k lives at offset 2+k.
+  constexpr std::size_t kChunk = 256;
+  bool full = false;
+  while (!full) {
+    const std::int64_t base = static_cast<std::int64_t>(idx - 2);
+    Result<PosixVfs::DirPage> page = errInternal("unset");
+    if (node->kind == Node::Kind::kRoot) {
+      auto names = options_.vfs->listContexts();
+      if (!names) {
+        replyError(unique, statusToErrno(names.status()));
+        return;
+      }
+      PosixVfs::DirPage p;
+      for (std::size_t i = static_cast<std::size_t>(base);
+           i < names->size() && p.names.size() < kChunk; ++i) {
+        p.names.push_back((*names)[i]);
+      }
+      p.more = static_cast<std::size_t>(base) + p.names.size() < names->size();
+      page = std::move(p);
+    } else {
+      page = options_.vfs->readdir(node->context, base, kChunk);
+      if (!page) {
+        replyError(unique, statusToErrno(page.status()));
+        return;
+      }
+    }
+    if (page->names.empty()) break;
+    const std::uint32_t type =
+        node->kind == Node::Kind::kRoot ? DT_DIR : DT_REG;
+    for (const auto& name : page->names) {
+      // Inode numbers in dirents may be approximate (FUSE_UNKNOWN_INO
+      // exists for exactly this); LOOKUP assigns the real ones.
+      if (!appendDirent(out, maxBytes, nodeid + 1, idx + 1, type, name)) {
+        full = true;
+        break;
+      }
+      ++idx;
+    }
+    if (!page->more) break;
+  }
+  replyData(unique, out.data(), out.size());
+}
+
+void FuseServer::doOpen(std::uint64_t unique, std::uint64_t nodeid,
+                        std::uint32_t flags) {
+  const Node* node = findNode(nodeid);
+  if (node == nullptr || node->kind != Node::Kind::kFile) {
+    replyError(unique, node == nullptr ? ENOENT : EISDIR);
+    return;
+  }
+  if ((flags & O_ACCMODE) != O_RDONLY) {
+    replyError(unique, EROFS);
+    return;
+  }
+  auto opened = options_.vfs->open(node->context, node->file);
+  if (!opened) {
+    replyError(unique, statusToErrno(opened.status()));
+    return;
+  }
+  const std::uint64_t fh = nextFh_++;
+  openFiles_[fh] = OpenState{opened->id, -1, opened->storeName};
+  fuse_open_out out{};
+  out.fh = fh;
+  replyData(unique, &out, sizeof(out));
+}
+
+void FuseServer::doRead(std::uint64_t unique, std::uint64_t fh,
+                        std::uint64_t offset, std::uint32_t size) {
+  const auto it = openFiles_.find(fh);
+  if (it == openFiles_.end()) {
+    replyError(unique, EBADF);
+    return;
+  }
+  OpenState& open = it->second;
+  if (open.backingFd < 0) {
+    // First read: block until the step is resident (transparent
+    // re-simulation), then serve bytes straight from the backing store.
+    if (const Status st = options_.vfs->waitReady(open.vfsOpenId);
+        !st.isOk()) {
+      replyError(unique, statusToErrno(st));
+      return;
+    }
+    const std::string backing = options_.storeRoot + "/" + open.storeName;
+    open.backingFd = ::open(backing.c_str(), O_RDONLY | O_CLOEXEC);
+    if (open.backingFd < 0) {
+      SIMFS_LOG_WARN(kTag, "backing open failed for %s: %s", backing.c_str(),
+                     std::strerror(errno));
+      replyError(unique, EIO);
+      return;
+    }
+  }
+  std::vector<char> buf(std::min<std::uint32_t>(size, 1 << 20));
+  const ssize_t n =
+      ::pread(open.backingFd, buf.data(), buf.size(),
+              static_cast<off_t>(offset));
+  if (n < 0) {
+    replyError(unique, errno);
+    return;
+  }
+  replyData(unique, buf.data(), static_cast<std::size_t>(n));
+}
+
+void FuseServer::doRelease(std::uint64_t unique, std::uint64_t fh) {
+  const auto it = openFiles_.find(fh);
+  if (it != openFiles_.end()) {
+    if (it->second.backingFd >= 0) ::close(it->second.backingFd);
+    options_.vfs->close(it->second.vfsOpenId);
+    openFiles_.erase(it);
+  }
+  replyError(unique, 0);
+}
+
+}  // namespace simfs::posix

@@ -1,0 +1,200 @@
+#include "posix/geometry.hpp"
+
+#include "common/env.hpp"
+#include "msg/transport.hpp"
+#include "posix/path.hpp"
+
+#include <condition_variable>
+#include <utility>
+
+namespace simfs::posix {
+
+namespace {
+
+/// A synthesized directory never exceeds this many entries per context,
+/// and an enumeration never this many contexts — a forged ack claiming
+/// more is rejected instead of ballooning client memory.
+constexpr std::int64_t kMaxSteps = 100'000'000;
+constexpr std::size_t kMaxContexts = 1'000'000;
+
+/// Codec prefixes/suffixes longer than this are nonsense; padWidth is
+/// bounded by what an int64 step can render.
+constexpr std::size_t kMaxAffixLen = 256;
+
+Status checkAckEnvelope(const msg::Message& ack) {
+  if (ack.type != msg::MsgType::kGeometryAck) {
+    return errInvalidArgument("geometry: unexpected reply type");
+  }
+  const auto code = static_cast<StatusCode>(ack.code);
+  if (code != StatusCode::kOk) return Status(code, ack.text);
+  return Status::ok();
+}
+
+}  // namespace
+
+msg::Message makeGeometryReq(std::uint64_t requestId,
+                             const std::string& context) {
+  msg::Message req;
+  req.type = msg::MsgType::kGeometryReq;
+  req.requestId = requestId;
+  req.context = context;
+  return req;
+}
+
+Result<ContextGeometry> parseGeometryAck(const msg::Message& ack) {
+  if (const Status st = checkAckEnvelope(ack); !st.isOk()) return st;
+  // Exact shapes only: ints = [deltaD, deltaR, numTimesteps,
+  // outputStepBytes, padWidth], files = [outputPrefix, outputSuffix].
+  // A truncated or padded ack is hostile, not "close enough".
+  if (ack.ints.size() != 5 || ack.files.size() != 2) {
+    return errInvalidArgument("geometry: malformed ack shape");
+  }
+  const std::int64_t deltaD = ack.ints[0];
+  const std::int64_t deltaR = ack.ints[1];
+  const std::int64_t numTimesteps = ack.ints[2];
+  const std::int64_t stepBytes = ack.ints[3];
+  const std::int64_t padWidth = ack.ints[4];
+  if (deltaD < 1 || deltaR < 1 || numTimesteps < 0) {
+    return errInvalidArgument("geometry: invalid step geometry");
+  }
+  if (stepBytes < 1) {
+    return errInvalidArgument("geometry: invalid output step size");
+  }
+  if (padWidth < 1 || padWidth > 19) {
+    return errInvalidArgument("geometry: invalid pad width");
+  }
+  if (ack.files[0].size() > kMaxAffixLen || ack.files[1].size() > kMaxAffixLen) {
+    return errInvalidArgument("geometry: oversized naming affix");
+  }
+  // The affixes become path components verbatim — they must not smuggle
+  // separators or traversal into the synthesized names.
+  for (const auto& affix : ack.files) {
+    if (affix.find('/') != std::string::npos) {
+      return errInvalidArgument("geometry: affix contains '/'");
+    }
+  }
+  if (ack.files[0].empty() || ack.files[0].front() == '.') {
+    return errInvalidArgument("geometry: invalid output prefix");
+  }
+  if (ack.intArg < 0 || ack.intArg > kMaxSteps) {
+    return errInvalidArgument("geometry: step count out of range");
+  }
+  ContextGeometry g;
+  g.context = ack.context;
+  g.geometry = simmodel::StepGeometry(deltaD, deltaR, numTimesteps);
+  g.outputStepBytes = static_cast<Bytes>(stepBytes);
+  g.outputPrefix = ack.files[0];
+  g.outputSuffix = ack.files[1];
+  g.padWidth = static_cast<int>(padWidth);
+  g.numOutputSteps = ack.intArg;
+  // The ack's count must agree with the geometry it shipped; a mismatch
+  // means someone forged one of the two.
+  if (g.numOutputSteps != g.geometry.numOutputSteps()) {
+    return errInvalidArgument("geometry: step count disagrees with geometry");
+  }
+  return g;
+}
+
+Result<std::vector<std::string>> parseContextListAck(const msg::Message& ack) {
+  if (const Status st = checkAckEnvelope(ack); !st.isOk()) return st;
+  if (ack.files.size() > kMaxContexts ||
+      ack.intArg != static_cast<std::int64_t>(ack.files.size())) {
+    return errInvalidArgument("geometry: forged context count");
+  }
+  for (const auto& name : ack.files) {
+    if (!validComponent(name)) {
+      return errInvalidArgument("geometry: invalid context name");
+    }
+  }
+  return ack.files;
+}
+
+GeometryClient::Options GeometryClient::defaultOptions() {
+  Options o;
+  if (const auto ms = env::getInt("SIMFS_POSIX_ATTR_TTL_MS")) {
+    o.ttl = std::chrono::milliseconds(*ms < 0 ? 0 : *ms);
+  }
+  return o;
+}
+
+GeometryClient::GeometryClient(CallFn call, Options options)
+    : call_(std::move(call)), options_(options) {}
+
+Result<ContextGeometry> GeometryClient::context(const std::string& name) {
+  std::unique_lock lock(mutex_);
+  const auto now = Clock::now();
+  if (const auto it = cache_.find(name);
+      it != cache_.end() && now < it->second.expires) {
+    return it->second.geometry;
+  }
+  const auto req = makeGeometryReq(nextRequestId_++, name);
+  ++fetches_;
+  // The RPC happens outside the lock so a slow daemon stalls only the
+  // cold lookups, not cache hits on other threads.
+  lock.unlock();
+  const auto reply = call_(req);
+  if (!reply) return reply.status();
+  auto parsed = parseGeometryAck(*reply);
+  if (!parsed) return parsed;
+  lock.lock();
+  cache_[name] = {*parsed, Clock::now() + options_.ttl};
+  return parsed;
+}
+
+Result<std::vector<std::string>> GeometryClient::contexts() {
+  std::unique_lock lock(mutex_);
+  const auto now = Clock::now();
+  if (namesValid_ && now < namesExpire_) return names_;
+  const auto req = makeGeometryReq(nextRequestId_++, "");
+  ++fetches_;
+  lock.unlock();
+  const auto reply = call_(req);
+  if (!reply) return reply.status();
+  auto parsed = parseContextListAck(*reply);
+  if (!parsed) return parsed;
+  lock.lock();
+  names_ = *parsed;
+  namesExpire_ = Clock::now() + options_.ttl;
+  namesValid_ = true;
+  return parsed;
+}
+
+void GeometryClient::invalidate() {
+  std::lock_guard lock(mutex_);
+  cache_.clear();
+  namesValid_ = false;
+}
+
+std::uint64_t GeometryClient::fetches() const {
+  std::lock_guard lock(mutex_);
+  return fetches_;
+}
+
+GeometryClient::CallFn socketGeometryCall(std::string socketPath) {
+  return [socketPath = std::move(socketPath)](
+             const msg::Message& request) -> Result<msg::Message> {
+    auto conn = msg::unixSocketConnect(socketPath);
+    if (!conn) return conn.status();
+    std::mutex mu;
+    std::condition_variable cv;
+    bool got = false;
+    msg::Message reply;
+    (*conn)->setHandler([&](msg::Message&& m) {
+      std::lock_guard lock(mu);
+      reply = std::move(m);
+      got = true;
+      cv.notify_all();
+    });
+    if (const Status st = (*conn)->send(request); !st.isOk()) return st;
+    std::unique_lock lock(mu);
+    if (!cv.wait_for(lock, std::chrono::seconds(5), [&] { return got; })) {
+      (*conn)->close();
+      return errTimedOut("geometry: no reply from daemon");
+    }
+    lock.unlock();
+    (*conn)->close();
+    return reply;
+  };
+}
+
+}  // namespace simfs::posix

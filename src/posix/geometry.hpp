@@ -1,0 +1,132 @@
+// Context geometry over the wire (kGeometryReq / kGeometryAck) and the
+// client-side cache the POSIX adapters share.
+//
+// The POSIX tree is synthesized, not stored: a directory listing is the
+// context's output-step filenames rendered from its FilenameCodec, and a
+// stat is its outputStepBytes — all derivable from the ContextConfig the
+// daemon registered. kGeometryReq fetches exactly that projection once;
+// GeometryClient then answers every lookup/readdir/stat from a TTL cache,
+// so `ls -l` over a 64-file directory costs one RPC, not 129.
+//
+// Parsing is hardened the same way every other ack decoder is: the two
+// lists and every scalar are bounds-checked before use, because a hostile
+// or truncated peer controls all of them.
+#pragma once
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "msg/message.hpp"
+#include "simmodel/filename_codec.hpp"
+#include "simmodel/step_geometry.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace simfs::posix {
+
+/// One context's namespace-relevant geometry, as shipped by kGeometryAck.
+struct ContextGeometry {
+  std::string context;
+  simmodel::StepGeometry geometry{1, 1, 0};
+  Bytes outputStepBytes = 1;
+  std::string outputPrefix;
+  std::string outputSuffix;
+  int padWidth = 10;
+  std::int64_t numOutputSteps = 0;
+
+  /// Codec over the shipped naming convention (restart naming is
+  /// irrelevant to the POSIX tree — defaults are fine).
+  [[nodiscard]] simmodel::FilenameCodec codec() const {
+    return simmodel::FilenameCodec(outputPrefix, outputSuffix, "restart_",
+                                   ".rst", padWidth);
+  }
+
+  /// Filename of output step i (caller checks the range).
+  [[nodiscard]] std::string fileAt(StepIndex i) const {
+    return codec().outputFile(i);
+  }
+
+  /// Parses `name` back to a step index; false when the name does not
+  /// match the convention. A matching name can still be out of range —
+  /// the caller checks against numOutputSteps.
+  [[nodiscard]] bool stepOf(std::string_view name, StepIndex* step) const {
+    return codec().matchOutput(name, step);
+  }
+};
+
+/// Decodes + validates a context-form kGeometryAck. Rejects wrong type,
+/// error codes, wrong list lengths, and out-of-range scalars.
+[[nodiscard]] Result<ContextGeometry> parseGeometryAck(const msg::Message& ack);
+
+/// Decodes + validates an enumeration-form kGeometryAck (context "").
+[[nodiscard]] Result<std::vector<std::string>> parseContextListAck(
+    const msg::Message& ack);
+
+/// Builds the kGeometryReq for one context ("" = enumerate).
+[[nodiscard]] msg::Message makeGeometryReq(std::uint64_t requestId,
+                                           const std::string& context);
+
+/// TTL-cached geometry lookups over an injected request/reply function.
+///
+/// The call seam keeps the cache testable (tests inject a counting /
+/// hostile responder) and transport-agnostic: the FUSE server and the
+/// preload shim plug in a one-shot socket call, in-process tests plug in
+/// Daemon::buildGeometryReply directly.
+class GeometryClient {
+ public:
+  using CallFn =
+      std::function<Result<msg::Message>(const msg::Message& request)>;
+
+  struct Options {
+    /// Cache entry lifetime. 0 = every lookup refetches (TTL disabled);
+    /// default 2s, overridable via SIMFS_POSIX_ATTR_TTL_MS.
+    std::chrono::milliseconds ttl{2000};
+  };
+
+  explicit GeometryClient(CallFn call, Options options = defaultOptions());
+
+  /// Options with the TTL resolved from SIMFS_POSIX_ATTR_TTL_MS.
+  [[nodiscard]] static Options defaultOptions();
+
+  /// Geometry of one context, from cache when fresh.
+  [[nodiscard]] Result<ContextGeometry> context(const std::string& name);
+
+  /// Registered context names, from cache when fresh.
+  [[nodiscard]] Result<std::vector<std::string>> contexts();
+
+  /// Drops every cached entry (remount, explicit refresh).
+  void invalidate();
+
+  /// RPCs actually issued — the observable the TTL tests pin.
+  [[nodiscard]] std::uint64_t fetches() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  CallFn call_;
+  Options options_;
+  mutable std::mutex mutex_;
+  std::uint64_t fetches_ = 0;
+  std::uint64_t nextRequestId_ = 1;
+  struct CachedContext {
+    ContextGeometry geometry;
+    Clock::time_point expires;
+  };
+  std::map<std::string, CachedContext> cache_;
+  std::vector<std::string> names_;
+  Clock::time_point namesExpire_{};
+  bool namesValid_ = false;
+};
+
+/// CallFn doing one connect + request + reply against a daemon's Unix
+/// socket per invocation (control-plane frequency; the data plane never
+/// goes through this).
+[[nodiscard]] GeometryClient::CallFn socketGeometryCall(
+    std::string socketPath);
+
+}  // namespace simfs::posix

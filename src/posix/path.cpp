@@ -1,0 +1,48 @@
+#include "posix/path.hpp"
+
+namespace simfs::posix {
+
+bool validComponent(std::string_view name) noexcept {
+  // Dotfiles cover "." and ".." too, so one test rejects traversal,
+  // hidden-file probes, and the empty component alike.
+  if (name.empty() || name.front() == '.') return false;
+  return name.find('/') == std::string_view::npos;
+}
+
+ParsedPath parsePosixPath(std::string_view rel) noexcept {
+  ParsedPath out;
+  while (!rel.empty() && rel.front() == '/') rel.remove_prefix(1);
+  const bool trailingSlash = !rel.empty() && rel.back() == '/';
+  while (!rel.empty() && rel.back() == '/') rel.remove_suffix(1);
+  if (rel.empty()) {
+    out.kind = PathKind::kRoot;
+    return out;
+  }
+  const auto slash = rel.find('/');
+  if (slash == std::string_view::npos) {
+    if (!validComponent(rel)) return out;
+    out.kind = PathKind::kContext;
+    out.context = rel;
+    return out;
+  }
+  std::string_view first = rel.substr(0, slash);
+  std::string_view second = rel.substr(slash + 1);
+  // "ctx//file" collapses; "ctx/a/b" is deeper than the tree goes.
+  while (!second.empty() && second.front() == '/') second.remove_prefix(1);
+  if (second.empty()) {
+    // "ctx//" — all-slash tail, same as "ctx/".
+    if (!validComponent(first)) return out;
+    out.kind = PathKind::kContext;
+    out.context = first;
+    return out;
+  }
+  if (second.find('/') != std::string_view::npos) return out;
+  if (!validComponent(first) || !validComponent(second)) return out;
+  if (trailingSlash) return out;  // "ctx/file/": files have no children
+  out.kind = PathKind::kFile;
+  out.context = first;
+  out.file = second;
+  return out;
+}
+
+}  // namespace simfs::posix

@@ -1,0 +1,49 @@
+// POSIX namespace layout of the SimFS virtual tree.
+//
+// The POSIX frontend (FUSE mount, LD_PRELOAD shim) exposes a two-level
+// tree rooted at the mount point / path prefix:
+//
+//   <root>/                     -> the registered contexts, as directories
+//   <root>/<context>/           -> that context's output steps, as files
+//   <root>/<context>/<file>     -> one virtualized output step
+//
+// parsePosixPath classifies the part BELOW the root. It is deliberately
+// strict: the namespace is synthesized from step geometry, so anything the
+// synthesizer would never emit (dotfiles, "."/".." traversal, deeper
+// nesting) is rejected here, before any RPC is spent on it — shells and
+// tools probe paths like "<dir>/.git" constantly and those probes must
+// fail fast without touching the daemon.
+#pragma once
+
+#include <string_view>
+
+namespace simfs::posix {
+
+enum class PathKind {
+  kRoot,     ///< "" or "/": the mount root (context listing)
+  kContext,  ///< "<context>" or "<context>/": one context directory
+  kFile,     ///< "<context>/<file>": one output-step file
+  kInvalid,  ///< anything the synthesized namespace can never contain
+};
+
+/// A classified path below the POSIX root. The views alias the input
+/// string and are valid only as long as it is.
+struct ParsedPath {
+  PathKind kind = PathKind::kInvalid;
+  std::string_view context;  ///< set for kContext and kFile
+  std::string_view file;     ///< set for kFile
+};
+
+/// Classifies `rel`, the path relative to the mount root. Leading and
+/// duplicate slashes collapse (POSIX resolution); a trailing slash is
+/// accepted on directories but makes a file path kInvalid; components
+/// that are empty, start with '.', or nest deeper than two levels are
+/// kInvalid.
+[[nodiscard]] ParsedPath parsePosixPath(std::string_view rel) noexcept;
+
+/// True when `name` is a single well-formed namespace component (what
+/// parsePosixPath would accept as a context or file name) — the FUSE
+/// LOOKUP fast check, where parent and name arrive pre-split.
+[[nodiscard]] bool validComponent(std::string_view name) noexcept;
+
+}  // namespace simfs::posix

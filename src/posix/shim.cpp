@@ -1,0 +1,70 @@
+#include "posix/shim.hpp"
+
+#include <cstring>
+
+namespace simfs::posix {
+
+PathClassifier::PathClassifier(std::string prefix) : prefix_(std::move(prefix)) {
+  while (!prefix_.empty() && prefix_.back() == '/') prefix_.pop_back();
+}
+
+bool PathClassifier::match(const char* path,
+                           std::string_view* rest) const noexcept {
+  if (prefix_.empty() || path == nullptr) return false;
+  const std::size_t n = prefix_.size();
+  if (std::strncmp(path, prefix_.c_str(), n) != 0) return false;
+  // "/simfs" and "/simfs/..." are ours; "/simfsy" is not.
+  if (path[n] != '\0' && path[n] != '/') return false;
+  if (rest != nullptr) *rest = std::string_view(path + n);
+  return true;
+}
+
+FdTable::~FdTable() {
+  for (auto& slot : slots_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
+  while (freeList_ != nullptr) {
+    FdEntry* next = freeList_->nextFree;
+    delete freeList_;
+    freeList_ = next;
+  }
+}
+
+FdEntry* FdTable::acquireEntry() {
+  {
+    std::lock_guard lock(poolMutex_);
+    if (freeList_ != nullptr) {
+      FdEntry* entry = freeList_;
+      freeList_ = entry->nextFree;
+      entry->nextFree = nullptr;
+      return entry;
+    }
+  }
+  return new FdEntry();
+}
+
+void FdTable::install(int fd, FdEntry* entry) noexcept {
+  if (fd < 0 || fd >= kCapacity) return;
+  slots_[static_cast<std::size_t>(fd)].store(entry, std::memory_order_release);
+}
+
+FdEntry* FdTable::get(int fd) const noexcept {
+  if (fd < 0 || fd >= kCapacity) return nullptr;
+  return slots_[static_cast<std::size_t>(fd)].load(std::memory_order_acquire);
+}
+
+FdEntry* FdTable::take(int fd) noexcept {
+  if (fd < 0 || fd >= kCapacity) return nullptr;
+  return slots_[static_cast<std::size_t>(fd)].exchange(
+      nullptr, std::memory_order_acq_rel);
+}
+
+void FdTable::recycle(FdEntry* entry) {
+  if (entry == nullptr) return;
+  entry->reset();
+  std::lock_guard lock(poolMutex_);
+  entry->nextFree = freeList_;
+  freeList_ = entry;
+}
+
+}  // namespace simfs::posix

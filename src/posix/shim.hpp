@@ -1,0 +1,115 @@
+// Preload-shim building blocks: the prefix fast path and the fd table.
+//
+// These live in the main library (not the .so) so tests and the micro
+// bench can exercise them without LD_PRELOAD tricks; the interposer
+// symbols themselves live in preload/simfs_preload.cpp, OUTSIDE the src/
+// glob — linking open()/read() overrides into every binary would hijack
+// the whole test suite's I/O.
+//
+// Contract for the hot paths:
+//   - PathClassifier::match is the ONLY work a non-SimFS path costs: one
+//     prefix comparison, no locks, no allocation — then the real libc
+//     call. The <5% overhead gate in bench/micro_posix.cpp pins this.
+//   - FdTable::get is the ONLY work a read()/close() on a non-SimFS fd
+//     costs beyond the real call: one bounds check + one atomic load.
+//     Slot lookup is lock-free; only the entry pool (touched on SimFS
+//     open/close, which already pay an RPC) takes a mutex.
+#pragma once
+
+#include "common/types.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simfs::posix {
+
+/// Decides "is this path ours?" with a single prefix comparison.
+class PathClassifier {
+ public:
+  PathClassifier() = default;
+  /// `prefix` with trailing slashes stripped (e.g. "/simfs"). Empty
+  /// prefix matches nothing.
+  explicit PathClassifier(std::string prefix);
+
+  /// True when `path` is the prefix itself or below it; `rest` (optional)
+  /// receives the part after the prefix ("" for the root itself), which
+  /// aliases `path`.
+  [[nodiscard]] bool match(const char* path,
+                           std::string_view* rest = nullptr) const noexcept;
+
+  [[nodiscard]] bool enabled() const noexcept { return !prefix_.empty(); }
+  [[nodiscard]] const std::string& prefix() const noexcept { return prefix_; }
+
+ private:
+  std::string prefix_;
+};
+
+/// Per-fd shim state. `state` is the cross-thread handoff: a reader that
+/// loads kReady (acquire) sees the dup2-ed backing fd; anything else
+/// routes through the materialization path.
+struct FdEntry {
+  enum State : int { kPending = 0, kMaterializing = 1, kReady = 2 };
+
+  std::int64_t vfsOpenId = 0;  ///< 0 for directories (never a vfs handle)
+  std::atomic<int> state{kPending};
+  bool isDir = false;       ///< directory placeholder: fstat synthesizes DIR
+  std::int64_t offset = 0;  ///< tracked while pending (lseek before read)
+  Bytes size = 0;           ///< synthesized fstat size until materialized
+  int openFlags = 0;        ///< CLOEXEC etc., reapplied after dup2
+  std::string backingPath;  ///< real file to dup2 over the placeholder;
+                            ///< for directories, the virtual path (fstatat)
+  std::mutex materialize;   ///< serializes first-read materialization
+  FdEntry* nextFree = nullptr;
+
+  void reset() {
+    vfsOpenId = 0;
+    state.store(kPending, std::memory_order_relaxed);
+    isDir = false;
+    offset = 0;
+    size = 0;
+    openFlags = 0;
+    backingPath.clear();
+    nextFree = nullptr;
+  }
+};
+
+/// fd -> FdEntry* map sized for the process fd space. Lookup (the
+/// read/close hot path) is one atomic load; installed entries are owned
+/// by the table and recycled through a pool so steady-state open/close
+/// churn reuses storage (pinned by the reuse test).
+class FdTable {
+ public:
+  static constexpr int kCapacity = 1 << 16;
+
+  FdTable() = default;
+  ~FdTable();
+  FdTable(const FdTable&) = delete;
+  FdTable& operator=(const FdTable&) = delete;
+
+  /// Pool entry for a new SimFS fd (recycled when available).
+  [[nodiscard]] FdEntry* acquireEntry();
+
+  /// Publishes `entry` as fd's state (release store).
+  void install(int fd, FdEntry* entry) noexcept;
+
+  /// The hot lookup: nullptr for non-SimFS fds (including out-of-range).
+  [[nodiscard]] FdEntry* get(int fd) const noexcept;
+
+  /// Detaches and returns fd's entry (nullptr when none) — close path.
+  [[nodiscard]] FdEntry* take(int fd) noexcept;
+
+  /// Returns a detached entry to the pool.
+  void recycle(FdEntry* entry);
+
+ private:
+  std::vector<std::atomic<FdEntry*>> slots_ =
+      std::vector<std::atomic<FdEntry*>>(kCapacity);
+  std::mutex poolMutex_;
+  FdEntry* freeList_ = nullptr;
+};
+
+}  // namespace simfs::posix

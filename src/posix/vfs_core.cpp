@@ -1,0 +1,293 @@
+#include "posix/vfs_core.hpp"
+
+#include "common/env.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace simfs::posix {
+
+namespace {
+
+std::string fileKey(const std::string& context, const std::string& file) {
+  return context + "/" + file;
+}
+
+std::size_t resolveBatchMax(std::size_t fromOptions) {
+  if (const auto v = env::getInt("SIMFS_POSIX_BATCH")) {
+    if (*v > 0) return static_cast<std::size_t>(*v);
+  }
+  return fromOptions == 0 ? 64 : fromOptions;
+}
+
+}  // namespace
+
+PosixVfs::Options PosixVfs::socketOptions(const std::string& socketPath) {
+  Options o;
+  o.geometryCall = socketGeometryCall(socketPath);
+  o.connect = [socketPath](const std::string&)
+      -> Result<std::unique_ptr<msg::Transport>> {
+    return msg::unixSocketConnect(socketPath);
+  };
+  return o;
+}
+
+PosixVfs::PosixVfs(Options options)
+    : options_(std::move(options)),
+      geometry_(options_.geometryCall, options_.geometry) {
+  options_.readdirBatchMax = resolveBatchMax(options_.readdirBatchMax);
+}
+
+PosixVfs::~PosixVfs() {
+  std::lock_guard lock(mutex_);
+  // Unwind in registration order: per-open registrations first, then the
+  // listing batches, then the sessions themselves.
+  for (auto& [id, open] : opens_) {
+    if (open.own.valid() && !open.ready) (void)open.own.cancel();
+  }
+  for (auto& [name, ctx] : contexts_) {
+    if (ctx.batch != nullptr && ctx.batch->handle.valid()) {
+      (void)ctx.batch->handle.cancel();
+    }
+    if (ctx.session != nullptr) ctx.session->finalize();
+  }
+}
+
+Result<std::vector<std::string>> PosixVfs::listContexts() {
+  auto names = geometry_.contexts();
+  if (!names) return names;
+  std::sort(names->begin(), names->end());
+  return names;
+}
+
+Result<PosixVfs::Attr> PosixVfs::getattr(const ParsedPath& path) {
+  Attr attr;
+  switch (path.kind) {
+    case PathKind::kRoot: {
+      auto names = geometry_.contexts();
+      if (!names) return names.status();
+      attr.dir = true;
+      attr.entries = static_cast<std::int64_t>(names->size());
+      return attr;
+    }
+    case PathKind::kContext: {
+      auto g = geometry_.context(std::string(path.context));
+      if (!g) return g.status();
+      attr.dir = true;
+      attr.entries = g->numOutputSteps;
+      return attr;
+    }
+    case PathKind::kFile: {
+      auto g = geometry_.context(std::string(path.context));
+      if (!g) return g.status();
+      StepIndex step = 0;
+      if (!g->stepOf(path.file, &step) || step < 0 ||
+          step >= g->numOutputSteps) {
+        return errNotFound("posix: no such output step");
+      }
+      attr.size = g->outputStepBytes;
+      return attr;
+    }
+    case PathKind::kInvalid:
+      break;
+  }
+  return errNotFound("posix: no such path");
+}
+
+Result<PosixVfs::DirPage> PosixVfs::readdir(const std::string& context,
+                                            std::int64_t offset,
+                                            std::size_t limit) {
+  auto g = geometry_.context(context);
+  if (!g) return g.status();
+  const std::int64_t total = g->numOutputSteps;
+  if (offset < 0) return errInvalidArgument("posix: negative readdir offset");
+  DirPage page;
+  const std::int64_t end =
+      std::min<std::int64_t>(total, offset + static_cast<std::int64_t>(limit));
+  for (std::int64_t i = offset; i < end; ++i) {
+    page.names.push_back(g->fileAt(i));
+  }
+  page.more = end < total;
+  if (offset != 0 || total == 0) return page;
+
+  // Fresh listing: prefetch the window as ONE vectored acquire so the
+  // `ls` + read-everything pipeline that follows costs a single
+  // kOpenBatchReq. opens inside the window attach to this batch.
+  const auto window = static_cast<std::size_t>(std::min<std::int64_t>(
+      total, static_cast<std::int64_t>(options_.readdirBatchMax)));
+  std::vector<std::string> files;
+  files.reserve(window);
+  for (std::size_t i = 0; i < window; ++i) {
+    files.push_back(g->fileAt(static_cast<StepIndex>(i)));
+  }
+  std::lock_guard lock(mutex_);
+  auto session = sessionForLocked(context);
+  if (!session) return session.status();
+  auto& ctx = contexts_[context];
+  if (ctx.batch != nullptr && !ctx.batch->doomed &&
+      ctx.batch->index.size() == files.size()) {
+    return page;  // identical coverage already in flight / resident
+  }
+  if (ctx.batch != nullptr) {
+    // Superseded listing: the old window's registrations die once its
+    // attached opens drain (immediately when none are).
+    ctx.batch->doomed = true;
+    maybeReapBatchLocked(ctx.batch);
+  }
+  auto batch = std::make_shared<Batch>();
+  for (std::size_t i = 0; i < files.size(); ++i) batch->index[files[i]] = i;
+  batch->handle = (*session)->acquireAsync(std::span<const std::string>(files));
+  ctx.batch = std::move(batch);
+  return page;
+}
+
+Result<PosixVfs::OpenedFile> PosixVfs::open(const std::string& context,
+                                            const std::string& file) {
+  auto g = geometry_.context(context);
+  if (!g) return g.status();
+  StepIndex step = 0;
+  if (!g->stepOf(file, &step) || step < 0 || step >= g->numOutputSteps) {
+    return errNotFound("posix: no such output step");
+  }
+  std::lock_guard lock(mutex_);
+  auto session = sessionForLocked(context);
+  if (!session) return session.status();
+  Open open;
+  open.context = context;
+  open.file = file;
+  open.session = *session;
+  auto& ctx = contexts_[context];
+  if (ctx.batch != nullptr && !ctx.batch->doomed &&
+      ctx.batch->index.count(file) != 0) {
+    open.batch = ctx.batch;
+    open.batchIndex = ctx.batch->index[file];
+    ++ctx.batch->users;
+  } else {
+    open.own =
+        (*session)->acquireAsync(std::span<const std::string>(&file, 1));
+  }
+  const std::int64_t id = nextOpenId_++;
+  ++activeByFile_[fileKey(context, file)];
+  OpenedFile out;
+  out.id = id;
+  out.size = g->outputStepBytes;
+  out.storeName = file;
+  opens_.emplace(id, std::move(open));
+  return out;
+}
+
+Status PosixVfs::waitReady(std::int64_t openId) {
+  std::shared_ptr<dvlib::Session> session;
+  dvlib::AcquireHandle handle;
+  std::size_t index = 0;
+  std::string file;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = opens_.find(openId);
+    if (it == opens_.end()) {
+      return errFailedPrecondition("posix: unknown open handle");
+    }
+    if (it->second.ready) return Status::ok();
+    session = it->second.session;
+    file = it->second.file;
+    if (it->second.batch != nullptr) {
+      handle = it->second.batch->handle;
+      index = it->second.batchIndex;
+    } else {
+      handle = it->second.own;
+      index = 0;
+    }
+  }
+  // One round trip establishes the per-file outcome; only files the ack
+  // reported OK ever get a wait entry, so probe() gates waitFile().
+  if (const Status st = handle.waitAck(nullptr); !st.isOk()) return st;
+  const auto probe = handle.probe(index);
+  if (!probe.status.isOk()) return probe.status;
+  const Status st = session->waitFile(file);
+  if (st.isOk()) {
+    std::lock_guard lock(mutex_);
+    const auto it = opens_.find(openId);
+    if (it != opens_.end()) it->second.ready = true;
+  }
+  return st;
+}
+
+void PosixVfs::close(std::int64_t openId) {
+  std::shared_ptr<dvlib::Session> session;
+  std::vector<std::string> derefs;
+  dvlib::AcquireHandle cancelOwn;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = opens_.find(openId);
+    if (it == opens_.end()) return;
+    Open open = std::move(it->second);
+    opens_.erase(it);
+    session = open.session;
+    const std::string key = fileKey(open.context, open.file);
+    const bool last = --activeByFile_[key] == 0;
+    if (last) activeByFile_.erase(key);
+    if (open.batch != nullptr) {
+      --open.batch->users;
+      if (open.ready) {
+        // The batch registered one reference for this file; release it
+        // early so a read-then-close sweep over a listing unpins as it
+        // goes. Deferred while sibling opens still wait on the file:
+        // closeNotify erases the session's wait entry, which would
+        // orphan their blocking reads.
+        if (last) {
+          derefs.assign(
+              static_cast<std::size_t>(1 + deferredDerefs_[key]), open.file);
+          deferredDerefs_.erase(key);
+        } else {
+          ++deferredDerefs_[key];
+        }
+      } else if (last) {
+        // Never-ready and nobody else waiting: flush derefs siblings
+        // deferred onto us (their reads completed; ours never started —
+        // the batch still holds this file's registration either way).
+        const auto d = deferredDerefs_.find(key);
+        if (d != deferredDerefs_.end()) {
+          derefs.assign(static_cast<std::size_t>(d->second), open.file);
+          deferredDerefs_.erase(d);
+        }
+      }
+      maybeReapBatchLocked(open.batch);
+    } else {
+      if (open.ready && last) {
+        derefs.assign(
+            static_cast<std::size_t>(1 + deferredDerefs_[key]), open.file);
+        deferredDerefs_.erase(key);
+        // The own-batch registration converted into the reference we
+        // just queued for deref — nothing left to cancel.
+      } else if (open.ready) {
+        ++deferredDerefs_[key];
+      } else {
+        // Close of an unread handle cancels: one fire-and-forget
+        // kCancelReq releases the waiter entry (still pending) or the
+        // delivered reference, so an opened-never-read file pins nothing.
+        cancelOwn = std::move(open.own);
+      }
+    }
+  }
+  if (cancelOwn.valid()) (void)cancelOwn.cancel();
+  for (const auto& f : derefs) session->closeNotify(f);
+}
+
+Result<std::shared_ptr<dvlib::Session>> PosixVfs::sessionForLocked(
+    const std::string& context) {
+  auto& ctx = contexts_[context];
+  if (ctx.session != nullptr) return ctx.session;
+  auto transport = options_.connect(context);
+  if (!transport) return transport.status();
+  auto session = dvlib::Session::connect(std::move(*transport), context);
+  if (!session) return session.status();
+  ctx.session = *session;
+  return ctx.session;
+}
+
+void PosixVfs::maybeReapBatchLocked(const std::shared_ptr<Batch>& batch) {
+  if (!batch->doomed || batch->users != 0) return;
+  if (batch->handle.valid()) (void)batch->handle.cancel();
+}
+
+}  // namespace simfs::posix

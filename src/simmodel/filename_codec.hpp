@@ -52,6 +52,16 @@ class FilenameCodec {
   [[nodiscard]] bool matchRestart(std::string_view filename,
                                   RestartIndex* restart) const noexcept;
 
+  /// Convention components, so the geometry wire op (kGeometryAck) can ship
+  /// the output-name convention to remote POSIX adapters.
+  [[nodiscard]] const std::string& outputPrefix() const noexcept {
+    return output_prefix_;
+  }
+  [[nodiscard]] const std::string& outputSuffix() const noexcept {
+    return output_suffix_;
+  }
+  [[nodiscard]] int padWidth() const noexcept { return pad_width_; }
+
  private:
   [[nodiscard]] static bool matchIndex(std::string_view filename,
                                        std::string_view prefix,
