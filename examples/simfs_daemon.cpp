@@ -181,6 +181,9 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
+  // A federated member holds dialed peer links; a peer that dies
+  // without unwinding must read as EPIPE on that link, never kill us.
+  std::signal(SIGPIPE, SIG_IGN);
   std::printf("simfs_daemon ready socket=%s node=%s ring=%zu contexts=%d "
               "shards=%zu\n",
               socketPath.c_str(), nodeId.empty() ? "-" : nodeId.c_str(),

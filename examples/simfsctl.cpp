@@ -33,7 +33,21 @@
 //
 //   simfsctl ring <socket-path>
 //       Prints the daemon's federation membership table (node ids,
-//       endpoints, ring version).
+//       endpoints, ring version) plus the wire protocol version each
+//       member negotiates (probed with a version-carrying kPing).
+//
+//   simfsctl join <socket-path> <node-id> <endpoint>
+//   simfsctl leave <socket-path> <node-id>
+//   simfsctl drain-node <socket-path> <node-id>
+//       Elastic membership: builds the successor ring (current +/- the
+//       named member, version + 1) and drives the two-phase change —
+//       kRingPropose through the contacted member (which relays to the
+//       union of old and new membership), a drain poll until every
+//       reachable member reports handoffs_inflight=0 (the owners stream
+//       their moving contexts' state to the new owners meanwhile), then
+//       kRingCommit, after which the new table is authoritative and
+//       stale-epoch writes are fenced off. `drain-node` is `leave` under
+//       the operational name: drain first, then the node can be stopped.
 //
 //   simfsctl cluster-status <socket-path>
 //       Resolves the ring through one member, then queries every member
@@ -74,6 +88,7 @@
 #include "vfs/file_store.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -82,6 +97,7 @@
 #include <map>
 #include <mutex>
 #include <set>
+#include <thread>
 
 using namespace simfs;
 
@@ -96,6 +112,9 @@ int usage() {
                "       simfsctl status <socket-path>\n"
                "       simfsctl stats <socket-path>\n"
                "       simfsctl ring <socket-path>\n"
+               "       simfsctl join <socket-path> <node-id> <endpoint>\n"
+               "       simfsctl leave <socket-path> <node-id>\n"
+               "       simfsctl drain-node <socket-path> <node-id>\n"
                "       simfsctl cluster-status <socket-path>\n"
                "       simfsctl replicas <socket-path> <context>\n"
                "       simfsctl acquire <socket-path> <context> <file...>\n"
@@ -276,6 +295,58 @@ int daemonCall(const std::string& socketPath, msg::MsgType type,
   return 0;
 }
 
+/// One-shot request/reply with a caller-built request (no hello) — the
+/// admin plane: ring proposals/commits and version-probing pings.
+int daemonSend(const std::string& socketPath, msg::Message req,
+               msg::Message* reply) {
+  auto conn = msg::unixSocketConnect(socketPath);
+  if (!conn) {
+    std::fprintf(stderr, "cannot connect to %s: %s\n", socketPath.c_str(),
+                 conn.status().toString().c_str());
+    return 1;
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  bool have = false;
+  msg::Message got;
+  (*conn)->setHandler([&](msg::Message&& m) {
+    std::lock_guard lock(mu);
+    got = std::move(m);
+    have = true;
+    cv.notify_all();
+  });
+  if (req.requestId == 0) req.requestId = 1;
+  if (!(*conn)->send(req).isOk()) {
+    std::fprintf(stderr, "send failed\n");
+    return 1;
+  }
+  {
+    std::unique_lock lock(mu);
+    if (!cv.wait_for(lock, std::chrono::seconds(5), [&] { return have; })) {
+      std::fprintf(stderr, "no reply from daemon at %s\n", socketPath.c_str());
+      return 1;
+    }
+  }
+  *reply = std::move(got);
+  (*conn)->close();
+  return 0;
+}
+
+/// The wire protocol version a node speaks, probed with a kPing carrying
+/// this tool's ceiling in intArg2 (additive: legacy daemons echo 0).
+/// Returns -1 when the node is unreachable.
+std::int64_t probeProtocolVersion(const std::string& endpoint) {
+  msg::Message ping;
+  ping.type = msg::MsgType::kPing;
+  ping.intArg2 = msg::kProtocolVersionMax;
+  msg::Message pong;
+  if (daemonSend(endpoint, ping, &pong) != 0 ||
+      pong.type != msg::MsgType::kPong) {
+    return -1;
+  }
+  return pong.intArg2 > 0 ? pong.intArg2 : 1;  // 0 = pre-negotiation daemon
+}
+
 int daemonPing(const std::string& socketPath, long long count) {
   auto conn = msg::unixSocketConnect(socketPath);
   if (!conn) {
@@ -433,7 +504,13 @@ int daemonRing(const std::string& socketPath) {
               static_cast<unsigned long long>(ring.version()),
               nodeId.empty() ? "-" : nodeId.c_str());
   for (const auto& n : ring.nodes()) {
-    std::printf("  %-12s %s\n", n.id.c_str(), n.endpoint.c_str());
+    const std::int64_t proto = probeProtocolVersion(n.endpoint);
+    std::string protoCol = proto < 0 ? "unreachable"
+                                     : str::format("proto v%lld",
+                                                   static_cast<long long>(proto));
+    if (proto == 1) protoCol += " (legacy)";
+    std::printf("  %-12s %-28s %s\n", n.id.c_str(), n.endpoint.c_str(),
+                protoCol.c_str());
   }
   return 0;
 }
@@ -505,6 +582,124 @@ NodeLeaseView fetchLeaseView(const std::string& endpoint) {
   return view;
 }
 
+// ------------------------------------------------------- elastic membership
+
+
+/// Drives one two-phase membership change to `next`: propose through the
+/// contacted member (which relays to the union of both memberships), poll
+/// until every reachable member has drained its context handoffs, then
+/// commit. Unreachable members are skipped with a warning — the leave of
+/// a crashed node must not wait on the crashed node.
+int membershipChange(const std::string& socketPath, const cluster::Ring& from,
+                     const cluster::Ring& next) {
+  msg::Message propose;
+  propose.type = msg::MsgType::kRingPropose;
+  propose.files = next.encodeEntries();
+  propose.intArg = static_cast<std::int64_t>(next.version());
+  msg::Message ack;
+  if (daemonSend(socketPath, propose, &ack) != 0) return 1;
+  if (ack.type != msg::MsgType::kRingProposeAck) {
+    std::fprintf(stderr, "daemon does not speak kRingPropose\n");
+    return 1;
+  }
+  if (ack.code != 0) {
+    std::fprintf(stderr, "propose rejected: %s\n", ack.text.c_str());
+    return 1;
+  }
+  std::printf("proposed ring v%llu: %lld context(s) changing owner\n",
+              static_cast<unsigned long long>(next.version()),
+              static_cast<long long>(ack.intArg2));
+  for (const auto& move : ack.files) std::printf("  %s\n", move.c_str());
+  // Drain poll: owners stream their moving contexts' state meanwhile;
+  // the commit waits until no transfer is still in flight anywhere.
+  std::set<std::string> members;  // endpoint set over old ∪ new
+  for (const cluster::Ring* r : {&from, &next}) {
+    for (const auto& n : r->nodes()) members.insert(n.endpoint);
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    std::size_t inflight = 0;
+    std::size_t unreachable = 0;
+    for (const auto& endpoint : members) {
+      const auto view = fetchLeaseView(endpoint);
+      if (!view.reachable) {
+        ++unreachable;
+        continue;
+      }
+      const auto it = view.kv.find("handoffs_inflight");
+      if (it != view.kv.end()) {
+        inflight += std::strtoull(it->second.c_str(), nullptr, 10);
+      }
+    }
+    if (inflight == 0) {
+      if (unreachable > 0) {
+        std::fprintf(stderr,
+                     "warning: %zu member(s) unreachable during drain\n",
+                     unreachable);
+      }
+      break;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::fprintf(stderr,
+                   "drain timed out with %zu handoff(s) still in flight; "
+                   "not committing\n",
+                   inflight);
+      return 1;
+    }
+    std::printf("  draining: %zu handoff(s) in flight...\n", inflight);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  msg::Message commit;
+  commit.type = msg::MsgType::kRingCommit;
+  commit.files = next.encodeEntries();
+  commit.intArg = static_cast<std::int64_t>(next.version());
+  msg::Message commitAck;
+  if (daemonSend(socketPath, commit, &commitAck) != 0) return 1;
+  if (commitAck.type != msg::MsgType::kRingCommitAck || commitAck.code != 0) {
+    std::fprintf(stderr, "commit rejected: %s\n", commitAck.text.c_str());
+    return 1;
+  }
+  std::printf("ring v%llu committed (%zu member(s))\n",
+              static_cast<unsigned long long>(next.version()), next.size());
+  return 0;
+}
+
+int joinNode(const std::string& socketPath, const std::string& nodeId,
+             const std::string& endpoint) {
+  cluster::Ring ring;
+  if (const int rc = fetchRing(socketPath, &ring, nullptr); rc != 0) return rc;
+  if (ring.empty()) {
+    std::fprintf(stderr,
+                 "standalone daemon (no ring): seed a ring first "
+                 "(start daemons with a membership table)\n");
+    return 1;
+  }
+  auto next = ring.withNode(cluster::NodeInfo{nodeId, endpoint},
+                            ring.version() + 1);
+  if (!next) {
+    std::fprintf(stderr, "cannot join: %s\n", next.status().toString().c_str());
+    return 1;
+  }
+  return membershipChange(socketPath, ring, *next);
+}
+
+int leaveNode(const std::string& socketPath, const std::string& nodeId) {
+  cluster::Ring ring;
+  if (const int rc = fetchRing(socketPath, &ring, nullptr); rc != 0) return rc;
+  if (ring.empty()) {
+    std::fprintf(stderr, "standalone daemon (no ring): nothing to leave\n");
+    return 1;
+  }
+  auto next = ring.withoutNode(nodeId, ring.version() + 1);
+  if (!next) {
+    std::fprintf(stderr, "cannot remove '%s': %s\n", nodeId.c_str(),
+                 next.status().toString().c_str());
+    return 1;
+  }
+  return membershipChange(socketPath, ring, *next);
+}
+
 int replicaStatus(const std::string& socketPath, const std::string& context) {
   cluster::Ring ring;
   std::size_t replicas = 0;
@@ -568,15 +763,19 @@ int clusterStatus(const std::string& socketPath) {
     return daemonStatus(socketPath);
   }
   // Contexts with an eviction revocation still in flight anywhere in the
-  // federation (the owner ledgers them until every replica acks).
+  // federation (the owner ledgers them until every replica acks), plus
+  // each node's shard-stats kv for the handoffs column below.
   std::set<std::string> revoking;
+  std::map<std::string, NodeLeaseView> views;  // by node id
   for (const auto& n : ring.nodes()) {
-    const auto view = fetchLeaseView(n.endpoint);
+    auto view = fetchLeaseView(n.endpoint);
     const auto rev = view.kv.find("revoking");
-    if (rev == view.kv.end() || rev->second == "-") continue;
-    for (const auto& name : str::split(rev->second, ',')) {
-      revoking.insert(name);
+    if (view.reachable && rev != view.kv.end() && rev->second != "-") {
+      for (const auto& name : str::split(rev->second, ',')) {
+        revoking.insert(name);
+      }
     }
+    views[n.id] = std::move(view);
   }
   for (const auto& n : ring.nodes()) {
     msg::Message reply;
@@ -585,8 +784,20 @@ int clusterStatus(const std::string& socketPath) {
                   n.endpoint.c_str());
       continue;
     }
-    std::printf("%-12s %-28s %s\n", n.id.c_str(), n.endpoint.c_str(),
-                reply.text.c_str());
+    // Handoff column: elastic-membership transfers this node drove
+    // (inflight/committed/aborted); pre-elastic daemons report none.
+    std::string handoffs;
+    const auto& kv = views[n.id].kv;
+    if (const auto it = kv.find("handoffs_inflight"); it != kv.end()) {
+      const auto committed = kv.find("handoffs_committed");
+      const auto aborted = kv.find("handoffs_aborted");
+      handoffs = str::format(
+          "  handoffs=%s/%s/%s", it->second.c_str(),
+          committed != kv.end() ? committed->second.c_str() : "0",
+          aborted != kv.end() ? aborted->second.c_str() : "0");
+    }
+    std::printf("%-12s %-28s %s%s\n", n.id.c_str(), n.endpoint.c_str(),
+                reply.text.c_str(), handoffs.c_str());
     for (const auto& ctx : reply.files) {
       const bool owned = ring.ownerOf(ctx).id == n.id;
       bool leased = false;
@@ -777,6 +988,12 @@ int main(int argc, char** argv) {
   }
   if (cmd == "ring" && argc == 3) {
     return daemonRing(argv[2]);
+  }
+  if (cmd == "join" && argc == 5) {
+    return joinNode(argv[2], argv[3], argv[4]);
+  }
+  if ((cmd == "leave" || cmd == "drain-node") && argc == 4) {
+    return leaveNode(argv[2], argv[3]);
   }
   if (cmd == "cluster-status" && argc == 3) {
     return clusterStatus(argv[2]);

@@ -170,4 +170,33 @@ bool Ring::sameMembership(const Ring& other) const {
   return nodes_ == other.nodes_;
 }
 
+Result<Ring> Ring::withNode(NodeInfo node, std::uint64_t newVersion) const {
+  std::vector<NodeInfo> nodes = nodes_;
+  nodes.push_back(std::move(node));
+  return make(std::move(nodes), newVersion);
+}
+
+Result<Ring> Ring::withoutNode(std::string_view nodeId,
+                               std::uint64_t newVersion) const {
+  std::vector<NodeInfo> nodes;
+  nodes.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    if (n.id != nodeId) nodes.push_back(n);
+  }
+  if (nodes.size() == nodes_.size()) {
+    return errNotFound("ring: no member named: " + std::string(nodeId));
+  }
+  return make(std::move(nodes), newVersion);
+}
+
+std::vector<std::string> Ring::movedContexts(
+    const Ring& from, const Ring& to, const std::vector<std::string>& contexts) {
+  std::vector<std::string> moved;
+  if (from.empty() || to.empty()) return moved;
+  for (const auto& ctx : contexts) {
+    if (from.ownerOf(ctx).id != to.ownerOf(ctx).id) moved.push_back(ctx);
+  }
+  return moved;
+}
+
 }  // namespace simfs::cluster

@@ -93,6 +93,30 @@ class Ring {
   /// Same membership (ignores version and ring geometry).
   [[nodiscard]] bool sameMembership(const Ring& other) const;
 
+  // --- membership ops (elastic ring) ---------------------------------------
+  // Rings stay immutable: each op builds the successor table at
+  // `newVersion`. Validation is Ring::make's — duplicate ids, bad
+  // separators, or an empty result fail the op instead of minting a ring
+  // the rest of the cluster would reject.
+
+  /// This membership plus `node`. Fails on a duplicate id.
+  [[nodiscard]] Result<Ring> withNode(NodeInfo node,
+                                      std::uint64_t newVersion) const;
+
+  /// This membership minus the member named `nodeId`. Fails when the id
+  /// is unknown or the ring would become empty.
+  [[nodiscard]] Result<Ring> withoutNode(std::string_view nodeId,
+                                         std::uint64_t newVersion) const;
+
+  /// The contexts (from `contexts`) whose owner differs between `from`
+  /// and `to` — the handoff work list of a membership change. Empty when
+  /// either ring is empty (nothing placed) or the membership is
+  /// identical (a pure version bump moves nothing, by construction: the
+  /// ring points depend only on node ids).
+  [[nodiscard]] static std::vector<std::string> movedContexts(
+      const Ring& from, const Ring& to,
+      const std::vector<std::string>& contexts);
+
  private:
   struct Point {
     std::uint64_t hash;

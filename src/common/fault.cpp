@@ -38,6 +38,7 @@ bool parsePoint(std::string_view name, Point* out) {
   if (name == "send") { *out = Point::kSend; return true; }
   if (name == "conn") { *out = Point::kConn; return true; }
   if (name == "drain") { *out = Point::kDrain; return true; }
+  if (name == "handoff") { *out = Point::kHandoff; return true; }
   return false;
 }
 

@@ -8,6 +8,8 @@
 //   conn:close_after:64    hard-close a socket after 64 received frames
 //   send:fail:0.05         fail 5% of transport sends with kUnavailable
 //   drain:delay:1ms        sleep 1 ms per shard drain batch
+//   handoff:fail:0.5       abort 50% of context-handoff snapshot frames
+//   handoff:delay:10ms     sleep 10 ms before each handoff frame is sent
 //   seed:42                seed the fault RNG (default SIMFS_FAULT_SEED or 1)
 //
 // Durations accept ns/us/ms/s suffixes. Probabilistic rules draw from one
@@ -33,8 +35,9 @@ enum class Point : std::uint8_t {
   kSend,          ///< transport queueing an outbound frame
   kConn,          ///< per-connection lifetime (close_after)
   kDrain,         ///< shard drain batch
+  kHandoff,       ///< old owner streaming a context-handoff frame
 };
-inline constexpr std::size_t kPointCount = 5;
+inline constexpr std::size_t kPointCount = 6;
 
 /// True when at least one fault rule is installed. The only check hot
 /// paths make; keep every other helper behind it.

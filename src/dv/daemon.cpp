@@ -56,6 +56,12 @@ msg::MsgType ackTypeFor(msg::MsgType request) noexcept {
     case msg::MsgType::kGeometryReq: return msg::MsgType::kGeometryAck;
     case msg::MsgType::kLeaseGrant:
     case msg::MsgType::kLeaseRevoke: return msg::MsgType::kLeaseAck;
+    // Handled inline at dispatch (never queued, so never shed); listed so
+    // generic error replies still carry the matching ack type.
+    case msg::MsgType::kRingPropose: return msg::MsgType::kRingProposeAck;
+    case msg::MsgType::kRingCommit: return msg::MsgType::kRingCommitAck;
+    case msg::MsgType::kContextHandoff:
+      return msg::MsgType::kContextHandoffAck;
     default: return msg::MsgType::kError;
   }
 }
@@ -104,6 +110,10 @@ struct Daemon::Session {
   std::atomic<ClientId> client{0};   ///< 0 until kHello completes (analysis)
   std::atomic<int> shard{-1};        ///< bound by kHello (context's shard)
   std::atomic<bool> defunct{false};  ///< transport closed
+  /// Context this session bound to, for the per-op moved-context check
+  /// after an elastic ring change. Written and read only by the single
+  /// worker draining the bound shard.
+  std::string context;
   /// Serving a peer-owned context off a local read lease (set at dispatch
   /// before the hello is queued; read by the worker's kHello handler).
   std::atomic<bool> replica{false};
@@ -182,33 +192,50 @@ struct Daemon::Worker {
 Daemon::Daemon(const Options& options)
     : core_(clock_, std::max<std::size_t>(1, options.shards)),
       nodeId_(options.nodeId),
-      ring_(options.ring),
+      ring_(std::make_shared<const cluster::Ring>(options.ring)),
       queueCap_(resolveQueueCap(options.queueCap)) {
-  if (!nodeId_.empty() && ring_.find(nodeId_) == nullptr) {
+  if (!nodeId_.empty() && ring_->find(nodeId_) == nullptr) {
     // Drop the ring too: keeping it would advertise (kRingReq, redirects)
     // a placement this daemon does not enforce — clients would route
     // contexts to "owners" while this node serves everything locally.
     SIMFS_LOG_WARN(kTag, "node id not in ring; serving standalone");
     nodeId_.clear();
-    ring_ = cluster::Ring();
+    ring_ = std::make_shared<const cluster::Ring>();
   }
-  replicas_ = resolveReplicas(options.replicas);
-  if (nodeId_.empty() || ring_.size() < 2) {
-    replicas_ = 0;  // standalone / 1-node: nobody to lease to
-  } else {
-    replicas_ = std::min(replicas_, ring_.size() - 1);
-  }
+  replicasConfigured_ = resolveReplicas(options.replicas);
+  replicas_.store(effectiveReplicas(*ring_), std::memory_order_relaxed);
   core_.setNotifyFn([this](ClientId c, const std::string& f, const Status& s) {
     onNotify(c, f, s);
   });
-  if (replicas_ > 0) {
-    // Owner-side lease emission. The callback fires with a shard lock
-    // held (revokes strictly BEFORE the eviction mutates the step), so it
-    // only queues and wakes — the maintenance thread does the peer sends.
+  if (!nodeId_.empty()) {
+    // Owner-side lease emission, installed on EVERY federated daemon even
+    // when R == 0 today: a committed membership change can raise the
+    // effective R (a 1-node ring growing), and the same callback feeds
+    // the handoff delta plane. The callback fires with a shard lock held
+    // (revokes strictly BEFORE the eviction mutates the step), so it only
+    // queues and wakes — the maintenance thread does the peer sends.
     core_.setLeaseFn([this](const std::string& ctx, std::uint64_t gen,
                             const std::vector<StepIndex>& steps, bool revoke) {
+      if (membershipChanged_.load(std::memory_order_relaxed)) {
+        // Production on a context whose snapshot already streamed out is
+        // forwarded to its new owner as an epoch-tagged delta frame, so
+        // steps landing between export and drain-out are never lost.
+        std::lock_guard lock(handoffMutex_);
+        const auto it = handedOffTo_.find(ctx);
+        if (it != handedOffTo_.end()) {
+          if (!revoke && !steps.empty()) {
+            handoffDeltas_.push_back(HandoffDelta{
+                ctx, it->second.id, it->second.endpoint, it->second.epoch,
+                steps});
+            wakeMaintenance();
+          }
+          return;  // handed off: no replica lease traffic for it anymore
+        }
+      }
+      if (replicas_.load(std::memory_order_relaxed) == 0) return;
+      const auto ring = ringRef();
       const cluster::NodeInfo* owner = nullptr;
-      if (ownedElsewhere(ctx, &owner)) return;  // replica-side state change
+      if (ownedElsewhere(*ring, ctx, &owner)) return;  // replica-side change
       {
         std::lock_guard lock(leaseMutex_);
         leaseOutbox_.push_back(LeaseCmd{ctx, gen, steps, revoke});
@@ -231,6 +258,9 @@ Daemon::Daemon(const Options& options)
   }
   pingIntervalNs_ = intervalKnobNs("SIMFS_PEER_PING_MS", 500);
   reapIntervalNs_ = intervalKnobNs("SIMFS_DV_REAP_MS", 1000);
+  handoffTimeoutNs_ = intervalKnobNs("SIMFS_HANDOFF_TIMEOUT_MS", 5000);
+  handoffBatch_ = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, env::getInt("SIMFS_HANDOFF_BATCH").value_or(256)));
   maintenance_ = std::thread([this] { maintenanceLoop(); });
   if (fault::active()) {
     SIMFS_LOG_WARN(kTag, "fault injection active: %s",
@@ -437,6 +467,25 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
         if ((m.intArg2() & msg::kHelloCapShm) != 0) {
           reply.intArg2 = negotiatedChoice(*session->transport);
         }
+        if ((m.intArg2() & msg::kHelloCapVersion) != 0) {
+          std::int64_t theirMin = 1, theirMax = 1;
+          if (m.intCount() >= 2) {
+            auto it = m.intsBegin();
+            theirMin = *it;
+            theirMax = *++it;
+          }
+          const std::int64_t chosen =
+              std::min<std::int64_t>(msg::kProtocolVersionMax, theirMax);
+          if (chosen <
+              std::max<std::int64_t>(msg::kProtocolVersionMin, theirMin)) {
+            const Status st =
+                errFailedPrecondition("dv: no protocol version overlap");
+            reply.code = codeOf(st);
+            reply.text = st.message();
+          } else {
+            reply.ints.push_back(chosen);
+          }
+        }
         noteHelloTransport(*session->transport);
         (void)session->transport->send(reply);
         return;
@@ -449,17 +498,18 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
       // successors and holds an active lease; the session is flagged so
       // the shard serves it in replica mode (lease lookups only, misses
       // answer kNotLeased instead of re-simulating).
+      const auto ringSnap = ringRef();
       const cluster::NodeInfo* owner = nullptr;
-      if (ownedElsewhere(m.context(), &owner)) {
+      if (ownedElsewhere(*ringSnap, m.context(), &owner)) {
         const bool replicaRead =
-            replicas_ > 0 &&
+            replicas_.load(std::memory_order_relaxed) > 0 &&
             (m.intArg2() & msg::kHelloCapReplica) != 0 &&
             isReplicaFor(m.context()) &&
             hasActiveLease(std::string(m.context()));
         if (!replicaRead) {
           redirects_.fetch_add(1, std::memory_order_relaxed);
           (void)session->transport->send(
-              buildRedirect(m.requestId(), m.context(), *owner));
+              buildRedirect(m.requestId(), m.context(), *owner, *ringSnap));
           return;
         }
         session->replica.store(true);
@@ -493,7 +543,7 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
       } else {
         target = static_cast<std::size_t>(bound);
       }
-      if (bound < 0 && replicas_ > 0) {
+      if (bound < 0 && replicas_.load(std::memory_order_relaxed) > 0) {
         // Advertise the replica count R up front: a requestId-0
         // kRingUpdate push rides the connection FIFO ahead of the
         // worker's kHelloAck, so the client learns R (intArg2) without
@@ -517,9 +567,10 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
     // instead of ping-ponging it back forever.
     case msg::MsgType::kSimFileClosed:
     case msg::MsgType::kSimFinished: {
+      const auto ringSnap = ringRef();
       const cluster::NodeInfo* owner = nullptr;
       if (m.hops() == 0 && !m.context().empty() &&
-          ownedElsewhere(m.context(), &owner)) {
+          ownedElsewhere(*ringSnap, m.context(), &owner)) {
         forwardToPeer(*owner, m.toMessage());
         return;
       }
@@ -562,6 +613,14 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
       pong.type = msg::MsgType::kPong;
       pong.code = codeOf(Status::ok());
       pong.intArg = m.intArg();
+      // Additive protocol-version echo: a ping advertising the sender's
+      // max (intArg2 > 0) is answered with the intersection, so peers and
+      // `simfsctl ring` read the negotiated version without a session.
+      // Legacy pings (intArg2 == 0) get the byte-identical legacy pong.
+      pong.intArg2 = m.intArg2() > 0
+                         ? std::min<std::int64_t>(msg::kProtocolVersionMax,
+                                                  m.intArg2())
+                         : 0;
       pong.text = nodeId_;
       (void)session->transport->send(pong);
       return;
@@ -580,6 +639,24 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
     }
     case msg::MsgType::kLeaseAck:
       return;  // owners consume acks on their peer links; stray here
+    // Elastic membership: admin path and the owner-to-owner transfer
+    // plane, all inline on the dispatch thread — admin/peer-frequency
+    // traffic whose ordering against serving batches does not matter
+    // (the epoch fence, not arrival order, decides what applies).
+    case msg::MsgType::kRingPropose: {
+      handleRingPropose(session, m);
+      return;
+    }
+    case msg::MsgType::kRingCommit: {
+      handleRingCommit(session, m);
+      return;
+    }
+    case msg::MsgType::kContextHandoff: {
+      handleContextHandoff(session, m);
+      return;
+    }
+    case msg::MsgType::kContextHandoffAck:
+      return;  // old owners consume these on their peer links; stray here
     default:
       break;
   }
@@ -608,13 +685,19 @@ void Daemon::dispatch(const std::shared_ptr<Session>& session,
 
 // --------------------------------------------------------------- federation
 
-bool Daemon::ownedElsewhere(std::string_view context,
+bool Daemon::ownedElsewhere(const cluster::Ring& ring,
+                            std::string_view context,
                             const cluster::NodeInfo** owner) const {
-  if (nodeId_.empty() || ring_.size() < 2) return false;  // standalone / 1-node
-  const cluster::NodeInfo& o = ring_.ownerOf(context);
+  if (nodeId_.empty() || ring.size() < 2) return false;  // standalone / 1-node
+  const cluster::NodeInfo& o = ring.ownerOf(context);
   if (o.id == nodeId_) return false;
   *owner = &o;
   return true;
+}
+
+std::size_t Daemon::effectiveReplicas(const cluster::Ring& ring) const {
+  if (nodeId_.empty() || ring.size() < 2) return 0;  // nobody to lease to
+  return std::min(replicasConfigured_, ring.size() - 1);
 }
 
 void Daemon::forwardToPeer(const cluster::NodeInfo& owner,
@@ -679,6 +762,11 @@ void Daemon::maintenanceLoop() {
     if (federated && pingIntervalNs_ > 0) {
       tick = std::min(tick, pingIntervalNs_);
     }
+    if (federated && inflightHandoffs() > 0) {
+      // Transfers awaiting their final ack need deadline checks at a
+      // finer grain than the heartbeat cadence.
+      tick = std::min<VDuration>(tick, 50'000'000);
+    }
     {
       std::unique_lock lock(maintMutex_);
       maintCv_.wait_for(lock, std::chrono::nanoseconds(tick),
@@ -687,7 +775,8 @@ void Daemon::maintenanceLoop() {
       maintWake_ = false;
     }
     if (federated) {
-      if (replicas_ > 0) flushLeaseOutbox();
+      flushLeaseOutbox();
+      runHandoffs();
       dialPendingPeers();
       const VTime now = clock_.now();
       if (pingIntervalNs_ > 0 && now - lastPing >= pingIntervalNs_) {
@@ -738,6 +827,10 @@ void Daemon::dialPendingPeers() {
       // into the revocation ledger; everything else (error replies to
       // fire-and-forget forwards) is dropped.
       link->setHandler([this, endpoint](msg::Message&& reply) {
+        if (reply.type == msg::MsgType::kContextHandoffAck) {
+          onHandoffAck(reply);
+          return;
+        }
         if (reply.type == msg::MsgType::kLeaseAck) {
           leaseAcksReceived_.fetch_add(1, std::memory_order_relaxed);
           if (reply.intArg2 == 1) {  // revoke ack: context converged there
@@ -805,7 +898,9 @@ void Daemon::dialPendingPeers() {
     }
     // Fresh link: (re)establish this peer's view of every lease we own
     // for it — queued grants may have been dropped while it was down.
-    if (link && replicas_ > 0) resyncLeasesTo(endpoint, link);
+    if (link && replicas_.load(std::memory_order_relaxed) > 0) {
+      resyncLeasesTo(endpoint, link);
+    }
   }
 }
 
@@ -849,6 +944,7 @@ void Daemon::heartbeatPeers() {
     msg::Message ping;
     ping.type = msg::MsgType::kPing;
     ping.intArg = static_cast<std::int64_t>(seq);
+    ping.intArg2 = msg::kProtocolVersionMax;  // additive version handshake
     ping.text = nodeId_;
     if (transport->send(ping).isOk()) {
       pingsSent_.fetch_add(1, std::memory_order_relaxed);
@@ -859,13 +955,34 @@ void Daemon::heartbeatPeers() {
 // -------------------------------------------------------------- lease plane
 
 void Daemon::flushLeaseOutbox() {
+  // Handoff delta frames first: a step produced on a handed-off context
+  // reaches its new owner ahead of any unrelated lease chatter.
+  std::vector<HandoffDelta> deltas;
+  {
+    std::lock_guard lock(handoffMutex_);
+    deltas.swap(handoffDeltas_);
+  }
+  for (const auto& d : deltas) {
+    msg::Message frame;
+    frame.type = msg::MsgType::kContextHandoff;
+    frame.context = d.context;
+    frame.intArg = static_cast<std::int64_t>(d.epoch);
+    frame.text = nodeId_;
+    frame.ints.reserve(d.steps.size());
+    for (const StepIndex s : d.steps) {
+      frame.ints.push_back(static_cast<std::int64_t>(s));
+    }
+    forwardToPeer(cluster::NodeInfo{d.targetId, d.targetEndpoint}, frame);
+  }
   std::vector<LeaseCmd> cmds;
   {
     std::lock_guard lock(leaseMutex_);
     cmds.swap(leaseOutbox_);
   }
+  const auto ringSnap = ringRef();
+  const std::size_t replicas = replicas_.load(std::memory_order_relaxed);
   for (const auto& cmd : cmds) {
-    const auto replicaSet = ring_.replicasOf(cmd.context, replicas_);
+    const auto replicaSet = ringSnap->replicasOf(cmd.context, replicas);
     if (replicaSet.empty()) continue;
     msg::Message m;
     m.type = cmd.revoke ? msg::MsgType::kLeaseRevoke
@@ -895,6 +1012,8 @@ void Daemon::flushLeaseOutbox() {
 
 void Daemon::resyncLeasesTo(const std::string& endpoint,
                             const std::shared_ptr<msg::Transport>& link) {
+  const auto ringSnap = ringRef();
+  const std::size_t replicas = replicas_.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < core_.numShards(); ++i) {
     std::vector<std::string> names;
     {
@@ -903,8 +1022,8 @@ void Daemon::resyncLeasesTo(const std::string& endpoint,
     }
     for (const auto& name : names) {
       const cluster::NodeInfo* owner = nullptr;
-      if (ownedElsewhere(name, &owner)) continue;  // not ours to grant
-      const auto replicaSet = ring_.replicasOf(name, replicas_);
+      if (ownedElsewhere(*ringSnap, name, &owner)) continue;  // not ours
+      const auto replicaSet = ringSnap->replicasOf(name, replicas);
       const bool covers = std::any_of(
           replicaSet.begin(), replicaSet.end(),
           [&](const cluster::NodeInfo& n) { return n.endpoint == endpoint; });
@@ -955,7 +1074,9 @@ void Daemon::clearPendingRevokes(const std::string& endpoint) {
 }
 
 bool Daemon::isReplicaFor(std::string_view context) const {
-  const auto replicaSet = ring_.replicasOf(context, replicas_);
+  const auto ringSnap = ringRef();
+  const auto replicaSet = ringSnap->replicasOf(
+      context, replicas_.load(std::memory_order_relaxed));
   return std::any_of(
       replicaSet.begin(), replicaSet.end(),
       [&](const cluster::NodeInfo& n) { return n.id == nodeId_; });
@@ -1003,31 +1124,510 @@ void Daemon::handleLeaseOp(const std::shared_ptr<Session>& session,
   (void)session->transport->send(ack);
 }
 
+// ------------------------------------------------------- elastic membership
+
+namespace {
+/// Every member of `a` union `b` except `self`, deduped by node id — the
+/// relay fan-out of a membership change (old members must learn they are
+/// leaving; new members must learn they joined).
+std::vector<cluster::NodeInfo> relayTargets(const cluster::Ring& a,
+                                            const cluster::Ring& b,
+                                            const std::string& self) {
+  std::vector<cluster::NodeInfo> out;
+  std::set<std::string> seen{self};
+  for (const cluster::Ring* ring : {&a, &b}) {
+    for (const auto& n : ring->nodes()) {
+      if (seen.insert(n.id).second) out.push_back(n);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+void Daemon::handleRingPropose(const std::shared_ptr<Session>& session,
+                               const msg::MessageView& m) {
+  const msg::Message full = m.toMessage();
+  msg::Message ack;
+  ack.type = msg::MsgType::kRingProposeAck;
+  ack.requestId = full.requestId;
+  ack.text = nodeId_;
+  Status st = Status::ok();
+  const auto version = static_cast<std::uint64_t>(full.intArg);
+  const auto current = ringRef();
+  cluster::Ring proposed;
+  std::vector<std::string> moved;
+  bool relay = false;
+  if (nodeId_.empty()) {
+    st = errFailedPrecondition("dv: membership change on standalone daemon");
+  } else if (auto parsed = cluster::Ring::fromEntries(full.files, version);
+             !parsed) {
+    st = parsed.status();
+  } else if (version <= current->version()) {
+    st = errFailedPrecondition(str::format(
+        "dv: proposed ring version %llu not newer than committed %llu",
+        static_cast<unsigned long long>(version),
+        static_cast<unsigned long long>(current->version())));
+  } else {
+    proposed = std::move(*parsed);
+    // The work list is computed OUTSIDE handoffMutex_ (contextNames takes
+    // shard locks; the LeaseFn locks handoffMutex_ under a shard lock).
+    moved = cluster::Ring::movedContexts(*current, proposed,
+                                         core_.contextNames());
+    std::lock_guard lock(handoffMutex_);
+    if (pendingTransition_ && pendingTransition_->version == version) {
+      moved = pendingTransition_->moved;  // idempotent re-propose
+    } else if (pendingTransition_) {
+      st = errFailedPrecondition(str::format(
+          "dv: membership change v%llu already in flight",
+          static_cast<unsigned long long>(pendingTransition_->version)));
+    } else {
+      auto t = std::make_unique<PendingTransition>();
+      t->version = version;
+      t->ring = proposed;
+      t->moved = moved;
+      pendingTransition_ = std::move(t);
+      // Queue an outbound transfer for every context THIS node loses.
+      for (const auto& ctx : moved) {
+        if (current->ownerOf(ctx).id != nodeId_) continue;
+        const auto& newOwner = proposed.ownerOf(ctx);
+        if (newOwner.id == nodeId_) continue;
+        handoffs_.push_back(HandoffOp{ctx, newOwner.id, newOwner.endpoint,
+                                      version, HandoffPhase::kQueued, 0});
+      }
+      membershipChanged_.store(true, std::memory_order_relaxed);
+      relay = full.hops == 0;
+    }
+  }
+  if (st.isOk()) {
+    ack.intArg = static_cast<std::int64_t>(version);
+    ack.intArg2 = static_cast<std::int64_t>(moved.size());
+    ack.files.reserve(moved.size());
+    for (const auto& ctx : moved) {
+      ack.files.push_back(ctx + ":" + current->ownerOf(ctx).id + ">" +
+                          proposed.ownerOf(ctx).id);
+    }
+  } else {
+    ack.text = st.message();
+  }
+  ack.code = codeOf(st);
+  (void)session->transport->send(ack);
+  if (relay) {
+    for (const auto& n : relayTargets(*current, proposed, nodeId_)) {
+      forwardToPeer(n, full);
+    }
+  }
+  if (st.isOk()) wakeMaintenance();  // start streaming without a tick wait
+}
+
+void Daemon::handleRingCommit(const std::shared_ptr<Session>& session,
+                              const msg::MessageView& m) {
+  const msg::Message full = m.toMessage();
+  msg::Message ack;
+  ack.type = msg::MsgType::kRingCommitAck;
+  ack.requestId = full.requestId;
+  ack.text = nodeId_;
+  Status st = Status::ok();
+  const auto version = static_cast<std::uint64_t>(full.intArg);
+  const auto current = ringRef();
+  if (nodeId_.empty()) {
+    st = errFailedPrecondition("dv: membership change on standalone daemon");
+  } else if (version == current->version()) {
+    ack.intArg = static_cast<std::int64_t>(version);  // idempotent re-commit
+  } else if (version < current->version()) {
+    st = errFailedPrecondition(str::format(
+        "dv: stale commit v%llu (committed v%llu)",
+        static_cast<unsigned long long>(version),
+        static_cast<unsigned long long>(current->version())));
+  } else if (auto parsed = cluster::Ring::fromEntries(full.files, version);
+             !parsed) {
+    st = parsed.status();
+  } else {
+    const auto moved = cluster::Ring::movedContexts(*current, *parsed,
+                                                    core_.contextNames());
+    auto next = std::make_shared<const cluster::Ring>(std::move(*parsed));
+    // Adopt the ring FIRST: lease grants emitted while the staged imports
+    // apply below must already see this node as the owner.
+    {
+      std::lock_guard lock(ringMutex_);
+      ring_ = next;
+    }
+    replicas_.store(effectiveReplicas(*next), std::memory_order_relaxed);
+    membershipChanged_.store(true, std::memory_order_relaxed);
+    std::map<std::string, StagedHandoff> staged;
+    {
+      std::lock_guard lock(handoffMutex_);
+      pendingTransition_.reset();
+      // Settle this epoch's outbound transfers: anything the commit
+      // overtook is aborted — the new owner is authoritative (it serves
+      // cold), and the un-transferred local state stays as serving
+      // residue for this node's remaining waiters.
+      for (auto& op : handoffs_) {
+        if (op.epoch > version) continue;
+        if (op.phase == HandoffPhase::kQueued ||
+            op.phase == HandoffPhase::kStreaming ||
+            op.phase == HandoffPhase::kAwaitingAck) {
+          op.phase = HandoffPhase::kAborted;
+          handoffsAborted_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      std::erase_if(handoffs_,
+                    [&](const HandoffOp& op) { return op.epoch <= version; });
+      // Delta routing: forward future production on every context this
+      // node no longer owns; stop forwarding for contexts (re)owned here.
+      for (auto it = handedOffTo_.begin(); it != handedOffTo_.end();) {
+        it = next->ownerOf(it->first).id == nodeId_ ? handedOffTo_.erase(it)
+                                                    : std::next(it);
+      }
+      for (const auto& ctx : moved) {
+        if (current->ownerOf(ctx).id != nodeId_) continue;
+        const auto& newOwner = next->ownerOf(ctx);
+        if (newOwner.id == nodeId_) continue;
+        handedOffTo_[ctx] =
+            HandoffTarget{newOwner.id, newOwner.endpoint, version};
+      }
+      // Claim this epoch's staged imports; drop anything staler.
+      for (auto it = stagedHandoffs_.begin(); it != stagedHandoffs_.end();) {
+        if (it->second.epoch < version) {
+          it = stagedHandoffs_.erase(it);
+        } else if (it->second.epoch == version) {
+          staged.emplace(it->first, std::move(it->second));
+          it = stagedHandoffs_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    // Apply the imports AFTER the swap, under the owning shard's lock
+    // (never while holding handoffMutex_ — lock order is shard first).
+    for (auto& [ctx, s] : staged) {
+      if (next->ownerOf(ctx).id != nodeId_) continue;  // not ours after all
+      const auto idx = core_.shardOfContext(ctx);
+      if (!idx) continue;
+      std::vector<std::int64_t> steps;
+      steps.reserve(s.steps.size());
+      for (const StepIndex step : s.steps) {
+        steps.push_back(static_cast<std::int64_t>(step));
+      }
+      std::lock_guard lock(core_.mutexOf(*idx));
+      DvShard& shard = core_.shard(*idx);
+      (void)shard.importContextSteps(ctx, steps);
+      if (s.complete) {
+        (void)shard.adoptContextOwnership(ctx, s.leaseGen, s.pendingWaiters);
+      }
+    }
+    ack.intArg = static_cast<std::int64_t>(version);
+    if (full.hops == 0) {
+      for (const auto& n : relayTargets(*current, *next, nodeId_)) {
+        forwardToPeer(n, full);
+      }
+    }
+    wakeMaintenance();
+    SIMFS_LOG_INFO(kTag, "ring v%llu committed (%zu members, %zu moved)",
+                   static_cast<unsigned long long>(version), next->size(),
+                   moved.size());
+  }
+  ack.code = codeOf(st);
+  if (!st.isOk()) ack.text = st.message();
+  (void)session->transport->send(ack);
+}
+
+void Daemon::handleContextHandoff(const std::shared_ptr<Session>& session,
+                                  const msg::MessageView& m) {
+  const auto epoch = static_cast<std::uint64_t>(m.intArg());
+  const bool isFinal = (m.intArg2() & 1) != 0;
+  const std::string context(m.context());
+  msg::Message ack;
+  ack.type = msg::MsgType::kContextHandoffAck;
+  ack.requestId = m.requestId();
+  ack.context = context;
+  ack.intArg = static_cast<std::int64_t>(epoch);
+  ack.intArg2 = isFinal ? 1 : 0;
+  ack.text = nodeId_;
+  std::vector<std::int64_t> ints;
+  ints.reserve(m.intCount());
+  for (auto it = m.intsBegin(); it != m.intsEnd(); ++it) ints.push_back(*it);
+  std::uint64_t leaseGen = 0;
+  std::vector<std::pair<StepIndex, std::uint32_t>> pendingWaiters;
+  Status st = Status::ok();
+  if (isFinal) {
+    // Final frame: ints = [leaseGen, totalRefs, (step, waiters)...].
+    if (ints.size() < 2 || (ints.size() - 2) % 2 != 0) {
+      st = errInvalidArgument("dv: malformed handoff final frame");
+    } else {
+      leaseGen = static_cast<std::uint64_t>(ints[0]);
+      for (std::size_t i = 2; i + 1 < ints.size(); i += 2) {
+        pendingWaiters.emplace_back(
+            static_cast<StepIndex>(ints[i]),
+            static_cast<std::uint32_t>(ints[i + 1]));
+      }
+    }
+  }
+  const auto current = ringRef();
+  if (!st.isOk()) {
+    // fall through to the ack
+  } else if (nodeId_.empty()) {
+    st = errFailedPrecondition("dv: handoff on standalone daemon");
+  } else if (epoch < current->version()) {
+    // The epoch fence: a frame from a sender still on an older ring is
+    // rejected outright — its authority ended at the commit it missed.
+    st = errFailedPrecondition(str::format(
+        "dv: stale handoff epoch %llu (committed v%llu)",
+        static_cast<unsigned long long>(epoch),
+        static_cast<unsigned long long>(current->version())));
+  } else if (epoch == current->version()) {
+    // Committed epoch: a post-commit delta (or a frame racing the commit
+    // relay). Applied immediately under the owning shard's lock.
+    const cluster::NodeInfo* owner = nullptr;
+    const auto idx = core_.shardOfContext(context);
+    if (!idx) {
+      st = errNotFound("dv: no context: " + context);
+    } else if (ownedElsewhere(*current, context, &owner)) {
+      st = errFailedPrecondition("dv: handoff for a context owned elsewhere");
+    } else {
+      std::lock_guard lock(core_.mutexOf(*idx));
+      DvShard& shard = core_.shard(*idx);
+      st = isFinal ? shard.adoptContextOwnership(context, leaseGen,
+                                                 pendingWaiters)
+                   : shard.importContextSteps(context, ints);
+    }
+  } else {
+    // Future epoch: staged until the matching kRingCommit makes this node
+    // authoritative. An uncommitted transfer is discarded wholesale at
+    // the next commit (or expires with its epoch) — crash-of-the-sender
+    // resolves to "old owner resumes" with no partial state applied.
+    std::lock_guard lock(handoffMutex_);
+    auto& s = stagedHandoffs_[context];
+    if (s.epoch != epoch) {
+      s = StagedHandoff{};
+      s.epoch = epoch;
+    }
+    s.from = std::string(m.text());
+    if (isFinal) {
+      s.leaseGen = leaseGen;
+      s.pendingWaiters = std::move(pendingWaiters);
+      s.complete = true;
+    } else {
+      s.steps.reserve(s.steps.size() + ints.size());
+      for (const std::int64_t v : ints) {
+        s.steps.push_back(static_cast<StepIndex>(v));
+      }
+    }
+    membershipChanged_.store(true, std::memory_order_relaxed);
+  }
+  ack.code = codeOf(st);
+  if (!st.isOk()) ack.text = st.message();
+  (void)session->transport->send(ack);
+}
+
+void Daemon::runHandoffs() {
+  // Claim the queued transfers. The delta target registers BEFORE the
+  // snapshot export: a step produced between the two is queued as a delta
+  // frame (possibly duplicated in the snapshot — imports are idempotent),
+  // never lost.
+  std::vector<HandoffOp> toStream;
+  {
+    std::lock_guard lock(handoffMutex_);
+    for (auto& op : handoffs_) {
+      if (op.phase != HandoffPhase::kQueued) continue;
+      op.phase = HandoffPhase::kStreaming;
+      handedOffTo_[op.context] =
+          HandoffTarget{op.targetId, op.targetEndpoint, op.epoch};
+      toStream.push_back(op);
+    }
+  }
+  const auto frameFaulted = [] {
+    if (!fault::active()) return false;
+    fault::maybeDelay(fault::Point::kHandoff);
+    return fault::shouldFail(fault::Point::kHandoff);
+  };
+  for (const auto& op : toStream) {
+    std::optional<ContextSnapshot> snap;
+    if (const auto idx = core_.shardOfContext(op.context)) {
+      std::lock_guard lock(core_.mutexOf(*idx));
+      snap = core_.shard(*idx).exportContextSnapshot(op.context);
+    }
+    // Nothing transferable (a cold context, or a joiner's self-ring
+    // mirage): settle as committed without a single frame — the new
+    // owner serves from scratch, which IS the complete state.
+    const bool trivial = snap && snap->available.empty() &&
+                         snap->pendingWaiters.empty() && snap->refs == 0 &&
+                         snap->leaseGen <= 1;
+    bool failed = !snap;
+    bool streamed = false;
+    if (snap && !trivial) {
+      const cluster::NodeInfo target{op.targetId, op.targetEndpoint};
+      for (std::size_t at = 0; at < snap->available.size() && !failed;
+           at += handoffBatch_) {
+        if (frameFaulted()) {
+          failed = true;
+          break;
+        }
+        const std::size_t n =
+            std::min(handoffBatch_, snap->available.size() - at);
+        msg::Message frame;
+        frame.type = msg::MsgType::kContextHandoff;
+        frame.context = op.context;
+        frame.intArg = static_cast<std::int64_t>(op.epoch);
+        frame.text = nodeId_;
+        frame.ints.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          frame.ints.push_back(
+              static_cast<std::int64_t>(snap->available[at + i]));
+        }
+        forwardToPeer(target, frame);
+      }
+      if (!failed && frameFaulted()) failed = true;
+      if (!failed) {
+        msg::Message fin;
+        fin.type = msg::MsgType::kContextHandoff;
+        fin.context = op.context;
+        fin.intArg = static_cast<std::int64_t>(op.epoch);
+        fin.intArg2 = 1;
+        fin.text = nodeId_;
+        fin.ints.reserve(2 + 2 * snap->pendingWaiters.size());
+        fin.ints.push_back(static_cast<std::int64_t>(snap->leaseGen));
+        fin.ints.push_back(static_cast<std::int64_t>(snap->refs));
+        for (const auto& [step, waiters] : snap->pendingWaiters) {
+          fin.ints.push_back(static_cast<std::int64_t>(step));
+          fin.ints.push_back(static_cast<std::int64_t>(waiters));
+        }
+        forwardToPeer(target, fin);
+        streamed = true;
+      }
+    }
+    const VTime deadline =
+        clock_.now() + (handoffTimeoutNs_ > 0 ? handoffTimeoutNs_
+                                              : 5'000'000'000);
+    std::lock_guard lock(handoffMutex_);
+    for (auto& h : handoffs_) {
+      if (h.context != op.context || h.epoch != op.epoch) continue;
+      if (h.phase != HandoffPhase::kStreaming) break;  // settled by an ack
+      if (failed) {
+        h.phase = HandoffPhase::kAborted;
+        handoffsAborted_.fetch_add(1, std::memory_order_relaxed);
+        handedOffTo_.erase(op.context);  // old owner resumes authoritative
+      } else if (streamed) {
+        h.phase = HandoffPhase::kAwaitingAck;
+        h.deadline = deadline;
+      } else {  // trivial
+        h.phase = HandoffPhase::kCommitted;
+        handoffsCommitted_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+  }
+  // Deadline sweep: a transfer whose final ack never came (receiver
+  // crashed mid-stream, frames dropped) aborts deterministically — the
+  // old owner never stopped serving, so there is nothing to undo.
+  const VTime now = clock_.now();
+  std::size_t expired = 0;
+  {
+    std::lock_guard lock(handoffMutex_);
+    for (auto& op : handoffs_) {
+      if (op.phase != HandoffPhase::kAwaitingAck) continue;
+      if (op.deadline != 0 && now >= op.deadline) {
+        op.phase = HandoffPhase::kAborted;
+        handoffsAborted_.fetch_add(1, std::memory_order_relaxed);
+        handedOffTo_.erase(op.context);
+        ++expired;
+      }
+    }
+  }
+  if (expired > 0) {
+    SIMFS_LOG_WARN(kTag, "%zu context handoff(s) timed out; old owner resumes",
+                   expired);
+  }
+}
+
+void Daemon::onHandoffAck(const msg::Message& reply) {
+  const auto epoch = static_cast<std::uint64_t>(reply.intArg);
+  std::lock_guard lock(handoffMutex_);
+  for (auto& op : handoffs_) {
+    if (op.context != reply.context || op.epoch != epoch) continue;
+    if (op.phase != HandoffPhase::kStreaming &&
+        op.phase != HandoffPhase::kAwaitingAck) {
+      return;  // already settled (timeout raced the ack)
+    }
+    if (reply.code != 0) {
+      // The receiver refused a frame (stale epoch, unknown context):
+      // abort — this node keeps serving.
+      op.phase = HandoffPhase::kAborted;
+      handoffsAborted_.fetch_add(1, std::memory_order_relaxed);
+      handedOffTo_.erase(op.context);
+    } else if (reply.intArg2 == 1) {
+      // Final-frame ack: the transfer's commit point.
+      op.phase = HandoffPhase::kCommitted;
+      handoffsCommitted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+}
+
+std::size_t Daemon::inflightHandoffs() const {
+  std::lock_guard lock(handoffMutex_);
+  std::size_t n = 0;
+  for (const auto& op : handoffs_) {
+    if (op.phase == HandoffPhase::kQueued ||
+        op.phase == HandoffPhase::kStreaming ||
+        op.phase == HandoffPhase::kAwaitingAck) {
+      ++n;
+    }
+  }
+  return n;
+}
+
 msg::Message Daemon::buildRedirect(std::uint64_t requestId,
                                    std::string_view context,
-                                   const cluster::NodeInfo& owner) const {
+                                   const cluster::NodeInfo& owner,
+                                   const cluster::Ring& ring) const {
   msg::Message reply;
   reply.type = msg::MsgType::kRedirect;
   reply.requestId = requestId;
   reply.context.assign(context);
   reply.text = owner.id;
-  reply.files = ring_.encodeEntries();
-  reply.intArg = static_cast<std::int64_t>(ring_.version());
+  reply.files = ring.encodeEntries();
+  reply.intArg = static_cast<std::int64_t>(ring.version());
   // Read-replica count R, additive: 0 whenever replicas are disabled, so
   // those redirects stay byte-identical to pre-replica daemons.
-  reply.intArg2 = static_cast<std::int64_t>(replicas_);
+  reply.intArg2 =
+      static_cast<std::int64_t>(replicas_.load(std::memory_order_relaxed));
+  reply.code = codeOf(Status::ok());
+  return reply;
+}
+
+msg::MessageRef Daemon::buildRedirectRef(msg::Arena& arena,
+                                         std::uint64_t requestId,
+                                         std::string_view context,
+                                         const cluster::NodeInfo& owner,
+                                         const cluster::Ring& ring) const {
+  msg::MessageRef reply;
+  reply.type = msg::MsgType::kRedirect;
+  reply.requestId = requestId;
+  reply.context = arena.copyString(context);
+  reply.text = arena.copyString(owner.id);
+  const auto entries = ring.encodeEntries();
+  auto files = arena.allocSpan<std::string_view>(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    files[i] = arena.copyString(entries[i]);
+  }
+  reply.files = files;
+  reply.intArg = static_cast<std::int64_t>(ring.version());
+  reply.intArg2 =
+      static_cast<std::int64_t>(replicas_.load(std::memory_order_relaxed));
   reply.code = codeOf(Status::ok());
   return reply;
 }
 
 msg::Message Daemon::buildRingUpdate(std::uint64_t requestId) const {
+  const auto ringSnap = ringRef();
   msg::Message reply;
   reply.type = msg::MsgType::kRingUpdate;
   reply.requestId = requestId;
   reply.text = nodeId_;
-  reply.files = ring_.encodeEntries();
-  reply.intArg = static_cast<std::int64_t>(ring_.version());
-  reply.intArg2 = static_cast<std::int64_t>(replicas_);
+  reply.files = ringSnap->encodeEntries();
+  reply.intArg = static_cast<std::int64_t>(ringSnap->version());
+  reply.intArg2 =
+      static_cast<std::int64_t>(replicas_.load(std::memory_order_relaxed));
   reply.code = codeOf(Status::ok());
   return reply;
 }
@@ -1042,6 +1642,9 @@ Daemon::FederationCounters Daemon::federationCounters() const {
   c.leaseGrantsSent = leaseGrantsSent_.load(std::memory_order_relaxed);
   c.leaseRevokesSent = leaseRevokesSent_.load(std::memory_order_relaxed);
   c.leaseAcksReceived = leaseAcksReceived_.load(std::memory_order_relaxed);
+  c.handoffsInflight = inflightHandoffs();
+  c.handoffsCommitted = handoffsCommitted_.load(std::memory_order_relaxed);
+  c.handoffsAborted = handoffsAborted_.load(std::memory_order_relaxed);
   {
     std::lock_guard lock(leaseMutex_);
     c.contextsRevoking = pendingRevokes_.size();
@@ -1300,6 +1903,29 @@ void Daemon::processClientMessage(std::size_t shardIndex, DvShard& shard,
   bool sendReply = true;
   const ClientId client = session->client.load();
 
+  // Elastic-membership redirect: once a commit moved this session's
+  // context to another node, interest-registering ops are answered with
+  // kRedirect (carrying the new table) instead of being served here — the
+  // client rebinds and resends under the same requestId. Release-side ops
+  // (kReleaseReq, kCancelReq, kCloseNotify) still run locally so pinned
+  // residue drains, and replica-session reads keep working by design. The
+  // sticky membershipChanged_ gate keeps this off every pre-elastic path.
+  if (membershipChanged_.load(std::memory_order_relaxed) && client != 0 &&
+      !session->replica.load() &&
+      (m.type == msg::MsgType::kOpenReq ||
+       m.type == msg::MsgType::kOpenBatchReq ||
+       m.type == msg::MsgType::kAcquireReq)) {
+    const auto ringSnap = ringRef();
+    const cluster::NodeInfo* owner = nullptr;
+    if (ownedElsewhere(*ringSnap, session->context, &owner)) {
+      redirects_.fetch_add(1, std::memory_order_relaxed);
+      sv.out.emplace_back(session,
+                          buildRedirectRef(arena, m.requestId,
+                                           session->context, *owner, *ringSnap));
+      return;
+    }
+  }
+
   switch (m.type) {
     case msg::MsgType::kHello: {
       reply.type = msg::MsgType::kHelloAck;
@@ -1308,6 +1934,26 @@ void Daemon::processClientMessage(std::size_t shardIndex, DvShard& shard,
       // daemons. The transport itself was already chosen at dispatch.
       if ((m.intArg2 & msg::kHelloCapShm) != 0) {
         reply.intArg2 = negotiatedChoice(*session->transport);
+      }
+      if ((m.intArg2 & msg::kHelloCapVersion) != 0 && !m.ints.empty()) {
+        // Protocol-version handshake: client advertises [min, max], the
+        // daemon answers the highest version both sides speak. A client
+        // whose floor is above this daemon's ceiling cannot proceed.
+        const std::int64_t theirMin = m.ints[0];
+        const std::int64_t theirMax =
+            m.ints.size() > 1 ? m.ints[1] : m.ints[0];
+        const std::int64_t chosen =
+            std::min<std::int64_t>(msg::kProtocolVersionMax, theirMax);
+        if (chosen < theirMin || chosen < msg::kProtocolVersionMin) {
+          const Status st =
+              errFailedPrecondition("dv: no protocol version overlap");
+          reply.code = codeOf(st);
+          reply.text = arena.copyString(st.message());
+          break;
+        }
+        auto negotiated = arena.allocSpan<std::int64_t>(1);
+        negotiated[0] = chosen;
+        reply.ints = negotiated;
       }
       if (client != 0) {
         // Re-hello on a bound session would orphan the existing client
@@ -1322,6 +1968,7 @@ void Daemon::processClientMessage(std::size_t shardIndex, DvShard& shard,
       if (id.isOk()) {
         session->shard.store(static_cast<int>(shardIndex));
         session->client.store(*id);
+        session->context.assign(m.context);  // single-worker access
         sv.byClient[*id] = session;
         // The transport may already have died: its close handler then saw
         // client == 0 and could not enqueue a disconnect, so the session
@@ -1675,9 +2322,10 @@ msg::Message Daemon::buildShardStatsReply(std::uint64_t requestId) const {
       "peers_suspect=%llu;peers_dead=%llu;"
       "conn_socket=%llu;conn_shm=%llu;conn_other=%llu;reactor=%.*s;"
       "replicas=%zu;lease_grants=%llu;lease_revokes=%llu;lease_acks=%llu;"
-      "revoking=%s",
+      "revoking=%s;proto=%lld;handoffs_inflight=%zu;handoffs_committed=%llu;"
+      "handoffs_aborted=%llu",
       serving_.size(), workers_.size(),
-      nodeId_.empty() ? "-" : nodeId_.c_str(), ring_.size(),
+      nodeId_.empty() ? "-" : nodeId_.c_str(), ringRef()->size(),
       static_cast<unsigned long long>(fed.redirects),
       static_cast<unsigned long long>(fed.forwarded),
       static_cast<unsigned long long>(fed.forwardDrops),
@@ -1691,11 +2339,15 @@ msg::Message Daemon::buildShardStatsReply(std::uint64_t requestId) const {
       static_cast<unsigned long long>(
           connOther_.load(std::memory_order_relaxed)),
       static_cast<int>(msg::reactorBackendName().size()),
-      msg::reactorBackendName().data(), replicas_,
+      msg::reactorBackendName().data(),
+      replicas_.load(std::memory_order_relaxed),
       static_cast<unsigned long long>(fed.leaseGrantsSent),
       static_cast<unsigned long long>(fed.leaseRevokesSent),
       static_cast<unsigned long long>(fed.leaseAcksReceived),
-      revoking.c_str());
+      revoking.c_str(),
+      static_cast<long long>(msg::kProtocolVersionMax), fed.handoffsInflight,
+      static_cast<unsigned long long>(fed.handoffsCommitted),
+      static_cast<unsigned long long>(fed.handoffsAborted));
   for (const auto& c : counters) {
     std::string contexts;
     for (const auto& name : c.contexts) {

@@ -122,6 +122,10 @@ class Daemon {
     std::uint64_t leaseRevokesSent = 0;   ///< kLeaseRevoke messages pushed
     std::uint64_t leaseAcksReceived = 0;  ///< kLeaseAck consumed on peer links
     std::uint64_t contextsRevoking = 0;   ///< contexts with un-acked revokes
+    /// Elastic-membership handoff progress (old-owner side).
+    std::uint64_t handoffsInflight = 0;   ///< transfers queued / streaming
+    std::uint64_t handoffsCommitted = 0;  ///< transfers acked by the new owner
+    std::uint64_t handoffsAborted = 0;    ///< transfers timed out / faulted
   };
 
   Daemon() : Daemon(Options{}) {}
@@ -188,10 +192,17 @@ class Daemon {
   [[nodiscard]] std::vector<ShardCounters> shardCounters() const;
   [[nodiscard]] FederationCounters federationCounters() const;
   [[nodiscard]] const std::string& nodeId() const noexcept { return nodeId_; }
-  [[nodiscard]] const cluster::Ring& ring() const noexcept { return ring_; }
+  /// Snapshot of the current (possibly elastically re-committed) ring.
+  [[nodiscard]] cluster::Ring ring() const {
+    std::lock_guard lock(ringMutex_);
+    return *ring_;
+  }
   [[nodiscard]] std::size_t queueCap() const noexcept { return queueCap_; }
   /// Effective read-replica count R (0 = replica serving disabled).
-  [[nodiscard]] std::size_t replicas() const noexcept { return replicas_; }
+  /// Re-clamped on every committed membership change.
+  [[nodiscard]] std::size_t replicas() const noexcept {
+    return replicas_.load(std::memory_order_relaxed);
+  }
 
   /// The autotuner observation window between two shard-counter samples
   /// (`prev` all-zero for the first window).
@@ -212,9 +223,23 @@ class Daemon {
                 const msg::MessageView& m);
 
   /// True when this daemon has a federation identity and `context` hashes
-  /// to a different ring member (returned via `owner`).
-  [[nodiscard]] bool ownedElsewhere(std::string_view context,
+  /// to a different member of `ring` (returned via `owner`). The caller
+  /// must keep the ring snapshot alive while it uses `*owner` — the
+  /// pointer aims into it.
+  [[nodiscard]] bool ownedElsewhere(const cluster::Ring& ring,
+                                    std::string_view context,
                                     const cluster::NodeInfo** owner) const;
+
+  /// The current ring, shared: dispatch/worker/maintenance threads read a
+  /// stable snapshot while a kRingCommit swaps the holder underneath.
+  [[nodiscard]] std::shared_ptr<const cluster::Ring> ringRef() const {
+    std::lock_guard lock(ringMutex_);
+    return ring_;
+  }
+
+  /// The replica count `ring` supports on this daemon (configured R
+  /// clamped to ring size - 1; 0 when standalone or single-node).
+  [[nodiscard]] std::size_t effectiveReplicas(const cluster::Ring& ring) const;
 
   /// Relays a fire-and-forget message to `owner` over the cached peer
   /// link. Never dials on this (dispatching / reactor) thread: with no
@@ -270,9 +295,52 @@ class Daemon {
   void handleLeaseOp(const std::shared_ptr<Session>& session,
                      const msg::MessageView& m);
 
+  // --- elastic membership (kRingPropose / kRingCommit / kContextHandoff) -----
+
+  /// Stages a proposed membership change: validates the version bump,
+  /// computes the handoff work list against the current ring, queues
+  /// outbound transfers for the contexts this node loses, and (hops == 0)
+  /// relays the proposal to every member of old-union-new. Inline on the
+  /// dispatch thread — admin-frequency traffic.
+  void handleRingPropose(const std::shared_ptr<Session>& session,
+                         const msg::MessageView& m);
+
+  /// Commits a membership change: swaps the ring holder, re-clamps the
+  /// replica count, applies epoch-matching staged imports (ring first, so
+  /// lease grants emitted by the imports already see this node as owner),
+  /// settles outbound transfers, and relays (hops == 0).
+  void handleRingCommit(const std::shared_ptr<Session>& session,
+                        const msg::MessageView& m);
+
+  /// Applies one inbound handoff frame under the epoch fence:
+  /// epoch < committed ring version -> rejected (stale sender);
+  /// epoch == current -> applied immediately (post-commit delta);
+  /// epoch > current -> staged until the matching kRingCommit.
+  void handleContextHandoff(const std::shared_ptr<Session>& session,
+                            const msg::MessageView& m);
+
+  /// Maintenance-thread handoff engine: exports and streams queued
+  /// transfers (fault::Point::kHandoff gates each frame) and aborts
+  /// transfers whose final ack missed SIMFS_HANDOFF_TIMEOUT_MS.
+  void runHandoffs();
+
+  /// Consumes a kContextHandoffAck arriving on a peer link: a final-frame
+  /// ack commits the transfer, an error ack aborts it.
+  void onHandoffAck(const msg::Message& reply);
+
+  /// Transfers not yet settled (queued / streaming / awaiting ack).
+  [[nodiscard]] std::size_t inflightHandoffs() const;
+
   [[nodiscard]] msg::Message buildRedirect(std::uint64_t requestId,
                                            std::string_view context,
-                                           const cluster::NodeInfo& owner) const;
+                                           const cluster::NodeInfo& owner,
+                                           const cluster::Ring& ring) const;
+  /// Arena-backed redirect for the worker reply path (replies are buffered
+  /// under the shard lock and flushed after it drops — a direct send here
+  /// would reorder against the batch's other replies).
+  [[nodiscard]] msg::MessageRef buildRedirectRef(
+      msg::Arena& arena, std::uint64_t requestId, std::string_view context,
+      const cluster::NodeInfo& owner, const cluster::Ring& ring) const;
   [[nodiscard]] msg::Message buildRingUpdate(std::uint64_t requestId) const;
 
   /// Queues a non-client request (sim event, disconnect) to its shard;
@@ -316,9 +384,14 @@ class Daemon {
   RealClock clock_;
   ShardedVirtualizer core_;
   std::string nodeId_;
-  cluster::Ring ring_;
+  /// Committed membership. Swapped whole (shared_ptr) by kRingCommit so
+  /// every reader holds an immutable snapshot across its whole decision —
+  /// an owner looked up on ring v(N) never dangles when v(N+1) lands.
+  std::shared_ptr<const cluster::Ring> ring_;
+  mutable std::mutex ringMutex_;
   std::size_t queueCap_ = 0;  ///< 0 = unbounded
-  std::size_t replicas_ = 0;  ///< effective R (0 = replicas disabled)
+  std::size_t replicasConfigured_ = 0;  ///< requested R before ring clamping
+  std::atomic<std::size_t> replicas_{0};  ///< effective R (0 = disabled)
 
   /// One owner-side lease command, queued by the LeaseFn (which fires
   /// with a shard lock held) and flushed by the maintenance thread so
@@ -370,6 +443,74 @@ class Daemon {
   std::vector<LeaseCmd> leaseOutbox_;
   /// Contexts with eviction revokes not yet acked, by replica endpoint.
   std::map<std::string, std::set<std::string>> pendingRevokes_;
+
+  // --- elastic-membership handoff state ---------------------------------------
+
+  /// One outbound context transfer (this node is the old owner).
+  enum class HandoffPhase { kQueued, kStreaming, kAwaitingAck, kCommitted,
+                            kAborted };
+  struct HandoffOp {
+    std::string context;
+    std::string targetId;        ///< new owner's node id
+    std::string targetEndpoint;  ///< new owner's transport address
+    std::uint64_t epoch = 0;     ///< proposed ring version (the fence)
+    HandoffPhase phase = HandoffPhase::kQueued;
+    VTime deadline = 0;          ///< abort gate once streaming started
+  };
+
+  /// An inbound transfer staged until its epoch's kRingCommit arrives
+  /// (this node is the new owner). Keyed by context.
+  struct StagedHandoff {
+    std::uint64_t epoch = 0;
+    std::string from;            ///< old owner's node id
+    std::uint64_t leaseGen = 0;  ///< old owner's grant fence (final frame)
+    std::vector<StepIndex> steps;
+    std::vector<std::pair<StepIndex, std::uint32_t>> pendingWaiters;
+    bool complete = false;       ///< final frame seen
+  };
+
+  /// Where a handed-off (or handing-off) context's new owner lives:
+  /// production on this node after the snapshot export is forwarded there
+  /// as epoch-tagged kContextHandoff delta frames.
+  struct HandoffTarget {
+    std::string id;
+    std::string endpoint;
+    std::uint64_t epoch = 0;
+  };
+
+  /// One queued delta frame (post-export step production).
+  struct HandoffDelta {
+    std::string context;
+    std::string targetId;
+    std::string targetEndpoint;
+    std::uint64_t epoch = 0;
+    std::vector<StepIndex> steps;
+  };
+
+  /// A staged membership change between kRingPropose and kRingCommit.
+  struct PendingTransition {
+    std::uint64_t version = 0;
+    cluster::Ring ring;               ///< proposed successor table
+    std::vector<std::string> moved;   ///< contexts changing owner
+  };
+
+  /// Guards everything below. Lock order: shard lock -> handoffMutex_
+  /// (the LeaseFn fires under a shard lock); never hold handoffMutex_
+  /// while taking a shard lock or across a send.
+  mutable std::mutex handoffMutex_;
+  std::vector<HandoffOp> handoffs_;
+  std::map<std::string, StagedHandoff> stagedHandoffs_;
+  std::map<std::string, HandoffTarget> handedOffTo_;
+  std::vector<HandoffDelta> handoffDeltas_;
+  std::unique_ptr<PendingTransition> pendingTransition_;
+  std::atomic<std::uint64_t> handoffsCommitted_{0};
+  std::atomic<std::uint64_t> handoffsAborted_{0};
+  /// Sticky: a membership change has ever been proposed or committed
+  /// here. Gates the per-op moved-context checks out of the pre-elastic
+  /// hot path entirely.
+  std::atomic<bool> membershipChanged_{false};
+  VDuration handoffTimeoutNs_ = 0;  ///< SIMFS_HANDOFF_TIMEOUT_MS
+  std::size_t handoffBatch_ = 0;    ///< SIMFS_HANDOFF_BATCH steps per frame
 
   std::vector<std::unique_ptr<ShardServing>> serving_;
   std::vector<std::unique_ptr<Worker>> workers_;

@@ -830,4 +830,81 @@ std::vector<StepIndex> DvShard::availableSteps(
   return out;
 }
 
+std::optional<ContextSnapshot> DvShard::exportContextSnapshot(
+    const std::string& context) const {
+  const auto* ctx = findContext(context);
+  if (ctx == nullptr) return std::nullopt;
+  ContextSnapshot snap;
+  snap.context = context;
+  snap.leaseGen = ctx->leaseGen;
+  snap.available.reserve(ctx->files.size());
+  for (const auto& [step, fs] : ctx->files) {
+    if (fs.kind == FileState::Kind::kAvailable) {
+      snap.available.push_back(step);
+    } else if (!fs.waiters.empty()) {
+      snap.pendingWaiters.emplace_back(
+          step, static_cast<std::uint32_t>(fs.waiters.size()));
+    }
+  }
+  std::sort(snap.available.begin(), snap.available.end());
+  std::sort(snap.pendingWaiters.begin(), snap.pendingWaiters.end());
+  for (const ClientInfo* ci : ctx->clients) {
+    if (ci->replica) continue;  // lease accounting, not real pins
+    for (const auto& [step, count] : ci->refs) {
+      (void)step;
+      snap.refs += static_cast<std::uint64_t>(count > 0 ? count : 0);
+    }
+  }
+  return snap;
+}
+
+Status DvShard::importContextSteps(const std::string& context,
+                                   std::span<const std::int64_t> steps) {
+  auto* ctx = findContext(context);
+  if (ctx == nullptr) return errNotFound("dv: no context: " + context);
+  const auto& geom = ctx->driver->config().geometry;
+  for (const std::int64_t raw : steps) {
+    const auto step = static_cast<StepIndex>(raw);
+    if (!geom.validStep(step)) continue;  // hostile/mismatched frame entry
+    makeAvailable(*ctx, step, /*producer=*/0);
+  }
+  return Status::ok();
+}
+
+Status DvShard::adoptContextOwnership(
+    const std::string& context, std::uint64_t oldOwnerLeaseGen,
+    std::span<const std::pair<StepIndex, std::uint32_t>> pendingWaiters) {
+  auto* ctx = findContext(context);
+  if (ctx == nullptr) return errNotFound("dv: no context: " + context);
+  // Continue the old owner's generation sequence strictly past its last
+  // value: any grant it emitted before the flip is stale (< the fence)
+  // on every replica this owner will talk to.
+  ctx->leaseGen = std::max(ctx->leaseGen, oldOwnerLeaseGen) + 1;
+  ctx->leaseIsOwner = true;
+  // This node may have been a replica for the context until now; the
+  // leased-in set is owner state from here on (grants flow FROM here).
+  ctx->leaseIsReplica = false;
+  ctx->leased.clear();
+  if (launcher_ == nullptr) return Status::ok();
+  const auto& cfg = ctx->driver->config();
+  const auto& geom = cfg.geometry;
+  for (const auto& [step, waiters] : pendingWaiters) {
+    (void)waiters;
+    if (!geom.validStep(step)) continue;
+    if (ctx->running >= cfg.sMax) break;  // same clamp as prefetch depth
+    const auto fit = ctx->files.find(step);
+    if (fit != ctx->files.end()) continue;  // resident or already cooking
+    const StepIndex start =
+        geom.firstStepAtOrAfterRestart(geom.restartFor(step));
+    StepIndex stop = geom.lastStepOfRunUntil(geom.nextRestartAfter(step));
+    if (geom.numTimesteps() > 0) {
+      stop = std::min<StepIndex>(stop, geom.numOutputSteps() - 1);
+    }
+    (void)launchJob(*ctx, start, stop, /*level=*/1, JobPurpose::kDemand,
+                    /*owner=*/0);
+    ++stats_.demandJobs;
+  }
+  return Status::ok();
+}
+
 }  // namespace simfs::dv

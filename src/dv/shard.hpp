@@ -131,6 +131,21 @@ struct LeaseCounters {
   std::uint64_t notLeased = 0;       ///< opens bounced back to the owner
 };
 
+/// One context's transferable serving state, exported by the old owner
+/// during an elastic-membership handoff and streamed to the new owner as
+/// kContextHandoff frames. Carries metadata only — step bytes live in the
+/// (shared or re-simulable) store; what moves is the knowledge of what is
+/// resident, what is still owed to whom, and the lease generation fence.
+struct ContextSnapshot {
+  std::string context;
+  std::uint64_t leaseGen = 0;  ///< old owner's grant fence (PR 8 discipline)
+  std::uint64_t refs = 0;      ///< open references held by analysis clients
+  std::vector<StepIndex> available;  ///< resident steps, ascending
+  /// Pending steps with registered waiters (step, waiter count): demand
+  /// the new owner can warm-launch so rebound clients resolve quickly.
+  std::vector<std::pair<StepIndex, std::uint32_t>> pendingWaiters;
+};
+
 /// One DV shard. Not thread-safe by design; see dv::DataVirtualizer for the
 /// single-threaded facade and dv::Daemon for the locked, queue-fed
 /// deployment.
@@ -296,6 +311,31 @@ class DvShard {
   /// an owner re-grants when a replica's peer link is re-established.
   [[nodiscard]] std::vector<StepIndex> availableSteps(
       const std::string& context) const;
+
+  // --- elastic-membership handoff (old owner -> new owner) --------------------
+
+  /// Snapshot of `context` for a live handoff (nullopt: unknown context).
+  /// Pure read — the old owner keeps serving (and keeps every waiter)
+  /// until the membership change commits, so an aborted handoff needs no
+  /// undo on this side.
+  [[nodiscard]] std::optional<ContextSnapshot> exportContextSnapshot(
+      const std::string& context) const;
+
+  /// Applies one handoff data frame: marks `steps` available exactly as a
+  /// simulator write would (waiter wake, lease grant, cache insert,
+  /// evictions) — a resent client op racing the import is woken instead of
+  /// stranded. Invalid steps are skipped; idempotent on available ones.
+  Status importContextSteps(const std::string& context,
+                            std::span<const std::int64_t> steps);
+
+  /// Applies the final handoff frame: advances the lease-generation fence
+  /// past the old owner's (stale grants emitted over there become inert
+  /// everywhere) and warm-launches demand re-simulations for the pending
+  /// steps the old owner's clients were still owed, so they are already
+  /// cooking when those clients rebind and resend.
+  Status adoptContextOwnership(
+      const std::string& context, std::uint64_t oldOwnerLeaseGen,
+      std::span<const std::pair<StepIndex, std::uint32_t>> pendingWaiters);
 
  private:
   struct ContextState;

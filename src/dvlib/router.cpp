@@ -59,6 +59,16 @@ bool NodeRouter::adoptRing(const cluster::Ring& ring) {
     if (ring.version() == ring_.version() && ring_.sameMembership(ring)) {
       return false;
     }
+    // Newer version, identical membership: a pure version bump (e.g. an
+    // aborted membership change re-proposed, or an admin no-op commit).
+    // Fast-forward the stored table so later comparisons don't thrash,
+    // but report "nothing changed" — placement is a function of the node
+    // ids only, so no owner moved, and callers must not react with a
+    // pool teardown or a rebind of every session.
+    if (ring_.sameMembership(ring)) {
+      ring_ = ring;
+      return false;
+    }
   }
   ring_ = ring;
   return true;

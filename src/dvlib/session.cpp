@@ -83,7 +83,20 @@ msg::Message makeHello(const std::string& context) {
   hello.type = msg::MsgType::kHello;
   hello.context = context;
   hello.intArg = static_cast<std::int64_t>(msg::ClientRole::kAnalysis);
+  // Protocol-version handshake, additive: the cap bit plus an advertised
+  // [min, max] range. Pre-negotiation daemons ignore unknown cap bits and
+  // extra ints and answer a legacy ack (no choice echoed), which the
+  // caller reads as version 1.
+  hello.intArg2 |= msg::kHelloCapVersion;
+  hello.ints.push_back(msg::kProtocolVersionMin);
+  hello.ints.push_back(msg::kProtocolVersionMax);
   return hello;
+}
+
+/// The daemon's protocol pick out of a kHelloAck; 1 when the ack carries
+/// none (legacy daemon, or a replica-mode ack).
+std::int64_t negotiatedVersionOf(const msg::Message& reply) {
+  return reply.ints.empty() ? 1 : reply.ints[0];
 }
 
 std::uint64_t nextCallId() {
@@ -325,6 +338,8 @@ Result<std::shared_ptr<Session>> Session::connect(
   const auto st = statusFrom(*reply);
   if (!st.isOk()) return st;
   session->clientId_ = static_cast<ClientId>(reply->intArg);
+  session->protocolVersion_.store(negotiatedVersionOf(*reply),
+                                  std::memory_order_relaxed);
   session->transport_ = std::move(t);
   return session;
 }
@@ -1154,6 +1169,8 @@ Status Session::rebind(std::string targetNode) {
     {
       std::lock_guard lock(mutex_);
       clientId_ = static_cast<ClientId>(reply->intArg);
+      protocolVersion_.store(negotiatedVersionOf(*reply),
+                             std::memory_order_relaxed);
       old = std::move(transport_);
       transport_ = t;
       if (old) {

@@ -57,6 +57,7 @@
 #include "msg/transport.hpp"
 
 #include <condition_variable>
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <map>
@@ -240,6 +241,13 @@ class Session : public std::enable_shared_from_this<Session> {
     return context_;
   }
   [[nodiscard]] ClientId clientId() const noexcept { return clientId_; }
+
+  /// Protocol version the daemon picked from this session's advertised
+  /// [kProtocolVersionMin, kProtocolVersionMax] range at hello time.
+  /// Stays 1 against pre-negotiation daemons (they echo no choice).
+  [[nodiscard]] std::int64_t protocolVersion() const noexcept {
+    return protocolVersion_.load(std::memory_order_relaxed);
+  }
 
   // --- failure-domain knobs ---------------------------------------------------
 
@@ -443,6 +451,10 @@ class Session : public std::enable_shared_from_this<Session> {
   std::shared_ptr<NodeRouter> router_;  ///< null for single-transport sessions
   std::string context_;
   ClientId clientId_ = 0;
+  /// Negotiated wire protocol version (updated on every successful hello,
+  /// including rebinds — a mixed-version ring may answer differently per
+  /// node). Atomic: read from any thread, written under rebind.
+  std::atomic<std::int64_t> protocolVersion_{1};
 
   std::mutex mutex_;
   std::condition_variable cv_;

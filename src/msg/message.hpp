@@ -143,6 +143,42 @@ enum class MsgType : std::uint16_t {
                    ///< files[] = registered context names, intArg = count,
                    ///< ints[] empty. Decoders must length-check both lists
                    ///< like every other ack — a hostile peer controls them.
+
+  // --- elastic membership (ring admin + live context handoff) ---------------
+  kRingPropose,    ///< admin/peer->DV: stage a membership change. files[] =
+                   ///< proposed ring entries ("id=endpoint"), intArg =
+                   ///< proposed ring version (must exceed the current one).
+                   ///< The first receiver (hops == 0) relays the proposal to
+                   ///< every member of old ∪ new membership; each node that
+                   ///< loses a context starts streaming its kContextHandoff
+                   ///< snapshot to the new owner while still serving it.
+  kRingProposeAck, ///< DV->admin: code=status, intArg=proposed version,
+                   ///< intArg2=#contexts changing owner, files[] = the moved
+                   ///< contexts as "ctx:oldOwner>newOwner".
+  kRingCommit,     ///< admin/peer->DV: commit a proposed change. Same payload
+                   ///< as kRingPropose (entries travel again, so a node that
+                   ///< missed the proposal still converges). The receiver
+                   ///< adopts the ring, applies staged handoff imports whose
+                   ///< epoch matches, and relays when hops == 0. Old owners
+                   ///< flip moved contexts to redirect mode at this point.
+  kRingCommitAck,  ///< DV->admin: code=status, intArg=committed version.
+  kContextHandoff, ///< old owner->new owner: one snapshot frame of a moving
+                   ///< context. context=name, intArg=epoch (the ring version
+                   ///< the transfer belongs to — the fence), text=sender's
+                   ///< node id. Data frame (intArg2 bit0 clear): ints[] =
+                   ///< available StepIndex values (≤ SIMFS_HANDOFF_BATCH per
+                   ///< frame). Final frame (intArg2 bit0 set): ints[] =
+                   ///< [leaseGen, totalRefs, (pendingStep, waiters)...] —
+                   ///< lease generation for the PR 8 fence plus the pending
+                   ///< steps clients are still owed, so the new owner can
+                   ///< warm-launch their re-simulations. Frames with epoch <
+                   ///< the receiver's committed version are rejected (stale);
+                   ///< epoch == current applies immediately (post-commit
+                   ///< delta); epoch > current is staged until kRingCommit.
+  kContextHandoffAck, ///< new owner->old owner: context, code=status, intArg
+                   ///< echoes the epoch, intArg2=1 when acking the final
+                   ///< frame (the commit point of the transfer), text=acking
+                   ///< node's id.
 };
 
 /// Who is connecting (intArg of kHello).
@@ -157,6 +193,24 @@ inline constexpr std::int64_t kHelloCapShm = 1;
 /// the session locally instead of redirecting, and the client handles
 /// per-file kNotLeased outcomes by retrying the batch at the ring owner.
 inline constexpr std::int64_t kHelloCapReplica = 2;
+
+/// kHello.intArg2 capability bit: the client speaks versioned protocol —
+/// kHello.ints = [minVersion, maxVersion] it can serve, and the daemon
+/// answers kHelloAck.ints = [chosenVersion] (the top of the intersection)
+/// or rejects the hello with kFailedPrecondition when the ranges do not
+/// overlap. Hellos without this bit (and the acks to them) are
+/// byte-identical to the pre-negotiation protocol, which is what lets a
+/// mixed-version ring upgrade rolling instead of in lockstep.
+inline constexpr std::int64_t kHelloCapVersion = 4;
+
+/// Protocol versions this build can speak. Version 1 is everything up to
+/// the static-ring protocol; version 2 adds the elastic-membership ops
+/// (kRingPropose/kRingCommit/kContextHandoff) and the version handshake
+/// itself. kPing.intArg2 / kPong.intArg2 carry the same negotiation
+/// additively (0 = legacy peer) so operators can read a node's negotiated
+/// version without binding a session.
+inline constexpr std::int64_t kProtocolVersionMin = 1;
+inline constexpr std::int64_t kProtocolVersionMax = 2;
 
 /// kHelloAck.intArg2: which data plane the daemon chose for this session.
 /// kLegacy (0) doubles as "the daemon predates negotiation" — both sides

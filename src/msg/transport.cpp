@@ -1013,7 +1013,13 @@ class Reactor {
           skip = 0;
           ++cnt;
         }
-        const ssize_t w = ::writev(conn->fd, iov, cnt);
+        // sendmsg + MSG_NOSIGNAL, not writev: a peer that died without
+        // unwinding (kill -9) must surface as EPIPE on this connection,
+        // never as a process-killing SIGPIPE.
+        msghdr mh{};
+        mh.msg_iov = iov;
+        mh.msg_iovlen = static_cast<std::size_t>(cnt);
+        const ssize_t w = ::sendmsg(conn->fd, &mh, MSG_NOSIGNAL);
         if (w < 0) {
           if (errno == EINTR) continue;
           if (errno == EAGAIN || errno == EWOULDBLOCK) {

@@ -161,5 +161,61 @@ TEST(RingTest, EmptyRingIsInert) {
   EXPECT_TRUE(ring.encodeEntries().empty());
 }
 
+// --- elastic membership ops -------------------------------------------------
+
+TEST(RingTest, WithNodeAddsAMemberAtTheNewVersion) {
+  auto ring = Ring::make(threeNodes(), 3).value();
+  auto grown = ring.withNode({"dv3", "/tmp/dv3.sock"}, 4);
+  ASSERT_TRUE(grown.isOk());
+  EXPECT_EQ(grown->size(), 4u);
+  EXPECT_EQ(grown->version(), 4u);
+  ASSERT_NE(grown->find("dv3"), nullptr);
+  EXPECT_EQ(grown->find("dv3")->endpoint, "/tmp/dv3.sock");
+  // The source ring is untouched (immutability is the fencing story:
+  // every version is a distinct table).
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.version(), 3u);
+  // Duplicate id / invalid member fail Ring::make's validation.
+  EXPECT_FALSE(ring.withNode({"dv1", "/elsewhere"}, 4).isOk());
+  EXPECT_FALSE(ring.withNode({"", "/x"}, 4).isOk());
+}
+
+TEST(RingTest, WithoutNodeRemovesAMemberButNeverTheLast) {
+  auto ring = Ring::make(threeNodes(), 3).value();
+  auto shrunk = ring.withoutNode("dv2", 4);
+  ASSERT_TRUE(shrunk.isOk());
+  EXPECT_EQ(shrunk->size(), 2u);
+  EXPECT_EQ(shrunk->version(), 4u);
+  EXPECT_EQ(shrunk->find("dv2"), nullptr);
+  EXPECT_FALSE(ring.withoutNode("nope", 4).isOk());
+  auto solo = Ring::make({{"solo", "/tmp/solo.sock"}}).value();
+  EXPECT_FALSE(solo.withoutNode("solo", 2).isOk());
+}
+
+TEST(RingTest, MovedContextsIsExactlyTheOwnershipDelta) {
+  auto from = Ring::make(threeNodes(), 1).value();
+  auto to = from.withNode({"dv3", "/tmp/dv3.sock"}, 2).value();
+  std::vector<std::string> contexts;
+  for (int i = 0; i < 200; ++i) contexts.push_back("ctx" + std::to_string(i));
+  const auto moved = Ring::movedContexts(from, to, contexts);
+  EXPECT_FALSE(moved.empty()) << "a 4th node must attract some contexts";
+  std::set<std::string> movedSet(moved.begin(), moved.end());
+  for (const auto& ctx : contexts) {
+    const bool differs = from.ownerOf(ctx).id != to.ownerOf(ctx).id;
+    EXPECT_EQ(movedSet.count(ctx) != 0, differs) << ctx;
+    // Consistent hashing: whatever moved, moved TO the joiner.
+    if (differs) EXPECT_EQ(to.ownerOf(ctx).id, "dv3") << ctx;
+  }
+  // Identical membership at a bumped version moves nothing, by
+  // construction — the pinned contract behind the client-side
+  // fast-forward (adoptRing returns "no change" on a pure bump).
+  const auto bumped = Ring::fromEntries(from.encodeEntries(), 9).value();
+  EXPECT_TRUE(from.sameMembership(bumped));
+  EXPECT_TRUE(Ring::movedContexts(from, bumped, contexts).empty());
+  // Empty rings place nothing, so nothing can move.
+  EXPECT_TRUE(Ring::movedContexts(Ring(), to, contexts).empty());
+  EXPECT_TRUE(Ring::movedContexts(from, Ring(), contexts).empty());
+}
+
 }  // namespace
 }  // namespace simfs::cluster

@@ -33,6 +33,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
@@ -394,6 +397,201 @@ TEST(FaultTest, ShmPeerSigkillMidFloodIsContainedLikeSocketLoss) {
   // kept counting past the crash instead of wedging at 1.
   EXPECT_NE(statsText().find("conn_shm=2"), std::string::npos)
       << "stats: " << statsText();
+}
+
+TEST(FaultTest, ReceiverSigkillMidHandoffAbortsAndOldOwnerResumes) {
+  // The elastic-membership crash case: a handoff RECEIVER dies (kill -9,
+  // no unwind) while the old owner is still streaming context state to
+  // it. The epoch fence resolves this deterministically — the transfer
+  // was never committed, so the old owner aborts it, keeps authority,
+  // and every client op (including acquires that were waiting while the
+  // stream ran) completes as if the join was never attempted.
+  if (::access("./simfs_daemon", X_OK) != 0) {
+    GTEST_SKIP() << "simfs_daemon binary not next to the test runner";
+  }
+  // One step per frame and 20ms of injected delay ahead of each send
+  // guarantees the stream is mid-flight when the receiver dies; a 300ms
+  // ack deadline makes the abort prompt. Knobs are read at daemon
+  // construction, so set them first.
+  ::setenv("SIMFS_HANDOFF_TIMEOUT_MS", "300", 1);
+  ::setenv("SIMFS_HANDOFF_BATCH", "1", 1);
+  fault::configure("handoff:delay:20ms", /*seed=*/11);
+
+  const std::string ownerSock = socketPathFor("hk", 0);
+  const std::string joinerSock = socketPathFor("hk", 1);
+  Node owner;
+  {
+    Daemon::Options options;
+    options.shards = 2;
+    options.workers = 2;
+    options.nodeId = "dv0";
+    options.ring = cluster::Ring::make({{"dv0", ownerSock}}, 1).value();
+    owner.daemon = std::make_unique<Daemon>(options);
+    owner.store = std::make_unique<vfs::MemFileStore>();
+    owner.fleet = std::make_unique<simulator::ThreadedSimulatorFleet>(
+        *owner.daemon, *owner.store, /*timeScale=*/1.0);
+    for (int c = 0; c < kContexts; ++c) {
+      const auto cfg = faultConfig(c);
+      ASSERT_TRUE(owner.daemon
+                      ->registerContext(
+                          std::make_unique<simmodel::SyntheticDriver>(cfg))
+                      .isOk());
+      owner.fleet->registerContext(cfg);
+    }
+    owner.daemon->setLauncher(owner.fleet.get());
+    owner.socketPath = ownerSock;
+    ASSERT_TRUE(owner.daemon->listen(ownerSock).isOk());
+  }
+  ::unsetenv("SIMFS_HANDOFF_TIMEOUT_MS");
+  ::unsetenv("SIMFS_HANDOFF_BATCH");
+
+  // The receiving node is a REAL process so kill -9 is a real crash.
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    const std::string ringSpec = "dv1=" + joinerSock;
+    ::execl("./simfs_daemon", "simfs_daemon", "--socket", joinerSock.c_str(),
+            "--node", "dv1", "--ring", ringSpec.c_str(), "--contexts", "6",
+            "--steps", "48", static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    bool up = false;
+    while (!up && std::chrono::steady_clock::now() < deadline) {
+      auto probe = msg::unixSocketConnect(joinerSock);
+      if (probe.isOk()) {
+        (*probe)->close();
+        up = true;
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    ASSERT_TRUE(up) << "joiner daemon never came up";
+  }
+
+  const auto ringV1 = owner.daemon->ring();
+  const auto ring2 = ringV1.withNode({"dv1", joinerSock}, 2).value();
+  int moving = -1;
+  for (int c = 0; c < kContexts && moving < 0; ++c) {
+    if (ring2.ownerOf(contextName(c)).id == "dv1") moving = c;
+  }
+  ASSERT_GE(moving, 0) << "the joiner must attract at least one context";
+  const auto cfg = faultConfig(moving);
+
+  // Warm the moving context: ~20 resident steps means >= 20 one-step
+  // frames, each behind a 20ms injected delay — several hundred ms of
+  // stream to crash into.
+  {
+    auto router = dvlib::NodeRouter::overUnixSockets(ringV1);
+    auto client = dvlib::SimFSClient::connect(router, contextName(moving));
+    ASSERT_TRUE(client.isOk());
+    for (int k = 0; k < 20; ++k) {
+      const std::string file =
+          cfg.codec.outputFile(static_cast<StepIndex>((k * 2) % kStepSpan));
+      ASSERT_TRUE((*client)->acquire({file}).isOk());
+      ASSERT_TRUE((*client)->release(file).isOk());
+    }
+    (*client)->finalize();
+  }
+
+  // A client that keeps acquiring cold steps while the handoff streams:
+  // these are the waiters that must not be lost.
+  std::atomic<bool> waiterOk{true};
+  std::thread waiter([&] {
+    auto router = dvlib::NodeRouter::overUnixSockets(ringV1);
+    auto client = dvlib::SimFSClient::connect(router, contextName(moving));
+    if (!client.isOk()) {
+      waiterOk = false;
+      return;
+    }
+    for (int k = 0; k < 6; ++k) {
+      const std::string file =
+          cfg.codec.outputFile(static_cast<StepIndex>((k * 5 + 1) % kStepSpan));
+      if (!(*client)->acquire({file}).isOk() ||
+          !(*client)->release(file).isOk()) {
+        waiterOk = false;
+        return;
+      }
+    }
+    (*client)->finalize();
+  });
+
+  // Propose the join; the owner starts streaming its moving contexts.
+  {
+    auto conn = owner.daemon->connectInProc();
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<msg::Message> ack;
+    conn->setHandler([&](msg::Message&& m) {
+      std::lock_guard lock(mu);
+      ack = std::move(m);
+      cv.notify_all();
+    });
+    msg::Message propose;
+    propose.type = msg::MsgType::kRingPropose;
+    propose.requestId = 1;
+    propose.files = ring2.encodeEntries();
+    propose.intArg = static_cast<std::int64_t>(ring2.version());
+    ASSERT_TRUE(conn->send(propose).isOk());
+    std::unique_lock lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return ack.has_value(); }));
+    ASSERT_EQ(ack->code, 0) << ack->text;
+    ASSERT_GT(ack->intArg2, 0);
+  }
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (owner.daemon->federationCounters().handoffsInflight == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_GT(owner.daemon->federationCounters().handoffsInflight, 0u)
+        << "handoff never started streaming";
+  }
+
+  // Crash the receiver mid-stream.
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+
+  // The uncommitted transfer aborts within the ack deadline; authority
+  // never moved (the ring is still at the pre-propose version).
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    auto fed = owner.daemon->federationCounters();
+    while ((fed.handoffsInflight != 0 || fed.handoffsAborted == 0) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      fed = owner.daemon->federationCounters();
+    }
+    EXPECT_EQ(fed.handoffsInflight, 0u);
+    EXPECT_GE(fed.handoffsAborted, 1u) << "crashed handoff must abort";
+    EXPECT_EQ(fed.handoffsCommitted, 0u)
+        << "nothing may commit without a kRingCommit";
+  }
+  EXPECT_EQ(owner.daemon->ring().version(), ringV1.version());
+
+  waiter.join();
+  EXPECT_TRUE(waiterOk.load()) << "a waiter was lost across the aborted join";
+
+  // Old owner resumes: a fresh client completes a cold acquire on the
+  // very context that was mid-handoff.
+  {
+    auto router = dvlib::NodeRouter::overUnixSockets(ringV1);
+    auto client = dvlib::SimFSClient::connect(router, contextName(moving));
+    ASSERT_TRUE(client.isOk());
+    const std::string file = cfg.codec.outputFile(47);
+    EXPECT_TRUE((*client)->acquire({file}).isOk());
+    EXPECT_TRUE((*client)->release(file).isOk());
+    (*client)->finalize();
+  }
+  fault::reset();
+  stopNode(owner);
 }
 
 }  // namespace

@@ -1084,6 +1084,287 @@ TEST(FederationTest, ReplicaDeathConvergesToOwner) {
   }
 }
 
+/// One admin-plane request/reply over a fresh Unix socket (the in-test
+/// equivalent of `simfsctl join`'s kRingPropose / kRingCommit sends).
+Result<msg::Message> adminCall(const std::string& socketPath,
+                               msg::Message req) {
+  auto conn = msg::unixSocketConnect(socketPath);
+  if (!conn) return conn.status();
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<msg::Message> got;
+  (*conn)->setHandler([&](msg::Message&& m) {
+    std::lock_guard lock(mu);
+    got = std::move(m);
+    cv.notify_all();
+  });
+  req.requestId = 1;
+  SIMFS_RETURN_IF_ERROR((*conn)->send(req));
+  std::unique_lock lock(mu);
+  if (!cv.wait_for(lock, std::chrono::seconds(5),
+                   [&] { return got.has_value(); })) {
+    return errTimedOut("no admin reply");
+  }
+  (*conn)->close();
+  return std::move(*got);
+}
+
+TEST(FederationTest, JoinMidFloodMatchesStaticFourNodeOracle) {
+  // A 3-node ring takes a client flood; mid-flood a 4th daemon (started
+  // on its own self-ring, owning nothing anyone routes to) joins through
+  // the two-phase admin path. The moving contexts' resident state streams
+  // to dv3 before the commit; afterwards every op on a moved context is
+  // redirected and served by dv3. Acceptance: ZERO failed client ops, and
+  // the final owners' availability is exactly the single-node oracle —
+  // i.e. indistinguishable from a ring that was 4 nodes all along.
+  const std::string tag = "elastic";
+  const cluster::Ring ring3 = fullRing(tag);
+  auto nodes = startCluster(tag, ring3);
+  const std::string dv3Sock = socketPathFor(tag, 3);
+  {
+    Node extra;
+    Daemon::Options options;
+    options.shards = 2;
+    options.workers = 2;
+    options.nodeId = "dv3";
+    options.ring = cluster::Ring::make({{"dv3", dv3Sock}}, 1).value();
+    extra.daemon = std::make_unique<Daemon>(options);
+    extra.store = std::make_unique<vfs::MemFileStore>();
+    extra.fleet = std::make_unique<simulator::ThreadedSimulatorFleet>(
+        *extra.daemon, *extra.store, /*timeScale=*/1.0);
+    for (int c = 0; c < kContexts; ++c) {
+      const auto cfg = fedConfig(c);
+      ASSERT_TRUE(extra.daemon
+                      ->registerContext(
+                          std::make_unique<simmodel::SyntheticDriver>(cfg))
+                      .isOk());
+      extra.fleet->registerContext(cfg);
+    }
+    extra.daemon->setLauncher(extra.fleet.get());
+    extra.socketPath = dv3Sock;
+    ASSERT_TRUE(extra.daemon->listen(dv3Sock).isOk());
+    nodes.push_back(std::move(extra));
+  }
+  const auto ring4 =
+      ring3.withNode({"dv3", dv3Sock}, ring3.version() + 1).value();
+  std::vector<std::string> ctxNames;
+  for (int i = 0; i < kContexts; ++i) ctxNames.push_back(contextName(i));
+  const auto moved = cluster::Ring::movedContexts(ring3, ring4, ctxNames);
+  ASSERT_FALSE(moved.empty()) << "a 4th node must attract some contexts";
+
+  // The flood: wave 1 runs against the 3-ring, then each client parks
+  // until the membership change committed and runs wave 2 on its still-
+  // bound session — the op lands on the old owner, is redirected, and
+  // the client rebinds + resends under the same requestId.
+  std::atomic<int> failures{0};
+  std::atomic<int> wave1Done{0};
+  std::atomic<bool> committed{false};
+  auto sharedRouter = dvlib::NodeRouter::overUnixSockets(ring3);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      const int ctx = c % kContexts;
+      auto client = dvlib::SimFSClient::connect(sharedRouter, contextName(ctx));
+      if (!client.isOk()) {
+        ++failures;
+        ++wave1Done;
+        return;
+      }
+      const auto steps = accessesOf(c);
+      const std::size_t half = steps.size() / 2;
+      const auto run = [&](std::size_t from, std::size_t to) {
+        for (std::size_t k = from; k < to; ++k) {
+          const std::string file = fedConfig(ctx).codec.outputFile(steps[k]);
+          if (!(*client)->acquire({file}).isOk() ||
+              !(*client)->release(file).isOk()) {
+            ++failures;
+            return false;
+          }
+        }
+        return true;
+      };
+      const bool wave1Ok = run(0, half);
+      ++wave1Done;
+      if (wave1Ok) {
+        while (!committed.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        run(half, steps.size());
+      }
+      (*client)->finalize();
+    });
+  }
+  while (wave1Done.load() < kClients) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The two-phase change, driven exactly like `simfsctl join`: propose
+  // through dv0 (which relays to old ∪ new), drain, commit.
+  msg::Message propose;
+  propose.type = msg::MsgType::kRingPropose;
+  propose.files = ring4.encodeEntries();
+  propose.intArg = static_cast<std::int64_t>(ring4.version());
+  auto proposeAck = adminCall(nodes[0].socketPath, propose);
+  ASSERT_TRUE(proposeAck.isOk());
+  ASSERT_EQ(proposeAck->type, msg::MsgType::kRingProposeAck);
+  ASSERT_EQ(proposeAck->code, 0) << proposeAck->text;
+  EXPECT_GT(proposeAck->intArg2, 0) << "dv0 must report moving contexts";
+  const auto drainDeadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  const auto inflightEverywhere = [&] {
+    std::size_t n = 0;
+    for (auto& node : nodes) {
+      n += node.daemon->federationCounters().handoffsInflight;
+    }
+    return n;
+  };
+  while (inflightEverywhere() > 0 &&
+         std::chrono::steady_clock::now() < drainDeadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(inflightEverywhere(), 0u) << "handoffs did not drain";
+  msg::Message commit;
+  commit.type = msg::MsgType::kRingCommit;
+  commit.files = ring4.encodeEntries();
+  commit.intArg = static_cast<std::int64_t>(ring4.version());
+  auto commitAck = adminCall(nodes[0].socketPath, commit);
+  ASSERT_TRUE(commitAck.isOk());
+  ASSERT_EQ(commitAck->type, msg::MsgType::kRingCommitAck);
+  ASSERT_EQ(commitAck->code, 0) << commitAck->text;
+  // The commit relay fans out async: wave 2 starts once every member
+  // adopted v3, so no old owner keeps serving a moved context.
+  const auto adoptDeadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  const auto allAdopted = [&] {
+    for (auto& node : nodes) {
+      if (node.daemon->ring().version() != ring4.version()) return false;
+    }
+    return true;
+  };
+  while (!allAdopted() &&
+         std::chrono::steady_clock::now() < adoptDeadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(allAdopted()) << "commit relay did not converge";
+  committed.store(true);
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0) << "elastic join must lose zero client ops";
+
+  // Every real mover's transfer committed (dv3's self-ring mirage adds
+  // trivial commits on top, hence >=); nothing is still in flight.
+  std::uint64_t committedSum = 0;
+  for (auto& node : nodes) {
+    const auto fed = node.daemon->federationCounters();
+    committedSum += fed.handoffsCommitted;
+    EXPECT_EQ(fed.handoffsInflight, 0u);
+  }
+  EXPECT_GE(committedSum, moved.size());
+
+  quiesce(nodes);
+  // The oracle: the final owner under ring4 serves EXACTLY the steps a
+  // single-node replay of the same accesses produced — handed-off state
+  // plus post-commit production, byte-equivalent to a static 4-ring.
+  // (Delta frames ride the maintenance tick, so poll before asserting.)
+  const auto expected = replaySingleNode();
+  const auto ownerHasOracle = [&](int i) {
+    const int owner = std::stoi(ring4.ownerOf(contextName(i)).id.substr(2));
+    const auto steps = fedConfig(i).geometry.numOutputSteps();
+    for (StepIndex s = 0; s < steps; ++s) {
+      if (nodes[owner].daemon->isAvailable(contextName(i), s) !=
+          (expected[i].count(s) > 0)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const auto settleDeadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  const auto settled = [&] {
+    for (int i = 0; i < kContexts; ++i) {
+      if (!ownerHasOracle(i)) return false;
+    }
+    return true;
+  };
+  while (!settled() &&
+         std::chrono::steady_clock::now() < settleDeadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  for (int i = 0; i < kContexts; ++i) {
+    const int owner = std::stoi(ring4.ownerOf(contextName(i)).id.substr(2));
+    ASSERT_FALSE(expected[i].empty()) << "oracle produced nothing?";
+    const auto steps = fedConfig(i).geometry.numOutputSteps();
+    for (StepIndex s = 0; s < steps; ++s) {
+      EXPECT_EQ(nodes[owner].daemon->isAvailable(contextName(i), s),
+                expected[i].count(s) > 0)
+          << "context " << i << " step " << s << " final owner dv" << owner;
+      // Nobody anywhere invented a step the oracle never produced; old
+      // owners may keep a residue subset, which is harmless (they
+      // redirect instead of serving it).
+      for (std::size_t n = 0; n < nodes.size(); ++n) {
+        if (expected[i].count(s) == 0) {
+          EXPECT_FALSE(nodes[n].daemon->isAvailable(contextName(i), s))
+              << "dv" << n << " invented context " << i << " step " << s;
+        }
+      }
+    }
+  }
+
+  for (auto& n : nodes) {
+    n.fleet.reset();
+    n.daemon.reset();
+  }
+}
+
+TEST(FederationTest, StaleEpochHandoffIsFenced) {
+  // The epoch fence in one frame: a kContextHandoff tagged with an epoch
+  // BELOW the receiver's committed ring version is rejected outright with
+  // kFailedPrecondition — a crashed-and-recovered old owner that missed a
+  // commit cannot scribble authority it no longer has. A frame for a
+  // context the receiver does not own under the committed ring bounces
+  // the same way.
+  const std::string tag = "fence";
+  const cluster::Ring ring = fullRing(tag);  // version 2
+  auto nodes = startCluster(tag, ring);
+
+  msg::Message stale;
+  stale.type = msg::MsgType::kContextHandoff;
+  stale.context = contextName(0);
+  stale.intArg = 1;  // epoch 1 < committed version 2
+  stale.text = "dv9";
+  stale.ints = {0, 1, 2};
+  auto reply = adminCall(nodes[0].socketPath, stale);
+  ASSERT_TRUE(reply.isOk());
+  ASSERT_EQ(reply->type, msg::MsgType::kContextHandoffAck);
+  EXPECT_EQ(static_cast<StatusCode>(reply->code),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(reply->intArg, 1);
+
+  // Current epoch, but aimed at a non-owner: equally fenced.
+  int nonOwner = -1;
+  for (int n = 0; n < kNodes && nonOwner < 0; ++n) {
+    if (ring.ownerOf(contextName(0)).id != "dv" + std::to_string(n)) {
+      nonOwner = n;
+    }
+  }
+  ASSERT_GE(nonOwner, 0);
+  msg::Message misaimed = stale;
+  misaimed.intArg = static_cast<std::int64_t>(ring.version());
+  auto bounced = adminCall(nodes[nonOwner].socketPath, misaimed);
+  ASSERT_TRUE(bounced.isOk());
+  EXPECT_EQ(static_cast<StatusCode>(bounced->code),
+            StatusCode::kFailedPrecondition);
+
+  // Neither frame touched any state.
+  for (auto& n : nodes) {
+    EXPECT_FALSE(n.daemon->isAvailable(contextName(0), 0));
+    EXPECT_FALSE(n.daemon->isAvailable(contextName(0), 1));
+  }
+  for (auto& n : nodes) {
+    n.fleet.reset();
+    n.daemon.reset();
+  }
+}
+
 TEST(NodeRouterTest, PoolsUnboundConnectionsPerEndpoint) {
   // The dialer counts dials; checkout after checkin must reuse.
   std::atomic<int> dials{0};
@@ -1143,6 +1424,15 @@ TEST(NodeRouterTest, AdoptRingKeepsNewestVersion) {
   EXPECT_TRUE(router->adoptRing(v3fixed));
   EXPECT_TRUE(router->node("d").isOk());
   EXPECT_FALSE(router->node("c").isOk());
+  // A newer version with IDENTICAL membership fast-forwards silently:
+  // the stored version advances (so stale-update checks keep working)
+  // but adoptRing reports "nothing changed" — no rebind storm on the
+  // pure version bumps an elastic commit fans out to every client.
+  const auto v4 =
+      cluster::Ring::fromEntries(v3fixed.encodeEntries(), 4).value();
+  EXPECT_FALSE(router->adoptRing(v4));
+  EXPECT_EQ(router->ringSnapshot().version(), 4u);
+  EXPECT_TRUE(router->node("d").isOk());
 }
 
 }  // namespace

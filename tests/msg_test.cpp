@@ -881,6 +881,175 @@ TEST(MessageCodecTest, GeometryTypesAppendAfterLegacyOps) {
   EXPECT_EQ(static_cast<std::uint16_t>(MsgType::kGeometryAck), 35);
 }
 
+TEST(MessageCodecTest, ElasticMembershipTypesAppendAfterGeometryOps) {
+  // The elastic-membership ops were APPENDED after the geometry ops;
+  // these pins fail loudly if someone reorders the enum and silently
+  // breaks mixed-version rings.
+  EXPECT_EQ(static_cast<std::uint16_t>(MsgType::kRingPropose), 36);
+  EXPECT_EQ(static_cast<std::uint16_t>(MsgType::kRingProposeAck), 37);
+  EXPECT_EQ(static_cast<std::uint16_t>(MsgType::kRingCommit), 38);
+  EXPECT_EQ(static_cast<std::uint16_t>(MsgType::kRingCommitAck), 39);
+  EXPECT_EQ(static_cast<std::uint16_t>(MsgType::kContextHandoff), 40);
+  EXPECT_EQ(static_cast<std::uint16_t>(MsgType::kContextHandoffAck), 41);
+  // The capability bit and the advertised version range are wire
+  // contract too: a renumbered cap bit would collide with kHelloCapShm /
+  // kHelloCapReplica on old daemons.
+  EXPECT_EQ(kHelloCapVersion, 4);
+  EXPECT_EQ(kProtocolVersionMin, 1);
+  EXPECT_EQ(kProtocolVersionMax, 2);
+}
+
+// --- elastic membership (kRingPropose .. kContextHandoffAck) ----------------
+
+Message sampleRingPropose() {
+  Message m;
+  m.type = MsgType::kRingPropose;
+  m.requestId = 101;
+  m.files = {"dv0=/tmp/dv0.sock", "dv1=/tmp/dv1.sock", "dv3=/tmp/dv3.sock"};
+  m.intArg = 5;  // proposed ring version
+  return m;
+}
+
+Message sampleHandoff() {
+  Message m;
+  m.type = MsgType::kContextHandoff;
+  m.requestId = 103;
+  m.context = "cosmo-5min";
+  m.intArg = 5;    // epoch (the proposed ring version)
+  m.text = "dv0";  // sending (old owner) node id
+  m.ints = {0, 1, 2, 17, 42};  // resident steps in this frame
+  return m;
+}
+
+TEST(MessageCodecTest, RingProposeRoundTrip) {
+  const auto m = sampleRingPropose();
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.isOk());
+  EXPECT_EQ(*decoded, m);
+  // The ack: version echo, moved count, and the ctx:old>new work list.
+  Message ack;
+  ack.type = MsgType::kRingProposeAck;
+  ack.requestId = 101;
+  ack.intArg = 5;
+  ack.intArg2 = 2;
+  ack.files = {"cosmo-5min:dv0>dv3", "ocean-1h:dv1>dv3"};
+  ack.text = "dv0";
+  const auto ackBack = decode(encode(ack));
+  ASSERT_TRUE(ackBack.isOk());
+  EXPECT_EQ(*ackBack, ack);
+}
+
+TEST(MessageCodecTest, RingCommitRoundTrip) {
+  // A commit is self-contained (same payload shape as the propose): a
+  // node that missed the propose can still apply it.
+  auto m = sampleRingPropose();
+  m.type = MsgType::kRingCommit;
+  m.requestId = 102;
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.isOk());
+  EXPECT_EQ(*decoded, m);
+  Message ack;
+  ack.type = MsgType::kRingCommitAck;
+  ack.requestId = 102;
+  ack.intArg = 5;
+  ack.text = "dv1";
+  const auto ackBack = decode(encode(ack));
+  ASSERT_TRUE(ackBack.isOk());
+  EXPECT_EQ(*ackBack, ack);
+}
+
+TEST(MessageCodecTest, ContextHandoffFramesRoundTrip) {
+  // Data frame: intArg2 bit0 clear, ints = resident steps.
+  const auto data = sampleHandoff();
+  const auto dataBack = decode(encode(data));
+  ASSERT_TRUE(dataBack.isOk());
+  EXPECT_EQ(*dataBack, data);
+  // Final frame: intArg2 bit0 set, ints = [leaseGen, refs, (step, n)...].
+  Message fin = sampleHandoff();
+  fin.intArg2 = 1;
+  fin.ints = {9, 3, 17, 2, 42, 1};
+  const auto finBack = decode(encode(fin));
+  ASSERT_TRUE(finBack.isOk());
+  EXPECT_EQ(*finBack, fin);
+  // The ack, both shapes: per-frame ok and the final (intArg2 = 1)
+  // commit-point ack, plus an epoch-fence rejection.
+  Message ack;
+  ack.type = MsgType::kContextHandoffAck;
+  ack.requestId = 103;
+  ack.context = "cosmo-5min";
+  ack.intArg = 5;
+  ack.intArg2 = 1;
+  ack.text = "dv3";
+  const auto ackBack = decode(encode(ack));
+  ASSERT_TRUE(ackBack.isOk());
+  EXPECT_EQ(*ackBack, ack);
+  ack.code = static_cast<std::int32_t>(StatusCode::kFailedPrecondition);
+  ack.text = "dv: stale handoff epoch 4 (committed v5)";
+  const auto rejBack = decode(encode(ack));
+  ASSERT_TRUE(rejBack.isOk());
+  EXPECT_EQ(*rejBack, ack);
+}
+
+TEST(MessageCodecTest, RingProposeWithForgedEntryCountFailsCleanly) {
+  auto buf = encode(sampleRingPropose());
+  // files-count u32 follows the fixed header and the two (empty)
+  // length-prefixed strings — same layout walk as the redirect pin.
+  const std::size_t header = 2 + 8 + 4 + 8 + 8 + 2;
+  const std::size_t countAt = header + 4 + 4;  // empty context + empty text
+  ASSERT_LT(countAt + 4, buf.size());
+  for (int i = 0; i < 4; ++i) buf[countAt + i] = static_cast<char>(0xFF);
+  EXPECT_FALSE(decode(buf).isOk());
+}
+
+TEST(MessageCodecTest, ContextHandoffTruncatedFailsCleanly) {
+  const auto full = encode(sampleHandoff());
+  for (std::size_t cut = 1; cut < 24 && cut < full.size(); ++cut) {
+    EXPECT_FALSE(
+        decode(std::string_view(full).substr(0, full.size() - cut)).isOk())
+        << "cut=" << cut;
+  }
+}
+
+TEST(MessageCodecTest, MutatedHandoffFailsOrRoundTrips) {
+  const auto base = encode(sampleHandoff());
+  for (std::size_t pos = 0; pos < base.size(); ++pos) {
+    for (const unsigned char v : {0x00, 0x01, 0x7F, 0xFF}) {
+      std::string buf = base;
+      buf[pos] = static_cast<char>(v);
+      const auto m = decode(buf);
+      // Rejected cleanly, or accepted AND re-encodes to the same bytes —
+      // never a silently-truncated step list mid-handoff.
+      if (m.isOk()) EXPECT_EQ(encode(*m), buf);
+    }
+  }
+}
+
+TEST(MessageCodecTest, VersionedHelloIsAdditive) {
+  // The version handshake rides existing fields (a cap bit + the ints
+  // vector), so a hello WITHOUT it must encode byte-identically to the
+  // pre-negotiation hello — pinned here from the encode side; the
+  // socket-level downgrade pin covers the daemon's answer.
+  Message legacy;
+  legacy.type = MsgType::kHello;
+  legacy.requestId = 9;
+  legacy.context = "cosmo-5min";
+  legacy.intArg = static_cast<std::int64_t>(ClientRole::kAnalysis);
+  Message versioned = legacy;
+  versioned.intArg2 |= kHelloCapVersion;
+  versioned.ints = {kProtocolVersionMin, kProtocolVersionMax};
+  EXPECT_NE(encode(versioned), encode(legacy));
+  versioned.intArg2 &= ~kHelloCapVersion;
+  versioned.ints.clear();
+  EXPECT_EQ(encode(versioned), encode(legacy));
+  // And the versioned form survives the codec.
+  Message again = legacy;
+  again.intArg2 |= kHelloCapVersion;
+  again.ints = {kProtocolVersionMin, kProtocolVersionMax};
+  const auto decoded = decode(encode(again));
+  ASSERT_TRUE(decoded.isOk());
+  EXPECT_EQ(*decoded, again);
+}
+
 TEST(MessageCodecTest, LegacyAckBytesUnchangedByGeometryOps) {
   // A lease ack (the last pre-geometry op) built today must encode to
   // the exact bytes a pre-geometry build produced: same type id, same
